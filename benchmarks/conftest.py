@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a benchmark module that (a) times the code that
+regenerates it via pytest-benchmark and (b) writes the reproduced rows/series
+to ``benchmarks/results/`` so they can be compared against the paper's values
+(EXPERIMENTS.md records that comparison).
+
+The store snapshots are generated at ``REPRO_BENCH_SCALE`` (default 0.15) of
+the paper's dataset size so the whole suite completes in minutes; set the
+environment variable to 1.0 to regenerate at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
+from repro.android.playstore import PlayStore
+from repro.core.pipeline import GaugeNN
+from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
+from repro.runtime import Backend, Executor
+
+#: Fraction of the paper's dataset size used for benchmark runs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+#: Directory where reproduced tables/figures are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines) -> Path:
+    """Write a reproduced table/figure to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def model_pool() -> ModelPool:
+    return ModelPool(pool_seed=7)
+
+
+@pytest.fixture(scope="session")
+def store(model_pool) -> PlayStore:
+    snapshots = [
+        AppGenerator(GeneratorConfig.snapshot_2020(scale=BENCH_SCALE), model_pool).generate(),
+        AppGenerator(GeneratorConfig.snapshot_2021(scale=BENCH_SCALE), model_pool).generate(),
+    ]
+    return PlayStore(snapshots)
+
+
+@pytest.fixture(scope="session")
+def gauge(store) -> GaugeNN:
+    return GaugeNN(store)
+
+
+@pytest.fixture(scope="session")
+def analysis_2021(gauge):
+    return gauge.analyze_snapshot("2021")
+
+
+@pytest.fixture(scope="session")
+def analysis_2020(gauge):
+    return gauge.analyze_snapshot("2020")
+
+
+@pytest.fixture(scope="session")
+def unique_graphs(analysis_2021):
+    """Graphs of the unique models found in the 2021 snapshot."""
+    return GaugeNN.unique_graphs(analysis_2021)
+
+
+@pytest.fixture(scope="session")
+def fleet_cpu_results(unique_graphs):
+    """CPU benchmark results of the unique models on the full device fleet."""
+    results = {}
+    for device in DEVICE_FLEET:
+        executor = Executor(device, seed=0)
+        results[device.name] = executor.run_many(unique_graphs, Backend.CPU,
+                                                 num_inferences=3)
+    return results
+
+
+@pytest.fixture(scope="session")
+def board_cpu_results(fleet_cpu_results):
+    """The subset of results for the three Qualcomm development boards."""
+    return {device.name: fleet_cpu_results[device.name] for device in DEV_BOARDS}

@@ -1,0 +1,85 @@
+"""Figs. 13 and 14: CPU-runtime and hardware-target optimisations on the Q845 board."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.devices.device import device_by_name
+from repro.runtime import Backend, Executor
+
+
+def _relative_to_cpu(executor, models, backends):
+    cpu_results = {r.model_name: r for r in executor.run_many(models, Backend.CPU,
+                                                              num_inferences=3)}
+    table = {}
+    for backend in backends:
+        results = executor.run_many(models, backend, num_inferences=3)
+        paired = [(cpu_results[r.model_name], r) for r in results
+                  if r.model_name in cpu_results]
+        if not paired:
+            continue
+        speedups = [cpu.latency_ms / other.latency_ms for cpu, other in paired]
+        efficiency = [other.efficiency_mflops_per_sw / cpu.efficiency_mflops_per_sw
+                      for cpu, other in paired]
+        table[backend] = {
+            "models": len(paired),
+            "speedup": float(np.mean(speedups)),
+            "efficiency": float(np.mean(efficiency)),
+            "median_latency_ms": float(np.median([r.latency_ms for _, r in paired])),
+        }
+    return table
+
+
+def test_fig13_cpu_runtimes(benchmark, unique_graphs, q845=None):
+    """Fig. 13: plain CPU vs XNNPACK vs NNAPI on TFLite models."""
+    executor = Executor(device_by_name("Q845"), seed=0)
+    models = [g for g in unique_graphs if g.framework == "tflite"]
+
+    table = benchmark.pedantic(
+        _relative_to_cpu, args=(executor, models, (Backend.XNNPACK, Backend.NNAPI)),
+        iterations=1, rounds=1)
+
+    lines = ["Fig. 13: TFLite CPU runtimes on Q845 (relative to plain CPU)",
+             "backend   models  speedup  relative_efficiency"]
+    for backend, row in table.items():
+        lines.append(f"{backend.value:<9} {row['models']:<7} {row['speedup']:.2f}x   "
+                     f"{row['efficiency']:.2f}x")
+    lines.append("")
+    lines.append("paper: XNNPACK 1.03x faster / 1.13x more efficient; "
+                 "NNAPI 0.49x speed / 1.66x less efficient")
+    write_result("fig13_cpu_runtimes", lines)
+
+    assert table[Backend.XNNPACK]["speedup"] > 1.0
+    assert table[Backend.XNNPACK]["efficiency"] > 1.0
+    assert table[Backend.NNAPI]["speedup"] < 1.0
+    assert table[Backend.NNAPI]["efficiency"] < 1.0
+
+
+def test_fig14_snpe_hardware_targets(benchmark, unique_graphs):
+    """Fig. 14: SNPE CPU/GPU/DSP vs plain CPU and GPU on the Q845 board."""
+    executor = Executor(device_by_name("Q845"), seed=0)
+    models = [g for g in unique_graphs if g.framework in ("tflite", "caffe")]
+    backends = (Backend.GPU, Backend.SNPE_CPU, Backend.SNPE_GPU, Backend.SNPE_DSP)
+
+    table = benchmark.pedantic(_relative_to_cpu, args=(executor, models, backends),
+                               iterations=1, rounds=1)
+
+    lines = ["Fig. 14: SNPE hardware targets on Q845 (relative to plain CPU)",
+             "backend    models  speedup  relative_efficiency"]
+    for backend, row in table.items():
+        lines.append(f"{backend.value:<10} {row['models']:<7} {row['speedup']:.2f}x   "
+                     f"{row['efficiency']:.2f}x")
+    gpu_speed = table[Backend.GPU]["speedup"]
+    lines.append("")
+    lines.append(f"SNPE DSP vs plain GPU speedup: "
+                 f"{table[Backend.SNPE_DSP]['speedup'] / gpu_speed:.2f}x (paper: 2.97x)")
+    lines.append("paper: SNPE DSP 5.72x faster / 20.3x more efficient than CPU; "
+                 "SNPE GPU 2.28x / 8.39x")
+    write_result("fig14_snpe_targets", lines)
+
+    # Orderings the paper reports: DSP > SNPE GPU > GPU > CPU in both speed and
+    # efficiency; SNPE CPU is no better than the plain CPU path.
+    assert table[Backend.SNPE_DSP]["speedup"] > table[Backend.SNPE_GPU]["speedup"] \
+        > table[Backend.GPU]["speedup"] > 1.0
+    assert table[Backend.SNPE_DSP]["efficiency"] > table[Backend.SNPE_GPU]["efficiency"] \
+        > 1.0
+    assert table[Backend.SNPE_CPU]["speedup"] <= 1.05

@@ -1,0 +1,49 @@
+"""Fig. 11: inference throughput versus batch size across the three phones."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.devices.device import PHONES
+from repro.devices.scheduler import ThreadConfig
+from repro.runtime import Backend, Executor
+
+BATCH_SIZES = (1, 2, 5, 10, 25)
+
+
+def test_fig11_throughput_vs_batch_size(benchmark, unique_graphs):
+    """Fig. 11: throughput scales with batch size; S21 > A70 > A20 throughout."""
+    # Only TFLite models that run everywhere participate (149 in the paper).
+    models = [g for g in unique_graphs if g.framework == "tflite"][:40]
+
+    def sweep():
+        table = {}
+        for device in PHONES:
+            executor = Executor(device, seed=0)
+            for batch in BATCH_SIZES:
+                results = executor.run_many(models, Backend.CPU, batch_size=batch,
+                                            threads=ThreadConfig(4), num_inferences=2)
+                throughputs = [r.throughput_ips for r in results]
+                table[(device.name, batch)] = float(np.mean(throughputs))
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    lines = ["Fig. 11: mean throughput (inf/s) vs batch size (4 threads)",
+             "device  " + "  ".join(f"b={b:<5}" for b in BATCH_SIZES)]
+    for device in PHONES:
+        row = "  ".join(f"{table[(device.name, b)]:7.1f}" for b in BATCH_SIZES)
+        lines.append(f"{device.name:<7} {row}")
+    ratio_a70 = table[("S21", 25)] / table[("A70", 25)]
+    ratio_a20 = table[("S21", 25)] / table[("A20", 25)]
+    lines.append("")
+    lines.append(f"S21 vs A70 at batch 25: {ratio_a70:.2f}x (paper: 2.14x)")
+    lines.append(f"S21 vs A20 at batch 25: {ratio_a20:.2f}x (paper: 5.42x)")
+    write_result("fig11_batching", lines)
+
+    for device in PHONES:
+        throughputs = [table[(device.name, batch)] for batch in BATCH_SIZES]
+        # Throughput grows monotonically with batch size (no bottleneck yet).
+        assert all(b >= a for a, b in zip(throughputs, throughputs[1:]))
+    # Device ordering at the largest batch size.
+    assert table[("S21", 25)] > table[("A70", 25)] > table[("A20", 25)]
+    assert ratio_a20 > ratio_a70 > 1.0

@@ -1,0 +1,34 @@
+"""Fig. 15: cloud-based ML API usage across apps."""
+
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_fig15_cloud_api_usage(benchmark, analysis_2021, analysis_2020):
+    """Fig. 15: apps per cloud ML API category, Google vs AWS."""
+    usage = benchmark(reports.cloud_api_usage, analysis_2021)
+
+    cloud_apps_2021 = len(analysis_2021.apps_using_cloud())
+    cloud_apps_2020 = len(analysis_2020.apps_using_cloud())
+    google_apps = sum(1 for app in analysis_2021.apps_using_cloud()
+                      if "Google" in app.cloud_providers)
+    aws_apps = sum(1 for app in analysis_2021.apps_using_cloud()
+                   if "AWS" in app.cloud_providers)
+
+    lines = ["Fig. 15: number of apps invoking cloud ML APIs (2021 snapshot)",
+             "api                                   provider  apps"]
+    for name, entry in usage.items():
+        lines.append(f"{name:<37} {entry['provider']:<9} {entry['apps']}")
+    lines.append("")
+    lines.append(f"total cloud-ML apps: {cloud_apps_2021} "
+                 f"(2020: {cloud_apps_2020}, growth {cloud_apps_2021 / max(1, cloud_apps_2020):.2f}x; "
+                 "paper: 524 apps, 2.33x)")
+    lines.append(f"Google apps: {google_apps}, AWS apps: {aws_apps} (paper: 452 vs 72)")
+    write_result("fig15_cloud_apis", lines)
+
+    assert cloud_apps_2021 > cloud_apps_2020
+    assert google_apps > aws_apps
+    # Vision APIs dominate the top of the ranking.
+    top_apis = list(usage)[:5]
+    assert any(name.startswith("Vision/") for name in top_apis)

@@ -1,0 +1,56 @@
+"""Table 2 (dataset snapshots), Fig. 4 (models per framework/category) and the
+Appendix Table 5 format registry."""
+
+from conftest import write_result
+
+from repro.core import reports
+from repro.formats.registry import FORMAT_REGISTRY, total_format_count
+
+
+def test_table2_dataset_snapshots(benchmark, gauge, analysis_2020, analysis_2021, bench_scale):
+    """Table 2: total apps, apps w/ frameworks, apps w/ models, total and unique models."""
+    row_2021 = benchmark(reports.dataset_table, analysis_2021)
+    row_2020 = reports.dataset_table(analysis_2020)
+
+    lines = [f"Table 2 (scale={bench_scale})",
+             "metric                | 2020        | 2021"]
+    for label, getter in (
+        ("Total apps", lambda r: f"{r.total_apps}"),
+        ("Apps w/ frameworks", lambda r: f"{r.apps_with_frameworks} ({r.apps_with_frameworks_pct:.1f}%)"),
+        ("Apps w/ models", lambda r: f"{r.apps_with_models} ({r.apps_with_models_pct:.1f}%)"),
+        ("Total models", lambda r: f"{r.total_models}"),
+        ("Unique models", lambda r: f"{r.unique_models} ({r.unique_models_pct:.1f}%)"),
+    ):
+        lines.append(f"{label:<21} | {getter(row_2020):<11} | {getter(row_2021)}")
+    write_result("table2_dataset", lines)
+
+    assert row_2021.total_models > row_2020.total_models
+    assert row_2021.apps_with_frameworks >= row_2021.apps_with_models
+    assert 0 < row_2021.unique_models_pct < 50
+
+
+def test_fig4_models_per_framework_and_category(benchmark, analysis_2021):
+    """Fig. 4: model counts per Play category, broken down by framework."""
+    table = benchmark(reports.models_per_framework_and_category, analysis_2021)
+
+    lines = ["Fig. 4: models per framework and category"]
+    for category, frameworks in table.items():
+        total = sum(frameworks.values())
+        breakdown = ", ".join(f"{fw}={count}" for fw, count in sorted(frameworks.items()))
+        lines.append(f"{category:<22} total={total:<4} ({breakdown})")
+    write_result("fig4_models_per_category", lines)
+
+    by_framework = analysis_2021.models_by_framework()
+    assert by_framework["tflite"] == max(by_framework.values())
+    top_categories = list(table)[:6]
+    assert any(cat in top_categories for cat in ("COMMUNICATION", "FINANCE", "PHOTOGRAPHY"))
+
+
+def test_appendix_table5_format_registry(benchmark):
+    """Appendix Table 5: the 69 known framework/extension pairs."""
+    count = benchmark(total_format_count)
+    lines = ["Appendix Table 5: frameworks and validated formats"]
+    for spec in FORMAT_REGISTRY:
+        lines.append(f"{spec.framework:<12} {', '.join(spec.extensions)}")
+    write_result("table5_format_registry", lines)
+    assert count == 69

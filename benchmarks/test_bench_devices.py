@@ -1,0 +1,49 @@
+"""Table 1: device fleet specifications and accelerator-trace statistics (Sec. 6.3)."""
+
+from conftest import write_result
+
+from repro.devices.device import DEVICE_FLEET, device_by_name
+
+
+def test_table1_device_fleet(benchmark):
+    """Table 1: the six benchmark devices with SoC, RAM and battery capacity."""
+    fleet = benchmark(lambda: list(DEVICE_FLEET))
+
+    lines = ["Table 1: device specifications",
+             "device  model                 SoC               RAM  battery"]
+    for device in fleet:
+        battery = f"{device.battery_capacity_mah}mAh" if device.battery_capacity_mah else "N/A"
+        lines.append(f"{device.name:<7} {device.model_code:<21} {device.soc.name:<17} "
+                     f"{device.ram_gb}GB  {battery}")
+    write_result("table1_devices", lines)
+
+    assert len(fleet) == 6
+    assert device_by_name("A20").soc.name == "Exynos 7884"
+    assert device_by_name("Q888").soc.name == "Snapdragon 888"
+    assert device_by_name("A70").battery_capacity_mah == 4500
+
+
+def test_sec63_accelerator_traces(benchmark, analysis_2021):
+    """Sec. 6.3: a minority of ML apps carry NNAPI traces; XNNPACK/SNPE are rare."""
+    def count_traces():
+        counts = {"nnapi": 0, "xnnpack": 0, "snpe": 0}
+        ml_apps = [app for app in analysis_2021.apps if app.has_models]
+        for app in ml_apps:
+            for accelerator in app.accelerators:
+                if accelerator in counts:
+                    counts[accelerator] += 1
+        return counts, len(ml_apps)
+
+    counts, ml_app_count = benchmark(count_traces)
+
+    lines = ["Sec. 6.3: hardware-specific acceleration traces in ML apps",
+             f"ML apps analysed: {ml_app_count}"]
+    for name, count in counts.items():
+        share = 100.0 * count / max(1, ml_app_count)
+        lines.append(f"{name:<8} {count} apps ({share:.1f}%)")
+    lines.append("")
+    lines.append("paper: 71 apps (23.8%) with NNAPI, 1 with XNNPACK, 3 with SNPE")
+    write_result("sec63_accelerator_traces", lines)
+
+    assert counts["nnapi"] > counts["snpe"] >= 0
+    assert counts["nnapi"] / max(1, ml_app_count) < 0.6

@@ -1,0 +1,32 @@
+"""Fig. 10: inference energy, power and efficiency across Snapdragon generations."""
+
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_fig10_energy_power_efficiency(benchmark, board_cpu_results):
+    """Fig. 10: energy similar across boards, power rising, efficiency improving."""
+    table = benchmark(reports.energy_distributions, board_cpu_results)
+
+    lines = ["Fig. 10: inference energy / power / efficiency per board",
+             "board  energy_median_mJ  power_median_W  efficiency_median_MFLOP/sW"]
+    for name in ("Q845", "Q855", "Q888"):
+        row = table[name]
+        lines.append(f"{name:<6} {row['energy_median_mj']:17.1f} "
+                     f"{row['power_median_w']:15.2f} "
+                     f"{row['efficiency_median_mflops_per_sw']:27.0f}")
+    lines.append("")
+    lines.append("paper: median efficiency 730 / 765 / 873 MFLOP/sW; "
+                 "newer generations draw more power; energy stays similar")
+    write_result("fig10_energy", lines)
+
+    # Power rises with each generation (Fig. 10b).
+    assert table["Q845"]["power_median_w"] < table["Q855"]["power_median_w"] \
+        < table["Q888"]["power_median_w"]
+    # Efficiency improves mildly with newer hardware (Fig. 10c).
+    assert table["Q888"]["efficiency_median_mflops_per_sw"] >= \
+        table["Q845"]["efficiency_median_mflops_per_sw"]
+    # Energy per inference stays in the same ballpark across generations (Fig. 10a).
+    energies = [table[name]["energy_median_mj"] for name in ("Q845", "Q855", "Q888")]
+    assert max(energies) / min(energies) < 2.0

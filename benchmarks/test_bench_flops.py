@@ -1,0 +1,31 @@
+"""Fig. 7: FLOPs and parameters per DNN task."""
+
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_fig7_flops_and_parameters_per_task(benchmark, analysis_2021):
+    """Fig. 7: per-task FLOP and parameter ranges of the traced models."""
+    table = benchmark(reports.flops_and_parameters_by_task, analysis_2021)
+
+    lines = ["Fig. 7: FLOPs and parameters per task (median [min, max])"]
+    for task, row in table.items():
+        lines.append(
+            f"{task:<24} n={int(row['models']):<4} "
+            f"FLOPs {row['flops_median']:.2e} [{row['flops_min']:.1e}, {row['flops_max']:.1e}]  "
+            f"params {row['parameters_median']:.2e} "
+            f"[{row['parameters_min']:.1e}, {row['parameters_max']:.1e}]"
+        )
+    write_result("fig7_flops_params", lines)
+
+    all_flops = [row["flops_median"] for row in table.values()]
+    all_params = [row["parameters_median"] for row in table.values()]
+    # The paper observes ~4 orders of magnitude of variance across tasks.
+    assert max(all_flops) / max(1.0, min(all_flops)) > 1e2
+    assert max(all_params) / max(1.0, min(all_params)) > 1e1
+    # Segmentation-style tasks are among the heaviest deployed vision models.
+    heavy_tasks = list(table)[:6]
+    assert any(task in heavy_tasks
+               for task in ("semantic segmentation", "hair reconstruction", "style transfer",
+                            "image classification", "photo beauty"))

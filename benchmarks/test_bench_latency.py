@@ -1,0 +1,54 @@
+"""Figs. 8 and 9: on-device latency across the six-device fleet."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_fig8_latency_vs_flops(benchmark, fleet_cpu_results):
+    """Fig. 8: latency vs FLOPs is correlated but far from linear per device."""
+    points_by_device = benchmark(
+        lambda: {name: reports.latency_vs_flops(results)
+                 for name, results in fleet_cpu_results.items()})
+
+    lines = ["Fig. 8: latency vs FLOPs (Pearson correlation of log-log points per device)"]
+    for name, points in points_by_device.items():
+        latencies = np.log10([max(1e-3, p[0]) for p in points])
+        flops = np.log10([max(1.0, p[1]) for p in points])
+        correlation = float(np.corrcoef(latencies, flops)[0, 1])
+        lines.append(f"{name:<6} models={len(points):<4} log-log corr={correlation:.3f}")
+    write_result("fig8_latency_vs_flops", lines)
+
+    for name, points in points_by_device.items():
+        latencies = np.log10([max(1e-3, p[0]) for p in points])
+        flops = np.log10([max(1.0, p[1]) for p in points])
+        correlation = float(np.corrcoef(latencies, flops)[0, 1])
+        # Correlated (FLOPs matter) but imperfect (FLOPs are not a good proxy).
+        assert 0.3 < correlation < 0.999
+
+
+def test_fig9_latency_ecdf_per_device(benchmark, fleet_cpu_results):
+    """Fig. 9: latency ECDFs; tier and generation orderings must hold."""
+    ecdfs = benchmark(reports.latency_ecdf_by_device, fleet_cpu_results)
+
+    means = {name: float(np.mean(ecdf.values)) for name, ecdf in ecdfs.items()}
+    lines = ["Fig. 9: latency per device",
+             "device  mean_ms  median_ms  p90_ms"]
+    for name, ecdf in ecdfs.items():
+        lines.append(f"{name:<6} {means[name]:8.1f} {ecdf.median:9.1f} "
+                     f"{ecdf.quantile(0.9):8.1f}")
+    lines.append("")
+    lines.append(f"A20 vs S21 slowdown: {means['A20'] / means['S21']:.2f}x (paper: 3.4x)")
+    lines.append(f"A70 vs S21 slowdown: {means['A70'] / means['S21']:.2f}x (paper: 1.51x)")
+    lines.append(f"Q845/Q855/Q888 mean latency: {means['Q845']:.0f}/{means['Q855']:.0f}/"
+                 f"{means['Q888']:.0f} ms (paper: 76/58/35 ms)")
+    write_result("fig9_latency_ecdf", lines)
+
+    # Tier ordering: low < mid < high; generation ordering: 845 < 855 < 888.
+    assert means["A20"] > means["A70"] > means["S21"]
+    assert means["Q845"] > means["Q855"] > means["Q888"]
+    # The open-deck Q888 board edges out the S21 phone with the same SoC.
+    assert means["Q888"] <= means["S21"]
+    # Low tier is several times slower than high end.
+    assert means["A20"] / means["S21"] > 2.0

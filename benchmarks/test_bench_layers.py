@@ -1,0 +1,25 @@
+"""Fig. 6: model layer composition per input modality."""
+
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_fig6_layer_composition(benchmark, analysis_2021):
+    """Fig. 6: average layer-category share per modality (image / text / audio)."""
+    composition = benchmark(reports.layer_composition_by_modality, analysis_2021)
+
+    lines = ["Fig. 6: layer composition per input modality (% of layers)"]
+    for modality, categories in composition.items():
+        lines.append(f"-- {modality}")
+        for category, share in sorted(categories.items(), key=lambda i: -i[1]):
+            lines.append(f"   {category:<12} {share:5.1f}%")
+    write_result("fig6_layer_composition", lines)
+
+    image = composition["image"]
+    # Convolutions dominate vision models (paper: conv is the top category).
+    conv_share = image.get("conv", 0.0) + image.get("depth_conv", 0.0)
+    assert conv_share > 25.0
+    # Text/audio models have a larger dense share than vision models.
+    if "text" in composition:
+        assert composition["text"].get("dense", 0.0) > image.get("dense", 0.0)

@@ -1,0 +1,35 @@
+"""Sec. 6.1: adoption of model-level optimisations in the wild."""
+
+from conftest import write_result
+
+from repro.core.optimizations import analyze_optimizations
+
+
+def test_sec61_optimization_adoption(benchmark, analysis_2021):
+    """Sec. 6.1: clustering/pruning absent; quantisation is the only adopted pass."""
+    adoption = benchmark(analyze_optimizations, analysis_2021.models)
+
+    lines = [
+        "Sec. 6.1: model-level optimisation adoption",
+        f"models analysed              : {adoption.total_models}",
+        f"weight clustering (cluster_) : {adoption.clustered_models} "
+        f"({100 * adoption.clustering_fraction:.2f}%)  [paper: 0]",
+        f"pruning (prune_)             : {adoption.pruned_models} "
+        f"({100 * adoption.pruning_fraction:.2f}%)  [paper: 0]",
+        f"dequantize layers            : {adoption.dequantize_models} "
+        f"({100 * adoption.dequantize_fraction:.2f}%)  [paper: 10.3%]",
+        f"int8 weights                 : {adoption.int8_weight_models} "
+        f"({100 * adoption.int8_weight_fraction:.2f}%)  [paper: 20.27%]",
+        f"int8 activations             : {adoption.int8_activation_models} "
+        f"({100 * adoption.int8_activation_fraction:.2f}%)  [paper: 10.31%]",
+        f"near-zero weights            : {100 * adoption.mean_near_zero_weight_fraction:.2f}% "
+        "[paper: 3.15%]",
+    ]
+    write_result("sec61_optimizations", lines)
+
+    assert adoption.clustered_models == 0
+    assert adoption.pruned_models == 0
+    assert 0.03 < adoption.dequantize_fraction < 0.30
+    assert adoption.int8_weight_fraction >= adoption.dequantize_fraction
+    assert adoption.int8_activation_fraction <= adoption.int8_weight_fraction
+    assert 0.005 < adoption.mean_near_zero_weight_fraction < 0.10

@@ -1,0 +1,52 @@
+"""Table 4: scenario-driven energy consumption (sound recognition, typing, segmentation)."""
+
+from conftest import write_result
+
+from repro.core.pipeline import GaugeNN
+from repro.core.scenarios import STANDARD_SCENARIOS, run_scenario, summarize
+from repro.devices.device import DEV_BOARDS
+
+
+def test_table4_scenario_energy(benchmark, analysis_2021):
+    """Table 4: battery discharge per use case on the three Qualcomm boards."""
+    pairs = GaugeNN.graphs_with_tasks(analysis_2021)
+
+    def run_all():
+        summaries = {}
+        for device in DEV_BOARDS:
+            for scenario in STANDARD_SCENARIOS:
+                results = run_scenario(scenario, device, pairs)
+                summary = summarize(results)
+                if summary is not None:
+                    summaries[(device.name, scenario.name)] = summary
+        return summaries
+
+    summaries = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    lines = ["Table 4: scenario-driven battery discharge (mAh)",
+             "device  scenario   n     avg          median      min         max"]
+    for (device, scenario), summary in summaries.items():
+        lines.append(
+            f"{device:<7} {scenario:<9} {summary.model_count:<5} "
+            f"{summary.mean_mah:>9.3f} +-{summary.std_mah:<9.3f} "
+            f"{summary.median_mah:>9.3f} {summary.min_mah:>10.4f} {summary.max_mah:>10.3f}")
+    lines.append("")
+    lines.append("paper (Q845): Sound R. avg 0.635 mAh, Typing avg 0.075 mAh, "
+                 "Segm. avg 1221.7 mAh")
+    write_result("table4_scenarios", lines)
+
+    # Each board must have the segmentation scenario dominating by orders of
+    # magnitude over typing, with sound recognition in between (Table 4's shape).
+    for device in DEV_BOARDS:
+        segmentation = summaries.get((device.name, "Segm."))
+        typing = summaries.get((device.name, "Typing"))
+        sound = summaries.get((device.name, "Sound R."))
+        if segmentation is None or typing is None:
+            continue
+        assert segmentation.mean_mah > 100 * typing.mean_mah
+        if sound is not None:
+            assert typing.mean_mah < segmentation.mean_mah
+    # Heavy segmentation models can approach a large chunk of a 4000 mAh battery.
+    heaviest = max((s.max_mah for (d, name), s in summaries.items() if name == "Segm."),
+                   default=0.0)
+    assert heaviest > 200.0

@@ -1,0 +1,26 @@
+"""Table 3: DNN task classification of the models found in the wild."""
+
+from conftest import write_result
+
+from repro.core import reports
+
+
+def test_table3_task_classification(benchmark, analysis_2021):
+    """Table 3: model counts per task, grouped by input modality."""
+    table = benchmark(reports.task_classification_table, analysis_2021)
+
+    lines = ["Table 3: DNN task classification"]
+    for modality, tasks in table.items():
+        total = sum(tasks.values())
+        lines.append(f"-- {modality} ({total} models)")
+        for task, count in tasks.items():
+            lines.append(f"   {task:<24} {count:>5} ({100.0 * count / total:.1f}%)")
+    write_result("table3_tasks", lines)
+
+    total_models = sum(count for tasks in table.values() for count in tasks.values())
+    vision_models = sum(table.get("image", {}).values())
+    # Vision dominates (the paper reports > 89% of identified models).
+    assert vision_models / total_models > 0.8
+    # Object detection is the single most common vision task.
+    image_tasks = table.get("image", {})
+    assert max(image_tasks, key=image_tasks.get) == "object detection"

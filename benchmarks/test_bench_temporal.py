@@ -1,0 +1,31 @@
+"""Fig. 5 / Sec. 4.6: temporal analysis across the two snapshots."""
+
+from conftest import write_result
+
+from repro.core.temporal import compare_snapshots
+
+
+def test_fig5_models_added_removed_per_category(benchmark, analysis_2020, analysis_2021):
+    """Fig. 5: individual models removed/added per category between snapshots."""
+    comparison = benchmark(compare_snapshots, analysis_2020, analysis_2021)
+
+    lines = ["Fig. 5: individual models removed/added per category (sorted by net change)"]
+    for churn in comparison.churn_sorted_by_net_change():
+        lines.append(f"{churn.category:<22} added={churn.added:<4} removed={churn.removed:<4} "
+                     f"net={churn.net_change:+d}")
+    lines.append("")
+    lines.append(f"model growth: {comparison.model_growth:.2f}x "
+                 f"({comparison.earlier_total_models} -> {comparison.later_total_models})")
+    lines.append(f"apps w/ frameworks: {comparison.earlier_apps_with_frameworks} -> "
+                 f"{comparison.later_apps_with_frameworks}")
+    lines.append(f"cloud-ML apps growth: {comparison.cloud_growth:.2f}x")
+    lines.append("framework growth: " + ", ".join(
+        f"{fw}={mult:.2f}x" for fw, mult in comparison.framework_growth.items()
+        if mult != float('inf')))
+    write_result("fig5_temporal", lines)
+
+    # Models roughly double within a year; cloud usage grows > 2x (Sec. 4.6).
+    assert comparison.model_growth > 1.5
+    assert comparison.cloud_growth > 1.5
+    assert any(churn.added > 0 for churn in comparison.category_churn)
+    assert any(churn.removed > 0 for churn in comparison.category_churn)

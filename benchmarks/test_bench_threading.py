@@ -1,0 +1,59 @@
+"""Fig. 12: throughput versus thread count and core affinity."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.devices.device import PHONES
+from repro.devices.scheduler import ThreadConfig
+from repro.runtime import Backend, Executor
+
+CONFIGS = (
+    ThreadConfig(2),
+    ThreadConfig(2, 2),
+    ThreadConfig(4),
+    ThreadConfig(4, 2),
+    ThreadConfig(4, 4),
+    ThreadConfig(8),
+    ThreadConfig(8, 4),
+)
+
+
+def test_fig12_throughput_vs_threads_and_affinity(benchmark, unique_graphs):
+    """Fig. 12: optimal thread count varies per device; oversubscription hurts."""
+    models = [g for g in unique_graphs if g.framework == "tflite"][:25]
+
+    def sweep():
+        table = {}
+        for device in PHONES:
+            executor = Executor(device, seed=0)
+            for config in CONFIGS:
+                results = executor.run_many(models, Backend.CPU, threads=config,
+                                            num_inferences=2)
+                table[(device.name, config.label)] = float(
+                    np.mean([r.throughput_ips for r in results]))
+        return table
+
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    lines = ["Fig. 12: mean throughput (inf/s) per thread/affinity configuration",
+             "device  " + "  ".join(f"{c.label:>6}" for c in CONFIGS)]
+    best = {}
+    for device in PHONES:
+        row = "  ".join(f"{table[(device.name, c.label)]:6.1f}" for c in CONFIGS)
+        lines.append(f"{device.name:<7} {row}")
+        plain = {c.label: table[(device.name, c.label)] for c in CONFIGS if c.affinity is None}
+        best[device.name] = max(plain, key=plain.get)
+    lines.append("")
+    lines.append(f"best plain thread count per device: {best} (paper: A20=4, A70=2, S21=4)")
+    write_result("fig12_threading", lines)
+
+    # Per-device optima from the paper.
+    assert best["A20"] == "4"
+    assert best["A70"] == "2"
+    assert best["S21"] == "4"
+    for device in PHONES:
+        # Oversubscription (4a2, 8a4) degrades performance badly.
+        assert table[(device.name, "4a2")] < table[(device.name, "2")]
+        assert table[(device.name, "8a4")] < table[(device.name, "4")]
+        # Pinning to the same number of cores gives no gain.
+        assert table[(device.name, "4a4")] <= table[(device.name, "4")] * 1.01

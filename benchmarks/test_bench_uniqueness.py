@@ -1,0 +1,39 @@
+"""Sec. 4.5: model uniqueness and fine-tuning analysis."""
+
+from conftest import write_result
+
+from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
+
+
+def test_uniqueness_analysis(benchmark, analysis_2021):
+    """Only a small fraction of model instances are unique; most are shared."""
+    report = benchmark(analyze_uniqueness, analysis_2021.models)
+    lines = [
+        "Sec. 4.5: model uniqueness",
+        f"total model instances  : {report.total_models}",
+        f"unique models          : {report.unique_models} ({100 * report.unique_fraction:.1f}%)",
+        f"instances shared across apps: {report.models_shared_across_apps} "
+        f"({100 * report.shared_fraction:.1f}%)",
+        "most duplicated models : " + ", ".join(
+            f"{name} (x{count})" for name, count in report.most_duplicated),
+    ]
+    write_result("sec45_uniqueness", lines)
+    assert report.unique_fraction < 0.5
+    assert report.shared_fraction > 0.4
+
+
+def test_finetuning_analysis(benchmark, analysis_2021):
+    """A small fraction of unique models are fine-tuned derivatives of another."""
+    report = benchmark.pedantic(analyze_finetuning, args=(analysis_2021.models,),
+                                iterations=1, rounds=1)
+    lines = [
+        "Sec. 4.5: fine-tuning (layer-level checksums)",
+        f"unique models                     : {report.unique_models}",
+        f"sharing >= 20% of weights         : {report.models_sharing_weights} "
+        f"({100 * report.sharing_fraction:.2f}%)",
+        f"differing in <= 3 layers          : {report.models_differing_few_layers} "
+        f"({100 * report.few_layer_fraction:.2f}%)",
+    ]
+    write_result("sec45_finetuning", lines)
+    assert 0.0 < report.sharing_fraction < 0.5
+    assert report.few_layer_fraction <= report.sharing_fraction

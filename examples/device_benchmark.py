@@ -1,0 +1,60 @@
+"""Benchmark wild models across the paper's device fleet (Figs. 8-10 workflow).
+
+Extracts the unique models from a synthetic snapshot and runs them through the
+master-slave benchmark workflow on every Table 1 device, reporting per-device
+latency ECDF summaries and, for the open-deck boards, energy and efficiency.
+
+    python examples/device_benchmark.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import GaugeNN
+from repro.android import AppGenerator, GeneratorConfig, PlayStore
+from repro.core.benchmarker import DeviceBenchmarker
+from repro.core import reports
+from repro.devices import DEVICE_FLEET, DEV_BOARDS
+from repro.runtime import Backend
+
+
+def main(scale: float = 0.05) -> None:
+    snapshot = AppGenerator(GeneratorConfig.snapshot_2021(scale=scale)).generate()
+    analysis = GaugeNN(PlayStore([snapshot])).analyze_snapshot("2021")
+    graphs = GaugeNN.unique_graphs(analysis)
+    print(f"Benchmarking {len(graphs)} unique models on {len(DEVICE_FLEET)} devices ...")
+
+    results_by_device = {}
+    for device in DEVICE_FLEET:
+        benchmarker = DeviceBenchmarker(device)
+        records = benchmarker.run_suite(graphs, backend=Backend.CPU, num_inferences=3)
+        results_by_device[device.name] = [record.result for record in records]
+
+    print()
+    print("=== Latency per device (Fig. 9) ===")
+    ecdfs = reports.latency_ecdf_by_device(results_by_device)
+    print(f"{'device':<8}{'mean ms':>10}{'median ms':>12}{'p90 ms':>10}")
+    for name, ecdf in ecdfs.items():
+        print(f"{name:<8}{np.mean(ecdf.values):>10.1f}{ecdf.median:>12.1f}"
+              f"{ecdf.quantile(0.9):>10.1f}")
+
+    print()
+    print("=== Energy / power / efficiency on the boards (Fig. 10) ===")
+    board_results = {d.name: results_by_device[d.name] for d in DEV_BOARDS}
+    table = reports.energy_distributions(board_results)
+    print(f"{'board':<8}{'energy mJ':>12}{'power W':>10}{'MFLOP/sW':>12}")
+    for name, row in table.items():
+        print(f"{name:<8}{row['energy_median_mj']:>12.1f}{row['power_median_w']:>10.2f}"
+              f"{row['efficiency_median_mflops_per_sw']:>12.0f}")
+
+    slow = np.mean(ecdfs["A20"].values) / np.mean(ecdfs["S21"].values)
+    print()
+    print(f"The low-tier A20 is {slow:.1f}x slower than the S21 across the model set "
+          "(the paper reports 3.4x).")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

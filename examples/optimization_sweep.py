@@ -1,0 +1,69 @@
+"""Explore deployment optimisations for a single model (Sec. 6 of the paper).
+
+Takes an off-the-shelf detector and reports what each knob available to a
+mobile developer buys on a Snapdragon 845 board: backend choice (CPU, XNNPACK,
+NNAPI, GPU, SNPE CPU/GPU/DSP), thread count / affinity, batch size and
+post-training quantisation.
+
+    python examples/optimization_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.devices import ThreadConfig, device_by_name
+from repro.dnn.quantization import QuantizationScheme, quantize
+from repro.dnn.zoo import fssd
+from repro.runtime import Backend, Executor, UnsupportedModelError
+
+
+def main() -> None:
+    device = device_by_name("Q845")
+    executor = Executor(device, seed=0)
+    model = fssd(resolution=300)
+    print(f"Model: {model.name}  ({model.total_flops() / 1e9:.2f} GFLOPs, "
+          f"{model.total_parameters() / 1e6:.1f}M parameters)")
+    print(f"Device: {device.name} ({device.soc.name})")
+
+    print()
+    print("=== Backends (Figs. 13-14) ===")
+    baseline = executor.run(model, Backend.CPU)
+    print(f"{'backend':<10}{'latency ms':>12}{'energy mJ':>12}{'speedup':>9}{'efficiency':>12}")
+    for backend in Backend:
+        try:
+            result = executor.run(model, backend)
+        except UnsupportedModelError as error:
+            print(f"{backend.value:<10}  unsupported ({error})")
+            continue
+        speedup = baseline.latency_ms / result.latency_ms
+        efficiency = result.efficiency_mflops_per_sw / baseline.efficiency_mflops_per_sw
+        print(f"{backend.value:<10}{result.latency_ms:>12.1f}{result.energy_mj:>12.1f}"
+              f"{speedup:>8.2f}x{efficiency:>11.2f}x")
+
+    print()
+    print("=== Thread count and affinity (Fig. 12) ===")
+    configs = [ThreadConfig(t) for t in (1, 2, 4, 8)] + [ThreadConfig(4, 2), ThreadConfig(4, 4)]
+    for config in configs:
+        result = executor.run(model, Backend.CPU, threads=config)
+        print(f"threads={config.label:<5} latency {result.latency_ms:7.1f} ms  "
+              f"throughput {result.throughput_ips:6.1f} inf/s")
+
+    print()
+    print("=== Batch size (Fig. 11) ===")
+    for batch in (1, 2, 5, 10, 25):
+        result = executor.run(model, Backend.CPU, batch_size=batch)
+        print(f"batch={batch:<3} latency {result.latency_ms:8.1f} ms  "
+              f"throughput {result.throughput_ips:6.1f} samples/s")
+
+    print()
+    print("=== Quantisation (Sec. 6.1) on the DSP ===")
+    quantized = quantize(model, QuantizationScheme.FULL_INT8)
+    cpu_fp32 = executor.run(model, Backend.CPU)
+    dsp_int8 = executor.run(quantized, Backend.SNPE_DSP)
+    print(f"float32 on CPU : {cpu_fp32.latency_ms:7.1f} ms, {cpu_fp32.energy_mj:7.1f} mJ")
+    print(f"int8 on DSP    : {dsp_int8.latency_ms:7.1f} ms, {dsp_int8.energy_mj:7.1f} mJ "
+          f"({cpu_fp32.latency_ms / dsp_int8.latency_ms:.1f}x faster, "
+          f"{cpu_fp32.energy_mj / dsp_int8.energy_mj:.1f}x less energy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: crawl a synthetic Play Store snapshot and characterise its DNNs.
+
+Runs the full gaugeNN pipeline end to end on a small synthetic store (3% of
+the paper's dataset size so it finishes in a few seconds), then prints the
+headline numbers of the paper's Table 2 plus the framework and task mix.
+
+    python examples/quickstart.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GaugeNN
+from repro.android import AppGenerator, GeneratorConfig, PlayStore
+from repro.core import reports
+
+
+def main(scale: float = 0.03) -> None:
+    print(f"Generating a synthetic Google Play snapshot at scale {scale} ...")
+    snapshot = AppGenerator(GeneratorConfig.snapshot_2021(scale=scale)).generate()
+    store = PlayStore([snapshot])
+
+    print("Running gaugeNN: crawl -> download -> extract -> validate -> analyse ...")
+    analysis = GaugeNN(store).analyze_snapshot("2021")
+
+    row = reports.dataset_table(analysis)
+    print()
+    print("=== Dataset (Table 2 shape) ===")
+    print(f"Total apps crawled   : {row.total_apps}")
+    print(f"Apps with frameworks : {row.apps_with_frameworks} ({row.apps_with_frameworks_pct:.1f}%)")
+    print(f"Apps with models     : {row.apps_with_models} ({row.apps_with_models_pct:.1f}%)")
+    print(f"Total models         : {row.total_models}")
+    print(f"Unique models        : {row.unique_models} ({row.unique_models_pct:.1f}%)")
+
+    print()
+    print("=== Models per framework (Fig. 4 totals) ===")
+    for framework, count in sorted(analysis.models_by_framework().items(),
+                                   key=lambda item: -item[1]):
+        print(f"{framework:<8} {count}")
+
+    print()
+    print("=== Top tasks (Table 3) ===")
+    for task, count in sorted(analysis.models_by_task().items(), key=lambda i: -i[1])[:8]:
+        print(f"{task:<24} {count}")
+
+    print()
+    print("=== Cloud ML API usage (Fig. 15) ===")
+    cloud_apps = analysis.apps_using_cloud()
+    print(f"Apps invoking cloud ML APIs: {len(cloud_apps)}")
+    for api, entry in list(reports.cloud_api_usage(analysis).items())[:5]:
+        print(f"{api:<35} {entry['provider']:<7} {entry['apps']} apps")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.03)

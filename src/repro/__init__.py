@@ -1,0 +1,25 @@
+"""Reproduction of "Smart at what cost? Characterising Mobile DNNs in the wild" (IMC 2021).
+
+The package is organised as a set of substrates (``dnn``, ``formats``,
+``android``, ``devices``, ``runtime``) plus the paper's primary contribution,
+the gaugeNN measurement pipeline, in ``core``.
+"""
+
+from typing import Any
+
+__all__ = ["GaugeNN", "PipelineConfig"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily expose the top-level gaugeNN entry points.
+
+    Importing them lazily keeps ``import repro.dnn`` (and friends) cheap and
+    avoids importing the whole pipeline for users who only need a substrate.
+    """
+    if name in __all__:
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,17 @@
+"""Statistical helpers used by the reports and benchmark harness."""
+
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.stats import (
+    geometric_mean,
+    kernel_density,
+    remove_outliers_iqr,
+    summary_statistics,
+)
+
+__all__ = [
+    "Ecdf",
+    "geometric_mean",
+    "kernel_density",
+    "remove_outliers_iqr",
+    "summary_statistics",
+]

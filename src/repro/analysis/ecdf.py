@@ -1,0 +1,55 @@
+"""Empirical cumulative distribution functions (Figs. 9, 13, 14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Ecdf"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a sample of values."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("Ecdf requires at least one value")
+        object.__setattr__(self, "values", tuple(sorted(float(v) for v in self.values)))
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Ecdf":
+        """Build an ECDF from an iterable of samples."""
+        return cls(tuple(samples))
+
+    def __call__(self, value: float) -> float:
+        """Fraction of the sample less than or equal to ``value``."""
+        return float(np.searchsorted(self.values, value, side="right")) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Value below which a fraction ``q`` of the sample lies."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """Sample median."""
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(np.mean(self.values))
+
+    def curve(self, num_points: int = 100) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(x, y) points of the ECDF curve, suitable for plotting or printing."""
+        if num_points <= 1:
+            raise ValueError("num_points must be greater than 1")
+        xs = np.linspace(self.values[0], self.values[-1], num_points)
+        ys = [self(x) for x in xs]
+        return tuple(float(x) for x in xs), tuple(ys)

@@ -1,0 +1,81 @@
+"""Summary statistics, outlier handling and kernel density estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["summary_statistics", "remove_outliers_iqr", "geometric_mean", "kernel_density"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean/median/min/max/std of a sample (the shape of the paper's Table 4 rows)."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summary_statistics(values: Iterable[float]) -> SummaryStatistics:
+    """Compute the summary statistics of a sample."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStatistics(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        median=float(np.median(data)),
+        std=float(np.std(data, ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+    )
+
+
+def remove_outliers_iqr(values: Iterable[float], factor: float = 1.5) -> list[float]:
+    """Drop values outside ``[Q1 - factor*IQR, Q3 + factor*IQR]``.
+
+    The paper removes outliers before reporting the Fig. 10c efficiency
+    medians; this is the standard Tukey fence they imply.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return []
+    q1, q3 = np.percentile(data, [25, 75])
+    iqr = q3 - q1
+    low, high = q1 - factor * iqr, q3 + factor * iqr
+    return [float(v) for v in data if low <= v <= high]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot average an empty sample")
+    if np.any(data <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def kernel_density(values: Iterable[float], num_points: int = 100,
+                   log_scale: bool = False) -> tuple[list[float], list[float]]:
+    """Gaussian kernel density estimate, as drawn over the Fig. 10 histograms."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 2:
+        raise ValueError("kernel density requires at least two samples")
+    if log_scale:
+        if np.any(data <= 0):
+            raise ValueError("log-scale KDE requires positive values")
+        data = np.log10(data)
+    kde = scipy_stats.gaussian_kde(data)
+    xs = np.linspace(float(np.min(data)), float(np.max(data)), num_points)
+    ys = kde(xs)
+    if log_scale:
+        xs = np.power(10.0, xs)
+    return [float(x) for x in xs], [float(y) for y in ys]

@@ -1,0 +1,34 @@
+"""Android substrate: app packages, code, the Play Store and the app generator.
+
+This subpackage stands in for the parts of the study we cannot access offline:
+the Google Play Store, the APK/OBB/App-Bundle packaging machinery and the
+compiled app code gaugeNN decompiles.  The synthetic population generator
+(:mod:`repro.android.appgen`) produces store snapshots whose DNN adoption
+statistics are calibrated to the paper's Tables 2-3 and Figs. 4-5, so the
+measurement pipeline downstream exercises the same code paths it would on the
+real store.
+"""
+
+from repro.android.apk import AppPackage, ApkBuilder, ExpansionFile, AssetPack, APK_SIZE_LIMIT
+from repro.android.dex import DexFile, SmaliClass, SmaliMethod
+from repro.android.manifest import AndroidManifest
+from repro.android.playstore import PlayStore, PlayStoreListing, StoreSnapshot, CATEGORIES
+from repro.android.appgen import AppGenerator, GeneratorConfig
+
+__all__ = [
+    "AppPackage",
+    "ApkBuilder",
+    "ExpansionFile",
+    "AssetPack",
+    "APK_SIZE_LIMIT",
+    "DexFile",
+    "SmaliClass",
+    "SmaliMethod",
+    "AndroidManifest",
+    "PlayStore",
+    "PlayStoreListing",
+    "StoreSnapshot",
+    "CATEGORIES",
+    "AppGenerator",
+    "GeneratorConfig",
+]

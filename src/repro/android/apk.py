@@ -1,0 +1,162 @@
+"""APK packaging, expansion files (OBB) and App Bundle asset packs.
+
+Android apps are zip archives (apk) with a 100 MB size limit; larger assets
+(such as DNN weights) can be shipped via expansion files (OBBs) or through
+Android App Bundles / Play Asset Delivery (Sec. 3.1).  gaugeNN extracts files
+from all three sources, so the packaging substrate models them explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.android.dex import DexFile
+from repro.android.manifest import AndroidManifest
+
+__all__ = ["APK_SIZE_LIMIT", "ExpansionFile", "AssetPack", "AppPackage", "ApkBuilder"]
+
+#: Google Play's size limit for the base apk, in bytes.
+APK_SIZE_LIMIT = 100 * 1024 * 1024
+
+
+def _build_zip(entries: Mapping[str, bytes]) -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", compression=zipfile.ZIP_STORED) as archive:
+        for name in sorted(entries):
+            archive.writestr(name, entries[name])
+    return buffer.getvalue()
+
+
+def _read_zip(data: bytes) -> dict[str, bytes]:
+    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+        return {name: archive.read(name) for name in archive.namelist()}
+
+
+@dataclass(frozen=True)
+class ExpansionFile:
+    """An OBB expansion file hosted by Google Play alongside the apk."""
+
+    name: str
+    data: bytes
+
+    def entries(self) -> dict[str, bytes]:
+        """Files contained in the expansion archive."""
+        return _read_zip(self.data)
+
+
+@dataclass(frozen=True)
+class AssetPack:
+    """A Play-Asset-Delivery asset pack from an Android App Bundle."""
+
+    name: str
+    delivery_mode: str
+    data: bytes
+
+    def entries(self) -> dict[str, bytes]:
+        """Files contained in the asset pack."""
+        return _read_zip(self.data)
+
+
+@dataclass(frozen=True)
+class AppPackage:
+    """Everything Google Play serves for one app: apk, OBBs and asset packs."""
+
+    package_name: str
+    apk: bytes
+    expansions: tuple[ExpansionFile, ...] = ()
+    asset_packs: tuple[AssetPack, ...] = ()
+
+    @property
+    def apk_size(self) -> int:
+        """Size of the base apk in bytes."""
+        return len(self.apk)
+
+    def apk_entries(self) -> dict[str, bytes]:
+        """Files inside the base apk."""
+        return _read_zip(self.apk)
+
+    def all_files(self) -> dict[str, bytes]:
+        """Every file across apk, expansion files and asset packs.
+
+        Keys are prefixed with their source (``apk/``, ``obb/<name>/``,
+        ``pack/<name>/``) so the extractor can report where a model came from.
+        """
+        files = {f"apk/{name}": data for name, data in self.apk_entries().items()}
+        for expansion in self.expansions:
+            for name, data in expansion.entries().items():
+                files[f"obb/{expansion.name}/{name}"] = data
+        for pack in self.asset_packs:
+            for name, data in pack.entries().items():
+                files[f"pack/{pack.name}/{name}"] = data
+        return files
+
+
+class ApkBuilder:
+    """Assemble an :class:`AppPackage` from manifest, code, libraries and assets.
+
+    Assets that would push the base apk over the 100 MB limit are
+    automatically spilled into an OBB expansion file, mirroring how real apps
+    ship oversized DNN weights.
+    """
+
+    def __init__(self, manifest: AndroidManifest, dex: DexFile | None = None) -> None:
+        self.manifest = manifest
+        self.dex = dex or DexFile()
+        self._assets: dict[str, bytes] = {}
+        self._native_libs: dict[str, bytes] = {}
+        self._resources: dict[str, bytes] = {}
+        self._asset_packs: list[AssetPack] = []
+
+    def add_asset(self, path: str, data: bytes) -> None:
+        """Add a file under ``assets/`` in the base apk (or OBB if oversized)."""
+        self._assets[path] = data
+
+    def add_native_library(self, library_name: str, abi: str = "arm64-v8a",
+                           data: bytes = b"\x7fELF\x02\x01\x01") -> None:
+        """Add a native library under ``lib/<abi>/``."""
+        self._native_libs[f"lib/{abi}/{library_name}"] = data
+
+    def add_resource(self, path: str, data: bytes) -> None:
+        """Add a file under ``res/``."""
+        self._resources[f"res/{path}"] = data
+
+    def add_asset_pack(self, name: str, files: Mapping[str, bytes],
+                       delivery_mode: str = "on-demand") -> None:
+        """Attach a Play-Asset-Delivery pack with the given files."""
+        self._asset_packs.append(AssetPack(name, delivery_mode, _build_zip(dict(files))))
+
+    def build(self) -> AppPackage:
+        """Assemble the final package, spilling oversized assets into an OBB."""
+        entries: dict[str, bytes] = {
+            "AndroidManifest.xml": self.manifest.to_xml().encode(),
+            "classes.dex": self.dex.to_bytes(),
+            "resources.arsc": b"\x02\x00\x0c\x00",
+        }
+        entries.update(self._native_libs)
+        entries.update(self._resources)
+
+        base_size = sum(len(data) for data in entries.values())
+        in_apk: dict[str, bytes] = {}
+        overflow: dict[str, bytes] = {}
+        for path, data in sorted(self._assets.items(), key=lambda item: len(item[1])):
+            if base_size + len(data) <= APK_SIZE_LIMIT:
+                in_apk[f"assets/{path}"] = data
+                base_size += len(data)
+            else:
+                overflow[path] = data
+        entries.update(in_apk)
+
+        expansions: tuple[ExpansionFile, ...] = ()
+        if overflow:
+            obb_name = f"main.{self.manifest.version_code}.{self.manifest.package}.obb"
+            expansions = (ExpansionFile(obb_name, _build_zip(overflow)),)
+
+        return AppPackage(
+            package_name=self.manifest.package,
+            apk=_build_zip(entries),
+            expansions=expansions,
+            asset_packs=tuple(self._asset_packs),
+        )

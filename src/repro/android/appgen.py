@@ -1,0 +1,636 @@
+"""Synthetic Play Store population generator, calibrated to the paper's dataset.
+
+The generator produces :class:`~repro.android.playstore.StoreSnapshot` objects
+whose aggregate statistics match the paper's two crawls (Table 2): total app
+count, apps shipping ML frameworks, apps with extractable models, total and
+unique model counts, per-framework and per-category model distributions
+(Fig. 4), task mix (Table 3, via the zoo catalogue weights), fine-tuning and
+duplication rates (Sec. 4.5), optimisation adoption (Sec. 6.1), accelerator
+traces (Sec. 6.3) and cloud-API usage (Fig. 15).
+
+Everything is driven by a single RNG seed, so a snapshot is fully
+reproducible, and the pool of *unique* models is shared between snapshots so
+the temporal analysis (Fig. 5) sees genuinely added/removed/retained models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.android.apk import ApkBuilder, AppPackage
+from repro.android.cloud_apis import API_APP_WEIGHTS, CLOUD_APIS, CloudApi, apis_for_provider
+from repro.android.dex import DexFile
+from repro.android.manifest import AndroidManifest
+from repro.android.nativelibs import ACCELERATOR_NATIVE_LIBS, libraries_for_framework
+from repro.android.playstore import CATEGORIES, PlayStoreListing, StoreSnapshot
+from repro.dnn import finetune
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer
+from repro.dnn.quantization import QuantizationScheme, quantize
+from repro.dnn.zoo.catalog import CATALOG, ArchitectureEntry, TASK_WEIGHTS, build
+from repro.formats.artifact import ModelArtifact
+from repro.formats.serialize import serialize_model
+
+__all__ = ["GeneratorConfig", "AppGenerator", "ModelSpec", "ModelPool",
+           "CATEGORY_MODEL_WEIGHTS_2021", "CATEGORY_MODEL_WEIGHTS_2020"]
+
+#: Relative number of DNN models per Play category in the 2021 snapshot
+#: (shaped after Fig. 4: communication and finance lead, photography next).
+CATEGORY_MODEL_WEIGHTS_2021: dict[str, float] = {
+    "COMMUNICATION": 160, "FINANCE": 140, "PHOTOGRAPHY": 125,
+    "TRAVEL_AND_LOCAL": 95, "BEAUTY": 88, "SOCIAL": 78, "DATING": 62,
+    "MEDICAL": 60, "FOOD_AND_DRINK": 56, "SHOPPING": 52,
+    "AUTO_AND_VEHICLES": 48, "BUSINESS": 44, "PARENTING": 40,
+    "PRODUCTIVITY": 38, "LIFESTYLE": 34, "EDUCATION": 32, "SPORTS": 28,
+    "ENTERTAINMENT": 26, "HOUSE_AND_HOME": 24, "LIBRARIES_AND_DEMO": 22,
+    "TOOLS": 21, "GAME": 14, "HEALTH_AND_FITNESS": 13,
+    "MAPS_AND_NAVIGATION": 11, "NEWS_AND_MAGAZINES": 9, "VIDEO_PLAYERS": 8,
+    "ART_AND_DESIGN": 7, "EVENTS": 6, "COMICS": 5, "BOOKS_AND_REFERENCE": 5,
+    "PERSONALIZATION": 4, "FAMILY": 4, "ANDROID_WEAR": 3,
+}
+
+#: 2020 snapshot weights: photography leads, communication/finance smaller —
+#: the shift between the two is what Fig. 5 plots.
+CATEGORY_MODEL_WEIGHTS_2020: dict[str, float] = {
+    "PHOTOGRAPHY": 120, "BEAUTY": 70, "COMMUNICATION": 55, "SOCIAL": 52,
+    "FINANCE": 45, "TRAVEL_AND_LOCAL": 42, "SHOPPING": 35, "DATING": 30,
+    "PRODUCTIVITY": 28, "LIFESTYLE": 40, "FOOD_AND_DRINK": 34,
+    "AUTO_AND_VEHICLES": 22, "BUSINESS": 20, "PARENTING": 16, "MEDICAL": 15,
+    "EDUCATION": 18, "SPORTS": 14, "ENTERTAINMENT": 16, "HOUSE_AND_HOME": 10,
+    "LIBRARIES_AND_DEMO": 10, "TOOLS": 14, "GAME": 10, "HEALTH_AND_FITNESS": 8,
+    "MAPS_AND_NAVIGATION": 7, "NEWS_AND_MAGAZINES": 8, "VIDEO_PLAYERS": 7,
+    "ART_AND_DESIGN": 5, "EVENTS": 4, "COMICS": 3, "BOOKS_AND_REFERENCE": 4,
+    "PERSONALIZATION": 3, "FAMILY": 6, "ANDROID_WEAR": 6,
+}
+
+#: Framework share of the models found in each snapshot (Sec. 4.3 / 4.6).
+FRAMEWORK_FRACTIONS_2021: dict[str, float] = {
+    "tflite": 0.8619, "caffe": 0.1056, "ncnn": 0.0276, "tf": 0.0030, "snpe": 0.0018,
+}
+FRAMEWORK_FRACTIONS_2020: dict[str, float] = {
+    "tflite": 0.8160, "caffe": 0.1270, "ncnn": 0.0475, "tf": 0.0110, "snpe": 0.0,
+}
+
+_GENERIC_MODEL_STEMS = ("model", "graph", "net", "data", "frozen_graph", "predictor",
+                        "detector_v2", "module")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Definition of one *unique* model in the shared pool."""
+
+    pool_index: int
+    entry_index: int
+    variant: str
+    framework: str
+    weight_seed: int
+    file_stem: str
+    quantization: Optional[str] = None
+    sparsity: float = 0.0
+    finetuned_from: Optional[int] = None
+    finetune_layers: int = 0
+
+    @property
+    def entry(self) -> ArchitectureEntry:
+        """Catalogue entry this spec instantiates."""
+        return CATALOG[self.entry_index]
+
+    @property
+    def task(self) -> str:
+        """Task label of the underlying architecture."""
+        return self.entry.task
+
+
+class ModelPool:
+    """Deterministic pool of unique model definitions shared across snapshots.
+
+    Pool entry ``i`` is fully determined by ``(pool_seed, i)``, so two
+    snapshots that reference the same index get byte-identical model files —
+    which is what makes the cross-snapshot added/removed analysis meaningful.
+    """
+
+    def __init__(self, pool_seed: int = 7, sparsity_target: float = 0.0315) -> None:
+        self.pool_seed = pool_seed
+        self.sparsity_target = sparsity_target
+        self._entry_weights = self._architecture_weights()
+        self._graph_cache: dict[int, Graph] = {}
+        self._artifact_cache: dict[int, ModelArtifact] = {}
+        self._spec_cache: dict[int, ModelSpec] = {}
+
+    @staticmethod
+    def _architecture_weights() -> np.ndarray:
+        weights = np.array(
+            [TASK_WEIGHTS[entry.task] * entry.popularity for entry in CATALOG],
+            dtype=float,
+        )
+        return weights / weights.sum()
+
+    def spec(self, index: int) -> ModelSpec:
+        """Deterministically derive the spec for pool entry ``index``."""
+        if index in self._spec_cache:
+            return self._spec_cache[index]
+        rng = np.random.default_rng((self.pool_seed, index))
+        entry_index = self._entry_index_for(index, rng)
+        entry = CATALOG[entry_index]
+        variant = str(rng.choice(sorted(entry.size_variants))) if entry.size_variants else ""
+        framework = self._sample_framework(rng)
+
+        # ~67% of model files carry a task-hinting name (Sec. 4.4).
+        if rng.random() < 0.67:
+            file_stem = str(rng.choice(entry.name_templates))
+        else:
+            file_stem = str(rng.choice(_GENERIC_MODEL_STEMS))
+        file_stem = f"{file_stem}_{index}"
+
+        # Quantisation adoption (Sec. 6.1): ~10.3% full-int8 (dequantize layer
+        # + int8 activations), another ~10% weight-only int8.
+        draw = rng.random()
+        if draw < 0.103:
+            quantization: Optional[str] = QuantizationScheme.FULL_INT8.value
+        elif draw < 0.2027:
+            quantization = QuantizationScheme.WEIGHT_ONLY.value
+        else:
+            quantization = None
+
+        sparsity = float(np.clip(rng.normal(self.sparsity_target, 0.01), 0.0, 0.15))
+
+        # Fine-tuning (Sec. 4.5): ~9% of unique models are derivatives of an
+        # earlier pool entry; roughly half of those differ in <= 3 layers.
+        finetuned_from: Optional[int] = None
+        finetune_layers = 0
+        if index > 4 and rng.random() < 0.0902:
+            finetuned_from = int(rng.integers(0, index))
+            if rng.random() < 0.047 / 0.0902:
+                finetune_layers = int(rng.integers(1, 4))
+            else:
+                finetune_layers = int(rng.integers(4, 9))
+
+        spec = ModelSpec(
+            pool_index=index,
+            entry_index=entry_index,
+            variant=variant,
+            framework=framework,
+            weight_seed=int(rng.integers(0, 2**31 - 1)),
+            file_stem=file_stem,
+            quantization=quantization,
+            sparsity=sparsity,
+            finetuned_from=finetuned_from,
+            finetune_layers=finetune_layers,
+        )
+        self._spec_cache[index] = spec
+        return spec
+
+    def _entry_index_for(self, index: int, rng: np.random.Generator) -> int:
+        """Pick the architecture for pool entry ``index``.
+
+        The first pool entries cover every Table 3 task once, ordered by the
+        task's popularity (so even a heavily-scaled-down snapshot contains all
+        modalities, as the real dataset does); later entries sample by the
+        task-weighted popularity distribution.
+        """
+        tasks_by_weight = sorted(TASK_WEIGHTS, key=lambda task: -TASK_WEIGHTS[task])
+        if index < len(tasks_by_weight):
+            task = tasks_by_weight[index]
+            candidates = [i for i, entry in enumerate(CATALOG) if entry.task == task]
+            popularity = np.array([CATALOG[i].popularity for i in candidates], float)
+            popularity /= popularity.sum()
+            return int(rng.choice(candidates, p=popularity))
+        return int(rng.choice(len(CATALOG), p=self._entry_weights))
+
+    @staticmethod
+    def _sample_framework(rng: np.random.Generator) -> str:
+        names = list(FRAMEWORK_FRACTIONS_2021)
+        probabilities = np.array([FRAMEWORK_FRACTIONS_2021[name] for name in names])
+        probabilities = probabilities / probabilities.sum()
+        return str(rng.choice(names, p=probabilities))
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def graph(self, index: int) -> Graph:
+        """Build (and cache) the graph for pool entry ``index``."""
+        if index in self._graph_cache:
+            return self._graph_cache[index]
+        spec = self.spec(index)
+        if spec.finetuned_from is not None:
+            base = self.graph(spec.finetuned_from)
+            graph = finetune.finetune_last_layers(
+                base, num_layers=max(1, min(spec.finetune_layers,
+                                            sum(1 for l in base.layers if l.weights))),
+                seed_offset=spec.pool_index + 1,
+                name=spec.file_stem,
+            )
+            graph = graph.with_metadata(framework=spec.framework)
+        else:
+            graph = build(
+                spec.entry,
+                name=spec.file_stem,
+                variant=spec.variant or None,
+                framework=spec.framework,
+                weight_seed=spec.weight_seed,
+            )
+            graph = self._apply_sparsity(graph, spec.sparsity)
+            if spec.quantization is not None:
+                graph = quantize(graph, QuantizationScheme(spec.quantization))
+        self._graph_cache[index] = graph
+        return graph
+
+    def artifact(self, index: int) -> ModelArtifact:
+        """Serialise (and cache) the model files for pool entry ``index``."""
+        if index in self._artifact_cache:
+            return self._artifact_cache[index]
+        spec = self.spec(index)
+        artifact = serialize_model(self.graph(index), spec.framework, spec.file_stem)
+        self._artifact_cache[index] = artifact
+        return artifact
+
+    @staticmethod
+    def _apply_sparsity(graph: Graph, sparsity: float) -> Graph:
+        if sparsity <= 0.0:
+            return graph
+
+        def convert(layer: Layer) -> Layer:
+            if not layer.weights:
+                return layer
+            return Layer(
+                name=layer.name,
+                op=layer.op,
+                inputs=layer.inputs,
+                output_spec=layer.output_spec,
+                weights=tuple(w.with_sparsity(sparsity) for w in layer.weights),
+                attrs=dict(layer.attrs),
+                activation_dtype=layer.activation_dtype,
+                fused_activation=layer.fused_activation,
+            )
+
+        return graph.map_layers(convert)
+
+
+@dataclass
+class GeneratorConfig:
+    """Target statistics for one synthetic snapshot.
+
+    The defaults of :meth:`snapshot_2021` and :meth:`snapshot_2020` encode the
+    paper's Table 2 numbers; ``scale`` shrinks every count proportionally so
+    tests can run on a miniature store while benchmarks run at full size.
+    """
+
+    label: str
+    date: str
+    total_apps: int
+    apps_with_models: int
+    apps_with_frameworks: int
+    total_models: int
+    unique_models: int
+    category_weights: Mapping[str, float]
+    cloud_api_apps: int
+    cloud_google_fraction: float
+    nnapi_apps: int
+    xnnpack_apps: int
+    snpe_apps: int
+    pool_seed: int = 7
+    seed: int = 2021
+    scale: float = 1.0
+    pool_start: int = 0
+    retained_pool_range: Optional[tuple[int, int]] = None
+    retained_fraction: float = 0.65
+
+    @classmethod
+    def snapshot_2021(cls, scale: float = 1.0) -> "GeneratorConfig":
+        """Configuration matching the 4th of April 2021 crawl (Table 2)."""
+        return cls(
+            label="2021",
+            date="2021-04-04",
+            total_apps=16653,
+            apps_with_models=342,
+            apps_with_frameworks=377,
+            total_models=1666,
+            unique_models=318,
+            category_weights=CATEGORY_MODEL_WEIGHTS_2021,
+            cloud_api_apps=524,
+            cloud_google_fraction=452 / 524,
+            nnapi_apps=71,
+            xnnpack_apps=1,
+            snpe_apps=3,
+            seed=2021,
+            scale=scale,
+            pool_start=129,
+            retained_pool_range=(0, 129),
+            retained_fraction=0.65,
+        )
+
+    @classmethod
+    def snapshot_2020(cls, scale: float = 1.0) -> "GeneratorConfig":
+        """Configuration matching the 14th of February 2020 crawl (Table 2)."""
+        return cls(
+            label="2020",
+            date="2020-02-14",
+            total_apps=16964,
+            apps_with_models=165,
+            apps_with_frameworks=236,
+            total_models=821,
+            unique_models=129,
+            category_weights=CATEGORY_MODEL_WEIGHTS_2020,
+            cloud_api_apps=225,
+            cloud_google_fraction=0.85,
+            nnapi_apps=30,
+            xnnpack_apps=0,
+            snpe_apps=1,
+            seed=2020,
+            scale=scale,
+            pool_start=0,
+            retained_pool_range=None,
+        )
+
+    def scaled(self, count: int, minimum: int = 0) -> int:
+        """Scale a target count by the configured scale factor."""
+        if self.scale >= 1.0:
+            return count
+        return max(minimum, int(round(count * self.scale)))
+
+
+class AppGenerator:
+    """Generates a synthetic store snapshot from a :class:`GeneratorConfig`."""
+
+    def __init__(self, config: GeneratorConfig, pool: Optional[ModelPool] = None) -> None:
+        self.config = config
+        self.pool = pool or ModelPool(pool_seed=config.pool_seed)
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Pool index selection
+    # ------------------------------------------------------------------ #
+    def _select_pool_indices(self) -> list[int]:
+        """Pick which unique models (pool indices) exist in this snapshot."""
+        config = self.config
+        target_unique = config.scaled(config.unique_models, minimum=5)
+        indices: list[int] = []
+        if config.retained_pool_range is not None:
+            low, high = config.retained_pool_range
+            # The previous snapshot only used a scaled prefix of its range, so
+            # retain from that prefix to guarantee genuine cross-snapshot overlap.
+            high = low + config.scaled(high - low, minimum=1)
+            previous = np.arange(low, high)
+            keep = max(1, int(round(len(previous) * config.retained_fraction)))
+            retained = self._rng.choice(previous, size=min(keep, len(previous)),
+                                        replace=False)
+            indices.extend(int(i) for i in sorted(retained))
+        next_index = config.pool_start
+        while len(indices) < target_unique:
+            indices.append(next_index)
+            next_index += 1
+        return indices[:target_unique]
+
+    def _instance_indices(self, pool_indices: Sequence[int]) -> list[int]:
+        """Expand unique models into the full instance list via a Zipf-like law."""
+        config = self.config
+        total_instances = config.scaled(config.total_models, minimum=len(pool_indices))
+        ranks = np.arange(1, len(pool_indices) + 1, dtype=float)
+        weights = 1.0 / np.power(ranks, 0.9)
+        weights /= weights.sum()
+        # Every unique model appears at least once; the remainder is sampled
+        # with the skewed popularity so a few off-the-shelf models dominate.
+        instances = list(pool_indices)
+        extra = total_instances - len(pool_indices)
+        if extra > 0:
+            shuffled = self._rng.permutation(pool_indices)
+            sampled = self._rng.choice(shuffled, size=extra, p=weights)
+            instances.extend(int(i) for i in sampled)
+        self._rng.shuffle(instances)
+        return instances
+
+    # ------------------------------------------------------------------ #
+    # App assembly helpers
+    # ------------------------------------------------------------------ #
+    def _listing(self, package: str, title: str, category: str,
+                 rank: int) -> PlayStoreListing:
+        downloads = int(5e8 / (rank + 1) ** 1.1) + int(self._rng.integers(1000, 100000))
+        rating = float(np.clip(self._rng.normal(4.2, 0.4), 1.0, 5.0))
+        reviews = max(10, int(downloads * float(self._rng.uniform(0.001, 0.01))))
+        return PlayStoreListing(
+            package=package,
+            title=title,
+            category=category,
+            downloads=downloads,
+            rating=round(rating, 2),
+            num_reviews=reviews,
+            developer=f"dev.{package.split('.')[-2]}",
+        )
+
+    @staticmethod
+    def _base_manifest(package: str) -> AndroidManifest:
+        return AndroidManifest(
+            package=package,
+            version_code=1,
+            permissions=("android.permission.INTERNET", "android.permission.CAMERA"),
+        )
+
+    def _ml_app_factory(self, package: str, model_indices: Sequence[int],
+                        accelerators: Sequence[str],
+                        cloud_apis: Sequence[CloudApi]) -> Callable[[], AppPackage]:
+        """Blueprint for an app that ships on-device models."""
+        pool = self.pool
+
+        def factory() -> AppPackage:
+            dex = DexFile()
+            frameworks = set()
+            invocations = []
+            for index in model_indices:
+                spec = pool.spec(index)
+                frameworks.add(spec.framework)
+            if "tflite" in frameworks:
+                invocations.append(
+                    "Lorg/tensorflow/lite/Interpreter;->run(Ljava/lang/Object;Ljava/lang/Object;)V")
+            if "caffe" in frameworks:
+                invocations.append("Lcom/caffe/CaffeMobile;->predictImage(Ljava/lang/String;)[F")
+            if "ncnn" in frameworks:
+                invocations.append("Lcom/tencent/ncnn/Net;->forward(Lcom/tencent/ncnn/Mat;)I")
+            if "snpe" in frameworks:
+                invocations.append(
+                    "Lcom/qualcomm/qti/snpe/NeuralNetwork;->execute(Ljava/util/Map;)Ljava/util/Map;")
+            if "tf" in frameworks:
+                invocations.append(
+                    "Lorg/tensorflow/contrib/android/TensorFlowInferenceInterface;->run([Ljava/lang/String;)V")
+            for accelerator in accelerators:
+                if accelerator == "nnapi":
+                    invocations.append(
+                        "Lorg/tensorflow/lite/nnapi/NnApiDelegate;-><init>()V")
+                elif accelerator == "xnnpack":
+                    invocations.append(
+                        "Lorg/tensorflow/lite/Interpreter$Options;->setUseXNNPACK(Z)Lorg/tensorflow/lite/Interpreter$Options;")
+            for api in cloud_apis:
+                invocations.append(api.example_invocation)
+            dex.add_invocations(f"{package}.MainActivity", invocations)
+
+            builder = ApkBuilder(self._base_manifest(package), dex)
+            for framework in frameworks:
+                for library in libraries_for_framework(framework):
+                    builder.add_native_library(library)
+            for accelerator in accelerators:
+                for library in ACCELERATOR_NATIVE_LIBS.get(accelerator, ())[:1]:
+                    builder.add_native_library(library)
+            for index in model_indices:
+                artifact = pool.artifact(index)
+                for file_name, data in artifact.files.items():
+                    builder.add_asset(f"models/{file_name}", data)
+            return builder.build()
+
+        return factory
+
+    def _framework_only_factory(self, package: str) -> Callable[[], AppPackage]:
+        """Blueprint for an app with ML libraries but obfuscated/remote models."""
+        rng_value = int(self._rng.integers(0, 2**31 - 1))
+
+        def factory() -> AppPackage:
+            dex = DexFile()
+            dex.add_invocations(
+                f"{package}.InferenceService",
+                ("Lorg/tensorflow/lite/Interpreter;->run(Ljava/lang/Object;Ljava/lang/Object;)V",),
+            )
+            builder = ApkBuilder(self._base_manifest(package), dex)
+            for library in libraries_for_framework("tflite"):
+                builder.add_native_library(library)
+            # Encrypted model blob: has a candidate extension but no valid
+            # signature, so validation rejects it (Sec. 3.1 limitations).
+            encrypted = np.random.default_rng(rng_value).integers(
+                0, 256, size=4096, dtype=np.uint8).tobytes()
+            builder.add_asset("models/encrypted_model.tflite", encrypted)
+            return builder.build()
+
+        return factory
+
+    def _cloud_only_factory(self, package: str,
+                            cloud_apis: Sequence[CloudApi]) -> Callable[[], AppPackage]:
+        """Blueprint for an app that only uses cloud ML APIs."""
+        apis = tuple(cloud_apis)
+
+        def factory() -> AppPackage:
+            dex = DexFile()
+            dex.add_invocations(
+                f"{package}.CloudMlClient", tuple(api.example_invocation for api in apis))
+            builder = ApkBuilder(self._base_manifest(package), dex)
+            return builder.build()
+
+        return factory
+
+    def _plain_factory(self, package: str) -> Callable[[], AppPackage]:
+        """Blueprint for an app without any ML usage."""
+
+        def factory() -> AppPackage:
+            dex = DexFile()
+            dex.add_invocations(
+                f"{package}.MainActivity",
+                ("Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V",),
+            )
+            builder = ApkBuilder(self._base_manifest(package), dex)
+            builder.add_resource("layout/activity_main.xml", b"<LinearLayout />")
+            return builder.build()
+
+        return factory
+
+    # ------------------------------------------------------------------ #
+    # Cloud API sampling
+    # ------------------------------------------------------------------ #
+    def _sample_cloud_apis(self, provider: str) -> tuple[CloudApi, ...]:
+        candidates = apis_for_provider(provider)
+        weights = np.array([API_APP_WEIGHTS.get(api.name, 5) for api in candidates], float)
+        weights /= weights.sum()
+        count = int(self._rng.integers(1, 3))
+        chosen = self._rng.choice(len(candidates), size=min(count, len(candidates)),
+                                  replace=False, p=weights)
+        return tuple(candidates[int(i)] for i in chosen)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot generation
+    # ------------------------------------------------------------------ #
+    def generate(self) -> StoreSnapshot:
+        """Build the full snapshot: listings plus lazily-built app packages."""
+        config = self.config
+        snapshot = StoreSnapshot(label=config.label, date=config.date)
+
+        pool_indices = self._select_pool_indices()
+        instances = self._instance_indices(pool_indices)
+
+        categories = list(config.category_weights)
+        category_probabilities = np.array(
+            [config.category_weights[c] for c in categories], dtype=float)
+        category_probabilities /= category_probabilities.sum()
+
+        # Partition model instances into apps with a skewed models-per-app law.
+        target_ml_apps = config.scaled(config.apps_with_models, minimum=3)
+        mean_models_per_app = max(1.0, len(instances) / target_ml_apps)
+        app_model_lists: list[list[int]] = []
+        cursor = 0
+        while cursor < len(instances):
+            size = max(1, int(self._rng.geometric(1.0 / mean_models_per_app)))
+            size = min(size, len(instances) - cursor)
+            app_model_lists.append(instances[cursor:cursor + size])
+            cursor += size
+
+        nnapi_quota = config.scaled(config.nnapi_apps)
+        xnnpack_quota = config.scaled(config.xnnpack_apps)
+        snpe_quota = config.scaled(config.snpe_apps)
+        cloud_ml_overlap = int(0.2 * config.scaled(config.cloud_api_apps, minimum=1))
+
+        rank = 0
+        for app_index, model_indices in enumerate(app_model_lists):
+            category = str(self._rng.choice(categories, p=category_probabilities))
+            package = f"com.synth.{category.lower()}.ml{app_index:04d}.app"
+            accelerators: list[str] = []
+            if nnapi_quota > 0:
+                accelerators.append("nnapi")
+                nnapi_quota -= 1
+            elif xnnpack_quota > 0:
+                accelerators.append("xnnpack")
+                xnnpack_quota -= 1
+            elif snpe_quota > 0:
+                accelerators.append("snpe")
+                snpe_quota -= 1
+            cloud_apis: tuple[CloudApi, ...] = ()
+            if app_index < cloud_ml_overlap:
+                provider = "Google" if self._rng.random() < config.cloud_google_fraction else "AWS"
+                cloud_apis = self._sample_cloud_apis(provider)
+            listing = self._listing(package, f"ML App {app_index}", category, rank)
+            snapshot.add_app(listing, self._ml_app_factory(
+                package, model_indices, accelerators, cloud_apis))
+            rank += 1
+
+        # Apps with framework libraries but no extractable models.
+        framework_only = max(
+            0, config.scaled(config.apps_with_frameworks) - len(app_model_lists))
+        if framework_only == 0 and config.apps_with_frameworks > config.apps_with_models:
+            framework_only = config.scaled(
+                config.apps_with_frameworks - config.apps_with_models, minimum=1)
+        for index in range(framework_only):
+            category = str(self._rng.choice(categories, p=category_probabilities))
+            package = f"com.synth.{category.lower()}.lib{index:04d}.app"
+            listing = self._listing(package, f"Framework App {index}", category, rank)
+            snapshot.add_app(listing, self._framework_only_factory(package))
+            rank += 1
+
+        # Cloud-API-only apps (the remainder of Fig. 15's population).
+        cloud_only = max(0, config.scaled(config.cloud_api_apps, minimum=1) - cloud_ml_overlap)
+        for index in range(cloud_only):
+            provider = "Google" if self._rng.random() < config.cloud_google_fraction else "AWS"
+            category = str(self._rng.choice(CATEGORIES))
+            package = f"com.synth.{category.lower()}.cloud{index:04d}.app"
+            listing = self._listing(package, f"Cloud App {index}", category, rank)
+            snapshot.add_app(listing, self._cloud_only_factory(
+                package, self._sample_cloud_apis(provider)))
+            rank += 1
+
+        # Plain apps filling the rest of the top charts.
+        remaining = max(0, config.scaled(config.total_apps, minimum=rank) - rank)
+        for index in range(remaining):
+            category = str(self._rng.choice(CATEGORIES))
+            package = f"com.synth.{category.lower()}.plain{index:05d}.app"
+            listing = self._listing(package, f"App {index}", category, rank)
+            snapshot.add_app(listing, self._plain_factory(package))
+            rank += 1
+
+        return snapshot

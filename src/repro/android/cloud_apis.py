@@ -1,0 +1,104 @@
+"""Known cloud-based ML API call signatures (Sec. 3.2, Fig. 15).
+
+gaugeNN recognises invocations of Google Firebase ML / Google Cloud and
+Amazon AWS machine-learning services by string-matching decompiled smali code
+against known class prefixes.  The table below covers every API category that
+appears in Fig. 15, each with the smali-level class prefix used for matching
+and a representative invocation target the app generator can inject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CloudApi", "CLOUD_APIS", "api_by_name", "apis_for_provider"]
+
+
+@dataclass(frozen=True)
+class CloudApi:
+    """One cloud ML API category as reported in Fig. 15."""
+
+    name: str
+    provider: str
+    smali_prefix: str
+    example_invocation: str
+
+
+CLOUD_APIS: tuple[CloudApi, ...] = (
+    # --- Google (Firebase ML / ML Kit / Google Cloud) -----------------------
+    CloudApi("Vision/Barcode", "Google",
+             "Lcom/google/mlkit/vision/barcode",
+             "Lcom/google/mlkit/vision/barcode/BarcodeScanner;->process(Lcom/google/mlkit/vision/common/InputImage;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Vision/Face", "Google",
+             "Lcom/google/mlkit/vision/face",
+             "Lcom/google/mlkit/vision/face/FaceDetector;->process(Lcom/google/mlkit/vision/common/InputImage;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Vision/Text", "Google",
+             "Lcom/google/mlkit/vision/text",
+             "Lcom/google/mlkit/vision/text/TextRecognizer;->process(Lcom/google/mlkit/vision/common/InputImage;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Vision/Object Detection", "Google",
+             "Lcom/google/mlkit/vision/objects",
+             "Lcom/google/mlkit/vision/objects/ObjectDetector;->process(Lcom/google/mlkit/vision/common/InputImage;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Vision/Image Labeler", "Google",
+             "Lcom/google/mlkit/vision/label",
+             "Lcom/google/mlkit/vision/label/ImageLabeler;->process(Lcom/google/mlkit/vision/common/InputImage;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Vision/custom model", "Google",
+             "Lcom/google/firebase/ml/custom",
+             "Lcom/google/firebase/ml/custom/FirebaseModelInterpreter;->run(Lcom/google/firebase/ml/custom/FirebaseModelInputs;Lcom/google/firebase/ml/custom/FirebaseModelInputOutputOptions;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Speech", "Google",
+             "Lcom/google/cloud/speech",
+             "Lcom/google/cloud/speech/v1/SpeechClient;->recognize(Lcom/google/cloud/speech/v1/RecognitionConfig;Lcom/google/cloud/speech/v1/RecognitionAudio;)Lcom/google/cloud/speech/v1/RecognizeResponse;"),
+    CloudApi("Natural Language/Translate", "Google",
+             "Lcom/google/mlkit/nl/translate",
+             "Lcom/google/mlkit/nl/translate/Translator;->translate(Ljava/lang/String;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Natural Language/LanguageID", "Google",
+             "Lcom/google/mlkit/nl/languageid",
+             "Lcom/google/mlkit/nl/languageid/LanguageIdentifier;->identifyLanguage(Ljava/lang/String;)Lcom/google/android/gms/tasks/Task;"),
+    CloudApi("Natural Language/Smart Reply", "Google",
+             "Lcom/google/mlkit/nl/smartreply",
+             "Lcom/google/mlkit/nl/smartreply/SmartReplyGenerator;->suggestReplies(Ljava/util/List;)Lcom/google/android/gms/tasks/Task;"),
+    # --- Amazon (AWS ML services) --------------------------------------------
+    CloudApi("Rekognition (face recognition)", "AWS",
+             "Lcom/amazonaws/services/rekognition",
+             "Lcom/amazonaws/services/rekognition/AmazonRekognitionClient;->detectFaces(Lcom/amazonaws/services/rekognition/model/DetectFacesRequest;)Lcom/amazonaws/services/rekognition/model/DetectFacesResult;"),
+    CloudApi("Polly (text-to-speech)", "AWS",
+             "Lcom/amazonaws/services/polly",
+             "Lcom/amazonaws/services/polly/AmazonPollyPresigningClient;->getPresignedSynthesizeSpeechUrl(Lcom/amazonaws/services/polly/model/SynthesizeSpeechPresignRequest;)Ljava/net/URL;"),
+    CloudApi("Kinesis (video analytics)", "AWS",
+             "Lcom/amazonaws/services/kinesisvideo",
+             "Lcom/amazonaws/services/kinesisvideo/AWSKinesisVideoClient;->putMedia(Lcom/amazonaws/services/kinesisvideo/model/PutMediaRequest;)V"),
+    CloudApi("Lex (chatbot)", "AWS",
+             "Lcom/amazonaws/mobileconnectors/lex",
+             "Lcom/amazonaws/mobileconnectors/lex/interactionkit/InteractionClient;->textInForTextOut(Ljava/lang/String;Ljava/util/Map;)V"),
+)
+
+#: Fig. 15 app counts per API category in the 2021 snapshot (approximate bar
+#: heights used to calibrate the synthetic population).
+API_APP_WEIGHTS: dict[str, int] = {
+    "Vision/Barcode": 123,
+    "Vision/Face": 101,
+    "Vision/Text": 82,
+    "Lex (chatbot)": 30,
+    "Kinesis (video analytics)": 26,
+    "Vision/Object Detection": 45,
+    "Speech": 38,
+    "Natural Language/Translate": 32,
+    "Vision/custom model": 28,
+    "Vision/Image Labeler": 26,
+    "Natural Language/LanguageID": 22,
+    "Natural Language/Smart Reply": 20,
+    "Polly (text-to-speech)": 12,
+    "Rekognition (face recognition)": 11,
+}
+
+
+def api_by_name(name: str) -> CloudApi:
+    """Look up an API category by its Fig. 15 name."""
+    for api in CLOUD_APIS:
+        if api.name == name:
+            return api
+    raise KeyError(f"unknown cloud API {name!r}")
+
+
+def apis_for_provider(provider: str) -> tuple[CloudApi, ...]:
+    """All API categories offered by a provider (``Google`` or ``AWS``)."""
+    return tuple(api for api in CLOUD_APIS if api.provider == provider)

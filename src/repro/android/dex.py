@@ -1,0 +1,124 @@
+"""Simplified dex bytecode containers and their smali decompilation.
+
+Android apps are compiled to ``classes.dex``; gaugeNN extracts the dex from
+the APK, decompiles it to smali with apktool and string-matches the smali for
+known cloud-ML API calls and framework usage (Sec. 3.2).  This module models a
+dex file as a set of classes, each with methods that invoke fully-qualified
+API methods, and provides both the binary serialisation placed inside APKs and
+the smali "decompilation" the analysis pipeline searches.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["SmaliMethod", "SmaliClass", "DexFile"]
+
+#: Magic bytes of a dex file (version 035), as on real devices.
+DEX_MAGIC = b"dex\n035\x00"
+
+
+@dataclass(frozen=True)
+class SmaliMethod:
+    """One method of a class: a name plus the API methods it invokes."""
+
+    name: str
+    invocations: tuple[str, ...] = ()
+
+    def to_smali(self) -> str:
+        """Render the method as smali text."""
+        lines = [f".method public {self.name}()V", "    .locals 2"]
+        for target in self.invocations:
+            lines.append(f"    invoke-virtual {{v0, v1}}, {target}")
+        lines.append("    return-void")
+        lines.append(".end method")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SmaliClass:
+    """One class of the app's code."""
+
+    name: str
+    methods: tuple[SmaliMethod, ...] = ()
+
+    def to_smali(self) -> str:
+        """Render the class as a smali file body."""
+        descriptor = "L" + self.name.replace(".", "/") + ";"
+        lines = [f".class public {descriptor}", ".super Ljava/lang/Object;", ""]
+        for method in self.methods:
+            lines.append(method.to_smali())
+            lines.append("")
+        return "\n".join(lines)
+
+    def invoked_targets(self) -> tuple[str, ...]:
+        """All API targets invoked anywhere in the class."""
+        return tuple(target for method in self.methods for target in method.invocations)
+
+
+@dataclass
+class DexFile:
+    """A ``classes.dex`` file: a collection of classes."""
+
+    classes: list[SmaliClass] = field(default_factory=list)
+
+    def add_class(self, cls: SmaliClass) -> None:
+        """Append a class definition."""
+        self.classes.append(cls)
+
+    def add_invocations(self, class_name: str, invocations: Sequence[str],
+                        method_name: str = "run") -> None:
+        """Convenience: add a class with a single method invoking ``invocations``."""
+        self.add_class(SmaliClass(class_name, (SmaliMethod(method_name, tuple(invocations)),)))
+
+    def invoked_targets(self) -> tuple[str, ...]:
+        """All API targets invoked anywhere in the dex."""
+        return tuple(t for cls in self.classes for t in cls.invoked_targets())
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialise to the binary form placed in an APK's ``classes.dex``."""
+        body = json.dumps(
+            [
+                {
+                    "name": cls.name,
+                    "methods": [
+                        {"name": m.name, "invocations": list(m.invocations)}
+                        for m in cls.methods
+                    ],
+                }
+                for cls in self.classes
+            ],
+            sort_keys=True,
+        ).encode()
+        return DEX_MAGIC + zlib.compress(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DexFile":
+        """Parse a dex binary produced by :meth:`to_bytes`."""
+        if not data.startswith(DEX_MAGIC):
+            raise ValueError("not a dex file: bad magic")
+        body = json.loads(zlib.decompress(data[len(DEX_MAGIC):]).decode())
+        dex = cls()
+        for entry in body:
+            methods = tuple(
+                SmaliMethod(m["name"], tuple(m["invocations"])) for m in entry["methods"]
+            )
+            dex.add_class(SmaliClass(entry["name"], methods))
+        return dex
+
+    def decompile_to_smali(self) -> dict[str, str]:
+        """Decompile the dex into per-class smali text, as apktool would.
+
+        Returns a mapping from smali file path to file content; gaugeNN's app
+        analysis string-matches these files for known cloud API calls.
+        """
+        return {
+            "smali/" + cls.name.replace(".", "/") + ".smali": cls.to_smali()
+            for cls in self.classes
+        }

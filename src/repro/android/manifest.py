@@ -1,0 +1,57 @@
+"""Minimal AndroidManifest model: package identity, version and permissions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AndroidManifest"]
+
+
+@dataclass(frozen=True)
+class AndroidManifest:
+    """The subset of AndroidManifest.xml that the analysis pipeline consumes."""
+
+    package: str
+    version_code: int = 1
+    version_name: str = "1.0.0"
+    min_sdk: int = 23
+    target_sdk: int = 30
+    permissions: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_xml(self) -> str:
+        """Render as an (uncompiled) AndroidManifest.xml document."""
+        permission_lines = "\n".join(
+            f'    <uses-permission android:name="{name}" />' for name in self.permissions
+        )
+        return (
+            '<?xml version="1.0" encoding="utf-8"?>\n'
+            f'<manifest package="{self.package}" android:versionCode="{self.version_code}" '
+            f'android:versionName="{self.version_name}">\n'
+            f'    <uses-sdk android:minSdkVersion="{self.min_sdk}" '
+            f'android:targetSdkVersion="{self.target_sdk}" />\n'
+            f"{permission_lines}\n"
+            "    <application />\n"
+            "</manifest>\n"
+        )
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AndroidManifest":
+        """Parse the fields written by :meth:`to_xml`."""
+        import re
+
+        package = re.search(r'package="([^"]+)"', text)
+        version_code = re.search(r'versionCode="(\d+)"', text)
+        version_name = re.search(r'versionName="([^"]+)"', text)
+        min_sdk = re.search(r'minSdkVersion="(\d+)"', text)
+        target_sdk = re.search(r'targetSdkVersion="(\d+)"', text)
+        permissions = tuple(re.findall(r'<uses-permission android:name="([^"]+)"', text))
+        if package is None:
+            raise ValueError("manifest is missing a package attribute")
+        return cls(
+            package=package.group(1),
+            version_code=int(version_code.group(1)) if version_code else 1,
+            version_name=version_name.group(1) if version_name else "1.0.0",
+            min_sdk=int(min_sdk.group(1)) if min_sdk else 23,
+            target_sdk=int(target_sdk.group(1)) if target_sdk else 30,
+            permissions=permissions,
+        )

@@ -1,0 +1,58 @@
+"""Native library (.so) names shipped by ML frameworks and accelerators.
+
+gaugeNN tracks applications as ML-powered even when their models are
+encrypted, obfuscated or downloaded on demand, "by means of library inclusion
+in the application code and native libraries" (Sec. 3.1, following Xu et al.).
+It also detects hardware-specific acceleration (NNAPI / XNNPACK / SNPE usage,
+Sec. 6.3) from the presence of the corresponding delegates.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FRAMEWORK_NATIVE_LIBS",
+    "ACCELERATOR_NATIVE_LIBS",
+    "libraries_for_framework",
+    "framework_for_library",
+    "accelerator_for_library",
+]
+
+#: Framework -> native libraries commonly bundled under lib/<abi>/.
+FRAMEWORK_NATIVE_LIBS: dict[str, tuple[str, ...]] = {
+    "tflite": ("libtensorflowlite_jni.so", "libtensorflowlite.so", "libtflite_gpu_jni.so"),
+    "tf": ("libtensorflow_inference.so", "libtensorflow_framework.so"),
+    "caffe": ("libcaffe.so", "libcaffe2.so"),
+    "ncnn": ("libncnn.so",),
+    "snpe": ("libSNPE.so", "libsnpe_dsp_domains_v2.so"),
+    "pytorch": ("libpytorch_jni.so", "libtorch.so"),
+    "mnn": ("libMNN.so",),
+}
+
+#: Accelerator backend -> native libraries / delegates revealing its usage.
+ACCELERATOR_NATIVE_LIBS: dict[str, tuple[str, ...]] = {
+    "nnapi": ("libnnapi_delegate.so", "libneuralnetworks.so"),
+    "xnnpack": ("libxnnpack_delegate.so", "libXNNPACK.so"),
+    "snpe": ("libSNPE.so", "libsnpe_dsp_domains_v2.so"),
+    "gpu": ("libtflite_gpu_jni.so", "libOpenCL.so"),
+}
+
+
+def libraries_for_framework(framework: str) -> tuple[str, ...]:
+    """Native libraries typically shipped alongside a framework."""
+    return FRAMEWORK_NATIVE_LIBS.get(framework, ())
+
+
+def framework_for_library(library_name: str) -> str | None:
+    """Reverse lookup: which framework does a native library belong to."""
+    for framework, libraries in FRAMEWORK_NATIVE_LIBS.items():
+        if library_name in libraries:
+            return framework
+    return None
+
+
+def accelerator_for_library(library_name: str) -> str | None:
+    """Reverse lookup: which accelerator backend a native library reveals."""
+    for accelerator, libraries in ACCELERATOR_NATIVE_LIBS.items():
+        if library_name in libraries:
+            return accelerator
+    return None

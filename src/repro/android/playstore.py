@@ -1,0 +1,172 @@
+"""Synthetic Google Play Store: categories, top charts, metadata and downloads.
+
+The paper crawls the Play Store's top-free charts (up to 500 apps per
+category) and stores per-app metadata for offline analytics (Sec. 3.1).  The
+:class:`PlayStore` here serves the same artefacts — listings per category and
+downloadable :class:`~repro.android.apk.AppPackage` objects — from a synthetic
+population produced by :class:`~repro.android.appgen.AppGenerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.android.apk import AppPackage
+
+__all__ = ["CATEGORIES", "TOP_CHART_LIMIT", "PlayStoreListing", "StoreSnapshot", "PlayStore"]
+
+#: Google Play categories used across Figs. 4 and 5.
+CATEGORIES: tuple[str, ...] = (
+    "COMMUNICATION",
+    "FINANCE",
+    "PHOTOGRAPHY",
+    "TRAVEL_AND_LOCAL",
+    "BEAUTY",
+    "SOCIAL",
+    "DATING",
+    "MEDICAL",
+    "FOOD_AND_DRINK",
+    "SHOPPING",
+    "AUTO_AND_VEHICLES",
+    "BUSINESS",
+    "PARENTING",
+    "PRODUCTIVITY",
+    "LIFESTYLE",
+    "EDUCATION",
+    "SPORTS",
+    "ENTERTAINMENT",
+    "HOUSE_AND_HOME",
+    "LIBRARIES_AND_DEMO",
+    "TOOLS",
+    "GAME",
+    "HEALTH_AND_FITNESS",
+    "MAPS_AND_NAVIGATION",
+    "NEWS_AND_MAGAZINES",
+    "VIDEO_PLAYERS",
+    "ART_AND_DESIGN",
+    "EVENTS",
+    "COMICS",
+    "BOOKS_AND_REFERENCE",
+    "PERSONALIZATION",
+    "FAMILY",
+    "ANDROID_WEAR",
+    "WEATHER",
+    "MUSIC_AND_AUDIO",
+)
+
+#: Maximum number of apps returned per category top chart.
+TOP_CHART_LIMIT = 500
+
+
+@dataclass(frozen=True)
+class PlayStoreListing:
+    """Store metadata for one application."""
+
+    package: str
+    title: str
+    category: str
+    downloads: int
+    rating: float
+    num_reviews: int
+    price: float = 0.0
+    developer: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category {self.category!r}")
+        if not 0.0 <= self.rating <= 5.0:
+            raise ValueError(f"rating must be within [0, 5], got {self.rating}")
+
+
+@dataclass
+class StoreSnapshot:
+    """One dated crawl-able state of the store.
+
+    ``packages`` maps a package name to a zero-argument callable that builds
+    the app's :class:`AppPackage` on demand, so that a 16k-app snapshot does
+    not materialise 16k zip archives until they are actually downloaded.
+    """
+
+    label: str
+    date: str
+    listings: dict[str, PlayStoreListing] = field(default_factory=dict)
+    packages: dict[str, Callable[[], AppPackage]] = field(default_factory=dict)
+
+    def add_app(self, listing: PlayStoreListing,
+                package_factory: Callable[[], AppPackage]) -> None:
+        """Register an app with its metadata and lazily-built package."""
+        if listing.package in self.listings:
+            raise ValueError(f"duplicate package {listing.package!r}")
+        self.listings[listing.package] = listing
+        self.packages[listing.package] = package_factory
+
+    @property
+    def total_apps(self) -> int:
+        """Number of apps in the snapshot."""
+        return len(self.listings)
+
+    def categories(self) -> tuple[str, ...]:
+        """Categories with at least one listed app."""
+        present = {listing.category for listing in self.listings.values()}
+        return tuple(category for category in CATEGORIES if category in present)
+
+
+class PlayStore:
+    """Serves snapshots the way the real store serves gaugeNN's crawler."""
+
+    def __init__(self, snapshots: Iterable[StoreSnapshot] = ()) -> None:
+        self._snapshots: dict[str, StoreSnapshot] = {}
+        for snapshot in snapshots:
+            self.add_snapshot(snapshot)
+
+    def add_snapshot(self, snapshot: StoreSnapshot) -> None:
+        """Register a snapshot under its label."""
+        if snapshot.label in self._snapshots:
+            raise ValueError(f"duplicate snapshot label {snapshot.label!r}")
+        self._snapshots[snapshot.label] = snapshot
+
+    def snapshot_labels(self) -> tuple[str, ...]:
+        """Labels of all registered snapshots, oldest first."""
+        return tuple(sorted(self._snapshots))
+
+    def snapshot(self, label: str) -> StoreSnapshot:
+        """Look up a snapshot by label."""
+        try:
+            return self._snapshots[label]
+        except KeyError:
+            raise KeyError(f"no snapshot labelled {label!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Crawler-facing API
+    # ------------------------------------------------------------------ #
+    def top_free_apps(self, label: str, category: str,
+                      limit: int = TOP_CHART_LIMIT) -> tuple[PlayStoreListing, ...]:
+        """Top-free chart for a category, sorted by downloads (capped at 500)."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        limit = min(limit, TOP_CHART_LIMIT)
+        snapshot = self.snapshot(label)
+        listings = [
+            listing for listing in snapshot.listings.values()
+            if listing.category == category
+        ]
+        listings.sort(key=lambda listing: listing.downloads, reverse=True)
+        return tuple(listings[:limit])
+
+    def listing(self, label: str, package: str) -> PlayStoreListing:
+        """Store metadata for one app."""
+        snapshot = self.snapshot(label)
+        try:
+            return snapshot.listings[package]
+        except KeyError:
+            raise KeyError(f"package {package!r} not in snapshot {label!r}") from None
+
+    def download(self, label: str, package: str) -> AppPackage:
+        """Download (build) the full app package: apk, OBBs and asset packs."""
+        snapshot = self.snapshot(label)
+        try:
+            factory = snapshot.packages[package]
+        except KeyError:
+            raise KeyError(f"package {package!r} not in snapshot {label!r}") from None
+        return factory()

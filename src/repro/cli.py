@@ -1,0 +1,208 @@
+"""Command-line interface for the gaugeNN reproduction.
+
+Four subcommands mirror the paper's workflow:
+
+* ``census``    — generate a synthetic snapshot and run the offline analysis
+                  (Tables 2-3, Fig. 4, Sec. 4.5/6.1 statistics).
+* ``benchmark`` — run the unique models of a snapshot across the device fleet
+                  (Figs. 8-10).
+* ``scenarios`` — scenario-driven energy costs on the Qualcomm boards (Table 4).
+* ``compare``   — temporal comparison between the 2020 and 2021 snapshots
+                  (Fig. 5, Sec. 4.6).
+
+Example::
+
+    python -m repro.cli census --scale 0.05
+    python -m repro.cli benchmark --scale 0.05 --devices A20 S21
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
+from repro.android.playstore import PlayStore
+from repro.core import reports
+from repro.core.optimizations import analyze_optimizations
+from repro.core.pipeline import GaugeNN
+from repro.core.scenarios import STANDARD_SCENARIOS, run_scenario, summarize
+from repro.core.temporal import compare_snapshots
+from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
+from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
+from repro.runtime import Backend, Executor
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_store(scale: float, snapshots: Sequence[str]) -> PlayStore:
+    pool = ModelPool()
+    configs = {
+        "2020": GeneratorConfig.snapshot_2020,
+        "2021": GeneratorConfig.snapshot_2021,
+    }
+    generated = [
+        AppGenerator(configs[label](scale=scale), pool).generate()
+        for label in snapshots
+    ]
+    return PlayStore(generated)
+
+
+def _analysis_for(scale: float, label: str):
+    store = _build_store(scale, [label])
+    return GaugeNN(store).analyze_snapshot(label)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def cmd_census(args: argparse.Namespace) -> int:
+    """Offline characterisation of one snapshot."""
+    analysis = _analysis_for(args.scale, args.snapshot)
+    row = reports.dataset_table(analysis)
+    print(f"snapshot {row.label} ({row.date}) at scale {args.scale}")
+    print(f"  total apps          : {row.total_apps}")
+    print(f"  apps w/ frameworks  : {row.apps_with_frameworks} ({row.apps_with_frameworks_pct:.1f}%)")
+    print(f"  apps w/ models      : {row.apps_with_models} ({row.apps_with_models_pct:.1f}%)")
+    print(f"  total models        : {row.total_models}")
+    print(f"  unique models       : {row.unique_models} ({row.unique_models_pct:.1f}%)")
+
+    print("\nmodels per framework:")
+    for framework, count in sorted(analysis.models_by_framework().items(),
+                                   key=lambda item: -item[1]):
+        print(f"  {framework:<8} {count}")
+
+    print("\ntop tasks:")
+    for task, count in sorted(analysis.models_by_task().items(), key=lambda i: -i[1])[:10]:
+        print(f"  {task:<24} {count}")
+
+    uniqueness = analyze_uniqueness(analysis.models)
+    finetuning = analyze_finetuning(analysis.models)
+    adoption = analyze_optimizations(analysis.models)
+    print("\nuniqueness / fine-tuning:")
+    print(f"  shared instances    : {100 * uniqueness.shared_fraction:.1f}%")
+    print(f"  sharing >=20% wts   : {100 * finetuning.sharing_fraction:.1f}% of unique models")
+    print("\noptimisation adoption:")
+    print(f"  dequantize layers   : {100 * adoption.dequantize_fraction:.1f}%")
+    print(f"  int8 weights        : {100 * adoption.int8_weight_fraction:.1f}%")
+    print(f"  near-zero weights   : {100 * adoption.mean_near_zero_weight_fraction:.2f}%")
+    print(f"  clustering / pruning: {adoption.clustered_models} / {adoption.pruned_models}")
+    return 0
+
+
+def cmd_benchmark(args: argparse.Namespace) -> int:
+    """Fleet-wide latency/energy benchmark of the unique models."""
+    analysis = _analysis_for(args.scale, args.snapshot)
+    graphs = GaugeNN.unique_graphs(analysis)
+    device_names = args.devices or [device.name for device in DEVICE_FLEET]
+    backend = Backend(args.backend)
+
+    print(f"benchmarking {len(graphs)} unique models on {device_names} ({backend.value})")
+    results_by_device = {}
+    for name in device_names:
+        executor = Executor(device_by_name(name), seed=0)
+        results_by_device[name] = executor.run_many(graphs, backend,
+                                                    num_inferences=args.inferences)
+
+    print(f"\n{'device':<8}{'models':>7}{'mean ms':>10}{'median ms':>12}{'median mJ':>12}")
+    for name, results in results_by_device.items():
+        if not results:
+            print(f"{name:<8}{0:>7}")
+            continue
+        latencies = [r.latency_ms for r in results]
+        energies = [r.energy_mj for r in results]
+        print(f"{name:<8}{len(results):>7}{np.mean(latencies):>10.1f}"
+              f"{np.median(latencies):>12.1f}{np.median(energies):>12.1f}")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Table 4 scenario energy on the development boards."""
+    analysis = _analysis_for(args.scale, args.snapshot)
+    pairs = GaugeNN.graphs_with_tasks(analysis)
+    print(f"{'device':<8}{'scenario':<12}{'models':>7}{'avg mAh':>12}{'max mAh':>12}")
+    for device in DEV_BOARDS:
+        for scenario in STANDARD_SCENARIOS:
+            summary = summarize(run_scenario(scenario, device, pairs))
+            if summary is None:
+                print(f"{device.name:<8}{scenario.name:<12}{'-':>7}")
+                continue
+            print(f"{device.name:<8}{scenario.name:<12}{summary.model_count:>7}"
+                  f"{summary.mean_mah:>12.3f}{summary.max_mah:>12.3f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Temporal comparison between the two snapshots."""
+    store = _build_store(args.scale, ["2020", "2021"])
+    gauge = GaugeNN(store)
+    earlier = gauge.analyze_snapshot("2020")
+    later = gauge.analyze_snapshot("2021")
+    comparison = compare_snapshots(earlier, later)
+    print(f"models: {comparison.earlier_total_models} -> {comparison.later_total_models} "
+          f"({comparison.model_growth:.2f}x)")
+    print(f"cloud-ML apps: {comparison.earlier_cloud_apps} -> {comparison.later_cloud_apps} "
+          f"({comparison.cloud_growth:.2f}x)")
+    print("\ntop category changes (added/removed):")
+    for churn in comparison.churn_sorted_by_net_change()[: args.top]:
+        print(f"  {churn.category:<22} +{churn.added:<4} -{churn.removed:<4} "
+              f"net {churn.net_change:+d}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gaugeNN reproduction: characterise and benchmark mobile DNNs",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", type=float, default=0.05,
+                         help="fraction of the paper's dataset size to generate")
+        sub.add_argument("--snapshot", choices=("2020", "2021"), default="2021",
+                         help="which snapshot to analyse")
+
+    census = subparsers.add_parser("census", help="offline DNN characterisation")
+    add_common(census)
+    census.set_defaults(func=cmd_census)
+
+    bench = subparsers.add_parser("benchmark", help="fleet latency/energy benchmark")
+    add_common(bench)
+    bench.add_argument("--devices", nargs="*", default=None,
+                       choices=[device.name for device in DEVICE_FLEET],
+                       help="devices to benchmark (default: whole fleet)")
+    bench.add_argument("--backend", default="cpu",
+                       choices=[backend.value for backend in Backend])
+    bench.add_argument("--inferences", type=int, default=3,
+                       help="measured inferences per model")
+    bench.set_defaults(func=cmd_benchmark)
+
+    scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
+    add_common(scenarios)
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")
+    compare.add_argument("--scale", type=float, default=0.05)
+    compare.add_argument("--top", type=int, default=10,
+                         help="number of categories to list")
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""gaugeNN: the paper's primary contribution.
+
+gaugeNN automates the three-stage workflow of Fig. 1: DNN retrieval (crawl,
+extract, validate), offline analysis (model structure, app code, uniqueness,
+optimisation adoption, cloud APIs, temporal evolution) and on-device model
+benchmarking (latency, energy, batch/thread/backend sweeps, usage scenarios).
+"""
+
+from repro.core.records import AppRecord, ModelRecord, SnapshotAnalysis
+from repro.core.crawler import Crawler, CrawlResult
+from repro.core.extractor import CandidateFile, ExtractionResult, ModelExtractor
+from repro.core.validator import ModelValidator, ValidatedModel
+from repro.core.pipeline import GaugeNN, PipelineConfig
+
+__all__ = [
+    "AppRecord",
+    "ModelRecord",
+    "SnapshotAnalysis",
+    "Crawler",
+    "CrawlResult",
+    "ModelExtractor",
+    "CandidateFile",
+    "ExtractionResult",
+    "ModelValidator",
+    "ValidatedModel",
+    "GaugeNN",
+    "PipelineConfig",
+]

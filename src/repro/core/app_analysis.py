@@ -1,0 +1,110 @@
+"""App-level code analysis: cloud ML APIs, framework usage, accelerator traces.
+
+gaugeNN decompiles each app's dex into smali and string-matches it against
+known cloud-ML API calls (Google Firebase/Cloud and AWS, Sec. 3.2 / Fig. 15),
+detects ML framework usage from code and bundled native libraries even when
+models are obfuscated (Sec. 3.1), and spots hardware-specific acceleration
+(NNAPI / XNNPACK / SNPE) traces (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.android.cloud_apis import CLOUD_APIS, CloudApi
+from repro.android.dex import DexFile
+from repro.android.nativelibs import accelerator_for_library, framework_for_library
+
+__all__ = ["AppCodeAnalysis", "AppAnalyzer"]
+
+#: smali-level prefixes revealing on-device framework API usage.
+_FRAMEWORK_CODE_PREFIXES: dict[str, tuple[str, ...]] = {
+    "tflite": ("Lorg/tensorflow/lite/",),
+    "tf": ("Lorg/tensorflow/contrib/android/",),
+    "caffe": ("Lcom/caffe/",),
+    "ncnn": ("Lcom/tencent/ncnn/",),
+    "snpe": ("Lcom/qualcomm/qti/snpe/",),
+    "pytorch": ("Lorg/pytorch/",),
+}
+
+#: smali-level prefixes revealing accelerator / delegate usage.
+_ACCELERATOR_CODE_PREFIXES: dict[str, tuple[str, ...]] = {
+    "nnapi": ("Lorg/tensorflow/lite/nnapi/", "Landroid/hardware/neuralnetworks/"),
+    "xnnpack": ("setUseXNNPACK",),
+    "gpu": ("Lorg/tensorflow/lite/gpu/",),
+    "snpe": ("Lcom/qualcomm/qti/snpe/",),
+}
+
+
+@dataclass(frozen=True)
+class AppCodeAnalysis:
+    """Everything detected in one app's code and native libraries."""
+
+    frameworks_in_code: tuple[str, ...]
+    frameworks_in_libraries: tuple[str, ...]
+    accelerators: tuple[str, ...]
+    cloud_apis: tuple[str, ...]
+    cloud_providers: tuple[str, ...]
+
+    @property
+    def frameworks(self) -> tuple[str, ...]:
+        """Union of frameworks detected in code and native libraries."""
+        return tuple(sorted(set(self.frameworks_in_code) | set(self.frameworks_in_libraries)))
+
+    @property
+    def uses_cloud_ml(self) -> bool:
+        """Whether any known cloud ML API is invoked."""
+        return bool(self.cloud_apis)
+
+
+class AppAnalyzer:
+    """Decompiles app code and string-matches it against known ML signatures."""
+
+    def __init__(self, cloud_apis: Iterable[CloudApi] = CLOUD_APIS) -> None:
+        self.cloud_apis = tuple(cloud_apis)
+
+    def analyze(self, dex_data: Optional[bytes],
+                native_libraries: Iterable[str] = ()) -> AppCodeAnalysis:
+        """Analyse one app from its dex bytes and bundled native libraries."""
+        smali_text = ""
+        if dex_data is not None:
+            dex = DexFile.from_bytes(dex_data)
+            smali_text = "\n".join(dex.decompile_to_smali().values())
+
+        frameworks_in_code = tuple(sorted(
+            framework
+            for framework, prefixes in _FRAMEWORK_CODE_PREFIXES.items()
+            if any(prefix in smali_text for prefix in prefixes)
+        ))
+        accelerators = tuple(sorted(
+            accelerator
+            for accelerator, prefixes in _ACCELERATOR_CODE_PREFIXES.items()
+            if any(prefix in smali_text for prefix in prefixes)
+        ))
+
+        library_frameworks = set()
+        library_accelerators = set()
+        for library in native_libraries:
+            framework = framework_for_library(library)
+            if framework is not None:
+                library_frameworks.add(framework)
+            accelerator = accelerator_for_library(library)
+            if accelerator is not None:
+                library_accelerators.add(accelerator)
+
+        detected_apis = tuple(sorted(
+            api.name for api in self.cloud_apis if api.smali_prefix in smali_text
+        ))
+        providers = tuple(sorted({
+            api.provider for api in self.cloud_apis
+            if api.smali_prefix in smali_text
+        }))
+
+        return AppCodeAnalysis(
+            frameworks_in_code=frameworks_in_code,
+            frameworks_in_libraries=tuple(sorted(library_frameworks)),
+            accelerators=tuple(sorted(set(accelerators) | library_accelerators)),
+            cloud_apis=detected_apis,
+            cloud_providers=providers,
+        )

@@ -1,0 +1,141 @@
+"""On-device benchmark orchestration (the Fig. 2/3 master-slave workflow).
+
+The master pushes the model and a headless benchmark script to the device
+over adb, asserts a clean device state (WiFi off, sensors off, black screen),
+cuts the USB power through the programmable switch, lets the on-device script
+run warm-up plus measured inferences while the power monitor records the main
+rail, waits for the WiFi notification that the job finished, restores USB
+power and collects the results.  The simulator walks the same state machine so
+the orchestration logic (and its failure modes) can be tested, while the
+actual numbers come from :class:`~repro.runtime.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.devices.device import Device
+from repro.devices.power_monitor import PowerMonitor, PowerTrace
+from repro.devices.scheduler import ThreadConfig
+from repro.devices.usb_control import UsbSwitch
+from repro.dnn.graph import Graph
+from repro.runtime.backends import Backend
+from repro.runtime.executor import ExecutionResult, Executor, UnsupportedModelError
+
+__all__ = ["BenchmarkJob", "BenchmarkRecord", "DeviceBenchmarker"]
+
+
+@dataclass(frozen=True)
+class BenchmarkJob:
+    """One (model, backend, batch, threads) combination to benchmark."""
+
+    graph: Graph
+    backend: Backend = Backend.CPU
+    batch_size: int = 1
+    threads: Optional[ThreadConfig] = None
+    num_inferences: int = 10
+    warmup: int = 2
+    inter_inference_sleep_ms: float = 50.0
+
+
+@dataclass(frozen=True)
+class BenchmarkRecord:
+    """Result of one benchmark job, including the recorded power trace."""
+
+    result: ExecutionResult
+    power_trace: Optional[PowerTrace]
+    workflow_events: tuple[str, ...]
+
+    @property
+    def measured_energy_mj(self) -> Optional[float]:
+        """Energy integrated from the power trace (boards only), in mJ."""
+        if self.power_trace is None:
+            return None
+        return self.power_trace.energy_joules() * 1e3
+
+
+class DeviceBenchmarker:
+    """Drives the benchmark workflow of Fig. 3 for one device."""
+
+    def __init__(self, device: Device, *, usb_port: int = 0,
+                 usb_switch: Optional[UsbSwitch] = None,
+                 power_monitor: Optional[PowerMonitor] = None,
+                 executor: Optional[Executor] = None) -> None:
+        self.device = device
+        self.usb_port = usb_port
+        self.usb_switch = usb_switch or UsbSwitch()
+        self.power_monitor = power_monitor or PowerMonitor(seed=usb_port)
+        self.executor = executor or Executor(device)
+        self.events: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Workflow steps (Fig. 3)
+    # ------------------------------------------------------------------ #
+    def _prepare(self, job: BenchmarkJob) -> None:
+        self.events.append("adb_push_dependencies")
+        self.events.append("assert_initial_state:wifi_off,sensors_off,screen_black")
+        self.events.append(f"launch_daemon:{job.graph.name}")
+
+    def _start(self) -> None:
+        if self.device.supports_power_measurement:
+            self.usb_switch.power_off(self.usb_port)
+            self.events.append("usb_power_off")
+        self.events.append("device_waits_for_power_off")
+
+    def _finish(self) -> None:
+        self.events.append("device_turns_on_wifi")
+        self.events.append("notify_server_via_netcat")
+        if self.device.supports_power_measurement:
+            self.usb_switch.power_on(self.usb_port)
+            self.events.append("usb_power_on")
+        self.events.append("adb_collect_results")
+        self.events.append("cleanup")
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run_job(self, job: BenchmarkJob) -> BenchmarkRecord:
+        """Run one benchmark job through the full workflow."""
+        self.events = []
+        self._prepare(job)
+        self._start()
+
+        result = self.executor.run(
+            job.graph,
+            job.backend,
+            batch_size=job.batch_size,
+            threads=job.threads,
+            num_inferences=job.num_inferences,
+            warmup=job.warmup,
+        )
+
+        power_trace: Optional[PowerTrace] = None
+        if self.device.supports_power_measurement:
+            segments: list[tuple[float, float]] = []
+            idle_watts = self.device.soc.idle_power_watts + self.device.screen_power_watts
+            for _ in range(job.num_inferences):
+                segments.append((result.latency_ms / 1e3, result.power_watts))
+                segments.append((job.inter_inference_sleep_ms / 1e3, idle_watts))
+            power_trace = self.power_monitor.record(segments)
+
+        self._finish()
+        return BenchmarkRecord(
+            result=result,
+            power_trace=power_trace,
+            workflow_events=tuple(self.events),
+        )
+
+    def run_suite(self, graphs: Iterable[Graph], *, backend: Backend = Backend.CPU,
+                  batch_size: int = 1, threads: Optional[ThreadConfig] = None,
+                  num_inferences: int = 10) -> list[BenchmarkRecord]:
+        """Benchmark every compatible model of a collection."""
+        records = []
+        for graph in graphs:
+            job = BenchmarkJob(graph=graph, backend=backend, batch_size=batch_size,
+                               threads=threads, num_inferences=num_inferences)
+            try:
+                records.append(self.run_job(job))
+            except UnsupportedModelError:
+                continue
+        return records

@@ -1,0 +1,68 @@
+"""Play Store crawler (stage one of Fig. 1's "DNN retrieval").
+
+Mimics gaugeNN's crawler: it walks every category's top-free chart (up to 500
+apps per category), de-duplicates apps that chart in several categories, and
+keeps the store metadata for later ETL-style analytics (the paper stores it in
+ElasticSearch; here the :class:`CrawlResult` plays that role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.android.playstore import CATEGORIES, PlayStore, PlayStoreListing, TOP_CHART_LIMIT
+
+__all__ = ["CrawlResult", "Crawler"]
+
+
+@dataclass
+class CrawlResult:
+    """Metadata of every app discovered by one crawl."""
+
+    snapshot_label: str
+    listings: dict[str, PlayStoreListing] = field(default_factory=dict)
+
+    @property
+    def total_apps(self) -> int:
+        """Number of distinct apps discovered."""
+        return len(self.listings)
+
+    def packages(self) -> tuple[str, ...]:
+        """All discovered package names."""
+        return tuple(self.listings)
+
+    def by_category(self) -> dict[str, list[PlayStoreListing]]:
+        """Listings grouped by store category."""
+        grouped: dict[str, list[PlayStoreListing]] = {}
+        for listing in self.listings.values():
+            grouped.setdefault(listing.category, []).append(listing)
+        return grouped
+
+
+class Crawler:
+    """Crawls one snapshot of the (synthetic) Play Store."""
+
+    def __init__(self, store: PlayStore, *, per_category_limit: int = TOP_CHART_LIMIT,
+                 user_agent: str = "com.android.vending/Samsung SM-G977B",
+                 locale: str = "en_GB") -> None:
+        if per_category_limit <= 0:
+            raise ValueError("per_category_limit must be positive")
+        self.store = store
+        self.per_category_limit = per_category_limit
+        #: Store-variant headers the real crawler sets on its web API calls.
+        self.user_agent = user_agent
+        self.locale = locale
+
+    def crawl(self, snapshot_label: str,
+              categories: Optional[Iterable[str]] = None) -> CrawlResult:
+        """Fetch the top-free charts of every category and merge them."""
+        result = CrawlResult(snapshot_label=snapshot_label)
+        for category in (categories or CATEGORIES):
+            chart = self.store.top_free_apps(snapshot_label, category,
+                                             limit=self.per_category_limit)
+            for listing in chart:
+                # Apps charting in multiple categories are kept once, under
+                # the category of their first appearance.
+                result.listings.setdefault(listing.package, listing)
+        return result

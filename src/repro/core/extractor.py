@@ -1,0 +1,156 @@
+"""Model file extraction from app packages (stage two of "DNN retrieval").
+
+gaugeNN unpacks the base apk, OBB expansion files and App-Bundle asset packs,
+shortlists files whose extension matches one of the 69 known framework formats
+(Appendix Table 5), and groups companion files that together form one model
+(caffe's prototxt + caffemodel, ncnn's param + bin) before validation.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.android.apk import AppPackage
+from repro.formats.detect import is_candidate_extension
+
+__all__ = ["CandidateFile", "CandidateGroup", "ExtractionResult", "ModelExtractor"]
+
+#: Extension pairs that form a single multi-file model.
+_COMPANION_SUFFIXES = {
+    ".prototxt": (".caffemodel",),
+    ".caffemodel": (".prototxt",),
+    ".param": (".bin",),
+}
+
+
+@dataclass(frozen=True)
+class CandidateFile:
+    """One extracted file that might be a DNN model."""
+
+    path: str
+    data: bytes
+    source: str
+
+    @property
+    def file_name(self) -> str:
+        """Base name of the file."""
+        return posixpath.basename(self.path)
+
+    @property
+    def extension(self) -> str:
+        """Lower-case extension including the dot."""
+        name = self.file_name.lower()
+        if "." not in name:
+            return ""
+        return name[name.rindex("."):]
+
+    @property
+    def stem(self) -> str:
+        """File name without its extension."""
+        name = self.file_name
+        if "." not in name:
+            return name
+        return name[: name.rindex(".")]
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the file in bytes."""
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class CandidateGroup:
+    """Files that together form one candidate model (usually just one file)."""
+
+    files: tuple[CandidateFile, ...]
+
+    @property
+    def primary(self) -> CandidateFile:
+        """The largest file of the group (weights live there)."""
+        return max(self.files, key=lambda f: f.size_bytes)
+
+    @property
+    def total_size(self) -> int:
+        """Total size of the group in bytes."""
+        return sum(f.size_bytes for f in self.files)
+
+
+@dataclass
+class ExtractionResult:
+    """Everything extracted from one app package."""
+
+    package_name: str
+    apk_size_bytes: int
+    candidate_groups: list[CandidateGroup] = field(default_factory=list)
+    native_libraries: tuple[str, ...] = ()
+    dex_data: Optional[bytes] = None
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate model groups found."""
+        return len(self.candidate_groups)
+
+
+class ModelExtractor:
+    """Extracts candidate model files, native libraries and code from packages."""
+
+    #: Directories whose files are never models (resources, layouts, fonts).
+    _IGNORED_PREFIXES = ("apk/res/", "apk/META-INF/")
+
+    def extract(self, package: AppPackage) -> ExtractionResult:
+        """Unpack an app package and shortlist candidate model files."""
+        all_files = package.all_files()
+        candidates: list[CandidateFile] = []
+        native_libraries: list[str] = []
+        dex_data: Optional[bytes] = None
+
+        for path, data in all_files.items():
+            if path.startswith(self._IGNORED_PREFIXES):
+                continue
+            name = posixpath.basename(path)
+            if path == "apk/classes.dex":
+                dex_data = data
+                continue
+            if "/lib/" in path and name.endswith(".so"):
+                native_libraries.append(name)
+                continue
+            if name == "AndroidManifest.xml" or name == "resources.arsc":
+                continue
+            if is_candidate_extension(name):
+                source = path.split("/", 1)[0]
+                candidates.append(CandidateFile(path=path, data=data, source=source))
+
+        return ExtractionResult(
+            package_name=package.package_name,
+            apk_size_bytes=package.apk_size,
+            candidate_groups=self._group_companions(candidates),
+            native_libraries=tuple(sorted(native_libraries)),
+            dex_data=dex_data,
+        )
+
+    @staticmethod
+    def _group_companions(candidates: Iterable[CandidateFile]) -> list[CandidateGroup]:
+        """Group companion files (same directory and stem) into one candidate."""
+        by_key: dict[tuple[str, str], list[CandidateFile]] = {}
+        for candidate in candidates:
+            directory = posixpath.dirname(candidate.path)
+            by_key.setdefault((directory, candidate.stem), []).append(candidate)
+
+        groups: list[CandidateGroup] = []
+        for (_, _), files in sorted(by_key.items()):
+            if len(files) == 1:
+                groups.append(CandidateGroup(files=(files[0],)))
+                continue
+            extensions = {f.extension for f in files}
+            is_companion_set = any(
+                ext in _COMPANION_SUFFIXES and
+                any(other in extensions for other in _COMPANION_SUFFIXES[ext])
+                for ext in extensions
+            )
+            if is_companion_set:
+                groups.append(CandidateGroup(files=tuple(sorted(files, key=lambda f: f.path))))
+            else:
+                groups.extend(CandidateGroup(files=(f,)) for f in files)
+        return groups

@@ -1,0 +1,76 @@
+"""Per-model offline analysis: layers, operations, FLOPs, parameters, optimisations.
+
+For every validated model gaugeNN walks the graph in a trace-based manner
+(Sec. 3.2) registering layer types and parameters, estimates total FLOPs and
+model size, groups layers into the Fig. 6 categories, and records the
+optimisation traces (quantisation, pruning, clustering) analysed in Sec. 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.records import ModelRecord
+from repro.core.task_classifier import TaskClassifier
+from repro.core.validator import ValidatedModel
+from repro.dnn.clustering import clustering_report
+from repro.dnn.graph import Graph
+from repro.dnn.pruning import pruning_report
+from repro.dnn.quantization import quantization_report
+
+__all__ = ["ModelAnalyzer", "trace_flops", "trace_parameters"]
+
+
+def trace_flops(graph: Graph) -> int:
+    """Trace-based FLOP count: walk the graph as a forward pass would.
+
+    Mirrors the paper's methodology of generating a random input with the
+    declared dimensions and accumulating per-layer operation counts during the
+    forward propagation (Sec. 4.7).
+    """
+    return sum(layer.flops() for layer in graph.layers)
+
+
+def trace_parameters(graph: Graph) -> int:
+    """Trace-based parameter count across all layers."""
+    return sum(layer.num_parameters for layer in graph.layers)
+
+
+class ModelAnalyzer:
+    """Turns validated models into fully-analysed :class:`ModelRecord` rows."""
+
+    def __init__(self, task_classifier: Optional[TaskClassifier] = None) -> None:
+        self.task_classifier = task_classifier or TaskClassifier()
+
+    def analyze(self, validated: ValidatedModel, *, app_package: str,
+                category: str) -> ModelRecord:
+        """Analyse one validated model in the context of the app that ships it."""
+        graph = validated.graph
+        quantization = quantization_report(graph)
+        pruning = pruning_report(graph)
+        clustering = clustering_report(graph)
+        task = self.task_classifier.classify(graph)
+
+        return ModelRecord(
+            app_package=app_package,
+            category=category,
+            source=validated.source,
+            file_names=validated.artifact.file_names,
+            framework=validated.framework,
+            checksum=validated.checksum,
+            size_bytes=validated.size_bytes,
+            num_layers=graph.num_layers,
+            flops=trace_flops(graph),
+            parameters=trace_parameters(graph),
+            modality=graph.modality,
+            task=task.task,
+            layer_category_fractions=graph.layer_category_fractions(),
+            has_dequantize_layer=quantization.has_dequantize_layer,
+            int8_weight_fraction=quantization.int8_weight_fraction,
+            int8_activation_fraction=quantization.int8_activation_fraction,
+            has_cluster_prefix=clustering.has_cluster_prefix,
+            has_prune_prefix=pruning.has_prune_prefix,
+            near_zero_weight_fraction=pruning.near_zero_weight_fraction,
+            graph=graph,
+        )

@@ -1,0 +1,82 @@
+"""Model-level optimisation adoption analysis (Sec. 6.1).
+
+Aggregates per-model optimisation traces into the statistics the paper
+reports: no clustering (``cluster_`` prefixes), no pruning (``prune_``
+prefixes), ~3.15% near-zero weights, 10.3% of models with ``dequantize``
+layers, 20.27% with int8 weights and 10.31% with int8 activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.records import ModelRecord
+
+__all__ = ["OptimizationAdoption", "analyze_optimizations"]
+
+
+@dataclass(frozen=True)
+class OptimizationAdoption:
+    """Adoption of the three TFLite model-level optimisations across a snapshot."""
+
+    total_models: int
+    clustered_models: int
+    pruned_models: int
+    dequantize_models: int
+    int8_weight_models: int
+    int8_activation_models: int
+    mean_near_zero_weight_fraction: float
+
+    def _fraction(self, count: int) -> float:
+        if self.total_models == 0:
+            return 0.0
+        return count / self.total_models
+
+    @property
+    def clustering_fraction(self) -> float:
+        """Fraction of models with clustered layers (paper: 0)."""
+        return self._fraction(self.clustered_models)
+
+    @property
+    def pruning_fraction(self) -> float:
+        """Fraction of models with pruning-prefixed layers (paper: 0)."""
+        return self._fraction(self.pruned_models)
+
+    @property
+    def dequantize_fraction(self) -> float:
+        """Fraction of models containing dequantize layers (paper: 10.3%)."""
+        return self._fraction(self.dequantize_models)
+
+    @property
+    def int8_weight_fraction(self) -> float:
+        """Fraction of models storing int8 weights (paper: 20.27%)."""
+        return self._fraction(self.int8_weight_models)
+
+    @property
+    def int8_activation_fraction(self) -> float:
+        """Fraction of models with int8 activations (paper: 10.31%)."""
+        return self._fraction(self.int8_activation_models)
+
+
+def analyze_optimizations(models: Sequence[ModelRecord]) -> OptimizationAdoption:
+    """Aggregate the optimisation traces of all validated models."""
+    total = len(models)
+    clustered = sum(1 for record in models if record.has_cluster_prefix)
+    pruned = sum(1 for record in models if record.has_prune_prefix)
+    dequantize = sum(1 for record in models if record.has_dequantize_layer)
+    int8_weights = sum(1 for record in models if record.uses_int8_weights)
+    int8_activations = sum(1 for record in models if record.uses_int8_activations)
+    if total:
+        mean_sparsity = sum(record.near_zero_weight_fraction for record in models) / total
+    else:
+        mean_sparsity = 0.0
+    return OptimizationAdoption(
+        total_models=total,
+        clustered_models=clustered,
+        pruned_models=pruned,
+        dequantize_models=dequantize,
+        int8_weight_models=int8_weights,
+        int8_activation_models=int8_activations,
+        mean_near_zero_weight_fraction=mean_sparsity,
+    )

@@ -1,0 +1,123 @@
+"""The end-to-end gaugeNN pipeline (Fig. 1).
+
+:class:`GaugeNN` ties the stages together: crawl a store snapshot, download
+every app, extract and validate candidate model files, analyse models and app
+code offline, and (optionally) benchmark the unique models across the device
+fleet.  It is the top-level entry point of the library:
+
+>>> from repro import GaugeNN, PipelineConfig
+>>> from repro.android import AppGenerator, GeneratorConfig, PlayStore
+>>> store = PlayStore([AppGenerator(GeneratorConfig.snapshot_2021(scale=0.02)).generate()])
+>>> analysis = GaugeNN(store).analyze_snapshot("2021")
+>>> analysis.total_models > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.android.playstore import PlayStore
+from repro.core.app_analysis import AppAnalyzer
+from repro.core.crawler import Crawler
+from repro.core.extractor import ModelExtractor
+from repro.core.model_analysis import ModelAnalyzer
+from repro.core.records import AppRecord, ModelRecord, SnapshotAnalysis
+from repro.core.validator import ModelValidator
+
+__all__ = ["PipelineConfig", "GaugeNN"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the offline-analysis pipeline."""
+
+    #: Limit on apps fetched per category chart (the store caps at 500).
+    per_category_limit: int = 500
+    #: Optional hard cap on the number of apps downloaded (None = no cap).
+    max_apps: Optional[int] = None
+    #: Categories to crawl (None = every category).
+    categories: Optional[tuple[str, ...]] = None
+
+
+class GaugeNN:
+    """The gaugeNN measurement tool: retrieval, offline analysis, benchmarking."""
+
+    def __init__(self, store: PlayStore, config: PipelineConfig = PipelineConfig()) -> None:
+        self.store = store
+        self.config = config
+        self.crawler = Crawler(store, per_category_limit=config.per_category_limit)
+        self.extractor = ModelExtractor()
+        self.validator = ModelValidator()
+        self.app_analyzer = AppAnalyzer()
+        self.model_analyzer = ModelAnalyzer()
+
+    # ------------------------------------------------------------------ #
+    # Offline analysis (Sec. 3.1, 3.2)
+    # ------------------------------------------------------------------ #
+    def analyze_snapshot(self, snapshot_label: str) -> SnapshotAnalysis:
+        """Run retrieval plus offline analysis on one store snapshot."""
+        crawl = self.crawler.crawl(snapshot_label, categories=self.config.categories)
+        analysis = SnapshotAnalysis(
+            label=snapshot_label,
+            date=self.store.snapshot(snapshot_label).date,
+        )
+
+        packages = crawl.packages()
+        if self.config.max_apps is not None:
+            packages = packages[: self.config.max_apps]
+
+        for package_name in packages:
+            listing = crawl.listings[package_name]
+            app_package = self.store.download(snapshot_label, package_name)
+            extraction = self.extractor.extract(app_package)
+            code_analysis = self.app_analyzer.analyze(
+                extraction.dex_data, extraction.native_libraries)
+            validated_models = self.validator.validate_many(extraction.candidate_groups)
+
+            model_records = [
+                self.model_analyzer.analyze(
+                    validated, app_package=package_name, category=listing.category)
+                for validated in validated_models
+            ]
+            analysis.models.extend(model_records)
+            analysis.apps.append(AppRecord(
+                package=package_name,
+                title=listing.title,
+                category=listing.category,
+                downloads=listing.downloads,
+                rating=listing.rating,
+                frameworks_in_code=code_analysis.frameworks_in_code,
+                native_libraries=extraction.native_libraries,
+                accelerators=code_analysis.accelerators,
+                cloud_apis=code_analysis.cloud_apis,
+                cloud_providers=code_analysis.cloud_providers,
+                model_count=len(model_records),
+                candidate_file_count=extraction.candidate_count,
+                apk_size_bytes=extraction.apk_size_bytes,
+            ))
+        return analysis
+
+    def analyze_all_snapshots(self) -> dict[str, SnapshotAnalysis]:
+        """Analyse every snapshot registered in the store, oldest first."""
+        return {
+            label: self.analyze_snapshot(label)
+            for label in self.store.snapshot_labels()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Benchmarking hand-off (Sec. 3.3)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def unique_graphs(analysis: SnapshotAnalysis) -> list:
+        """Graphs of the unique models of a snapshot, ready for benchmarking."""
+        return [record.graph for record in analysis.unique_model_records()]
+
+    @staticmethod
+    def graphs_with_tasks(analysis: SnapshotAnalysis) -> list:
+        """(graph, task) pairs of unique models, for scenario-driven energy runs."""
+        return [
+            (record.graph, record.task)
+            for record in analysis.unique_model_records()
+        ]

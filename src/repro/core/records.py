@@ -1,0 +1,168 @@
+"""Record types produced by the gaugeNN offline analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import LayerCategory
+
+__all__ = ["ModelRecord", "AppRecord", "SnapshotAnalysis"]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One extracted, validated and analysed DNN model instance.
+
+    A model that ships in several apps produces several records sharing the
+    same ``checksum`` — the uniqueness analysis (Sec. 4.5) groups on it.
+    """
+
+    app_package: str
+    category: str
+    source: str
+    file_names: tuple[str, ...]
+    framework: str
+    checksum: str
+    size_bytes: int
+    num_layers: int
+    flops: int
+    parameters: int
+    modality: Modality
+    task: str
+    layer_category_fractions: Mapping[LayerCategory, float]
+    has_dequantize_layer: bool
+    int8_weight_fraction: float
+    int8_activation_fraction: float
+    has_cluster_prefix: bool
+    has_prune_prefix: bool
+    near_zero_weight_fraction: float
+    graph: Graph
+
+    @property
+    def name(self) -> str:
+        """Model name (the primary file's stem)."""
+        return self.graph.name
+
+    @property
+    def uses_int8_weights(self) -> bool:
+        """Whether any weight tensor is stored in int8."""
+        return self.int8_weight_fraction > 0.0
+
+    @property
+    def uses_int8_activations(self) -> bool:
+        """Whether any compute layer produces int8 activations."""
+        return self.int8_activation_fraction > 0.0
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One crawled application and the ML usage detected in it."""
+
+    package: str
+    title: str
+    category: str
+    downloads: int
+    rating: float
+    frameworks_in_code: tuple[str, ...]
+    native_libraries: tuple[str, ...]
+    accelerators: tuple[str, ...]
+    cloud_apis: tuple[str, ...]
+    cloud_providers: tuple[str, ...]
+    model_count: int
+    candidate_file_count: int
+    apk_size_bytes: int
+
+    @property
+    def has_framework(self) -> bool:
+        """App ships ML framework code or native libraries."""
+        return bool(self.frameworks_in_code) or bool(self.native_libraries)
+
+    @property
+    def has_models(self) -> bool:
+        """App ships at least one validated on-device model."""
+        return self.model_count > 0
+
+    @property
+    def uses_cloud_ml(self) -> bool:
+        """App invokes at least one cloud ML API."""
+        return bool(self.cloud_apis)
+
+
+@dataclass
+class SnapshotAnalysis:
+    """Full offline-analysis output for one store snapshot (Sec. 4)."""
+
+    label: str
+    date: str
+    apps: list[AppRecord] = field(default_factory=list)
+    models: list[ModelRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Table 2 aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_apps(self) -> int:
+        """Total crawled apps."""
+        return len(self.apps)
+
+    @property
+    def apps_with_frameworks(self) -> int:
+        """Apps whose code or native libraries include an ML framework."""
+        return sum(1 for app in self.apps if app.has_framework)
+
+    @property
+    def apps_with_models(self) -> int:
+        """Apps shipping at least one validated model."""
+        return sum(1 for app in self.apps if app.has_models)
+
+    @property
+    def total_models(self) -> int:
+        """Total validated model instances."""
+        return len(self.models)
+
+    @property
+    def unique_model_checksums(self) -> frozenset[str]:
+        """Distinct model checksums across all instances."""
+        return frozenset(record.checksum for record in self.models)
+
+    @property
+    def unique_models(self) -> int:
+        """Number of distinct models (Sec. 4.5)."""
+        return len(self.unique_model_checksums)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def models_by_framework(self) -> dict[str, int]:
+        """Model instance counts per framework (Fig. 4 totals)."""
+        counts: dict[str, int] = {}
+        for record in self.models:
+            counts[record.framework] = counts.get(record.framework, 0) + 1
+        return counts
+
+    def models_by_category(self) -> dict[str, int]:
+        """Model instance counts per Play category."""
+        counts: dict[str, int] = {}
+        for record in self.models:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def models_by_task(self) -> dict[str, int]:
+        """Model instance counts per classified task (Table 3)."""
+        counts: dict[str, int] = {}
+        for record in self.models:
+            counts[record.task] = counts.get(record.task, 0) + 1
+        return counts
+
+    def unique_model_records(self) -> list[ModelRecord]:
+        """One representative record per distinct checksum."""
+        seen: dict[str, ModelRecord] = {}
+        for record in self.models:
+            seen.setdefault(record.checksum, record)
+        return list(seen.values())
+
+    def apps_using_cloud(self) -> list[AppRecord]:
+        """Apps invoking cloud ML APIs (Fig. 15 population)."""
+        return [app for app in self.apps if app.uses_cloud_ml]

@@ -1,0 +1,186 @@
+"""Rule-based model task classification (the paper's manual labelling, Sec. 4.4).
+
+The paper had three ML researchers label every model's task from its file
+name, input/output dimensions and layer types (with a majority vote); around
+67% of names already hint the model or task.  This classifier encodes the same
+signals as rules: a keyword table over file names, then structural heuristics
+over the graph (detection post-processing nodes, recurrent layers over token
+ids, spectrogram-shaped inputs, dense segmentation outputs, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+
+__all__ = ["TaskClassification", "TaskClassifier"]
+
+#: Keyword -> task rules applied to the model file name, scoped per input
+#: modality so that a generic keyword ("classifier", "detect") cannot shadow a
+#: non-vision task.  Rules are ordered most specific first.
+_VISION_NAME_RULES: tuple[tuple[str, str], ...] = (
+    ("hair_segmentation", "semantic segmentation"),
+    ("hair_recon", "hair reconstruction"),
+    ("hair_recolor", "hair reconstruction"),
+    ("segment", "semantic segmentation"),
+    ("deeplab", "semantic segmentation"),
+    ("blazeface", "face detection"),
+    ("face_detect", "face detection"),
+    ("face_detection", "face detection"),
+    ("facenet", "face recognition"),
+    ("face_embedding", "face recognition"),
+    ("face_verifier", "face recognition"),
+    ("landmark", "contour detection"),
+    ("face_mesh", "contour detection"),
+    ("facemesh", "contour detection"),
+    ("contour", "contour detection"),
+    ("ocr", "text recognition"),
+    ("text_recognition", "text recognition"),
+    ("card_number", "text recognition"),
+    ("paycard", "text recognition"),
+    ("recognizer", "text recognition"),
+    ("posenet", "pose estimation"),
+    ("pose_", "pose estimation"),
+    ("style", "style transfer"),
+    ("cartoon", "style transfer"),
+    ("art_filter", "style transfer"),
+    ("beauty", "photo beauty"),
+    ("retouch", "photo beauty"),
+    ("skin_smooth", "photo beauty"),
+    ("nsfw", "nudity detection"),
+    ("nudity", "nudity detection"),
+    ("ssd", "object detection"),
+    ("fssd", "object detection"),
+    ("detect", "object detection"),
+    ("object_localizer", "object detection"),
+    ("yolo", "object detection"),
+    ("ar_", "augmented reality"),
+    ("arcore", "augmented reality"),
+    ("anchor", "augmented reality"),
+    ("imagenet", "image classification"),
+    ("mobilenet_v", "image classification"),
+    ("classifier", "image classification"),
+    ("label", "object recognition"),
+    ("recognize", "object recognition"),
+)
+
+_TEXT_NAME_RULES: tuple[tuple[str, str], ...] = (
+    ("autocomplete", "auto-complete"),
+    ("next_word", "auto-complete"),
+    ("smart_compose", "auto-complete"),
+    ("sentiment", "sentiment prediction"),
+    ("toxicity", "content filter"),
+    ("content_filter", "content filter"),
+    ("topic", "text classification"),
+    ("intent", "text classification"),
+    ("translat", "translation"),
+)
+
+_AUDIO_NAME_RULES: tuple[tuple[str, str], ...] = (
+    ("hotword", "keyword detection"),
+    ("wakeword", "keyword detection"),
+    ("asr", "speech recognition"),
+    ("speech_to_text", "speech recognition"),
+    ("speech", "speech recognition"),
+    ("sound", "sound recognition"),
+    ("yamnet", "sound recognition"),
+    ("baby_cry", "sound recognition"),
+)
+
+_SENSOR_NAME_RULES: tuple[tuple[str, str], ...] = (
+    ("crash", "crash detection"),
+    ("collision", "crash detection"),
+    ("activity", "movement tracking"),
+    ("movement", "movement tracking"),
+    ("step_", "movement tracking"),
+)
+
+_NAME_RULES_BY_MODALITY: dict[Modality, tuple[tuple[str, str], ...]] = {
+    Modality.IMAGE: _VISION_NAME_RULES,
+    Modality.TEXT: _TEXT_NAME_RULES,
+    Modality.AUDIO: _AUDIO_NAME_RULES,
+    Modality.SENSOR: _SENSOR_NAME_RULES,
+}
+
+#: Label used when neither the name nor the structure identifies the task.
+UNIDENTIFIED = "unidentified"
+
+
+@dataclass(frozen=True)
+class TaskClassification:
+    """A task label plus how it was derived."""
+
+    task: str
+    source: str
+    confidence: float
+
+    @property
+    def identified(self) -> bool:
+        """Whether a concrete task could be assigned."""
+        return self.task != UNIDENTIFIED
+
+
+class TaskClassifier:
+    """Classifies a model's task from its name, I/O shapes and layers."""
+
+    def classify(self, graph: Graph) -> TaskClassification:
+        """Classify one model."""
+        by_name = self._classify_by_name(graph.name.lower(), graph.modality)
+        if by_name is not None:
+            return TaskClassification(task=by_name, source="name", confidence=0.9)
+        by_structure = self._classify_by_structure(graph)
+        if by_structure is not None:
+            return TaskClassification(task=by_structure, source="structure", confidence=0.6)
+        return TaskClassification(task=UNIDENTIFIED, source="none", confidence=0.0)
+
+    @staticmethod
+    def _classify_by_name(name: str, modality: Modality) -> str | None:
+        for keyword, task in _NAME_RULES_BY_MODALITY.get(modality, ()):
+            if keyword in name:
+                return task
+        return None
+
+    @staticmethod
+    def _classify_by_structure(graph: Graph) -> str | None:
+        ops = {layer.op for layer in graph.layers}
+        modality = graph.modality
+        outputs = graph.output_specs()
+        output_elements = max((spec.num_elements for spec in outputs), default=0)
+
+        if modality == Modality.IMAGE:
+            if OpType.DETECTION_POSTPROCESS in ops:
+                return "object detection"
+            if OpType.LSTM in ops or OpType.GRU in ops:
+                return "text recognition"
+            input_spec = graph.input_specs[0]
+            if outputs and len(outputs[0].shape) == 4:
+                # Dense spatial output: image-to-image (segmentation-like).
+                if outputs[0].shape[-1] <= 4 and output_elements > 1024:
+                    return "semantic segmentation"
+                return "photo beauty"
+            if output_elements >= 500:
+                return "image classification"
+            if 0 < output_elements <= 16:
+                return "augmented reality"
+            if output_elements > 16:
+                return "contour detection"
+            return "object recognition"
+        if modality == Modality.TEXT:
+            if output_elements >= 5000:
+                return "auto-complete"
+            if output_elements <= 4:
+                return "sentiment prediction"
+            return "text classification"
+        if modality == Modality.AUDIO:
+            if OpType.LSTM in ops or OpType.GRU in ops:
+                return "speech recognition"
+            if output_elements <= 16:
+                return "keyword detection"
+            return "sound recognition"
+        if modality == Modality.SENSOR:
+            if output_elements <= 2:
+                return "crash detection"
+            return "movement tracking"
+        return None

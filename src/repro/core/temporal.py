@@ -1,0 +1,106 @@
+"""Temporal analysis across store snapshots (Sec. 4.6, Fig. 5).
+
+Compares two snapshot analyses taken a year apart: growth of DNN-powered
+apps and models, per-framework adoption multipliers, and the per-category
+counts of individual models added and removed (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.records import SnapshotAnalysis
+
+__all__ = ["CategoryChurn", "TemporalComparison", "compare_snapshots"]
+
+
+@dataclass(frozen=True)
+class CategoryChurn:
+    """Models added and removed in one Play category between two snapshots."""
+
+    category: str
+    added: int
+    removed: int
+
+    @property
+    def net_change(self) -> int:
+        """Added minus removed."""
+        return self.added - self.removed
+
+
+@dataclass(frozen=True)
+class TemporalComparison:
+    """Everything the Sec. 4.6 temporal analysis reports."""
+
+    earlier_label: str
+    later_label: str
+    earlier_total_models: int
+    later_total_models: int
+    earlier_apps_with_frameworks: int
+    later_apps_with_frameworks: int
+    earlier_cloud_apps: int
+    later_cloud_apps: int
+    framework_growth: Mapping[str, float]
+    category_churn: tuple[CategoryChurn, ...]
+
+    @property
+    def model_growth(self) -> float:
+        """Multiplier on the total number of traced models (paper: ~2x)."""
+        if self.earlier_total_models == 0:
+            return float("inf")
+        return self.later_total_models / self.earlier_total_models
+
+    @property
+    def cloud_growth(self) -> float:
+        """Multiplier on the number of cloud-ML apps (paper: 2.33x)."""
+        if self.earlier_cloud_apps == 0:
+            return float("inf")
+        return self.later_cloud_apps / self.earlier_cloud_apps
+
+    def churn_sorted_by_net_change(self) -> tuple[CategoryChurn, ...]:
+        """Category churn sorted as in Fig. 5 (largest net gain first)."""
+        return tuple(sorted(self.category_churn, key=lambda c: c.net_change, reverse=True))
+
+
+def _unique_checksums_by_category(analysis: SnapshotAnalysis) -> dict[str, set[str]]:
+    grouped: dict[str, set[str]] = {}
+    for record in analysis.models:
+        grouped.setdefault(record.category, set()).add(record.checksum)
+    return grouped
+
+
+def compare_snapshots(earlier: SnapshotAnalysis, later: SnapshotAnalysis) -> TemporalComparison:
+    """Compare two snapshot analyses (the earlier one first)."""
+    earlier_frameworks = earlier.models_by_framework()
+    later_frameworks = later.models_by_framework()
+    growth: dict[str, float] = {}
+    for framework in sorted(set(earlier_frameworks) | set(later_frameworks)):
+        before = earlier_frameworks.get(framework, 0)
+        after = later_frameworks.get(framework, 0)
+        growth[framework] = (after / before) if before else float("inf")
+
+    earlier_by_category = _unique_checksums_by_category(earlier)
+    later_by_category = _unique_checksums_by_category(later)
+    churn = []
+    for category in sorted(set(earlier_by_category) | set(later_by_category)):
+        before = earlier_by_category.get(category, set())
+        after = later_by_category.get(category, set())
+        churn.append(CategoryChurn(
+            category=category,
+            added=len(after - before),
+            removed=len(before - after),
+        ))
+
+    return TemporalComparison(
+        earlier_label=earlier.label,
+        later_label=later.label,
+        earlier_total_models=earlier.total_models,
+        later_total_models=later.total_models,
+        earlier_apps_with_frameworks=earlier.apps_with_frameworks,
+        later_apps_with_frameworks=later.apps_with_frameworks,
+        earlier_cloud_apps=len(earlier.apps_using_cloud()),
+        later_cloud_apps=len(later.apps_using_cloud()),
+        framework_growth=growth,
+        category_churn=tuple(churn),
+    )

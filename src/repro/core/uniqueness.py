@@ -1,0 +1,158 @@
+"""Model uniqueness and fine-tuning analysis (Sec. 4.5).
+
+Two analyses run over the validated models of a snapshot:
+
+* **Uniqueness** — md5 checksums over model structure and weights identify
+  off-the-shelf models shared across apps; the paper finds only 19.1% of
+  models are unique and ~80.9% are shared by two or more applications.
+* **Fine-tuning** — per-layer weight checksums compare the remaining unique
+  models pairwise; 9.02% share at least 20% of their weights with another
+  model, and 4.2% differ in at most three layers, indicating transfer
+  learning of only the last layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.records import ModelRecord
+
+__all__ = ["UniquenessReport", "FinetuneReport", "analyze_uniqueness", "analyze_finetuning"]
+
+
+@dataclass(frozen=True)
+class UniquenessReport:
+    """Aggregate duplication statistics across model instances."""
+
+    total_models: int
+    unique_models: int
+    models_shared_across_apps: int
+    most_duplicated: tuple[tuple[str, int], ...]
+
+    @property
+    def unique_fraction(self) -> float:
+        """Fraction of model instances that are unique (Table 2's 19.1%)."""
+        if self.total_models == 0:
+            return 0.0
+        return self.unique_models / self.total_models
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of instances whose model also ships in another app (~80.9%)."""
+        if self.total_models == 0:
+            return 0.0
+        return self.models_shared_across_apps / self.total_models
+
+
+@dataclass(frozen=True)
+class FinetuneReport:
+    """Aggregate fine-tuning statistics across *unique* models."""
+
+    unique_models: int
+    models_sharing_weights: int
+    models_differing_few_layers: int
+    share_threshold: float
+    few_layer_threshold: int
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of unique models sharing >= threshold weights (paper: 9.02%)."""
+        if self.unique_models == 0:
+            return 0.0
+        return self.models_sharing_weights / self.unique_models
+
+    @property
+    def few_layer_fraction(self) -> float:
+        """Fraction differing in <= ``few_layer_threshold`` layers (paper: 4.2%)."""
+        if self.unique_models == 0:
+            return 0.0
+        return self.models_differing_few_layers / self.unique_models
+
+
+def analyze_uniqueness(models: Sequence[ModelRecord], top_k: int = 5) -> UniquenessReport:
+    """Group model instances by checksum and report duplication statistics."""
+    by_checksum: dict[str, list[ModelRecord]] = {}
+    for record in models:
+        by_checksum.setdefault(record.checksum, []).append(record)
+
+    duplicated_instances = sum(
+        len(group) for group in by_checksum.values()
+        if len({record.app_package for record in group}) > 1
+    )
+    most_duplicated = sorted(
+        ((group[0].name, len(group)) for group in by_checksum.values()),
+        key=lambda item: item[1],
+        reverse=True,
+    )[:top_k]
+    return UniquenessReport(
+        total_models=len(models),
+        unique_models=len(by_checksum),
+        models_shared_across_apps=duplicated_instances,
+        most_duplicated=tuple(most_duplicated),
+    )
+
+
+def analyze_finetuning(models: Sequence[ModelRecord], *, share_threshold: float = 0.2,
+                       few_layer_threshold: int = 3) -> FinetuneReport:
+    """Pairwise layer-checksum comparison across unique models.
+
+    A model counts towards ``models_sharing_weights`` when at least
+    ``share_threshold`` of its parameters (by count) have an identical layer
+    checksum in some *other* unique model, and towards
+    ``models_differing_few_layers`` when it shares weights with another model
+    and differs from it in at most ``few_layer_threshold`` weighted layers.
+    """
+    unique: dict[str, ModelRecord] = {}
+    for record in models:
+        unique.setdefault(record.checksum, record)
+    records = list(unique.values())
+
+    # Pre-compute per-layer checksums once per unique model.
+    layer_maps = [record.graph.layer_checksums() for record in records]
+    layer_sets = [frozenset(layer_map.values()) for layer_map in layer_maps]
+    parameters = [
+        {name: record.graph.layer(name).num_parameters for name in layer_map}
+        for record, layer_map in zip(records, layer_maps)
+    ]
+
+    sharing = 0
+    few_layers = 0
+    for i, record in enumerate(records):
+        own_params = sum(parameters[i].values())
+        if own_params == 0:
+            continue
+        best_share = 0.0
+        min_diff = None
+        for j, other in enumerate(records):
+            if i == j:
+                continue
+            other_set = layer_sets[j]
+            shared_params = sum(
+                parameters[i][name]
+                for name, checksum in layer_maps[i].items()
+                if checksum in other_set
+            )
+            share = shared_params / own_params
+            if share > best_share:
+                best_share = share
+            if share >= share_threshold:
+                names = set(layer_maps[i]) | set(layer_maps[j])
+                diff = sum(
+                    1 for name in names
+                    if layer_maps[i].get(name) != layer_maps[j].get(name)
+                )
+                if min_diff is None or diff < min_diff:
+                    min_diff = diff
+        if best_share >= share_threshold:
+            sharing += 1
+            if min_diff is not None and min_diff <= few_layer_threshold:
+                few_layers += 1
+
+    return FinetuneReport(
+        unique_models=len(records),
+        models_sharing_weights=sharing,
+        models_differing_few_layers=few_layers,
+        share_threshold=share_threshold,
+        few_layer_threshold=few_layer_threshold,
+    )

@@ -1,0 +1,122 @@
+"""Model validation and parsing (stage three of "DNN retrieval").
+
+Candidate files are checked against framework-specific binary signatures; the
+survivors are parsed into :class:`~repro.dnn.graph.Graph` objects with the
+"associated framework's interpreter" (our format readers).  Encrypted or
+obfuscated files fail the signature check and are dropped, exactly as in the
+paper (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.extractor import CandidateGroup
+from repro.dnn.graph import Graph
+from repro.formats.artifact import ModelArtifact
+from repro.formats.detect import detect_framework
+from repro.formats.serialize import deserialize_model
+
+__all__ = ["ValidatedModel", "ModelValidator"]
+
+
+@dataclass(frozen=True)
+class ValidatedModel:
+    """A candidate group that passed validation and parsed into a graph."""
+
+    artifact: ModelArtifact
+    graph: Graph
+    source: str
+    paths: tuple[str, ...]
+
+    @property
+    def framework(self) -> str:
+        """Framework the model belongs to."""
+        return self.artifact.framework
+
+    @property
+    def checksum(self) -> str:
+        """Whole-model checksum over structure and weights (Sec. 4.5)."""
+        return self.artifact.checksum()
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size of the model files."""
+        return self.artifact.total_size
+
+
+class ModelValidator:
+    """Signature-validates candidate groups and parses them into graphs."""
+
+    def validate_group(self, group: CandidateGroup) -> Optional[ValidatedModel]:
+        """Validate one candidate group; returns ``None`` when it is not a model."""
+        detections = {}
+        for candidate in group.files:
+            detected = detect_framework(candidate.data)
+            if detected is not None:
+                detections[candidate.path] = detected
+
+        if not detections:
+            return None
+
+        frameworks = {framework for framework, _ in detections.values()}
+        if len(frameworks) > 1:
+            # Companion files must agree on the framework; otherwise treat the
+            # largest valid file alone.
+            primary = group.primary
+            detected = detect_framework(primary.data)
+            if detected is None:
+                return None
+            frameworks = {detected[0]}
+        framework = next(iter(frameworks))
+
+        # Structure-only files (caffe prototxt, ncnn param) are not enough to
+        # reconstruct the model; require a weights-bearing file.
+        weight_roles = {"model", "weights"}
+        has_weights = any(role in weight_roles for _, role in detections.values())
+        if not has_weights:
+            return None
+
+        files = {}
+        for candidate in group.files:
+            files[candidate.file_name] = candidate.data
+        primary_name = self._primary_file_name(framework, files)
+        if primary_name is None:
+            return None
+        artifact = ModelArtifact(framework=framework, primary=primary_name, files=files)
+        try:
+            graph = deserialize_model(artifact)
+        except ValueError:
+            return None
+        return ValidatedModel(
+            artifact=artifact,
+            graph=graph,
+            source=group.files[0].source,
+            paths=tuple(candidate.path for candidate in group.files),
+        )
+
+    def validate_many(self, groups) -> list[ValidatedModel]:
+        """Validate a collection of candidate groups, dropping non-models."""
+        validated = []
+        for group in groups:
+            model = self.validate_group(group)
+            if model is not None:
+                validated.append(model)
+        return validated
+
+    @staticmethod
+    def _primary_file_name(framework: str, files: dict[str, bytes]) -> Optional[str]:
+        """Pick the file the framework's interpreter would be pointed at."""
+        preferred_suffix = {
+            "tflite": (".tflite", ".lite", ".tfl", ".bin", ".pb"),
+            "caffe": (".caffemodel",),
+            "ncnn": (".param",),
+            "tf": (".pb",),
+            "snpe": (".dlc",),
+        }.get(framework, ())
+        for suffix in preferred_suffix:
+            for name in sorted(files):
+                if name.lower().endswith(suffix):
+                    return name
+        return next(iter(sorted(files)), None)

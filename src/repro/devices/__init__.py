@@ -1,0 +1,35 @@
+"""Device substrate: SoCs, phones/dev-boards, power monitoring and scheduling.
+
+Stands in for the paper's physical benchmark platform (Fig. 2): three Samsung
+phones of different tiers and three Qualcomm development boards wired to a
+Monsoon power monitor through a programmable USB switch.  The analytical SoC
+models encode the first-order performance/energy characteristics (core
+islands, frequencies, memory bandwidth, accelerators, per-generation
+efficiency) needed to reproduce the *shape* of the paper's runtime results.
+"""
+
+from repro.devices.soc import Accelerator, CoreCluster, SoC
+from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, PHONES, Device, device_by_name
+from repro.devices.battery import Battery
+from repro.devices.thermal import ThermalModel
+from repro.devices.power_monitor import PowerMonitor, PowerTrace
+from repro.devices.usb_control import UsbSwitch
+from repro.devices.scheduler import CpuScheduler, ThreadConfig
+
+__all__ = [
+    "Accelerator",
+    "CoreCluster",
+    "SoC",
+    "Device",
+    "DEVICE_FLEET",
+    "DEV_BOARDS",
+    "PHONES",
+    "device_by_name",
+    "Battery",
+    "ThermalModel",
+    "PowerMonitor",
+    "PowerTrace",
+    "UsbSwitch",
+    "CpuScheduler",
+    "ThreadConfig",
+]

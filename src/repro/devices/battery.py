@@ -1,0 +1,47 @@
+"""Battery model: converting measured energy into battery discharge.
+
+The paper's Table 4 reports scenario energy as battery discharge in mAh; the
+conversion from joules uses the pack's nominal voltage.  Battery technology is
+highlighted as the stagnating resource of mobile DNN deployment (Sec. 8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Battery"]
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A lithium battery pack described by capacity and nominal voltage."""
+
+    capacity_mah: int
+    voltage: float = 3.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError("capacity_mah must be positive")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+
+    @property
+    def capacity_joules(self) -> float:
+        """Total energy stored at nominal voltage, in joules."""
+        return self.capacity_mah / 1000.0 * 3600.0 * self.voltage
+
+    def discharge_mah(self, energy_joules: float) -> float:
+        """Convert an energy draw in joules into consumed battery charge (mAh)."""
+        if energy_joules < 0:
+            raise ValueError("energy_joules must be non-negative")
+        return energy_joules / self.voltage / 3600.0 * 1000.0
+
+    def discharge_fraction(self, energy_joules: float) -> float:
+        """Fraction of the full battery consumed by an energy draw."""
+        return min(1.0, energy_joules / self.capacity_joules)
+
+    def hours_of_runtime(self, power_watts: float) -> float:
+        """How long the battery sustains a constant power draw, in hours."""
+        if power_watts <= 0:
+            raise ValueError("power_watts must be positive")
+        return self.capacity_joules / power_watts / 3600.0

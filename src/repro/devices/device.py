@@ -1,0 +1,135 @@
+"""Device fleet: the phones and development boards of the paper's Table 1.
+
+The fleet has two groups: consumer phones representing three market tiers
+(A20 low, A70 mid, S21 high) and Qualcomm HDK development boards representing
+three successive flagship SoC generations (845, 855, 888) whose open-deck
+design allows per-rail power measurement with a Monsoon monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.devices.battery import Battery
+from repro.devices.soc import SoC, soc_by_name
+
+__all__ = ["Device", "PHONES", "DEV_BOARDS", "DEVICE_FLEET", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One benchmark target: a phone or an open-deck development board."""
+
+    name: str
+    model_code: str
+    soc: SoC
+    ram_gb: int
+    battery: Optional[Battery]
+    tier: str
+    is_dev_board: bool = False
+    #: Multiplier on top of the SoC's raw throughput capturing vendor
+    #: configuration, installed software and thermal headroom.  Open-deck
+    #: boards dissipate heat better and run a vanilla OS, so they edge out
+    #: phones with the same SoC (Sec. 5.1).
+    vendor_factor: float = 1.0
+    #: Steady-state screen power during benchmarks (black background), watts.
+    screen_power_watts: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.tier not in ("low", "mid", "high"):
+            raise ValueError(f"tier must be low/mid/high, got {self.tier!r}")
+        if self.vendor_factor <= 0:
+            raise ValueError("vendor_factor must be positive")
+
+    @property
+    def supports_power_measurement(self) -> bool:
+        """Only open-deck boards can be wired to the power monitor."""
+        return self.is_dev_board
+
+    @property
+    def battery_capacity_mah(self) -> Optional[int]:
+        """Battery capacity, or ``None`` for boards powered from the bench."""
+        return self.battery.capacity_mah if self.battery else None
+
+
+def _fleet() -> tuple[tuple[Device, ...], tuple[Device, ...]]:
+    phones = (
+        Device(
+            name="A20",
+            model_code="SM-A205F",
+            soc=soc_by_name("Exynos 7884"),
+            ram_gb=4,
+            battery=Battery(capacity_mah=4000, voltage=3.85),
+            tier="low",
+            vendor_factor=0.95,
+        ),
+        Device(
+            name="A70",
+            model_code="SM-A705F",
+            soc=soc_by_name("Snapdragon 675"),
+            ram_gb=6,
+            battery=Battery(capacity_mah=4500, voltage=3.85),
+            tier="mid",
+            vendor_factor=0.97,
+        ),
+        Device(
+            name="S21",
+            model_code="SM-G991B",
+            soc=soc_by_name("Snapdragon 888"),
+            ram_gb=8,
+            battery=Battery(capacity_mah=4000, voltage=3.85),
+            tier="high",
+            vendor_factor=0.93,
+        ),
+    )
+    boards = (
+        Device(
+            name="Q845",
+            model_code="Snapdragon 845 HDK",
+            soc=soc_by_name("Snapdragon 845"),
+            ram_gb=8,
+            battery=Battery(capacity_mah=2850, voltage=3.8),
+            tier="high",
+            is_dev_board=True,
+            vendor_factor=1.0,
+            screen_power_watts=0.40,
+        ),
+        Device(
+            name="Q855",
+            model_code="Snapdragon 855 HDK",
+            soc=soc_by_name("Snapdragon 855"),
+            ram_gb=8,
+            battery=None,
+            tier="high",
+            is_dev_board=True,
+            vendor_factor=1.0,
+            screen_power_watts=0.40,
+        ),
+        Device(
+            name="Q888",
+            model_code="Snapdragon 888 HDK",
+            soc=soc_by_name("Snapdragon 888"),
+            ram_gb=8,
+            battery=None,
+            tier="high",
+            is_dev_board=True,
+            vendor_factor=1.0,
+            screen_power_watts=0.40,
+        ),
+    )
+    return phones, boards
+
+
+PHONES, DEV_BOARDS = _fleet()
+
+#: The full Table 1 fleet, phones first.
+DEVICE_FLEET: tuple[Device, ...] = PHONES + DEV_BOARDS
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a device of the fleet by its short name (A20, A70, S21, Q845...)."""
+    for device in DEVICE_FLEET:
+        if device.name == name:
+            return device
+    raise KeyError(f"unknown device {name!r}; fleet: {[d.name for d in DEVICE_FLEET]}")

@@ -1,0 +1,107 @@
+"""Monsoon-style power monitor simulator.
+
+The paper measures energy on open-deck devices with a Monsoon AAA10F power
+monitor sampling the main rail; screen power is measured and accounted for
+separately (Sec. 3.3).  The simulator produces sampled power traces from a
+piecewise-constant power profile and integrates them into energy, mimicking
+how the real monitor's samples are post-processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PowerTrace", "PowerMonitor"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A sampled power trace: timestamps (s) and instantaneous power (W)."""
+
+    timestamps_s: tuple[float, ...]
+    power_watts: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.timestamps_s) != len(self.power_watts):
+            raise ValueError("timestamps and power samples must align")
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the trace in seconds."""
+        if not self.timestamps_s:
+            return 0.0
+        return self.timestamps_s[-1] - self.timestamps_s[0]
+
+    def energy_joules(self) -> float:
+        """Trapezoidal integral of the power trace."""
+        if len(self.timestamps_s) < 2:
+            return 0.0
+        return float(np.trapezoid(np.asarray(self.power_watts),
+                                  np.asarray(self.timestamps_s)))
+
+    def average_power_watts(self) -> float:
+        """Mean power over the trace duration."""
+        if self.duration_s <= 0:
+            return float(self.power_watts[0]) if self.power_watts else 0.0
+        return self.energy_joules() / self.duration_s
+
+    def peak_power_watts(self) -> float:
+        """Maximum sampled power."""
+        return max(self.power_watts) if self.power_watts else 0.0
+
+
+class PowerMonitor:
+    """Samples a power profile at a fixed rate, adding measurement noise.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Sampling frequency; the Monsoon AAA10F samples at 5 kHz.
+    noise_watts:
+        Standard deviation of additive Gaussian measurement noise.
+    seed:
+        RNG seed for reproducible traces.
+    """
+
+    def __init__(self, sample_rate_hz: float = 5000.0, noise_watts: float = 0.02,
+                 seed: int = 0) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if noise_watts < 0:
+            raise ValueError("noise_watts must be non-negative")
+        self.sample_rate_hz = sample_rate_hz
+        self.noise_watts = noise_watts
+        self._rng = np.random.default_rng(seed)
+
+    def record(self, segments: Sequence[tuple[float, float]]) -> PowerTrace:
+        """Record a trace from (duration_s, power_watts) segments.
+
+        Segments shorter than one sample period still contribute at least one
+        sample so short inferences are never lost.
+        """
+        period = 1.0 / self.sample_rate_hz
+        timestamps: list[float] = []
+        power: list[float] = []
+        clock = 0.0
+        for duration, watts in segments:
+            if duration < 0 or watts < 0:
+                raise ValueError("segment durations and power must be non-negative")
+            samples = max(1, int(round(duration * self.sample_rate_hz)))
+            for _ in range(samples):
+                noisy = watts + float(self._rng.normal(0.0, self.noise_watts))
+                timestamps.append(clock)
+                power.append(max(0.0, noisy))
+                clock += period
+        return PowerTrace(tuple(timestamps), tuple(power))
+
+    def measure_inference(self, latency_ms: float, active_power_watts: float,
+                          idle_power_watts: float, idle_ms: float = 50.0) -> PowerTrace:
+        """Record an idle / active / idle trace around a single inference."""
+        return self.record([
+            (idle_ms / 1000.0, idle_power_watts),
+            (latency_ms / 1000.0, active_power_watts),
+            (idle_ms / 1000.0, idle_power_watts),
+        ])

@@ -1,0 +1,119 @@
+"""CPU scheduling model: thread counts, core affinity and island heterogeneity.
+
+The paper's Fig. 12 sweeps thread counts (2/4/8) and affinity masks (a2/a4)
+and finds that the optimal configuration varies per device, oversubscription
+(more threads than pinned cores) hurts badly, and adding threads on LITTLE
+cores can be counter-productive.  The model here reproduces those effects by
+treating a layer as work split *equally* across worker threads (as TFLite's
+thread pool does), so the layer finishes when the slowest worker finishes:
+
+* threads are placed on the fastest available cores first;
+* throughput is ``workers x slowest-worker-core`` discounted by a mild
+  per-thread synchronisation loss;
+* using every core of the SoC leaves no headroom for the OS and collapses
+  throughput (the Fig. 12 "8 threads" cliff);
+* pinning to fewer cores than threads causes time-sharing, and pinning to
+  exactly as many cores as threads gains nothing over letting the scheduler
+  migrate (both observations from Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.devices.soc import SoC
+
+__all__ = ["ThreadConfig", "CpuScheduler"]
+
+#: Throughput multiplier applied when threads time-share a pinned core set.
+OVERSUBSCRIPTION_FACTOR = 0.55
+
+#: Throughput multiplier for pinning threads to exactly as many cores.
+PINNING_FACTOR = 0.95
+
+#: Per-extra-thread synchronisation efficiency loss.
+PER_THREAD_EFFICIENCY_LOSS = 0.03
+
+#: Multiplier when every physical core is occupied by worker threads.
+ALL_CORES_CONTENTION_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class ThreadConfig:
+    """An execution configuration: thread count plus optional core affinity.
+
+    ``affinity`` of ``None`` lets threads run on any core; an integer pins the
+    threads to that many of the fastest cores (the paper's ``<n>a<m>`` setups,
+    e.g. ``4a2`` = ``ThreadConfig(threads=4, affinity=2)``).
+    """
+
+    threads: int = 4
+    affinity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.affinity is not None and self.affinity <= 0:
+            raise ValueError("affinity must be positive when given")
+
+    @property
+    def label(self) -> str:
+        """Fig. 12-style label (``4``, ``4a2``, ...)."""
+        if self.affinity is None:
+            return str(self.threads)
+        return f"{self.threads}a{self.affinity}"
+
+
+class CpuScheduler:
+    """Computes the effective CPU throughput of a thread configuration on a SoC."""
+
+    def __init__(self, soc: SoC) -> None:
+        self.soc = soc
+
+    def core_speeds(self) -> list[float]:
+        """Per-core sustained GFLOPS, fastest first."""
+        speeds: list[float] = []
+        for cluster in self.soc.cores_fastest_first():
+            speeds.extend([cluster.per_core_gflops] * cluster.core_count)
+        return speeds
+
+    def effective_gflops(self, config: ThreadConfig) -> float:
+        """Aggregate usable GFLOPS under the given thread/affinity configuration."""
+        speeds = self.core_speeds()
+        usable_cores = len(speeds) if config.affinity is None else min(config.affinity,
+                                                                       len(speeds))
+        pinned = config.affinity is not None
+        workers = config.threads
+        worker_cores = speeds[:min(workers, usable_cores)]
+
+        # Equal work split: the layer completes when the slowest worker does.
+        slowest = min(worker_cores)
+        raw = len(worker_cores) * slowest
+
+        efficiency = max(0.5, 1.0 - PER_THREAD_EFFICIENCY_LOSS * (len(worker_cores) - 1))
+        throughput = raw * efficiency * self.soc.cpu_efficiency
+
+        if pinned and workers > usable_cores:
+            # More threads than pinned cores: pure time-sharing on those cores.
+            throughput *= OVERSUBSCRIPTION_FACTOR
+        elif pinned:
+            # Pinning to exactly the used cores gives no benefit in practice.
+            throughput *= PINNING_FACTOR
+        elif workers >= len(speeds):
+            # Worker threads on every core leave no room for the OS/runtime.
+            throughput *= ALL_CORES_CONTENTION_FACTOR
+        return throughput
+
+    def best_configuration(
+        self, candidates: Optional[Sequence[ThreadConfig]] = None
+    ) -> ThreadConfig:
+        """Pick the highest-throughput configuration among the candidates.
+
+        The default candidate set is the plain (unpinned) 1/2/4/8-thread sweep
+        of Fig. 12; the paper observes that picking the right point of that
+        sweep per device is worth up to ~2x throughput.
+        """
+        if candidates is None:
+            candidates = [ThreadConfig(threads) for threads in (1, 2, 4, 8)]
+        return max(candidates, key=self.effective_gflops)

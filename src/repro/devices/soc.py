@@ -1,0 +1,248 @@
+"""System-on-chip models: heterogeneous core islands and accelerators.
+
+Each SoC is described by its CPU core clusters (ARM big.LITTLE / DynamIQ
+islands with per-core sustained GFLOPS), its memory bandwidth, and optional
+GPU / DSP accelerators.  The numbers are calibrated so relative performance
+across the paper's device fleet (Table 1, Figs. 8-14) is preserved: low-tier
+devices are several times slower, successive Snapdragon generations gain
+incrementally, DSPs run int8 at a fraction of the CPU's power, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CoreCluster", "Accelerator", "SoC", "SOC_CATALOG", "soc_by_name"]
+
+
+@dataclass(frozen=True)
+class CoreCluster:
+    """A homogeneous island of CPU cores (e.g. 4x Cortex-A55)."""
+
+    name: str
+    core_count: int
+    frequency_ghz: float
+    flops_per_cycle: float
+    is_big: bool = False
+
+    def __post_init__(self) -> None:
+        if self.core_count <= 0:
+            raise ValueError("core_count must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+
+    @property
+    def per_core_gflops(self) -> float:
+        """Sustained single-core throughput in GFLOPS."""
+        return self.frequency_ghz * self.flops_per_cycle
+
+    @property
+    def cluster_gflops(self) -> float:
+        """Sustained throughput of the whole cluster in GFLOPS."""
+        return self.per_core_gflops * self.core_count
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A non-CPU compute unit on the SoC (GPU, DSP or NPU)."""
+
+    kind: str
+    name: str
+    peak_gflops: float
+    supports_int8: bool = False
+    int8_speedup: float = 1.0
+    power_watts: float = 1.0
+    per_layer_overhead_ms: float = 0.05
+
+
+@dataclass(frozen=True)
+class SoC:
+    """A mobile system-on-chip."""
+
+    name: str
+    vendor: str
+    year: int
+    process_nm: int
+    clusters: tuple[CoreCluster, ...]
+    memory_bandwidth_gbps: float
+    gpu: Optional[Accelerator] = None
+    dsp: Optional[Accelerator] = None
+    #: Sustained power of an all-core CPU inference workload, in watts.
+    cpu_power_watts: float = 3.0
+    #: Idle platform power (rails that stay on during a benchmark), in watts.
+    idle_power_watts: float = 0.7
+    #: Per-layer dispatch overhead of the default CPU runtime, in ms.
+    cpu_layer_overhead_ms: float = 0.03
+    #: Fixed per-inference invocation overhead (input copy, scheduling), in ms.
+    invocation_overhead_ms: float = 2.0
+    #: Fraction of peak CPU GFLOPS a well-optimised kernel typically sustains.
+    cpu_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("SoC requires at least one core cluster")
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of CPU cores across all clusters."""
+        return sum(cluster.core_count for cluster in self.clusters)
+
+    @property
+    def big_cores(self) -> int:
+        """Number of cores in "big" clusters."""
+        return sum(cluster.core_count for cluster in self.clusters if cluster.is_big)
+
+    @property
+    def peak_cpu_gflops(self) -> float:
+        """Aggregate CPU throughput with every core busy."""
+        return sum(cluster.cluster_gflops for cluster in self.clusters)
+
+    def cores_fastest_first(self) -> tuple[CoreCluster, ...]:
+        """Clusters ordered from fastest to slowest per-core throughput."""
+        return tuple(sorted(self.clusters, key=lambda c: c.per_core_gflops, reverse=True))
+
+    def accelerator(self, kind: str) -> Optional[Accelerator]:
+        """Look up an accelerator by kind (``gpu`` or ``dsp``)."""
+        if kind == "gpu":
+            return self.gpu
+        if kind == "dsp":
+            return self.dsp
+        return None
+
+
+def _snapdragon_888() -> SoC:
+    return SoC(
+        name="Snapdragon 888",
+        vendor="Qualcomm",
+        year=2021,
+        process_nm=5,
+        clusters=(
+            CoreCluster("Cortex-X1", 1, 2.84, 10.0, is_big=True),
+            CoreCluster("Cortex-A78", 3, 2.42, 8.0, is_big=True),
+            CoreCluster("Cortex-A55", 4, 1.80, 2.2),
+        ),
+        memory_bandwidth_gbps=25.0,
+        gpu=Accelerator("gpu", "Adreno 660", peak_gflops=115.0, power_watts=1.1,
+                        per_layer_overhead_ms=0.06),
+        dsp=Accelerator("dsp", "Hexagon 780", peak_gflops=230.0, supports_int8=True,
+                        int8_speedup=2.4, power_watts=0.55, per_layer_overhead_ms=0.02),
+        cpu_power_watts=6.9,
+        idle_power_watts=0.8,
+        cpu_layer_overhead_ms=0.020,
+        invocation_overhead_ms=1.2,
+        cpu_efficiency=0.52,
+    )
+
+
+def _snapdragon_855() -> SoC:
+    return SoC(
+        name="Snapdragon 855",
+        vendor="Qualcomm",
+        year=2019,
+        process_nm=7,
+        clusters=(
+            CoreCluster("Kryo 485 Prime", 1, 2.84, 7.0, is_big=True),
+            CoreCluster("Kryo 485 Gold", 3, 2.42, 5.0, is_big=True),
+            CoreCluster("Kryo 485 Silver", 4, 1.80, 2.0),
+        ),
+        memory_bandwidth_gbps=20.0,
+        gpu=Accelerator("gpu", "Adreno 640", peak_gflops=72.0, power_watts=0.9,
+                        per_layer_overhead_ms=0.07),
+        dsp=Accelerator("dsp", "Hexagon 690", peak_gflops=170.0, supports_int8=True,
+                        int8_speedup=2.2, power_watts=0.5, per_layer_overhead_ms=0.025),
+        cpu_power_watts=4.6,
+        idle_power_watts=0.75,
+        cpu_layer_overhead_ms=0.028,
+        invocation_overhead_ms=1.6,
+        cpu_efficiency=0.50,
+    )
+
+
+def _snapdragon_845() -> SoC:
+    return SoC(
+        name="Snapdragon 845",
+        vendor="Qualcomm",
+        year=2018,
+        process_nm=10,
+        clusters=(
+            CoreCluster("Kryo 385 Gold", 4, 2.80, 3.5, is_big=True),
+            CoreCluster("Kryo 385 Silver", 4, 1.77, 1.8),
+        ),
+        memory_bandwidth_gbps=15.0,
+        gpu=Accelerator("gpu", "Adreno 630", peak_gflops=52.0, power_watts=0.7,
+                        per_layer_overhead_ms=0.08),
+        dsp=Accelerator("dsp", "Hexagon 685", peak_gflops=130.0, supports_int8=True,
+                        int8_speedup=2.0, power_watts=0.45, per_layer_overhead_ms=0.03),
+        cpu_power_watts=3.6,
+        idle_power_watts=0.7,
+        cpu_layer_overhead_ms=0.035,
+        invocation_overhead_ms=2.0,
+        cpu_efficiency=0.48,
+    )
+
+
+def _snapdragon_675() -> SoC:
+    return SoC(
+        name="Snapdragon 675",
+        vendor="Qualcomm",
+        year=2019,
+        process_nm=11,
+        clusters=(
+            CoreCluster("Kryo 460 Gold", 2, 2.0, 8.0, is_big=True),
+            CoreCluster("Kryo 460 Silver", 6, 1.78, 2.0),
+        ),
+        memory_bandwidth_gbps=10.0,
+        gpu=Accelerator("gpu", "Adreno 612", peak_gflops=22.0, power_watts=0.9,
+                        per_layer_overhead_ms=0.12),
+        dsp=Accelerator("dsp", "Hexagon 685", peak_gflops=40.0, supports_int8=True,
+                        int8_speedup=1.9, power_watts=1.1, per_layer_overhead_ms=0.09),
+        cpu_power_watts=2.9,
+        idle_power_watts=0.65,
+        cpu_layer_overhead_ms=0.045,
+        invocation_overhead_ms=2.6,
+        cpu_efficiency=0.45,
+    )
+
+
+def _exynos_7884() -> SoC:
+    return SoC(
+        name="Exynos 7884",
+        vendor="Samsung",
+        year=2018,
+        process_nm=14,
+        clusters=(
+            CoreCluster("Cortex-A73", 2, 1.77, 4.0, is_big=True),
+            CoreCluster("Cortex-A53", 6, 1.59, 2.6),
+        ),
+        memory_bandwidth_gbps=6.0,
+        gpu=Accelerator("gpu", "Mali-G71 MP2", peak_gflops=10.0, power_watts=0.8,
+                        per_layer_overhead_ms=0.20),
+        dsp=None,
+        cpu_power_watts=2.2,
+        idle_power_watts=0.6,
+        cpu_layer_overhead_ms=0.075,
+        invocation_overhead_ms=3.5,
+        cpu_efficiency=0.40,
+    )
+
+
+#: Every SoC appearing in Table 1.
+SOC_CATALOG: dict[str, SoC] = {
+    soc.name: soc
+    for soc in (
+        _exynos_7884(),
+        _snapdragon_675(),
+        _snapdragon_845(),
+        _snapdragon_855(),
+        _snapdragon_888(),
+    )
+}
+
+
+def soc_by_name(name: str) -> SoC:
+    """Look up a SoC model by its marketing name."""
+    try:
+        return SOC_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown SoC {name!r}; known: {sorted(SOC_CATALOG)}") from None

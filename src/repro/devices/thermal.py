@@ -1,0 +1,60 @@
+"""Thermal throttling model for sustained inference workloads.
+
+Continuous inference heats the SoC until DVFS governors scale frequencies
+down; the paper lists thermal throttling among the reasons FLOPs do not
+predict latency (Sec. 5.1) and credits the open-deck boards' heat dissipation
+for their edge over phones with the same SoC.  The model here is a simple
+exponential heat-up towards a steady-state throttle factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+__all__ = ["ThermalModel"]
+
+
+@dataclass
+class ThermalModel:
+    """Tracks how much sustained load slows a device down.
+
+    Parameters
+    ----------
+    throttle_floor:
+        Steady-state performance multiplier after indefinite sustained load
+        (1.0 = no throttling).  Phones sit around 0.7-0.85; open-deck boards
+        barely throttle.
+    time_constant_s:
+        Seconds of sustained load after which ~63% of the throttling has
+        materialised.
+    """
+
+    throttle_floor: float = 0.8
+    time_constant_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.throttle_floor <= 1.0:
+            raise ValueError("throttle_floor must be in (0, 1]")
+        if self.time_constant_s <= 0:
+            raise ValueError("time_constant_s must be positive")
+
+    @classmethod
+    def for_device(cls, is_dev_board: bool, tier: str) -> "ThermalModel":
+        """Typical thermal behaviour per form factor and tier."""
+        if is_dev_board:
+            return cls(throttle_floor=0.95, time_constant_s=300.0)
+        floors = {"low": 0.70, "mid": 0.78, "high": 0.85}
+        return cls(throttle_floor=floors.get(tier, 0.8), time_constant_s=120.0)
+
+    def throttle_factor(self, sustained_seconds: float) -> float:
+        """Performance multiplier after ``sustained_seconds`` of continuous load."""
+        if sustained_seconds < 0:
+            raise ValueError("sustained_seconds must be non-negative")
+        progress = 1.0 - math.exp(-sustained_seconds / self.time_constant_s)
+        return 1.0 - (1.0 - self.throttle_floor) * progress
+
+    def sustained_latency_ms(self, cold_latency_ms: float, sustained_seconds: float) -> float:
+        """Latency of one inference after sustained prior load."""
+        return cold_latency_ms / self.throttle_factor(sustained_seconds)

@@ -1,0 +1,59 @@
+"""Programmable USB switch (YKUSH-style) used during energy benchmarks.
+
+Connecting a phone over USB charges it and corrupts energy measurements, so
+the paper's rig cuts USB power programmatically while a benchmark runs and
+re-enables it to collect results over adb (Sec. 3.3, Fig. 3).  The simulator
+tracks port state and records the switching events the benchmark workflow
+issues, so the workflow logic can be tested end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["UsbSwitch"]
+
+
+@dataclass
+class UsbSwitch:
+    """A multi-port USB hub whose power/data channels can be toggled in software."""
+
+    num_ports: int = 3
+    _power_on: dict[int, bool] = field(default_factory=dict)
+    _data_on: dict[int, bool] = field(default_factory=dict)
+    events: list[tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ValueError("num_ports must be positive")
+        for port in range(self.num_ports):
+            self._power_on[port] = True
+            self._data_on[port] = True
+
+    def _check_port(self, port: int) -> None:
+        if port not in self._power_on:
+            raise ValueError(f"port {port} out of range (0..{self.num_ports - 1})")
+
+    def power_off(self, port: int) -> None:
+        """Cut USB power to a port (device now runs from its battery/bench supply)."""
+        self._check_port(port)
+        self._power_on[port] = False
+        self._data_on[port] = False
+        self.events.append(("power_off", port))
+
+    def power_on(self, port: int) -> None:
+        """Restore USB power and data to a port."""
+        self._check_port(port)
+        self._power_on[port] = True
+        self._data_on[port] = True
+        self.events.append(("power_on", port))
+
+    def is_powered(self, port: int) -> bool:
+        """Whether the port currently supplies power."""
+        self._check_port(port)
+        return self._power_on[port]
+
+    def has_data(self, port: int) -> bool:
+        """Whether adb connectivity is available on the port."""
+        self._check_port(port)
+        return self._data_on[port]

@@ -1,0 +1,26 @@
+"""Deep neural network graph intermediate representation and model zoo.
+
+This subpackage provides a framework-neutral representation of a DNN as a
+directed acyclic graph of :class:`~repro.dnn.layers.Layer` objects, together
+with per-layer FLOP/parameter accounting, synthetic-but-deterministic weight
+tensors, a zoo of mobile architectures found by the paper in the wild
+(MobileNet, FSSD, BlazeFace, segmentation nets, text/audio/sensor models),
+and model-level transformation passes (quantisation, pruning, clustering,
+fine-tuning).
+"""
+
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+from repro.dnn.layers import Layer, LayerCategory, OpType
+from repro.dnn.graph import Graph, GraphMetadata, Modality
+
+__all__ = [
+    "DType",
+    "TensorSpec",
+    "WeightTensor",
+    "Layer",
+    "LayerCategory",
+    "OpType",
+    "Graph",
+    "GraphMetadata",
+    "Modality",
+]

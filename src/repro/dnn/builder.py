@@ -1,0 +1,457 @@
+"""Convenience builder for constructing DNN graphs layer by layer.
+
+The model-zoo architectures (:mod:`repro.dnn.zoo`) are expressed with this
+builder, which tracks the current tensor shape, derives per-layer weight
+shapes and attributes, and assigns deterministic weight seeds so that two
+builds of the same architecture with the same ``weight_seed`` are bit-for-bit
+identical (and therefore share checksums), while different seeds model
+independently trained instances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dnn.graph import Graph, GraphMetadata, Modality
+from repro.dnn.layers import Layer, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+__all__ = ["GraphBuilder"]
+
+
+def _seed_for(base_seed: int, layer_name: str) -> int:
+    digest = hashlib.sha256(f"{base_seed}:{layer_name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFFFFFFFFFFFFFF
+
+
+@dataclass
+class _Cursor:
+    """Tracks the tensor currently at the head of the builder's main branch."""
+
+    name: str
+    spec: TensorSpec
+
+
+class GraphBuilder:
+    """Incrementally construct a :class:`~repro.dnn.graph.Graph`.
+
+    Parameters
+    ----------
+    name:
+        Model name (also used as the model file stem).
+    input_shape:
+        Shape of the single graph input, including the batch dimension.
+    framework:
+        Framework the model will be attributed to.
+    task:
+        Task label hint recorded in metadata.
+    modality:
+        Input modality; inferred from the input shape when omitted.
+    weight_seed:
+        Base seed for all weight tensors.
+    weight_dtype:
+        Storage dtype for the weights (``int8`` builds a quantised model).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Sequence[int],
+        *,
+        framework: str = "tflite",
+        architecture: str = "",
+        task: str = "",
+        modality: Optional[Modality] = None,
+        weight_seed: int = 0,
+        weight_dtype: DType = DType.FLOAT32,
+        activation_dtype: DType = DType.FLOAT32,
+        input_dtype: DType = DType.FLOAT32,
+    ) -> None:
+        self._metadata = GraphMetadata(
+            name=name,
+            framework=framework,
+            architecture=architecture or name,
+            task=task,
+            modality=modality,
+        )
+        self._input_spec = TensorSpec(tuple(input_shape), input_dtype)
+        self._layers: list[Layer] = []
+        self._names: set[str] = set()
+        self._seed = weight_seed
+        self.weight_dtype = weight_dtype
+        self.activation_dtype = activation_dtype
+        self._cursor = _Cursor("input_0", self._input_spec)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> str:
+        """Name of the layer currently at the head of the main branch."""
+        return self._cursor.name
+
+    @property
+    def current_spec(self) -> TensorSpec:
+        """Tensor spec at the head of the main branch."""
+        return self._cursor.spec
+
+    def _unique(self, prefix: str) -> str:
+        self._counter += 1
+        name = f"{prefix}_{self._counter}"
+        while name in self._names:
+            self._counter += 1
+            name = f"{prefix}_{self._counter}"
+        return name
+
+    def _weight(self, name: str, shape: Sequence[int]) -> WeightTensor:
+        return WeightTensor(
+            tuple(shape),
+            dtype=self.weight_dtype,
+            seed=_seed_for(self._seed, name),
+            name=name,
+        )
+
+    def _emit(
+        self,
+        op: OpType,
+        out_spec: TensorSpec,
+        *,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+        weights: Sequence[WeightTensor] = (),
+        attrs: Optional[dict] = None,
+        advance: bool = True,
+    ) -> Layer:
+        layer_name = name or self._unique(op.value)
+        if layer_name in self._names:
+            raise ValueError(f"duplicate layer name {layer_name!r}")
+        layer = Layer(
+            name=layer_name,
+            op=op,
+            inputs=tuple(inputs) if inputs is not None else (self._cursor.name,),
+            output_spec=out_spec,
+            weights=tuple(weights),
+            attrs=dict(attrs or {}),
+            activation_dtype=self.activation_dtype,
+        )
+        self._layers.append(layer)
+        self._names.add(layer_name)
+        if advance:
+            self._cursor = _Cursor(layer_name, out_spec)
+        return layer
+
+    @staticmethod
+    def _conv_output_hw(height: int, width: int, kernel: int, stride: int,
+                        padding: str) -> tuple[int, int]:
+        if padding == "same":
+            return (max(1, -(-height // stride)), max(1, -(-width // stride)))
+        out_h = max(1, (height - kernel) // stride + 1)
+        out_w = max(1, (width - kernel) // stride + 1)
+        return out_h, out_w
+
+    # ------------------------------------------------------------------ #
+    # Convolutional layers
+    # ------------------------------------------------------------------ #
+    def conv2d(self, filters: int, kernel: int = 3, stride: int = 1,
+               padding: str = "same", name: Optional[str] = None,
+               activation: Optional[OpType] = None) -> Layer:
+        """Standard 2D convolution on an NHWC tensor."""
+        batch, height, width, channels = self.current_spec.shape
+        out_h, out_w = self._conv_output_hw(height, width, kernel, stride, padding)
+        layer_name = name or self._unique("conv2d")
+        weights = [
+            self._weight(f"{layer_name}/kernel", (kernel, kernel, channels, filters)),
+            self._weight(f"{layer_name}/bias", (filters,)),
+        ]
+        layer = self._emit(
+            OpType.CONV2D,
+            TensorSpec((batch, out_h, out_w, filters), self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={
+                "kernel_size": (kernel, kernel),
+                "stride": stride,
+                "padding": padding,
+                "in_channels": channels,
+                "out_channels": filters,
+            },
+        )
+        if activation is not None:
+            self.activation(activation)
+        return layer
+
+    def depthwise_conv2d(self, kernel: int = 3, stride: int = 1,
+                         padding: str = "same", name: Optional[str] = None,
+                         activation: Optional[OpType] = None) -> Layer:
+        """Depthwise-separable convolution's depthwise stage."""
+        batch, height, width, channels = self.current_spec.shape
+        out_h, out_w = self._conv_output_hw(height, width, kernel, stride, padding)
+        layer_name = name or self._unique("depthwise_conv2d")
+        weights = [
+            self._weight(f"{layer_name}/depthwise_kernel", (kernel, kernel, channels, 1)),
+            self._weight(f"{layer_name}/bias", (channels,)),
+        ]
+        layer = self._emit(
+            OpType.DEPTHWISE_CONV2D,
+            TensorSpec((batch, out_h, out_w, channels), self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={
+                "kernel_size": (kernel, kernel),
+                "stride": stride,
+                "padding": padding,
+                "in_channels": channels,
+            },
+        )
+        if activation is not None:
+            self.activation(activation)
+        return layer
+
+    def transpose_conv2d(self, filters: int, kernel: int = 2, stride: int = 2,
+                         name: Optional[str] = None) -> Layer:
+        """Transposed convolution used by decoder/upsampling paths."""
+        batch, height, width, channels = self.current_spec.shape
+        out_h, out_w = height * stride, width * stride
+        layer_name = name or self._unique("transpose_conv2d")
+        weights = [
+            self._weight(f"{layer_name}/kernel", (kernel, kernel, filters, channels)),
+            self._weight(f"{layer_name}/bias", (filters,)),
+        ]
+        return self._emit(
+            OpType.TRANSPOSE_CONV2D,
+            TensorSpec((batch, out_h, out_w, filters), self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={
+                "kernel_size": (kernel, kernel),
+                "stride": stride,
+                "in_channels": channels,
+                "out_channels": filters,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dense / recurrent layers
+    # ------------------------------------------------------------------ #
+    def dense(self, units: int, name: Optional[str] = None,
+              activation: Optional[OpType] = None) -> Layer:
+        """Fully-connected layer over the trailing feature dimension."""
+        shape = self.current_spec.shape
+        in_features = shape[-1]
+        layer_name = name or self._unique("dense")
+        weights = [
+            self._weight(f"{layer_name}/kernel", (in_features, units)),
+            self._weight(f"{layer_name}/bias", (units,)),
+        ]
+        layer = self._emit(
+            OpType.DENSE,
+            TensorSpec(shape[:-1] + (units,), self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={"in_features": in_features, "units": units},
+        )
+        if activation is not None:
+            self.activation(activation)
+        return layer
+
+    def embedding(self, vocab_size: int, embedding_dim: int,
+                  name: Optional[str] = None) -> Layer:
+        """Token embedding lookup for text models."""
+        batch, seq_len = self.current_spec.shape[:2]
+        layer_name = name or self._unique("embedding")
+        weights = [self._weight(f"{layer_name}/table", (vocab_size, embedding_dim))]
+        return self._emit(
+            OpType.EMBEDDING,
+            TensorSpec((batch, seq_len, embedding_dim), self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={"vocab_size": vocab_size, "embedding_dim": embedding_dim},
+        )
+
+    def lstm(self, hidden_size: int, return_sequences: bool = False,
+             name: Optional[str] = None) -> Layer:
+        """LSTM over a (batch, time, features) tensor."""
+        return self._recurrent(OpType.LSTM, hidden_size, return_sequences, name, gates=4)
+
+    def gru(self, hidden_size: int, return_sequences: bool = False,
+            name: Optional[str] = None) -> Layer:
+        """GRU over a (batch, time, features) tensor."""
+        return self._recurrent(OpType.GRU, hidden_size, return_sequences, name, gates=3)
+
+    def _recurrent(self, op: OpType, hidden_size: int, return_sequences: bool,
+                   name: Optional[str], gates: int) -> Layer:
+        batch, time_steps, features = self.current_spec.shape
+        layer_name = name or self._unique(op.value)
+        weights = [
+            self._weight(f"{layer_name}/kernel", (features, gates * hidden_size)),
+            self._weight(f"{layer_name}/recurrent_kernel", (hidden_size, gates * hidden_size)),
+            self._weight(f"{layer_name}/bias", (gates * hidden_size,)),
+        ]
+        out_shape = (batch, time_steps, hidden_size) if return_sequences else (batch, hidden_size)
+        return self._emit(
+            op,
+            TensorSpec(out_shape, self.activation_dtype),
+            name=layer_name,
+            weights=weights,
+            attrs={
+                "hidden_size": hidden_size,
+                "input_size": features,
+                "time_steps": time_steps,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pooling / shape / element-wise layers
+    # ------------------------------------------------------------------ #
+    def max_pool(self, pool: int = 2, stride: Optional[int] = None,
+                 name: Optional[str] = None) -> Layer:
+        """Max pooling."""
+        return self._pool(OpType.MAX_POOL, pool, stride, name)
+
+    def avg_pool(self, pool: int = 2, stride: Optional[int] = None,
+                 name: Optional[str] = None) -> Layer:
+        """Average pooling."""
+        return self._pool(OpType.AVG_POOL, pool, stride, name)
+
+    def _pool(self, op: OpType, pool: int, stride: Optional[int],
+              name: Optional[str]) -> Layer:
+        stride = stride or pool
+        batch, height, width, channels = self.current_spec.shape
+        out_h = max(1, height // stride)
+        out_w = max(1, width // stride)
+        return self._emit(
+            op,
+            TensorSpec((batch, out_h, out_w, channels), self.activation_dtype),
+            name=name,
+            attrs={"pool_size": pool, "stride": stride},
+        )
+
+    def global_avg_pool(self, name: Optional[str] = None) -> Layer:
+        """Global average pooling reducing spatial dimensions to a vector."""
+        batch, _, _, channels = self.current_spec.shape
+        return self._emit(
+            OpType.GLOBAL_AVG_POOL,
+            TensorSpec((batch, channels), self.activation_dtype),
+            name=name,
+        )
+
+    def activation(self, op: OpType = OpType.RELU, name: Optional[str] = None) -> Layer:
+        """Standalone activation layer."""
+        return self._emit(op, self.current_spec, name=name)
+
+    def batch_norm(self, name: Optional[str] = None) -> Layer:
+        """Batch normalisation with per-channel scale/offset parameters."""
+        channels = self.current_spec.shape[-1]
+        layer_name = name or self._unique("batch_norm")
+        weights = [
+            self._weight(f"{layer_name}/gamma", (channels,)),
+            self._weight(f"{layer_name}/beta", (channels,)),
+        ]
+        return self._emit(OpType.BATCH_NORM, self.current_spec, name=layer_name,
+                          weights=weights)
+
+    def add(self, other: str, name: Optional[str] = None) -> Layer:
+        """Element-wise residual addition of the current branch and ``other``."""
+        return self._emit(
+            OpType.ADD,
+            self.current_spec,
+            name=name,
+            inputs=(self._cursor.name, other),
+        )
+
+    def concat(self, others: Sequence[str], specs: Sequence[TensorSpec],
+               name: Optional[str] = None, axis: int = -1) -> Layer:
+        """Concatenate the current branch with other branches along ``axis``."""
+        total_channels = self.current_spec.shape[-1] + sum(s.shape[-1] for s in specs)
+        out_shape = self.current_spec.shape[:-1] + (total_channels,)
+        return self._emit(
+            OpType.CONCAT,
+            TensorSpec(out_shape, self.activation_dtype),
+            name=name,
+            inputs=(self._cursor.name, *others),
+            attrs={"axis": axis},
+        )
+
+    def reshape(self, shape: Sequence[int], name: Optional[str] = None) -> Layer:
+        """Reshape the current tensor (element count must be preserved)."""
+        target = TensorSpec(tuple(shape), self.activation_dtype)
+        if target.num_elements != self.current_spec.num_elements:
+            raise ValueError(
+                f"reshape from {self.current_spec.shape} to {tuple(shape)} changes element count"
+            )
+        return self._emit(OpType.RESHAPE, target, name=name, attrs={"shape": tuple(shape)})
+
+    def resize(self, scale: int = 2, mode: str = "bilinear",
+               name: Optional[str] = None) -> Layer:
+        """Spatial upsampling by an integer factor."""
+        batch, height, width, channels = self.current_spec.shape
+        op = OpType.RESIZE_BILINEAR if mode == "bilinear" else OpType.RESIZE_NEAREST
+        return self._emit(
+            op,
+            TensorSpec((batch, height * scale, width * scale, channels),
+                       self.activation_dtype),
+            name=name,
+            attrs={"scale": scale},
+        )
+
+    def slice(self, channels: int, name: Optional[str] = None) -> Layer:
+        """Slice the trailing channel dimension down to ``channels``."""
+        shape = self.current_spec.shape
+        if channels > shape[-1]:
+            raise ValueError("cannot slice to more channels than available")
+        return self._emit(
+            OpType.SLICE,
+            TensorSpec(shape[:-1] + (channels,), self.activation_dtype),
+            name=name,
+            attrs={"channels": channels},
+        )
+
+    def softmax(self, name: Optional[str] = None) -> Layer:
+        """Softmax over the trailing dimension."""
+        return self._emit(OpType.SOFTMAX, self.current_spec, name=name)
+
+    def quantize(self, name: Optional[str] = None) -> Layer:
+        """Insert a float→int8 quantize node."""
+        spec = TensorSpec(self.current_spec.shape, DType.INT8)
+        return self._emit(OpType.QUANTIZE, spec, name=name)
+
+    def dequantize(self, name: Optional[str] = None) -> Layer:
+        """Insert an int8→float dequantize node."""
+        spec = TensorSpec(self.current_spec.shape, DType.FLOAT32)
+        return self._emit(OpType.DEQUANTIZE, spec, name=name)
+
+    def detection_postprocess(self, max_detections: int = 100,
+                              name: Optional[str] = None) -> Layer:
+        """Non-max-suppression style detection post-processing node."""
+        batch = self.current_spec.shape[0]
+        return self._emit(
+            OpType.DETECTION_POSTPROCESS,
+            TensorSpec((batch, max_detections, 4), self.activation_dtype),
+            name=name,
+            attrs={"max_detections": max_detections},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Branch management
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> _Cursor:
+        """Remember the current branch head so a side branch can be built."""
+        return _Cursor(self._cursor.name, self._cursor.spec)
+
+    def restore(self, cursor: _Cursor) -> None:
+        """Rewind the builder head to a previously saved checkpoint."""
+        self._cursor = _Cursor(cursor.name, cursor.spec)
+
+    def restore_to(self, name: str, spec: TensorSpec) -> None:
+        """Rewind the builder head to an arbitrary existing layer output."""
+        self._cursor = _Cursor(name, spec)
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def build(self) -> Graph:
+        """Finalise and return the constructed graph."""
+        return Graph(self._metadata, (self._input_spec,), self._layers)

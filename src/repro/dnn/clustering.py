@@ -1,0 +1,84 @@
+"""Weight clustering pass and detection (Sec. 6.1, "Clustering").
+
+Weight clustering replaces distinct weight values by their cluster centroids;
+TensorFlow's implementation marks clustered layers with a ``cluster_`` name
+prefix.  The paper reports that *no* model in the wild used clustering, which
+the adoption analysis in :mod:`repro.core.optimizations` reproduces; this
+module still implements the pass so the ablation benchmarks can quantify what
+deploying it would (and would not) buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer
+
+__all__ = ["ClusteringReport", "cluster", "clustering_report"]
+
+#: Layer-name prefix added by the TensorFlow model-optimisation toolkit.
+CLUSTER_PREFIX = "cluster_"
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """Per-model clustering facts."""
+
+    has_cluster_prefix: bool
+    clustered_layer_count: int
+    num_clusters: int
+
+
+def cluster(graph: Graph, num_clusters: int = 16) -> Graph:
+    """Return a weight-clustered copy of ``graph``.
+
+    Clustering does not change tensor shapes or dtypes — only the number of
+    distinct values — so runtime memory and latency are unchanged (which is
+    exactly the paper's point: the optimisation targets compressibility only).
+    The pass records the cluster count in the layer attributes and prefixes
+    clustered layer names with ``cluster_``.
+    """
+    if num_clusters < 2:
+        raise ValueError("num_clusters must be at least 2")
+
+    renames: dict[str, str] = {}
+
+    def convert(layer: Layer) -> Layer:
+        new_name = layer.name
+        if layer.weights and not layer.name.startswith(CLUSTER_PREFIX):
+            new_name = CLUSTER_PREFIX + layer.name
+        renames[layer.name] = new_name
+        attrs = dict(layer.attrs)
+        if layer.weights:
+            attrs["num_clusters"] = num_clusters
+        return Layer(
+            name=new_name,
+            op=layer.op,
+            inputs=tuple(renames.get(dep, dep) for dep in layer.inputs),
+            output_spec=layer.output_spec,
+            weights=layer.weights,
+            attrs=attrs,
+            activation_dtype=layer.activation_dtype,
+            fused_activation=layer.fused_activation,
+        )
+
+    clustered = graph.map_layers(convert)
+    return clustered.with_metadata(
+        extra={**graph.metadata.extra, "clustering": str(num_clusters)}
+    )
+
+
+def clustering_report(graph: Graph) -> ClusteringReport:
+    """Inspect clustering traces on a graph (Sec. 6.1 analysis)."""
+    clustered = [
+        layer for layer in graph.layers if layer.name.startswith(CLUSTER_PREFIX)
+    ]
+    num_clusters = 0
+    for layer in clustered:
+        num_clusters = max(num_clusters, int(layer.attrs.get("num_clusters", 0)))
+    return ClusteringReport(
+        has_cluster_prefix=bool(clustered),
+        clustered_layer_count=len(clustered),
+        num_clusters=num_clusters,
+    )

@@ -1,0 +1,68 @@
+"""Transfer-learning (fine-tuning) derivative generator (Sec. 4.5).
+
+The paper detects fine-tuning by comparing per-layer weight checksums between
+models: 9.02% of non-duplicate models share at least 20% of their weights with
+another model, and 4.2% differ in at most three layers.  To reproduce that,
+the app-store generator needs models that *are* fine-tuned derivatives of a
+common base; this module produces them by re-seeding the weights of the last
+``k`` weighted layers of a base graph while leaving the feature-extractor
+layers untouched.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer
+
+__all__ = ["finetune_last_layers", "shared_layer_fraction"]
+
+
+def finetune_last_layers(graph: Graph, num_layers: int = 2, *, seed_offset: int = 1,
+                         name: str | None = None) -> Graph:
+    """Return a copy of ``graph`` with the last ``num_layers`` weighted layers retrained.
+
+    Parameters
+    ----------
+    graph:
+        Base (typically off-the-shelf, pre-trained) model.
+    num_layers:
+        How many trailing weighted layers receive new weights.
+    seed_offset:
+        Added to the original weight seeds so distinct fine-tunings of the same
+        base produce distinct weights.
+    name:
+        New model name; defaults to ``"<base>_finetuned"``.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be at least 1")
+    weighted_names = [layer.name for layer in graph.layers if layer.weights]
+    if not weighted_names:
+        raise ValueError("graph has no weighted layers to fine-tune")
+    retrain = set(weighted_names[-num_layers:])
+
+    def convert(layer: Layer) -> Layer:
+        if layer.name not in retrain:
+            return layer
+        new_weights = tuple(w.with_seed(w.seed + seed_offset) for w in layer.weights)
+        return Layer(
+            name=layer.name,
+            op=layer.op,
+            inputs=layer.inputs,
+            output_spec=layer.output_spec,
+            weights=new_weights,
+            attrs=dict(layer.attrs),
+            activation_dtype=layer.activation_dtype,
+            fused_activation=layer.fused_activation,
+        )
+
+    derived = graph.map_layers(convert)
+    return derived.with_metadata(
+        name=name or f"{graph.name}_finetuned",
+        extra={**graph.metadata.extra, "finetuned_from": graph.name,
+               "finetuned_layers": str(num_layers)},
+    )
+
+
+def shared_layer_fraction(model: Graph, base: Graph) -> float:
+    """Convenience wrapper over :meth:`Graph.shared_weight_fraction`."""
+    return model.shared_weight_fraction(base)

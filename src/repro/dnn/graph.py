@@ -1,0 +1,304 @@
+"""DNN computation graph: a DAG of layers with trace-based accounting.
+
+A :class:`Graph` mirrors what gaugeNN reconstructs when parsing a model file
+found inside an app: the ordered set of layers, the data-flow edges between
+them, the input/output tensor specifications and framework metadata.  It
+offers the aggregate quantities the paper reports per model — total FLOPs,
+total parameters, layer-category composition (Fig. 6), model size — plus the
+checksums used for the uniqueness and fine-tuning analyses (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.dnn.layers import Layer, LayerCategory, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+__all__ = ["Modality", "GraphMetadata", "Graph"]
+
+
+class Modality(str, Enum):
+    """Input modality of a model, as used in Fig. 6 and Sec. 4.4."""
+
+    IMAGE = "image"
+    TEXT = "text"
+    AUDIO = "audio"
+    SENSOR = "sensor"
+
+    @classmethod
+    def from_input_spec(cls, spec: TensorSpec) -> "Modality":
+        """Best-effort modality inference from an input tensor shape.
+
+        Rank-4 tensors with a channel dimension of 1/3/4 are images, rank-2
+        integer-ish small tensors are text token ids, long rank-2/3 tensors
+        are audio waveforms/spectrograms, and small flat vectors are sensor
+        readings.  This mirrors the manual inspection the paper describes.
+        """
+        shape = spec.shape
+        if len(shape) == 4 and shape[-1] in (1, 3, 4) and shape[1] >= 32:
+            return cls.IMAGE
+        if len(shape) == 4:
+            return cls.IMAGE
+        if len(shape) <= 2 and spec.num_elements <= 256:
+            if spec.dtype in (DType.INT32, DType.INT8):
+                return cls.TEXT
+            return cls.SENSOR
+        if len(shape) in (2, 3) and spec.num_elements > 256:
+            return cls.AUDIO
+        return cls.SENSOR
+
+
+@dataclass(frozen=True)
+class GraphMetadata:
+    """Provenance and descriptive metadata attached to a graph."""
+
+    name: str
+    framework: str = "tflite"
+    architecture: str = ""
+    task: str = ""
+    modality: Optional[Modality] = None
+    version: str = "1.0"
+    extra: Mapping[str, str] = field(default_factory=dict)
+
+
+class Graph:
+    """A directed acyclic graph of :class:`Layer` objects.
+
+    Layers are stored in insertion order, which must be a valid topological
+    order (producers before consumers); :meth:`add_layer` enforces this.
+    """
+
+    def __init__(
+        self,
+        metadata: GraphMetadata,
+        input_specs: Sequence[TensorSpec],
+        layers: Iterable[Layer] = (),
+    ) -> None:
+        if not input_specs:
+            raise ValueError("Graph requires at least one input spec")
+        self.metadata = metadata
+        self.input_specs = tuple(input_specs)
+        self._layers: dict[str, Layer] = {}
+        self._order: list[str] = []
+        for layer in layers:
+            self.add_layer(layer)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_layer(self, layer: Layer) -> Layer:
+        """Append a layer; all of its inputs must already be present."""
+        if layer.name in self._layers:
+            raise ValueError(f"duplicate layer name: {layer.name!r}")
+        for dep in layer.inputs:
+            if dep not in self._layers and dep not in self._input_names():
+                raise ValueError(
+                    f"layer {layer.name!r} references unknown input {dep!r}"
+                )
+        self._layers[layer.name] = layer
+        self._order.append(layer.name)
+        return layer
+
+    def _input_names(self) -> tuple[str, ...]:
+        return tuple(f"input_{i}" for i in range(len(self.input_specs)))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Model name from the metadata."""
+        return self.metadata.name
+
+    @property
+    def framework(self) -> str:
+        """Framework identifier (``tflite``, ``caffe``, ``ncnn``, ``tf``, ``snpe``)."""
+        return self.metadata.framework
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        """Layers in topological (insertion) order."""
+        return tuple(self._layers[name] for name in self._order)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers in the graph."""
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by name."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise KeyError(f"no layer named {name!r} in graph {self.name!r}") from None
+
+    def output_layers(self) -> tuple[Layer, ...]:
+        """Layers whose output is not consumed by any other layer."""
+        consumed = {dep for layer in self.layers for dep in layer.inputs}
+        return tuple(layer for layer in self.layers if layer.name not in consumed)
+
+    def output_specs(self) -> tuple[TensorSpec, ...]:
+        """Tensor specs of the graph outputs."""
+        return tuple(
+            layer.output_spec for layer in self.output_layers() if layer.output_spec
+        )
+
+    @property
+    def modality(self) -> Modality:
+        """Input modality (explicit metadata, falling back to shape inference)."""
+        if self.metadata.modality is not None:
+            return self.metadata.modality
+        return Modality.from_input_spec(self.input_specs[0])
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Export the data-flow graph as a :class:`networkx.DiGraph`."""
+        dag = nx.DiGraph(name=self.name)
+        for input_name in self._input_names():
+            dag.add_node(input_name, op="input")
+        for layer in self.layers:
+            dag.add_node(layer.name, op=layer.op.value, category=layer.category.value)
+            for dep in layer.inputs:
+                dag.add_edge(dep, layer.name)
+        return dag
+
+    def is_acyclic(self) -> bool:
+        """True when the data-flow graph contains no cycles."""
+        return nx.is_directed_acyclic_graph(self.to_networkx())
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accounting (Sec. 3.2, 4.7)
+    # ------------------------------------------------------------------ #
+    def total_flops(self) -> int:
+        """Total FLOPs of a single forward pass at the declared input size."""
+        return sum(layer.flops() for layer in self.layers)
+
+    def total_macs(self) -> int:
+        """Total multiply-accumulate operations of a single forward pass."""
+        return sum(layer.macs() for layer in self.layers)
+
+    def total_parameters(self) -> int:
+        """Total trainable parameters across all layers."""
+        return sum(layer.num_parameters for layer in self.layers)
+
+    def model_size_bytes(self) -> int:
+        """Approximate on-disk weight footprint in bytes."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    def peak_activation_bytes(self) -> int:
+        """Largest single activation tensor produced by any layer, in bytes."""
+        if not self._order:
+            return 0
+        return max(layer.activation_bytes() for layer in self.layers)
+
+    def layer_category_counts(self) -> dict[LayerCategory, int]:
+        """Number of layers per Fig. 6 category."""
+        counts: dict[LayerCategory, int] = {}
+        for layer in self.layers:
+            counts[layer.category] = counts.get(layer.category, 0) + 1
+        return counts
+
+    def layer_category_fractions(self) -> dict[LayerCategory, float]:
+        """Fraction of layers per Fig. 6 category (sums to 1 for non-empty graphs)."""
+        counts = self.layer_category_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {category: count / total for category, count in counts.items()}
+
+    def op_counts(self) -> dict[OpType, int]:
+        """Number of layers per operator type."""
+        counts: dict[OpType, int] = {}
+        for layer in self.layers:
+            counts[layer.op] = counts.get(layer.op, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Identity and similarity (Sec. 4.5)
+    # ------------------------------------------------------------------ #
+    def weights_checksum(self) -> str:
+        """md5 over all layer weights, i.e. the paper's whole-model checksum."""
+        digest = hashlib.md5()
+        for layer in self.layers:
+            digest.update(layer.name.encode())
+            for tensor in layer.weights:
+                digest.update(tensor.to_bytes())
+        return digest.hexdigest()
+
+    def layer_checksums(self) -> dict[str, str]:
+        """Per-layer weight checksums, used for fine-tuning detection."""
+        return {
+            layer.name: layer.weights_checksum()
+            for layer in self.layers
+            if layer.weights
+        }
+
+    def structural_checksum(self) -> str:
+        """Digest over the graph structure, ignoring weight values."""
+        digest = hashlib.md5()
+        for layer in self.layers:
+            digest.update(layer.structural_signature().encode())
+        return digest.hexdigest()
+
+    def shared_weight_fraction(self, other: "Graph") -> float:
+        """Fraction of this graph's parameters whose weights also appear in ``other``.
+
+        Matches the paper's layer-level checksum comparison: a layer is
+        "shared" when a layer with an identical weight checksum exists in the
+        other model, and the fraction is weighted by parameter count.
+        """
+        own_total = self.total_parameters()
+        if own_total == 0:
+            return 0.0
+        other_checksums = {
+            layer.weights_checksum() for layer in other.layers if layer.weights
+        }
+        shared = sum(
+            layer.num_parameters
+            for layer in self.layers
+            if layer.weights and layer.weights_checksum() in other_checksums
+        )
+        return shared / own_total
+
+    def differing_layer_count(self, other: "Graph") -> int:
+        """Number of weighted layers whose checksum differs between two models.
+
+        Defined for models with the same structure; models with different
+        layer sets report the size of the symmetric difference.
+        """
+        own = self.layer_checksums()
+        theirs = other.layer_checksums()
+        names = set(own) | set(theirs)
+        return sum(1 for name in names if own.get(name) != theirs.get(name))
+
+    # ------------------------------------------------------------------ #
+    # Transformation helpers
+    # ------------------------------------------------------------------ #
+    def map_layers(self, transform: Callable[[Layer], Layer]) -> "Graph":
+        """Return a new graph with every layer replaced by ``transform(layer)``."""
+        return Graph(self.metadata, self.input_specs,
+                     [transform(layer) for layer in self.layers])
+
+    def with_metadata(self, **changes) -> "Graph":
+        """Return a copy of the graph with updated metadata fields."""
+        return Graph(replace(self.metadata, **changes), self.input_specs, self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"Graph({self.name!r}, framework={self.framework!r}, "
+            f"layers={self.num_layers}, params={self.total_parameters()})"
+        )

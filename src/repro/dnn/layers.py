@@ -1,0 +1,300 @@
+"""Layer (operator) definitions with per-layer FLOP / parameter accounting.
+
+Each :class:`Layer` is a vertex of a :class:`~repro.dnn.graph.Graph`.  The
+paper estimates a model's total operations "as a function of the cumulative
+Multiply-Accumulate (MAC) operations performed by each of the model's layers"
+(Sec. 3.2, footnote 3); :meth:`Layer.macs` and :meth:`Layer.flops` implement
+exactly that trace-based accounting, and :data:`LayerCategory` reproduces the
+layer grouping used in Fig. 6 (activation, conv, dense, depth_conv, math,
+other, pooling, quant, resize, slice).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+__all__ = ["OpType", "LayerCategory", "Layer"]
+
+
+class OpType(str, Enum):
+    """Operator types encountered in mobile DNN graphs."""
+
+    CONV2D = "conv2d"
+    DEPTHWISE_CONV2D = "depthwise_conv2d"
+    TRANSPOSE_CONV2D = "transpose_conv2d"
+    DENSE = "dense"
+    LSTM = "lstm"
+    GRU = "gru"
+    EMBEDDING = "embedding"
+    MAX_POOL = "max_pool"
+    AVG_POOL = "avg_pool"
+    GLOBAL_AVG_POOL = "global_avg_pool"
+    RELU = "relu"
+    RELU6 = "relu6"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+    SOFTMAX = "softmax"
+    HARD_SWISH = "hard_swish"
+    PRELU = "prelu"
+    LEAKY_RELU = "leaky_relu"
+    BATCH_NORM = "batch_norm"
+    ADD = "add"
+    MUL = "mul"
+    SUB = "sub"
+    DIV = "div"
+    MEAN = "mean"
+    CONCAT = "concat"
+    RESHAPE = "reshape"
+    TRANSPOSE = "transpose"
+    PAD = "pad"
+    RESIZE_BILINEAR = "resize_bilinear"
+    RESIZE_NEAREST = "resize_nearest"
+    SLICE = "slice"
+    STRIDED_SLICE = "strided_slice"
+    SPLIT = "split"
+    QUANTIZE = "quantize"
+    DEQUANTIZE = "dequantize"
+    DETECTION_POSTPROCESS = "detection_postprocess"
+    ARGMAX = "argmax"
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class LayerCategory(str, Enum):
+    """Layer grouping used by the paper's Fig. 6 (layer composition)."""
+
+    ACTIVATION = "activation"
+    CONV = "conv"
+    DENSE = "dense"
+    DEPTH_CONV = "depth_conv"
+    MATH = "math"
+    OTHER = "other"
+    POOLING = "pooling"
+    QUANT = "quant"
+    RESIZE = "resize"
+    SLICE = "slice"
+
+
+_CATEGORY_BY_OP: dict[OpType, LayerCategory] = {
+    OpType.CONV2D: LayerCategory.CONV,
+    OpType.TRANSPOSE_CONV2D: LayerCategory.CONV,
+    OpType.DEPTHWISE_CONV2D: LayerCategory.DEPTH_CONV,
+    OpType.DENSE: LayerCategory.DENSE,
+    OpType.LSTM: LayerCategory.DENSE,
+    OpType.GRU: LayerCategory.DENSE,
+    OpType.EMBEDDING: LayerCategory.DENSE,
+    OpType.MAX_POOL: LayerCategory.POOLING,
+    OpType.AVG_POOL: LayerCategory.POOLING,
+    OpType.GLOBAL_AVG_POOL: LayerCategory.POOLING,
+    OpType.RELU: LayerCategory.ACTIVATION,
+    OpType.RELU6: LayerCategory.ACTIVATION,
+    OpType.SIGMOID: LayerCategory.ACTIVATION,
+    OpType.TANH: LayerCategory.ACTIVATION,
+    OpType.SOFTMAX: LayerCategory.ACTIVATION,
+    OpType.HARD_SWISH: LayerCategory.ACTIVATION,
+    OpType.PRELU: LayerCategory.ACTIVATION,
+    OpType.LEAKY_RELU: LayerCategory.ACTIVATION,
+    OpType.BATCH_NORM: LayerCategory.MATH,
+    OpType.ADD: LayerCategory.MATH,
+    OpType.MUL: LayerCategory.MATH,
+    OpType.SUB: LayerCategory.MATH,
+    OpType.DIV: LayerCategory.MATH,
+    OpType.MEAN: LayerCategory.MATH,
+    OpType.CONCAT: LayerCategory.OTHER,
+    OpType.RESHAPE: LayerCategory.OTHER,
+    OpType.TRANSPOSE: LayerCategory.OTHER,
+    OpType.PAD: LayerCategory.OTHER,
+    OpType.RESIZE_BILINEAR: LayerCategory.RESIZE,
+    OpType.RESIZE_NEAREST: LayerCategory.RESIZE,
+    OpType.SLICE: LayerCategory.SLICE,
+    OpType.STRIDED_SLICE: LayerCategory.SLICE,
+    OpType.SPLIT: LayerCategory.SLICE,
+    OpType.QUANTIZE: LayerCategory.QUANT,
+    OpType.DEQUANTIZE: LayerCategory.QUANT,
+    OpType.DETECTION_POSTPROCESS: LayerCategory.OTHER,
+    OpType.ARGMAX: LayerCategory.OTHER,
+    OpType.INPUT: LayerCategory.OTHER,
+    OpType.OUTPUT: LayerCategory.OTHER,
+}
+
+#: Operators whose arithmetic is dominated by multiply-accumulates.
+_MAC_HEAVY_OPS = {
+    OpType.CONV2D,
+    OpType.DEPTHWISE_CONV2D,
+    OpType.TRANSPOSE_CONV2D,
+    OpType.DENSE,
+    OpType.LSTM,
+    OpType.GRU,
+}
+
+
+@dataclass
+class Layer:
+    """A single operator in a DNN graph.
+
+    Parameters
+    ----------
+    name:
+        Unique layer name within its graph.
+    op:
+        Operator type.
+    inputs:
+        Names of producer layers this layer consumes.
+    output_spec:
+        Shape/dtype of the (single) output tensor.
+    weights:
+        Trainable parameter tensors attached to the layer.
+    attrs:
+        Operator attributes (kernel size, stride, axis, ...).
+    activation_dtype:
+        dtype of the activations produced by this layer; ``int8`` marks a
+        quantised execution path.
+    fused_activation:
+        Optional activation fused into the layer implementation
+        (framework-dependent, see Sec. 4.7).
+    """
+
+    name: str
+    op: OpType
+    inputs: tuple[str, ...] = ()
+    output_spec: Optional[TensorSpec] = None
+    weights: tuple[WeightTensor, ...] = ()
+    attrs: dict[str, Any] = field(default_factory=dict)
+    activation_dtype: DType = DType.FLOAT32
+    fused_activation: Optional[OpType] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Layer requires a non-empty name")
+        if not isinstance(self.op, OpType):
+            self.op = OpType(self.op)
+        self.inputs = tuple(self.inputs)
+        self.weights = tuple(self.weights)
+        if not isinstance(self.activation_dtype, DType):
+            self.activation_dtype = DType(self.activation_dtype)
+
+    # ------------------------------------------------------------------ #
+    # Structural properties
+    # ------------------------------------------------------------------ #
+    @property
+    def category(self) -> LayerCategory:
+        """Fig. 6 layer category this operator belongs to."""
+        return _CATEGORY_BY_OP.get(self.op, LayerCategory.OTHER)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable parameters attached to the layer."""
+        return sum(w.num_parameters for w in self.weights)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Storage footprint of the layer's weights in bytes."""
+        return sum(w.size_bytes for w in self.weights)
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether the layer performs MAC-dominated compute."""
+        return self.op in _MAC_HEAVY_OPS
+
+    @property
+    def is_quantized(self) -> bool:
+        """Whether the layer stores its weights in an integer dtype."""
+        return any(w.dtype.is_quantized for w in self.weights)
+
+    @property
+    def output_elements(self) -> int:
+        """Number of elements in the output tensor (0 when unknown)."""
+        return self.output_spec.num_elements if self.output_spec else 0
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting (trace-based, as in Sec. 3.2 / 4.7)
+    # ------------------------------------------------------------------ #
+    def macs(self) -> int:
+        """Multiply-accumulate operations performed by one forward pass."""
+        out = self.output_elements
+        if self.op == OpType.CONV2D or self.op == OpType.TRANSPOSE_CONV2D:
+            kernel = self.attrs.get("kernel_size", (1, 1))
+            in_channels = int(self.attrs.get("in_channels", 1))
+            return out * int(kernel[0]) * int(kernel[1]) * in_channels
+        if self.op == OpType.DEPTHWISE_CONV2D:
+            kernel = self.attrs.get("kernel_size", (3, 3))
+            return out * int(kernel[0]) * int(kernel[1])
+        if self.op == OpType.DENSE:
+            in_features = int(self.attrs.get("in_features", 1))
+            return out * in_features
+        if self.op in (OpType.LSTM, OpType.GRU):
+            gates = 4 if self.op == OpType.LSTM else 3
+            hidden = int(self.attrs.get("hidden_size", 1))
+            input_size = int(self.attrs.get("input_size", hidden))
+            steps = int(self.attrs.get("time_steps", 1))
+            return gates * hidden * (hidden + input_size) * steps
+        if self.op == OpType.EMBEDDING:
+            return 0
+        return 0
+
+    def flops(self) -> int:
+        """Floating-point operations performed by one forward pass.
+
+        MAC-heavy operators count two FLOPs per MAC; element-wise operators
+        count one FLOP per output element; data-movement operators count zero.
+        """
+        if self.is_compute:
+            return 2 * self.macs()
+        if self.category in (LayerCategory.MATH, LayerCategory.ACTIVATION,
+                             LayerCategory.POOLING, LayerCategory.RESIZE,
+                             LayerCategory.QUANT):
+            return self.output_elements
+        return 0
+
+    def activation_bytes(self) -> int:
+        """Bytes written to memory for the layer's output activations."""
+        if self.output_spec is None:
+            return 0
+        return self.output_elements * self.activation_dtype.bytes_per_element
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def weights_checksum(self) -> str:
+        """md5 digest over the layer's weight tensors (empty string if none)."""
+        if not self.weights:
+            return ""
+        digest = hashlib.md5()
+        for tensor in self.weights:
+            digest.update(tensor.to_bytes())
+        return digest.hexdigest()
+
+    def structural_signature(self) -> str:
+        """Digest of the layer's structure (op, shapes, attrs) ignoring weights."""
+        material = "|".join(
+            [
+                self.op.value,
+                str(self.output_spec.shape if self.output_spec else ()),
+                str(sorted((k, str(v)) for k, v in self.attrs.items())),
+                str(tuple(w.shape for w in self.weights)),
+            ]
+        )
+        return hashlib.md5(material.encode()).hexdigest()
+
+    def rename(self, name: str) -> "Layer":
+        """Return a shallow copy of the layer under a new name."""
+        return Layer(
+            name=name,
+            op=self.op,
+            inputs=self.inputs,
+            output_spec=self.output_spec,
+            weights=self.weights,
+            attrs=dict(self.attrs),
+            activation_dtype=self.activation_dtype,
+            fused_activation=self.fused_activation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Layer({self.name!r}, {self.op.value}, params={self.num_parameters})"

@@ -1,0 +1,165 @@
+"""Model quantisation passes (Sec. 6.1, "Quantisation").
+
+The paper measures quantisation adoption by (i) the presence of ``dequantize``
+layers, (ii) the fraction of models whose weight tensors are stored as int8
+and (iii) the fraction whose activations are int8.  It also discusses hybrid
+schemes (A16W8) supported by recent NPUs but not found in the wild.  These
+passes produce exactly those artefacts on a graph so the adoption analysis has
+something real to detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer, OpType
+from repro.dnn.tensor import DType, TensorSpec
+
+__all__ = ["QuantizationScheme", "QuantizationReport", "quantize", "quantization_report"]
+
+
+class QuantizationScheme(str, Enum):
+    """Supported post-training quantisation schemes."""
+
+    #: Weights stored as int8, activations remain float (dequantized on load).
+    DYNAMIC_RANGE = "dynamic_range"
+    #: Weights and activations int8 (full integer quantisation).
+    FULL_INT8 = "full_int8"
+    #: Weights float16.
+    FLOAT16 = "float16"
+    #: Hybrid: int8 weights, int16 activations (A16W8 NPU scheme).
+    A16W8 = "a16w8"
+    #: Weights int8, float interface, no explicit dequantize layers.
+    WEIGHT_ONLY = "weight_only"
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Per-model quantisation facts, mirroring the Sec. 6.1 statistics."""
+
+    has_dequantize_layer: bool
+    int8_weight_fraction: float
+    int8_activation_fraction: float
+    weight_dtypes: tuple[str, ...]
+    activation_dtypes: tuple[str, ...]
+
+    @property
+    def uses_int8_weights(self) -> bool:
+        """True when any weight tensor is stored in int8."""
+        return self.int8_weight_fraction > 0.0
+
+    @property
+    def uses_int8_activations(self) -> bool:
+        """True when any layer produces int8 activations."""
+        return self.int8_activation_fraction > 0.0
+
+
+_WEIGHT_DTYPE = {
+    QuantizationScheme.DYNAMIC_RANGE: DType.INT8,
+    QuantizationScheme.FULL_INT8: DType.INT8,
+    QuantizationScheme.FLOAT16: DType.FLOAT16,
+    QuantizationScheme.A16W8: DType.INT8,
+    QuantizationScheme.WEIGHT_ONLY: DType.INT8,
+}
+
+_ACTIVATION_DTYPE = {
+    QuantizationScheme.DYNAMIC_RANGE: DType.FLOAT32,
+    QuantizationScheme.FULL_INT8: DType.INT8,
+    QuantizationScheme.FLOAT16: DType.FLOAT16,
+    QuantizationScheme.A16W8: DType.INT16,
+    QuantizationScheme.WEIGHT_ONLY: DType.FLOAT32,
+}
+
+#: Schemes whose converted models expose a float interface via dequantize nodes.
+_SCHEMES_WITH_DEQUANTIZE = (
+    QuantizationScheme.DYNAMIC_RANGE,
+    QuantizationScheme.FULL_INT8,
+    QuantizationScheme.A16W8,
+)
+
+
+def quantize(graph: Graph, scheme: QuantizationScheme = QuantizationScheme.DYNAMIC_RANGE) -> Graph:
+    """Return a quantised copy of ``graph`` under the given scheme.
+
+    Weight tensors are re-typed, compute layers' activation dtype is updated,
+    and (for schemes that dequantize at runtime) explicit ``dequantize`` layers
+    are appended after the graph outputs, matching how converted TFLite models
+    expose a float interface over integer internals.
+    """
+    weight_dtype = _WEIGHT_DTYPE[scheme]
+    activation_dtype = _ACTIVATION_DTYPE[scheme]
+
+    def convert(layer: Layer) -> Layer:
+        new_weights = tuple(w.with_dtype(weight_dtype) for w in layer.weights)
+        new_spec = layer.output_spec
+        new_activation = layer.activation_dtype
+        if layer.is_compute:
+            new_activation = activation_dtype
+            if new_spec is not None:
+                new_spec = TensorSpec(new_spec.shape, activation_dtype)
+        return Layer(
+            name=layer.name,
+            op=layer.op,
+            inputs=layer.inputs,
+            output_spec=new_spec,
+            weights=new_weights,
+            attrs=dict(layer.attrs),
+            activation_dtype=new_activation,
+            fused_activation=layer.fused_activation,
+        )
+
+    quantised = graph.map_layers(convert)
+
+    # Schemes with integer internals expose a float interface via dequantize
+    # nodes appended after each graph output.
+    if scheme in _SCHEMES_WITH_DEQUANTIZE:
+        for index, output in enumerate(quantised.output_layers()):
+            if output.output_spec is None:
+                continue
+            quantised.add_layer(
+                Layer(
+                    name=f"dequantize_output_{index}",
+                    op=OpType.DEQUANTIZE,
+                    inputs=(output.name,),
+                    output_spec=TensorSpec(output.output_spec.shape, DType.FLOAT32),
+                    activation_dtype=DType.FLOAT32,
+                )
+            )
+    return quantised.with_metadata(extra={**graph.metadata.extra, "quantization": scheme.value})
+
+
+def quantization_report(graph: Graph) -> QuantizationReport:
+    """Inspect a graph's weight/activation bit-widths (the Sec. 6.1 analysis)."""
+    weighted_layers = [layer for layer in graph.layers if layer.weights]
+    compute_layers = [layer for layer in graph.layers if layer.is_compute]
+    has_dequantize = any(layer.op == OpType.DEQUANTIZE for layer in graph.layers)
+
+    if weighted_layers:
+        int8_weights = sum(1 for layer in weighted_layers if layer.is_quantized)
+        weight_fraction = int8_weights / len(weighted_layers)
+    else:
+        weight_fraction = 0.0
+
+    if compute_layers:
+        int8_acts = sum(
+            1 for layer in compute_layers if layer.activation_dtype == DType.INT8
+        )
+        activation_fraction = int8_acts / len(compute_layers)
+    else:
+        activation_fraction = 0.0
+
+    weight_dtypes = tuple(sorted({
+        w.dtype.value for layer in graph.layers for w in layer.weights
+    }))
+    activation_dtypes = tuple(sorted({
+        layer.activation_dtype.value for layer in graph.layers
+    }))
+    return QuantizationReport(
+        has_dequantize_layer=has_dequantize,
+        int8_weight_fraction=weight_fraction,
+        int8_activation_fraction=activation_fraction,
+        weight_dtypes=weight_dtypes,
+        activation_dtypes=activation_dtypes,
+    )

@@ -1,0 +1,236 @@
+"""Tensor specifications and deterministic synthetic weight tensors.
+
+The paper analyses models found in the wild, whose trained weights we do not
+have.  The analyses that touch weights are structural, however: checksum-based
+deduplication (Sec. 4.5), layer-level fine-tuning detection (Sec. 4.5), weight
+sparsity (Sec. 6.1) and bit-width inspection (Sec. 6.1).  All of these are
+preserved by *deterministic* synthetic weights: a :class:`WeightTensor` is
+fully described by its shape, dtype, a generation seed and a target sparsity,
+and two tensors with the same description serialise to identical bytes (hence
+identical checksums), while tensors with different seeds differ.
+
+Materialising multi-million-parameter tensors for 1,600+ models would be
+wasteful, so a weight tensor only materialises a bounded *sample* of its
+values; statistics computed on the sample (sparsity, quantisation range) are
+representative of the full tensor by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["DType", "TensorSpec", "WeightTensor"]
+
+#: Upper bound on the number of values a weight tensor materialises.
+MAX_MATERIALISED_VALUES = 1024
+
+
+class DType(str, Enum):
+    """Numeric representation of a tensor."""
+
+    FLOAT32 = "float32"
+    FLOAT16 = "float16"
+    INT8 = "int8"
+    UINT8 = "uint8"
+    INT16 = "int16"
+    INT32 = "int32"
+
+    @property
+    def bits(self) -> int:
+        """Bit width of a single element."""
+        return {
+            DType.FLOAT32: 32,
+            DType.FLOAT16: 16,
+            DType.INT8: 8,
+            DType.UINT8: 8,
+            DType.INT16: 16,
+            DType.INT32: 32,
+        }[self]
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Storage footprint of a single element in bytes."""
+        return self.bits // 8
+
+    @property
+    def is_quantized(self) -> bool:
+        """Whether the dtype is an integer (quantised) representation."""
+        return self in (DType.INT8, DType.UINT8, DType.INT16)
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and dtype of an activation tensor flowing along a graph edge."""
+
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("TensorSpec requires a non-empty shape")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"TensorSpec dimensions must be positive, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if not isinstance(self.dtype, DType):
+            object.__setattr__(self, "dtype", DType(self.dtype))
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of elements in the tensor."""
+        return int(np.prod(self.shape))
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.num_elements * self.dtype.bytes_per_element
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Return a copy whose leading (batch) dimension is replaced."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        return TensorSpec((batch,) + self.shape[1:], self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.dtype.value}{list(self.shape)}"
+
+
+@dataclass(frozen=True)
+class WeightTensor:
+    """A trainable parameter tensor with deterministic synthetic content.
+
+    Parameters
+    ----------
+    shape:
+        Full logical shape of the tensor.
+    dtype:
+        Storage dtype; ``int8``/``uint8`` mark a quantised tensor.
+    seed:
+        Generation seed.  Two weight tensors with identical ``shape``,
+        ``dtype``, ``seed`` and ``sparsity`` produce identical bytes and
+        therefore identical checksums, which is what drives the paper's
+        model-uniqueness and fine-tuning analyses.
+    sparsity:
+        Fraction of values forced to (near) zero, in ``[0, 1)``.
+    name:
+        Optional human-readable name (e.g. ``conv1/kernel``).
+    """
+
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+    seed: int = 0
+    sparsity: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("WeightTensor requires a non-empty shape")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"WeightTensor dimensions must be positive, got {self.shape}")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {self.sparsity}")
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if not isinstance(self.dtype, DType):
+            object.__setattr__(self, "dtype", DType(self.dtype))
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters held by this tensor."""
+        return int(np.prod(self.shape))
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the full tensor in bytes."""
+        return self.num_parameters * self.dtype.bytes_per_element
+
+    def materialize(self, max_values: int = MAX_MATERIALISED_VALUES) -> np.ndarray:
+        """Return a deterministic sample of the tensor's values.
+
+        The sample has ``min(num_parameters, max_values)`` elements and is
+        drawn from a normal distribution, with a ``sparsity`` fraction of
+        entries set to zero.  Quantised dtypes produce integer values.
+        """
+        if max_values <= 0:
+            raise ValueError("max_values must be positive")
+        count = min(self.num_parameters, max_values)
+        rng = np.random.default_rng(self._derived_seed())
+        values = rng.normal(loc=0.0, scale=0.05, size=count).astype(np.float32)
+        if self.sparsity > 0.0:
+            zero_count = int(round(self.sparsity * count))
+            if zero_count:
+                zero_idx = rng.choice(count, size=zero_count, replace=False)
+                values[zero_idx] = 0.0
+        if self.dtype.is_quantized:
+            scale = max(float(np.max(np.abs(values))), 1e-6) / 127.0
+            quantised = np.clip(np.round(values / scale), -128, 127)
+            return quantised.astype(np.int8 if self.dtype == DType.INT8 else np.int16)
+        if self.dtype == DType.FLOAT16:
+            return values.astype(np.float16)
+        return values
+
+    def measured_sparsity(self, tolerance: float = 1e-9) -> float:
+        """Fraction of sampled values whose magnitude is within ``tolerance`` of zero."""
+        sample = self.materialize()
+        if sample.size == 0:
+            return 0.0
+        return float(np.mean(np.abs(sample.astype(np.float64)) <= tolerance))
+
+    def to_bytes(self) -> bytes:
+        """Serialise the tensor into a compact deterministic byte string.
+
+        The byte string embeds the full logical shape and parameter count so
+        that two tensors of different sizes never collide, followed by the
+        materialised sample.  Serialisers in :mod:`repro.formats` embed these
+        bytes verbatim, which makes whole-file and per-layer checksums behave
+        like the paper's md5-over-weights analysis.
+        """
+        header = struct.pack(
+            "<4sB", b"WGT0", len(self.shape)
+        ) + struct.pack(f"<{len(self.shape)}q", *self.shape)
+        header += struct.pack("<16sqd", self.dtype.value.encode().ljust(16, b"\0"),
+                              self.seed, self.sparsity)
+        return header + self.materialize().tobytes()
+
+    def checksum(self) -> str:
+        """md5 hex digest over the serialised tensor bytes."""
+        return hashlib.md5(self.to_bytes()).hexdigest()
+
+    def with_seed(self, seed: int) -> "WeightTensor":
+        """Return a copy with a different generation seed (fine-tuned weights)."""
+        return WeightTensor(self.shape, self.dtype, seed, self.sparsity, self.name)
+
+    def with_dtype(self, dtype: DType) -> "WeightTensor":
+        """Return a copy stored with a different dtype (quantised weights)."""
+        return WeightTensor(self.shape, dtype, self.seed, self.sparsity, self.name)
+
+    def with_sparsity(self, sparsity: float) -> "WeightTensor":
+        """Return a copy with a different target sparsity (pruned weights)."""
+        return WeightTensor(self.shape, self.dtype, self.seed, sparsity, self.name)
+
+    def _derived_seed(self) -> int:
+        material = f"{self.shape}|{self.dtype.value}|{self.seed}|{self.sparsity:.6f}"
+        digest = hashlib.sha256(material.encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+
+def total_parameters(tensors: Iterable[WeightTensor]) -> int:
+    """Sum the parameter counts of an iterable of weight tensors."""
+    return sum(t.num_parameters for t in tensors)
+
+
+def stack_checksum(tensors: Sequence[WeightTensor]) -> str:
+    """Checksum over an ordered sequence of weight tensors."""
+    digest = hashlib.md5()
+    for tensor in tensors:
+        digest.update(tensor.to_bytes())
+    return digest.hexdigest()

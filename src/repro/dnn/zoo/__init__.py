@@ -1,0 +1,70 @@
+"""Model zoo: mobile DNN architectures found in the wild by the paper.
+
+Every builder returns a :class:`~repro.dnn.graph.Graph` whose layer structure,
+FLOPs and parameter counts are representative of the real architecture
+(MobileNet variants, FSSD detectors, BlazeFace, lightweight segmentation,
+text/audio/sensor models, ...).  The :data:`CATALOG` maps the paper's task
+taxonomy (Table 3) to the architectures deployed for that task, and is what
+the synthetic app-store generator samples from.
+"""
+
+from repro.dnn.zoo.mobilenet import mobilenet_v1, mobilenet_v2
+from repro.dnn.zoo.detection import blazeface, fssd, ssd_mobilenet
+from repro.dnn.zoo.segmentation import deeplab_lite, hair_segmentation, unet_lite
+from repro.dnn.zoo.vision_misc import (
+    contour_detection,
+    face_recognition,
+    image_classifier,
+    landmark_detection,
+    nudity_classifier,
+    ocr_crnn,
+    photo_beauty,
+    pose_estimation,
+    style_transfer,
+    augmented_reality,
+)
+from repro.dnn.zoo.nlp import (
+    autocomplete_lstm,
+    content_filter,
+    sentiment_cnn,
+    text_classifier,
+    translation_seq2seq,
+)
+from repro.dnn.zoo.audio import keyword_spotting, sound_recognition, speech_recognition
+from repro.dnn.zoo.sensor import crash_detection, movement_tracking
+from repro.dnn.zoo.catalog import ArchitectureEntry, CATALOG, architectures_for_task, build
+
+__all__ = [
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "blazeface",
+    "fssd",
+    "ssd_mobilenet",
+    "deeplab_lite",
+    "hair_segmentation",
+    "unet_lite",
+    "contour_detection",
+    "face_recognition",
+    "image_classifier",
+    "landmark_detection",
+    "nudity_classifier",
+    "ocr_crnn",
+    "photo_beauty",
+    "pose_estimation",
+    "style_transfer",
+    "augmented_reality",
+    "autocomplete_lstm",
+    "content_filter",
+    "sentiment_cnn",
+    "text_classifier",
+    "translation_seq2seq",
+    "keyword_spotting",
+    "sound_recognition",
+    "speech_recognition",
+    "crash_detection",
+    "movement_tracking",
+    "ArchitectureEntry",
+    "CATALOG",
+    "architectures_for_task",
+    "build",
+]

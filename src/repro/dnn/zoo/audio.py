@@ -1,0 +1,115 @@
+"""Audio architectures: ambient sound recognition, ASR and keyword spotting.
+
+The paper finds 15 audio models in the wild, 80% of which perform ambient
+sound recognition (Table 3).  Sound recognition over one hour of audio is one
+of the three Table 4 energy scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = ["sound_recognition", "speech_recognition", "keyword_spotting"]
+
+
+def sound_recognition(
+    name: str = "ambient_sound_classifier",
+    *,
+    frames: int = 96,
+    mel_bins: int = 64,
+    num_classes: int = 521,
+    framework: str = "tflite",
+    task: str = "sound recognition",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """YAMNet-style ambient sound classifier over log-mel spectrogram patches."""
+    builder = GraphBuilder(
+        name,
+        (1, frames, mel_bins, 1),
+        framework=framework,
+        architecture="sound_cnn",
+        task=task,
+        modality=Modality.AUDIO,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.conv2d(32, kernel=3, stride=2, activation=OpType.RELU)
+    for filters in (64, 128, 128, 256, 256):
+        builder.depthwise_conv2d(kernel=3, stride=2 if filters in (64, 128, 256) else 1,
+                                 activation=OpType.RELU)
+        builder.conv2d(filters, kernel=1, activation=OpType.RELU)
+    builder.global_avg_pool()
+    builder.dense(num_classes, name="class_logits")
+    builder.activation(OpType.SIGMOID)
+    return builder.build()
+
+
+def speech_recognition(
+    name: str = "on_device_asr",
+    *,
+    frames: int = 300,
+    features: int = 80,
+    vocab_size: int = 128,
+    hidden_size: int = 512,
+    framework: str = "tflite",
+    task: str = "speech recognition",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Streaming ASR acoustic model: convolutional front-end + LSTM stack."""
+    builder = GraphBuilder(
+        name,
+        (1, frames, features, 1),
+        framework=framework,
+        architecture="asr_conv_lstm",
+        task=task,
+        modality=Modality.AUDIO,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.conv2d(32, kernel=3, stride=2, activation=OpType.RELU)
+    builder.conv2d(32, kernel=3, stride=2, activation=OpType.RELU)
+    batch, time_steps, feat, channels = builder.current_spec.shape
+    builder.reshape((batch, time_steps, feat * channels), name="to_sequence")
+    builder.lstm(hidden_size, return_sequences=True, name="lstm_1")
+    builder.lstm(hidden_size, return_sequences=True, name="lstm_2")
+    builder.lstm(hidden_size, return_sequences=True, name="lstm_3")
+    builder.dense(vocab_size, name="token_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def keyword_spotting(
+    name: str = "hotword_detector",
+    *,
+    frames: int = 49,
+    mel_bins: int = 40,
+    num_keywords: int = 12,
+    framework: str = "tflite",
+    task: str = "keyword detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Tiny always-on keyword spotter (depthwise-separable CNN)."""
+    builder = GraphBuilder(
+        name,
+        (1, frames, mel_bins, 1),
+        framework=framework,
+        architecture="kws_dscnn",
+        task=task,
+        modality=Modality.AUDIO,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.conv2d(64, kernel=3, stride=2, activation=OpType.RELU)
+    for _ in range(4):
+        builder.depthwise_conv2d(kernel=3, activation=OpType.RELU)
+        builder.conv2d(64, kernel=1, activation=OpType.RELU)
+    builder.global_avg_pool()
+    builder.dense(num_keywords, name="keyword_logits")
+    builder.softmax()
+    return builder.build()

@@ -1,0 +1,304 @@
+"""Catalogue mapping the paper's task taxonomy (Table 3) to zoo architectures.
+
+The synthetic Play Store generator samples from this catalogue with weights
+proportional to the per-task model counts reported in Table 3, which is how
+the reproduced dataset ends up with the same task distribution as the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.tensor import DType
+from repro.dnn.zoo import audio, detection, mobilenet, nlp, segmentation, sensor, vision_misc
+
+__all__ = ["ArchitectureEntry", "CATALOG", "architectures_for_task", "build",
+           "TASK_MODALITY", "TASK_WEIGHTS"]
+
+Builder = Callable[..., Graph]
+
+
+@dataclass(frozen=True)
+class ArchitectureEntry:
+    """One deployable architecture: a builder plus naming hints.
+
+    ``name_templates`` are realistic file-name stems observed for this kind of
+    model ("hair_segmentation_mobilenet", "blazeface", ...); the app generator
+    picks one, so ~67% of models carry names hinting at their task, as in the
+    paper (Sec. 4.4).
+    """
+
+    architecture: str
+    task: str
+    modality: Modality
+    builder: Builder
+    name_templates: tuple[str, ...]
+    size_variants: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    popularity: float = 1.0
+
+
+#: Task -> modality mapping covering every row of Table 3.
+TASK_MODALITY: dict[str, Modality] = {
+    "object detection": Modality.IMAGE,
+    "face detection": Modality.IMAGE,
+    "contour detection": Modality.IMAGE,
+    "text recognition": Modality.IMAGE,
+    "augmented reality": Modality.IMAGE,
+    "semantic segmentation": Modality.IMAGE,
+    "object recognition": Modality.IMAGE,
+    "pose estimation": Modality.IMAGE,
+    "photo beauty": Modality.IMAGE,
+    "image classification": Modality.IMAGE,
+    "nudity detection": Modality.IMAGE,
+    "face recognition": Modality.IMAGE,
+    "style transfer": Modality.IMAGE,
+    "hair reconstruction": Modality.IMAGE,
+    "landmark detection": Modality.IMAGE,
+    "auto-complete": Modality.TEXT,
+    "sentiment prediction": Modality.TEXT,
+    "content filter": Modality.TEXT,
+    "text classification": Modality.TEXT,
+    "translation": Modality.TEXT,
+    "sound recognition": Modality.AUDIO,
+    "speech recognition": Modality.AUDIO,
+    "keyword detection": Modality.AUDIO,
+    "movement tracking": Modality.SENSOR,
+    "crash detection": Modality.SENSOR,
+}
+
+#: Task -> model count in the paper's latest snapshot (Table 3).  Used by the
+#: app generator as sampling weights so the reproduced task distribution
+#: matches the paper's.
+TASK_WEIGHTS: dict[str, int] = {
+    "object detection": 788,
+    "face detection": 197,
+    "contour detection": 192,
+    "text recognition": 185,
+    "augmented reality": 51,
+    "semantic segmentation": 14,
+    "object recognition": 14,
+    "pose estimation": 8,
+    "photo beauty": 8,
+    "image classification": 7,
+    "nudity detection": 5,
+    "face recognition": 6,
+    "style transfer": 5,
+    "hair reconstruction": 5,
+    "landmark detection": 10,
+    "auto-complete": 9,
+    "sentiment prediction": 4,
+    "content filter": 2,
+    "text classification": 1,
+    "translation": 1,
+    "sound recognition": 12,
+    "speech recognition": 2,
+    "keyword detection": 1,
+    "movement tracking": 3,
+    "crash detection": 1,
+}
+
+
+def _entry(architecture: str, task: str, builder: Builder,
+           names: Sequence[str], popularity: float = 1.0,
+           variants: Mapping[str, Mapping[str, object]] | None = None) -> ArchitectureEntry:
+    return ArchitectureEntry(
+        architecture=architecture,
+        task=task,
+        modality=TASK_MODALITY[task],
+        builder=builder,
+        name_templates=tuple(names),
+        size_variants=dict(variants or {}),
+        popularity=popularity,
+    )
+
+
+CATALOG: tuple[ArchitectureEntry, ...] = (
+    # --- vision: object detection (dominant task, FSSD most popular) -------
+    _entry("fssd", "object detection", detection.fssd,
+           ("fssd_mobilenet_v1", "object_detector_fssd", "detect", "ssd_mobilenet_fssd"),
+           popularity=3.0,
+           variants={
+               "300": {"resolution": 300},
+               "224": {"resolution": 224, "alpha": 0.75},
+               "160-slim": {"resolution": 160, "alpha": 0.5},
+           }),
+    _entry("ssd_mobilenet", "object detection", detection.ssd_mobilenet,
+           ("ssd_mobilenet_v2", "object_labeler", "mobile_object_localizer"),
+           popularity=2.0,
+           variants={"300": {"resolution": 300}, "192": {"resolution": 192, "alpha": 0.75}}),
+    _entry("card_detector", "object detection", detection.ssd_mobilenet,
+           ("card_detector", "paycard_detection", "id_card_detector"),
+           popularity=1.5,
+           variants={"256": {"resolution": 256, "alpha": 0.5, "num_classes": 4}}),
+    # --- vision: face detection --------------------------------------------
+    _entry("blazeface", "face detection", detection.blazeface,
+           ("blazeface", "face_detection_short_range", "face_detector"),
+           popularity=3.0,
+           variants={"128": {"resolution": 128}, "192": {"resolution": 192}}),
+    # --- vision: contour / landmark detection ------------------------------
+    _entry("contour_net", "contour detection", vision_misc.contour_detection,
+           ("face_contours", "contour_detector", "mlkit_contours"),
+           popularity=2.0,
+           variants={"192": {"resolution": 192}, "128": {"resolution": 128, "num_points": 64}}),
+    _entry("landmark_net", "contour detection", vision_misc.landmark_detection,
+           ("face_landmark", "face_mesh", "facemesh_468"),
+           popularity=2.0,
+           variants={"192": {"resolution": 192}, "256": {"resolution": 256}}),
+    # --- vision: text recognition ------------------------------------------
+    _entry("crnn", "text recognition", vision_misc.ocr_crnn,
+           ("text_recognition_crnn", "ocr_latin", "card_number_recognizer",
+            "paycards_recognizer"),
+           popularity=2.5,
+           variants={"320": {"width": 320}, "200": {"width": 200, "vocab_size": 48}}),
+    # --- vision: augmented reality ------------------------------------------
+    _entry("ar_tracker", "augmented reality", vision_misc.augmented_reality,
+           ("ar_plane_tracker", "ar_anchor_net", "arcore_feature_net"),
+           popularity=1.0,
+           variants={"224": {"resolution": 224}, "160": {"resolution": 160}}),
+    # --- vision: segmentation ------------------------------------------------
+    _entry("hair_segmentation", "semantic segmentation", segmentation.hair_segmentation,
+           ("hair_segmentation_mobilenet", "hair_segmenter"),
+           popularity=1.0,
+           variants={"512": {"resolution": 512}, "256": {"resolution": 256}}),
+    _entry("person_segmentation", "semantic segmentation", segmentation.unet_lite,
+           ("selfie_segmentation", "portrait_segmenter", "background_segmenter"),
+           popularity=1.5,
+           variants={"256": {"resolution": 256}, "144": {"resolution": 144, "base_filters": 16}}),
+    _entry("deeplab_lite", "semantic segmentation", segmentation.deeplab_lite,
+           ("deeplabv3_mnv2", "segmentation_deeplab"),
+           popularity=1.0,
+           variants={"257": {"resolution": 257}}),
+    # --- vision: other tasks -------------------------------------------------
+    _entry("classifier", "object recognition", vision_misc.image_classifier,
+           ("object_recognizer", "wine_label_classifier", "food_classifier",
+            "plant_recognizer"),
+           popularity=1.5,
+           variants={"224": {"resolution": 224, "num_classes": 500},
+                     "192": {"resolution": 192, "alpha": 0.75, "num_classes": 200}}),
+    _entry("posenet", "pose estimation", vision_misc.pose_estimation,
+           ("posenet_mobilenet", "pose_landmark_lite"),
+           popularity=1.0,
+           variants={"257": {"resolution": 257}, "193": {"resolution": 193, "alpha": 0.5}}),
+    _entry("beauty_net", "photo beauty", vision_misc.photo_beauty,
+           ("beauty_filter", "face_retouch", "skin_smoothing"),
+           popularity=1.0,
+           variants={"256": {"resolution": 256}, "192": {"resolution": 192}}),
+    _entry("mobilenet_classifier", "image classification", vision_misc.image_classifier,
+           ("mobilenet_v2_1.0_224", "mobilenet_v1_0.75_192", "imagenet_classifier"),
+           popularity=1.0,
+           variants={"224": {"resolution": 224}, "192": {"resolution": 192, "alpha": 0.75}}),
+    _entry("nsfw", "nudity detection", vision_misc.nudity_classifier,
+           ("nsfw_detector", "content_moderation_nsfw"),
+           popularity=1.0,
+           variants={"224": {"resolution": 224}}),
+    _entry("mobile_facenet", "face recognition", vision_misc.face_recognition,
+           ("facenet_mobile", "face_embedding", "face_verifier"),
+           popularity=1.0,
+           variants={"160": {"resolution": 160}, "112": {"resolution": 112, "alpha": 0.75}}),
+    _entry("fast_style_transfer", "style transfer", vision_misc.style_transfer,
+           ("style_transfer", "art_filter", "cartoonizer"),
+           popularity=1.0,
+           variants={"384": {"resolution": 384}, "256": {"resolution": 256}}),
+    _entry("hair_recon", "hair reconstruction", segmentation.unet_lite,
+           ("hair_reconstruction", "hair_recolor_net"),
+           popularity=1.0,
+           variants={"512": {"resolution": 512, "base_filters": 32},
+                     "384": {"resolution": 384, "base_filters": 24}}),
+    _entry("landmark_regressor", "landmark detection", vision_misc.landmark_detection,
+           ("hand_landmark", "iris_landmark", "body_landmarks"),
+           popularity=1.0,
+           variants={"224": {"resolution": 224, "num_landmarks": 21},
+                     "192": {"resolution": 192, "num_landmarks": 33}}),
+    # --- text ----------------------------------------------------------------
+    _entry("autocomplete_lstm", "auto-complete", nlp.autocomplete_lstm,
+           ("keyboard_autocomplete", "next_word_predictor", "smart_compose_lite"),
+           popularity=2.0,
+           variants={"base": {}, "small": {"hidden_size": 128, "vocab_size": 10000}}),
+    _entry("sentiment_gru", "sentiment prediction", nlp.sentiment_cnn,
+           ("sentiment_classifier", "review_sentiment"),
+           popularity=1.0,
+           variants={"base": {}}),
+    _entry("content_filter_mlp", "content filter", nlp.content_filter,
+           ("content_filter", "toxicity_detector"),
+           popularity=1.0,
+           variants={"base": {}}),
+    _entry("text_classifier_gru", "text classification", nlp.text_classifier,
+           ("text_topic_classifier", "intent_classifier"),
+           popularity=1.0,
+           variants={"base": {}}),
+    _entry("seq2seq_lstm", "translation", nlp.translation_seq2seq,
+           ("on_device_translator", "offline_translate"),
+           popularity=1.0,
+           variants={"base": {}}),
+    # --- audio ---------------------------------------------------------------
+    _entry("sound_cnn", "sound recognition", audio.sound_recognition,
+           ("ambient_sound_classifier", "yamnet_lite", "sound_events",
+            "baby_cry_detector"),
+           popularity=2.0,
+           variants={"base": {}, "small": {"num_classes": 50, "mel_bins": 40}}),
+    _entry("asr_conv_lstm", "speech recognition", audio.speech_recognition,
+           ("on_device_asr", "speech_to_text_streaming"),
+           popularity=1.0,
+           variants={"base": {}}),
+    _entry("kws_dscnn", "keyword detection", audio.keyword_spotting,
+           ("hotword_detector", "wakeword_ds_cnn"),
+           popularity=1.0,
+           variants={"base": {}}),
+    # --- sensors -------------------------------------------------------------
+    _entry("imu_gru", "movement tracking", sensor.movement_tracking,
+           ("activity_tracker", "horse_movement_tracker", "step_activity_net"),
+           popularity=1.0,
+           variants={"base": {}}),
+    _entry("imu_crash_lstm", "crash detection", sensor.crash_detection,
+           ("crash_detector", "collision_detection"),
+           popularity=1.0,
+           variants={"base": {}}),
+)
+
+
+def architectures_for_task(task: str) -> tuple[ArchitectureEntry, ...]:
+    """Return every catalogue entry deployable for ``task``."""
+    entries = tuple(entry for entry in CATALOG if entry.task == task)
+    if not entries:
+        raise KeyError(f"no architectures registered for task {task!r}")
+    return entries
+
+
+def build(entry: ArchitectureEntry, *, name: str | None = None,
+          variant: str | None = None, framework: str = "tflite",
+          weight_seed: int = 0, weight_dtype: DType = DType.FLOAT32,
+          **overrides) -> Graph:
+    """Instantiate a catalogue entry as a concrete graph.
+
+    Parameters
+    ----------
+    entry:
+        Catalogue entry to build.
+    name:
+        Model name; defaults to the entry's first name template.
+    variant:
+        Key into ``entry.size_variants`` selecting a resolution/width variant.
+    framework, weight_seed, weight_dtype:
+        Passed through to the architecture builder.
+    overrides:
+        Additional builder keyword arguments (take precedence over the variant).
+    """
+    kwargs: dict[str, object] = {}
+    if variant is not None:
+        if variant not in entry.size_variants:
+            raise KeyError(
+                f"unknown variant {variant!r} for {entry.architecture!r}; "
+                f"available: {sorted(entry.size_variants)}"
+            )
+        kwargs.update(entry.size_variants[variant])
+    kwargs.update(overrides)
+    return entry.builder(
+        name or entry.name_templates[0],
+        framework=framework,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+        task=entry.task,
+        **kwargs,
+    )

@@ -1,0 +1,189 @@
+"""Detection architectures: FSSD, SSD-MobileNet and BlazeFace.
+
+The paper finds object detection to be the single most common task (52.7% of
+vision models, Table 3), with FSSD the most popular detector and BlazeFace the
+most popular face detector (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = ["fssd", "ssd_mobilenet", "blazeface"]
+
+
+def _detection_head(builder: GraphBuilder, feature_names: list[str],
+                    feature_specs: list, num_anchors: int, num_classes: int) -> None:
+    """Append per-feature-map box/class prediction heads and a postprocess node."""
+    head_outputs: list[str] = []
+    head_specs = []
+    for index, (feat_name, feat_spec) in enumerate(zip(feature_names, feature_specs)):
+        builder.restore_to(feat_name, feat_spec)
+        box = builder.conv2d(num_anchors * 4, kernel=3, name=f"box_head_{index}")
+        builder.restore_to(feat_name, feat_spec)
+        cls = builder.conv2d(num_anchors * num_classes, kernel=3,
+                             name=f"class_head_{index}")
+        head_outputs.extend([box.name, cls.name])
+        head_specs.extend([box.output_spec, cls.output_spec])
+    builder.restore_to(head_outputs[0], head_specs[0])
+    builder.concat(head_outputs[1:], head_specs[1:], name="head_concat")
+    builder.detection_postprocess(max_detections=100)
+
+
+def fssd(
+    name: str = "fssd_mobilenet",
+    *,
+    resolution: int = 300,
+    num_classes: int = 91,
+    alpha: float = 1.0,
+    framework: str = "tflite",
+    task: str = "object detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Feature-fusion SSD with a MobileNet-style backbone.
+
+    FSSD fuses multi-scale backbone features into a common map before building
+    a new feature pyramid; the paper identifies it as the most popular object
+    detector in the wild (including in Google's own apps).
+    """
+    from repro.dnn.zoo.mobilenet import mobilenet_backbone
+
+    builder = GraphBuilder(
+        name,
+        (1, resolution, resolution, 3),
+        framework=framework,
+        architecture="fssd",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    mobilenet_backbone(builder, alpha=alpha, version=1)
+
+    # Fusion: project the final feature map and upsample into a fused map.
+    builder.conv2d(256, kernel=1, name="fusion_project", activation=OpType.RELU)
+    builder.resize(scale=2, name="fusion_upsample")
+    builder.batch_norm(name="fusion_bn")
+
+    # New feature pyramid built on the fused map.
+    pyramid_names: list[str] = []
+    pyramid_specs = []
+    channels = [256, 256, 256, 128, 128, 128]
+    for index, ch in enumerate(channels):
+        stride = 1 if index == 0 else 2
+        layer = builder.conv2d(ch, kernel=3, stride=stride,
+                               name=f"pyramid_conv_{index}", activation=OpType.RELU)
+        pyramid_names.append(builder.current)
+        pyramid_specs.append(builder.current_spec)
+
+    _detection_head(builder, pyramid_names, pyramid_specs,
+                    num_anchors=6, num_classes=num_classes)
+    return builder.build()
+
+
+def ssd_mobilenet(
+    name: str = "ssd_mobilenet_v2",
+    *,
+    resolution: int = 300,
+    num_classes: int = 91,
+    alpha: float = 1.0,
+    framework: str = "tflite",
+    task: str = "object detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Vanilla SSD-MobileNetV2 detector (the other common off-the-shelf detector)."""
+    from repro.dnn.zoo.mobilenet import mobilenet_backbone
+
+    builder = GraphBuilder(
+        name,
+        (1, resolution, resolution, 3),
+        framework=framework,
+        architecture="ssd_mobilenet",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    mobilenet_backbone(builder, alpha=alpha, version=2)
+
+    pyramid_names: list[str] = []
+    pyramid_specs = []
+    for index, ch in enumerate([512, 256, 256, 128]):
+        builder.conv2d(ch // 2, kernel=1, name=f"extra_project_{index}",
+                       activation=OpType.RELU6)
+        builder.conv2d(ch, kernel=3, stride=2, name=f"extra_conv_{index}",
+                       activation=OpType.RELU6)
+        pyramid_names.append(builder.current)
+        pyramid_specs.append(builder.current_spec)
+
+    _detection_head(builder, pyramid_names, pyramid_specs,
+                    num_anchors=6, num_classes=num_classes)
+    return builder.build()
+
+
+def blazeface(
+    name: str = "blazeface",
+    *,
+    resolution: int = 128,
+    framework: str = "tflite",
+    task: str = "face detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """BlazeFace: sub-millisecond face detector built from "blaze blocks".
+
+    A blaze block is a depthwise 5x5 convolution followed by a 1x1 projection
+    with a residual connection; double blaze blocks stack two of them.
+    """
+    builder = GraphBuilder(
+        name,
+        (1, resolution, resolution, 3),
+        framework=framework,
+        architecture="blazeface",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.conv2d(24, kernel=5, stride=2, activation=OpType.RELU)
+
+    def blaze_block(filters: int, stride: int = 1) -> None:
+        residual = builder.checkpoint()
+        builder.depthwise_conv2d(kernel=5, stride=stride)
+        builder.conv2d(filters, kernel=1)
+        if stride == 1 and residual.spec.shape[-1] == filters:
+            builder.add(residual.name)
+        builder.activation(OpType.RELU)
+
+    for filters in (24, 24, 48):
+        blaze_block(filters, stride=2 if filters == 48 else 1)
+    for filters in (48, 48):
+        blaze_block(filters)
+    for filters in (96, 96, 96):
+        blaze_block(filters, stride=2 if filters == 96 and builder.current_spec.shape[1] > 16 else 1)
+
+    # Two prediction branches: 16x16 and 8x8 anchors.
+    feature_16 = builder.checkpoint()
+    builder.conv2d(96, kernel=3, stride=2, name="downsample_8", activation=OpType.RELU)
+    feature_8 = builder.checkpoint()
+
+    builder.restore(feature_16)
+    box_16 = builder.conv2d(2 * 16, kernel=1, name="box_regressor_16")
+    builder.restore(feature_16)
+    cls_16 = builder.conv2d(2, kernel=1, name="classificator_16")
+    builder.restore(feature_8)
+    box_8 = builder.conv2d(6 * 16, kernel=1, name="box_regressor_8")
+    builder.restore(feature_8)
+    cls_8 = builder.conv2d(6, kernel=1, name="classificator_8")
+
+    builder.restore_to(box_16.name, box_16.output_spec)
+    builder.concat([cls_16.name, box_8.name, cls_8.name],
+                   [cls_16.output_spec, box_8.output_spec, cls_8.output_spec],
+                   name="raw_detections")
+    builder.detection_postprocess(max_detections=48)
+    return builder.build()

@@ -1,0 +1,144 @@
+"""MobileNet V1/V2 backbones — the most popular architecture found in the wild.
+
+The paper (Sec. 4.5) reports MobileNet as the most widely deployed backbone,
+with variants reused for detection (FSSD), segmentation, pose estimation and
+classification.  The builders here reproduce the layer structure (depthwise
+separable blocks, inverted residuals) with a configurable width multiplier and
+input resolution, which is what determines FLOPs and parameter counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = ["mobilenet_v1", "mobilenet_v2", "mobilenet_backbone"]
+
+#: (filters, stride) per depthwise-separable block of MobileNetV1.
+_V1_BLOCKS = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+#: (expansion, filters, repeats, stride) per inverted-residual stage of MobileNetV2.
+_V2_STAGES = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _scaled(filters: int, alpha: float) -> int:
+    return max(8, int(round(filters * alpha / 8)) * 8)
+
+
+def mobilenet_backbone(builder: GraphBuilder, alpha: float = 1.0,
+                       version: int = 1) -> GraphBuilder:
+    """Append a MobileNet backbone to an existing builder and return it."""
+    if version == 1:
+        builder.conv2d(_scaled(32, alpha), kernel=3, stride=2, activation=OpType.RELU6)
+        for filters, stride in _V1_BLOCKS:
+            builder.depthwise_conv2d(kernel=3, stride=stride, activation=OpType.RELU6)
+            builder.conv2d(_scaled(filters, alpha), kernel=1, activation=OpType.RELU6)
+        return builder
+    if version == 2:
+        builder.conv2d(_scaled(32, alpha), kernel=3, stride=2, activation=OpType.RELU6)
+        in_channels = _scaled(32, alpha)
+        for expansion, filters, repeats, stride in _V2_STAGES:
+            out_channels = _scaled(filters, alpha)
+            for i in range(repeats):
+                block_stride = stride if i == 0 else 1
+                residual = builder.checkpoint()
+                if expansion != 1:
+                    builder.conv2d(in_channels * expansion, kernel=1,
+                                   activation=OpType.RELU6)
+                builder.depthwise_conv2d(kernel=3, stride=block_stride,
+                                         activation=OpType.RELU6)
+                builder.conv2d(out_channels, kernel=1)
+                if block_stride == 1 and in_channels == out_channels:
+                    builder.add(residual.name)
+                in_channels = out_channels
+        builder.conv2d(_scaled(1280, alpha), kernel=1, activation=OpType.RELU6)
+        return builder
+    raise ValueError(f"unsupported MobileNet version: {version}")
+
+
+def mobilenet_v1(
+    name: str = "mobilenet_v1",
+    *,
+    alpha: float = 1.0,
+    resolution: int = 224,
+    num_classes: int = 1000,
+    framework: str = "tflite",
+    task: str = "image classification",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+    include_top: bool = True,
+) -> Graph:
+    """Build a MobileNetV1 classifier graph."""
+    builder = GraphBuilder(
+        name,
+        (1, resolution, resolution, 3),
+        framework=framework,
+        architecture="mobilenet_v1",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    mobilenet_backbone(builder, alpha=alpha, version=1)
+    if include_top:
+        builder.global_avg_pool()
+        builder.dense(num_classes)
+        builder.softmax()
+    return builder.build()
+
+
+def mobilenet_v2(
+    name: str = "mobilenet_v2",
+    *,
+    alpha: float = 1.0,
+    resolution: int = 224,
+    num_classes: int = 1000,
+    framework: str = "tflite",
+    task: str = "image classification",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+    include_top: bool = True,
+) -> Graph:
+    """Build a MobileNetV2 classifier graph."""
+    builder = GraphBuilder(
+        name,
+        (1, resolution, resolution, 3),
+        framework=framework,
+        architecture="mobilenet_v2",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    mobilenet_backbone(builder, alpha=alpha, version=2)
+    if include_top:
+        builder.global_avg_pool()
+        builder.dense(num_classes)
+        builder.softmax()
+    return builder.build()

@@ -1,0 +1,158 @@
+"""Text (NLP) architectures from the paper's task taxonomy (Table 3).
+
+The NLP models found in the wild are dominated by keyboard auto-completion
+(52.9%), followed by sentiment prediction, content filtering, text
+classification and translation.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = [
+    "autocomplete_lstm",
+    "sentiment_cnn",
+    "content_filter",
+    "text_classifier",
+    "translation_seq2seq",
+]
+
+
+def _text_builder(name: str, seq_len: int, *, framework: str, architecture: str,
+                  task: str, weight_seed: int, weight_dtype: DType) -> GraphBuilder:
+    return GraphBuilder(
+        name,
+        (1, seq_len),
+        framework=framework,
+        architecture=architecture,
+        task=task,
+        modality=Modality.TEXT,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+        input_dtype=DType.INT32,
+    )
+
+
+def autocomplete_lstm(
+    name: str = "keyboard_autocomplete",
+    *,
+    seq_len: int = 16,
+    vocab_size: int = 20000,
+    embedding_dim: int = 96,
+    hidden_size: int = 256,
+    framework: str = "tflite",
+    task: str = "auto-complete",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Next-word prediction LSTM used by keyboard apps.
+
+    The paper reports text auto-completion as the heaviest deployed NLP task
+    in FLOPs, and uses a 275-word typing workload for its Table 4 scenario.
+    """
+    builder = _text_builder(name, seq_len, framework=framework,
+                            architecture="autocomplete_lstm", task=task,
+                            weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.embedding(vocab_size, embedding_dim)
+    builder.lstm(hidden_size, return_sequences=True, name="lstm_1")
+    builder.lstm(hidden_size, return_sequences=False, name="lstm_2")
+    builder.dense(vocab_size, name="next_word_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def sentiment_cnn(
+    name: str = "sentiment_classifier",
+    *,
+    seq_len: int = 64,
+    vocab_size: int = 10000,
+    embedding_dim: int = 64,
+    framework: str = "tflite",
+    task: str = "sentiment prediction",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Sentiment prediction model: embedding + GRU + dense head."""
+    builder = _text_builder(name, seq_len, framework=framework,
+                            architecture="sentiment_gru", task=task,
+                            weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.embedding(vocab_size, embedding_dim)
+    builder.gru(64, return_sequences=False)
+    builder.dense(32, activation=OpType.RELU)
+    builder.dense(3, name="sentiment_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def content_filter(
+    name: str = "content_filter",
+    *,
+    seq_len: int = 128,
+    vocab_size: int = 30000,
+    embedding_dim: int = 48,
+    framework: str = "tflite",
+    task: str = "content filter",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Toxic/abusive text filter: lightweight embedding-average classifier."""
+    builder = _text_builder(name, seq_len, framework=framework,
+                            architecture="content_filter_mlp", task=task,
+                            weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.embedding(vocab_size, embedding_dim)
+    builder.gru(48, return_sequences=False)
+    builder.dense(24, activation=OpType.RELU)
+    builder.dense(2, name="toxicity_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def text_classifier(
+    name: str = "text_topic_classifier",
+    *,
+    seq_len: int = 256,
+    vocab_size: int = 50000,
+    embedding_dim: int = 128,
+    num_classes: int = 20,
+    framework: str = "tflite",
+    task: str = "text classification",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Topic/intent classifier with a two-layer GRU encoder."""
+    builder = _text_builder(name, seq_len, framework=framework,
+                            architecture="text_classifier_gru", task=task,
+                            weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.embedding(vocab_size, embedding_dim)
+    builder.gru(128, return_sequences=True, name="encoder_gru_1")
+    builder.gru(128, return_sequences=False, name="encoder_gru_2")
+    builder.dense(num_classes, name="topic_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def translation_seq2seq(
+    name: str = "on_device_translator",
+    *,
+    seq_len: int = 48,
+    vocab_size: int = 32000,
+    embedding_dim: int = 256,
+    hidden_size: int = 512,
+    framework: str = "tflite",
+    task: str = "translation",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Sequence-to-sequence translation model (encoder/decoder LSTMs)."""
+    builder = _text_builder(name, seq_len, framework=framework,
+                            architecture="seq2seq_lstm", task=task,
+                            weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.embedding(vocab_size, embedding_dim, name="source_embedding")
+    builder.lstm(hidden_size, return_sequences=True, name="encoder_lstm")
+    builder.lstm(hidden_size, return_sequences=True, name="decoder_lstm")
+    builder.dense(vocab_size, name="target_logits")
+    builder.softmax()
+    return builder.build()

@@ -1,0 +1,73 @@
+"""Sensor-data architectures: movement tracking and crash detection.
+
+The paper found only four sensor models, with anecdotal use cases of horse
+movement tracking and car crash detection in insurance apps (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = ["movement_tracking", "crash_detection"]
+
+
+def movement_tracking(
+    name: str = "activity_tracker",
+    *,
+    window: int = 128,
+    channels: int = 6,
+    num_activities: int = 8,
+    framework: str = "tflite",
+    task: str = "movement tracking",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Activity/movement recogniser over accelerometer + gyroscope windows."""
+    builder = GraphBuilder(
+        name,
+        (1, window, channels),
+        framework=framework,
+        architecture="imu_gru",
+        task=task,
+        modality=Modality.SENSOR,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.gru(64, return_sequences=True, name="imu_gru_1")
+    builder.gru(64, return_sequences=False, name="imu_gru_2")
+    builder.dense(32, activation=OpType.RELU)
+    builder.dense(num_activities, name="activity_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def crash_detection(
+    name: str = "crash_detector",
+    *,
+    window: int = 256,
+    channels: int = 9,
+    framework: str = "tflite",
+    task: str = "crash detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Binary car-crash detector over high-rate IMU windows (insurance apps)."""
+    builder = GraphBuilder(
+        name,
+        (1, window, channels),
+        framework=framework,
+        architecture="imu_crash_lstm",
+        task=task,
+        modality=Modality.SENSOR,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    builder.lstm(48, return_sequences=True, name="imu_lstm_1")
+    builder.lstm(48, return_sequences=False, name="imu_lstm_2")
+    builder.dense(16, activation=OpType.RELU)
+    builder.dense(2, name="crash_logits")
+    builder.softmax()
+    return builder.build()

@@ -1,0 +1,313 @@
+"""Remaining vision architectures from the paper's task taxonomy (Table 3).
+
+Covers contour/landmark detection, text recognition (OCR), augmented reality,
+pose estimation, photo beauty, face recognition, nudity detection, style
+transfer and plain image classification heads.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, Modality
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = [
+    "contour_detection",
+    "landmark_detection",
+    "ocr_crnn",
+    "augmented_reality",
+    "pose_estimation",
+    "photo_beauty",
+    "face_recognition",
+    "nudity_classifier",
+    "style_transfer",
+    "image_classifier",
+]
+
+
+def _image_builder(name: str, resolution: int, *, framework: str, architecture: str,
+                   task: str, weight_seed: int, weight_dtype: DType,
+                   channels: int = 3) -> GraphBuilder:
+    return GraphBuilder(
+        name,
+        (1, resolution, resolution, channels),
+        framework=framework,
+        architecture=architecture,
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+
+
+def contour_detection(
+    name: str = "face_contour_detector",
+    *,
+    resolution: int = 192,
+    num_points: int = 133,
+    framework: str = "tflite",
+    task: str = "contour detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Face/object contour regression network (e.g. ML Kit face contours)."""
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="contour_net", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    filters = 16
+    while builder.current_spec.shape[1] > 6:
+        builder.depthwise_conv2d(kernel=3, stride=2, activation=OpType.RELU6)
+        builder.conv2d(filters, kernel=1, activation=OpType.RELU6)
+        filters = min(filters * 2, 256)
+    builder.global_avg_pool()
+    builder.dense(2 * num_points, name="contour_points")
+    return builder.build()
+
+
+def landmark_detection(
+    name: str = "face_landmark",
+    *,
+    resolution: int = 192,
+    num_landmarks: int = 468,
+    framework: str = "tflite",
+    task: str = "contour detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Dense facial-landmark regressor (MediaPipe face-mesh style)."""
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="landmark_net", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.conv2d(16, kernel=3, stride=2, activation=OpType.PRELU)
+    filters = 32
+    for _ in range(5):
+        residual = builder.checkpoint()
+        builder.depthwise_conv2d(kernel=3, activation=OpType.PRELU)
+        builder.conv2d(residual.spec.shape[-1], kernel=1)
+        builder.add(residual.name)
+        builder.depthwise_conv2d(kernel=3, stride=2, activation=OpType.PRELU)
+        builder.conv2d(filters, kernel=1, activation=OpType.PRELU)
+        filters = min(filters * 2, 192)
+    builder.global_avg_pool()
+    builder.dense(3 * num_landmarks, name="landmarks_xyz")
+    return builder.build()
+
+
+def ocr_crnn(
+    name: str = "text_recognition_crnn",
+    *,
+    height: int = 32,
+    width: int = 320,
+    vocab_size: int = 96,
+    framework: str = "tflite",
+    task: str = "text recognition",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """CRNN text recogniser: convolutional feature extractor + recurrent decoder.
+
+    Credit-card / ID scanning apps (a surging category in the paper's finance
+    findings) ship models of this shape.
+    """
+    builder = GraphBuilder(
+        name,
+        (1, height, width, 1),
+        framework=framework,
+        architecture="crnn",
+        task=task,
+        modality=Modality.IMAGE,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+    for filters in (64, 128, 256):
+        builder.conv2d(filters, kernel=3, activation=OpType.RELU)
+        builder.max_pool(2)
+    builder.conv2d(256, kernel=3, activation=OpType.RELU)
+    batch, feat_h, feat_w, feat_c = builder.current_spec.shape
+    builder.reshape((batch, feat_w, feat_h * feat_c), name="collapse_height")
+    builder.lstm(128, return_sequences=True, name="sequence_lstm_1")
+    builder.lstm(128, return_sequences=True, name="sequence_lstm_2")
+    builder.dense(vocab_size, name="character_logits")
+    builder.softmax()
+    return builder.build()
+
+
+def augmented_reality(
+    name: str = "ar_plane_tracker",
+    *,
+    resolution: int = 224,
+    framework: str = "tflite",
+    task: str = "augmented reality",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Plane/anchor tracking feature network used by AR filters."""
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="ar_tracker", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.conv2d(32, kernel=3, stride=2, activation=OpType.RELU6)
+    for filters in (64, 96, 128, 160):
+        builder.depthwise_conv2d(kernel=3, stride=2, activation=OpType.RELU6)
+        builder.conv2d(filters, kernel=1, activation=OpType.RELU6)
+    builder.conv2d(64, kernel=1, name="descriptor_head")
+    builder.global_avg_pool()
+    builder.dense(7, name="pose_quaternion_translation")
+    return builder.build()
+
+
+def pose_estimation(
+    name: str = "posenet_mobilenet",
+    *,
+    resolution: int = 257,
+    num_keypoints: int = 17,
+    alpha: float = 0.75,
+    framework: str = "tflite",
+    task: str = "pose estimation",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """PoseNet-style keypoint heatmap + offset network on a MobileNet backbone."""
+    from repro.dnn.zoo.mobilenet import mobilenet_backbone
+
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="posenet", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    mobilenet_backbone(builder, alpha=alpha, version=1)
+    backbone_head = builder.checkpoint()
+    heatmaps = builder.conv2d(num_keypoints, kernel=1, name="heatmaps")
+    builder.restore(backbone_head)
+    offsets = builder.conv2d(2 * num_keypoints, kernel=1, name="offsets")
+    builder.restore_to(heatmaps.name, heatmaps.output_spec)
+    builder.concat([offsets.name], [offsets.output_spec], name="pose_outputs")
+    builder.activation(OpType.SIGMOID, name="heatmap_scores")
+    return builder.build()
+
+
+def photo_beauty(
+    name: str = "beauty_filter",
+    *,
+    resolution: int = 256,
+    framework: str = "tflite",
+    task: str = "photo beauty",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Image-to-image enhancement ("beautification") network."""
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="beauty_net", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.conv2d(16, kernel=3, activation=OpType.RELU)
+    builder.conv2d(32, kernel=3, stride=2, activation=OpType.RELU)
+    for _ in range(3):
+        residual = builder.checkpoint()
+        builder.conv2d(32, kernel=3, activation=OpType.RELU)
+        builder.conv2d(32, kernel=3)
+        builder.add(residual.name)
+    builder.transpose_conv2d(16, kernel=2, stride=2)
+    builder.conv2d(3, kernel=3, name="enhanced_image")
+    builder.activation(OpType.TANH)
+    return builder.build()
+
+
+def face_recognition(
+    name: str = "facenet_mobile",
+    *,
+    resolution: int = 160,
+    embedding_dim: int = 128,
+    alpha: float = 1.0,
+    framework: str = "tflite",
+    task: str = "face recognition",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Face-embedding network (FaceNet/MobileFaceNet style)."""
+    from repro.dnn.zoo.mobilenet import mobilenet_backbone
+
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="mobile_facenet", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    mobilenet_backbone(builder, alpha=alpha, version=2)
+    builder.global_avg_pool()
+    builder.dense(embedding_dim, name="embedding")
+    return builder.build()
+
+
+def nudity_classifier(
+    name: str = "nsfw_classifier",
+    *,
+    resolution: int = 224,
+    framework: str = "tflite",
+    task: str = "nudity detection",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Binary content-safety classifier on a slim MobileNet backbone."""
+    from repro.dnn.zoo.mobilenet import mobilenet_v1
+
+    return mobilenet_v1(
+        name,
+        alpha=0.5,
+        resolution=resolution,
+        num_classes=2,
+        framework=framework,
+        task=task,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )
+
+
+def style_transfer(
+    name: str = "style_transfer",
+    *,
+    resolution: int = 384,
+    framework: str = "tflite",
+    task: str = "style transfer",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Fast neural style-transfer network (encoder, residual blocks, decoder)."""
+    builder = _image_builder(name, resolution, framework=framework,
+                             architecture="fast_style_transfer", task=task,
+                             weight_seed=weight_seed, weight_dtype=weight_dtype)
+    builder.conv2d(32, kernel=9, activation=OpType.RELU)
+    builder.conv2d(64, kernel=3, stride=2, activation=OpType.RELU)
+    builder.conv2d(128, kernel=3, stride=2, activation=OpType.RELU)
+    for _ in range(5):
+        residual = builder.checkpoint()
+        builder.conv2d(128, kernel=3, activation=OpType.RELU)
+        builder.conv2d(128, kernel=3)
+        builder.add(residual.name)
+    builder.transpose_conv2d(64, kernel=2, stride=2)
+    builder.transpose_conv2d(32, kernel=2, stride=2)
+    builder.conv2d(3, kernel=9, name="stylised_image")
+    builder.activation(OpType.TANH)
+    return builder.build()
+
+
+def image_classifier(
+    name: str = "image_classifier",
+    *,
+    resolution: int = 224,
+    num_classes: int = 1000,
+    alpha: float = 1.0,
+    version: int = 2,
+    framework: str = "tflite",
+    task: str = "image classification",
+    weight_seed: int = 0,
+    weight_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """General image classifier backed by a MobileNet backbone."""
+    from repro.dnn.zoo.mobilenet import mobilenet_v1, mobilenet_v2
+
+    build_fn = mobilenet_v2 if version == 2 else mobilenet_v1
+    return build_fn(
+        name,
+        alpha=alpha,
+        resolution=resolution,
+        num_classes=num_classes,
+        framework=framework,
+        task=task,
+        weight_seed=weight_seed,
+        weight_dtype=weight_dtype,
+    )

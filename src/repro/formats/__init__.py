@@ -1,0 +1,31 @@
+"""Model file formats: serialisers, signature validation and the format registry.
+
+gaugeNN identifies candidate model files by extension (Appendix Table 5) and
+then validates them by checking framework-specific binary signatures (e.g. the
+``TFL3`` FlatBuffer identifier for TFLite).  This subpackage provides:
+
+* :mod:`repro.formats.registry` — the extension table of 69 known formats;
+* per-framework serialisers (:mod:`~repro.formats.tflite`,
+  :mod:`~repro.formats.caffe`, :mod:`~repro.formats.ncnn`,
+  :mod:`~repro.formats.tensorflow`, :mod:`~repro.formats.snpe`) that write and
+  parse model files carrying the real signatures;
+* :mod:`repro.formats.detect` — the signature-based validation used by the
+  extraction pipeline.
+"""
+
+from repro.formats.artifact import ModelArtifact
+from repro.formats.detect import detect_framework, validate
+from repro.formats.registry import FORMAT_REGISTRY, FormatSpec, extensions_for, known_extensions
+from repro.formats.serialize import deserialize_model, serialize_model
+
+__all__ = [
+    "ModelArtifact",
+    "detect_framework",
+    "validate",
+    "FORMAT_REGISTRY",
+    "FormatSpec",
+    "extensions_for",
+    "known_extensions",
+    "serialize_model",
+    "deserialize_model",
+]

@@ -1,0 +1,53 @@
+"""Serialised model artefacts: one or more files representing a single model."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ModelArtifact"]
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A model as it appears on disk inside an app package.
+
+    Most frameworks store the whole model in a single file; caffe and ncnn
+    split structure and weights across two files.  ``primary`` names the file
+    the framework's interpreter is pointed at, and ``files`` maps every file
+    name belonging to the model to its bytes.
+    """
+
+    framework: str
+    primary: str
+    files: Mapping[str, bytes] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.primary not in self.files:
+            raise ValueError(
+                f"primary file {self.primary!r} missing from artifact files "
+                f"{sorted(self.files)}"
+            )
+
+    @property
+    def total_size(self) -> int:
+        """Total byte size across all files of the artefact."""
+        return sum(len(data) for data in self.files.values())
+
+    @property
+    def file_names(self) -> tuple[str, ...]:
+        """Names of all files belonging to the model, primary first."""
+        others = sorted(name for name in self.files if name != self.primary)
+        return (self.primary, *others)
+
+    def checksum(self) -> str:
+        """md5 over model structure and weights across all files.
+
+        This is the whole-model checksum the paper computes "on both the model
+        and weights" for the uniqueness analysis (Sec. 4.5).
+        """
+        digest = hashlib.md5()
+        for name in self.file_names:
+            digest.update(self.files[name])
+        return digest.hexdigest()

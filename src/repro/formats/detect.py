@@ -1,0 +1,63 @@
+"""Signature-based model file validation (the gaugeNN "Model validation" step).
+
+Many candidate files use generic formats or extensions (``.pb``, ``.bin``,
+``.json``), so gaugeNN validates candidates by checking framework-specific
+binary signatures before accepting them as DNN models (Sec. 3.1).  Encrypted
+or obfuscated models fail these checks and are therefore excluded, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.formats import caffe, ncnn, snpe, tensorflow, tflite
+from repro.formats.registry import known_extensions
+
+__all__ = ["detect_framework", "validate", "is_candidate_extension"]
+
+#: Ordered signature checks.  Each entry is (framework, role, matcher); the
+#: first match wins.  TFLite is checked first because its identifier lives at
+#: a fixed offset and is the least ambiguous.
+_SIGNATURE_CHECKS: tuple[tuple[str, str, Callable[[bytes], bool]], ...] = (
+    ("tflite", "model", tflite.matches),
+    ("snpe", "model", snpe.matches),
+    ("caffe", "weights", caffe.matches_caffemodel),
+    ("caffe", "structure", caffe.matches_prototxt),
+    ("ncnn", "structure", ncnn.matches_param),
+    ("ncnn", "weights", ncnn.matches_bin),
+    ("tf", "model", tensorflow.matches),
+)
+
+
+def is_candidate_extension(file_name: str) -> bool:
+    """Whether a file's extension appears in the known-format registry."""
+    lowered = file_name.lower()
+    return any(lowered.endswith(ext) for ext in known_extensions())
+
+
+def detect_framework(data: bytes) -> Optional[tuple[str, str]]:
+    """Return ``(framework, role)`` for the file content, or ``None``.
+
+    ``role`` distinguishes structure-only files (caffe prototxt, ncnn param)
+    from the files holding the weights, which matters when grouping multi-file
+    models back together.
+    """
+    for framework, role, matcher in _SIGNATURE_CHECKS:
+        if matcher(data):
+            return framework, role
+    return None
+
+
+def validate(file_name: str, data: bytes) -> Optional[str]:
+    """Full validation: extension shortlist, then binary signature.
+
+    Returns the detected framework name, or ``None`` when the file is not a
+    recognisable (unencrypted, unobfuscated) DNN model.
+    """
+    if not is_candidate_extension(file_name):
+        return None
+    detected = detect_framework(data)
+    if detected is None:
+        return None
+    return detected[0]

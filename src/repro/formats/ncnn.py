@@ -1,0 +1,73 @@
+"""ncnn model format: a text ``.param`` structure file plus a binary ``.bin``.
+
+Real ncnn param files start with the magic number ``7767517``; the binary file
+holds the raw weights.  ncnn accounts for 2.8% of the models found in the wild
+(Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.formats.artifact import ModelArtifact
+from repro.formats.payload import decode_graph, encode_graph
+
+__all__ = ["write", "read", "matches_param", "matches_bin"]
+
+#: Magic number on the first line of every ncnn .param file.
+PARAM_MAGIC = "7767517"
+
+#: Marker prepended to our ncnn weight binaries.
+BIN_MAGIC = b"NCNNBIN1"
+
+PARAM_EXTENSION = ".param"
+BIN_EXTENSION = ".bin"
+
+
+def _param_text(graph: Graph) -> str:
+    """Render the layer table of an ncnn .param file."""
+    lines = [PARAM_MAGIC, f"{graph.num_layers} {graph.num_layers + len(graph.input_specs)}"]
+    for index in range(len(graph.input_specs)):
+        lines.append(f"Input input_{index} 0 1 input_{index}")
+    for layer in graph.layers:
+        bottoms = " ".join(layer.inputs)
+        lines.append(
+            f"{layer.op.value} {layer.name} {len(layer.inputs)} 1 {bottoms} {layer.name}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write(graph: Graph, file_stem: str | None = None) -> ModelArtifact:
+    """Serialise a graph into a .param + .bin artefact pair."""
+    stem = file_stem or graph.name
+    param_name = f"{stem}{PARAM_EXTENSION}"
+    bin_name = f"{stem}{BIN_EXTENSION}"
+    graph = graph.with_metadata(framework="ncnn")
+    return ModelArtifact(
+        framework="ncnn",
+        primary=param_name,
+        files={
+            param_name: _param_text(graph).encode(),
+            bin_name: BIN_MAGIC + encode_graph(graph),
+        },
+    )
+
+
+def read(bin_data: bytes) -> Graph:
+    """Parse an ncnn weight binary back into a graph."""
+    if not matches_bin(bin_data):
+        raise ValueError("not an ncnn weight binary: missing marker")
+    return decode_graph(bin_data[len(BIN_MAGIC):]).with_metadata(framework="ncnn")
+
+
+def matches_param(data: bytes) -> bool:
+    """Signature check: the 7767517 magic on the first line of .param files."""
+    try:
+        first_line = data[:32].decode("utf-8").splitlines()[0].strip()
+    except (UnicodeDecodeError, IndexError):
+        return False
+    return first_line == PARAM_MAGIC
+
+
+def matches_bin(data: bytes) -> bool:
+    """Signature check for ncnn weight binaries."""
+    return data.startswith(BIN_MAGIC)

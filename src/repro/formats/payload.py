@@ -1,0 +1,154 @@
+"""Shared graph payload codec used by every framework serialiser.
+
+Every framework file format in this reproduction wraps the same payload: a
+JSON graph descriptor (layers, shapes, attributes, weight descriptors)
+followed by the concatenated weight-tensor bytes.  Framework serialisers add
+their own headers/signatures and may split the payload across multiple files
+(caffe's prototxt/caffemodel, ncnn's param/bin), but the payload itself always
+round-trips to an identical :class:`~repro.dnn.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.dnn.graph import Graph, GraphMetadata, Modality
+from repro.dnn.layers import Layer, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+__all__ = ["encode_graph", "decode_graph", "graph_to_descriptor", "graph_from_descriptor"]
+
+_PAYLOAD_MAGIC = b"RPRGRAPH"
+
+
+def _spec_to_json(spec: TensorSpec | None) -> Any:
+    if spec is None:
+        return None
+    return {"shape": list(spec.shape), "dtype": spec.dtype.value}
+
+
+def _spec_from_json(data: Any) -> TensorSpec | None:
+    if data is None:
+        return None
+    return TensorSpec(tuple(data["shape"]), DType(data["dtype"]))
+
+
+def _weight_to_json(weight: WeightTensor) -> dict:
+    return {
+        "shape": list(weight.shape),
+        "dtype": weight.dtype.value,
+        "seed": weight.seed,
+        "sparsity": weight.sparsity,
+        "name": weight.name,
+    }
+
+
+def _weight_from_json(data: dict) -> WeightTensor:
+    return WeightTensor(
+        tuple(data["shape"]),
+        DType(data["dtype"]),
+        int(data["seed"]),
+        float(data["sparsity"]),
+        data.get("name", ""),
+    )
+
+
+def _layer_to_json(layer: Layer) -> dict:
+    attrs = {}
+    for key, value in layer.attrs.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        attrs[key] = value
+    return {
+        "name": layer.name,
+        "op": layer.op.value,
+        "inputs": list(layer.inputs),
+        "output_spec": _spec_to_json(layer.output_spec),
+        "weights": [_weight_to_json(w) for w in layer.weights],
+        "attrs": attrs,
+        "activation_dtype": layer.activation_dtype.value,
+        "fused_activation": layer.fused_activation.value if layer.fused_activation else None,
+    }
+
+
+def _layer_from_json(data: dict) -> Layer:
+    attrs = {}
+    for key, value in data.get("attrs", {}).items():
+        if isinstance(value, list):
+            value = tuple(value)
+        attrs[key] = value
+    fused = data.get("fused_activation")
+    return Layer(
+        name=data["name"],
+        op=OpType(data["op"]),
+        inputs=tuple(data.get("inputs", ())),
+        output_spec=_spec_from_json(data.get("output_spec")),
+        weights=tuple(_weight_from_json(w) for w in data.get("weights", ())),
+        attrs=attrs,
+        activation_dtype=DType(data.get("activation_dtype", "float32")),
+        fused_activation=OpType(fused) if fused else None,
+    )
+
+
+def graph_to_descriptor(graph: Graph) -> dict:
+    """Return a JSON-serialisable descriptor of the full graph."""
+    meta = graph.metadata
+    return {
+        "metadata": {
+            "name": meta.name,
+            "framework": meta.framework,
+            "architecture": meta.architecture,
+            "task": meta.task,
+            "modality": meta.modality.value if meta.modality else None,
+            "version": meta.version,
+            "extra": dict(meta.extra),
+        },
+        "inputs": [_spec_to_json(spec) for spec in graph.input_specs],
+        "layers": [_layer_to_json(layer) for layer in graph.layers],
+    }
+
+
+def graph_from_descriptor(descriptor: dict) -> Graph:
+    """Rebuild a graph from a descriptor produced by :func:`graph_to_descriptor`."""
+    meta_data = descriptor["metadata"]
+    modality = meta_data.get("modality")
+    metadata = GraphMetadata(
+        name=meta_data["name"],
+        framework=meta_data.get("framework", "tflite"),
+        architecture=meta_data.get("architecture", ""),
+        task=meta_data.get("task", ""),
+        modality=Modality(modality) if modality else None,
+        version=meta_data.get("version", "1.0"),
+        extra=meta_data.get("extra", {}),
+    )
+    input_specs = [_spec_from_json(spec) for spec in descriptor["inputs"]]
+    layers = [_layer_from_json(layer) for layer in descriptor["layers"]]
+    return Graph(metadata, input_specs, layers)
+
+
+def encode_graph(graph: Graph, include_weights: bool = True) -> bytes:
+    """Encode a graph into the shared binary payload.
+
+    Layout: magic, 4-byte little-endian descriptor length, JSON descriptor,
+    then (optionally) the concatenated weight-tensor bytes in layer order.
+    """
+    descriptor = json.dumps(graph_to_descriptor(graph), sort_keys=True).encode()
+    payload = _PAYLOAD_MAGIC + struct.pack("<I", len(descriptor)) + descriptor
+    if include_weights:
+        for layer in graph.layers:
+            for weight in layer.weights:
+                payload += weight.to_bytes()
+    return payload
+
+
+def decode_graph(payload: bytes) -> Graph:
+    """Decode a payload produced by :func:`encode_graph`."""
+    if not payload.startswith(_PAYLOAD_MAGIC):
+        raise ValueError("not a graph payload: missing payload magic")
+    offset = len(_PAYLOAD_MAGIC)
+    (length,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    descriptor = json.loads(payload[offset:offset + length].decode())
+    return graph_from_descriptor(descriptor)

@@ -1,0 +1,73 @@
+"""Known DNN framework file formats (Appendix Table 5 of the paper).
+
+gaugeNN matches every file extracted from an app package against this list of
+framework/extension pairs to shortlist candidate model files before running
+the (more expensive) signature validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FormatSpec", "FORMAT_REGISTRY", "extensions_for", "known_extensions",
+           "frameworks_for_extension"]
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """Extensions associated with one ML framework."""
+
+    framework: str
+    extensions: tuple[str, ...]
+
+
+#: Appendix Table 5: frameworks and the file extensions gaugeNN validates.
+FORMAT_REGISTRY: tuple[FormatSpec, ...] = (
+    FormatSpec("onnx", (".onnx", ".pb", ".pbtxt", ".prototxt")),
+    FormatSpec("mxnet", (".mar", ".model", ".json", ".params")),
+    FormatSpec("keras", (".h5", ".hd5", ".hdf5", ".keras", ".json", ".model", ".pb", ".pth")),
+    FormatSpec("caffe", (".caffemodel", ".pbtxt", ".prototxt", ".pt")),
+    FormatSpec("caffe2", (".pb", ".pbtxt", ".prototxt")),
+    FormatSpec("pytorch", (".pt", ".pth", ".pt1", ".pkl", ".h5", ".t7", ".model", ".dms",
+                           ".pth.tar", ".ckpt", ".bin", ".pb", ".tar")),
+    FormatSpec("torch", (".t7", ".dat")),
+    FormatSpec("snpe", (".dlc",)),
+    FormatSpec("feathercnn", (".feathermodel",)),
+    FormatSpec("tflite", (".tflite", ".lite", ".tfl", ".bin", ".pb")),
+    FormatSpec("tf", (".pb", ".meta", ".pbtxt", ".prototxt", ".json", ".index", ".ckpt")),
+    FormatSpec("sklearn", (".pkl", ".joblib", ".model")),
+    FormatSpec("armnn", (".armnn",)),
+    FormatSpec("mnn", (".mnn",)),
+    FormatSpec("ncnn", (".param", ".bin", ".cfg.ncnn", ".weights.ncnn", ".ncnn")),
+    FormatSpec("tengine", (".tmfile",)),
+    FormatSpec("flux", (".bson",)),
+    FormatSpec("chainer", (".npz", ".h5", ".hd5", ".hdf5", ".chainermodel")),
+)
+
+
+def extensions_for(framework: str) -> tuple[str, ...]:
+    """Return the known extensions for a framework."""
+    for spec in FORMAT_REGISTRY:
+        if spec.framework == framework:
+            return spec.extensions
+    raise KeyError(f"unknown framework {framework!r}")
+
+
+def known_extensions() -> frozenset[str]:
+    """Set of every extension appearing in the registry."""
+    return frozenset(ext for spec in FORMAT_REGISTRY for ext in spec.extensions)
+
+
+def frameworks_for_extension(extension: str) -> tuple[str, ...]:
+    """Frameworks that could plausibly own a file with the given extension."""
+    extension = extension.lower()
+    if not extension.startswith("."):
+        extension = "." + extension
+    return tuple(
+        spec.framework for spec in FORMAT_REGISTRY if extension in spec.extensions
+    )
+
+
+def total_format_count() -> int:
+    """Total number of (framework, extension) pairs in the registry."""
+    return sum(len(spec.extensions) for spec in FORMAT_REGISTRY)

@@ -1,0 +1,91 @@
+"""Framework-dispatching serialisation helpers.
+
+``serialize_model`` turns a graph into a :class:`~repro.formats.artifact.ModelArtifact`
+in the format named by the graph's metadata (or an explicit override), and
+``deserialize_model`` parses an artefact (or a raw primary-file byte string)
+back into a graph.  These are the entry points the APK generator and the
+gaugeNN extractor use.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.dnn.graph import Graph
+from repro.formats import caffe, ncnn, snpe, tensorflow, tflite
+from repro.formats.artifact import ModelArtifact
+from repro.formats.detect import detect_framework
+
+__all__ = ["serialize_model", "deserialize_model", "deserialize_file"]
+
+_WRITERS = {
+    "tflite": tflite.write,
+    "caffe": caffe.write,
+    "ncnn": ncnn.write,
+    "tf": tensorflow.write,
+    "snpe": snpe.write,
+}
+
+_READERS = {
+    "tflite": tflite.read,
+    "caffe": caffe.read,
+    "ncnn": ncnn.read,
+    "tf": tensorflow.read,
+    "snpe": snpe.read,
+}
+
+
+def supported_frameworks() -> tuple[str, ...]:
+    """Frameworks with both a writer and a reader."""
+    return tuple(sorted(_WRITERS))
+
+
+def serialize_model(graph: Graph, framework: Optional[str] = None,
+                    file_stem: Optional[str] = None) -> ModelArtifact:
+    """Serialise ``graph`` in the given framework's on-disk format."""
+    framework = framework or graph.framework
+    try:
+        writer = _WRITERS[framework]
+    except KeyError:
+        raise ValueError(
+            f"unsupported framework {framework!r}; supported: {supported_frameworks()}"
+        ) from None
+    if file_stem is not None and framework in ("caffe", "ncnn"):
+        return writer(graph, file_stem)
+    if file_stem is not None:
+        extension = {"tflite": ".tflite", "tf": ".pb", "snpe": ".dlc"}[framework]
+        return writer(graph, f"{file_stem}{extension}")
+    return writer(graph)
+
+
+def deserialize_file(data: bytes) -> Graph:
+    """Parse a single model file of any supported framework.
+
+    The framework is auto-detected from the binary signature; structure-only
+    files (caffe prototxt, ncnn param) cannot be parsed on their own and raise
+    ``ValueError``.
+    """
+    detected = detect_framework(data)
+    if detected is None:
+        raise ValueError("unrecognised model file: no framework signature matched")
+    framework, role = detected
+    if role == "structure" and framework in ("caffe", "ncnn"):
+        raise ValueError(
+            f"{framework} structure file cannot be parsed without its weight file"
+        )
+    return _READERS[framework](data)
+
+
+def deserialize_model(artifact: ModelArtifact) -> Graph:
+    """Parse a (possibly multi-file) model artefact back into a graph."""
+    reader = _READERS.get(artifact.framework)
+    if reader is None:
+        raise ValueError(f"unsupported framework {artifact.framework!r}")
+    if artifact.framework == "ncnn":
+        # ncnn's primary file (.param) only holds the structure; the graph is
+        # reconstructed from the weight binary.
+        bin_files = [name for name in artifact.files if name.endswith(".bin")]
+        if not bin_files:
+            raise ValueError("ncnn artifact is missing its .bin weight file")
+        return reader(artifact.files[bin_files[0]])
+    return reader(artifact.files[artifact.primary])

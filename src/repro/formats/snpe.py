@@ -1,0 +1,39 @@
+"""Qualcomm SNPE ``.dlc`` model container.
+
+The Snapdragon Neural Processing Engine uses its own ``.dlc`` representation
+and can target the CPU, Adreno GPU or Hexagon DSP of Qualcomm SoCs
+(Appendix B).  The paper found three apps shipping dlc models, blindly
+distributed to all devices alongside TFLite variants (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import Graph
+from repro.formats.artifact import ModelArtifact
+from repro.formats.payload import decode_graph, encode_graph
+
+__all__ = ["write", "read", "matches"]
+
+#: Container marker for DLC archives.
+DLC_MAGIC = b"DLC\x01SNPE"
+
+EXTENSION = ".dlc"
+
+
+def write(graph: Graph, file_name: str | None = None) -> ModelArtifact:
+    """Serialise a graph into a single .dlc artefact."""
+    name = file_name or f"{graph.name}{EXTENSION}"
+    data = DLC_MAGIC + encode_graph(graph.with_metadata(framework="snpe"))
+    return ModelArtifact(framework="snpe", primary=name, files={name: data})
+
+
+def read(data: bytes) -> Graph:
+    """Parse a .dlc container back into a graph."""
+    if not matches(data):
+        raise ValueError("not an SNPE DLC container: missing marker")
+    return decode_graph(data[len(DLC_MAGIC):]).with_metadata(framework="snpe")
+
+
+def matches(data: bytes) -> bool:
+    """Signature check for DLC containers."""
+    return data.startswith(DLC_MAGIC)

@@ -1,0 +1,27 @@
+"""Inference runtime simulation: backends, latency/energy cost models, executor.
+
+Replaces the on-device TFLite/caffe/SNPE runtimes of the paper's benchmark rig
+with an analytical per-layer cost model.  The model captures the first-order
+effects the paper attributes its findings to — compute- vs memory-bound
+layers, per-layer dispatch overhead, heterogeneous core islands, accelerator
+offload, quantised execution — so the relative results (device tiers and
+generations, backend comparisons, batch/thread sweeps) reproduce in shape.
+"""
+
+from repro.runtime.backends import Backend, BackendProfile, BACKEND_PROFILES, profile_for
+from repro.runtime.executor import ExecutionResult, Executor, UnsupportedModelError
+from repro.runtime.latency_model import LayerCost, LatencyModel
+from repro.runtime.energy_model import EnergyModel
+
+__all__ = [
+    "Backend",
+    "BackendProfile",
+    "BACKEND_PROFILES",
+    "profile_for",
+    "Executor",
+    "ExecutionResult",
+    "UnsupportedModelError",
+    "LayerCost",
+    "LatencyModel",
+    "EnergyModel",
+]

@@ -1,0 +1,176 @@
+"""Inference backends: CPU runtimes, delegates and vendor-specific targets.
+
+Covers the execution paths the paper benchmarks in Sec. 6.3 (Figs. 13-14):
+the plain TFLite CPU interpreter, the XNNPACK delegate, NNAPI (with CPU
+fallback through vendor drivers), the TFLite GPU delegate, and Qualcomm's
+SNPE runtime targeting CPU, Adreno GPU or Hexagon DSP.  Each backend is a
+:class:`BackendProfile` describing which compute unit it runs on, how
+efficiently it uses it, its dispatch overheads, its power scaling, its
+arithmetic precision, and which operators/frameworks it supports (operator
+coverage being the adoption blocker the paper highlights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet
+
+from repro.dnn.graph import Graph
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+__all__ = ["Backend", "BackendProfile", "BACKEND_PROFILES", "profile_for"]
+
+
+class Backend(str, Enum):
+    """Execution backends benchmarked by the paper."""
+
+    CPU = "cpu"
+    XNNPACK = "xnnpack"
+    NNAPI = "nnapi"
+    GPU = "gpu"
+    SNPE_CPU = "snpe_cpu"
+    SNPE_GPU = "snpe_gpu"
+    SNPE_DSP = "snpe_dsp"
+
+
+#: Operators that recurrent/NLP models rely on and that accelerator delegates
+#: commonly lack, forcing CPU fallback or outright incompatibility.
+_RECURRENT_OPS: FrozenSet[OpType] = frozenset({OpType.LSTM, OpType.GRU, OpType.EMBEDDING})
+
+
+@dataclass(frozen=True)
+class BackendProfile:
+    """Cost-model parameters of one backend."""
+
+    backend: Backend
+    #: Compute unit used: ``cpu``, ``gpu`` or ``dsp``.
+    target: str
+    #: Multiplier on the target's effective throughput.
+    compute_scale: float
+    #: Multiplier on the target's per-layer dispatch overhead.
+    overhead_scale: float
+    #: Multiplier on the fixed per-invocation overhead.
+    invocation_scale: float
+    #: Multiplier on the target's active power.
+    power_scale: float
+    #: Arithmetic precision the backend executes in.
+    precision: DType
+    #: Fraction of the target's peak the backend sustains (GPU/DSP only).
+    utilization: float = 1.0
+    #: Frameworks whose models the backend can load.
+    supported_frameworks: frozenset[str] = frozenset({"tflite"})
+    #: Operators the backend cannot execute at all.
+    unsupported_ops: FrozenSet[OpType] = frozenset()
+    #: Whether the backend requires a Qualcomm SoC (SNPE).
+    requires_qualcomm: bool = False
+    #: Whether the backend requires the SoC to expose a DSP/GPU.
+    requires_accelerator: bool = False
+
+    def supports_graph(self, graph: Graph) -> bool:
+        """Whether every operator and the framework of ``graph`` is supported."""
+        if graph.framework not in self.supported_frameworks:
+            return False
+        return not any(layer.op in self.unsupported_ops for layer in graph.layers)
+
+    def unsupported_layers(self, graph: Graph) -> tuple[str, ...]:
+        """Names of layers the backend cannot execute."""
+        return tuple(
+            layer.name for layer in graph.layers if layer.op in self.unsupported_ops
+        )
+
+
+BACKEND_PROFILES: dict[Backend, BackendProfile] = {
+    Backend.CPU: BackendProfile(
+        backend=Backend.CPU,
+        target="cpu",
+        compute_scale=1.0,
+        overhead_scale=1.0,
+        invocation_scale=1.0,
+        power_scale=1.0,
+        precision=DType.FLOAT32,
+        supported_frameworks=frozenset({"tflite", "caffe", "ncnn", "tf"}),
+    ),
+    Backend.XNNPACK: BackendProfile(
+        backend=Backend.XNNPACK,
+        target="cpu",
+        compute_scale=1.10,
+        overhead_scale=0.85,
+        invocation_scale=1.0,
+        power_scale=0.93,
+        precision=DType.FLOAT32,
+        supported_frameworks=frozenset({"tflite"}),
+        unsupported_ops=frozenset({OpType.LSTM, OpType.GRU}),
+    ),
+    Backend.NNAPI: BackendProfile(
+        backend=Backend.NNAPI,
+        target="cpu",
+        compute_scale=0.62,
+        overhead_scale=5.0,
+        invocation_scale=1.8,
+        power_scale=0.85,
+        precision=DType.FLOAT32,
+        supported_frameworks=frozenset({"tflite"}),
+        unsupported_ops=_RECURRENT_OPS,
+    ),
+    Backend.GPU: BackendProfile(
+        backend=Backend.GPU,
+        target="gpu",
+        compute_scale=1.0,
+        overhead_scale=1.0,
+        invocation_scale=1.6,
+        power_scale=1.0,
+        precision=DType.FLOAT16,
+        utilization=0.65,
+        supported_frameworks=frozenset({"tflite", "caffe"}),
+        unsupported_ops=_RECURRENT_OPS,
+        requires_accelerator=True,
+    ),
+    Backend.SNPE_CPU: BackendProfile(
+        backend=Backend.SNPE_CPU,
+        target="cpu",
+        compute_scale=0.95,
+        overhead_scale=1.1,
+        invocation_scale=1.1,
+        power_scale=1.0,
+        precision=DType.FLOAT32,
+        supported_frameworks=frozenset({"tflite", "caffe", "snpe"}),
+        unsupported_ops=_RECURRENT_OPS,
+        requires_qualcomm=True,
+    ),
+    Backend.SNPE_GPU: BackendProfile(
+        backend=Backend.SNPE_GPU,
+        target="gpu",
+        compute_scale=1.2,
+        overhead_scale=0.8,
+        invocation_scale=1.4,
+        power_scale=1.05,
+        precision=DType.FLOAT16,
+        utilization=0.65,
+        supported_frameworks=frozenset({"tflite", "caffe", "snpe"}),
+        unsupported_ops=_RECURRENT_OPS,
+        requires_qualcomm=True,
+        requires_accelerator=True,
+    ),
+    Backend.SNPE_DSP: BackendProfile(
+        backend=Backend.SNPE_DSP,
+        target="dsp",
+        compute_scale=1.0,
+        overhead_scale=1.0,
+        invocation_scale=1.0,
+        power_scale=1.0,
+        precision=DType.INT8,
+        utilization=0.80,
+        supported_frameworks=frozenset({"tflite", "caffe", "snpe"}),
+        unsupported_ops=_RECURRENT_OPS,
+        requires_qualcomm=True,
+        requires_accelerator=True,
+    ),
+}
+
+
+def profile_for(backend: Backend | str) -> BackendProfile:
+    """Look up the profile of a backend (accepts enum values or their names)."""
+    backend = Backend(backend)
+    return BACKEND_PROFILES[backend]

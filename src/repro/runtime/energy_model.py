@@ -1,0 +1,82 @@
+"""Energy and power model for on-device inference.
+
+Power during an inference is the SoC's idle platform power plus the active
+power of the compute unit the backend drives (scaled by the backend's power
+factor), optionally plus the screen (which the paper measures and accounts
+for separately, Sec. 3.3).  Energy is power times latency; efficiency is
+FLOPs per joule — the ``MFLOP/sW`` metric of Fig. 10c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import Device
+from repro.runtime.backends import Backend, BackendProfile, profile_for
+
+__all__ = ["PowerBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power draw during an inference, split by source (watts)."""
+
+    idle_watts: float
+    compute_watts: float
+    screen_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        """Total platform power."""
+        return self.idle_watts + self.compute_watts + self.screen_watts
+
+
+class EnergyModel:
+    """Estimates inference power, energy and efficiency on a device."""
+
+    def __init__(self, device: Device, include_screen: bool = False) -> None:
+        self.device = device
+        self.include_screen = include_screen
+
+    def power_breakdown(self, backend: Backend | str = Backend.CPU) -> PowerBreakdown:
+        """Average power while an inference is running on the given backend."""
+        profile = profile_for(backend)
+        soc = self.device.soc
+        if profile.target == "cpu":
+            active = soc.cpu_power_watts * profile.power_scale
+        else:
+            accelerator = soc.accelerator(profile.target)
+            if accelerator is None:
+                raise ValueError(
+                    f"device {self.device.name} has no {profile.target} accelerator"
+                )
+            # Accelerator offload still keeps one CPU core busy feeding it.
+            active = (accelerator.power_watts * profile.power_scale
+                      + 0.08 * soc.cpu_power_watts)
+        screen = self.device.screen_power_watts if self.include_screen else 0.0
+        return PowerBreakdown(
+            idle_watts=soc.idle_power_watts,
+            compute_watts=active,
+            screen_watts=screen,
+        )
+
+    def inference_power_watts(self, backend: Backend | str = Backend.CPU) -> float:
+        """Total average power during inference."""
+        return self.power_breakdown(backend).total_watts
+
+    def inference_energy_mj(self, latency_ms: float,
+                            backend: Backend | str = Backend.CPU) -> float:
+        """Energy of one inference in millijoules."""
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        return self.inference_power_watts(backend) * latency_ms
+
+    def efficiency_mflops_per_sw(self, flops: int, latency_ms: float,
+                                 backend: Backend | str = Backend.CPU) -> float:
+        """Inference efficiency in MFLOP/sW (equivalently FLOPs per joule / 1e6)."""
+        if latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        energy_joules = self.inference_energy_mj(latency_ms, backend) / 1e3
+        if energy_joules <= 0:
+            return 0.0
+        return flops / energy_joules / 1e6

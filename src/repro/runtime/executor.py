@@ -1,0 +1,189 @@
+"""Inference executor: runs a graph on a device+backend and reports metrics.
+
+The executor ties the latency and energy models together, enforces backend
+compatibility (operator coverage, framework support, Qualcomm-only runtimes,
+missing accelerators), adds measurement noise so repeated runs behave like a
+real benchmark, and optionally applies thermal throttling for sustained runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.devices.scheduler import ThreadConfig
+from repro.devices.thermal import ThermalModel
+from repro.dnn.graph import Graph
+from repro.runtime.backends import Backend, BackendProfile, profile_for
+from repro.runtime.energy_model import EnergyModel
+from repro.runtime.latency_model import LatencyModel
+
+__all__ = ["UnsupportedModelError", "ExecutionResult", "Executor"]
+
+
+class UnsupportedModelError(RuntimeError):
+    """Raised when a backend cannot execute a model on a device."""
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Metrics of one benchmark run (averaged over its measured inferences)."""
+
+    model_name: str
+    device_name: str
+    backend: Backend
+    batch_size: int
+    thread_label: str
+    latency_ms: float
+    energy_mj: float
+    power_watts: float
+    flops: int
+    parameters: int
+    peak_memory_bytes: int
+    num_inferences: int
+
+    @property
+    def latency_per_sample_ms(self) -> float:
+        """Latency divided by the batch size."""
+        return self.latency_ms / self.batch_size
+
+    @property
+    def throughput_ips(self) -> float:
+        """Inferences (samples) per second."""
+        if self.latency_ms <= 0:
+            return 0.0
+        return self.batch_size / (self.latency_ms / 1e3)
+
+    @property
+    def energy_per_sample_mj(self) -> float:
+        """Energy per sample in millijoules."""
+        return self.energy_mj / self.batch_size
+
+    @property
+    def efficiency_mflops_per_sw(self) -> float:
+        """MFLOP/sW achieved by the run (FLOPs per joule / 1e6)."""
+        energy_joules = self.energy_mj / 1e3
+        if energy_joules <= 0:
+            return 0.0
+        return self.flops * self.batch_size / energy_joules / 1e6
+
+
+class Executor:
+    """Runs graphs on one device of the fleet."""
+
+    def __init__(self, device: Device, *, include_screen_power: bool = False,
+                 noise_fraction: float = 0.02, seed: int = 0) -> None:
+        if noise_fraction < 0:
+            raise ValueError("noise_fraction must be non-negative")
+        self.device = device
+        self.latency_model = LatencyModel(device)
+        self.energy_model = EnergyModel(device, include_screen=include_screen_power)
+        self.thermal = ThermalModel.for_device(device.is_dev_board, device.tier)
+        self.noise_fraction = noise_fraction
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Compatibility
+    # ------------------------------------------------------------------ #
+    def check_supported(self, graph: Graph, backend: Backend | str) -> None:
+        """Raise :class:`UnsupportedModelError` when the combination cannot run."""
+        profile = profile_for(backend)
+        if profile.requires_qualcomm and self.device.soc.vendor != "Qualcomm":
+            raise UnsupportedModelError(
+                f"{profile.backend.value} requires a Qualcomm SoC; "
+                f"{self.device.name} has {self.device.soc.name}"
+            )
+        if profile.requires_accelerator and self.device.soc.accelerator(profile.target) is None:
+            raise UnsupportedModelError(
+                f"{self.device.name} has no {profile.target} for {profile.backend.value}"
+            )
+        if graph.framework not in profile.supported_frameworks:
+            raise UnsupportedModelError(
+                f"{profile.backend.value} does not load {graph.framework} models"
+            )
+        unsupported = profile.unsupported_layers(graph)
+        if unsupported:
+            raise UnsupportedModelError(
+                f"{profile.backend.value} lacks operator support for layers "
+                f"{unsupported[:3]} of {graph.name!r}"
+            )
+
+    def supports(self, graph: Graph, backend: Backend | str) -> bool:
+        """Whether the graph can run on the backend without CPU fallback."""
+        try:
+            self.check_supported(graph, backend)
+        except UnsupportedModelError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        graph: Graph,
+        backend: Backend | str = Backend.CPU,
+        *,
+        batch_size: int = 1,
+        threads: Optional[ThreadConfig] = None,
+        num_inferences: int = 10,
+        warmup: int = 2,
+        sustained_seconds: float = 0.0,
+    ) -> ExecutionResult:
+        """Benchmark one (model, backend, batch, threads) combination.
+
+        ``warmup`` inferences are executed but discarded (cold-cache removal,
+        as in the paper's workflow); ``sustained_seconds`` of prior load apply
+        thermal throttling for scenario-style runs.
+        """
+        if num_inferences <= 0:
+            raise ValueError("num_inferences must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        backend = Backend(backend)
+        self.check_supported(graph, backend)
+        profile = profile_for(backend)
+
+        nominal_ms = self.latency_model.graph_latency_ms(
+            graph, backend, threads=threads, batch=batch_size)
+        if sustained_seconds > 0:
+            nominal_ms = self.thermal.sustained_latency_ms(nominal_ms, sustained_seconds)
+
+        # Warmup runs hit cold caches and are slower; they are discarded.
+        _ = [nominal_ms * 1.3 for _ in range(warmup)]
+        samples = nominal_ms * (
+            1.0 + self.noise_fraction * self._rng.standard_normal(num_inferences))
+        samples = np.clip(samples, nominal_ms * 0.5, None)
+        latency_ms = float(np.mean(samples))
+
+        power_watts = self.energy_model.inference_power_watts(backend)
+        energy_mj = power_watts * latency_ms
+        thread_label = threads.label if threads is not None else "auto"
+
+        return ExecutionResult(
+            model_name=graph.name,
+            device_name=self.device.name,
+            backend=backend,
+            batch_size=batch_size,
+            thread_label=thread_label,
+            latency_ms=latency_ms,
+            energy_mj=energy_mj,
+            power_watts=power_watts,
+            flops=graph.total_flops(),
+            parameters=graph.total_parameters(),
+            peak_memory_bytes=graph.model_size_bytes() + graph.peak_activation_bytes() * batch_size,
+            num_inferences=num_inferences,
+        )
+
+    def run_many(self, graphs, backend: Backend | str = Backend.CPU,
+                 **kwargs) -> list[ExecutionResult]:
+        """Benchmark a collection of graphs, skipping unsupported ones."""
+        results = []
+        for graph in graphs:
+            if not self.supports(graph, backend):
+                continue
+            results.append(self.run(graph, backend, **kwargs))
+        return results

@@ -1,0 +1,141 @@
+"""Per-layer roofline-style latency model.
+
+For each layer the model takes the maximum of a compute term (FLOPs divided
+by the effective throughput of the chosen backend/thread configuration) and a
+memory term (weight + activation traffic divided by memory bandwidth), then
+adds the backend's per-layer dispatch overhead.  A fixed per-invocation
+overhead covers input copies and scheduling.  This structure is what produces
+the paper's core latency observations: FLOPs alone do not predict latency
+(memory-bound and overhead-bound layers break the correlation, Fig. 8), and
+small models are dominated by overheads while large ones scale with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.devices.device import Device
+from repro.devices.scheduler import CpuScheduler, ThreadConfig
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer
+from repro.dnn.tensor import DType
+from repro.runtime.backends import Backend, BackendProfile, profile_for
+
+__all__ = ["LayerCost", "LatencyModel"]
+
+#: Throughput multiplier for int8 execution on CPU (NEON dot-product paths).
+CPU_INT8_SPEEDUP = 1.6
+
+#: Throughput multiplier for float16 execution on GPU-class hardware.
+FP16_SPEEDUP = 1.3
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost breakdown of one layer on one device/backend."""
+
+    layer_name: str
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Roofline latency of the layer including dispatch overhead."""
+        return max(self.compute_ms, self.memory_ms) + self.overhead_ms
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether the memory term dominates the compute term."""
+        return self.memory_ms > self.compute_ms
+
+
+class LatencyModel:
+    """Estimates inference latency of a graph on a device with a given backend."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.scheduler = CpuScheduler(device.soc)
+
+    # ------------------------------------------------------------------ #
+    # Effective throughput
+    # ------------------------------------------------------------------ #
+    def effective_gflops(self, profile: BackendProfile,
+                         threads: Optional[ThreadConfig] = None,
+                         precision: Optional[DType] = None) -> float:
+        """Usable GFLOPS of the backend's compute target on this device."""
+        soc = self.device.soc
+        precision = precision or profile.precision
+        if profile.target == "cpu":
+            config = threads or self.scheduler.best_configuration()
+            base = self.scheduler.effective_gflops(config)
+            if precision == DType.INT8:
+                base *= CPU_INT8_SPEEDUP
+        else:
+            accelerator = soc.accelerator(profile.target)
+            if accelerator is None:
+                raise ValueError(
+                    f"device {self.device.name} has no {profile.target} accelerator"
+                )
+            base = accelerator.peak_gflops * profile.utilization
+            if precision == DType.FLOAT16:
+                base *= FP16_SPEEDUP
+        return base * profile.compute_scale * self.device.vendor_factor
+
+    def _per_layer_overhead_ms(self, profile: BackendProfile) -> float:
+        soc = self.device.soc
+        if profile.target == "cpu":
+            return soc.cpu_layer_overhead_ms * profile.overhead_scale
+        accelerator = soc.accelerator(profile.target)
+        if accelerator is None:
+            raise ValueError(
+                f"device {self.device.name} has no {profile.target} accelerator"
+            )
+        return accelerator.per_layer_overhead_ms * profile.overhead_scale
+
+    def invocation_overhead_ms(self, profile: BackendProfile) -> float:
+        """Fixed per-invocation cost (input copies, delegate setup amortised)."""
+        return self.device.soc.invocation_overhead_ms * profile.invocation_scale
+
+    # ------------------------------------------------------------------ #
+    # Per-layer and per-graph costs
+    # ------------------------------------------------------------------ #
+    def layer_cost(self, layer: Layer, profile: BackendProfile,
+                   effective_gflops: float, batch: int = 1) -> LayerCost:
+        """Roofline cost of one layer at the given batch size."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        flops = layer.flops() * batch
+        compute_ms = flops / (effective_gflops * 1e9) * 1e3 if flops else 0.0
+
+        bytes_per_element = profile.precision.bytes_per_element
+        weight_bytes = sum(w.num_parameters for w in layer.weights) * bytes_per_element
+        activation_bytes = layer.output_elements * batch * bytes_per_element
+        traffic_bytes = weight_bytes + 2 * activation_bytes
+        bandwidth = self.device.soc.memory_bandwidth_gbps * 1e9
+        memory_ms = traffic_bytes / bandwidth * 1e3 if traffic_bytes else 0.0
+
+        return LayerCost(
+            layer_name=layer.name,
+            compute_ms=compute_ms,
+            memory_ms=memory_ms,
+            overhead_ms=self._per_layer_overhead_ms(profile),
+        )
+
+    def layer_costs(self, graph: Graph, backend: Backend | str = Backend.CPU,
+                    threads: Optional[ThreadConfig] = None,
+                    batch: int = 1) -> list[LayerCost]:
+        """Cost breakdown of every layer of a graph."""
+        profile = profile_for(backend)
+        gflops = self.effective_gflops(profile, threads)
+        return [self.layer_cost(layer, profile, gflops, batch) for layer in graph.layers]
+
+    def graph_latency_ms(self, graph: Graph, backend: Backend | str = Backend.CPU,
+                         threads: Optional[ThreadConfig] = None,
+                         batch: int = 1) -> float:
+        """End-to-end latency of one inference invocation at the given batch size."""
+        profile = profile_for(backend)
+        costs = self.layer_costs(graph, backend, threads, batch)
+        total = sum(cost.total_ms for cost in costs)
+        return total + self.invocation_overhead_ms(profile)

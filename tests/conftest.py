@@ -1,0 +1,78 @@
+"""Shared fixtures: small-scale synthetic store snapshots and sample graphs.
+
+The store snapshots are generated at a small scale factor so the full
+pipeline (crawl, download, extract, validate, analyse) runs in seconds while
+still exercising every code path; the full-scale reproduction numbers are
+produced by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
+from repro.android.playstore import PlayStore
+from repro.core.pipeline import GaugeNN
+from repro.devices.device import device_by_name
+from repro.dnn.zoo import blazeface, mobilenet_v1, sound_recognition, autocomplete_lstm, unet_lite
+
+#: Scale factor applied to the paper's dataset sizes for fast tests.
+TEST_SCALE = 0.03
+
+
+@pytest.fixture(scope="session")
+def model_pool() -> ModelPool:
+    """Deterministic pool of unique models shared across snapshot fixtures."""
+    return ModelPool(pool_seed=7)
+
+
+@pytest.fixture(scope="session")
+def store(model_pool) -> PlayStore:
+    """A synthetic Play Store with both snapshots at test scale."""
+    snapshot_2020 = AppGenerator(GeneratorConfig.snapshot_2020(scale=TEST_SCALE),
+                                 model_pool).generate()
+    snapshot_2021 = AppGenerator(GeneratorConfig.snapshot_2021(scale=TEST_SCALE),
+                                 model_pool).generate()
+    return PlayStore([snapshot_2020, snapshot_2021])
+
+
+@pytest.fixture(scope="session")
+def gauge(store) -> GaugeNN:
+    """A gaugeNN pipeline bound to the synthetic store."""
+    return GaugeNN(store)
+
+
+@pytest.fixture(scope="session")
+def analysis_2021(gauge):
+    """Offline analysis of the (test-scale) 2021 snapshot."""
+    return gauge.analyze_snapshot("2021")
+
+
+@pytest.fixture(scope="session")
+def analysis_2020(gauge):
+    """Offline analysis of the (test-scale) 2020 snapshot."""
+    return gauge.analyze_snapshot("2020")
+
+
+@pytest.fixture(scope="session")
+def sample_graphs():
+    """A small cross-modality set of zoo graphs."""
+    return {
+        "mobilenet_v1": mobilenet_v1(),
+        "blazeface": blazeface(),
+        "unet_lite": unet_lite(resolution=128, base_filters=16, depth=3),
+        "autocomplete": autocomplete_lstm(),
+        "sound": sound_recognition(),
+    }
+
+
+@pytest.fixture(scope="session")
+def q845():
+    """The Snapdragon 845 development board (the paper's backend-sweep target)."""
+    return device_by_name("Q845")
+
+
+@pytest.fixture(scope="session")
+def s21():
+    """The high-tier phone of the fleet."""
+    return device_by_name("S21")

@@ -1,0 +1,89 @@
+"""Unit tests for the ECDF and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Ecdf, geometric_mean, kernel_density, remove_outliers_iqr, summary_statistics
+
+
+class TestEcdf:
+    def test_basic_properties(self):
+        ecdf = Ecdf.from_samples([3.0, 1.0, 2.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(2.0) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf.median == pytest.approx(2.5)
+        assert ecdf.mean == pytest.approx(2.5)
+
+    def test_quantiles(self):
+        ecdf = Ecdf.from_samples(range(1, 101))
+        assert ecdf.quantile(0.9) == pytest.approx(90.1, abs=1.0)
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_curve_is_monotone(self):
+        ecdf = Ecdf.from_samples(np.random.default_rng(0).lognormal(size=50))
+        xs, ys = ecdf.curve(num_points=20)
+        assert list(ys) == sorted(ys)
+        assert len(xs) == len(ys) == 20
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            Ecdf(())
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([1.0]).curve(num_points=1)
+
+
+class TestSummaryStatistics:
+    def test_summary_values(self):
+        summary = summary_statistics([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std > 0
+
+    def test_single_value(self):
+        summary = summary_statistics([7.0])
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary_statistics([])
+
+
+class TestOutliersAndMeans:
+    def test_remove_outliers(self):
+        values = [1.0] * 20 + [1000.0]
+        cleaned = remove_outliers_iqr(values)
+        assert 1000.0 not in cleaned
+        assert len(cleaned) == 20
+        assert remove_outliers_iqr([]) == []
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 10.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestKernelDensity:
+    def test_density_over_samples(self):
+        xs, ys = kernel_density(np.random.default_rng(1).normal(5.0, 1.0, size=200))
+        assert len(xs) == len(ys) == 100
+        assert max(ys) > 0
+        peak_x = xs[int(np.argmax(ys))]
+        assert 3.5 < peak_x < 6.5
+
+    def test_log_scale_density(self):
+        samples = np.random.default_rng(2).lognormal(mean=2.0, sigma=1.0, size=200)
+        xs, ys = kernel_density(samples, log_scale=True)
+        assert min(xs) > 0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            kernel_density([1.0])
+        with pytest.raises(ValueError):
+            kernel_density([0.0, 1.0], log_scale=True)

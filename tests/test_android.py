@@ -1,0 +1,120 @@
+"""Unit tests for the Android substrate: dex, manifest, APK packaging, cloud APIs."""
+
+import pytest
+
+from repro.android.apk import APK_SIZE_LIMIT, ApkBuilder, AppPackage
+from repro.android.cloud_apis import CLOUD_APIS, api_by_name, apis_for_provider
+from repro.android.dex import DexFile, SmaliClass, SmaliMethod
+from repro.android.manifest import AndroidManifest
+from repro.android.nativelibs import (
+    accelerator_for_library,
+    framework_for_library,
+    libraries_for_framework,
+)
+
+
+class TestDex:
+    def test_round_trip(self):
+        dex = DexFile()
+        dex.add_invocations("com.example.Main", ["Lorg/tensorflow/lite/Interpreter;->run()V"])
+        restored = DexFile.from_bytes(dex.to_bytes())
+        assert restored.invoked_targets() == dex.invoked_targets()
+
+    def test_magic_bytes(self):
+        data = DexFile().to_bytes()
+        assert data.startswith(b"dex\n035\x00")
+        with pytest.raises(ValueError):
+            DexFile.from_bytes(b"not a dex")
+
+    def test_smali_decompilation_contains_invocations(self):
+        dex = DexFile()
+        dex.add_invocations("com.example.ml.Service",
+                            ["Lcom/google/mlkit/vision/face/FaceDetector;->process()V"])
+        smali = dex.decompile_to_smali()
+        assert "smali/com/example/ml/Service.smali" in smali
+        text = "\n".join(smali.values())
+        assert "invoke-virtual" in text
+        assert "FaceDetector" in text
+
+    def test_smali_class_rendering(self):
+        cls = SmaliClass("a.B", (SmaliMethod("run", ("Lx/Y;->z()V",)),))
+        text = cls.to_smali()
+        assert ".class public La/B;" in text
+        assert ".method public run()V" in text
+
+
+class TestManifest:
+    def test_xml_round_trip(self):
+        manifest = AndroidManifest(package="com.example.app", version_code=7,
+                                   permissions=("android.permission.CAMERA",))
+        restored = AndroidManifest.from_xml(manifest.to_xml())
+        assert restored == manifest
+
+    def test_parse_requires_package(self):
+        with pytest.raises(ValueError):
+            AndroidManifest.from_xml("<manifest></manifest>")
+
+
+class TestApkPackaging:
+    def _builder(self, package="com.example.app"):
+        return ApkBuilder(AndroidManifest(package=package))
+
+    def test_basic_package_contents(self):
+        builder = self._builder()
+        builder.add_asset("models/detector.tflite", b"\x00" * 128)
+        builder.add_native_library("libtensorflowlite_jni.so")
+        package = builder.build()
+        entries = package.apk_entries()
+        assert "AndroidManifest.xml" in entries
+        assert "classes.dex" in entries
+        assert "assets/models/detector.tflite" in entries
+        assert any(name.startswith("lib/arm64-v8a/") for name in entries)
+
+    def test_all_files_prefixes_sources(self):
+        builder = self._builder()
+        builder.add_asset("models/a.tflite", b"a")
+        builder.add_asset_pack("ml_models", {"big_model.tflite": b"b" * 64})
+        package = builder.build()
+        files = package.all_files()
+        assert any(path.startswith("apk/") for path in files)
+        assert any(path.startswith("pack/ml_models/") for path in files)
+
+    def test_oversized_assets_spill_to_obb(self):
+        builder = self._builder()
+        builder.add_asset("models/huge.tflite", b"\x01" * (APK_SIZE_LIMIT + 1024))
+        builder.add_asset("models/small.tflite", b"\x02" * 64)
+        package = builder.build()
+        assert package.apk_size <= APK_SIZE_LIMIT
+        assert len(package.expansions) == 1
+        obb_entries = package.expansions[0].entries()
+        assert "models/huge.tflite" in obb_entries
+        assert "assets/models/small.tflite" in package.apk_entries()
+
+    def test_app_package_is_a_zip(self):
+        package = self._builder().build()
+        assert package.apk[:2] == b"PK"
+
+
+class TestCloudApisAndNativeLibs:
+    def test_fig15_categories_are_covered(self):
+        names = {api.name for api in CLOUD_APIS}
+        assert "Vision/Face" in names
+        assert "Rekognition (face recognition)" in names
+        assert len(names) == 14
+
+    def test_providers(self):
+        assert all(api.provider == "Google" for api in apis_for_provider("Google"))
+        assert all(api.provider == "AWS" for api in apis_for_provider("AWS"))
+        assert len(apis_for_provider("Google")) + len(apis_for_provider("AWS")) == len(CLOUD_APIS)
+
+    def test_api_lookup(self):
+        assert api_by_name("Vision/Barcode").provider == "Google"
+        with pytest.raises(KeyError):
+            api_by_name("Vision/NotAThing")
+
+    def test_native_library_lookups(self):
+        assert "libtensorflowlite_jni.so" in libraries_for_framework("tflite")
+        assert framework_for_library("libncnn.so") == "ncnn"
+        assert framework_for_library("libunknown.so") is None
+        assert accelerator_for_library("libnnapi_delegate.so") == "nnapi"
+        assert accelerator_for_library("libSNPE.so") == "snpe"

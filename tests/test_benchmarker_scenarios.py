@@ -1,0 +1,115 @@
+"""Unit tests for the benchmark workflow orchestration and Table 4 scenarios."""
+
+import pytest
+
+from repro.core.benchmarker import BenchmarkJob, DeviceBenchmarker
+from repro.core.scenarios import (
+    REFERENCE_BATTERY,
+    STANDARD_SCENARIOS,
+    run_scenario,
+    summarize,
+)
+from repro.devices.device import device_by_name
+from repro.devices.usb_control import UsbSwitch
+from repro.dnn.zoo import autocomplete_lstm, blazeface, hair_segmentation, sound_recognition, unet_lite
+from repro.runtime import Backend
+
+
+class TestDeviceBenchmarker:
+    def test_workflow_on_board_controls_usb_power(self):
+        switch = UsbSwitch()
+        benchmarker = DeviceBenchmarker(device_by_name("Q845"), usb_switch=switch)
+        record = benchmarker.run_job(BenchmarkJob(graph=blazeface(), num_inferences=3))
+        assert ("power_off", 0) in switch.events
+        assert ("power_on", 0) in switch.events
+        assert "usb_power_off" in record.workflow_events
+        assert "notify_server_via_netcat" in record.workflow_events
+        assert record.power_trace is not None
+        assert record.measured_energy_mj > 0
+
+    def test_workflow_on_phone_has_no_power_trace(self):
+        benchmarker = DeviceBenchmarker(device_by_name("A20"))
+        record = benchmarker.run_job(BenchmarkJob(graph=blazeface(), num_inferences=3))
+        assert record.power_trace is None
+        assert record.measured_energy_mj is None
+        assert "usb_power_off" not in record.workflow_events
+
+    def test_measured_energy_close_to_model_energy(self):
+        benchmarker = DeviceBenchmarker(device_by_name("Q845"))
+        job = BenchmarkJob(graph=blazeface(), num_inferences=5, inter_inference_sleep_ms=10)
+        record = benchmarker.run_job(job)
+        modeled_total = record.result.energy_mj * job.num_inferences
+        # The trace includes idle gaps between inferences, so it is a bit higher.
+        assert record.measured_energy_mj >= modeled_total * 0.8
+
+    def test_run_suite_skips_unsupported_models(self):
+        benchmarker = DeviceBenchmarker(device_by_name("Q845"))
+        records = benchmarker.run_suite([blazeface(), autocomplete_lstm()],
+                                        backend=Backend.SNPE_DSP, num_inferences=2)
+        assert len(records) == 1
+
+    def test_workflow_event_order(self):
+        benchmarker = DeviceBenchmarker(device_by_name("Q888"))
+        record = benchmarker.run_job(BenchmarkJob(graph=blazeface(), num_inferences=2))
+        events = list(record.workflow_events)
+        assert events.index("adb_push_dependencies") < events.index("usb_power_off")
+        assert events.index("usb_power_off") < events.index("usb_power_on")
+        assert events[-1] == "cleanup"
+
+
+class TestScenarios:
+    def test_standard_scenarios_cover_three_modalities(self):
+        names = {scenario.name for scenario in STANDARD_SCENARIOS}
+        assert names == {"Sound R.", "Typing", "Segm."}
+
+    def test_scenario_applicability(self):
+        sound = STANDARD_SCENARIOS[0]
+        assert sound.applies_to("sound recognition", sound_recognition().modality)
+        assert not sound.applies_to("auto-complete", autocomplete_lstm().modality)
+
+    def test_segmentation_dominates_battery_cost(self):
+        """Table 4: an hour of segmentation costs orders of magnitude more
+        battery than a day of typing."""
+        device = device_by_name("Q845")
+        typing = run_scenario(STANDARD_SCENARIOS[1], device,
+                              [(autocomplete_lstm(), "auto-complete")])
+        segmentation = run_scenario(STANDARD_SCENARIOS[2], device,
+                                    [(hair_segmentation(resolution=256), "semantic segmentation")])
+        assert typing and segmentation
+        assert segmentation[0].battery_discharge_mah > 100 * typing[0].battery_discharge_mah
+
+    def test_segmentation_can_drain_most_of_the_battery(self):
+        device = device_by_name("Q845")
+        results = run_scenario(
+            STANDARD_SCENARIOS[2], device,
+            [(unet_lite(resolution=256), "semantic segmentation")])
+        assert results[0].battery_fraction > 0.2
+
+    def test_typing_cost_is_negligible(self):
+        device = device_by_name("Q888")
+        results = run_scenario(STANDARD_SCENARIOS[1], device,
+                               [(autocomplete_lstm(), "auto-complete")])
+        assert results[0].battery_discharge_mah < 5.0
+
+    def test_sound_recognition_inference_count_depends_on_input(self):
+        device = device_by_name("Q845")
+        long_window = run_scenario(STANDARD_SCENARIOS[0], device,
+                                   [(sound_recognition(frames=96), "sound recognition")])
+        short_window = run_scenario(STANDARD_SCENARIOS[0], device,
+                                    [(sound_recognition(frames=48), "sound recognition")])
+        assert short_window[0].inference_count > long_window[0].inference_count
+
+    def test_summary_statistics(self):
+        device = device_by_name("Q845")
+        results = run_scenario(
+            STANDARD_SCENARIOS[2], device,
+            [(hair_segmentation(resolution=256), "semantic segmentation"),
+             (unet_lite(resolution=144, base_filters=16), "semantic segmentation")])
+        summary = summarize(results)
+        assert summary is not None
+        assert summary.model_count == 2
+        assert summary.min_mah <= summary.median_mah <= summary.max_mah
+        assert summarize([]) is None
+
+    def test_reference_battery_matches_common_capacity(self):
+        assert REFERENCE_BATTERY.capacity_mah == 4000

@@ -1,0 +1,126 @@
+"""Unit tests for the graph builder."""
+
+import pytest
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType
+
+
+class TestShapePropagation:
+    def test_conv_stride_halves_spatial(self):
+        builder = GraphBuilder("g", (1, 224, 224, 3))
+        builder.conv2d(32, kernel=3, stride=2)
+        assert builder.current_spec.shape == (1, 112, 112, 32)
+
+    def test_conv_valid_padding(self):
+        builder = GraphBuilder("g", (1, 32, 32, 3))
+        builder.conv2d(8, kernel=5, stride=1, padding="valid")
+        assert builder.current_spec.shape == (1, 28, 28, 8)
+
+    def test_depthwise_preserves_channels(self):
+        builder = GraphBuilder("g", (1, 56, 56, 24))
+        builder.depthwise_conv2d(kernel=3, stride=2)
+        assert builder.current_spec.shape == (1, 28, 28, 24)
+
+    def test_pooling(self):
+        builder = GraphBuilder("g", (1, 64, 64, 16))
+        builder.max_pool(2)
+        assert builder.current_spec.shape == (1, 32, 32, 16)
+        builder.global_avg_pool()
+        assert builder.current_spec.shape == (1, 16)
+
+    def test_dense_changes_trailing_dim(self):
+        builder = GraphBuilder("g", (1, 128))
+        builder.dense(10)
+        assert builder.current_spec.shape == (1, 10)
+
+    def test_transpose_conv_upsamples(self):
+        builder = GraphBuilder("g", (1, 8, 8, 32))
+        builder.transpose_conv2d(16, kernel=2, stride=2)
+        assert builder.current_spec.shape == (1, 16, 16, 16)
+
+    def test_resize(self):
+        builder = GraphBuilder("g", (1, 10, 10, 4))
+        builder.resize(scale=2)
+        assert builder.current_spec.shape == (1, 20, 20, 4)
+
+    def test_reshape_checks_elements(self):
+        builder = GraphBuilder("g", (1, 4, 4, 2))
+        builder.reshape((1, 32))
+        with pytest.raises(ValueError):
+            builder.reshape((1, 33))
+
+    def test_embedding_and_recurrent_shapes(self):
+        builder = GraphBuilder("g", (1, 12), input_dtype=DType.INT32)
+        builder.embedding(1000, 32)
+        assert builder.current_spec.shape == (1, 12, 32)
+        builder.lstm(64, return_sequences=True)
+        assert builder.current_spec.shape == (1, 12, 64)
+        builder.gru(16, return_sequences=False)
+        assert builder.current_spec.shape == (1, 16)
+
+    def test_slice_limits_channels(self):
+        builder = GraphBuilder("g", (1, 4, 4, 8))
+        builder.slice(4)
+        assert builder.current_spec.shape == (1, 4, 4, 4)
+        with pytest.raises(ValueError):
+            builder.slice(100)
+
+
+class TestBranching:
+    def test_residual_add(self):
+        builder = GraphBuilder("g", (1, 32, 32, 16))
+        checkpoint = builder.checkpoint()
+        builder.conv2d(16, kernel=3)
+        layer = builder.add(checkpoint.name)
+        assert checkpoint.name in layer.inputs
+
+    def test_concat_sums_channels(self):
+        builder = GraphBuilder("g", (1, 8, 8, 4))
+        branch_point = builder.checkpoint()
+        a = builder.conv2d(6, kernel=1)
+        builder.restore(branch_point)
+        b = builder.conv2d(10, kernel=1)
+        builder.concat([a.name], [a.output_spec])
+        assert builder.current_spec.shape[-1] == 16
+
+    def test_restore_to(self):
+        builder = GraphBuilder("g", (1, 8, 8, 4))
+        first = builder.conv2d(8, kernel=1)
+        builder.conv2d(16, kernel=1)
+        builder.restore_to(first.name, first.output_spec)
+        assert builder.current == first.name
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        def build(seed):
+            builder = GraphBuilder("g", (1, 16, 16, 3), weight_seed=seed)
+            builder.conv2d(8)
+            builder.dense(4)
+            return builder.build()
+
+        assert build(1).weights_checksum() == build(1).weights_checksum()
+        assert build(1).weights_checksum() != build(2).weights_checksum()
+
+    def test_quantized_builder(self):
+        builder = GraphBuilder("g", (1, 8, 8, 3), weight_dtype=DType.INT8)
+        builder.conv2d(4)
+        graph = builder.build()
+        assert all(w.dtype is DType.INT8 for layer in graph.layers for w in layer.weights)
+
+    def test_metadata_recorded(self):
+        builder = GraphBuilder("g", (1, 8, 8, 3), framework="caffe", task="object detection")
+        builder.conv2d(4)
+        graph = builder.build()
+        assert graph.framework == "caffe"
+        assert graph.metadata.task == "object detection"
+
+    def test_quantize_dequantize_nodes(self):
+        builder = GraphBuilder("g", (1, 8, 8, 3))
+        builder.conv2d(4)
+        builder.quantize()
+        builder.dequantize()
+        ops = [layer.op for layer in builder.build().layers]
+        assert OpType.QUANTIZE in ops and OpType.DEQUANTIZE in ops

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_census_defaults(self):
+        args = build_parser().parse_args(["census"])
+        assert args.snapshot == "2021"
+        assert args.scale == pytest.approx(0.05)
+
+    def test_benchmark_arguments(self):
+        args = build_parser().parse_args(
+            ["benchmark", "--devices", "A20", "S21", "--backend", "xnnpack",
+             "--inferences", "2", "--scale", "0.02"])
+        assert args.devices == ["A20", "S21"]
+        assert args.backend == "xnnpack"
+        assert args.inferences == 2
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["benchmark", "--devices", "Pixel6"])
+
+
+class TestCommands:
+    def test_census_runs(self, capsys):
+        assert main(["census", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "total apps" in output
+        assert "models per framework" in output
+
+    def test_benchmark_runs(self, capsys):
+        assert main(["benchmark", "--scale", "0.02", "--devices", "S21",
+                     "--inferences", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "S21" in output
+        assert "mean ms" in output
+
+    def test_scenarios_runs(self, capsys):
+        assert main(["scenarios", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "Segm." in output
+
+    def test_compare_runs(self, capsys):
+        assert main(["compare", "--scale", "0.02", "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "models:" in output
+        assert "cloud-ML apps" in output

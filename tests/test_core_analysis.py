@@ -1,0 +1,231 @@
+"""Unit tests for the gaugeNN offline analyses: app code, tasks, models, uniqueness,
+optimisations and temporal comparison."""
+
+import pytest
+
+from repro.android.dex import DexFile
+from repro.core.app_analysis import AppAnalyzer
+from repro.core.model_analysis import ModelAnalyzer, trace_flops, trace_parameters
+from repro.core.optimizations import analyze_optimizations
+from repro.core.task_classifier import TaskClassifier, UNIDENTIFIED
+from repro.core.temporal import compare_snapshots
+from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
+from repro.dnn.finetune import finetune_last_layers
+from repro.dnn.quantization import QuantizationScheme, quantize
+from repro.dnn.zoo import (
+    autocomplete_lstm,
+    blazeface,
+    crash_detection,
+    fssd,
+    hair_segmentation,
+    keyword_spotting,
+    mobilenet_v1,
+    movement_tracking,
+    ocr_crnn,
+    sound_recognition,
+    speech_recognition,
+)
+
+
+class TestAppAnalyzer:
+    def _dex_with(self, invocations):
+        dex = DexFile()
+        dex.add_invocations("com.test.App", invocations)
+        return dex.to_bytes()
+
+    def test_detects_tflite_and_nnapi(self):
+        dex = self._dex_with([
+            "Lorg/tensorflow/lite/Interpreter;->run(Ljava/lang/Object;Ljava/lang/Object;)V",
+            "Lorg/tensorflow/lite/nnapi/NnApiDelegate;-><init>()V",
+        ])
+        analysis = AppAnalyzer().analyze(dex, [])
+        assert "tflite" in analysis.frameworks_in_code
+        assert "nnapi" in analysis.accelerators
+        assert not analysis.uses_cloud_ml
+
+    def test_detects_cloud_apis_and_providers(self):
+        from repro.android.cloud_apis import api_by_name
+
+        dex = self._dex_with([
+            api_by_name("Vision/Face").example_invocation,
+            api_by_name("Rekognition (face recognition)").example_invocation,
+        ])
+        analysis = AppAnalyzer().analyze(dex, [])
+        assert "Vision/Face" in analysis.cloud_apis
+        assert set(analysis.cloud_providers) == {"Google", "AWS"}
+        assert analysis.uses_cloud_ml
+
+    def test_detects_frameworks_from_native_libraries_only(self):
+        analysis = AppAnalyzer().analyze(None, ["libncnn.so", "libSNPE.so"])
+        assert "ncnn" in analysis.frameworks
+        assert "snpe" in analysis.frameworks
+        assert "snpe" in analysis.accelerators
+
+    def test_clean_app(self):
+        dex = self._dex_with(["Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V"])
+        analysis = AppAnalyzer().analyze(dex, [])
+        assert not analysis.frameworks
+        assert not analysis.uses_cloud_ml
+
+
+class TestTaskClassifier:
+    @pytest.mark.parametrize("builder,expected", [
+        (lambda: blazeface(name="blazeface_front"), "face detection"),
+        (lambda: fssd(name="object_detector_fssd"), "object detection"),
+        (lambda: hair_segmentation(name="hair_segmentation_v2"), "semantic segmentation"),
+        (lambda: ocr_crnn(name="card_number_recognizer"), "text recognition"),
+        (lambda: autocomplete_lstm(name="next_word_model"), "auto-complete"),
+        (lambda: sound_recognition(name="yamnet_lite"), "sound recognition"),
+        (lambda: keyword_spotting(name="hotword_small"), "keyword detection"),
+        (lambda: crash_detection(name="crash_net"), "crash detection"),
+        (lambda: movement_tracking(name="activity_window_gru"), "movement tracking"),
+    ])
+    def test_name_based_classification(self, builder, expected):
+        classification = TaskClassifier().classify(builder())
+        assert classification.task == expected
+        assert classification.identified
+
+    def test_structure_based_classification_without_name_hint(self):
+        detector = fssd(name="model_417")
+        classification = TaskClassifier().classify(detector)
+        assert classification.source == "structure"
+        assert classification.task == "object detection"
+
+    def test_generic_text_model_classified_by_structure(self):
+        model = autocomplete_lstm(name="net_3")
+        assert TaskClassifier().classify(model).task == "auto-complete"
+
+    def test_speech_model_by_structure(self):
+        model = speech_recognition(name="module_9")
+        assert TaskClassifier().classify(model).task == "speech recognition"
+
+    def test_classifier_matches_generator_labels(self, analysis_2021):
+        """The rule-based classifier should agree with the ground-truth task
+        labels of the synthetic models for a large majority of instances."""
+        records = analysis_2021.models
+        assert records
+        matches = sum(
+            1 for record in records if record.task == record.graph.metadata.task)
+        assert matches / len(records) > 0.6
+
+    def test_unidentified_for_unknown_structure(self):
+        from repro.dnn.builder import GraphBuilder
+
+        builder = GraphBuilder("mystery_blob", (1, 300, 80))
+        builder.dense(64)
+        graph = builder.build()
+        classification = TaskClassifier().classify(graph)
+        assert classification.task in {UNIDENTIFIED, "sound recognition", "speech recognition"}
+
+
+class TestModelAnalyzer:
+    def test_trace_functions(self):
+        graph = mobilenet_v1(weight_seed=1)
+        assert trace_flops(graph) == graph.total_flops()
+        assert trace_parameters(graph) == graph.total_parameters()
+
+    def test_records_carry_quantization_traces(self, analysis_2021):
+        quantized_records = [r for r in analysis_2021.models if r.has_dequantize_layer]
+        for record in quantized_records:
+            assert record.uses_int8_weights
+
+    def test_every_record_is_consistent(self, analysis_2021):
+        for record in analysis_2021.models:
+            assert record.flops >= 0
+            assert record.parameters > 0
+            assert record.num_layers == record.graph.num_layers
+            assert 0.0 <= record.near_zero_weight_fraction <= 1.0
+            assert abs(sum(record.layer_category_fractions.values()) - 1.0) < 1e-6
+
+
+class TestUniqueness:
+    def test_duplicates_detected(self, analysis_2021):
+        report = analyze_uniqueness(analysis_2021.models)
+        assert report.total_models == analysis_2021.total_models
+        assert report.unique_models == analysis_2021.unique_models
+        assert report.unique_models < report.total_models
+        assert 0.0 < report.unique_fraction < 1.0
+        assert report.shared_fraction > 0.3
+        assert report.most_duplicated[0][1] >= report.most_duplicated[-1][1]
+
+    def test_finetuning_detects_derived_models(self):
+        base = mobilenet_v1(name="base_classifier", weight_seed=4)
+        derived = finetune_last_layers(base, num_layers=2, name="finetuned_classifier")
+        other = blazeface(name="unrelated", weight_seed=5)
+        analyzer = ModelAnalyzer()
+
+        def record_for(graph):
+            from repro.formats.serialize import serialize_model
+            from repro.core.validator import ModelValidator
+            from repro.core.extractor import CandidateFile, CandidateGroup
+
+            artifact = serialize_model(graph, "tflite")
+            files = tuple(
+                CandidateFile(path=f"apk/assets/{name}", data=data, source="apk")
+                for name, data in artifact.files.items()
+            )
+            validated = ModelValidator().validate_group(CandidateGroup(files=files))
+            return analyzer.analyze(validated, app_package="com.x", category="TOOLS")
+
+        records = [record_for(base), record_for(derived), record_for(other)]
+        report = analyze_finetuning(records, share_threshold=0.2, few_layer_threshold=3)
+        assert report.unique_models == 3
+        assert report.models_sharing_weights == 2
+        assert report.models_differing_few_layers == 2
+
+    def test_empty_inputs(self):
+        empty_unique = analyze_uniqueness([])
+        assert empty_unique.unique_fraction == 0.0
+        empty_finetune = analyze_finetuning([])
+        assert empty_finetune.sharing_fraction == 0.0
+
+
+class TestOptimizations:
+    def test_snapshot_adoption(self, analysis_2021):
+        adoption = analyze_optimizations(analysis_2021.models)
+        assert adoption.total_models == analysis_2021.total_models
+        # The paper finds no clustering or pruning traces in the wild.
+        assert adoption.clustered_models == 0
+        assert adoption.pruned_models == 0
+        assert 0.0 <= adoption.dequantize_fraction <= 0.5
+        assert adoption.int8_weight_fraction >= adoption.dequantize_fraction
+        assert 0.0 < adoption.mean_near_zero_weight_fraction < 0.15
+
+    def test_quantized_model_counted(self):
+        graph = quantize(blazeface(weight_seed=8), QuantizationScheme.FULL_INT8)
+        analyzer = ModelAnalyzer()
+        from repro.core.extractor import CandidateFile, CandidateGroup
+        from repro.core.validator import ModelValidator
+        from repro.formats.serialize import serialize_model
+
+        artifact = serialize_model(graph, "tflite")
+        files = tuple(CandidateFile(path=f"apk/assets/{n}", data=d, source="apk")
+                      for n, d in artifact.files.items())
+        record = analyzer.analyze(ModelValidator().validate_group(CandidateGroup(files)),
+                                  app_package="com.q", category="TOOLS")
+        adoption = analyze_optimizations([record])
+        assert adoption.dequantize_fraction == 1.0
+        assert adoption.int8_weight_fraction == 1.0
+        assert adoption.int8_activation_fraction == 1.0
+
+
+class TestTemporal:
+    def test_model_growth_roughly_doubles(self, analysis_2020, analysis_2021):
+        comparison = compare_snapshots(analysis_2020, analysis_2021)
+        assert comparison.model_growth > 1.3
+        assert comparison.later_total_models > comparison.earlier_total_models
+
+    def test_cloud_growth(self, analysis_2020, analysis_2021):
+        comparison = compare_snapshots(analysis_2020, analysis_2021)
+        assert comparison.cloud_growth > 1.2
+
+    def test_category_churn_contains_added_and_removed(self, analysis_2020, analysis_2021):
+        comparison = compare_snapshots(analysis_2020, analysis_2021)
+        assert any(churn.added > 0 for churn in comparison.category_churn)
+        assert any(churn.removed > 0 for churn in comparison.category_churn)
+        ordered = comparison.churn_sorted_by_net_change()
+        assert ordered[0].net_change >= ordered[-1].net_change
+
+    def test_framework_growth_keys(self, analysis_2020, analysis_2021):
+        comparison = compare_snapshots(analysis_2020, analysis_2021)
+        assert "tflite" in comparison.framework_growth

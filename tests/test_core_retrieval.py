@@ -1,0 +1,134 @@
+"""Unit tests for the gaugeNN retrieval stages: crawler, extractor, validator."""
+
+import pytest
+
+from repro.android.apk import ApkBuilder
+from repro.android.dex import DexFile
+from repro.android.manifest import AndroidManifest
+from repro.core.crawler import Crawler
+from repro.core.extractor import CandidateFile, ModelExtractor
+from repro.core.validator import ModelValidator
+from repro.dnn.zoo import blazeface, mobilenet_v1
+from repro.formats.serialize import serialize_model
+
+
+def _package_with_models(frameworks=("tflite",), extra_assets=None):
+    builder = ApkBuilder(AndroidManifest(package="com.test.mlapp"), DexFile())
+    for index, framework in enumerate(frameworks):
+        graph = blazeface(name=f"face_detector_{index}", weight_seed=index)
+        artifact = serialize_model(graph, framework, f"face_detector_{index}")
+        for name, data in artifact.files.items():
+            builder.add_asset(f"models/{name}", data)
+    for path, data in (extra_assets or {}).items():
+        builder.add_asset(path, data)
+    builder.add_native_library("libtensorflowlite_jni.so")
+    return builder.build()
+
+
+class TestCrawler:
+    def test_crawl_covers_all_categories(self, store):
+        crawler = Crawler(store)
+        result = crawler.crawl("2021")
+        assert result.total_apps == store.snapshot("2021").total_apps
+        assert set(result.by_category()) <= set(store.snapshot("2021").categories())
+
+    def test_per_category_limit(self, store):
+        crawler = Crawler(store, per_category_limit=5)
+        result = crawler.crawl("2021")
+        assert all(len(apps) <= 5 for apps in result.by_category().values())
+
+    def test_limit_validation(self, store):
+        with pytest.raises(ValueError):
+            Crawler(store, per_category_limit=0)
+
+    def test_single_category_crawl(self, store):
+        crawler = Crawler(store)
+        result = crawler.crawl("2021", categories=["COMMUNICATION"])
+        assert set(result.by_category()) == {"COMMUNICATION"}
+
+
+class TestExtractor:
+    def test_extracts_candidates_and_libraries(self):
+        extraction = ModelExtractor().extract(_package_with_models())
+        assert extraction.candidate_count >= 1
+        assert "libtensorflowlite_jni.so" in extraction.native_libraries
+        assert extraction.dex_data is not None
+        assert extraction.apk_size_bytes > 0
+
+    def test_ignores_resources(self):
+        package = _package_with_models(extra_assets={})
+        extraction = ModelExtractor().extract(package)
+        paths = [f.path for group in extraction.candidate_groups for f in group.files]
+        assert not any(path.startswith("apk/res/") for path in paths)
+
+    def test_groups_caffe_companions(self):
+        package = _package_with_models(frameworks=("caffe",))
+        extraction = ModelExtractor().extract(package)
+        caffe_groups = [
+            group for group in extraction.candidate_groups
+            if any(f.path.endswith(".caffemodel") for f in group.files)
+        ]
+        assert caffe_groups
+        assert len(caffe_groups[0].files) == 2
+
+    def test_candidate_file_helpers(self):
+        candidate = CandidateFile(path="apk/assets/models/detector.tflite",
+                                  data=b"1234", source="apk")
+        assert candidate.file_name == "detector.tflite"
+        assert candidate.extension == ".tflite"
+        assert candidate.stem == "detector"
+        assert candidate.size_bytes == 4
+
+    def test_non_candidate_extensions_skipped(self):
+        package = _package_with_models(
+            extra_assets={"textures/background.png": b"\x89PNG", "data/words.txt": b"hello"})
+        extraction = ModelExtractor().extract(package)
+        names = [f.file_name for group in extraction.candidate_groups for f in group.files]
+        assert "background.png" not in names
+        assert "words.txt" not in names
+
+
+class TestValidator:
+    def test_validates_real_models(self):
+        extraction = ModelExtractor().extract(_package_with_models(("tflite", "caffe")))
+        validated = ModelValidator().validate_many(extraction.candidate_groups)
+        frameworks = {model.framework for model in validated}
+        assert frameworks == {"tflite", "caffe"}
+        for model in validated:
+            assert model.graph.total_parameters() > 0
+            assert model.checksum
+
+    def test_rejects_encrypted_models(self):
+        package = _package_with_models(
+            extra_assets={"models/encrypted.tflite": bytes(range(256)) * 8})
+        extraction = ModelExtractor().extract(package)
+        validated = ModelValidator().validate_many(extraction.candidate_groups)
+        assert all("encrypted" not in name for model in validated
+                   for name in model.artifact.file_names)
+
+    def test_duplicate_models_share_checksums(self):
+        graph = mobilenet_v1(weight_seed=9)
+        artifact_a = serialize_model(graph, "tflite", "classifier_a")
+        artifact_b = serialize_model(graph, "tflite", "classifier_b")
+        builder = ApkBuilder(AndroidManifest(package="com.dup.app"), DexFile())
+        for artifact in (artifact_a, artifact_b):
+            for name, data in artifact.files.items():
+                builder.add_asset(f"models/{name}", data)
+        extraction = ModelExtractor().extract(builder.build())
+        validated = ModelValidator().validate_many(extraction.candidate_groups)
+        assert len(validated) == 2
+        # Same weights but different file names: the graph checksum matches,
+        # which is what the uniqueness analysis relies on.
+        assert validated[0].graph.weights_checksum() == validated[1].graph.weights_checksum()
+
+    def test_structure_only_group_rejected(self):
+        graph = blazeface(weight_seed=2)
+        artifact = serialize_model(graph, "caffe")
+        prototxt_name = next(n for n in artifact.files if n.endswith(".prototxt"))
+        group_files = (
+            CandidateFile(path=f"apk/assets/{prototxt_name}",
+                          data=artifact.files[prototxt_name], source="apk"),
+        )
+        from repro.core.extractor import CandidateGroup
+
+        assert ModelValidator().validate_group(CandidateGroup(files=group_files)) is None

@@ -1,0 +1,176 @@
+"""Unit tests for the device substrate: SoCs, fleet, battery, thermal, power, USB."""
+
+import pytest
+
+from repro.devices import (
+    Battery,
+    CpuScheduler,
+    DEV_BOARDS,
+    DEVICE_FLEET,
+    PHONES,
+    PowerMonitor,
+    ThermalModel,
+    ThreadConfig,
+    UsbSwitch,
+    device_by_name,
+)
+from repro.devices.soc import SOC_CATALOG, soc_by_name
+
+
+class TestSoc:
+    def test_catalog_covers_table1(self):
+        assert set(SOC_CATALOG) == {
+            "Exynos 7884", "Snapdragon 675", "Snapdragon 845",
+            "Snapdragon 855", "Snapdragon 888",
+        }
+
+    def test_unknown_soc(self):
+        with pytest.raises(KeyError):
+            soc_by_name("Snapdragon 1")
+
+    def test_core_counts(self):
+        assert soc_by_name("Snapdragon 888").total_cores == 8
+        assert soc_by_name("Snapdragon 888").big_cores == 4
+        assert soc_by_name("Exynos 7884").total_cores == 8
+
+    def test_generation_ordering(self):
+        """Successive Snapdragon flagships gain peak CPU throughput."""
+        q845 = soc_by_name("Snapdragon 845")
+        q855 = soc_by_name("Snapdragon 855")
+        q888 = soc_by_name("Snapdragon 888")
+        assert q845.peak_cpu_gflops < q855.peak_cpu_gflops < q888.peak_cpu_gflops
+        assert q845.memory_bandwidth_gbps < q888.memory_bandwidth_gbps
+
+    def test_accelerator_lookup(self):
+        soc = soc_by_name("Snapdragon 845")
+        assert soc.accelerator("gpu") is soc.gpu
+        assert soc.accelerator("dsp") is soc.dsp
+        assert soc.accelerator("npu") is None
+        assert soc_by_name("Exynos 7884").dsp is None
+
+    def test_clusters_fastest_first(self):
+        soc = soc_by_name("Snapdragon 888")
+        speeds = [c.per_core_gflops for c in soc.cores_fastest_first()]
+        assert speeds == sorted(speeds, reverse=True)
+
+
+class TestDeviceFleet:
+    def test_table1_fleet(self):
+        assert [d.name for d in PHONES] == ["A20", "A70", "S21"]
+        assert [d.name for d in DEV_BOARDS] == ["Q845", "Q855", "Q888"]
+        assert len(DEVICE_FLEET) == 6
+
+    def test_table1_specs(self):
+        assert device_by_name("A20").ram_gb == 4
+        assert device_by_name("A20").battery_capacity_mah == 4000
+        assert device_by_name("A70").battery_capacity_mah == 4500
+        assert device_by_name("Q855").battery_capacity_mah is None
+
+    def test_tiers(self):
+        assert device_by_name("A20").tier == "low"
+        assert device_by_name("A70").tier == "mid"
+        assert device_by_name("S21").tier == "high"
+
+    def test_only_boards_support_power_measurement(self):
+        assert all(d.supports_power_measurement for d in DEV_BOARDS)
+        assert not any(d.supports_power_measurement for d in PHONES)
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            device_by_name("Pixel 6")
+
+    def test_s21_and_q888_share_soc(self):
+        assert device_by_name("S21").soc.name == device_by_name("Q888").soc.name
+        assert device_by_name("S21").vendor_factor < device_by_name("Q888").vendor_factor
+
+
+class TestBattery:
+    def test_capacity_and_discharge(self):
+        battery = Battery(capacity_mah=4000, voltage=3.85)
+        assert battery.capacity_joules == pytest.approx(4.0 * 3600 * 3.85)
+        one_percent = battery.capacity_joules / 100
+        assert battery.discharge_mah(one_percent) == pytest.approx(40.0)
+        assert battery.discharge_fraction(one_percent) == pytest.approx(0.01)
+
+    def test_discharge_fraction_caps_at_one(self):
+        battery = Battery(capacity_mah=1000)
+        assert battery.discharge_fraction(battery.capacity_joules * 3) == 1.0
+
+    def test_runtime_hours(self):
+        battery = Battery(capacity_mah=4000, voltage=3.85)
+        assert battery.hours_of_runtime(battery.capacity_joules / 3600) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=100).discharge_mah(-1.0)
+
+
+class TestThermal:
+    def test_throttling_monotone(self):
+        model = ThermalModel(throttle_floor=0.8, time_constant_s=60)
+        assert model.throttle_factor(0) == pytest.approx(1.0)
+        assert model.throttle_factor(30) > model.throttle_factor(600)
+        assert model.throttle_factor(1e6) == pytest.approx(0.8, abs=1e-3)
+
+    def test_sustained_latency_increases(self):
+        model = ThermalModel(throttle_floor=0.7)
+        assert model.sustained_latency_ms(10.0, 600) > 10.0
+
+    def test_boards_throttle_less_than_phones(self):
+        board = ThermalModel.for_device(is_dev_board=True, tier="high")
+        phone = ThermalModel.for_device(is_dev_board=False, tier="low")
+        assert board.throttle_factor(600) > phone.throttle_factor(600)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(throttle_floor=0.0)
+        with pytest.raises(ValueError):
+            ThermalModel().throttle_factor(-1)
+
+
+class TestPowerMonitor:
+    def test_trace_energy_matches_profile(self):
+        monitor = PowerMonitor(sample_rate_hz=1000, noise_watts=0.0)
+        trace = monitor.record([(0.5, 2.0), (0.5, 4.0)])
+        assert trace.energy_joules() == pytest.approx(3.0, rel=0.02)
+        assert trace.average_power_watts() == pytest.approx(3.0, rel=0.02)
+        assert trace.peak_power_watts() == pytest.approx(4.0, abs=0.01)
+
+    def test_noise_is_reproducible(self):
+        a = PowerMonitor(seed=1).record([(0.01, 3.0)])
+        b = PowerMonitor(seed=1).record([(0.01, 3.0)])
+        assert a.power_watts == b.power_watts
+
+    def test_short_segments_still_sampled(self):
+        monitor = PowerMonitor(sample_rate_hz=100)
+        trace = monitor.record([(0.0001, 5.0)])
+        assert len(trace.power_watts) == 1
+
+    def test_measure_inference_shape(self):
+        trace = PowerMonitor(noise_watts=0.0).measure_inference(
+            latency_ms=20.0, active_power_watts=4.0, idle_power_watts=1.0)
+        assert trace.peak_power_watts() == pytest.approx(4.0, abs=0.01)
+        assert trace.duration_s > 0.1
+
+    def test_rejects_negative_segments(self):
+        with pytest.raises(ValueError):
+            PowerMonitor().record([(-1.0, 2.0)])
+
+
+class TestUsbSwitch:
+    def test_power_cycle(self):
+        switch = UsbSwitch(num_ports=2)
+        assert switch.is_powered(0)
+        switch.power_off(0)
+        assert not switch.is_powered(0)
+        assert not switch.has_data(0)
+        switch.power_on(0)
+        assert switch.is_powered(0)
+        assert switch.events == [("power_off", 0), ("power_on", 0)]
+
+    def test_port_range_checked(self):
+        switch = UsbSwitch(num_ports=1)
+        with pytest.raises(ValueError):
+            switch.power_off(3)

@@ -1,0 +1,102 @@
+"""Robustness tests: corrupted inputs, truncated files and degenerate stores.
+
+The real-world pipeline has to survive malformed APK contents (the paper's
+obfuscated/encrypted models), so the reproduction's retrieval stages must
+degrade gracefully rather than crash on bad bytes.
+"""
+
+import pytest
+
+from repro.android.apk import ApkBuilder
+from repro.android.appgen import AppGenerator, GeneratorConfig
+from repro.android.dex import DexFile
+from repro.android.manifest import AndroidManifest
+from repro.android.playstore import PlayStore, StoreSnapshot
+from repro.core.app_analysis import AppAnalyzer
+from repro.core.extractor import ModelExtractor
+from repro.core.pipeline import GaugeNN
+from repro.core.validator import ModelValidator
+from repro.dnn.zoo import blazeface
+from repro.formats.payload import decode_graph, encode_graph
+from repro.formats.serialize import deserialize_file, serialize_model
+from repro.formats import tflite
+
+
+def _apk_with_assets(assets: dict[str, bytes]):
+    builder = ApkBuilder(AndroidManifest(package="com.corrupt.app"), DexFile())
+    for path, data in assets.items():
+        builder.add_asset(path, data)
+    return builder.build()
+
+
+class TestCorruptedModelFiles:
+    def test_truncated_tflite_rejected_by_validation(self):
+        artifact = tflite.write(blazeface(weight_seed=1))
+        data = artifact.files[artifact.primary]
+        package = _apk_with_assets({"models/truncated.tflite": data[:6]})
+        extraction = ModelExtractor().extract(package)
+        assert ModelValidator().validate_many(extraction.candidate_groups) == []
+
+    def test_corrupted_payload_rejected(self):
+        artifact = tflite.write(blazeface(weight_seed=1))
+        data = bytearray(artifact.files[artifact.primary])
+        # Keep the TFL3 signature but destroy the payload header.
+        data[8:16] = b"\x00" * 8
+        package = _apk_with_assets({"models/corrupt.tflite": bytes(data)})
+        extraction = ModelExtractor().extract(package)
+        assert ModelValidator().validate_many(extraction.candidate_groups) == []
+
+    def test_signature_only_file_fails_parse(self):
+        with pytest.raises(ValueError):
+            tflite.read(b"\x08\x00\x00\x00TFL3not-a-real-payload")
+
+    def test_random_bytes_not_a_model(self):
+        with pytest.raises(ValueError):
+            deserialize_file(bytes(range(256)) * 4)
+
+    def test_decode_graph_requires_magic(self):
+        with pytest.raises(ValueError):
+            decode_graph(b"NOTMAGIC" + b"\x00" * 16)
+
+    def test_encode_without_weights_still_round_trips(self):
+        graph = blazeface(weight_seed=3)
+        restored = decode_graph(encode_graph(graph, include_weights=False))
+        assert restored.num_layers == graph.num_layers
+        assert restored.total_parameters() == graph.total_parameters()
+
+
+class TestMalformedAppCode:
+    def test_analyzer_survives_missing_dex(self):
+        analysis = AppAnalyzer().analyze(None, [])
+        assert not analysis.frameworks
+        assert not analysis.uses_cloud_ml
+
+    def test_analyzer_rejects_garbage_dex(self):
+        with pytest.raises(ValueError):
+            AppAnalyzer().analyze(b"garbage-not-a-dex", [])
+
+    def test_extractor_handles_app_without_code_or_models(self):
+        builder = ApkBuilder(AndroidManifest(package="com.empty.app"))
+        extraction = ModelExtractor().extract(builder.build())
+        assert extraction.candidate_count == 0
+        assert extraction.dex_data is not None
+
+
+class TestDegenerateStores:
+    def test_empty_snapshot_analysis(self):
+        store = PlayStore([StoreSnapshot(label="empty", date="2021-01-01")])
+        analysis = GaugeNN(store).analyze_snapshot("empty")
+        assert analysis.total_apps == 0
+        assert analysis.total_models == 0
+        assert analysis.unique_models == 0
+
+    def test_tiny_scale_generation_still_valid(self):
+        snapshot = AppGenerator(GeneratorConfig.snapshot_2021(scale=0.005)).generate()
+        store = PlayStore([snapshot])
+        analysis = GaugeNN(store).analyze_snapshot("2021")
+        assert analysis.total_models >= analysis.unique_models > 0
+        assert analysis.apps_with_models <= analysis.apps_with_frameworks
+
+    def test_serializer_rejects_unknown_framework(self):
+        with pytest.raises(ValueError):
+            serialize_model(blazeface(), "armnn")

@@ -1,0 +1,154 @@
+"""Unit tests for framework file formats, signatures and serialisation."""
+
+import pytest
+
+from repro.dnn.zoo import blazeface, mobilenet_v1, autocomplete_lstm
+from repro.formats import (
+    FORMAT_REGISTRY,
+    ModelArtifact,
+    deserialize_model,
+    detect_framework,
+    serialize_model,
+    validate,
+)
+from repro.formats import caffe, ncnn, snpe, tensorflow, tflite
+from repro.formats.registry import (
+    extensions_for,
+    frameworks_for_extension,
+    known_extensions,
+    total_format_count,
+)
+from repro.formats.serialize import deserialize_file, supported_frameworks
+
+FRAMEWORKS = ("tflite", "caffe", "ncnn", "tf", "snpe")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return blazeface(weight_seed=21)
+
+
+class TestRegistry:
+    def test_appendix_table5_has_69_formats(self):
+        assert total_format_count() == 69
+
+    def test_every_framework_has_extensions(self):
+        for spec in FORMAT_REGISTRY:
+            assert spec.extensions
+
+    def test_extensions_for_known_framework(self):
+        assert ".tflite" in extensions_for("tflite")
+        assert ".dlc" in extensions_for("snpe")
+
+    def test_extensions_for_unknown_framework(self):
+        with pytest.raises(KeyError):
+            extensions_for("not-a-framework")
+
+    def test_generic_extensions_map_to_many_frameworks(self):
+        assert len(frameworks_for_extension(".pb")) >= 3
+        assert len(frameworks_for_extension("pb")) >= 3
+
+    def test_known_extensions_is_superset(self):
+        assert {".tflite", ".caffemodel", ".param", ".dlc"} <= known_extensions()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("framework", FRAMEWORKS)
+    def test_serialize_deserialize_preserves_model(self, graph, framework):
+        artifact = serialize_model(graph, framework)
+        restored = deserialize_model(artifact)
+        assert restored.framework == framework
+        assert restored.total_parameters() == graph.total_parameters()
+        assert restored.total_flops() == graph.total_flops()
+        assert restored.weights_checksum() == graph.weights_checksum()
+
+    @pytest.mark.parametrize("framework", FRAMEWORKS)
+    def test_round_trip_layer_structure(self, graph, framework):
+        restored = deserialize_model(serialize_model(graph, framework))
+        assert [l.op for l in restored.layers] == [l.op for l in graph.layers]
+
+    def test_round_trip_text_model(self):
+        graph = autocomplete_lstm(weight_seed=3)
+        restored = deserialize_model(serialize_model(graph, "tflite"))
+        assert restored.modality == graph.modality
+
+    def test_serialize_unknown_framework(self, graph):
+        with pytest.raises(ValueError):
+            serialize_model(graph, "mxnet")
+
+    def test_supported_frameworks(self):
+        assert set(supported_frameworks()) == set(FRAMEWORKS)
+
+
+class TestSignatures:
+    def test_tflite_identifier_at_offset_four(self, graph):
+        artifact = tflite.write(graph)
+        data = artifact.files[artifact.primary]
+        assert data[4:8] == b"TFL3"
+        assert tflite.matches(data)
+
+    def test_caffe_artifact_is_two_files(self, graph):
+        artifact = caffe.write(graph)
+        assert len(artifact.files) == 2
+        assert artifact.primary.endswith(".caffemodel")
+        prototxt = next(name for name in artifact.files if name.endswith(".prototxt"))
+        assert caffe.matches_prototxt(artifact.files[prototxt])
+
+    def test_ncnn_param_magic(self, graph):
+        artifact = ncnn.write(graph)
+        param = artifact.files[artifact.primary]
+        assert param.decode().splitlines()[0] == "7767517"
+        assert ncnn.matches_param(param)
+
+    def test_snpe_and_tf_markers(self, graph):
+        assert snpe.matches(snpe.write(graph).files[f"{graph.name}.dlc"])
+        assert tensorflow.matches(tensorflow.write(graph).files[f"{graph.name}.pb"])
+
+    @pytest.mark.parametrize("framework", FRAMEWORKS)
+    def test_detect_framework(self, graph, framework):
+        artifact = serialize_model(graph, framework)
+        detected = detect_framework(artifact.files[artifact.primary])
+        assert detected is not None
+        assert detected[0] == framework
+
+    def test_detect_rejects_garbage(self):
+        assert detect_framework(b"\x00" * 64) is None
+        assert detect_framework(b"") is None
+
+    def test_validate_requires_candidate_extension(self, graph):
+        artifact = tflite.write(graph)
+        data = artifact.files[artifact.primary]
+        assert validate("model.tflite", data) == "tflite"
+        assert validate("model.xyz", data) is None
+
+    def test_validate_rejects_encrypted_blob(self):
+        assert validate("model.tflite", bytes(range(256)) * 16) is None
+
+    def test_deserialize_file_autodetects(self, graph):
+        artifact = tflite.write(graph)
+        restored = deserialize_file(artifact.files[artifact.primary])
+        assert restored.name == graph.name
+
+    def test_deserialize_structure_only_file_fails(self, graph):
+        artifact = caffe.write(graph)
+        prototxt = next(name for name in artifact.files if name.endswith(".prototxt"))
+        with pytest.raises(ValueError):
+            deserialize_file(artifact.files[prototxt])
+
+
+class TestModelArtifact:
+    def test_checksum_is_stable_and_content_sensitive(self, graph):
+        a = serialize_model(graph, "tflite")
+        b = serialize_model(graph, "tflite")
+        c = serialize_model(blazeface(weight_seed=99), "tflite")
+        assert a.checksum() == b.checksum()
+        assert a.checksum() != c.checksum()
+
+    def test_primary_must_be_in_files(self):
+        with pytest.raises(ValueError):
+            ModelArtifact(framework="tflite", primary="missing.tflite", files={})
+
+    def test_total_size_and_file_names(self, graph):
+        artifact = caffe.write(graph)
+        assert artifact.total_size == sum(len(d) for d in artifact.files.values())
+        assert artifact.file_names[0] == artifact.primary

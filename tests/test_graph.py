@@ -1,0 +1,148 @@
+"""Unit tests for the DNN graph container."""
+
+import pytest
+
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.graph import Graph, GraphMetadata, Modality
+from repro.dnn.layers import Layer, LayerCategory, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+
+def _tiny_graph(seed: int = 0, name: str = "tiny") -> Graph:
+    builder = GraphBuilder(name, (1, 16, 16, 3), weight_seed=seed)
+    builder.conv2d(8, kernel=3, activation=OpType.RELU)
+    builder.global_avg_pool()
+    builder.dense(4)
+    builder.softmax()
+    return builder.build()
+
+
+class TestGraphConstruction:
+    def test_requires_input_specs(self):
+        with pytest.raises(ValueError):
+            Graph(GraphMetadata(name="empty"), ())
+
+    def test_duplicate_layer_rejected(self):
+        graph = Graph(GraphMetadata(name="g"), (TensorSpec((1, 4)),))
+        graph.add_layer(Layer(name="a", op=OpType.RELU, inputs=("input_0",),
+                              output_spec=TensorSpec((1, 4))))
+        with pytest.raises(ValueError):
+            graph.add_layer(Layer(name="a", op=OpType.RELU, inputs=("input_0",),
+                                  output_spec=TensorSpec((1, 4))))
+
+    def test_unknown_input_rejected(self):
+        graph = Graph(GraphMetadata(name="g"), (TensorSpec((1, 4)),))
+        with pytest.raises(ValueError):
+            graph.add_layer(Layer(name="a", op=OpType.RELU, inputs=("missing",),
+                                  output_spec=TensorSpec((1, 4))))
+
+    def test_layer_lookup(self):
+        graph = _tiny_graph()
+        first = graph.layers[0]
+        assert graph.layer(first.name) is first
+        with pytest.raises(KeyError):
+            graph.layer("not-there")
+        assert first.name in graph
+        assert "nope" not in graph
+
+    def test_iteration_and_len(self):
+        graph = _tiny_graph()
+        assert len(graph) == graph.num_layers == len(list(graph))
+
+
+class TestGraphStructure:
+    def test_is_acyclic(self):
+        assert _tiny_graph().is_acyclic()
+
+    def test_networkx_export(self):
+        graph = _tiny_graph()
+        dag = graph.to_networkx()
+        assert dag.number_of_nodes() == graph.num_layers + 1
+        assert dag.number_of_edges() >= graph.num_layers
+
+    def test_output_layers(self):
+        graph = _tiny_graph()
+        outputs = graph.output_layers()
+        assert len(outputs) == 1
+        assert outputs[0].op == OpType.SOFTMAX
+
+    def test_output_specs(self):
+        graph = _tiny_graph()
+        (spec,) = graph.output_specs()
+        assert spec.shape == (1, 4)
+
+
+class TestGraphAccounting:
+    def test_totals_are_positive(self):
+        graph = _tiny_graph()
+        assert graph.total_flops() > 0
+        assert graph.total_parameters() > 0
+        assert graph.model_size_bytes() == sum(l.weight_bytes for l in graph.layers)
+        assert graph.total_flops() >= 2 * graph.total_macs()
+
+    def test_layer_category_fractions_sum_to_one(self):
+        fractions = _tiny_graph().layer_category_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert LayerCategory.CONV in fractions
+
+    def test_op_counts(self):
+        counts = _tiny_graph().op_counts()
+        assert counts[OpType.CONV2D] == 1
+        assert counts[OpType.DENSE] == 1
+
+    def test_peak_activation_bytes(self):
+        graph = _tiny_graph()
+        largest = max(layer.activation_bytes() for layer in graph.layers)
+        assert graph.peak_activation_bytes() == largest
+
+
+class TestGraphIdentity:
+    def test_checksum_deterministic(self):
+        assert _tiny_graph(seed=1).weights_checksum() == _tiny_graph(seed=1).weights_checksum()
+
+    def test_checksum_differs_across_seeds(self):
+        assert _tiny_graph(seed=1).weights_checksum() != _tiny_graph(seed=2).weights_checksum()
+
+    def test_structural_checksum_ignores_seed(self):
+        assert _tiny_graph(seed=1).structural_checksum() == _tiny_graph(seed=2).structural_checksum()
+
+    def test_shared_weight_fraction_self_is_one(self):
+        graph = _tiny_graph(seed=1)
+        assert graph.shared_weight_fraction(graph) == pytest.approx(1.0)
+
+    def test_shared_weight_fraction_unrelated_is_zero(self):
+        assert _tiny_graph(seed=1).shared_weight_fraction(_tiny_graph(seed=2)) == 0.0
+
+    def test_differing_layer_count(self):
+        assert _tiny_graph(seed=1).differing_layer_count(_tiny_graph(seed=1)) == 0
+        assert _tiny_graph(seed=1).differing_layer_count(_tiny_graph(seed=2)) > 0
+
+    def test_layer_checksums_only_weighted_layers(self):
+        graph = _tiny_graph()
+        checksums = graph.layer_checksums()
+        assert all(graph.layer(name).weights for name in checksums)
+
+
+class TestModality:
+    def test_image_inference(self):
+        spec = TensorSpec((1, 224, 224, 3))
+        assert Modality.from_input_spec(spec) is Modality.IMAGE
+
+    def test_text_inference(self):
+        spec = TensorSpec((1, 16), DType.INT32)
+        assert Modality.from_input_spec(spec) is Modality.TEXT
+
+    def test_audio_inference(self):
+        spec = TensorSpec((1, 300, 80))
+        assert Modality.from_input_spec(spec) is Modality.AUDIO
+
+    def test_metadata_overrides_inference(self):
+        graph = _tiny_graph().with_metadata(modality=Modality.SENSOR)
+        assert graph.modality is Modality.SENSOR
+
+    def test_with_metadata_preserves_layers(self):
+        graph = _tiny_graph()
+        renamed = graph.with_metadata(name="other", framework="caffe")
+        assert renamed.name == "other"
+        assert renamed.framework == "caffe"
+        assert renamed.num_layers == graph.num_layers

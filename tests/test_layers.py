@@ -1,0 +1,138 @@
+"""Unit tests for layer definitions and FLOP/parameter accounting."""
+
+import pytest
+
+from repro.dnn.layers import Layer, LayerCategory, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+
+def _conv_layer(out_hw=112, in_channels=3, out_channels=32, kernel=3):
+    return Layer(
+        name="conv1",
+        op=OpType.CONV2D,
+        inputs=("input_0",),
+        output_spec=TensorSpec((1, out_hw, out_hw, out_channels)),
+        weights=(
+            WeightTensor((kernel, kernel, in_channels, out_channels), name="conv1/kernel"),
+            WeightTensor((out_channels,), name="conv1/bias"),
+        ),
+        attrs={"kernel_size": (kernel, kernel), "in_channels": in_channels,
+               "out_channels": out_channels},
+    )
+
+
+class TestLayerAccounting:
+    def test_conv_macs_formula(self):
+        layer = _conv_layer()
+        expected = 1 * 112 * 112 * 32 * 3 * 3 * 3
+        assert layer.macs() == expected
+        assert layer.flops() == 2 * expected
+
+    def test_depthwise_macs(self):
+        layer = Layer(
+            name="dw",
+            op=OpType.DEPTHWISE_CONV2D,
+            output_spec=TensorSpec((1, 56, 56, 32)),
+            attrs={"kernel_size": (3, 3), "in_channels": 32},
+        )
+        assert layer.macs() == 56 * 56 * 32 * 9
+
+    def test_dense_macs(self):
+        layer = Layer(
+            name="fc",
+            op=OpType.DENSE,
+            output_spec=TensorSpec((1, 1000)),
+            attrs={"in_features": 1280},
+        )
+        assert layer.macs() == 1000 * 1280
+
+    def test_lstm_macs_scale_with_time_steps(self):
+        short = Layer(name="l1", op=OpType.LSTM, output_spec=TensorSpec((1, 128)),
+                      attrs={"hidden_size": 128, "input_size": 64, "time_steps": 1})
+        long = Layer(name="l2", op=OpType.LSTM, output_spec=TensorSpec((1, 128)),
+                     attrs={"hidden_size": 128, "input_size": 64, "time_steps": 10})
+        assert long.macs() == 10 * short.macs()
+
+    def test_activation_flops_are_elementwise(self):
+        layer = Layer(name="relu", op=OpType.RELU, output_spec=TensorSpec((1, 10, 10, 8)))
+        assert layer.flops() == 800
+        assert layer.macs() == 0
+
+    def test_data_movement_ops_have_zero_flops(self):
+        layer = Layer(name="reshape", op=OpType.RESHAPE, output_spec=TensorSpec((1, 100)))
+        assert layer.flops() == 0
+
+    def test_parameter_count(self):
+        layer = _conv_layer()
+        assert layer.num_parameters == 3 * 3 * 3 * 32 + 32
+
+    def test_weight_bytes_depend_on_dtype(self):
+        layer = _conv_layer()
+        int8_layer = Layer(
+            name=layer.name, op=layer.op, output_spec=layer.output_spec,
+            weights=tuple(w.with_dtype(DType.INT8) for w in layer.weights),
+            attrs=layer.attrs,
+        )
+        assert int8_layer.weight_bytes * 4 == layer.weight_bytes
+
+
+class TestLayerCategories:
+    @pytest.mark.parametrize("op,category", [
+        (OpType.CONV2D, LayerCategory.CONV),
+        (OpType.DEPTHWISE_CONV2D, LayerCategory.DEPTH_CONV),
+        (OpType.DENSE, LayerCategory.DENSE),
+        (OpType.LSTM, LayerCategory.DENSE),
+        (OpType.RELU6, LayerCategory.ACTIVATION),
+        (OpType.ADD, LayerCategory.MATH),
+        (OpType.MAX_POOL, LayerCategory.POOLING),
+        (OpType.QUANTIZE, LayerCategory.QUANT),
+        (OpType.DEQUANTIZE, LayerCategory.QUANT),
+        (OpType.RESIZE_BILINEAR, LayerCategory.RESIZE),
+        (OpType.SLICE, LayerCategory.SLICE),
+        (OpType.CONCAT, LayerCategory.OTHER),
+    ])
+    def test_fig6_category_mapping(self, op, category):
+        layer = Layer(name="x", op=op, output_spec=TensorSpec((1, 4)))
+        assert layer.category is category
+
+    def test_compute_flag(self):
+        assert _conv_layer().is_compute
+        relu = Layer(name="r", op=OpType.RELU, output_spec=TensorSpec((1, 4)))
+        assert not relu.is_compute
+
+
+class TestLayerIdentity:
+    def test_weights_checksum_changes_with_seed(self):
+        a = _conv_layer()
+        b = Layer(name=a.name, op=a.op, output_spec=a.output_spec,
+                  weights=tuple(w.with_seed(99) for w in a.weights), attrs=a.attrs)
+        assert a.weights_checksum() != b.weights_checksum()
+
+    def test_weights_checksum_empty_without_weights(self):
+        relu = Layer(name="r", op=OpType.RELU, output_spec=TensorSpec((1, 4)))
+        assert relu.weights_checksum() == ""
+
+    def test_structural_signature_ignores_weights(self):
+        a = _conv_layer()
+        b = Layer(name=a.name, op=a.op, output_spec=a.output_spec,
+                  weights=tuple(w.with_seed(99) for w in a.weights), attrs=a.attrs)
+        assert a.structural_signature() == b.structural_signature()
+
+    def test_rename_preserves_structure(self):
+        layer = _conv_layer()
+        renamed = layer.rename("conv_other")
+        assert renamed.name == "conv_other"
+        assert renamed.op == layer.op
+        assert renamed.num_parameters == layer.num_parameters
+
+    def test_is_quantized(self):
+        layer = _conv_layer()
+        assert not layer.is_quantized
+        quantized = Layer(name="q", op=OpType.CONV2D, output_spec=layer.output_spec,
+                          weights=tuple(w.with_dtype(DType.INT8) for w in layer.weights),
+                          attrs=layer.attrs)
+        assert quantized.is_quantized
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Layer(name="", op=OpType.RELU)

@@ -1,0 +1,137 @@
+"""Integration tests for the end-to-end pipeline and the report builders."""
+
+import pytest
+
+from repro.core import reports
+from repro.core.pipeline import GaugeNN, PipelineConfig
+from repro.devices.device import device_by_name
+from repro.runtime import Backend, Executor
+
+
+class TestPipeline:
+    def test_table2_shape(self, analysis_2021):
+        row = reports.dataset_table(analysis_2021)
+        assert row.total_apps > 0
+        assert row.total_apps > row.apps_with_frameworks >= row.apps_with_models > 0
+        assert row.total_models >= row.unique_models > 0
+        assert 0 < row.apps_with_models_pct < 15
+        assert 0 < row.unique_models_pct < 100
+
+    def test_2020_snapshot_is_smaller(self, analysis_2020, analysis_2021):
+        assert analysis_2020.total_models < analysis_2021.total_models
+        assert analysis_2020.apps_with_models < analysis_2021.apps_with_models
+
+    def test_framework_distribution_matches_paper_ordering(self, analysis_2021):
+        by_framework = analysis_2021.models_by_framework()
+        assert by_framework["tflite"] == max(by_framework.values())
+        assert by_framework.get("caffe", 0) >= by_framework.get("ncnn", 0)
+
+    def test_vision_dominates_tasks(self, analysis_2021):
+        """Table 3: > 89% of identified models are vision models."""
+        from repro.dnn.graph import Modality
+
+        records = analysis_2021.models
+        vision = sum(1 for r in records if r.modality is Modality.IMAGE)
+        assert vision / len(records) > 0.8
+
+    def test_accelerator_traces_are_rare(self, analysis_2021):
+        """Sec. 6.3: only a minority of apps carry NNAPI/XNNPACK/SNPE traces."""
+        ml_apps = [app for app in analysis_2021.apps if app.has_models]
+        with_accel = [app for app in ml_apps if app.accelerators]
+        assert len(with_accel) < len(ml_apps)
+
+    def test_max_apps_cap(self, store):
+        gauge = GaugeNN(store, PipelineConfig(max_apps=20))
+        analysis = gauge.analyze_snapshot("2021")
+        assert analysis.total_apps == 20
+
+    def test_category_restriction(self, store):
+        gauge = GaugeNN(store, PipelineConfig(categories=("COMMUNICATION",)))
+        analysis = gauge.analyze_snapshot("2021")
+        assert {app.category for app in analysis.apps} == {"COMMUNICATION"}
+
+    def test_analyze_all_snapshots(self, store):
+        gauge = GaugeNN(store, PipelineConfig(max_apps=10))
+        all_analyses = gauge.analyze_all_snapshots()
+        assert set(all_analyses) == {"2020", "2021"}
+
+    def test_unique_graph_helpers(self, analysis_2021):
+        graphs = GaugeNN.unique_graphs(analysis_2021)
+        pairs = GaugeNN.graphs_with_tasks(analysis_2021)
+        assert len(graphs) == analysis_2021.unique_models
+        assert len(pairs) == len(graphs)
+        assert all(isinstance(task, str) for _, task in pairs)
+
+
+class TestReports:
+    def test_fig4_report(self, analysis_2021):
+        table = reports.models_per_framework_and_category(analysis_2021)
+        assert table
+        totals = [sum(frameworks.values()) for frameworks in table.values()]
+        assert totals == sorted(totals, reverse=True)
+        assert sum(totals) == analysis_2021.total_models
+
+    def test_fig4_category_cutoff(self, analysis_2021):
+        table = reports.models_per_framework_and_category(analysis_2021,
+                                                          min_models_per_category=3)
+        assert all(sum(frameworks.values()) >= 3 for frameworks in table.values())
+
+    def test_table3_report(self, analysis_2021):
+        table = reports.task_classification_table(analysis_2021)
+        assert "image" in table
+        total = sum(count for tasks in table.values() for count in tasks.values())
+        assert total == analysis_2021.total_models
+
+    def test_fig6_layer_composition(self, analysis_2021):
+        composition = reports.layer_composition_by_modality(analysis_2021)
+        assert "image" in composition
+        image = composition["image"]
+        assert sum(image.values()) == pytest.approx(100.0, abs=1.0)
+        conv_share = image.get("conv", 0.0) + image.get("depth_conv", 0.0)
+        assert conv_share > 20.0
+
+    def test_fig7_flops_and_parameters(self, analysis_2021):
+        table = reports.flops_and_parameters_by_task(analysis_2021)
+        assert table
+        for row in table.values():
+            assert row["flops_min"] <= row["flops_median"] <= row["flops_max"]
+            assert row["parameters_min"] <= row["parameters_median"] <= row["parameters_max"]
+
+    def test_fig8_and_fig9_reports(self, analysis_2021):
+        graphs = GaugeNN.unique_graphs(analysis_2021)[:5]
+        results = {
+            name: Executor(device_by_name(name), seed=0).run_many(graphs, Backend.CPU,
+                                                                  num_inferences=2)
+            for name in ("A20", "S21")
+        }
+        points = reports.latency_vs_flops(results["S21"])
+        assert len(points) == len(results["S21"])
+        ecdfs = reports.latency_ecdf_by_device(results)
+        assert ecdfs["A20"].median > ecdfs["S21"].median
+
+    def test_fig10_energy_distributions(self, analysis_2021):
+        graphs = GaugeNN.unique_graphs(analysis_2021)[:5]
+        results = {
+            name: Executor(device_by_name(name), seed=0).run_many(graphs, Backend.CPU,
+                                                                  num_inferences=2)
+            for name in ("Q845", "Q888")
+        }
+        table = reports.energy_distributions(results)
+        assert table["Q888"]["power_median_w"] > table["Q845"]["power_median_w"]
+        assert table["Q845"]["efficiency_median_mflops_per_sw"] > 0
+
+    def test_fig15_cloud_usage(self, analysis_2021):
+        usage = reports.cloud_api_usage(analysis_2021)
+        assert usage
+        counts = [int(entry["apps"]) for entry in usage.values()]
+        assert counts == sorted(counts, reverse=True)
+        providers = {entry["provider"] for entry in usage.values()}
+        assert providers <= {"Google", "AWS"}
+
+    def test_google_leads_aws(self, analysis_2021):
+        """Fig. 15 / Sec. 6.4: Google cloud APIs dominate AWS."""
+        google = sum(1 for app in analysis_2021.apps_using_cloud()
+                     if "Google" in app.cloud_providers)
+        aws = sum(1 for app in analysis_2021.apps_using_cloud()
+                  if "AWS" in app.cloud_providers)
+        assert google > aws

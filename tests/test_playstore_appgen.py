@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic Play Store and the app population generator."""
+
+import pytest
+
+from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
+from repro.android.playstore import CATEGORIES, PlayStore, PlayStoreListing, StoreSnapshot
+
+
+class TestPlayStore:
+    def test_listing_validation(self):
+        with pytest.raises(ValueError):
+            PlayStoreListing(package="a", title="A", category="NOT_A_CATEGORY",
+                             downloads=1, rating=4.0, num_reviews=1)
+        with pytest.raises(ValueError):
+            PlayStoreListing(package="a", title="A", category="TOOLS",
+                             downloads=1, rating=9.0, num_reviews=1)
+
+    def test_snapshot_rejects_duplicates(self):
+        snapshot = StoreSnapshot(label="x", date="2021-01-01")
+        listing = PlayStoreListing(package="com.a", title="A", category="TOOLS",
+                                   downloads=10, rating=4.0, num_reviews=5)
+        snapshot.add_app(listing, lambda: None)
+        with pytest.raises(ValueError):
+            snapshot.add_app(listing, lambda: None)
+
+    def test_top_chart_sorted_and_capped(self, store):
+        top = store.top_free_apps("2021", "COMMUNICATION", limit=10)
+        downloads = [listing.downloads for listing in top]
+        assert downloads == sorted(downloads, reverse=True)
+        assert len(top) <= 10
+
+    def test_unknown_snapshot_and_package(self, store):
+        with pytest.raises(KeyError):
+            store.snapshot("2019")
+        with pytest.raises(KeyError):
+            store.download("2021", "com.not.an.app")
+
+    def test_unknown_category_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.top_free_apps("2021", "NOT_A_CATEGORY")
+
+    def test_download_builds_package(self, store):
+        snapshot = store.snapshot("2021")
+        package_name = next(iter(snapshot.listings))
+        package = store.download("2021", package_name)
+        assert package.package_name == package_name
+        assert package.apk_size > 0
+
+
+class TestGeneratorConfig:
+    def test_2021_targets_match_table2(self):
+        config = GeneratorConfig.snapshot_2021()
+        assert config.total_apps == 16653
+        assert config.apps_with_frameworks == 377
+        assert config.apps_with_models == 342
+        assert config.total_models == 1666
+        assert config.unique_models == 318
+
+    def test_2020_targets_match_table2(self):
+        config = GeneratorConfig.snapshot_2020()
+        assert config.total_apps == 16964
+        assert config.total_models == 821
+        assert config.unique_models == 129
+
+    def test_scaled_counts(self):
+        config = GeneratorConfig.snapshot_2021(scale=0.1)
+        assert config.scaled(1000) == 100
+        assert config.scaled(3, minimum=1) >= 1
+        full = GeneratorConfig.snapshot_2021(scale=1.0)
+        assert full.scaled(1000) == 1000
+
+
+class TestModelPool:
+    def test_specs_are_deterministic(self):
+        pool_a = ModelPool(pool_seed=7)
+        pool_b = ModelPool(pool_seed=7)
+        assert pool_a.spec(5) == pool_b.spec(5)
+
+    def test_different_indices_differ(self):
+        pool = ModelPool(pool_seed=7)
+        assert pool.spec(1) != pool.spec(2)
+
+    def test_artifacts_are_cached_and_stable(self):
+        pool = ModelPool(pool_seed=7)
+        first = pool.artifact(3)
+        second = pool.artifact(3)
+        assert first is second
+        assert ModelPool(pool_seed=7).artifact(3).checksum() == first.checksum()
+
+    def test_finetuned_specs_reference_earlier_entries(self):
+        pool = ModelPool(pool_seed=7)
+        derived = [pool.spec(i) for i in range(150) if pool.spec(i).finetuned_from is not None]
+        assert derived, "expected some fine-tuned pool entries"
+        assert all(spec.finetuned_from < spec.pool_index for spec in derived)
+
+    def test_graph_framework_matches_spec(self):
+        pool = ModelPool(pool_seed=7)
+        spec = pool.spec(4)
+        assert pool.graph(4).framework == spec.framework
+
+
+class TestGeneratedSnapshot:
+    def test_snapshot_sizes(self, store):
+        snapshot = store.snapshot("2021")
+        config = GeneratorConfig.snapshot_2021(scale=0.03)
+        assert snapshot.total_apps == pytest.approx(config.scaled(config.total_apps), rel=0.05)
+
+    def test_categories_populated(self, store):
+        assert len(store.snapshot("2021").categories()) > 10
+
+    def test_ml_apps_contain_model_assets(self, store):
+        snapshot = store.snapshot("2021")
+        ml_packages = [p for p in snapshot.listings if ".ml" in p]
+        assert ml_packages
+        package = store.download("2021", ml_packages[0])
+        assert any("models/" in path for path in package.all_files())
+
+    def test_framework_only_apps_have_libraries_but_invalid_models(self, store):
+        snapshot = store.snapshot("2021")
+        lib_packages = [p for p in snapshot.listings if ".lib" in p]
+        assert lib_packages
+        package = store.download("2021", lib_packages[0])
+        files = package.all_files()
+        assert any(path.endswith(".so") for path in files)
+        assert any("encrypted_model" in path for path in files)
+
+    def test_snapshots_share_pool_models(self, store, gauge):
+        """Some unique models must persist across snapshots for Fig. 5 to be meaningful."""
+        analysis_2020 = gauge.analyze_snapshot("2020")
+        analysis_2021 = gauge.analyze_snapshot("2021")
+        shared = analysis_2020.unique_model_checksums & analysis_2021.unique_model_checksums
+        assert shared

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ecdf import Ecdf
+from repro.devices.battery import Battery
+from repro.devices.device import DEVICE_FLEET
+from repro.devices.scheduler import CpuScheduler, ThreadConfig
+from repro.dnn.builder import GraphBuilder
+from repro.dnn.layers import OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+from repro.formats.payload import decode_graph, encode_graph
+from repro.runtime.latency_model import LatencyModel
+
+
+# --------------------------------------------------------------------------- #
+# Weight tensors
+# --------------------------------------------------------------------------- #
+@given(
+    shape=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    sparsity=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=50, deadline=None)
+def test_weight_tensor_checksum_is_deterministic(shape, seed, sparsity):
+    a = WeightTensor(tuple(shape), seed=seed, sparsity=sparsity)
+    b = WeightTensor(tuple(shape), seed=seed, sparsity=sparsity)
+    assert a.checksum() == b.checksum()
+    assert a.num_parameters == b.num_parameters
+
+
+@given(
+    shape=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=3),
+    seed_a=st.integers(min_value=0, max_value=1000),
+    seed_b=st.integers(min_value=1001, max_value=2000),
+)
+@settings(max_examples=30, deadline=None)
+def test_weight_tensor_different_seeds_differ(shape, seed_a, seed_b):
+    a = WeightTensor(tuple(shape), seed=seed_a)
+    b = WeightTensor(tuple(shape), seed=seed_b)
+    assert a.checksum() != b.checksum()
+
+
+@given(
+    dims=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=4),
+    dtype=st.sampled_from(list(DType)),
+)
+@settings(max_examples=50, deadline=None)
+def test_tensor_spec_size_consistency(dims, dtype):
+    spec = TensorSpec(tuple(dims), dtype)
+    assert spec.size_bytes == spec.num_elements * dtype.bytes_per_element
+    assert spec.num_elements >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Graph construction and serialisation round trips
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_cnn(draw):
+    """A random small CNN built with the graph builder."""
+    resolution = draw(st.sampled_from([16, 32, 48]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    builder = GraphBuilder(f"random_cnn_{seed}", (1, resolution, resolution, 3),
+                           weight_seed=seed)
+    for index in range(draw(st.integers(min_value=1, max_value=4))):
+        filters = draw(st.sampled_from([8, 16, 24]))
+        if draw(st.booleans()):
+            builder.depthwise_conv2d(kernel=3, stride=1, activation=OpType.RELU6)
+            builder.conv2d(filters, kernel=1)
+        else:
+            builder.conv2d(filters, kernel=3, stride=draw(st.sampled_from([1, 2])),
+                           activation=OpType.RELU)
+    builder.global_avg_pool()
+    builder.dense(draw(st.sampled_from([2, 10, 100])))
+    builder.softmax()
+    return builder.build()
+
+
+@given(graph=small_cnn())
+@settings(max_examples=25, deadline=None)
+def test_random_graphs_are_well_formed(graph):
+    assert graph.is_acyclic()
+    assert graph.total_parameters() > 0
+    assert graph.total_flops() >= 2 * graph.total_macs() - graph.num_layers
+    fractions = graph.layer_category_fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+@given(graph=small_cnn())
+@settings(max_examples=20, deadline=None)
+def test_payload_round_trip_preserves_identity(graph):
+    restored = decode_graph(encode_graph(graph))
+    assert restored.weights_checksum() == graph.weights_checksum()
+    assert restored.total_flops() == graph.total_flops()
+    assert restored.num_layers == graph.num_layers
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler and latency model invariants
+# --------------------------------------------------------------------------- #
+@given(
+    device=st.sampled_from(list(DEVICE_FLEET)),
+    threads=st.integers(min_value=1, max_value=16),
+    affinity=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+)
+@settings(max_examples=60, deadline=None)
+def test_scheduler_throughput_is_positive_and_bounded(device, threads, affinity):
+    scheduler = CpuScheduler(device.soc)
+    throughput = scheduler.effective_gflops(ThreadConfig(threads, affinity))
+    assert 0 < throughput <= device.soc.peak_cpu_gflops
+
+
+@given(
+    device=st.sampled_from(list(DEVICE_FLEET)),
+    batch=st.integers(min_value=1, max_value=32),
+    graph=small_cnn(),
+)
+@settings(max_examples=20, deadline=None)
+def test_latency_monotone_in_batch(device, batch, graph):
+    model = LatencyModel(device)
+    single = model.graph_latency_ms(graph, batch=1)
+    batched = model.graph_latency_ms(graph, batch=batch)
+    assert batched >= single
+    assert batched <= single * batch + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# Battery and ECDF invariants
+# --------------------------------------------------------------------------- #
+@given(
+    capacity=st.integers(min_value=1000, max_value=6000),
+    energy=st.floats(min_value=0.0, max_value=1e5),
+)
+@settings(max_examples=50, deadline=None)
+def test_battery_discharge_is_monotone(capacity, energy):
+    battery = Battery(capacity_mah=capacity)
+    assert battery.discharge_mah(energy) >= 0
+    assert 0.0 <= battery.discharge_fraction(energy) <= 1.0
+    assert battery.discharge_mah(energy) <= battery.discharge_mah(energy + 1.0)
+
+
+@given(samples=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_ecdf_is_a_distribution(samples):
+    ecdf = Ecdf.from_samples(samples)
+    assert ecdf(min(samples) - 1.0) == 0.0
+    assert ecdf(max(samples)) == 1.0
+    assert 0.0 <= ecdf(sum(samples) / len(samples)) <= 1.0

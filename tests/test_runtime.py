@@ -1,0 +1,233 @@
+"""Unit tests for the runtime simulation: backends, latency/energy models, executor."""
+
+import pytest
+
+from repro.devices.device import device_by_name
+from repro.devices.scheduler import ThreadConfig
+from repro.dnn.quantization import QuantizationScheme, quantize
+from repro.dnn.zoo import autocomplete_lstm, blazeface, mobilenet_v1
+from repro.runtime import (
+    Backend,
+    BACKEND_PROFILES,
+    EnergyModel,
+    Executor,
+    LatencyModel,
+    UnsupportedModelError,
+    profile_for,
+)
+
+
+@pytest.fixture(scope="module")
+def face_model():
+    return blazeface(weight_seed=1)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return mobilenet_v1(weight_seed=1)
+
+
+class TestBackendProfiles:
+    def test_all_backends_have_profiles(self):
+        assert set(BACKEND_PROFILES) == set(Backend)
+
+    def test_profile_lookup_accepts_strings(self):
+        assert profile_for("cpu").backend is Backend.CPU
+        assert profile_for(Backend.SNPE_DSP).target == "dsp"
+
+    def test_recurrent_models_unsupported_on_accelerators(self):
+        text_model = autocomplete_lstm()
+        assert not profile_for(Backend.GPU).supports_graph(text_model)
+        assert not profile_for(Backend.SNPE_DSP).supports_graph(text_model)
+        assert profile_for(Backend.CPU).supports_graph(text_model)
+
+    def test_framework_restrictions(self, face_model):
+        caffe_model = face_model.with_metadata(framework="caffe")
+        assert not profile_for(Backend.XNNPACK).supports_graph(caffe_model)
+        assert profile_for(Backend.SNPE_CPU).supports_graph(caffe_model)
+
+
+class TestLatencyModel:
+    def test_latency_positive_and_scales_with_flops(self, face_model, classifier):
+        model = LatencyModel(device_by_name("Q845"))
+        small = model.graph_latency_ms(face_model)
+        large = model.graph_latency_ms(classifier)
+        assert 0 < small < large
+
+    def test_faster_device_is_faster(self, classifier):
+        slow = LatencyModel(device_by_name("A20")).graph_latency_ms(classifier)
+        fast = LatencyModel(device_by_name("S21")).graph_latency_ms(classifier)
+        assert fast < slow
+
+    def test_batch_increases_latency_sublinearly_per_sample(self, face_model):
+        model = LatencyModel(device_by_name("S21"))
+        single = model.graph_latency_ms(face_model, batch=1)
+        batched = model.graph_latency_ms(face_model, batch=8)
+        assert batched > single
+        assert batched / 8 < single
+
+    def test_layer_costs_cover_all_layers(self, face_model):
+        model = LatencyModel(device_by_name("Q845"))
+        costs = model.layer_costs(face_model)
+        assert len(costs) == face_model.num_layers
+        assert all(cost.total_ms >= cost.overhead_ms for cost in costs)
+
+    def test_memory_bound_detection(self, classifier):
+        model = LatencyModel(device_by_name("A20"))
+        costs = model.layer_costs(classifier)
+        assert any(cost.is_memory_bound for cost in costs)
+        assert any(not cost.is_memory_bound for cost in costs)
+
+    def test_thread_config_affects_latency(self, classifier):
+        model = LatencyModel(device_by_name("A70"))
+        two = model.graph_latency_ms(classifier, threads=ThreadConfig(2))
+        pinned = model.graph_latency_ms(classifier, threads=ThreadConfig(4, 2))
+        assert two < pinned
+
+    def test_missing_accelerator_raises(self, face_model):
+        model = LatencyModel(device_by_name("A20"))
+        with pytest.raises(ValueError):
+            model.effective_gflops(profile_for(Backend.SNPE_DSP))
+
+
+class TestEnergyModel:
+    def test_power_components(self):
+        model = EnergyModel(device_by_name("Q845"))
+        breakdown = model.power_breakdown(Backend.CPU)
+        assert breakdown.total_watts == pytest.approx(
+            breakdown.idle_watts + breakdown.compute_watts)
+        assert breakdown.screen_watts == 0.0
+
+    def test_screen_power_included_when_requested(self):
+        with_screen = EnergyModel(device_by_name("Q845"), include_screen=True)
+        without = EnergyModel(device_by_name("Q845"), include_screen=False)
+        assert with_screen.inference_power_watts() > without.inference_power_watts()
+
+    def test_newer_generations_draw_more_power(self):
+        """Fig. 10b: newer SoC generations consistently draw more power."""
+        p845 = EnergyModel(device_by_name("Q845")).inference_power_watts()
+        p855 = EnergyModel(device_by_name("Q855")).inference_power_watts()
+        p888 = EnergyModel(device_by_name("Q888")).inference_power_watts()
+        assert p845 < p855 < p888
+
+    def test_dsp_power_below_cpu_power(self):
+        model = EnergyModel(device_by_name("Q845"))
+        assert model.inference_power_watts(Backend.SNPE_DSP) < \
+            model.inference_power_watts(Backend.CPU)
+
+    def test_energy_and_efficiency(self):
+        model = EnergyModel(device_by_name("Q845"))
+        energy = model.inference_energy_mj(latency_ms=10.0)
+        assert energy == pytest.approx(model.inference_power_watts() * 10.0)
+        assert model.efficiency_mflops_per_sw(flops=10_000_000, latency_ms=10.0) > 0
+        with pytest.raises(ValueError):
+            model.efficiency_mflops_per_sw(flops=1, latency_ms=0.0)
+
+
+class TestExecutor:
+    def test_run_produces_consistent_metrics(self, face_model):
+        result = Executor(device_by_name("Q845"), seed=1).run(face_model)
+        assert result.latency_ms > 0
+        assert result.energy_mj == pytest.approx(result.power_watts * result.latency_ms)
+        assert result.throughput_ips == pytest.approx(1000.0 / result.latency_ms)
+        assert result.flops == face_model.total_flops()
+
+    def test_results_are_reproducible_with_same_seed(self, face_model):
+        a = Executor(device_by_name("Q845"), seed=7).run(face_model)
+        b = Executor(device_by_name("Q845"), seed=7).run(face_model)
+        assert a.latency_ms == pytest.approx(b.latency_ms)
+
+    def test_device_tier_ordering(self, classifier):
+        """Fig. 9: low-tier slower than mid-tier slower than high-end."""
+        latencies = {
+            name: Executor(device_by_name(name), seed=0).run(classifier).latency_ms
+            for name in ("A20", "A70", "S21")
+        }
+        assert latencies["A20"] > latencies["A70"] > latencies["S21"]
+
+    def test_generation_ordering(self, classifier):
+        """Fig. 9: Q845 slower than Q855 slower than Q888."""
+        latencies = {
+            name: Executor(device_by_name(name), seed=0).run(classifier).latency_ms
+            for name in ("Q845", "Q855", "Q888")
+        }
+        assert latencies["Q845"] > latencies["Q855"] > latencies["Q888"]
+
+    def test_unsupported_backend_on_wrong_vendor(self, face_model):
+        executor = Executor(device_by_name("A20"))
+        with pytest.raises(UnsupportedModelError):
+            executor.run(face_model, Backend.SNPE_DSP)
+        assert not executor.supports(face_model, Backend.SNPE_DSP)
+
+    def test_unsupported_framework(self, face_model):
+        ncnn_model = face_model.with_metadata(framework="ncnn")
+        executor = Executor(device_by_name("Q845"))
+        with pytest.raises(UnsupportedModelError):
+            executor.run(ncnn_model, Backend.XNNPACK)
+
+    def test_recurrent_model_rejected_on_dsp(self):
+        executor = Executor(device_by_name("Q845"))
+        with pytest.raises(UnsupportedModelError):
+            executor.run(autocomplete_lstm(), Backend.SNPE_DSP)
+
+    def test_run_many_skips_unsupported(self, face_model):
+        executor = Executor(device_by_name("Q845"))
+        results = executor.run_many([face_model, autocomplete_lstm()], Backend.SNPE_DSP)
+        assert len(results) == 1
+
+    def test_batching_improves_throughput(self, face_model):
+        executor = Executor(device_by_name("S21"), seed=0)
+        single = executor.run(face_model, batch_size=1)
+        batched = executor.run(face_model, batch_size=10)
+        assert batched.throughput_ips > single.throughput_ips
+
+    def test_sustained_load_throttles_phones(self, classifier):
+        executor = Executor(device_by_name("A20"), seed=0)
+        cold = executor.run(classifier)
+        hot = executor.run(classifier, sustained_seconds=1800)
+        assert hot.latency_ms > cold.latency_ms
+
+    def test_quantized_model_faster_on_dsp_than_cpu(self, face_model):
+        executor = Executor(device_by_name("Q845"), seed=0)
+        quantized = quantize(face_model, QuantizationScheme.FULL_INT8)
+        cpu = executor.run(face_model, Backend.CPU)
+        dsp = executor.run(quantized, Backend.SNPE_DSP)
+        assert dsp.latency_ms < cpu.latency_ms
+
+    def test_invalid_arguments(self, face_model):
+        executor = Executor(device_by_name("Q845"))
+        with pytest.raises(ValueError):
+            executor.run(face_model, num_inferences=0)
+        with pytest.raises(ValueError):
+            executor.run(face_model, warmup=-1)
+
+
+class TestBackendComparisons:
+    """Sec. 6.3 (Figs. 13-14) qualitative orderings on the Q845 board."""
+
+    @pytest.fixture(scope="class")
+    def q845_results(self, face_model):
+        executor = Executor(device_by_name("Q845"), seed=0)
+        return {
+            backend: executor.run(face_model, backend)
+            for backend in (Backend.CPU, Backend.XNNPACK, Backend.NNAPI, Backend.GPU,
+                            Backend.SNPE_CPU, Backend.SNPE_GPU, Backend.SNPE_DSP)
+        }
+
+    def test_xnnpack_slightly_faster_than_cpu(self, q845_results):
+        assert q845_results[Backend.XNNPACK].latency_ms < q845_results[Backend.CPU].latency_ms
+
+    def test_nnapi_slower_than_cpu(self, q845_results):
+        assert q845_results[Backend.NNAPI].latency_ms > q845_results[Backend.CPU].latency_ms
+
+    def test_snpe_dsp_fastest_and_most_efficient(self, q845_results):
+        dsp = q845_results[Backend.SNPE_DSP]
+        assert dsp.latency_ms == min(r.latency_ms for r in q845_results.values())
+        assert dsp.efficiency_mflops_per_sw == max(
+            r.efficiency_mflops_per_sw for r in q845_results.values())
+
+    def test_snpe_gpu_faster_than_plain_gpu(self, q845_results):
+        assert q845_results[Backend.SNPE_GPU].latency_ms < q845_results[Backend.GPU].latency_ms
+
+    def test_gpu_faster_than_cpu(self, q845_results):
+        assert q845_results[Backend.GPU].latency_ms < q845_results[Backend.CPU].latency_ms

@@ -1,0 +1,77 @@
+"""Unit tests for the CPU scheduling model (the Fig. 12 effects)."""
+
+import pytest
+
+from repro.devices.device import device_by_name
+from repro.devices.scheduler import CpuScheduler, ThreadConfig
+
+
+class TestThreadConfig:
+    def test_labels(self):
+        assert ThreadConfig(4).label == "4"
+        assert ThreadConfig(4, 2).label == "4a2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(0)
+        with pytest.raises(ValueError):
+            ThreadConfig(2, 0)
+
+
+class TestOptimalThreadCounts:
+    """Sec. 6.2: 'A20, A70 and S21 performing better with 4, 2 and 4 threads'."""
+
+    @pytest.mark.parametrize("device_name,expected_best", [
+        ("A20", 4), ("A70", 2), ("S21", 4), ("Q845", 4), ("Q855", 4), ("Q888", 4),
+    ])
+    def test_best_plain_thread_count(self, device_name, expected_best):
+        scheduler = CpuScheduler(device_by_name(device_name).soc)
+        sweep = {t: scheduler.effective_gflops(ThreadConfig(t)) for t in (1, 2, 4, 8)}
+        assert max(sweep, key=sweep.get) == expected_best
+
+    @pytest.mark.parametrize("device_name", ["A20", "A70", "S21", "Q845", "Q855", "Q888"])
+    def test_eight_threads_degrade(self, device_name):
+        """'the 8-threaded performance drops significantly across devices'."""
+        scheduler = CpuScheduler(device_by_name(device_name).soc)
+        best_low = max(scheduler.effective_gflops(ThreadConfig(t)) for t in (2, 4))
+        assert scheduler.effective_gflops(ThreadConfig(8)) < best_low
+
+
+class TestAffinity:
+    @pytest.mark.parametrize("device_name", ["A20", "A70", "S21"])
+    def test_oversubscription_hurts(self, device_name):
+        """'4a2 and 8a4 result in significant performance degradation'."""
+        scheduler = CpuScheduler(device_by_name(device_name).soc)
+        assert scheduler.effective_gflops(ThreadConfig(4, 2)) < \
+            scheduler.effective_gflops(ThreadConfig(2))
+        assert scheduler.effective_gflops(ThreadConfig(8, 4)) < \
+            scheduler.effective_gflops(ThreadConfig(4))
+
+    @pytest.mark.parametrize("device_name", ["A20", "A70", "S21"])
+    def test_pinning_gives_no_gain(self, device_name):
+        """'setting the affinity to the same number of top cores does not yield gains'."""
+        scheduler = CpuScheduler(device_by_name(device_name).soc)
+        assert scheduler.effective_gflops(ThreadConfig(4, 4)) <= \
+            scheduler.effective_gflops(ThreadConfig(4))
+        assert scheduler.effective_gflops(ThreadConfig(2, 2)) <= \
+            scheduler.effective_gflops(ThreadConfig(2))
+
+
+class TestTuningHeadroom:
+    def test_best_configuration_worth_up_to_2x(self):
+        """Selecting the optimal thread count per device is worth a large factor
+        versus the worst naive choice (the paper reports up to ~2x)."""
+        for device_name in ("A20", "A70", "S21"):
+            scheduler = CpuScheduler(device_by_name(device_name).soc)
+            sweep = [scheduler.effective_gflops(ThreadConfig(t)) for t in (1, 2, 4, 8)]
+            assert max(sweep) / min(sweep) >= 1.5
+
+    def test_best_configuration_helper(self):
+        scheduler = CpuScheduler(device_by_name("A70").soc)
+        assert scheduler.best_configuration().threads == 2
+
+    def test_core_speeds_sorted(self):
+        scheduler = CpuScheduler(device_by_name("S21").soc)
+        speeds = scheduler.core_speeds()
+        assert speeds == sorted(speeds, reverse=True)
+        assert len(speeds) == 8

@@ -1,0 +1,129 @@
+"""Unit tests for tensor specs and deterministic weight tensors."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+
+
+class TestDType:
+    def test_bits(self):
+        assert DType.FLOAT32.bits == 32
+        assert DType.FLOAT16.bits == 16
+        assert DType.INT8.bits == 8
+
+    def test_bytes_per_element(self):
+        assert DType.FLOAT32.bytes_per_element == 4
+        assert DType.INT8.bytes_per_element == 1
+
+    def test_quantized_flags(self):
+        assert DType.INT8.is_quantized
+        assert DType.UINT8.is_quantized
+        assert not DType.FLOAT32.is_quantized
+        assert not DType.FLOAT16.is_quantized
+
+
+class TestTensorSpec:
+    def test_num_elements_and_size(self):
+        spec = TensorSpec((1, 224, 224, 3))
+        assert spec.num_elements == 224 * 224 * 3
+        assert spec.size_bytes == spec.num_elements * 4
+        assert spec.rank == 4
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec(())
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, 0, 3))
+
+    def test_with_batch(self):
+        spec = TensorSpec((1, 32, 32, 3))
+        batched = spec.with_batch(8)
+        assert batched.shape == (8, 32, 32, 3)
+        assert spec.shape[0] == 1
+
+    def test_with_batch_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, 3)).with_batch(0)
+
+    def test_dtype_coercion_from_string(self):
+        spec = TensorSpec((4,), "int8")
+        assert spec.dtype is DType.INT8
+
+
+class TestWeightTensor:
+    def test_determinism(self):
+        a = WeightTensor((64, 64), seed=3)
+        b = WeightTensor((64, 64), seed=3)
+        assert a.checksum() == b.checksum()
+        assert np.array_equal(a.materialize(), b.materialize())
+
+    def test_different_seeds_differ(self):
+        a = WeightTensor((64, 64), seed=3)
+        b = WeightTensor((64, 64), seed=4)
+        assert a.checksum() != b.checksum()
+
+    def test_different_shapes_differ(self):
+        a = WeightTensor((64, 64), seed=3)
+        b = WeightTensor((64, 65), seed=3)
+        assert a.checksum() != b.checksum()
+
+    def test_materialize_bounded(self):
+        tensor = WeightTensor((1024, 1024), seed=0)
+        sample = tensor.materialize()
+        assert sample.size <= 1024
+        assert tensor.num_parameters == 1024 * 1024
+
+    def test_materialize_respects_max_values(self):
+        tensor = WeightTensor((100,), seed=0)
+        assert tensor.materialize(max_values=10).size == 10
+
+    def test_sparsity_measured(self):
+        dense = WeightTensor((512,), seed=1, sparsity=0.0)
+        sparse = WeightTensor((512,), seed=1, sparsity=0.5)
+        assert dense.measured_sparsity() < 0.05
+        assert sparse.measured_sparsity() == pytest.approx(0.5, abs=0.05)
+
+    def test_sparsity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTensor((4,), sparsity=1.0)
+        with pytest.raises(ValueError):
+            WeightTensor((4,), sparsity=-0.1)
+
+    def test_quantized_materialization(self):
+        tensor = WeightTensor((256,), seed=2, dtype=DType.INT8)
+        sample = tensor.materialize()
+        assert sample.dtype == np.int8
+        assert sample.min() >= -128 and sample.max() <= 127
+
+    def test_float16_materialization(self):
+        tensor = WeightTensor((64,), seed=2, dtype=DType.FLOAT16)
+        assert tensor.materialize().dtype == np.float16
+
+    def test_size_bytes_reflects_dtype(self):
+        fp32 = WeightTensor((100,), dtype=DType.FLOAT32)
+        int8 = fp32.with_dtype(DType.INT8)
+        assert fp32.size_bytes == 400
+        assert int8.size_bytes == 100
+
+    def test_with_seed_and_sparsity_copies(self):
+        tensor = WeightTensor((8, 8), seed=1, name="conv/kernel")
+        reseeded = tensor.with_seed(5)
+        assert reseeded.seed == 5
+        assert reseeded.shape == tensor.shape
+        assert reseeded.name == tensor.name
+        sparser = tensor.with_sparsity(0.3)
+        assert sparser.sparsity == pytest.approx(0.3)
+
+    def test_to_bytes_embeds_shape(self):
+        a = WeightTensor((2, 3), seed=0).to_bytes()
+        b = WeightTensor((3, 2), seed=0).to_bytes()
+        assert a != b
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            WeightTensor(())
+        with pytest.raises(ValueError):
+            WeightTensor((0, 3))

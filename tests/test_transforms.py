@@ -1,0 +1,139 @@
+"""Unit tests for model transformation passes: quantisation, pruning, clustering, fine-tuning."""
+
+import pytest
+
+from repro.dnn.clustering import CLUSTER_PREFIX, cluster, clustering_report
+from repro.dnn.finetune import finetune_last_layers
+from repro.dnn.layers import OpType
+from repro.dnn.pruning import PRUNE_PREFIX, measure_sparsity, prune, pruning_report
+from repro.dnn.quantization import QuantizationScheme, quantization_report, quantize
+from repro.dnn.tensor import DType
+from repro.dnn.zoo import blazeface, mobilenet_v1
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return blazeface(weight_seed=11)
+
+
+class TestQuantization:
+    def test_full_int8_adds_dequantize_and_int8(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.FULL_INT8)
+        report = quantization_report(quantized)
+        assert report.has_dequantize_layer
+        assert report.int8_weight_fraction == pytest.approx(1.0)
+        assert report.int8_activation_fraction == pytest.approx(1.0)
+
+    def test_weight_only_has_no_dequantize(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.WEIGHT_ONLY)
+        report = quantization_report(quantized)
+        assert not report.has_dequantize_layer
+        assert report.uses_int8_weights
+        assert not report.uses_int8_activations
+
+    def test_dynamic_range_keeps_float_activations(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.DYNAMIC_RANGE)
+        report = quantization_report(quantized)
+        assert report.uses_int8_weights
+        assert not report.uses_int8_activations
+        assert report.has_dequantize_layer
+
+    def test_float16_halves_model_size(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.FLOAT16)
+        assert quantized.model_size_bytes() == pytest.approx(
+            base_graph.model_size_bytes() / 2, rel=0.01)
+
+    def test_a16w8_hybrid_scheme(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.A16W8)
+        dtypes = {layer.activation_dtype for layer in quantized.layers if layer.is_compute}
+        assert dtypes == {DType.INT16}
+
+    def test_quantization_preserves_structure(self, base_graph):
+        quantized = quantize(base_graph, QuantizationScheme.FULL_INT8)
+        # Same layers plus the appended dequantize output nodes.
+        assert quantized.num_layers >= base_graph.num_layers
+        assert quantized.total_parameters() == base_graph.total_parameters()
+
+    def test_unquantized_report_is_clean(self, base_graph):
+        report = quantization_report(base_graph)
+        assert not report.has_dequantize_layer
+        assert report.int8_weight_fraction == 0.0
+
+
+class TestPruning:
+    def test_prune_prefix_added(self, base_graph):
+        pruned = prune(base_graph, sparsity=0.5)
+        report = pruning_report(pruned)
+        assert report.has_prune_prefix
+        assert report.pruned_layer_count > 0
+
+    def test_prune_increases_measured_sparsity(self, base_graph):
+        pruned = prune(base_graph, sparsity=0.6)
+        assert measure_sparsity(pruned) > measure_sparsity(base_graph) + 0.4
+
+    def test_prune_without_prefix(self, base_graph):
+        pruned = prune(base_graph, sparsity=0.5, keep_prefix=False)
+        assert not pruning_report(pruned).has_prune_prefix
+
+    def test_prune_rejects_bad_sparsity(self, base_graph):
+        with pytest.raises(ValueError):
+            prune(base_graph, sparsity=1.0)
+
+    def test_pruned_graph_references_remain_valid(self, base_graph):
+        pruned = prune(base_graph, sparsity=0.5)
+        names = {layer.name for layer in pruned.layers}
+        for layer in pruned.layers:
+            for dep in layer.inputs:
+                assert dep in names or dep.startswith("input_")
+
+    def test_unpruned_sparsity_is_low(self, base_graph):
+        assert measure_sparsity(base_graph) < 0.05
+
+
+class TestClustering:
+    def test_cluster_prefix_and_report(self, base_graph):
+        clustered = cluster(base_graph, num_clusters=32)
+        report = clustering_report(clustered)
+        assert report.has_cluster_prefix
+        assert report.num_clusters == 32
+
+    def test_clustering_does_not_change_size(self, base_graph):
+        clustered = cluster(base_graph, num_clusters=16)
+        assert clustered.model_size_bytes() == base_graph.model_size_bytes()
+        assert clustered.total_flops() == base_graph.total_flops()
+
+    def test_cluster_rejects_too_few_clusters(self, base_graph):
+        with pytest.raises(ValueError):
+            cluster(base_graph, num_clusters=1)
+
+    def test_clean_graph_has_no_cluster_traces(self, base_graph):
+        assert not clustering_report(base_graph).has_cluster_prefix
+
+    def test_prefixes_not_double_applied(self, base_graph):
+        twice = cluster(cluster(base_graph))
+        assert not any(layer.name.startswith(CLUSTER_PREFIX * 2) for layer in twice.layers)
+
+
+class TestFinetuning:
+    def test_finetune_changes_only_last_layers(self):
+        base = mobilenet_v1(weight_seed=5)
+        derived = finetune_last_layers(base, num_layers=2)
+        assert derived.differing_layer_count(base) == 2
+        assert derived.shared_weight_fraction(base) > 0.2
+
+    def test_finetune_requires_weighted_layers(self):
+        base = mobilenet_v1(weight_seed=5)
+        with pytest.raises(ValueError):
+            finetune_last_layers(base, num_layers=0)
+
+    def test_finetune_records_provenance(self):
+        base = blazeface(weight_seed=5)
+        derived = finetune_last_layers(base, num_layers=1, name="custom_face")
+        assert derived.name == "custom_face"
+        assert derived.metadata.extra["finetuned_from"] == base.name
+
+    def test_distinct_offsets_produce_distinct_models(self):
+        base = blazeface(weight_seed=5)
+        one = finetune_last_layers(base, num_layers=2, seed_offset=1)
+        two = finetune_last_layers(base, num_layers=2, seed_offset=2)
+        assert one.weights_checksum() != two.weights_checksum()

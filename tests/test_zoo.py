@@ -1,0 +1,162 @@
+"""Unit tests for the model zoo architectures and catalogue."""
+
+import pytest
+
+from repro.dnn.graph import Modality
+from repro.dnn.layers import LayerCategory, OpType
+from repro.dnn.zoo import (
+    autocomplete_lstm,
+    blazeface,
+    crash_detection,
+    deeplab_lite,
+    fssd,
+    keyword_spotting,
+    mobilenet_v1,
+    mobilenet_v2,
+    movement_tracking,
+    ocr_crnn,
+    pose_estimation,
+    sound_recognition,
+    speech_recognition,
+    ssd_mobilenet,
+    style_transfer,
+    unet_lite,
+)
+from repro.dnn.zoo.catalog import CATALOG, TASK_WEIGHTS, architectures_for_task, build
+
+
+class TestMobileNet:
+    def test_v1_parameter_count_matches_reference(self):
+        graph = mobilenet_v1(alpha=1.0, resolution=224, num_classes=1000)
+        assert graph.total_parameters() == pytest.approx(4.2e6, rel=0.05)
+
+    def test_v1_macs_match_reference(self):
+        graph = mobilenet_v1(alpha=1.0, resolution=224)
+        assert graph.total_macs() == pytest.approx(569e6, rel=0.1)
+
+    def test_width_multiplier_shrinks_model(self):
+        full = mobilenet_v1(alpha=1.0)
+        slim = mobilenet_v1(alpha=0.5)
+        assert slim.total_parameters() < full.total_parameters()
+        assert slim.total_flops() < full.total_flops()
+
+    def test_resolution_changes_flops_not_parameters(self):
+        big = mobilenet_v1(resolution=224)
+        small = mobilenet_v1(resolution=128)
+        assert small.total_flops() < big.total_flops()
+        assert small.total_parameters() == big.total_parameters()
+
+    def test_v2_uses_inverted_residuals(self):
+        graph = mobilenet_v2()
+        assert any(layer.op == OpType.ADD for layer in graph.layers)
+        assert graph.total_parameters() == pytest.approx(3.5e6, rel=0.25)
+
+    def test_depthwise_layers_present(self):
+        counts = mobilenet_v1().layer_category_counts()
+        assert counts[LayerCategory.DEPTH_CONV] == 13
+
+
+class TestDetectors:
+    def test_fssd_has_detection_postprocess(self):
+        graph = fssd()
+        assert any(layer.op == OpType.DETECTION_POSTPROCESS for layer in graph.layers)
+        assert graph.modality is Modality.IMAGE
+
+    def test_ssd_mobilenet_builds(self):
+        graph = ssd_mobilenet(resolution=192, alpha=0.75)
+        assert graph.total_flops() > 0
+
+    def test_blazeface_is_small_and_fast(self):
+        graph = blazeface()
+        assert graph.total_parameters() < 1e6
+        assert graph.total_flops() < 3e8
+
+    def test_detectors_are_acyclic(self):
+        assert fssd().is_acyclic()
+        assert blazeface().is_acyclic()
+
+
+class TestSegmentationAndVision:
+    def test_unet_output_is_dense(self):
+        graph = unet_lite(resolution=128, base_filters=16, depth=3)
+        (spec,) = graph.output_specs()
+        assert spec.shape[1] == 128 and spec.shape[2] == 128
+
+    def test_deeplab_builds(self):
+        graph = deeplab_lite(resolution=129, alpha=0.5)
+        assert graph.total_flops() > 0
+
+    def test_segmentation_is_heavier_than_detection(self):
+        assert unet_lite().total_flops() > blazeface().total_flops()
+
+    def test_ocr_uses_recurrent_layers(self):
+        graph = ocr_crnn()
+        ops = {layer.op for layer in graph.layers}
+        assert OpType.LSTM in ops
+
+    def test_pose_and_style(self):
+        assert pose_estimation().total_parameters() > 0
+        assert style_transfer().total_flops() > 1e9
+
+
+class TestTextAudioSensor:
+    def test_autocomplete_modality_and_output(self):
+        graph = autocomplete_lstm(vocab_size=5000)
+        assert graph.modality is Modality.TEXT
+        (spec,) = graph.output_specs()
+        assert spec.shape[-1] == 5000
+
+    def test_sound_recognition_modality(self):
+        assert sound_recognition().modality is Modality.AUDIO
+
+    def test_speech_recognition_has_lstm_stack(self):
+        graph = speech_recognition()
+        lstm_layers = [l for l in graph.layers if l.op == OpType.LSTM]
+        assert len(lstm_layers) == 3
+
+    def test_keyword_spotting_is_tiny(self):
+        assert keyword_spotting().total_parameters() < 1e5
+
+    def test_sensor_models(self):
+        assert movement_tracking().modality is Modality.SENSOR
+        assert crash_detection().modality is Modality.SENSOR
+
+
+class TestCatalog:
+    def test_catalog_covers_all_table3_tasks(self):
+        catalogue_tasks = {entry.task for entry in CATALOG}
+        assert set(TASK_WEIGHTS) == catalogue_tasks
+
+    def test_architectures_for_task(self):
+        entries = architectures_for_task("object detection")
+        assert len(entries) >= 2
+        with pytest.raises(KeyError):
+            architectures_for_task("no-such-task")
+
+    def test_every_entry_builds(self):
+        for entry in CATALOG:
+            graph = build(entry, weight_seed=3)
+            assert graph.total_parameters() > 0
+            assert graph.metadata.task == entry.task
+
+    def test_variants_differ(self):
+        entry = architectures_for_task("object detection")[0]
+        variants = sorted(entry.size_variants)
+        if len(variants) >= 2:
+            a = build(entry, variant=variants[0])
+            b = build(entry, variant=variants[1])
+            assert a.total_flops() != b.total_flops()
+
+    def test_unknown_variant_rejected(self):
+        entry = CATALOG[0]
+        with pytest.raises(KeyError):
+            build(entry, variant="definitely-not-a-variant")
+
+    def test_build_respects_framework_and_seed(self):
+        entry = architectures_for_task("face detection")[0]
+        a = build(entry, framework="caffe", weight_seed=1)
+        b = build(entry, framework="caffe", weight_seed=1)
+        c = build(entry, framework="caffe", weight_seed=2)
+        assert a.framework == "caffe"
+        assert a.weights_checksum() == b.weights_checksum()
+        assert a.weights_checksum() != c.weights_checksum()
