@@ -8,6 +8,13 @@ to ``benchmarks/results/`` so they can be compared against the paper's values
 The store snapshots are generated at ``REPRO_BENCH_SCALE`` (default 0.15) of
 the paper's dataset size so the whole suite completes in minutes; set the
 environment variable to 1.0 to regenerate at full scale.
+
+``REPRO_BENCH_SCALE`` also parameterises the perf baseline written by
+``test_bench_sweep.py``: the timings and speedups recorded in
+``BENCH_sweep.json`` scale with the snapshot size (more models = more cache
+reuse, so larger scales report *higher* cached-vs-seed speedups).  Compare
+baselines across PRs only at the same scale — the recorded ``scale`` field
+makes mismatches detectable.
 """
 
 from __future__ import annotations

@@ -1,0 +1,202 @@
+"""Perf baseline for the cached accounting + vectorised sweep subsystem.
+
+Unlike the figure/table benchmarks, this module tracks the *performance
+trajectory* of the reproduction itself: it times zoo-wide latency evaluation,
+snapshot uniqueness analysis and a parallel fleet sweep, compares the cached +
+vectorised hot paths against seed behaviour (cold objects that recompute every
+derived quantity, as the code did before the caching layer existed), verifies
+the numbers are unchanged, and records the measurements in a machine-readable
+``BENCH_sweep.json`` at the repository root so future PRs can detect
+regressions against this baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import pytest
+from conftest import BENCH_SCALE, write_result
+
+from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
+from repro.devices.device import DEVICE_FLEET
+from repro.dnn.graph import Graph
+from repro.dnn.layers import Layer
+from repro.dnn.tensor import TensorSpec, WeightTensor
+from repro.runtime import Backend, Executor, SweepRunner, SweepSpec
+
+#: Where the machine-readable baseline lands (repo root, BENCH_* trajectory).
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Speedup the cached + vectorised implementation must sustain over seed
+#: behaviour on the zoo-wide sweep microbenchmark (acceptance criterion).
+MIN_SWEEP_SPEEDUP = 5.0
+
+#: Module-level accumulator; the final test writes it out as JSON.
+RESULTS: dict = {}
+
+
+def cold_copy(graph: Graph) -> Graph:
+    """Rebuild a graph with fresh layers/tensors, i.e. every cache cold.
+
+    Running a hot path over a cold copy reproduces the seed implementation's
+    behaviour, which re-derived aggregates, samples and checksums on every
+    call instead of memoising them.
+    """
+    layers = [
+        Layer(
+            name=layer.name,
+            op=layer.op,
+            inputs=layer.inputs,
+            output_spec=TensorSpec(layer.output_spec.shape, layer.output_spec.dtype)
+            if layer.output_spec else None,
+            weights=tuple(
+                WeightTensor(w.shape, w.dtype, w.seed, w.sparsity, w.name)
+                for w in layer.weights
+            ),
+            attrs=dict(layer.attrs),
+            activation_dtype=layer.activation_dtype,
+            fused_activation=layer.fused_activation,
+        )
+        for layer in graph.layers
+    ]
+    return Graph(graph.metadata, graph.input_specs, layers)
+
+
+def _fleet_cpu_sweep(zoos) -> list:
+    """One CPU pass of every device of the fleet over its zoo copy."""
+    results = []
+    for device, zoo in zip(DEVICE_FLEET, zoos):
+        executor = Executor(device, seed=0)
+        results.extend(executor.run_many(zoo, Backend.CPU, num_inferences=3))
+    return results
+
+
+def test_bench_zoo_latency_sweep(benchmark, unique_graphs):
+    """Zoo-wide fleet latency sweep: cached + vectorised vs. seed behaviour."""
+    warm_zoos = [list(unique_graphs)] * len(DEVICE_FLEET)
+    warm_results = _fleet_cpu_sweep(warm_zoos)  # populate every cache
+    warm_start = time.perf_counter()
+    _fleet_cpu_sweep(warm_zoos)
+    warm_seconds = time.perf_counter() - warm_start
+
+    # Seed behaviour: every device pass recomputes everything from scratch.
+    cold_zoos = [[cold_copy(g) for g in unique_graphs] for _ in DEVICE_FLEET]
+    cold_start = time.perf_counter()
+    cold_results = _fleet_cpu_sweep(cold_zoos)
+    cold_seconds = time.perf_counter() - cold_start
+
+    # The caches must not change any number: identical accounting, identical
+    # noise draws (same executor seeds), so identical ExecutionResults up to
+    # float summation order in the vectorised roofline.
+    assert len(cold_results) == len(warm_results)
+    for cold, warm in zip(cold_results, warm_results):
+        assert cold.model_name == warm.model_name
+        assert cold.flops == warm.flops
+        assert cold.parameters == warm.parameters
+        assert cold.peak_memory_bytes == warm.peak_memory_bytes
+        assert cold.latency_ms == pytest.approx(warm.latency_ms, rel=1e-9)
+        assert cold.energy_mj == pytest.approx(warm.energy_mj, rel=1e-9)
+
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= MIN_SWEEP_SPEEDUP
+    RESULTS["zoo_latency_sweep"] = {
+        "models": len(unique_graphs),
+        "devices": len(DEVICE_FLEET),
+        "seed_seconds": cold_seconds,
+        "cached_seconds": warm_seconds,
+        "speedup": speedup,
+        "results_identical": True,
+    }
+    benchmark(_fleet_cpu_sweep, warm_zoos)
+
+
+def test_bench_uniqueness_cached(benchmark, analysis_2021):
+    """Sec. 4.5 uniqueness + fine-tuning analyses with cached checksums."""
+    def analyses(models):
+        return (analyze_uniqueness(models), analyze_finetuning(models))
+
+    warm_uniq, warm_fine = analyses(analysis_2021.models)  # populate caches
+    warm_start = time.perf_counter()
+    analyses(analysis_2021.models)
+    warm_seconds = time.perf_counter() - warm_start
+
+    cold_models = [
+        dataclasses.replace(record, graph=cold_copy(record.graph))
+        for record in analysis_2021.models
+    ]
+    cold_start = time.perf_counter()
+    cold_uniq, cold_fine = analyses(cold_models)
+    cold_seconds = time.perf_counter() - cold_start
+
+    assert cold_uniq == warm_uniq
+    assert cold_fine == warm_fine
+
+    RESULTS["uniqueness_analysis"] = {
+        "model_instances": len(analysis_2021.models),
+        "seed_seconds": cold_seconds,
+        "cached_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "reports_identical": True,
+    }
+    benchmark(analyses, analysis_2021.models)
+
+
+def test_bench_parallel_fleet_sweep(benchmark, unique_graphs):
+    """SweepRunner: pruned parallel fan-out vs. single-worker execution."""
+    spec = SweepSpec(
+        devices=tuple(DEVICE_FLEET),
+        graphs=tuple(unique_graphs),
+        backends=(Backend.CPU, Backend.XNNPACK, Backend.GPU),
+        batch_sizes=(1,),
+        num_inferences=3,
+        seed=0,
+    )
+    runner = SweepRunner(spec, max_workers=4)
+    jobs = runner.compatible_jobs()
+
+    serial = SweepRunner(spec, max_workers=1)
+    serial_start = time.perf_counter()
+    serial_results = serial.run()
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel_results = runner.run()
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    assert parallel_results == serial_results  # worker-count independent
+
+    RESULTS["parallel_fleet_sweep"] = {
+        "combinations": spec.num_combinations,
+        "runnable_after_pruning": len(jobs),
+        "results": len(parallel_results),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": 4,
+        "deterministic_across_workers": True,
+    }
+    benchmark(runner.run)
+
+
+def test_write_sweep_baseline():
+    """Persist the measured baseline to BENCH_sweep.json and a results table."""
+    if not RESULTS:  # pragma: no cover - only when run in isolation
+        pytest.skip("timing tests of this module did not run")
+    payload = {
+        "benchmark": "sweep_perf_baseline",
+        "scale": BENCH_SCALE,
+        "min_required_sweep_speedup": MIN_SWEEP_SPEEDUP,
+        **RESULTS,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"Perf baseline (scale {BENCH_SCALE}):"]
+    for name, entry in RESULTS.items():
+        fields = ", ".join(f"{key}={value:.4g}" if isinstance(value, float)
+                           else f"{key}={value}" for key, value in entry.items())
+        lines.append(f"{name}: {fields}")
+    write_result("bench_sweep_baseline", lines)
+
+    assert RESULTS["zoo_latency_sweep"]["speedup"] >= MIN_SWEEP_SPEEDUP

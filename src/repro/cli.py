@@ -5,7 +5,9 @@ Four subcommands mirror the paper's workflow:
 * ``census``    — generate a synthetic snapshot and run the offline analysis
                   (Tables 2-3, Fig. 4, Sec. 4.5/6.1 statistics).
 * ``benchmark`` — run the unique models of a snapshot across the device fleet
-                  (Figs. 8-10).
+                  (Figs. 8-10), fanned out on the parallel sweep runner.
+* ``sweep``     — full declarative device x backend x batch x thread sweep
+                  with upfront compatibility pruning (Sec. 6.2/6.3 style).
 * ``scenarios`` — scenario-driven energy costs on the Qualcomm boards (Table 4).
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
@@ -13,7 +15,8 @@ Four subcommands mirror the paper's workflow:
 Example::
 
     python -m repro.cli census --scale 0.05
-    python -m repro.cli benchmark --scale 0.05 --devices A20 S21
+    python -m repro.cli benchmark --scale 0.05 --devices A20 S21 --workers 4
+    python -m repro.cli sweep --scale 0.02 --backends cpu xnnpack --batches 1 8
 """
 
 from __future__ import annotations
@@ -33,7 +36,8 @@ from repro.core.scenarios import STANDARD_SCENARIOS, run_scenario, summarize
 from repro.core.temporal import compare_snapshots
 from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
-from repro.runtime import Backend, Executor
+from repro.devices.scheduler import ThreadConfig
+from repro.runtime import Backend, SweepRunner, SweepSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -96,26 +100,95 @@ def cmd_census(args: argparse.Namespace) -> int:
 def cmd_benchmark(args: argparse.Namespace) -> int:
     """Fleet-wide latency/energy benchmark of the unique models."""
     analysis = _analysis_for(args.scale, args.snapshot)
-    graphs = GaugeNN.unique_graphs(analysis)
     device_names = args.devices or [device.name for device in DEVICE_FLEET]
     backend = Backend(args.backend)
 
-    print(f"benchmarking {len(graphs)} unique models on {device_names} ({backend.value})")
-    results_by_device = {}
-    for name in device_names:
-        executor = Executor(device_by_name(name), seed=0)
-        results_by_device[name] = executor.run_many(graphs, backend,
-                                                    num_inferences=args.inferences)
+    print(f"benchmarking {analysis.unique_models} unique models on "
+          f"{device_names} ({backend.value})")
+    results = GaugeNN.benchmark_unique_models(
+        analysis,
+        [device_by_name(name) for name in device_names],
+        backends=(backend,),
+        num_inferences=args.inferences,
+        max_workers=args.workers,
+    )
+    results_by_device = {name: [] for name in device_names}
+    for result in results:
+        results_by_device[result.device_name].append(result)
 
     print(f"\n{'device':<8}{'models':>7}{'mean ms':>10}{'median ms':>12}{'median mJ':>12}")
-    for name, results in results_by_device.items():
-        if not results:
+    for name, device_results in results_by_device.items():
+        if not device_results:
             print(f"{name:<8}{0:>7}")
             continue
-        latencies = [r.latency_ms for r in results]
-        energies = [r.energy_mj for r in results]
-        print(f"{name:<8}{len(results):>7}{np.mean(latencies):>10.1f}"
+        latencies = [r.latency_ms for r in device_results]
+        energies = [r.energy_mj for r in device_results]
+        print(f"{name:<8}{len(device_results):>7}{np.mean(latencies):>10.1f}"
               f"{np.median(latencies):>12.1f}{np.median(energies):>12.1f}")
+    return 0
+
+
+def _parse_thread_config(label: str) -> Optional[ThreadConfig]:
+    """Parse a Fig. 12-style thread label: ``auto``, ``4`` or ``4a2``.
+
+    Used as an argparse ``type``, so a malformed label becomes a clean usage
+    error instead of a traceback.
+    """
+    try:
+        if label == "auto":
+            return None
+        if "a" in label:
+            threads, affinity = label.split("a", 1)
+            return ThreadConfig(threads=int(threads), affinity=int(affinity))
+        return ThreadConfig(threads=int(label))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid thread config {label!r} (expected auto, 4 or 4a2)")
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return parsed
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Full declarative fleet sweep with compatibility pruning."""
+    analysis = _analysis_for(args.scale, args.snapshot)
+    graphs = GaugeNN.unique_graphs(analysis)
+    device_names = args.devices or [device.name for device in DEVICE_FLEET]
+    spec = SweepSpec(
+        devices=tuple(device_by_name(name) for name in device_names),
+        graphs=tuple(graphs),
+        backends=tuple(Backend(b) for b in args.backends),
+        batch_sizes=tuple(args.batches),
+        thread_configs=tuple(args.threads),
+        num_inferences=args.inferences,
+        seed=args.seed,
+    )
+    runner = SweepRunner(spec, max_workers=args.workers)
+    jobs = runner.compatible_jobs()
+    print(f"sweep: {spec.num_combinations} combinations, "
+          f"{len(jobs)} runnable after pruning "
+          f"({len(graphs)} models x {len(device_names)} devices x "
+          f"{len(spec.backends)} backends x {len(spec.batch_sizes)} batches x "
+          f"{len(spec.thread_configs)} thread configs)")
+    results = runner.run()
+
+    grouped = {}
+    for result in results:
+        key = (result.device_name, result.backend.value, result.batch_size,
+               result.thread_label)
+        grouped.setdefault(key, []).append(result)
+    print(f"\n{'device':<8}{'backend':<10}{'batch':>6}{'threads':>9}"
+          f"{'models':>8}{'mean ms':>10}{'median mJ':>12}")
+    for (device, backend, batch, threads), group in sorted(grouped.items()):
+        latencies = [r.latency_ms for r in group]
+        energies = [r.energy_mj for r in group]
+        print(f"{device:<8}{backend:<10}{batch:>6}{threads:>9}"
+              f"{len(group):>8}{np.mean(latencies):>10.1f}"
+              f"{np.median(energies):>12.1f}")
     return 0
 
 
@@ -183,7 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[backend.value for backend in Backend])
     bench.add_argument("--inferences", type=int, default=3,
                        help="measured inferences per model")
+    bench.add_argument("--workers", type=_positive_int, default=None,
+                       help="sweep worker threads (default: one per job, capped "
+                            "at the CPU count)")
     bench.set_defaults(func=cmd_benchmark)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="declarative device x backend x batch x thread sweep")
+    add_common(sweep)
+    sweep.add_argument("--devices", nargs="*", default=None,
+                       choices=[device.name for device in DEVICE_FLEET],
+                       help="devices to sweep (default: whole fleet)")
+    sweep.add_argument("--backends", nargs="*",
+                       default=[Backend.CPU.value],
+                       choices=[backend.value for backend in Backend])
+    sweep.add_argument("--batches", nargs="*", type=_positive_int, default=[1])
+    sweep.add_argument("--threads", nargs="*", type=_parse_thread_config,
+                       default=[None],
+                       help="thread configs: auto, a count (4) or count+affinity (4a2)")
+    sweep.add_argument("--inferences", type=_positive_int, default=3)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed for the deterministic per-job seeds")
+    sweep.add_argument("--workers", type=_positive_int, default=None)
+    sweep.set_defaults(func=cmd_sweep)
 
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)

@@ -21,7 +21,7 @@ from repro.devices.scheduler import ThreadConfig
 from repro.devices.usb_control import UsbSwitch
 from repro.dnn.graph import Graph
 from repro.runtime.backends import Backend
-from repro.runtime.executor import ExecutionResult, Executor, UnsupportedModelError
+from repro.runtime.executor import ExecutionResult, Executor
 
 __all__ = ["BenchmarkJob", "BenchmarkRecord", "DeviceBenchmarker"]
 
@@ -126,16 +126,26 @@ class DeviceBenchmarker:
             workflow_events=tuple(self.events),
         )
 
+    def run_jobs(self, jobs: Iterable[BenchmarkJob]) -> list[BenchmarkRecord]:
+        """Run a batch of jobs, pruning incompatible ones up front.
+
+        The cheap compatibility precheck happens *before* the Fig. 3 workflow
+        starts, so an unsupported combination never pushes dependencies, cuts
+        USB power or records a partial event trail.
+        """
+        records = []
+        for job in jobs:
+            if not self.executor.supports(job.graph, job.backend):
+                continue
+            records.append(self.run_job(job))
+        return records
+
     def run_suite(self, graphs: Iterable[Graph], *, backend: Backend = Backend.CPU,
                   batch_size: int = 1, threads: Optional[ThreadConfig] = None,
                   num_inferences: int = 10) -> list[BenchmarkRecord]:
         """Benchmark every compatible model of a collection."""
-        records = []
-        for graph in graphs:
-            job = BenchmarkJob(graph=graph, backend=backend, batch_size=batch_size,
-                               threads=threads, num_inferences=num_inferences)
-            try:
-                records.append(self.run_job(job))
-            except UnsupportedModelError:
-                continue
-        return records
+        return self.run_jobs(
+            BenchmarkJob(graph=graph, backend=backend, batch_size=batch_size,
+                         threads=threads, num_inferences=num_inferences)
+            for graph in graphs
+        )

@@ -16,7 +16,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.android.playstore import PlayStore
 from repro.core.app_analysis import AppAnalyzer
@@ -25,6 +25,11 @@ from repro.core.extractor import ModelExtractor
 from repro.core.model_analysis import ModelAnalyzer
 from repro.core.records import AppRecord, ModelRecord, SnapshotAnalysis
 from repro.core.validator import ModelValidator
+from repro.devices.device import Device
+from repro.devices.scheduler import ThreadConfig
+from repro.runtime.backends import Backend
+from repro.runtime.executor import ExecutionResult
+from repro.runtime.sweep import SweepRunner, SweepSpec
 
 __all__ = ["PipelineConfig", "GaugeNN"]
 
@@ -121,3 +126,36 @@ class GaugeNN:
             (record.graph, record.task)
             for record in analysis.unique_model_records()
         ]
+
+    @staticmethod
+    def benchmark_unique_models(
+        analysis: SnapshotAnalysis,
+        devices: Sequence[Device],
+        *,
+        backends: Sequence[Backend | str] = (Backend.CPU,),
+        batch_sizes: Sequence[int] = (1,),
+        thread_configs: Sequence[Optional[ThreadConfig]] = (None,),
+        num_inferences: int = 10,
+        warmup: int = 2,
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+        on_result: Optional[Callable[[ExecutionResult], None]] = None,
+    ) -> list[ExecutionResult]:
+        """Benchmark a snapshot's unique models across the fleet (Sec. 3.3).
+
+        Expands devices x models x backends x batches x thread configs into a
+        :class:`~repro.runtime.sweep.SweepSpec`, prunes incompatible
+        combinations, and fans the jobs out on a worker pool with
+        deterministic per-job seeds — same results for any ``max_workers``.
+        """
+        spec = SweepSpec(
+            devices=tuple(devices),
+            graphs=tuple(GaugeNN.unique_graphs(analysis)),
+            backends=tuple(backends),
+            batch_sizes=tuple(batch_sizes),
+            thread_configs=tuple(thread_configs),
+            num_inferences=num_inferences,
+            warmup=warmup,
+            seed=seed,
+        )
+        return SweepRunner(spec, max_workers=max_workers).run(on_result=on_result)

@@ -108,7 +108,9 @@ def analyze_finetuning(models: Sequence[ModelRecord], *, share_threshold: float 
         unique.setdefault(record.checksum, record)
     records = list(unique.values())
 
-    # Pre-compute per-layer checksums once per unique model.
+    # Pre-compute per-layer checksums once per unique model.  The checksums
+    # themselves are memoised on the graphs, so this is the only place the md5
+    # work can happen — repeated analyses over the same snapshot are free.
     layer_maps = [record.graph.layer_checksums() for record in records]
     layer_sets = [frozenset(layer_map.values()) for layer_map in layer_maps]
     parameters = [
@@ -122,15 +124,21 @@ def analyze_finetuning(models: Sequence[ModelRecord], *, share_threshold: float 
         own_params = sum(parameters[i].values())
         if own_params == 0:
             continue
+        own_set = layer_sets[i]
+        own_items = list(layer_maps[i].items())
         best_share = 0.0
         min_diff = None
         for j, other in enumerate(records):
             if i == j:
                 continue
             other_set = layer_sets[j]
+            # Disjoint checksum sets cannot share any weights; skip the
+            # parameter-weighted sum for the overwhelmingly common case.
+            if own_set.isdisjoint(other_set):
+                continue
             shared_params = sum(
                 parameters[i][name]
-                for name, checksum in layer_maps[i].items()
+                for name, checksum in own_items
                 if checksum in other_set
             )
             share = shared_params / own_params

@@ -6,6 +6,13 @@ them, the input/output tensor specifications and framework metadata.  It
 offers the aggregate quantities the paper reports per model — total FLOPs,
 total parameters, layer-category composition (Fig. 6), model size — plus the
 checksums used for the uniqueness and fine-tuning analyses (Sec. 4.5).
+
+Aggregates and checksums are memoised on the graph: they are pure functions of
+the layer set, so they are computed once and invalidated only by
+:meth:`Graph.add_layer`.  :meth:`Graph.cost_arrays` additionally exposes the
+per-layer cost columns (FLOPs, weight parameters, output elements) as NumPy
+arrays, which lets :class:`~repro.runtime.latency_model.LatencyModel` evaluate
+a whole graph as a handful of vectorised array ops instead of a Python loop.
 """
 
 from __future__ import annotations
@@ -15,12 +22,12 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-import networkx as nx
+import numpy as np
 
 from repro.dnn.layers import Layer, LayerCategory, OpType
 from repro.dnn.tensor import DType, TensorSpec, WeightTensor
 
-__all__ = ["Modality", "GraphMetadata", "Graph"]
+__all__ = ["Modality", "GraphMetadata", "Graph", "GraphCostArrays"]
 
 
 class Modality(str, Enum):
@@ -67,11 +74,36 @@ class GraphMetadata:
     extra: Mapping[str, str] = field(default_factory=dict)
 
 
+@dataclass(frozen=True, eq=False)
+class GraphCostArrays:
+    """Per-layer cost columns of a graph as read-only NumPy arrays.
+
+    Index ``i`` of every array corresponds to the graph's ``i``-th layer in
+    topological order.  The arrays are the inputs of the vectorised roofline
+    latency model; they are built once per graph and cached until the graph
+    changes.
+    """
+
+    flops: np.ndarray
+    weight_params: np.ndarray
+    output_elements: np.ndarray
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers the arrays cover."""
+        return int(self.flops.shape[0])
+
+
 class Graph:
     """A directed acyclic graph of :class:`Layer` objects.
 
     Layers are stored in insertion order, which must be a valid topological
     order (producers before consumers); :meth:`add_layer` enforces this.
+
+    Aggregates, checksums and cost arrays are memoised in ``self._cache`` and
+    invalidated whenever a layer is added.  Concurrent readers (e.g. sweep
+    workers) may race to fill an entry; every entry is a deterministic pure
+    function of the layer set, so duplicated fills are benign.
     """
 
     def __init__(
@@ -86,6 +118,10 @@ class Graph:
         self.input_specs = tuple(input_specs)
         self._layers: dict[str, Layer] = {}
         self._order: list[str] = []
+        self._input_name_tuple = tuple(
+            f"input_{i}" for i in range(len(self.input_specs)))
+        self._input_name_set = frozenset(self._input_name_tuple)
+        self._cache: dict = {}
         for layer in layers:
             self.add_layer(layer)
 
@@ -97,16 +133,17 @@ class Graph:
         if layer.name in self._layers:
             raise ValueError(f"duplicate layer name: {layer.name!r}")
         for dep in layer.inputs:
-            if dep not in self._layers and dep not in self._input_names():
+            if dep not in self._layers and dep not in self._input_name_set:
                 raise ValueError(
                     f"layer {layer.name!r} references unknown input {dep!r}"
                 )
         self._layers[layer.name] = layer
         self._order.append(layer.name)
+        self._cache.clear()
         return layer
 
     def _input_names(self) -> tuple[str, ...]:
-        return tuple(f"input_{i}" for i in range(len(self.input_specs)))
+        return self._input_name_tuple
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -121,10 +158,18 @@ class Graph:
         """Framework identifier (``tflite``, ``caffe``, ``ncnn``, ``tf``, ``snpe``)."""
         return self.metadata.framework
 
+    def _memo(self, key: str, compute: Callable):
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = compute()
+            self._cache[key] = cached
+        return cached
+
     @property
     def layers(self) -> tuple[Layer, ...]:
         """Layers in topological (insertion) order."""
-        return tuple(self._layers[name] for name in self._order)
+        return self._memo(
+            "layers", lambda: tuple(self._layers[name] for name in self._order))
 
     @property
     def num_layers(self) -> int:
@@ -147,10 +192,18 @@ class Graph:
         except KeyError:
             raise KeyError(f"no layer named {name!r} in graph {self.name!r}") from None
 
+    def _consumed_names(self) -> frozenset[str]:
+        """Names consumed as an input by at least one layer (cached)."""
+        return self._memo(
+            "consumed",
+            lambda: frozenset(dep for layer in self.layers for dep in layer.inputs))
+
     def output_layers(self) -> tuple[Layer, ...]:
         """Layers whose output is not consumed by any other layer."""
-        consumed = {dep for layer in self.layers for dep in layer.inputs}
-        return tuple(layer for layer in self.layers if layer.name not in consumed)
+        def compute() -> tuple[Layer, ...]:
+            consumed = self._consumed_names()
+            return tuple(l for l in self.layers if l.name not in consumed)
+        return self._memo("output_layers", compute)
 
     def output_specs(self) -> tuple[TensorSpec, ...]:
         """Tensor specs of the graph outputs."""
@@ -165,8 +218,15 @@ class Graph:
             return self.metadata.modality
         return Modality.from_input_spec(self.input_specs[0])
 
-    def to_networkx(self) -> "nx.DiGraph":
-        """Export the data-flow graph as a :class:`networkx.DiGraph`."""
+    def to_networkx(self):
+        """Export the data-flow graph as a :class:`networkx.DiGraph`.
+
+        networkx is imported lazily: it is only needed for this export, and
+        importing it at module load slows down every consumer of the hot
+        accounting paths.
+        """
+        import networkx as nx
+
         dag = nx.DiGraph(name=self.name)
         for input_name in self._input_names():
             dag.add_node(input_name, op="input")
@@ -177,33 +237,71 @@ class Graph:
         return dag
 
     def is_acyclic(self) -> bool:
-        """True when the data-flow graph contains no cycles."""
-        return nx.is_directed_acyclic_graph(self.to_networkx())
+        """True when the data-flow graph contains no cycles.
+
+        Insertion order is a topological order (:meth:`add_layer` only accepts
+        layers whose producers are already present), so it suffices to verify
+        natively that every edge points forward in that order — no networkx
+        graph construction needed.
+        """
+        seen = set(self._input_name_set)
+        for name in self._order:
+            if any(dep not in seen for dep in self._layers[name].inputs):
+                return False
+            seen.add(name)
+        return True
 
     # ------------------------------------------------------------------ #
     # Aggregate accounting (Sec. 3.2, 4.7)
     # ------------------------------------------------------------------ #
     def total_flops(self) -> int:
         """Total FLOPs of a single forward pass at the declared input size."""
-        return sum(layer.flops() for layer in self.layers)
+        return self._memo(
+            "total_flops", lambda: sum(layer.flops() for layer in self.layers))
 
     def total_macs(self) -> int:
         """Total multiply-accumulate operations of a single forward pass."""
-        return sum(layer.macs() for layer in self.layers)
+        return self._memo(
+            "total_macs", lambda: sum(layer.macs() for layer in self.layers))
 
     def total_parameters(self) -> int:
         """Total trainable parameters across all layers."""
-        return sum(layer.num_parameters for layer in self.layers)
+        return self._memo(
+            "total_parameters",
+            lambda: sum(layer.num_parameters for layer in self.layers))
 
     def model_size_bytes(self) -> int:
         """Approximate on-disk weight footprint in bytes."""
-        return sum(layer.weight_bytes for layer in self.layers)
+        return self._memo(
+            "model_size_bytes",
+            lambda: sum(layer.weight_bytes for layer in self.layers))
 
     def peak_activation_bytes(self) -> int:
         """Largest single activation tensor produced by any layer, in bytes."""
         if not self._order:
             return 0
-        return max(layer.activation_bytes() for layer in self.layers)
+        return self._memo(
+            "peak_activation_bytes",
+            lambda: max(layer.activation_bytes() for layer in self.layers))
+
+    def cost_arrays(self) -> GraphCostArrays:
+        """Read-only per-layer cost columns for the vectorised latency model."""
+        def compute() -> GraphCostArrays:
+            layers = self.layers
+            count = len(layers)
+            flops = np.fromiter(
+                (layer.flops() for layer in layers), dtype=np.int64, count=count)
+            weight_params = np.fromiter(
+                (layer.num_parameters for layer in layers), dtype=np.int64,
+                count=count)
+            output_elements = np.fromiter(
+                (layer.output_elements for layer in layers), dtype=np.int64,
+                count=count)
+            for array in (flops, weight_params, output_elements):
+                array.setflags(write=False)
+            return GraphCostArrays(flops=flops, weight_params=weight_params,
+                                   output_elements=output_elements)
+        return self._memo("cost_arrays", compute)
 
     def layer_category_counts(self) -> dict[LayerCategory, int]:
         """Number of layers per Fig. 6 category."""
@@ -232,27 +330,36 @@ class Graph:
     # ------------------------------------------------------------------ #
     def weights_checksum(self) -> str:
         """md5 over all layer weights, i.e. the paper's whole-model checksum."""
-        digest = hashlib.md5()
-        for layer in self.layers:
-            digest.update(layer.name.encode())
-            for tensor in layer.weights:
-                digest.update(tensor.to_bytes())
-        return digest.hexdigest()
+        def compute() -> str:
+            digest = hashlib.md5()
+            for layer in self.layers:
+                digest.update(layer.name.encode())
+                for tensor in layer.weights:
+                    digest.update(tensor.to_bytes())
+            return digest.hexdigest()
+        return self._memo("weights_checksum", compute)
 
     def layer_checksums(self) -> dict[str, str]:
-        """Per-layer weight checksums, used for fine-tuning detection."""
-        return {
-            layer.name: layer.weights_checksum()
-            for layer in self.layers
-            if layer.weights
-        }
+        """Per-layer weight checksums, used for fine-tuning detection.
+
+        The returned dict is cached on the graph — treat it as read-only.
+        """
+        return self._memo(
+            "layer_checksums",
+            lambda: {
+                layer.name: layer.weights_checksum()
+                for layer in self.layers
+                if layer.weights
+            })
 
     def structural_checksum(self) -> str:
         """Digest over the graph structure, ignoring weight values."""
-        digest = hashlib.md5()
-        for layer in self.layers:
-            digest.update(layer.structural_signature().encode())
-        return digest.hexdigest()
+        def compute() -> str:
+            digest = hashlib.md5()
+            for layer in self.layers:
+                digest.update(layer.structural_signature().encode())
+            return digest.hexdigest()
+        return self._memo("structural_checksum", compute)
 
     def shared_weight_fraction(self, other: "Graph") -> float:
         """Fraction of this graph's parameters whose weights also appear in ``other``.

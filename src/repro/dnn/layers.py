@@ -18,7 +18,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor, memo
 
 __all__ = ["OpType", "LayerCategory", "Layer"]
 
@@ -179,6 +179,10 @@ class Layer:
         self.weights = tuple(self.weights)
         if not isinstance(self.activation_dtype, DType):
             self.activation_dtype = DType(self.activation_dtype)
+        # Memo for derived costs/checksums.  Layers are treated as immutable
+        # once inserted into a graph (every transform in repro.dnn builds new
+        # Layer objects), so the memo is never invalidated.
+        self._cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # Structural properties
@@ -191,7 +195,8 @@ class Layer:
     @property
     def num_parameters(self) -> int:
         """Total trainable parameters attached to the layer."""
-        return sum(w.num_parameters for w in self.weights)
+        return memo(self._cache, "num_parameters",
+                    lambda: sum(w.num_parameters for w in self.weights))
 
     @property
     def weight_bytes(self) -> int:
@@ -218,6 +223,9 @@ class Layer:
     # ------------------------------------------------------------------ #
     def macs(self) -> int:
         """Multiply-accumulate operations performed by one forward pass."""
+        return memo(self._cache, "macs", self._macs_uncached)
+
+    def _macs_uncached(self) -> int:
         out = self.output_elements
         if self.op == OpType.CONV2D or self.op == OpType.TRANSPOSE_CONV2D:
             kernel = self.attrs.get("kernel_size", (1, 1))
@@ -245,6 +253,9 @@ class Layer:
         MAC-heavy operators count two FLOPs per MAC; element-wise operators
         count one FLOP per output element; data-movement operators count zero.
         """
+        return memo(self._cache, "flops", self._flops_uncached)
+
+    def _flops_uncached(self) -> int:
         if self.is_compute:
             return 2 * self.macs()
         if self.category in (LayerCategory.MATH, LayerCategory.ACTIVATION,
@@ -266,10 +277,13 @@ class Layer:
         """md5 digest over the layer's weight tensors (empty string if none)."""
         if not self.weights:
             return ""
-        digest = hashlib.md5()
-        for tensor in self.weights:
-            digest.update(tensor.to_bytes())
-        return digest.hexdigest()
+
+        def compute() -> str:
+            digest = hashlib.md5()
+            for tensor in self.weights:
+                digest.update(tensor.to_bytes())
+            return digest.hexdigest()
+        return memo(self._cache, "weights_checksum", compute)
 
     def structural_signature(self) -> str:
         """Digest of the layer's structure (op, shapes, attrs) ignoring weights."""

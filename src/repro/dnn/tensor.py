@@ -13,6 +13,13 @@ Materialising multi-million-parameter tensors for 1,600+ models would be
 wasteful, so a weight tensor only materialises a bounded *sample* of its
 values; statistics computed on the sample (sparsity, quantisation range) are
 representative of the full tensor by construction.
+
+A :class:`WeightTensor` is immutable, so every derived quantity (the RNG
+sample, the serialised bytes, the md5 checksum) is a pure function of its
+fields and is memoised per instance.  The uniqueness and fine-tuning analyses
+(Sec. 4.5) touch the same tensors O(N^2) times across model pairs; without the
+cache each touch re-runs the RNG.  Cached sample arrays are returned read-only
+so a caller cannot poison the cache in place.
 """
 
 from __future__ import annotations
@@ -29,6 +36,19 @@ __all__ = ["DType", "TensorSpec", "WeightTensor"]
 
 #: Upper bound on the number of values a weight tensor materialises.
 MAX_MATERIALISED_VALUES = 1024
+
+
+def memo(cache: dict, key, compute):
+    """Compute-once helper over a per-instance cache dict.
+
+    Shared by the tensor/layer accounting hot spots (``Graph`` has an
+    equivalent bound method).  Cached values must never be ``None``.
+    """
+    value = cache.get(key)
+    if value is None:
+        value = compute()
+        cache[key] = value
+    return value
 
 
 class DType(str, Enum):
@@ -79,11 +99,12 @@ class TensorSpec:
         object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
         if not isinstance(self.dtype, DType):
             object.__setattr__(self, "dtype", DType(self.dtype))
+        object.__setattr__(self, "_num_elements", int(np.prod(self.shape)))
 
     @property
     def num_elements(self) -> int:
         """Total number of elements in the tensor."""
-        return int(np.prod(self.shape))
+        return self._num_elements
 
     @property
     def size_bytes(self) -> int:
@@ -142,11 +163,15 @@ class WeightTensor:
         object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
         if not isinstance(self.dtype, DType):
             object.__setattr__(self, "dtype", DType(self.dtype))
+        # Per-instance memo for derived quantities; not a dataclass field, so
+        # it never participates in equality, hashing or repr.
+        object.__setattr__(self, "_cache", {})
 
     @property
     def num_parameters(self) -> int:
         """Number of trainable parameters held by this tensor."""
-        return int(np.prod(self.shape))
+        return memo(self._cache, "num_parameters",
+                    lambda: int(np.prod(self.shape)))
 
     @property
     def size_bytes(self) -> int:
@@ -163,20 +188,25 @@ class WeightTensor:
         if max_values <= 0:
             raise ValueError("max_values must be positive")
         count = min(self.num_parameters, max_values)
-        rng = np.random.default_rng(self._derived_seed())
-        values = rng.normal(loc=0.0, scale=0.05, size=count).astype(np.float32)
-        if self.sparsity > 0.0:
-            zero_count = int(round(self.sparsity * count))
-            if zero_count:
-                zero_idx = rng.choice(count, size=zero_count, replace=False)
-                values[zero_idx] = 0.0
-        if self.dtype.is_quantized:
-            scale = max(float(np.max(np.abs(values))), 1e-6) / 127.0
-            quantised = np.clip(np.round(values / scale), -128, 127)
-            return quantised.astype(np.int8 if self.dtype == DType.INT8 else np.int16)
-        if self.dtype == DType.FLOAT16:
-            return values.astype(np.float16)
-        return values
+
+        def compute() -> np.ndarray:
+            rng = np.random.default_rng(self._derived_seed())
+            values = rng.normal(loc=0.0, scale=0.05, size=count).astype(np.float32)
+            if self.sparsity > 0.0:
+                zero_count = int(round(self.sparsity * count))
+                if zero_count:
+                    zero_idx = rng.choice(count, size=zero_count, replace=False)
+                    values[zero_idx] = 0.0
+            if self.dtype.is_quantized:
+                scale = max(float(np.max(np.abs(values))), 1e-6) / 127.0
+                quantised = np.clip(np.round(values / scale), -128, 127)
+                values = quantised.astype(
+                    np.int8 if self.dtype == DType.INT8 else np.int16)
+            elif self.dtype == DType.FLOAT16:
+                values = values.astype(np.float16)
+            values.setflags(write=False)
+            return values
+        return memo(self._cache, ("materialize", count), compute)
 
     def measured_sparsity(self, tolerance: float = 1e-9) -> float:
         """Fraction of sampled values whose magnitude is within ``tolerance`` of zero."""
@@ -194,16 +224,19 @@ class WeightTensor:
         bytes verbatim, which makes whole-file and per-layer checksums behave
         like the paper's md5-over-weights analysis.
         """
-        header = struct.pack(
-            "<4sB", b"WGT0", len(self.shape)
-        ) + struct.pack(f"<{len(self.shape)}q", *self.shape)
-        header += struct.pack("<16sqd", self.dtype.value.encode().ljust(16, b"\0"),
-                              self.seed, self.sparsity)
-        return header + self.materialize().tobytes()
+        def compute() -> bytes:
+            header = struct.pack(
+                "<4sB", b"WGT0", len(self.shape)
+            ) + struct.pack(f"<{len(self.shape)}q", *self.shape)
+            header += struct.pack("<16sqd", self.dtype.value.encode().ljust(16, b"\0"),
+                                  self.seed, self.sparsity)
+            return header + self.materialize().tobytes()
+        return memo(self._cache, "to_bytes", compute)
 
     def checksum(self) -> str:
         """md5 hex digest over the serialised tensor bytes."""
-        return hashlib.md5(self.to_bytes()).hexdigest()
+        return memo(self._cache, "checksum",
+                    lambda: hashlib.md5(self.to_bytes()).hexdigest())
 
     def with_seed(self, seed: int) -> "WeightTensor":
         """Return a copy with a different generation seed (fine-tuned weights)."""
@@ -218,9 +251,11 @@ class WeightTensor:
         return WeightTensor(self.shape, self.dtype, self.seed, sparsity, self.name)
 
     def _derived_seed(self) -> int:
-        material = f"{self.shape}|{self.dtype.value}|{self.seed}|{self.sparsity:.6f}"
-        digest = hashlib.sha256(material.encode()).digest()
-        return int.from_bytes(digest[:8], "little")
+        def compute() -> int:
+            material = f"{self.shape}|{self.dtype.value}|{self.seed}|{self.sparsity:.6f}"
+            digest = hashlib.sha256(material.encode()).digest()
+            return int.from_bytes(digest[:8], "little")
+        return memo(self._cache, "derived_seed", compute)
 
 
 def total_parameters(tensors: Iterable[WeightTensor]) -> int:

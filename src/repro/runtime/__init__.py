@@ -12,6 +12,7 @@ from repro.runtime.backends import Backend, BackendProfile, BACKEND_PROFILES, pr
 from repro.runtime.executor import ExecutionResult, Executor, UnsupportedModelError
 from repro.runtime.latency_model import LayerCost, LatencyModel
 from repro.runtime.energy_model import EnergyModel
+from repro.runtime.sweep import SweepJob, SweepRunner, SweepSpec, derive_job_seed
 
 __all__ = [
     "Backend",
@@ -24,4 +25,8 @@ __all__ = [
     "LayerCost",
     "LatencyModel",
     "EnergyModel",
+    "SweepJob",
+    "SweepRunner",
+    "SweepSpec",
+    "derive_job_seed",
 ]

@@ -8,12 +8,20 @@ overhead covers input copies and scheduling.  This structure is what produces
 the paper's core latency observations: FLOPs alone do not predict latency
 (memory-bound and overhead-bound layers break the correlation, Fig. 8), and
 small models are dominated by overheads while large ones scale with compute.
+
+:meth:`LatencyModel.graph_latency_ms` evaluates the whole roofline in a single
+vectorised NumPy expression over the graph's cached cost arrays
+(:meth:`~repro.dnn.graph.Graph.cost_arrays`) — per-layer Python loops and
+:class:`LayerCost` object construction only happen on the breakdown path
+(:meth:`LatencyModel.layer_costs`), which reports keep using.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.devices.device import Device
 from repro.devices.scheduler import CpuScheduler, ThreadConfig
@@ -134,8 +142,28 @@ class LatencyModel:
     def graph_latency_ms(self, graph: Graph, backend: Backend | str = Backend.CPU,
                          threads: Optional[ThreadConfig] = None,
                          batch: int = 1) -> float:
-        """End-to-end latency of one inference invocation at the given batch size."""
+        """End-to-end latency of one inference invocation at the given batch size.
+
+        Vectorised roofline: ``sum(max(compute, memory)) + overheads`` over the
+        graph's per-layer cost arrays.  Numerically equivalent (within float
+        summation-order tolerance) to summing :meth:`layer_costs`.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
         profile = profile_for(backend)
-        costs = self.layer_costs(graph, backend, threads, batch)
-        total = sum(cost.total_ms for cost in costs)
+        arrays = graph.cost_arrays()
+        if arrays.num_layers == 0:
+            return self.invocation_overhead_ms(profile)
+
+        gflops = self.effective_gflops(profile, threads)
+        compute_ms = (arrays.flops * batch) / (gflops * 1e9) * 1e3
+
+        bytes_per_element = profile.precision.bytes_per_element
+        traffic_bytes = (arrays.weight_params * bytes_per_element
+                         + 2 * (arrays.output_elements * batch * bytes_per_element))
+        bandwidth = self.device.soc.memory_bandwidth_gbps * 1e9
+        memory_ms = traffic_bytes / bandwidth * 1e3
+
+        total = float(np.maximum(compute_ms, memory_ms).sum())
+        total += arrays.num_layers * self._per_layer_overhead_ms(profile)
         return total + self.invocation_overhead_ms(profile)

@@ -1,0 +1,250 @@
+"""Declarative fleet sweeps: expand, prune, fan out, collect.
+
+The paper's headline measurement is a Cartesian sweep — ~1,600 unique models
+x 6 devices x 7 backends x batch sizes x thread configurations — and most of
+those combinations either cannot run (SNPE on non-Qualcomm silicon, recurrent
+ops on accelerator delegates) or are embarrassingly parallel.  This module
+gives the sweep a first-class shape:
+
+* :class:`SweepSpec` declares the product space plus measurement knobs;
+* :meth:`SweepSpec.expand` enumerates :class:`SweepJob` combinations in a
+  fixed deterministic order, deriving an independent per-job RNG seed from the
+  spec seed and the job coordinates, so results do not depend on worker count
+  or completion order;
+* :class:`SweepRunner` prunes incompatible combinations up front with cheap
+  cached checks (device-level and graph-level compatibility are each evaluated
+  once per (device|graph, backend) pair, not once per job), then fans the
+  surviving jobs out across a thread pool and streams
+  :class:`~repro.runtime.executor.ExecutionResult` values — in job order — to
+  an optional callback and into the returned list, ready for the existing
+  records/reports layer.
+
+Workers share :class:`~repro.dnn.graph.Graph` instances, whose memoised
+aggregates make each job a handful of array ops; races on a graph's memo are
+benign because every cached value is a deterministic pure function.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.devices.device import Device
+from repro.devices.scheduler import ThreadConfig
+from repro.dnn.graph import Graph
+from repro.runtime.backends import Backend, profile_for
+from repro.runtime.executor import ExecutionResult, Executor
+
+__all__ = ["SweepJob", "SweepSpec", "SweepRunner", "derive_job_seed"]
+
+
+def derive_job_seed(base_seed: int, device_name: str, model_name: str,
+                    backend: Backend, batch_size: int, thread_label: str) -> int:
+    """Deterministic 64-bit RNG seed for one job of a sweep.
+
+    Depends only on the spec seed and the job's own coordinates — never on
+    expansion order, pruning decisions or scheduling — which is what makes
+    sweep results reproducible under any worker count and any job subset.
+    """
+    material = (f"{base_seed}|{device_name}|{model_name}|{backend.value}"
+                f"|{batch_size}|{thread_label}")
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True, eq=False)
+class SweepJob:
+    """One fully-specified (device, model, backend, batch, threads) job."""
+
+    device: Device
+    graph: Graph
+    backend: Backend
+    batch_size: int = 1
+    threads: Optional[ThreadConfig] = None
+    num_inferences: int = 10
+    warmup: int = 2
+    seed: int = 0
+
+    @property
+    def thread_label(self) -> str:
+        """Fig. 12-style thread label (``auto`` when unpinned default)."""
+        return self.threads.label if self.threads is not None else "auto"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a fleet sweep.
+
+    ``thread_configs`` may contain ``None`` entries meaning "let the scheduler
+    pick" (the executor's default).  ``seed`` is the base of every derived
+    per-job seed.
+    """
+
+    devices: tuple[Device, ...]
+    graphs: tuple[Graph, ...]
+    backends: tuple[Backend, ...] = (Backend.CPU,)
+    batch_sizes: tuple[int, ...] = (1,)
+    thread_configs: tuple[Optional[ThreadConfig], ...] = (None,)
+    num_inferences: int = 10
+    warmup: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "devices", tuple(self.devices))
+        object.__setattr__(self, "graphs", tuple(self.graphs))
+        object.__setattr__(
+            self, "backends", tuple(Backend(b) for b in self.backends))
+        object.__setattr__(
+            self, "batch_sizes", tuple(int(b) for b in self.batch_sizes))
+        object.__setattr__(self, "thread_configs", tuple(self.thread_configs))
+        if not self.devices:
+            raise ValueError("SweepSpec requires at least one device")
+        if not self.backends:
+            raise ValueError("SweepSpec requires at least one backend")
+        if not self.batch_sizes:
+            raise ValueError("SweepSpec requires at least one batch size")
+        if not self.thread_configs:
+            raise ValueError("SweepSpec requires at least one thread config")
+        if any(b <= 0 for b in self.batch_sizes):
+            raise ValueError("batch sizes must be positive")
+        if self.num_inferences <= 0:
+            raise ValueError("num_inferences must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+
+    @property
+    def num_combinations(self) -> int:
+        """Size of the unpruned Cartesian product."""
+        return (len(self.devices) * len(self.graphs) * len(self.backends)
+                * len(self.batch_sizes) * len(self.thread_configs))
+
+    def expand(self) -> Iterator[SweepJob]:
+        """Enumerate every combination in deterministic nesting order."""
+        for device in self.devices:
+            for graph in self.graphs:
+                for backend in self.backends:
+                    for batch_size in self.batch_sizes:
+                        for threads in self.thread_configs:
+                            label = (threads.label if threads is not None
+                                     else "auto")
+                            yield SweepJob(
+                                device=device,
+                                graph=graph,
+                                backend=backend,
+                                batch_size=batch_size,
+                                threads=threads,
+                                num_inferences=self.num_inferences,
+                                warmup=self.warmup,
+                                seed=derive_job_seed(
+                                    self.seed, device.name, graph.name,
+                                    backend, batch_size, label),
+                            )
+
+
+class SweepRunner:
+    """Expands a :class:`SweepSpec`, prunes it, and runs it on a worker pool."""
+
+    def __init__(self, spec: SweepSpec, *, max_workers: Optional[int] = None,
+                 noise_fraction: float = 0.02,
+                 include_screen_power: bool = False) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive when given")
+        self.spec = spec
+        self.max_workers = max_workers
+        self.noise_fraction = noise_fraction
+        self.include_screen_power = include_screen_power
+
+    # ------------------------------------------------------------------ #
+    # Pruning
+    # ------------------------------------------------------------------ #
+    def compatible_jobs(self) -> list[SweepJob]:
+        """Expanded jobs minus combinations that cannot run.
+
+        Compatibility splits into a device-level part (vendor / accelerator
+        requirements) and a graph-level part (framework + operator coverage);
+        each part is evaluated once per (device|graph, backend) pair and
+        reused across the rest of the product, so pruning a large sweep costs
+        far less than one executor run.
+        """
+        device_ok: dict[tuple[str, Backend], bool] = {}
+        graph_ok: dict[tuple[int, Backend], bool] = {}
+        jobs: list[SweepJob] = []
+        for job in self.spec.expand():
+            device_key = (job.device.name, job.backend)
+            ok = device_ok.get(device_key)
+            if ok is None:
+                profile = profile_for(job.backend)
+                ok = not (profile.requires_qualcomm
+                          and job.device.soc.vendor != "Qualcomm")
+                ok = ok and not (profile.requires_accelerator
+                                 and job.device.soc.accelerator(profile.target)
+                                 is None)
+                device_ok[device_key] = ok
+            if not ok:
+                continue
+            graph_key = (id(job.graph), job.backend)
+            ok = graph_ok.get(graph_key)
+            if ok is None:
+                ok = profile_for(job.backend).supports_graph(job.graph)
+                graph_ok[graph_key] = ok
+            if ok:
+                jobs.append(job)
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _run_job(self, job: SweepJob) -> ExecutionResult:
+        executor = Executor(
+            job.device,
+            include_screen_power=self.include_screen_power,
+            noise_fraction=self.noise_fraction,
+            seed=job.seed,
+        )
+        return executor.run(
+            job.graph,
+            job.backend,
+            batch_size=job.batch_size,
+            threads=job.threads,
+            num_inferences=job.num_inferences,
+            warmup=job.warmup,
+        )
+
+    def run(self, on_result: Optional[Callable[[ExecutionResult], None]] = None
+            ) -> list[ExecutionResult]:
+        """Run every compatible job and return results in job order.
+
+        ``on_result`` is invoked once per result, in the same deterministic
+        job order, as results stream in — e.g. to append to a records store or
+        feed an incremental report.
+        """
+        jobs = self.compatible_jobs()
+        if not jobs:
+            return []
+        workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
+        results: list[ExecutionResult] = []
+        if workers <= 1:
+            for job in jobs:
+                result = self._run_job(job)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
+        with futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(self._run_job, jobs):
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+        return results
+
+    @staticmethod
+    def results_by_device(results: Iterable[ExecutionResult]
+                          ) -> dict[str, list[ExecutionResult]]:
+        """Group sweep results per device name (the reports-layer shape)."""
+        grouped: dict[str, list[ExecutionResult]] = {}
+        for result in results:
+            grouped.setdefault(result.device_name, []).append(result)
+        return grouped

@@ -1,0 +1,187 @@
+"""Tests for the cached accounting layer and the vectorised latency engine.
+
+The caches must be *transparent*: every checksum, aggregate and latency value
+must be identical (bitwise for integers/digests, within float tolerance for
+sums) to what a cold, never-cached computation produces, and adding a layer
+must invalidate every graph-level memo.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import device_by_name
+from repro.dnn.graph import Graph, GraphMetadata
+from repro.dnn.layers import Layer, OpType
+from repro.dnn.tensor import DType, TensorSpec, WeightTensor
+from repro.dnn.zoo import blazeface, mobilenet_v1
+from repro.runtime import Backend, LatencyModel, profile_for
+
+
+def cold_copy(graph: Graph) -> Graph:
+    """Rebuild a graph from scratch with fresh (cold-cache) layers and tensors."""
+    layers = [
+        Layer(
+            name=layer.name,
+            op=layer.op,
+            inputs=layer.inputs,
+            output_spec=TensorSpec(layer.output_spec.shape, layer.output_spec.dtype)
+            if layer.output_spec else None,
+            weights=tuple(
+                WeightTensor(w.shape, w.dtype, w.seed, w.sparsity, w.name)
+                for w in layer.weights
+            ),
+            attrs=dict(layer.attrs),
+            activation_dtype=layer.activation_dtype,
+            fused_activation=layer.fused_activation,
+        )
+        for layer in graph.layers
+    ]
+    return Graph(graph.metadata, graph.input_specs, layers)
+
+
+@pytest.fixture()
+def model():
+    return blazeface(weight_seed=3)
+
+
+class TestWeightTensorCache:
+    def test_checksum_matches_cold_instance(self):
+        warm = WeightTensor((64, 32), DType.FLOAT32, seed=11, sparsity=0.25)
+        warm.checksum()  # populate the cache
+        cold = WeightTensor((64, 32), DType.FLOAT32, seed=11, sparsity=0.25)
+        assert warm.checksum() == cold.checksum()
+        assert warm.to_bytes() == cold.to_bytes()
+
+    def test_materialize_cached_and_stable(self):
+        tensor = WeightTensor((128, 128), seed=5)
+        first = tensor.materialize()
+        second = tensor.materialize()
+        assert first is second  # same cached array, not a recomputation
+        assert np.array_equal(
+            first, WeightTensor((128, 128), seed=5).materialize())
+
+    def test_materialize_cache_keyed_by_sample_size(self):
+        tensor = WeightTensor((1000,), seed=2)
+        assert tensor.materialize(max_values=10).size == 10
+        assert tensor.materialize(max_values=100).size == 100
+        assert tensor.materialize(max_values=10).size == 10
+
+    def test_cached_sample_is_read_only(self):
+        tensor = WeightTensor((16, 16), seed=1)
+        sample = tensor.materialize()
+        with pytest.raises(ValueError):
+            sample[0] = 1.0
+
+    def test_cache_not_part_of_equality(self):
+        warm = WeightTensor((8, 8), seed=4)
+        warm.checksum()
+        assert warm == WeightTensor((8, 8), seed=4)
+        assert hash(warm) == hash(WeightTensor((8, 8), seed=4))
+
+
+class TestLayerCache:
+    def test_flops_macs_checksum_match_cold(self, model):
+        for layer in model.layers:
+            cold = cold_copy(model).layer(layer.name)
+            assert layer.flops() == cold.flops()
+            assert layer.macs() == cold.macs()
+            assert layer.weights_checksum() == cold.weights_checksum()
+            assert layer.num_parameters == cold.num_parameters
+
+    def test_repeated_calls_are_stable(self, model):
+        layer = model.layers[0]
+        assert layer.flops() == layer.flops()
+        assert layer.weights_checksum() == layer.weights_checksum()
+
+
+class TestGraphCache:
+    def test_aggregates_match_cold_copy(self, model):
+        cold = cold_copy(model)
+        # Call twice: once to populate, once through the cache.
+        for _ in range(2):
+            assert model.total_flops() == cold.total_flops()
+            assert model.total_macs() == cold.total_macs()
+            assert model.total_parameters() == cold.total_parameters()
+            assert model.model_size_bytes() == cold.model_size_bytes()
+            assert model.peak_activation_bytes() == cold.peak_activation_bytes()
+            assert model.weights_checksum() == cold.weights_checksum()
+            assert model.layer_checksums() == cold.layer_checksums()
+            assert model.structural_checksum() == cold.structural_checksum()
+            assert model.output_layers() == cold.output_layers()
+
+    def test_add_layer_invalidates_caches(self, model):
+        graph = cold_copy(model)
+        flops_before = graph.total_flops()
+        params_before = graph.total_parameters()
+        checksum_before = graph.weights_checksum()
+        layers_before = graph.layers
+        arrays_before = graph.cost_arrays()
+        last = graph.layers[-1]
+
+        graph.add_layer(Layer(
+            name="extra_dense",
+            op=OpType.DENSE,
+            inputs=(last.name,),
+            output_spec=TensorSpec((1, 10)),
+            weights=(WeightTensor((100, 10), seed=99),),
+            attrs={"in_features": 100},
+        ))
+
+        assert graph.total_flops() > flops_before
+        assert graph.total_parameters() == params_before + 1000
+        assert graph.weights_checksum() != checksum_before
+        assert len(graph.layers) == len(layers_before) + 1
+        assert graph.cost_arrays().num_layers == arrays_before.num_layers + 1
+        assert "extra_dense" in graph.layer_checksums()
+        # And everything still matches a cold rebuild of the extended graph.
+        rebuilt = cold_copy(graph)
+        assert graph.total_flops() == rebuilt.total_flops()
+        assert graph.weights_checksum() == rebuilt.weights_checksum()
+
+    def test_cost_arrays_match_per_layer_accounting(self, model):
+        arrays = model.cost_arrays()
+        layers = model.layers
+        assert arrays.num_layers == len(layers)
+        assert arrays.flops.tolist() == [l.flops() for l in layers]
+        assert arrays.weight_params.tolist() == [l.num_parameters for l in layers]
+        assert arrays.output_elements.tolist() == [l.output_elements for l in layers]
+        with pytest.raises(ValueError):
+            arrays.flops[0] = 1
+
+    def test_is_acyclic_native(self, model):
+        assert model.is_acyclic()
+        # The native check agrees with the networkx ground truth.
+        import networkx as nx
+        assert nx.is_directed_acyclic_graph(model.to_networkx())
+
+
+class TestVectorizedLatency:
+    def test_matches_layer_cost_breakdown(self, model):
+        classifier = mobilenet_v1(weight_seed=3)
+        for device_name in ("Q845", "A20", "S21"):
+            latency_model = LatencyModel(device_by_name(device_name))
+            for backend in (Backend.CPU, Backend.XNNPACK):
+                for batch in (1, 4):
+                    for graph in (model, classifier):
+                        vectorised = latency_model.graph_latency_ms(
+                            graph, backend, batch=batch)
+                        profile = profile_for(backend)
+                        loop = sum(
+                            cost.total_ms
+                            for cost in latency_model.layer_costs(
+                                graph, backend, batch=batch)
+                        ) + latency_model.invocation_overhead_ms(profile)
+                        assert vectorised == pytest.approx(loop, rel=1e-12)
+
+    def test_rejects_non_positive_batch(self, model):
+        latency_model = LatencyModel(device_by_name("Q845"))
+        with pytest.raises(ValueError):
+            latency_model.graph_latency_ms(model, batch=0)
+
+    def test_empty_graph_costs_invocation_overhead_only(self):
+        graph = Graph(GraphMetadata(name="empty"), [TensorSpec((1, 4))])
+        latency_model = LatencyModel(device_by_name("Q845"))
+        profile = profile_for(Backend.CPU)
+        assert graph.cost_arrays().num_layers == 0
+        assert latency_model.graph_latency_ms(graph) == pytest.approx(
+            latency_model.invocation_overhead_ms(profile))
