@@ -7,9 +7,19 @@ the gaugeNN measurement pipeline, in ``core``.
 
 from typing import Any
 
-__all__ = ["GaugeNN", "PipelineConfig"]
+__all__ = ["GaugeNN", "PipelineConfig", "ResultStore", "StoreWriter",
+           "ReportServer"]
 
 __version__ = "1.0.0"
+
+#: Lazily exposed top-level entry points and their defining modules.
+_LAZY_EXPORTS = {
+    "GaugeNN": "repro.core.pipeline",
+    "PipelineConfig": "repro.core.pipeline",
+    "ResultStore": "repro.store",
+    "StoreWriter": "repro.store",
+    "ReportServer": "repro.store",
+}
 
 
 def __getattr__(name: str) -> Any:
@@ -18,8 +28,9 @@ def __getattr__(name: str) -> Any:
     Importing them lazily keeps ``import repro.dnn`` (and friends) cheap and
     avoids importing the whole pipeline for users who only need a substrate.
     """
-    if name in __all__:
-        from repro.core import pipeline
+    if name in _LAZY_EXPORTS:
+        import importlib
 
-        return getattr(pipeline, name)
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        return getattr(module, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -26,6 +26,34 @@ class Ecdf:
         """Build an ECDF from an iterable of samples."""
         return cls(tuple(samples))
 
+    @classmethod
+    def from_sorted(cls, samples: Iterable[float]) -> "Ecdf":
+        """Build an ECDF from samples already in ascending order.
+
+        Trusts the caller and skips the constructor's re-sort — the fast path
+        for the vectorised results store, whose column scans hand over
+        ``np.sort``-ed arrays.  Equal inputs produce an ECDF equal to the
+        :meth:`from_samples` one.
+        """
+        values = tuple(float(v) for v in samples)
+        if not values:
+            raise ValueError("Ecdf requires at least one value")
+        ecdf = object.__new__(cls)
+        object.__setattr__(ecdf, "values", values)
+        return ecdf
+
+    @classmethod
+    def from_column(cls, store, kind: str, column: str, **where) -> "Ecdf":
+        """Build an ECDF straight from a results-store column.
+
+        ``store`` is a :class:`~repro.store.store.ResultStore`; ``where``
+        holds equality filters evaluated with predicate pushdown, e.g.
+        ``Ecdf.from_column(store, "executions", "latency_ms",
+        device_name="S21")``.
+        """
+        arrays = store.query(kind).where(**where).arrays(column)
+        return cls.from_sorted(np.sort(arrays[column], kind="stable"))
+
     def __call__(self, value: float) -> float:
         """Fraction of the sample less than or equal to ``value``."""
         return float(np.searchsorted(self.values, value, side="right")) / len(self.values)

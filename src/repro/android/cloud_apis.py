@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CloudApi", "CLOUD_APIS", "api_by_name", "apis_for_provider"]
+__all__ = ["CloudApi", "CLOUD_APIS", "api_by_name", "apis_for_provider",
+           "tabulate_api_usage"]
 
 
 @dataclass(frozen=True)
@@ -102,3 +103,25 @@ def api_by_name(name: str) -> CloudApi:
 def apis_for_provider(provider: str) -> tuple[CloudApi, ...]:
     """All API categories offered by a provider (``Google`` or ``AWS``)."""
     return tuple(api for api in CLOUD_APIS if api.provider == provider)
+
+
+def tabulate_api_usage(api_names, min_apps: int = 0) -> dict[str, dict[str, object]]:
+    """Fig. 15 table from a flat stream of per-app API-name occurrences.
+
+    ``api_names`` yields one name per (app, API) pair, in population order.
+    Returns ``{api: {"apps": count, "provider": name}}`` sorted by app count
+    (descending, stable), dropping APIs below ``min_apps``.  Both the
+    in-memory reports layer and the results-store serving layer build their
+    cloud-API tables through this single implementation, which is what keeps
+    the two paths bit-for-bit identical.
+    """
+    counts: dict[str, dict[str, object]] = {}
+    for api_name in api_names:
+        entry = counts.setdefault(api_name, {"apps": 0, "provider": ""})
+        entry["apps"] = int(entry["apps"]) + 1
+    for api_name, entry in counts.items():
+        entry["provider"] = api_by_name(api_name).provider
+    filtered = {name: entry for name, entry in counts.items()
+                if int(entry["apps"]) >= min_apps}
+    return dict(sorted(filtered.items(), key=lambda item: int(item[1]["apps"]),
+                       reverse=True))

@@ -7,7 +7,12 @@ Four subcommands mirror the paper's workflow:
 * ``benchmark`` — run the unique models of a snapshot across the device fleet
                   (Figs. 8-10), fanned out on the parallel sweep runner.
 * ``sweep``     — full declarative device x backend x batch x thread sweep
-                  with upfront compatibility pruning (Sec. 6.2/6.3 style).
+                  with upfront compatibility pruning (Sec. 6.2/6.3 style);
+                  ``--store PATH`` streams the results into a persistent,
+                  queryable store instead of holding them in memory.
+* ``store``     — ``query`` / ``report`` / ``info`` over a persisted
+                  campaign: vectorised filters and aggregations, the paper's
+                  figure tables served from disk, segment-level integrity.
 * ``scenarios`` — scenario-driven energy costs on the Qualcomm boards (Table 4).
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
@@ -17,6 +22,10 @@ Example::
     python -m repro.cli census --scale 0.05
     python -m repro.cli benchmark --scale 0.05 --devices A20 S21 --workers 4
     python -m repro.cli sweep --scale 0.02 --backends cpu xnnpack --batches 1 8
+    python -m repro.cli sweep --scale 0.02 --store campaign.store
+    python -m repro.cli store query campaign.store --where device_name=S21 \
+        --group-by backend --agg latency_ms:mean,median
+    python -m repro.cli store report campaign.store --table latency_ecdf
 """
 
 from __future__ import annotations
@@ -38,6 +47,8 @@ from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
 from repro.devices.scheduler import ThreadConfig
 from repro.runtime import Backend, SweepRunner, SweepSpec
+from repro.store import ReportServer, ResultStore
+from repro.store.schema import ROW_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -167,15 +178,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         num_inferences=args.inferences,
         seed=args.seed,
     )
-    runner = SweepRunner(spec, max_workers=args.workers)
+    runner = SweepRunner(spec, max_workers=args.workers,
+                         chunk_size=args.chunk_size)
     jobs = runner.compatible_jobs()
     print(f"sweep: {spec.num_combinations} combinations, "
           f"{len(jobs)} runnable after pruning "
           f"({len(graphs)} models x {len(device_names)} devices x "
           f"{len(spec.backends)} backends x {len(spec.batch_sizes)} batches x "
           f"{len(spec.thread_configs)} thread configs)")
-    results = runner.run()
 
+    if args.store is not None:
+        # Streamed ingestion: nothing is collected in memory; the summary is
+        # then served from the persisted rows through the query engine.
+        store = ResultStore(args.store)
+        GaugeNN.persist_snapshot(analysis, store)
+        rows = runner.run_to_store(store)
+        print(f"streamed {rows} results into {store.root} "
+              f"({len(store.segments)} segments)")
+        grouped = store.query("executions").group_by(
+            "device_name", "backend", "batch_size", "thread_label").agg(
+            models=("latency_ms", "count"),
+            mean_ms=("latency_ms", "mean"),
+            median_mj=("energy_mj", "median")).aggregate()
+        print(f"\n{'device':<8}{'backend':<10}{'batch':>6}{'threads':>9}"
+              f"{'models':>8}{'mean ms':>10}{'median mJ':>12}")
+        for row in grouped:
+            print(f"{row['device_name']:<8}{row['backend']:<10}"
+                  f"{row['batch_size']:>6}{row['thread_label']:>9}"
+                  f"{row['models']:>8}{row['mean_ms']:>10.1f}"
+                  f"{row['median_mj']:>12.1f}")
+        return 0
+
+    results = runner.run()
     grouped = {}
     for result in results:
         key = (result.device_name, result.backend.value, result.batch_size,
@@ -189,6 +223,143 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{device:<8}{backend:<10}{batch:>6}{threads:>9}"
               f"{len(group):>8}{np.mean(latencies):>10.1f}"
               f"{np.median(energies):>12.1f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# store subcommands
+# --------------------------------------------------------------------------- #
+#: Comparison operators accepted in --where expressions, longest first so
+#: ``<=`` is not parsed as ``<`` against ``=value``.
+_WHERE_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
+
+
+def _parse_where(expression: str) -> tuple[str, str, object]:
+    """Parse a ``--where`` expression like ``device_name=S21`` or ``latency_ms<5``."""
+    for op in _WHERE_OPS:
+        if op in expression:
+            column, raw = expression.split(op, 1)
+            column, raw = column.strip(), raw.strip()
+            if not column or not raw:
+                break
+            value: object = raw
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    pass
+            return column, "==" if op == "=" else op, value
+    raise argparse.ArgumentTypeError(
+        f"invalid where expression {expression!r} (expected column<op>value "
+        f"with one of {', '.join(_WHERE_OPS)})")
+
+
+def _parse_agg(expression: str) -> tuple[str, list[str]]:
+    """Parse an ``--agg`` expression like ``latency_ms:mean,median``."""
+    try:
+        column, fns = expression.split(":", 1)
+        parsed = [fn.strip() for fn in fns.split(",") if fn.strip()]
+        if not column.strip() or not parsed:
+            raise ValueError
+        return column.strip(), parsed
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid agg expression {expression!r} (expected column:fn[,fn...])")
+
+
+def _format_cell(value: object) -> str:
+    """One right-aligned query-output cell (None = no defined value)."""
+    if value is None:
+        return f"{'-':>18}"
+    if isinstance(value, float):
+        return f"{value:>18.4f}"
+    return f"{str(value):>18}"
+
+
+def cmd_store_query(args: argparse.Namespace) -> int:
+    """Filter / group / aggregate over a persisted campaign."""
+    store = ResultStore(args.path)
+    query = store.query(args.kind)
+    try:
+        for column, op, value in args.where:
+            query.where(column, op, value)
+        if args.group_by:
+            query.group_by(*args.group_by)
+        for column, fns in args.agg:
+            query.agg(**{f"{column}_{fn}": (column, fn) for fn in fns})
+    except (KeyError, ValueError) as error:
+        # Unknown column, bad operator or type-mismatched value: a usage
+        # error, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.agg:
+        output = query.aggregate()
+        rows = output if isinstance(output, list) else [output]
+        if not rows:
+            print("no matching rows")
+            return 0
+        header = list(rows[0])
+        print("  ".join(f"{name:>18}" for name in header))
+        for row in rows:
+            print("  ".join(_format_cell(row[name]) for name in header))
+    else:
+        shown = 0
+        for row in query.rows():
+            if args.limit is not None and shown >= args.limit:
+                break
+            print(row)
+            shown += 1
+        if shown == 0:
+            print("no matching rows")
+    stats = query.stats
+    print(f"\nscanned {stats.segments_scanned}/{stats.segments_total} segments "
+          f"({stats.segments_skipped} pruned by stats), "
+          f"{stats.rows_matched}/{stats.rows_scanned} rows matched")
+    return 0
+
+
+def cmd_store_report(args: argparse.Namespace) -> int:
+    """Serve the paper's figure tables from a persisted campaign."""
+    server = ReportServer(ResultStore(args.path))
+    if args.table == "summary":
+        summary = server.summary()
+        print(f"segments: {summary['segments']}")
+        for kind, count in summary["rows"].items():
+            print(f"  {kind:<12} {count} rows")
+        print(f"devices : {', '.join(summary['devices']) or '-'}")
+        print(f"backends: {', '.join(summary['backends']) or '-'}")
+    elif args.table == "latency_ecdf":
+        print(f"{'device':<8}{'models':>8}{'median ms':>12}{'p90 ms':>10}{'p99 ms':>10}")
+        for device, ecdf in server.latency_ecdf_by_device().items():
+            print(f"{device:<8}{len(ecdf.values):>8}{ecdf.median:>12.1f}"
+                  f"{ecdf.quantile(0.9):>10.1f}{ecdf.quantile(0.99):>10.1f}")
+    elif args.table == "energy":
+        print(f"{'device':<8}{'median mJ':>12}{'mean mJ':>10}{'median W':>10}"
+              f"{'MFLOP/sW':>10}")
+        for device, row in server.energy_distributions().items():
+            print(f"{device:<8}{row['energy_median_mj']:>12.1f}"
+                  f"{row['energy_mean_mj']:>10.1f}{row['power_median_w']:>10.2f}"
+                  f"{row['efficiency_median_mflops_per_sw']:>10.1f}")
+    else:  # cloud
+        print(f"{'API':<28}{'provider':<12}{'apps':>6}")
+        for api, entry in server.cloud_api_usage().items():
+            print(f"{api:<28}{entry['provider']:<12}{entry['apps']:>6}")
+    return 0
+
+
+def cmd_store_info(args: argparse.Namespace) -> int:
+    """Inspect a persisted campaign's layout and integrity."""
+    store = ResultStore(args.path)
+    print(store)
+    for meta in store.segments:
+        print(f"  {meta.name:<22} {meta.kind:<12} {meta.rows:>7} rows  "
+              f"sha256 {meta.sha256[:12]}")
+    if args.verify:
+        verified = store.verify_integrity()
+        print(f"verified {verified} segment checksums: OK")
     return 0
 
 
@@ -278,7 +449,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0,
                        help="base seed for the deterministic per-job seeds")
     sweep.add_argument("--workers", type=_positive_int, default=None)
+    sweep.add_argument("--chunk-size", type=_positive_int, default=None,
+                       help="batch jobs into per-worker slices of this size")
+    sweep.add_argument("--store", default=None, metavar="PATH",
+                       help="stream results into a persistent store at PATH "
+                            "(also ingests the snapshot's app/model rows)")
     sweep.set_defaults(func=cmd_sweep)
+
+    store = subparsers.add_parser(
+        "store", help="query and report over a persisted results store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    query = store_sub.add_parser("query", help="filter/group/aggregate rows")
+    query.add_argument("path", help="store directory")
+    query.add_argument("--kind", default="executions",
+                       choices=sorted(ROW_KINDS))
+    query.add_argument("--where", action="append", default=[],
+                       type=_parse_where, metavar="COL<OP>VALUE",
+                       help="predicate, e.g. device_name=S21 or latency_ms<5 "
+                            "(repeatable; all must hold)")
+    query.add_argument("--group-by", nargs="*", default=[],
+                       help="columns to group aggregations by")
+    query.add_argument("--agg", action="append", default=[],
+                       type=_parse_agg, metavar="COL:FN[,FN...]",
+                       help="aggregations, e.g. latency_ms:mean,median "
+                            "(repeatable)")
+    query.add_argument("--limit", type=_positive_int, default=20,
+                       help="max rows printed for non-aggregate queries")
+    query.set_defaults(func=cmd_store_query)
+
+    report = store_sub.add_parser(
+        "report", help="serve paper figure tables from the store")
+    report.add_argument("path", help="store directory")
+    report.add_argument("--table", default="summary",
+                        choices=("summary", "latency_ecdf", "energy", "cloud"))
+    report.set_defaults(func=cmd_store_report)
+
+    info = store_sub.add_parser("info", help="inspect segments and integrity")
+    info.add_argument("path", help="store directory")
+    info.add_argument("--verify", action="store_true",
+                      help="verify every segment checksum")
+    info.set_defaults(func=cmd_store_info)
 
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)

@@ -13,7 +13,7 @@ actual numbers come from :class:`~repro.runtime.executor.Executor`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.devices.device import Device
 from repro.devices.power_monitor import PowerMonitor, PowerTrace
@@ -22,6 +22,9 @@ from repro.devices.usb_control import UsbSwitch
 from repro.dnn.graph import Graph
 from repro.runtime.backends import Backend
 from repro.runtime.executor import ExecutionResult, Executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.store.writer import StoreWriter
 
 __all__ = ["BenchmarkJob", "BenchmarkRecord", "DeviceBenchmarker"]
 
@@ -61,12 +64,16 @@ class DeviceBenchmarker:
     def __init__(self, device: Device, *, usb_port: int = 0,
                  usb_switch: Optional[UsbSwitch] = None,
                  power_monitor: Optional[PowerMonitor] = None,
-                 executor: Optional[Executor] = None) -> None:
+                 executor: Optional[Executor] = None,
+                 store_sink: Optional["StoreWriter"] = None) -> None:
         self.device = device
         self.usb_port = usb_port
         self.usb_switch = usb_switch or UsbSwitch()
         self.power_monitor = power_monitor or PowerMonitor(seed=usb_port)
         self.executor = executor or Executor(device)
+        #: Optional results-store writer; every measurement of
+        #: :meth:`run_job` is appended to it as an ``executions`` row.
+        self.store_sink = store_sink
         self.events: list[str] = []
 
     # ------------------------------------------------------------------ #
@@ -120,6 +127,9 @@ class DeviceBenchmarker:
             power_trace = self.power_monitor.record(segments)
 
         self._finish()
+        if self.store_sink is not None:
+            self.store_sink.append(result)
+            self.events.append("store_append")
         return BenchmarkRecord(
             result=result,
             power_trace=power_trace,

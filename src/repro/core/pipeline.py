@@ -128,6 +128,23 @@ class GaugeNN:
         ]
 
     @staticmethod
+    def persist_snapshot(analysis: SnapshotAnalysis, store) -> int:
+        """Persist a snapshot's app/model records into a results store.
+
+        ``store`` is a :class:`~repro.store.store.ResultStore` or a path.
+        Returns the number of rows written.  Together with
+        :meth:`benchmark_unique_models`'s ``store`` argument this makes a
+        whole campaign — population, models and measurements — durable and
+        queryable across processes.
+        """
+        from repro.store.store import ResultStore
+        from repro.store.writer import ingest_snapshot
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        return ingest_snapshot(store, analysis)
+
+    @staticmethod
     def benchmark_unique_models(
         analysis: SnapshotAnalysis,
         devices: Sequence[Device],
@@ -139,14 +156,21 @@ class GaugeNN:
         warmup: int = 2,
         seed: int = 0,
         max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
         on_result: Optional[Callable[[ExecutionResult], None]] = None,
+        store=None,
     ) -> list[ExecutionResult]:
         """Benchmark a snapshot's unique models across the fleet (Sec. 3.3).
 
         Expands devices x models x backends x batches x thread configs into a
         :class:`~repro.runtime.sweep.SweepSpec`, prunes incompatible
         combinations, and fans the jobs out on a worker pool with
-        deterministic per-job seeds — same results for any ``max_workers``.
+        deterministic per-job seeds — same results for any ``max_workers``
+        and any ``chunk_size`` (batched per-worker job slices).
+
+        With ``store`` (a :class:`~repro.store.store.ResultStore` or a path)
+        the results additionally stream into the persistent store in
+        checksummed, crash-safe segments as they are produced.
         """
         spec = SweepSpec(
             devices=tuple(devices),
@@ -158,4 +182,18 @@ class GaugeNN:
             warmup=warmup,
             seed=seed,
         )
-        return SweepRunner(spec, max_workers=max_workers).run(on_result=on_result)
+        runner = SweepRunner(spec, max_workers=max_workers, chunk_size=chunk_size)
+        if store is None:
+            return runner.run(on_result=on_result)
+        from repro.store.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        results: list[ExecutionResult] = []
+        with store.writer() as writer:
+            for result in runner.iter_results():
+                writer.append(result)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+        return results

@@ -4,6 +4,13 @@ Each function takes analysis or benchmark outputs and returns a plain data
 structure shaped like the corresponding artefact (rows of a table, series of a
 figure), so the benchmark harness can print the same rows the paper reports
 and EXPERIMENTS.md can record paper-vs-measured values side by side.
+
+The benchmark-derived figures (latency ECDFs, energy distributions,
+latency-vs-FLOPs, cloud-API usage) also accept a persistent
+:class:`~repro.store.store.ResultStore` in place of their in-memory inputs;
+they then delegate to the store's incremental
+:class:`~repro.store.serving.ReportServer`, which produces bit-for-bit the
+same tables from the persisted campaign without re-running anything.
 """
 
 from __future__ import annotations
@@ -173,15 +180,41 @@ def flops_and_parameters_by_task(
 # --------------------------------------------------------------------------- #
 # Figs. 8 and 9
 # --------------------------------------------------------------------------- #
-def latency_vs_flops(results: Sequence[ExecutionResult]) -> list[tuple[float, float]]:
-    """Fig. 8: (latency_ms, flops) points for one device."""
+def _report_server(source):
+    """The serving layer of a results store, or ``None`` for in-memory input."""
+    from repro.store.serving import ReportServer
+    from repro.store.store import ResultStore
+
+    if isinstance(source, ResultStore):
+        return ReportServer(source)
+    if isinstance(source, ReportServer):
+        return source
+    return None
+
+
+def latency_vs_flops(results, device: Optional[str] = None
+                     ) -> list[tuple[float, float]]:
+    """Fig. 8: (latency_ms, flops) points for one device.
+
+    ``results`` is either that device's result sequence, or a results store
+    plus the ``device`` name to serve the points from persisted rows.
+    """
+    server = _report_server(results)
+    if server is not None:
+        if device is None:
+            raise ValueError("latency_vs_flops over a store needs a device name")
+        return server.latency_vs_flops(device)
     return [(result.latency_ms, float(result.flops)) for result in results]
 
 
-def latency_ecdf_by_device(
-    results_by_device: Mapping[str, Sequence[ExecutionResult]],
-) -> dict[str, Ecdf]:
-    """Fig. 9: latency ECDF per device."""
+def latency_ecdf_by_device(results_by_device) -> dict[str, Ecdf]:
+    """Fig. 9: latency ECDF per device.
+
+    Accepts the in-memory ``{device: results}`` mapping or a results store.
+    """
+    server = _report_server(results_by_device)
+    if server is not None:
+        return server.latency_ecdf_by_device()
     return {
         device: Ecdf.from_samples(result.latency_ms for result in results)
         for device, results in results_by_device.items()
@@ -193,10 +226,16 @@ def latency_ecdf_by_device(
 # Fig. 10
 # --------------------------------------------------------------------------- #
 def energy_distributions(
-    results_by_device: Mapping[str, Sequence[ExecutionResult]],
+    results_by_device,
     drop_outliers: bool = True,
 ) -> dict[str, dict[str, float]]:
-    """Fig. 10: per-device energy / power / efficiency distribution summaries."""
+    """Fig. 10: per-device energy / power / efficiency distribution summaries.
+
+    Accepts the in-memory ``{device: results}`` mapping or a results store.
+    """
+    server = _report_server(results_by_device)
+    if server is not None:
+        return server.energy_distributions(drop_outliers)
     table: dict[str, dict[str, float]] = {}
     for device, results in results_by_device.items():
         if not results:
@@ -219,20 +258,19 @@ def energy_distributions(
 # --------------------------------------------------------------------------- #
 # Fig. 15
 # --------------------------------------------------------------------------- #
-def cloud_api_usage(analysis: SnapshotAnalysis,
+def cloud_api_usage(analysis,
                     min_apps: int = 0) -> dict[str, dict[str, object]]:
-    """Fig. 15: number of apps invoking each cloud ML API category."""
-    counts: dict[str, dict[str, object]] = {}
-    for app in analysis.apps_using_cloud():
-        for api_name in app.cloud_apis:
-            entry = counts.setdefault(api_name, {"apps": 0, "provider": ""})
-            entry["apps"] = int(entry["apps"]) + 1
-    # Annotate providers from the record's provider list.
-    from repro.android.cloud_apis import api_by_name
+    """Fig. 15: number of apps invoking each cloud ML API category.
 
-    for api_name, entry in counts.items():
-        entry["provider"] = api_by_name(api_name).provider
-    filtered = {name: entry for name, entry in counts.items()
-                if int(entry["apps"]) >= min_apps}
-    return dict(sorted(filtered.items(), key=lambda item: int(item[1]["apps"]),
-                       reverse=True))
+    Accepts a :class:`SnapshotAnalysis` or a results store holding the
+    snapshot's ingested ``apps`` rows.
+    """
+    server = _report_server(analysis)
+    if server is not None:
+        return server.cloud_api_usage(min_apps)
+    from repro.android.cloud_apis import tabulate_api_usage
+
+    return tabulate_api_usage(
+        (api_name for app in analysis.apps_using_cloud()
+         for api_name in app.cloud_apis),
+        min_apps)

@@ -14,10 +14,13 @@ gives the sweep a first-class shape:
 * :class:`SweepRunner` prunes incompatible combinations up front with cheap
   cached checks (device-level and graph-level compatibility are each evaluated
   once per (device|graph, backend) pair, not once per job), then fans the
-  surviving jobs out across a thread pool and streams
-  :class:`~repro.runtime.executor.ExecutionResult` values — in job order — to
-  an optional callback and into the returned list, ready for the existing
-  records/reports layer.
+  surviving jobs out across a thread or process pool — optionally in
+  ``chunk_size`` batched job slices so tiny analytic jobs amortise dispatch —
+  and streams :class:`~repro.runtime.executor.ExecutionResult` values in job
+  order: to an optional callback and the returned list (:meth:`SweepRunner.run`),
+  as a pull-style iterator that retains nothing (:meth:`SweepRunner.iter_results`),
+  or straight into a persistent, crash-safe results store
+  (:meth:`SweepRunner.run_to_store`), ready for the records/reports layer.
 
 Workers share :class:`~repro.dnn.graph.Graph` instances, whose memoised
 aggregates make each job a handful of array ops; races on a graph's memo are
@@ -27,7 +30,9 @@ benign because every cached value is a deterministic pure function.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
+from collections import deque
 from concurrent import futures
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional, Sequence
@@ -145,17 +150,32 @@ class SweepSpec:
 
 
 class SweepRunner:
-    """Expands a :class:`SweepSpec`, prunes it, and runs it on a worker pool."""
+    """Expands a :class:`SweepSpec`, prunes it, and runs it on a worker pool.
+
+    ``chunk_size`` batches consecutive jobs into per-worker slices so each
+    pool task amortises its dispatch overhead over many tiny analytic jobs
+    (the GIL-bound regime a per-job thread fan-out loses in);
+    ``use_processes`` swaps the thread pool for a process pool, sidestepping
+    the GIL entirely.  Neither knob can change any number: every job's RNG
+    seed is derived from its own coordinates, so results are bit-identical
+    across worker counts, chunk sizes and pool kinds.
+    """
 
     def __init__(self, spec: SweepSpec, *, max_workers: Optional[int] = None,
                  noise_fraction: float = 0.02,
-                 include_screen_power: bool = False) -> None:
+                 include_screen_power: bool = False,
+                 chunk_size: Optional[int] = None,
+                 use_processes: bool = False) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive when given")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive when given")
         self.spec = spec
         self.max_workers = max_workers
         self.noise_fraction = noise_fraction
         self.include_screen_power = include_screen_power
+        self.chunk_size = chunk_size
+        self.use_processes = use_processes
 
     # ------------------------------------------------------------------ #
     # Pruning
@@ -213,32 +233,96 @@ class SweepRunner:
             warmup=job.warmup,
         )
 
-    def run(self, on_result: Optional[Callable[[ExecutionResult], None]] = None
-            ) -> list[ExecutionResult]:
+    def _run_chunk(self, jobs: Sequence[SweepJob]) -> list[ExecutionResult]:
+        """Run one slice of consecutive jobs serially (one pool task)."""
+        return [self._run_job(job) for job in jobs]
+
+    def iter_results(self) -> Iterator[ExecutionResult]:
+        """Stream results in deterministic job order without collecting them.
+
+        This is the memory-flat path for million-job sweeps: results are
+        yielded as the pool produces them (held back only as far as order
+        preservation requires) and nothing is retained after the caller
+        consumes a value.  Seeds are per-job, so the stream is bit-identical
+        for any worker count, chunk size or pool kind.
+        """
+        jobs = self.compatible_jobs()
+        if not jobs:
+            return
+        workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
+        if workers <= 1 and not self.use_processes:
+            for job in jobs:
+                yield self._run_job(job)
+            return
+
+        if self.chunk_size is not None:
+            chunk = self.chunk_size
+        elif self.use_processes:
+            # Default to ~4 slices per worker: large enough to amortise IPC
+            # and pickling, small enough to keep the pool load-balanced.
+            chunk = max(1, len(jobs) // (workers * 4))
+        else:
+            chunk = 1
+        chunk_iter = (jobs[i:i + chunk] for i in range(0, len(jobs), chunk))
+
+        # Bounded submission window: keep a few chunks in flight per worker
+        # and only submit the next one as the oldest is consumed, so a slow
+        # consumer (e.g. a disk writer) exerts backpressure and completed
+        # results never pile up in undrained futures.  Draining the oldest
+        # future first preserves deterministic job order.
+        pool_cls = (futures.ProcessPoolExecutor if self.use_processes
+                    else futures.ThreadPoolExecutor)
+        with pool_cls(max_workers=workers) as pool:
+            in_flight: deque = deque()
+            for slice_ in itertools.islice(chunk_iter, workers * 2):
+                in_flight.append(pool.submit(self._run_chunk, slice_))
+            while in_flight:
+                batch = in_flight.popleft().result()
+                next_slice = next(chunk_iter, None)
+                if next_slice is not None:
+                    in_flight.append(pool.submit(self._run_chunk, next_slice))
+                yield from batch
+
+    def run(self, on_result: Optional[Callable[[ExecutionResult], None]] = None,
+            *, collect: bool = True) -> list[ExecutionResult]:
         """Run every compatible job and return results in job order.
 
         ``on_result`` is invoked once per result, in the same deterministic
         job order, as results stream in — e.g. to append to a records store or
-        feed an incremental report.
+        feed an incremental report.  With ``collect=False`` the returned list
+        stays empty and no result is retained after its callback ran, so a
+        million-job sweep holds O(1) results in memory; use
+        :meth:`iter_results` for a pull-style stream.
         """
-        jobs = self.compatible_jobs()
-        if not jobs:
-            return []
-        workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
         results: list[ExecutionResult] = []
-        if workers <= 1:
-            for job in jobs:
-                result = self._run_job(job)
-                if on_result is not None:
-                    on_result(result)
-                results.append(result)
-            return results
-        with futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            for result in pool.map(self._run_job, jobs):
-                if on_result is not None:
-                    on_result(result)
+        for result in self.iter_results():
+            if on_result is not None:
+                on_result(result)
+            if collect:
                 results.append(result)
         return results
+
+    def run_to_store(self, store, *, rows_per_segment: int = 4096,
+                     on_result: Optional[Callable[[ExecutionResult], None]] = None
+                     ) -> int:
+        """Stream the sweep into a persistent results store; returns the row count.
+
+        ``store`` is a :class:`~repro.store.store.ResultStore` (or a path to
+        create one at).  Results are appended in deterministic job order and
+        committed in checksummed segments of ``rows_per_segment`` rows, so a
+        crash loses at most the trailing partial segment and a reopened store
+        serves exactly the committed prefix.  Nothing is collected in memory.
+        """
+        from repro.store.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        with store.writer(rows_per_segment=rows_per_segment) as writer:
+            for result in self.iter_results():
+                writer.append(result)
+                if on_result is not None:
+                    on_result(result)
+        return writer.rows_committed
 
     @staticmethod
     def results_by_device(results: Iterable[ExecutionResult]

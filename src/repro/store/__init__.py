@@ -1,0 +1,40 @@
+"""Persistent, queryable results store with streaming sweep ingestion.
+
+The paper's deliverable is a campaign — ~1,600 unique models x 6 devices x 7
+backends x batch/thread configs — and a campaign's results need to outlive
+the process that measured them.  This package is that durability layer:
+
+* :class:`~repro.store.store.ResultStore` — an append-only, sharded,
+  column-oriented store (JSONL row logs + NumPy column caches, checksummed,
+  crash-safe via atomic segment rotation);
+* :class:`~repro.store.writer.StoreWriter` — the streaming ingestion sink
+  that :class:`~repro.runtime.sweep.SweepRunner` and
+  :class:`~repro.core.benchmarker.DeviceBenchmarker` feed;
+* :class:`~repro.store.query.Query` — vectorised filters/aggregations with
+  per-segment predicate pushdown;
+* :class:`~repro.store.serving.ReportServer` — incremental, store-backed
+  versions of the reports-layer figure tables.
+
+See the README's "Results store" section for the on-disk layout and usage.
+"""
+
+from repro.store.query import Query, QueryStats
+from repro.store.schema import ROW_KINDS, RowKind, kind_for
+from repro.store.segment import SegmentMeta, StoreCorruptionError
+from repro.store.serving import ReportServer
+from repro.store.store import ResultStore
+from repro.store.writer import StoreWriter, ingest_snapshot
+
+__all__ = [
+    "ResultStore",
+    "StoreWriter",
+    "Query",
+    "QueryStats",
+    "ReportServer",
+    "SegmentMeta",
+    "StoreCorruptionError",
+    "RowKind",
+    "ROW_KINDS",
+    "kind_for",
+    "ingest_snapshot",
+]

@@ -1,0 +1,321 @@
+"""Vectorised queries over the column-oriented store.
+
+A :class:`Query` is a small builder — ``where`` filters, ``group_by`` keys,
+``agg`` reductions — evaluated segment by segment over the NumPy column
+caches, so a million-row filter is a handful of array comparisons rather than
+a Python loop.  Two levels of work avoidance apply before any array math:
+
+* **predicate pushdown** — every predicate is first tested against the
+  manifest stats of each segment (numeric min/max, string distinct sets); a
+  segment whose stats prove it cannot contain a matching row is never read
+  at all, which is what keeps point queries over a long campaign cheap;
+* **column pruning** — only the columns referenced by predicates, group keys,
+  aggregations or an explicit ``arrays(...)`` projection are materialised.
+
+Execution statistics (segments skipped vs scanned, rows matched) are exposed
+on :attr:`Query.stats` after any terminal call, so tests and the CLI can
+assert pushdown actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.store.schema import Column, RowKind
+from repro.store.segment import SegmentMeta
+
+__all__ = ["Predicate", "Query", "QueryStats", "AGGREGATIONS"]
+
+_OPS = ("==", "!=", "<", "<=", ">", ">=", "in")
+
+#: Reduction name -> NumPy implementation over a 1-D array.
+AGGREGATIONS: dict[str, Callable[[np.ndarray], float]] = {
+    "count": lambda a: int(a.size),
+    "sum": lambda a: a.sum().item(),
+    "mean": lambda a: np.mean(a).item(),
+    "median": lambda a: np.median(a).item(),
+    "min": lambda a: a.min().item(),
+    "max": lambda a: a.max().item(),
+    "std": lambda a: np.std(a).item(),
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One column filter of a query."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r} (have {_OPS})")
+        if self.op == "in" and not isinstance(self.value, (list, tuple, set,
+                                                           frozenset)):
+            raise ValueError("'in' predicates need a collection value")
+
+    # -- pushdown ------------------------------------------------------- #
+    def may_match(self, meta: SegmentMeta, column: Column) -> bool:
+        """Whether the segment's stats admit any matching row.
+
+        Conservative: returns ``True`` whenever the stats cannot prove the
+        segment empty of matches (missing stats, untracked string column,
+        inequality over strings).
+        """
+        stats = meta.stats.get(self.column)
+        if not stats:
+            return True
+        if column.is_numeric and "min" in stats:
+            low, high = stats["min"], stats["max"]
+            if self.op == "==":
+                return low <= self.value <= high
+            if self.op == "<":
+                return low < self.value
+            if self.op == "<=":
+                return low <= self.value
+            if self.op == ">":
+                return high > self.value
+            if self.op == ">=":
+                return high >= self.value
+            if self.op == "in":
+                return any(low <= v <= high for v in self.value)
+            return True  # "!=" — only an all-equal segment could be skipped
+        if "values" in stats:
+            present = set(stats["values"])
+            if self.op == "==":
+                return self.value in present
+            if self.op == "in":
+                return bool(present.intersection(self.value))
+            if self.op == "!=":
+                return present != {self.value}
+        return True
+
+    # -- evaluation ----------------------------------------------------- #
+    def mask(self, array: np.ndarray) -> np.ndarray:
+        """Boolean match mask over one segment's column array."""
+        if self.op == "==":
+            return array == self.value
+        if self.op == "!=":
+            return array != self.value
+        if self.op == "<":
+            return array < self.value
+        if self.op == "<=":
+            return array <= self.value
+        if self.op == ">":
+            return array > self.value
+        if self.op == ">=":
+            return array >= self.value
+        return np.isin(array, list(self.value))
+
+
+@dataclass
+class QueryStats:
+    """Work accounting of one query execution."""
+
+    segments_total: int = 0
+    segments_skipped: int = 0
+    segments_scanned: int = 0
+    rows_scanned: int = 0
+    rows_matched: int = 0
+
+
+class Query:
+    """Filter / group / aggregate builder over one row kind of a store."""
+
+    def __init__(self, store, kind: RowKind) -> None:
+        self.store = store
+        self.kind = kind
+        self._predicates: list[Predicate] = []
+        self._group_by: tuple[str, ...] = ()
+        self._aggregations: dict[str, tuple[str, str]] = {}
+        #: Populated by the terminal methods.
+        self.stats = QueryStats()
+
+    # ------------------------------------------------------------------ #
+    # Builder steps
+    # ------------------------------------------------------------------ #
+    def where(self, column: Optional[str] = None, op: str = "==",
+              value: Any = None, **equalities: Any) -> "Query":
+        """Add predicates: ``where("latency_ms", "<", 5)`` or ``where(device_name="S21")``."""
+        if column is not None:
+            self._predicates.append(
+                Predicate(column, op, self._coerce(column, op, value)))
+        for name, wanted in equalities.items():
+            self._predicates.append(
+                Predicate(name, "==", self._coerce(name, "==", wanted)))
+        return self
+
+    def group_by(self, *columns: str) -> "Query":
+        """Group aggregation output by one or more columns."""
+        for name in columns:
+            self.kind.column(name)  # validate early
+        self._group_by = self._group_by + columns
+        return self
+
+    def agg(self, **named: tuple[str, str]) -> "Query":
+        """Declare reductions: ``agg(mean_ms=("latency_ms", "mean"))``."""
+        for out_name, (column, fn) in named.items():
+            self.kind.column(column)
+            if fn not in AGGREGATIONS:
+                raise ValueError(
+                    f"unknown aggregation {fn!r} (have {sorted(AGGREGATIONS)})")
+            self._aggregations[out_name] = (column, fn)
+        return self
+
+    def _coerce(self, column: str, op: str, value: Any) -> Any:
+        """Validate and normalise a predicate value against the column type.
+
+        Raises :class:`ValueError` for values the column can never hold (e.g.
+        a string against a numeric column) so malformed filters fail here,
+        with a clear message, rather than deep inside a stats comparison.
+        """
+        spec = self.kind.column(column)  # raises on unknown column
+        if op == "in":
+            return tuple(self._coerce(column, "==", v) for v in value)
+        if hasattr(value, "value") and spec.dtype == "str":
+            return value.value  # enums (Backend, Modality) compare by value
+        if spec.is_numeric:
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float, np.integer, np.floating)):
+                raise ValueError(
+                    f"column {column!r} is numeric; cannot compare against "
+                    f"{value!r}")
+        elif spec.dtype == "bool":
+            if not isinstance(value, (bool, np.bool_)):
+                raise ValueError(
+                    f"column {column!r} is boolean; cannot compare against "
+                    f"{value!r}")
+        elif not isinstance(value, str):
+            raise ValueError(
+                f"column {column!r} holds strings; cannot compare against "
+                f"{value!r}")
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Execution core
+    # ------------------------------------------------------------------ #
+    def _scan(self, columns: Sequence[str]):
+        """Yield ``(meta, columns_dict, mask)`` per surviving segment."""
+        self.stats = QueryStats()
+        needed = set(columns) | {p.column for p in self._predicates}
+        for meta in self.store.segments_for(self.kind):
+            self.stats.segments_total += 1
+            if not all(p.may_match(meta, self.kind.column(p.column))
+                       for p in self._predicates):
+                self.stats.segments_skipped += 1
+                continue
+            self.stats.segments_scanned += 1
+            self.stats.rows_scanned += meta.rows
+            loaded = self.store.columns_for(meta)
+            mask: Optional[np.ndarray] = None
+            for predicate in self._predicates:
+                part = predicate.mask(loaded[predicate.column])
+                mask = part if mask is None else (mask & part)
+            matched = int(mask.sum()) if mask is not None else meta.rows
+            self.stats.rows_matched += matched
+            if matched == 0:
+                continue
+            yield meta, {name: loaded[name] for name in needed}, mask
+
+    def _gather(self, columns: Sequence[str]) -> dict[str, np.ndarray]:
+        """Concatenate the masked arrays of every surviving segment."""
+        parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+        for _, loaded, mask in self._scan(columns):
+            for name in columns:
+                array = loaded[name]
+                parts[name].append(array if mask is None else array[mask])
+        return {
+            name: (np.concatenate(chunks) if chunks
+                   else np.empty(0, dtype=self.kind.column(name).numpy_dtype))
+            for name, chunks in parts.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Terminals
+    # ------------------------------------------------------------------ #
+    def arrays(self, *columns: str) -> dict[str, np.ndarray]:
+        """Matching rows as column arrays (all schema columns by default)."""
+        names = columns or self.kind.column_names
+        for name in names:
+            self.kind.column(name)
+        return self._gather(names)
+
+    def count(self) -> int:
+        """Number of matching rows (no column data materialised)."""
+        total = 0
+        for meta, _, mask in self._scan(()):
+            total += meta.rows if mask is None else int(mask.sum())
+        return total
+
+    def rows(self) -> list[dict]:
+        """Matching rows as dicts, in ingestion order."""
+        arrays = self._gather(self.kind.column_names)
+        length = len(next(iter(arrays.values()))) if arrays else 0
+        return [
+            {name: arrays[name][i].item() if arrays[name].dtype != np.str_
+             else str(arrays[name][i]) for name in self.kind.column_names}
+            for i in range(length)
+        ]
+
+    def objects(self) -> list:
+        """Matching rows rebuilt as their pipeline dataclass."""
+        if self.kind.from_row is None:
+            raise TypeError(
+                f"row kind {self.kind.name!r} stores summaries and has no "
+                f"object deserialiser; use rows() or arrays()")
+        return [self.kind.from_row(row) for row in self.rows()]
+
+    def aggregate(self) -> Union[dict, list[dict]]:
+        """Evaluate the declared aggregations.
+
+        Without ``group_by`` returns one dict of reductions; with it, one dict
+        per group (group key columns + reductions), ordered by group key.
+        """
+        if not self._aggregations:
+            raise ValueError("no aggregations declared; call agg(...) first")
+        agg_columns = {column for column, _ in self._aggregations.values()}
+        needed = tuple(set(self._group_by) | agg_columns)
+        arrays = self._gather(needed)
+        length = len(next(iter(arrays.values())))
+
+        if not self._group_by:
+            # Zero matching rows: counts are 0, every other reduction has no
+            # defined value — report None instead of raising/propagating NaN.
+            return {
+                out: (AGGREGATIONS[fn](arrays[column]) if length
+                      else (0 if fn == "count" else None))
+                for out, (column, fn) in self._aggregations.items()
+            }
+
+        if length == 0:
+            return []
+        # Encode the (possibly multi-column) group key as one int64 vector.
+        key = np.zeros(length, dtype=np.int64)
+        uniques: list[np.ndarray] = []
+        for name in self._group_by:
+            u, inverse = np.unique(arrays[name], return_inverse=True)
+            uniques.append(u)
+            key = key * len(u) + inverse
+        group_keys, key_inverse = np.unique(key, return_inverse=True)
+        order = np.argsort(key_inverse, kind="stable")
+        boundaries = np.searchsorted(key_inverse[order],
+                                     np.arange(len(group_keys)))
+        boundaries = np.append(boundaries, length)
+
+        results: list[dict] = []
+        for gi in range(len(group_keys)):
+            members = order[boundaries[gi]:boundaries[gi + 1]]
+            representative = members[0]
+            row: dict[str, Any] = {}
+            for name in self._group_by:
+                value = arrays[name][representative]
+                row[name] = str(value) if arrays[name].dtype.kind == "U" \
+                    else value.item()
+            for out, (column, fn) in self._aggregations.items():
+                row[out] = AGGREGATIONS[fn](arrays[column][members])
+            results.append(row)
+        return results

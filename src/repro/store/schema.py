@@ -1,0 +1,360 @@
+"""Row schemas of the results store.
+
+The store is column-oriented: every persisted row kind declares a flat,
+ordered set of typed columns, and the conversion between the pipeline's
+dataclasses and those flat rows lives here.  Four kinds cover the paper's
+campaign outputs:
+
+* ``executions`` — :class:`~repro.runtime.executor.ExecutionResult` rows, the
+  sweep measurements behind Figs. 8-14;
+* ``models``     — :class:`~repro.core.records.ModelRecord` summaries (the
+  graph object itself is *not* persisted — a model is identified by its
+  checksum, which is how the uniqueness analysis groups instances anyway);
+* ``apps``       — :class:`~repro.core.records.AppRecord` rows, the Fig. 15
+  cloud-API population;
+* ``scenarios``  — :class:`~repro.core.scenarios.ScenarioResult` rows
+  (Table 4 energy scenarios).
+
+Serialisation is exact: floats go through JSON ``repr`` (shortest round-trip
+representation) in the segment log and through binary float64 in the column
+cache, so a value read back compares bit-for-bit equal to the value written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.records import AppRecord, ModelRecord
+from repro.core.scenarios import ScenarioResult
+from repro.runtime.backends import Backend
+from repro.runtime.executor import ExecutionResult
+
+__all__ = [
+    "Column",
+    "RowKind",
+    "ROW_KINDS",
+    "kind_for",
+    "kind_of_object",
+    "execution_result_to_row",
+    "execution_result_from_row",
+    "model_record_to_row",
+    "app_record_to_row",
+    "app_record_from_row",
+    "scenario_result_to_row",
+    "scenario_result_from_row",
+    "pack_strings",
+    "unpack_strings",
+]
+
+#: Separator used to pack tuple-of-string record fields into one column.
+LIST_SEPARATOR = "|"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column of a row kind."""
+
+    name: str
+    #: ``"f8"`` (float64), ``"i8"`` (int64), ``"bool"`` or ``"str"``.
+    dtype: str
+
+    @property
+    def numpy_dtype(self):
+        """The NumPy dtype backing this column in the cache."""
+        return {"f8": np.float64, "i8": np.int64, "bool": np.bool_,
+                "str": np.str_}[self.dtype]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether range (min/max) predicate pushdown applies."""
+        return self.dtype in ("f8", "i8")
+
+
+@dataclass(frozen=True)
+class RowKind:
+    """Schema plus (de)serialisers of one persisted row kind."""
+
+    name: str
+    columns: tuple[Column, ...]
+    to_row: Callable[[Any], dict]
+    #: ``None`` for summary kinds that do not reconstruct a dataclass.
+    from_row: Optional[Callable[[dict], Any]] = None
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"row kind {self.name!r} has no column {name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Ordered column names."""
+        return tuple(column.name for column in self.columns)
+
+
+def pack_strings(values) -> str:
+    """Pack a tuple of strings into one column value."""
+    return LIST_SEPARATOR.join(values)
+
+
+def unpack_strings(value: str) -> tuple[str, ...]:
+    """Unpack a packed string column back into a tuple."""
+    return tuple(value.split(LIST_SEPARATOR)) if value else ()
+
+
+# --------------------------------------------------------------------------- #
+# executions
+# --------------------------------------------------------------------------- #
+def execution_result_to_row(result: ExecutionResult) -> dict:
+    """Flatten one benchmark measurement into a store row."""
+    return {
+        "model_name": result.model_name,
+        "device_name": result.device_name,
+        "backend": result.backend.value,
+        "batch_size": result.batch_size,
+        "thread_label": result.thread_label,
+        "latency_ms": result.latency_ms,
+        "energy_mj": result.energy_mj,
+        "power_watts": result.power_watts,
+        "flops": result.flops,
+        "parameters": result.parameters,
+        "peak_memory_bytes": result.peak_memory_bytes,
+        "num_inferences": result.num_inferences,
+    }
+
+
+def execution_result_from_row(row: Mapping) -> ExecutionResult:
+    """Rebuild the exact :class:`ExecutionResult` a row was written from."""
+    return ExecutionResult(
+        model_name=row["model_name"],
+        device_name=row["device_name"],
+        backend=Backend(row["backend"]),
+        batch_size=int(row["batch_size"]),
+        thread_label=row["thread_label"],
+        latency_ms=float(row["latency_ms"]),
+        energy_mj=float(row["energy_mj"]),
+        power_watts=float(row["power_watts"]),
+        flops=int(row["flops"]),
+        parameters=int(row["parameters"]),
+        peak_memory_bytes=int(row["peak_memory_bytes"]),
+        num_inferences=int(row["num_inferences"]),
+    )
+
+
+EXECUTIONS = RowKind(
+    name="executions",
+    columns=(
+        Column("model_name", "str"),
+        Column("device_name", "str"),
+        Column("backend", "str"),
+        Column("batch_size", "i8"),
+        Column("thread_label", "str"),
+        Column("latency_ms", "f8"),
+        Column("energy_mj", "f8"),
+        Column("power_watts", "f8"),
+        Column("flops", "i8"),
+        Column("parameters", "i8"),
+        Column("peak_memory_bytes", "i8"),
+        Column("num_inferences", "i8"),
+    ),
+    to_row=execution_result_to_row,
+    from_row=execution_result_from_row,
+)
+
+
+# --------------------------------------------------------------------------- #
+# models
+# --------------------------------------------------------------------------- #
+def model_record_to_row(record: ModelRecord) -> dict:
+    """Summarise one model record (sans graph) into a store row."""
+    return {
+        "name": record.name,
+        "checksum": record.checksum,
+        "app_package": record.app_package,
+        "category": record.category,
+        "source": record.source,
+        "framework": record.framework,
+        "file_names": pack_strings(record.file_names),
+        "size_bytes": record.size_bytes,
+        "num_layers": record.num_layers,
+        "flops": record.flops,
+        "parameters": record.parameters,
+        "modality": record.modality.value,
+        "task": record.task,
+        "has_dequantize_layer": record.has_dequantize_layer,
+        "int8_weight_fraction": record.int8_weight_fraction,
+        "int8_activation_fraction": record.int8_activation_fraction,
+        "has_cluster_prefix": record.has_cluster_prefix,
+        "has_prune_prefix": record.has_prune_prefix,
+        "near_zero_weight_fraction": record.near_zero_weight_fraction,
+    }
+
+
+MODELS = RowKind(
+    name="models",
+    columns=(
+        Column("name", "str"),
+        Column("checksum", "str"),
+        Column("app_package", "str"),
+        Column("category", "str"),
+        Column("source", "str"),
+        Column("framework", "str"),
+        Column("file_names", "str"),
+        Column("size_bytes", "i8"),
+        Column("num_layers", "i8"),
+        Column("flops", "i8"),
+        Column("parameters", "i8"),
+        Column("modality", "str"),
+        Column("task", "str"),
+        Column("has_dequantize_layer", "bool"),
+        Column("int8_weight_fraction", "f8"),
+        Column("int8_activation_fraction", "f8"),
+        Column("has_cluster_prefix", "bool"),
+        Column("has_prune_prefix", "bool"),
+        Column("near_zero_weight_fraction", "f8"),
+    ),
+    to_row=model_record_to_row,
+)
+
+
+# --------------------------------------------------------------------------- #
+# apps
+# --------------------------------------------------------------------------- #
+def app_record_to_row(app: AppRecord) -> dict:
+    """Flatten one crawled-app record into a store row."""
+    return {
+        "package": app.package,
+        "title": app.title,
+        "category": app.category,
+        "downloads": app.downloads,
+        "rating": app.rating,
+        "frameworks_in_code": pack_strings(app.frameworks_in_code),
+        "native_libraries": pack_strings(app.native_libraries),
+        "accelerators": pack_strings(app.accelerators),
+        "cloud_apis": pack_strings(app.cloud_apis),
+        "cloud_providers": pack_strings(app.cloud_providers),
+        "model_count": app.model_count,
+        "candidate_file_count": app.candidate_file_count,
+        "apk_size_bytes": app.apk_size_bytes,
+    }
+
+
+def app_record_from_row(row: Mapping) -> AppRecord:
+    """Rebuild the exact :class:`AppRecord` a row was written from."""
+    return AppRecord(
+        package=row["package"],
+        title=row["title"],
+        category=row["category"],
+        downloads=int(row["downloads"]),
+        rating=float(row["rating"]),
+        frameworks_in_code=unpack_strings(row["frameworks_in_code"]),
+        native_libraries=unpack_strings(row["native_libraries"]),
+        accelerators=unpack_strings(row["accelerators"]),
+        cloud_apis=unpack_strings(row["cloud_apis"]),
+        cloud_providers=unpack_strings(row["cloud_providers"]),
+        model_count=int(row["model_count"]),
+        candidate_file_count=int(row["candidate_file_count"]),
+        apk_size_bytes=int(row["apk_size_bytes"]),
+    )
+
+
+APPS = RowKind(
+    name="apps",
+    columns=(
+        Column("package", "str"),
+        Column("title", "str"),
+        Column("category", "str"),
+        Column("downloads", "i8"),
+        Column("rating", "f8"),
+        Column("frameworks_in_code", "str"),
+        Column("native_libraries", "str"),
+        Column("accelerators", "str"),
+        Column("cloud_apis", "str"),
+        Column("cloud_providers", "str"),
+        Column("model_count", "i8"),
+        Column("candidate_file_count", "i8"),
+        Column("apk_size_bytes", "i8"),
+    ),
+    to_row=app_record_to_row,
+    from_row=app_record_from_row,
+)
+
+
+# --------------------------------------------------------------------------- #
+# scenarios
+# --------------------------------------------------------------------------- #
+def scenario_result_to_row(result: ScenarioResult) -> dict:
+    """Flatten one Table 4 scenario cost into a store row."""
+    return {
+        "scenario": result.scenario,
+        "device": result.device,
+        "model_name": result.model_name,
+        "inference_count": result.inference_count,
+        "energy_joules": result.energy_joules,
+        "battery_discharge_mah": result.battery_discharge_mah,
+        "battery_fraction": result.battery_fraction,
+    }
+
+
+def scenario_result_from_row(row: Mapping) -> ScenarioResult:
+    """Rebuild the exact :class:`ScenarioResult` a row was written from."""
+    return ScenarioResult(
+        scenario=row["scenario"],
+        device=row["device"],
+        model_name=row["model_name"],
+        inference_count=int(row["inference_count"]),
+        energy_joules=float(row["energy_joules"]),
+        battery_discharge_mah=float(row["battery_discharge_mah"]),
+        battery_fraction=float(row["battery_fraction"]),
+    )
+
+
+SCENARIOS = RowKind(
+    name="scenarios",
+    columns=(
+        Column("scenario", "str"),
+        Column("device", "str"),
+        Column("model_name", "str"),
+        Column("inference_count", "i8"),
+        Column("energy_joules", "f8"),
+        Column("battery_discharge_mah", "f8"),
+        Column("battery_fraction", "f8"),
+    ),
+    to_row=scenario_result_to_row,
+    from_row=scenario_result_from_row,
+)
+
+
+#: Every registered row kind, by name.
+ROW_KINDS: dict[str, RowKind] = {
+    kind.name: kind for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS)
+}
+
+#: Dispatch table from pipeline dataclasses to their row kind.
+_OBJECT_KINDS: tuple[tuple[type, RowKind], ...] = (
+    (ExecutionResult, EXECUTIONS),
+    (ModelRecord, MODELS),
+    (AppRecord, APPS),
+    (ScenarioResult, SCENARIOS),
+)
+
+
+def kind_for(name: str) -> RowKind:
+    """Look up a row kind by name."""
+    try:
+        return ROW_KINDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown row kind {name!r} (have {sorted(ROW_KINDS)})") from None
+
+
+def kind_of_object(obj: Any) -> RowKind:
+    """Row kind a pipeline object is persisted as."""
+    for type_, kind in _OBJECT_KINDS:
+        if isinstance(obj, type_):
+            return kind
+    raise TypeError(f"no row kind registered for {type(obj).__name__}")

@@ -1,0 +1,258 @@
+"""Immutable store segments: JSONL row logs plus NumPy column caches.
+
+A segment is the unit of durability and of query pruning:
+
+* the **row log** (``<name>.jsonl``) is the source of truth — one JSON object
+  per line, written to a temporary file, fsynced and atomically renamed into
+  place, with its SHA-256 recorded in the store manifest;
+* the **column cache** (``<name>.npz``) holds the same rows as one NumPy
+  array per column for vectorised scans.  It is derived state: it embeds the
+  row log's checksum and is rebuilt from the log whenever it is missing or
+  does not match (e.g. a crash between the two writes);
+* the **stats** recorded in the manifest (per-column min/max for numeric
+  columns, the distinct-value set for low-cardinality string columns) let the
+  query engine skip whole segments without touching the filesystem.
+
+Segments are append-only at the store level — once sealed, a segment file is
+never modified, so readers can cache its columns indefinitely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.store.schema import RowKind
+
+__all__ = ["SegmentMeta", "StoreCorruptionError", "write_segment",
+           "load_rows", "load_columns", "build_columns", "column_stats",
+           "verify_segment", "atomic_write_bytes"]
+
+#: String columns with at most this many distinct values record them in the
+#: manifest stats, enabling equality pushdown; beyond it only row counts are
+#: kept (the set would bloat the manifest without helping selectivity).
+MAX_DISTINCT_TRACKED = 64
+
+
+class StoreCorruptionError(RuntimeError):
+    """A committed segment does not match its manifest checksum."""
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Manifest entry describing one sealed, immutable segment."""
+
+    name: str
+    kind: str
+    rows: int
+    sha256: str
+    #: ``{column: {"min": x, "max": y}}`` for numeric columns and
+    #: ``{column: {"values": [...]}}`` for tracked string columns.
+    stats: Mapping[str, Mapping] = field(default_factory=dict)
+
+    @property
+    def log_filename(self) -> str:
+        """Row-log file name within the segments directory."""
+        return f"{self.name}.jsonl"
+
+    @property
+    def cache_filename(self) -> str:
+        """Column-cache file name within the segments directory."""
+        return f"{self.name}.npz"
+
+    def to_json(self) -> dict:
+        """Manifest-serialisable form."""
+        return {"name": self.name, "kind": self.kind, "rows": self.rows,
+                "sha256": self.sha256, "stats": dict(self.stats)}
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "SegmentMeta":
+        """Rebuild a meta from its manifest entry."""
+        return cls(name=data["name"], kind=data["kind"], rows=int(data["rows"]),
+                   sha256=data["sha256"], stats=dict(data.get("stats", {})))
+
+
+# --------------------------------------------------------------------------- #
+# Atomic file plumbing
+# --------------------------------------------------------------------------- #
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via tmp-file + fsync + atomic rename.
+
+    After this returns the file is either fully present with the new content
+    or (if the process died earlier) entirely absent/unchanged — never a
+    partial write under the final name.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename to the directory entry (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+# --------------------------------------------------------------------------- #
+# Column building and stats
+# --------------------------------------------------------------------------- #
+def build_columns(kind: RowKind, rows: Sequence[Mapping]) -> dict[str, np.ndarray]:
+    """Pivot rows into one read-only NumPy array per schema column."""
+    columns: dict[str, np.ndarray] = {}
+    for column in kind.columns:
+        values = [row[column.name] for row in rows]
+        if column.dtype == "str":
+            array = np.array(values, dtype=np.str_)
+        else:
+            array = np.array(values, dtype=column.numpy_dtype)
+        array.setflags(write=False)
+        columns[column.name] = array
+    return columns
+
+
+def column_stats(kind: RowKind, columns: Mapping[str, np.ndarray]) -> dict:
+    """Per-column pruning stats recorded in the manifest.
+
+    Numeric columns record their min/max; string columns record their distinct
+    values when few enough to be useful for equality pushdown.
+    """
+    stats: dict[str, dict] = {}
+    for column in kind.columns:
+        array = columns[column.name]
+        if array.size == 0:
+            continue
+        if column.is_numeric:
+            stats[column.name] = {"min": array.min().item(),
+                                  "max": array.max().item()}
+        elif column.dtype == "str":
+            distinct = np.unique(array)
+            if distinct.size <= MAX_DISTINCT_TRACKED:
+                stats[column.name] = {"values": [str(v) for v in distinct]}
+    return stats
+
+
+# --------------------------------------------------------------------------- #
+# Segment IO
+# --------------------------------------------------------------------------- #
+def write_segment(directory: Path, name: str, kind: RowKind,
+                  rows: Sequence[Mapping]) -> SegmentMeta:
+    """Seal ``rows`` into an immutable segment and return its manifest entry.
+
+    The row log is written atomically first (it is the durable artefact);
+    the column cache is written second and is recoverable, so a crash between
+    the two leaves a valid, rebuildable segment.  The segment only becomes
+    *visible* once the caller commits the returned meta to the manifest.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    for row in rows:
+        buffer.write(json.dumps(row, sort_keys=True).encode("utf-8"))
+        buffer.write(b"\n")
+    payload = buffer.getvalue()
+    digest = hashlib.sha256(payload).hexdigest()
+
+    meta = SegmentMeta(name=name, kind=kind.name, rows=len(rows), sha256=digest)
+    atomic_write_bytes(directory / meta.log_filename, payload)
+
+    columns = build_columns(kind, rows)
+    meta = SegmentMeta(name=name, kind=kind.name, rows=len(rows),
+                       sha256=digest, stats=column_stats(kind, columns))
+    _write_cache(directory / meta.cache_filename, digest, columns)
+    return meta
+
+
+def _write_cache(path: Path, log_sha256: str,
+                 columns: Mapping[str, np.ndarray]) -> None:
+    """Write the npz column cache, tagged with the row log's checksum."""
+    buffer = io.BytesIO()
+    np.savez(buffer, __log_sha256__=np.array(log_sha256),
+             **{name: array for name, array in columns.items()})
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+def _read_log(directory: Path, meta: SegmentMeta, *, verify: bool) -> bytes:
+    """Read a committed row log, optionally verifying its checksum."""
+    path = directory / meta.log_filename
+    try:
+        payload = path.read_bytes()
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} is in the manifest but its row log "
+            f"{path} is missing") from None
+    if verify and hashlib.sha256(payload).hexdigest() != meta.sha256:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} row log does not match its manifest "
+            f"checksum — the store is corrupt")
+    return payload
+
+
+def verify_segment(directory: Path, meta: SegmentMeta) -> None:
+    """Check one committed segment's row log against its manifest checksum.
+
+    Raises :class:`StoreCorruptionError` when the log is missing or does not
+    hash to the manifest's sha256.
+    """
+    _read_log(directory, meta, verify=True)
+
+
+def load_rows(directory: Path, meta: SegmentMeta, *,
+              verify: bool = False) -> list[dict]:
+    """Load a committed segment's rows from its JSONL log."""
+    payload = _read_log(directory, meta, verify=verify)
+    rows = [json.loads(line) for line in payload.splitlines() if line]
+    if len(rows) != meta.rows:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} holds {len(rows)} rows, manifest "
+            f"says {meta.rows}")
+    return rows
+
+
+def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
+                 verify: bool = False) -> dict[str, np.ndarray]:
+    """Load a segment's column arrays, rebuilding the cache if needed.
+
+    The npz cache is only trusted when its embedded checksum matches the
+    manifest entry; otherwise (missing file, torn write, stale generation)
+    the columns are rebuilt from the row log and the cache is rewritten.
+    With ``verify`` the row log itself is checksummed too, even when the
+    cache is valid — the paranoid mode for auditing a copied store.
+    """
+    if verify:
+        _read_log(directory, meta, verify=True)
+    path = directory / meta.cache_filename
+    if path.exists():
+        try:
+            with np.load(path) as archive:
+                if str(archive["__log_sha256__"]) == meta.sha256:
+                    columns = {}
+                    for column in kind.columns:
+                        array = archive[column.name]
+                        array.setflags(write=False)
+                        columns[column.name] = array
+                    if all(a.shape == (meta.rows,) for a in columns.values()):
+                        return columns
+        except (OSError, ValueError, KeyError):
+            pass  # fall through to a rebuild from the row log
+    rows = load_rows(directory, meta, verify=verify)
+    columns = build_columns(kind, rows)
+    _write_cache(path, meta.sha256, columns)
+    return columns

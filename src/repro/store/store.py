@@ -1,0 +1,189 @@
+"""The persistent results store: manifest, segments and read-side cache.
+
+Layout on disk::
+
+    campaign.store/
+      MANIFEST.json          # the only mutable file; updated atomically
+      segments/
+        executions-000001.jsonl   # immutable row log (source of truth)
+        executions-000001.npz     # derived column cache (rebuildable)
+        models-000002.jsonl
+        ...
+
+The manifest is the commit point: a segment exists for readers if and only if
+it is listed there.  Both segment seals and manifest updates are atomic
+(tmp-file + fsync + rename), so a crash at any instant leaves the store at
+the last committed manifest — partially written files are simply never
+referenced and are overwritten by the next seal of the same sequence number.
+
+Reads are cached per segment: segments are immutable, so once a segment's
+columns are in memory every later query and report over it is free.  That is
+what makes repeated report generation over a growing campaign incremental —
+only segments committed since the last read touch the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.store import segment as segment_io
+from repro.store.schema import ROW_KINDS, RowKind, kind_for
+from repro.store.segment import SegmentMeta, StoreCorruptionError
+
+__all__ = ["ResultStore", "StoreCorruptionError"]
+
+MANIFEST_NAME = "MANIFEST.json"
+SEGMENTS_DIR = "segments"
+FORMAT_VERSION = 1
+
+
+class ResultStore:
+    """An append-only, sharded, column-oriented store of campaign results.
+
+    Opening a path that holds no manifest yields an empty store; nothing is
+    written until a :class:`~repro.store.writer.StoreWriter` commits its first
+    segment.  The store object is cheap to hold open across ingestion —
+    :meth:`refresh` picks up newly committed segments without invalidating
+    the cache of already-loaded ones.
+    """
+
+    def __init__(self, root: Union[str, Path], *, verify: bool = False) -> None:
+        self.root = Path(root)
+        self.verify = verify
+        self._manifest: dict = {"format_version": FORMAT_VERSION,
+                                "sequence": 0, "segments": []}
+        self._segments: tuple[SegmentMeta, ...] = ()
+        self._columns_cache: dict[str, dict[str, np.ndarray]] = {}
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Manifest plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the manifest file."""
+        return self.root / MANIFEST_NAME
+
+    @property
+    def segments_dir(self) -> Path:
+        """Directory holding the segment files."""
+        return self.root / SEGMENTS_DIR
+
+    def refresh(self) -> None:
+        """Re-read the manifest, picking up newly committed segments."""
+        try:
+            data = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StoreCorruptionError(
+                f"store at {self.root} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}")
+        self._manifest = data
+        self._segments = tuple(
+            SegmentMeta.from_json(entry) for entry in data["segments"])
+        live = {meta.name for meta in self._segments}
+        for name in list(self._columns_cache):
+            if name not in live:  # pragma: no cover - defensive; append-only
+                del self._columns_cache[name]
+
+    def _commit(self, new_segments: Sequence[SegmentMeta], sequence: int) -> None:
+        """Atomically append sealed segments to the manifest (writer hook)."""
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "sequence": sequence,
+            "segments": [meta.to_json() for meta in self._segments]
+                        + [meta.to_json() for meta in new_segments],
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(manifest, indent=2).encode("utf-8") + b"\n"
+        segment_io.atomic_write_bytes(self.manifest_path, payload)
+        self._manifest = manifest
+        self._segments = self._segments + tuple(new_segments)
+
+    @property
+    def sequence(self) -> int:
+        """Monotonic segment sequence number (writer allocation state)."""
+        return int(self._manifest.get("sequence", 0))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def segments(self) -> tuple[SegmentMeta, ...]:
+        """Committed segments, in commit order."""
+        return self._segments
+
+    def segments_for(self, kind: Union[str, RowKind]) -> tuple[SegmentMeta, ...]:
+        """Committed segments of one row kind, in commit order."""
+        name = kind if isinstance(kind, str) else kind.name
+        return tuple(meta for meta in self._segments if meta.kind == name)
+
+    def kinds(self) -> tuple[str, ...]:
+        """Row kinds with at least one committed segment, in first-commit order."""
+        seen: dict[str, None] = {}
+        for meta in self._segments:
+            seen.setdefault(meta.kind, None)
+        return tuple(seen)
+
+    def num_rows(self, kind: Optional[str] = None) -> int:
+        """Committed row count, overall or for one kind."""
+        return sum(meta.rows for meta in self._segments
+                   if kind is None or meta.kind == kind)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def columns_for(self, meta: SegmentMeta) -> dict[str, np.ndarray]:
+        """Column arrays of one committed segment (cached in memory)."""
+        cached = self._columns_cache.get(meta.name)
+        if cached is None:
+            cached = segment_io.load_columns(
+                self.segments_dir, meta, kind_for(meta.kind),
+                verify=self.verify)
+            self._columns_cache[meta.name] = cached
+        return cached
+
+    def rows_for(self, meta: SegmentMeta) -> list[dict]:
+        """Rows of one committed segment, from its JSONL log."""
+        return segment_io.load_rows(self.segments_dir, meta, verify=self.verify)
+
+    def iter_rows(self, kind: str) -> Iterator[dict]:
+        """Every committed row of a kind, in ingestion order."""
+        for meta in self.segments_for(kind):
+            yield from self.rows_for(meta)
+
+    def query(self, kind: str) -> "Query":
+        """Start a :class:`~repro.store.query.Query` over one row kind."""
+        from repro.store.query import Query
+
+        return Query(self, kind_for(kind))
+
+    # ------------------------------------------------------------------ #
+    # Writes / integrity
+    # ------------------------------------------------------------------ #
+    def writer(self, *, rows_per_segment: int = 4096) -> "StoreWriter":
+        """A streaming writer appending new segments to this store."""
+        from repro.store.writer import StoreWriter
+
+        return StoreWriter(self, rows_per_segment=rows_per_segment)
+
+    def verify_integrity(self) -> int:
+        """Check every committed segment against its checksum.
+
+        Returns the number of segments verified; raises
+        :class:`StoreCorruptionError` on the first mismatch.
+        """
+        for meta in self._segments:
+            segment_io.verify_segment(self.segments_dir, meta)
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        per_kind = ", ".join(f"{kind}={self.num_rows(kind)}"
+                             for kind in self.kinds()) or "empty"
+        return f"ResultStore({str(self.root)!r}: {per_kind})"

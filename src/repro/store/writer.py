@@ -1,0 +1,135 @@
+"""Streaming ingestion into a :class:`~repro.store.store.ResultStore`.
+
+The writer accepts pipeline objects (:class:`ExecutionResult`,
+:class:`ModelRecord`, :class:`AppRecord`, :class:`ScenarioResult`) or raw
+rows, buffers them per row kind, and seals a segment whenever a buffer
+reaches ``rows_per_segment`` (and at :meth:`flush`/:meth:`close`).  Sealing
+follows the commit protocol of :mod:`repro.store.segment`:
+
+1. write the JSONL row log atomically and checksum it;
+2. write the derived npz column cache (recoverable if this is lost);
+3. atomically rewrite ``MANIFEST.json`` to reference the new segment.
+
+Only step 3 makes rows visible, so a crash at any point loses at most the
+rows buffered since the last seal — never previously committed data, and
+never a torn segment.  The writer is the sweep's ``on_result`` sink: pass
+``writer.append`` directly as the callback, or use
+:meth:`~repro.runtime.sweep.SweepRunner.run_to_store`.
+
+One writer per store at a time; concurrent writers would race on the
+sequence counter (single-writer, many-reader is the supported regime).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.store.schema import RowKind, kind_for, kind_of_object
+from repro.store.segment import SegmentMeta, write_segment
+from repro.store.store import ResultStore
+
+__all__ = ["StoreWriter", "ingest_snapshot"]
+
+
+class StoreWriter:
+    """Append-only, batching writer over one open store."""
+
+    def __init__(self, store: ResultStore, *, rows_per_segment: int = 4096) -> None:
+        if rows_per_segment <= 0:
+            raise ValueError("rows_per_segment must be positive")
+        self.store = store
+        self.rows_per_segment = rows_per_segment
+        self._pending: dict[str, list[dict]] = {}
+        self._sequence = store.sequence
+        self._closed = False
+        #: Rows committed (sealed + manifest-visible) by this writer.
+        self.rows_committed = 0
+        #: Segments sealed by this writer.
+        self.segments_sealed = 0
+
+    # ------------------------------------------------------------------ #
+    # Appends
+    # ------------------------------------------------------------------ #
+    def append(self, obj: Any) -> None:
+        """Append one pipeline object, dispatching on its type."""
+        kind = kind_of_object(obj)
+        self.append_row(kind, kind.to_row(obj))
+
+    def append_row(self, kind: Union[str, RowKind], row: Mapping) -> None:
+        """Append one already-flattened row of an explicit kind."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        if isinstance(kind, str):
+            kind = kind_for(kind)
+        missing = [c.name for c in kind.columns if c.name not in row]
+        if missing:
+            raise ValueError(
+                f"row for kind {kind.name!r} is missing columns {missing}")
+        pending = self._pending.setdefault(kind.name, [])
+        pending.append(dict(row))
+        if len(pending) >= self.rows_per_segment:
+            self.flush(kind.name)
+
+    def append_many(self, objects: Iterable[Any]) -> int:
+        """Append a stream of pipeline objects; returns how many."""
+        count = 0
+        for obj in objects:
+            self.append(obj)
+            count += 1
+        return count
+
+    @property
+    def rows_pending(self) -> int:
+        """Rows buffered but not yet committed."""
+        return sum(len(rows) for rows in self._pending.values())
+
+    # ------------------------------------------------------------------ #
+    # Sealing
+    # ------------------------------------------------------------------ #
+    def flush(self, kind: Optional[str] = None) -> None:
+        """Seal pending rows (of one kind, or all) and commit the manifest."""
+        kinds = [kind] if kind is not None else list(self._pending)
+        sealed: list[SegmentMeta] = []
+        for name in kinds:
+            rows = self._pending.get(name)
+            if not rows:
+                continue
+            self._sequence += 1
+            segment_name = f"{name}-{self._sequence:06d}"
+            sealed.append(write_segment(
+                self.store.segments_dir, segment_name, kind_for(name), rows))
+            self._pending[name] = []
+        if sealed:
+            self.store._commit(sealed, self._sequence)
+            self.segments_sealed += len(sealed)
+            self.rows_committed += sum(meta.rows for meta in sealed)
+
+    def close(self) -> None:
+        """Flush everything pending and refuse further appends."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Commit what was ingested even when the producing loop failed —
+        # partial campaigns are queryable and resumable by design.
+        self.close()
+
+
+def ingest_snapshot(sink: Union[ResultStore, StoreWriter], analysis) -> int:
+    """Persist a snapshot analysis (app + model rows) into a store.
+
+    ``analysis`` is a :class:`~repro.core.records.SnapshotAnalysis`; its app
+    and model records become ``apps`` / ``models`` rows, giving store-backed
+    reports (e.g. the Fig. 15 cloud-API table) the same population the
+    in-memory path sees.  Returns the number of rows written.
+    """
+    if isinstance(sink, StoreWriter):
+        count = sink.append_many(analysis.apps)
+        count += sink.append_many(analysis.models)
+        return count
+    with sink.writer() as writer:
+        return ingest_snapshot(writer, analysis)

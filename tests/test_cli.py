@@ -52,3 +52,64 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "models:" in output
         assert "cloud-ML apps" in output
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        path = tmp_path / "campaign.store"
+        assert main(["sweep", "--scale", "0.02", "--devices", "S21",
+                     "--store", str(path)]) == 0
+        return path
+
+    def test_parse_where_expressions(self):
+        from repro.cli import _parse_where
+
+        assert _parse_where("device_name=S21") == ("device_name", "==", "S21")
+        assert _parse_where("latency_ms<=5.5") == ("latency_ms", "<=", 5.5)
+        assert _parse_where("batch_size!=1") == ("batch_size", "!=", 1)
+        with pytest.raises(Exception):
+            _parse_where("nonsense")
+
+    def test_sweep_store_streams_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "fresh.store"
+        assert main(["sweep", "--scale", "0.02", "--devices", "S21",
+                     "--store", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "streamed" in output
+        assert "mean ms" in output
+
+    def test_store_query_aggregate(self, store_path, capsys):
+        assert main(["store", "query", str(store_path),
+                     "--where", "device_name=S21",
+                     "--group-by", "backend",
+                     "--agg", "latency_ms:mean,median"]) == 0
+        output = capsys.readouterr().out
+        assert "latency_ms_mean" in output
+        assert "segments" in output
+
+    def test_store_query_rows(self, store_path, capsys):
+        assert main(["store", "query", str(store_path), "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "latency_ms" in output
+
+    def test_store_report_tables(self, store_path, capsys):
+        for table, marker in (("summary", "segments"),
+                              ("latency_ecdf", "median ms"),
+                              ("energy", "median mJ"),
+                              ("cloud", "provider")):
+            assert main(["store", "report", str(store_path),
+                         "--table", table]) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_store_info_verifies(self, store_path, capsys):
+        assert main(["store", "info", str(store_path), "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "executions" in output
+        assert "checksums: OK" in output
+
+    def test_sweep_chunk_size_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "--chunk-size", "16", "--store", "x.store"])
+        assert args.chunk_size == 16
+        assert args.store == "x.store"

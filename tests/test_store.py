@@ -1,0 +1,473 @@
+"""Tests for the persistent results store: durability, round-trips, queries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import reports
+from repro.devices.device import device_by_name
+from repro.dnn.zoo import autocomplete_lstm, blazeface, mobilenet_v1
+from repro.runtime import Backend, Executor, SweepRunner, SweepSpec
+from repro.store import (ReportServer, ResultStore, StoreCorruptionError,
+                         ingest_snapshot)
+from repro.store.schema import (app_record_from_row, app_record_to_row,
+                                execution_result_from_row,
+                                execution_result_to_row, kind_for,
+                                kind_of_object, scenario_result_from_row,
+                                scenario_result_to_row)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """A deterministic batch of measurements across two devices/backends."""
+    out = []
+    for name, seed in (("S21", 3), ("A20", 4)):
+        executor = Executor(device_by_name(name), seed=seed)
+        for graph in (mobilenet_v1(weight_seed=2), blazeface(weight_seed=2),
+                      autocomplete_lstm(weight_seed=2)):
+            out.append(executor.run(graph, Backend.CPU, num_inferences=3))
+            if graph.name != autocomplete_lstm().name:
+                out.append(executor.run(graph, Backend.XNNPACK,
+                                        num_inferences=3))
+    return out
+
+
+@pytest.fixture()
+def populated(tmp_path, results):
+    """A store holding ``results`` across several small segments."""
+    store = ResultStore(tmp_path / "campaign.store")
+    with store.writer(rows_per_segment=3) as writer:
+        for result in results:
+            writer.append(result)
+    return store
+
+
+class TestSchemaRoundTrip:
+    def test_execution_result_exact(self, results):
+        for result in results:
+            row = execution_result_to_row(result)
+            assert execution_result_from_row(row) == result
+
+    def test_execution_result_survives_json(self, results):
+        # Float repr round-trips exactly through the JSONL row log.
+        for result in results:
+            row = json.loads(json.dumps(execution_result_to_row(result)))
+            assert execution_result_from_row(row) == result
+
+    def test_app_record_round_trip(self):
+        from repro.core.records import AppRecord
+
+        app = AppRecord(package="com.x", title="X", category="TOOLS",
+                        downloads=10, rating=4.5,
+                        frameworks_in_code=("tflite",), native_libraries=(),
+                        accelerators=("gpu", "dsp"),
+                        cloud_apis=("Vision/Face",), cloud_providers=("Google",),
+                        model_count=2, candidate_file_count=3,
+                        apk_size_bytes=123)
+        assert app_record_from_row(app_record_to_row(app)) == app
+
+    def test_scenario_result_round_trip(self):
+        from repro.core.scenarios import ScenarioResult
+
+        scenario = ScenarioResult(scenario="Typing", device="Q845",
+                                  model_name="lstm", inference_count=275,
+                                  energy_joules=1.25,
+                                  battery_discharge_mah=0.09,
+                                  battery_fraction=2.3e-05)
+        assert scenario_result_from_row(
+            scenario_result_to_row(scenario)) == scenario
+
+    def test_object_dispatch(self, results):
+        assert kind_of_object(results[0]).name == "executions"
+        with pytest.raises(TypeError):
+            kind_of_object(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            kind_for("nope")
+
+
+class TestWriterAndReopen:
+    def test_round_trip_through_disk(self, populated, results):
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == results
+
+    def test_segment_rotation(self, populated, results):
+        segments = populated.segments_for("executions")
+        assert len(segments) == -(-len(results) // 3)
+        assert sum(meta.rows for meta in segments) == len(results)
+        # Sealed logs and caches both exist on disk.
+        for meta in segments:
+            assert (populated.segments_dir / meta.log_filename).exists()
+            assert (populated.segments_dir / meta.cache_filename).exists()
+
+    def test_writer_validates_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with store.writer() as writer:
+            with pytest.raises(ValueError):
+                writer.append_row("executions", {"model_name": "m"})
+
+    def test_closed_writer_refuses_appends(self, tmp_path, results):
+        store = ResultStore(tmp_path / "s")
+        writer = store.writer()
+        writer.append(results[0])
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.append(results[0])
+
+    def test_open_store_sees_commits_after_refresh(self, tmp_path, results):
+        store = ResultStore(tmp_path / "s")
+        reader = ResultStore(tmp_path / "s")
+        with store.writer(rows_per_segment=2) as writer:
+            writer.append_many(results[:4])
+        assert reader.num_rows("executions") == 0  # stale view
+        reader.refresh()
+        assert reader.num_rows("executions") == 4
+
+    def test_ingest_snapshot(self, tmp_path):
+        from repro.android.appgen import AppGenerator, GeneratorConfig
+        from repro.android.playstore import PlayStore
+        from repro.core.pipeline import GaugeNN
+
+        store = PlayStore([AppGenerator(
+            GeneratorConfig.snapshot_2021(scale=0.02)).generate()])
+        analysis = GaugeNN(store).analyze_snapshot("2021")
+        result_store = ResultStore(tmp_path / "s")
+        rows = ingest_snapshot(result_store, analysis)
+        assert rows == len(analysis.apps) + len(analysis.models)
+        assert result_store.num_rows("apps") == len(analysis.apps)
+        assert result_store.num_rows("models") == len(analysis.models)
+        # App records round-trip exactly through the store.
+        assert result_store.query("apps").objects() == analysis.apps
+
+
+class TestDurability:
+    """Ingest -> kill mid-segment (simulated) -> reopen -> committed rows only."""
+
+    def test_uncommitted_segment_is_invisible(self, populated, results):
+        committed = populated.query("executions").objects()
+        # Simulate a crash after a row log was sealed but before the manifest
+        # commit: a well-formed segment file that no manifest entry references.
+        orphan = populated.segments_dir / "executions-000099.jsonl"
+        orphan.write_text(json.dumps(
+            execution_result_to_row(results[0])) + "\n")
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == committed
+
+    def test_torn_tmp_files_are_invisible(self, populated, results):
+        committed = populated.query("executions").objects()
+        # Simulate a crash mid-write: partial tmp files for a segment, its
+        # cache and the manifest, including a truncated (torn) JSON line.
+        half_row = json.dumps(execution_result_to_row(results[0]))[:37]
+        (populated.segments_dir / "executions-000100.jsonl.tmp").write_text(
+            json.dumps(execution_result_to_row(results[1])) + "\n" + half_row)
+        (populated.segments_dir / "executions-000100.npz.tmp").write_bytes(b"\x00")
+        (populated.root / "MANIFEST.json.tmp").write_text("{\"format_")
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == committed
+
+    def test_reopen_after_partial_flush(self, tmp_path, results):
+        # Writer dies before flushing its tail: the committed prefix is exactly
+        # the sealed segments, nothing more, nothing less.
+        store = ResultStore(tmp_path / "s")
+        writer = store.writer(rows_per_segment=4)
+        writer.append_many(results)  # seals len(results)//4 full segments
+        committed = writer.rows_committed
+        assert committed == len(results) - len(results) % 4
+        del writer  # crash: pending tail never flushed
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.num_rows("executions") == committed
+        assert reopened.query("executions").objects() == results[:committed]
+
+    def test_corrupted_segment_detected(self, populated):
+        meta = populated.segments_for("executions")[0]
+        path = populated.segments_dir / meta.log_filename
+        path.write_text(path.read_text().replace("latency_ms", "latency_MS"))
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(populated.root).verify_integrity()
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(populated.root, verify=True).query(
+                "executions").objects()
+
+    def test_missing_column_cache_rebuilt(self, populated, results):
+        for meta in populated.segments_for("executions"):
+            (populated.segments_dir / meta.cache_filename).unlink()
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == results
+        # The rebuild also rewrote the caches.
+        for meta in reopened.segments_for("executions"):
+            assert (reopened.segments_dir / meta.cache_filename).exists()
+
+    def test_stale_column_cache_ignored(self, populated, results):
+        # A cache from a different generation (checksum mismatch) is rebuilt
+        # from the row log instead of being trusted.
+        segments = populated.segments_for("executions")
+        first = populated.segments_dir / segments[0].cache_filename
+        second = populated.segments_dir / segments[1].cache_filename
+        first.write_bytes(second.read_bytes())
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == results
+
+
+class TestQueryEngine:
+    def test_equality_filter(self, populated, results):
+        expected = [r for r in results if r.device_name == "S21"]
+        query = populated.query("executions").where(device_name="S21")
+        assert query.objects() == expected
+
+    def test_enum_values_accepted(self, populated, results):
+        expected = [r for r in results if r.backend is Backend.XNNPACK]
+        assert populated.query("executions").where(
+            backend=Backend.XNNPACK).objects() == expected
+
+    def test_range_filter(self, populated, results):
+        cutoff = sorted(r.latency_ms for r in results)[len(results) // 2]
+        expected = [r for r in results if r.latency_ms < cutoff]
+        assert populated.query("executions").where(
+            "latency_ms", "<", cutoff).objects() == expected
+
+    def test_in_filter(self, populated, results):
+        wanted = {mobilenet_v1().name, blazeface().name}
+        expected = [r for r in results if r.model_name in wanted]
+        assert populated.query("executions").where(
+            "model_name", "in", sorted(wanted)).objects() == expected
+
+    def test_count_and_arrays(self, populated, results):
+        query = populated.query("executions")
+        assert query.count() == len(results)
+        arrays = populated.query("executions").arrays("latency_ms", "flops")
+        assert arrays["latency_ms"].dtype == np.float64
+        assert arrays["latency_ms"].tolist() == [r.latency_ms for r in results]
+        assert arrays["flops"].tolist() == [r.flops for r in results]
+
+    def test_unknown_column_rejected(self, populated):
+        with pytest.raises(KeyError):
+            populated.query("executions").where(nonexistent=1)
+        with pytest.raises(KeyError):
+            populated.query("executions").group_by("nonexistent")
+
+    def test_type_mismatched_predicate_rejected(self, populated):
+        # A string against a numeric column fails at build time with a clear
+        # error, not deep inside a stats comparison.
+        with pytest.raises(ValueError):
+            populated.query("executions").where(batch_size="abc")
+        with pytest.raises(ValueError):
+            populated.query("executions").where("latency_ms", "<", "fast")
+        with pytest.raises(ValueError):
+            populated.query("executions").where(device_name=7)
+
+    def test_aggregate_over_no_matching_rows(self, populated):
+        out = populated.query("executions").where(
+            device_name="NOPE").agg(
+            n=("latency_ms", "count"),
+            lo=("latency_ms", "min"),
+            mid=("latency_ms", "median")).aggregate()
+        assert out == {"n": 0, "lo": None, "mid": None}
+        grouped = populated.query("executions").where(
+            device_name="NOPE").group_by("backend").agg(
+            n=("latency_ms", "count")).aggregate()
+        assert grouped == []
+
+    def test_aggregate_ungrouped(self, populated, results):
+        out = populated.query("executions").agg(
+            mean_ms=("latency_ms", "mean"),
+            total=("latency_ms", "count")).aggregate()
+        assert out["total"] == len(results)
+        assert out["mean_ms"] == pytest.approx(
+            np.mean([r.latency_ms for r in results]))
+
+    def test_aggregate_grouped_matches_manual(self, populated, results):
+        out = populated.query("executions").group_by(
+            "device_name", "backend").agg(
+            n=("latency_ms", "count"),
+            median_mj=("energy_mj", "median")).aggregate()
+        manual = {}
+        for r in results:
+            manual.setdefault((r.device_name, r.backend.value), []).append(
+                r.energy_mj)
+        assert {(row["device_name"], row["backend"]) for row in out} \
+            == set(manual)
+        for row in out:
+            group = manual[(row["device_name"], row["backend"])]
+            assert row["n"] == len(group)
+            assert row["median_mj"] == pytest.approx(np.median(group))
+
+    def test_predicate_pushdown_skips_segments(self, tmp_path, results):
+        # One segment per device: a device-equality query must only scan one.
+        store = ResultStore(tmp_path / "s")
+        by_device = {}
+        for r in results:
+            by_device.setdefault(r.device_name, []).append(r)
+        with store.writer(rows_per_segment=10 ** 6) as writer:
+            for device_results in by_device.values():
+                writer.append_many(device_results)
+                writer.flush()
+        query = store.query("executions").where(device_name="A20")
+        assert query.objects() == by_device["A20"]
+        assert query.stats.segments_total == 2
+        assert query.stats.segments_skipped == 1
+        assert query.stats.segments_scanned == 1
+
+    def test_numeric_pushdown(self, populated, results):
+        top = max(r.latency_ms for r in results)
+        query = populated.query("executions").where("latency_ms", ">", top)
+        assert query.objects() == []
+        assert query.stats.segments_scanned < query.stats.segments_total \
+            or query.stats.segments_total == query.stats.segments_skipped
+
+    def test_summary_kind_has_no_objects(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(TypeError):
+            store.query("models").objects()
+
+
+class TestServing:
+    @pytest.fixture()
+    def by_device(self, results):
+        grouped = {}
+        for result in results:
+            grouped.setdefault(result.device_name, []).append(result)
+        return grouped
+
+    def test_latency_ecdf_bit_identical(self, populated, by_device):
+        assert ReportServer(populated).latency_ecdf_by_device() \
+            == reports.latency_ecdf_by_device(by_device)
+
+    def test_energy_distributions_bit_identical(self, populated, by_device):
+        server = ReportServer(populated)
+        assert server.energy_distributions() \
+            == reports.energy_distributions(by_device)
+        assert server.energy_distributions(drop_outliers=False) \
+            == reports.energy_distributions(by_device, drop_outliers=False)
+
+    def test_latency_vs_flops_bit_identical(self, populated, by_device):
+        server = ReportServer(populated)
+        for device, device_results in by_device.items():
+            assert server.latency_vs_flops(device) \
+                == reports.latency_vs_flops(device_results)
+
+    def test_reports_accept_store_directly(self, populated, by_device):
+        assert reports.latency_ecdf_by_device(populated) \
+            == reports.latency_ecdf_by_device(by_device)
+        assert reports.energy_distributions(populated) \
+            == reports.energy_distributions(by_device)
+        assert reports.latency_vs_flops(populated, "S21") \
+            == reports.latency_vs_flops(by_device["S21"])
+        with pytest.raises(ValueError):
+            reports.latency_vs_flops(populated)  # store needs a device name
+
+    def test_incremental_refresh(self, tmp_path, results):
+        store = ResultStore(tmp_path / "s")
+        server = ReportServer(store)
+        with store.writer(rows_per_segment=4) as writer:
+            writer.append_many(results[:4])
+        assert server.refresh() == 1
+        first = server.latency_ecdf_by_device()
+        with store.writer(rows_per_segment=4) as writer:
+            writer.append_many(results[4:8])
+        # Only the newly committed segment is loaded on refresh.
+        assert server.refresh() == 1
+        assert server.refresh() == 0
+        second = server.latency_ecdf_by_device()
+        assert sum(len(e.values) for e in second.values()) == 8
+        assert second != first
+
+    def test_cloud_api_usage_matches_analysis(self, tmp_path):
+        from repro.android.appgen import AppGenerator, GeneratorConfig
+        from repro.android.playstore import PlayStore
+        from repro.core.pipeline import GaugeNN
+
+        play = PlayStore([AppGenerator(
+            GeneratorConfig.snapshot_2021(scale=0.02)).generate()])
+        analysis = GaugeNN(play).analyze_snapshot("2021")
+        store = ResultStore(tmp_path / "s")
+        ingest_snapshot(store, analysis)
+        assert ReportServer(store).cloud_api_usage() \
+            == reports.cloud_api_usage(analysis)
+        assert reports.cloud_api_usage(store, min_apps=2) \
+            == reports.cloud_api_usage(analysis, min_apps=2)
+
+
+class TestEcdfStorePath:
+    def test_from_sorted_equals_from_samples(self, results):
+        latencies = [r.latency_ms for r in results]
+        from repro.analysis.ecdf import Ecdf
+
+        assert Ecdf.from_sorted(sorted(latencies)) \
+            == Ecdf.from_samples(latencies)
+        with pytest.raises(ValueError):
+            Ecdf.from_sorted(())
+
+    def test_from_column(self, populated, results):
+        from repro.analysis.ecdf import Ecdf
+
+        ecdf = Ecdf.from_column(populated, "executions", "latency_ms",
+                                device_name="S21")
+        expected = Ecdf.from_samples(
+            r.latency_ms for r in results if r.device_name == "S21")
+        assert ecdf == expected
+
+
+class TestSweepIntegration:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SweepSpec(
+            devices=(device_by_name("Q845"), device_by_name("S21")),
+            graphs=(mobilenet_v1(weight_seed=2), blazeface(weight_seed=2)),
+            backends=(Backend.CPU, Backend.XNNPACK),
+            num_inferences=3,
+            seed=11,
+        )
+
+    def test_run_to_store_matches_run(self, tmp_path, spec):
+        in_memory = SweepRunner(spec, max_workers=2).run()
+        store = ResultStore(tmp_path / "s")
+        rows = SweepRunner(spec, max_workers=4).run_to_store(
+            store, rows_per_segment=5)
+        assert rows == len(in_memory)
+        assert store.query("executions").objects() == in_memory
+
+    def test_run_to_store_accepts_path(self, tmp_path, spec):
+        rows = SweepRunner(spec).run_to_store(tmp_path / "from_path")
+        assert ResultStore(tmp_path / "from_path").num_rows("executions") == rows
+
+    def test_store_reports_match_in_memory_reports(self, tmp_path, spec):
+        results = SweepRunner(spec).run()
+        by_device = SweepRunner.results_by_device(results)
+        store = ResultStore(tmp_path / "s")
+        SweepRunner(spec).run_to_store(store, rows_per_segment=3)
+        assert reports.latency_ecdf_by_device(store) \
+            == reports.latency_ecdf_by_device(by_device)
+        assert reports.energy_distributions(store) \
+            == reports.energy_distributions(by_device)
+
+    def test_benchmarker_store_sink(self, tmp_path):
+        from repro.core.benchmarker import BenchmarkJob, DeviceBenchmarker
+
+        store = ResultStore(tmp_path / "s")
+        with store.writer() as writer:
+            bench = DeviceBenchmarker(device_by_name("Q845"),
+                                      store_sink=writer)
+            record = bench.run_job(BenchmarkJob(
+                graph=mobilenet_v1(weight_seed=2), num_inferences=3))
+            assert "store_append" in record.workflow_events
+        assert store.query("executions").objects() == [record.result]
+
+    def test_pipeline_benchmark_with_store(self, tmp_path):
+        from repro.android.appgen import AppGenerator, GeneratorConfig
+        from repro.android.playstore import PlayStore
+        from repro.core.pipeline import GaugeNN
+        from repro.devices.device import DEV_BOARDS
+
+        play = PlayStore([AppGenerator(
+            GeneratorConfig.snapshot_2021(scale=0.02)).generate()])
+        analysis = GaugeNN(play).analyze_snapshot("2021")
+        store = ResultStore(tmp_path / "s")
+        GaugeNN.persist_snapshot(analysis, store)
+        results = GaugeNN.benchmark_unique_models(
+            analysis, DEV_BOARDS, num_inferences=2, max_workers=3,
+            store=store)
+        assert results
+        assert store.query("executions").objects() == results
+        assert store.num_rows("apps") == len(analysis.apps)

@@ -92,6 +92,23 @@ class TestDeterminism:
         assert serial == parallel
         assert len(serial) > 0
 
+    def test_results_identical_across_chunk_sizes(self, spec):
+        baseline = SweepRunner(spec, max_workers=1).run()
+        for chunk_size in (1, 3, 7, 1000):
+            chunked = SweepRunner(spec, max_workers=4,
+                                  chunk_size=chunk_size).run()
+            assert chunked == baseline
+
+    def test_results_identical_with_process_pool(self, spec):
+        baseline = SweepRunner(spec, max_workers=1).run()
+        processes = SweepRunner(spec, max_workers=2, use_processes=True,
+                                chunk_size=8).run()
+        assert processes == baseline
+
+    def test_rejects_invalid_chunk_size(self, spec):
+        with pytest.raises(ValueError):
+            SweepRunner(spec, chunk_size=0)
+
     def test_job_results_independent_of_spec_subset(self, graphs):
         def single(graph_tuple):
             spec = SweepSpec(devices=(device_by_name("Q845"),),
@@ -117,6 +134,32 @@ class TestDeterminism:
         streamed = []
         results = SweepRunner(spec, max_workers=4).run(on_result=streamed.append)
         assert streamed == results
+
+
+class TestStreamingPaths:
+    def test_iter_results_matches_run(self, spec):
+        iterated = list(SweepRunner(spec, max_workers=4).iter_results())
+        assert iterated == SweepRunner(spec, max_workers=1).run()
+
+    def test_iter_results_chunked(self, spec):
+        iterated = list(SweepRunner(spec, max_workers=3,
+                                    chunk_size=5).iter_results())
+        assert iterated == SweepRunner(spec, max_workers=1).run()
+
+    def test_collect_false_streams_without_buffering(self, spec):
+        streamed = []
+        returned = SweepRunner(spec, max_workers=4).run(
+            on_result=streamed.append, collect=False)
+        assert returned == []
+        assert streamed == SweepRunner(spec, max_workers=1).run()
+
+    def test_empty_sweep_iterates_nothing(self, graphs):
+        from repro.devices.device import device_by_name
+
+        spec = SweepSpec(devices=(device_by_name("A20"),), graphs=graphs,
+                         backends=(Backend.SNPE_DSP,))
+        assert list(SweepRunner(spec).iter_results()) == []
+        assert SweepRunner(spec).run(collect=False) == []
 
 
 class TestPipelineWiring:
