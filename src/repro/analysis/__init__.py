@@ -2,6 +2,7 @@
 
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.stats import (
+    exponential_decay_scan,
     geometric_mean,
     kernel_density,
     remove_outliers_iqr,
@@ -10,6 +11,7 @@ from repro.analysis.stats import (
 
 __all__ = [
     "Ecdf",
+    "exponential_decay_scan",
     "geometric_mean",
     "kernel_density",
     "remove_outliers_iqr",

@@ -64,6 +64,12 @@ class Ecdf:
             raise ValueError("q must be in [0, 1]")
         return float(np.quantile(self.values, q))
 
+    def quantiles(self, qs: Sequence[float]) -> tuple[float, ...]:
+        """Several quantiles in one vectorised pass (tail-latency reports)."""
+        if any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ValueError("every q must be in [0, 1]")
+        return tuple(float(v) for v in np.quantile(self.values, list(qs)))
+
     @property
     def median(self) -> float:
         """Sample median."""

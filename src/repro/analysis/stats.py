@@ -8,7 +8,19 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy import stats as scipy_stats
 
-__all__ = ["summary_statistics", "remove_outliers_iqr", "geometric_mean", "kernel_density"]
+__all__ = ["summary_statistics", "remove_outliers_iqr", "geometric_mean",
+           "kernel_density", "exponential_decay_scan"]
+
+#: Per-step log-decay clamp for :func:`exponential_decay_scan`.  A single
+#: step decaying by ``e^-30 ~ 1e-13`` already wipes the carried state below
+#: float64 relative precision, so larger exponents are indistinguishable from
+#: a full reset and clamping them keeps the rescaled prefix sums finite.
+DECAY_SCAN_RESET_LOG = 30.0
+
+#: Maximum accumulated log-decay per vectorised chunk of the scan.  Together
+#: with the per-step clamp this bounds every intermediate ``exp`` argument by
+#: ``DECAY_SCAN_CHUNK_LOG + DECAY_SCAN_RESET_LOG < 709`` (float64 overflow).
+DECAY_SCAN_CHUNK_LOG = 500.0
 
 
 @dataclass(frozen=True)
@@ -79,3 +91,50 @@ def kernel_density(values: Iterable[float], num_points: int = 100,
     if log_scale:
         xs = np.power(10.0, xs)
     return [float(x) for x in xs], [float(y) for y in ys]
+
+
+def exponential_decay_scan(log_decays: np.ndarray, inputs,
+                           initial: float = 0.0) -> np.ndarray:
+    """Vectorised first-order decay recurrence ``h[i] = h[i-1]*exp(-z[i]) + b[i]``.
+
+    ``log_decays`` holds the non-negative per-step decay exponents ``z`` and
+    ``inputs`` the per-step additions ``b`` (a scalar broadcasts).  Returns
+    the full state trajectory ``h`` — the heat accumulator of
+    :class:`~repro.devices.thermal.ThermalState` evaluated over a whole event
+    vector at once, which is what makes the fleet simulator's event loop a
+    handful of array ops instead of a Python loop per event.
+
+    The closed form ``h[i] = exp(-C[i]) * (h0 + sum_j b[j] * exp(C[j]))`` with
+    ``C = cumsum(z)`` overflows once ``C`` spreads past ~709, so the scan is
+    evaluated over chunks of bounded accumulated decay (boundaries found with
+    one ``searchsorted``), carrying the state scalar across chunks.  Per-step
+    exponents are clamped at :data:`DECAY_SCAN_RESET_LOG`, which is already a
+    full reset within float64 precision.  Dense event streams (small gaps —
+    the regime with actual thermal behaviour) collapse to a single chunk.
+    """
+    z = np.asarray(log_decays, dtype=np.float64)
+    if z.ndim != 1:
+        raise ValueError("log_decays must be one-dimensional")
+    if z.size and float(z.min()) < 0:
+        raise ValueError("log_decays must be non-negative")
+    b = np.broadcast_to(np.asarray(inputs, dtype=np.float64), z.shape)
+    if z.size == 0:
+        return np.empty(0, dtype=np.float64)
+
+    z = np.minimum(z, DECAY_SCAN_RESET_LOG)
+    cum = np.cumsum(z)
+    starts = np.searchsorted(
+        cum, np.arange(0.0, float(cum[-1]), DECAY_SCAN_CHUNK_LOG), side="left")
+    starts = np.unique(np.append(starts, 0))
+
+    out = np.empty_like(b)
+    carry = float(initial)
+    for index, lo in enumerate(starts):
+        hi = starts[index + 1] if index + 1 < len(starts) else z.size
+        base = cum[lo - 1] if lo else 0.0
+        local = cum[lo:hi] - base          # in (0, CHUNK_LOG + RESET_LOG]
+        growth = np.exp(local)             # bounded: exp(<~530)
+        chunk = (carry + np.cumsum(b[lo:hi] * growth)) / growth
+        out[lo:hi] = chunk
+        carry = float(chunk[-1])
+    return out

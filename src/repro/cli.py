@@ -10,10 +10,16 @@ Four subcommands mirror the paper's workflow:
                   with upfront compatibility pruning (Sec. 6.2/6.3 style);
                   ``--store PATH`` streams the results into a persistent,
                   queryable store instead of holding them in memory.
-* ``store``     — ``query`` / ``report`` / ``info`` over a persisted
-                  campaign: vectorised filters and aggregations, the paper's
-                  figure tables served from disk, segment-level integrity.
-* ``scenarios`` — scenario-driven energy costs on the Qualcomm boards (Table 4).
+* ``store``     — ``query`` / ``report`` / ``info`` / ``compact`` over a
+                  persisted campaign: vectorised filters and aggregations,
+                  the paper's figure tables served from disk, segment-level
+                  integrity, segment merging.
+* ``scenarios`` — scenario-driven energy costs on the Qualcomm boards
+                  (Table 4); ``--store PATH`` persists the scenario rows.
+* ``fleet``     — deterministic discrete-event fleet simulation: a virtual
+                  population issuing scenario-driven inference traffic with
+                  stateful thermal/battery devices and cloud offload routing,
+                  streamed into a results store and reported from it.
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
 
@@ -26,6 +32,8 @@ Example::
     python -m repro.cli store query campaign.store --where device_name=S21 \
         --group-by backend --agg latency_ms:mean,median
     python -m repro.cli store report campaign.store --table latency_ecdf
+    python -m repro.cli fleet --users 200 --hours 12 --store fleet.store
+    python -m repro.cli store compact fleet.store
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
 from repro.devices.scheduler import ThreadConfig
 from repro.runtime import Backend, SweepRunner, SweepSpec
-from repro.store import ReportServer, ResultStore
+from repro.store import ReportServer, ResultStore, compact_store
 from repro.store.schema import ROW_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -363,19 +371,136 @@ def cmd_store_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Merge a store's small committed segments into few large ones."""
+    store = ResultStore(args.path)
+    stats = compact_store(store, rows_per_segment=args.rows_per_segment,
+                          kinds=args.kinds or None)
+    if not stats.kinds_compacted:
+        print(f"nothing to compact: {stats.segments_before} segments already "
+              f"at target layout")
+        return 0
+    print(f"compacted {', '.join(stats.kinds_compacted)}: "
+          f"{stats.segments_before} -> {stats.segments_after} segments "
+          f"({stats.rows_rewritten} rows rewritten, "
+          f"{stats.files_removed} files removed)")
+    if args.verify:
+        verified = store.verify_integrity()
+        print(f"verified {verified} segment checksums: OK")
+    return 0
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Table 4 scenario energy on the development boards."""
     analysis = _analysis_for(args.scale, args.snapshot)
     pairs = GaugeNN.graphs_with_tasks(analysis)
-    print(f"{'device':<8}{'scenario':<12}{'models':>7}{'avg mAh':>12}{'max mAh':>12}")
-    for device in DEV_BOARDS:
-        for scenario in STANDARD_SCENARIOS:
-            summary = summarize(run_scenario(scenario, device, pairs))
-            if summary is None:
-                print(f"{device.name:<8}{scenario.name:<12}{'-':>7}")
-                continue
-            print(f"{device.name:<8}{scenario.name:<12}{summary.model_count:>7}"
-                  f"{summary.mean_mah:>12.3f}{summary.max_mah:>12.3f}")
+    rows_written = 0
+
+    def run_all(writer=None) -> None:
+        nonlocal rows_written
+        print(f"{'device':<8}{'scenario':<12}{'models':>7}{'avg mAh':>12}{'max mAh':>12}")
+        for device in DEV_BOARDS:
+            for scenario in STANDARD_SCENARIOS:
+                results = run_scenario(scenario, device, pairs)
+                if writer is not None:
+                    rows_written += writer.append_many(results)
+                summary = summarize(results)
+                if summary is None:
+                    print(f"{device.name:<8}{scenario.name:<12}{'-':>7}")
+                    continue
+                print(f"{device.name:<8}{scenario.name:<12}{summary.model_count:>7}"
+                      f"{summary.mean_mah:>12.3f}{summary.max_mah:>12.3f}")
+
+    if args.store is None:
+        run_all()
+        return 0
+    # Context-managed so rows ingested before a mid-loop failure still seal.
+    with ResultStore(args.store).writer() as writer:
+        run_all(writer)
+    print(f"\npersisted {rows_written} scenario rows into {args.store} "
+          f"({writer.segments_sealed} segments)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Deterministic fleet traffic simulation, reported per device/scenario."""
+    from repro.fleet import (FleetSimulator, FleetSpec, RoutingPolicy,
+                             battery_drain_ecdf, offload_summary,
+                             tail_latency_table, zoo_population)
+
+    analysis = _analysis_for(args.scale, args.snapshot)
+    pairs = GaugeNN.graphs_with_tasks(analysis)
+    policy = RoutingPolicy(battery_saver_threshold=args.battery_threshold)
+    spec_kwargs = dict(
+        num_users=args.users,
+        horizon_s=args.hours * 3600.0,
+        policy=policy,
+        seed=args.seed,
+    )
+    try:
+        spec = FleetSpec(graphs_with_tasks=pairs, **spec_kwargs)
+    except ValueError:
+        # Small snapshots may hold no model for the Table 4 scenario tasks;
+        # fall back to the zoo reference population so the fleet always runs.
+        print("snapshot has no scenario-compatible models; using the zoo "
+              "reference population")
+        spec = FleetSpec(graphs_with_tasks=zoo_population(), **spec_kwargs)
+
+    simulator = FleetSimulator(spec, max_workers=args.workers,
+                               chunk_size=args.chunk_size,
+                               use_processes=args.processes)
+    print(f"fleet: {spec.num_users} users over {args.hours:g} h "
+          f"({len(spec.eligible_scenarios)} scenarios, "
+          f"{len(spec.devices)} device models)")
+
+    if args.fleet_store is None:
+        # In-memory path: aggregate the trace stream directly.
+        traces = simulator.collect()
+        events = sum(trace.num_events for trace in traces)
+        offloaded = sum(trace.num_offloaded for trace in traces)
+        print(f"simulated {events} events ({offloaded} offloaded)")
+        per_device: dict[str, list[np.ndarray]] = {}
+        drains = []
+        for trace in traces:
+            if trace.num_events:
+                on_device = ~trace.offloaded
+                if on_device.any():
+                    per_device.setdefault(trace.user.device.name, []).append(
+                        trace.latency_ms[on_device])
+                drains.append(float(trace.discharge_mah.sum()))
+        print(f"\n{'device':<8}{'events':>9}{'p50 ms':>10}{'p90 ms':>10}{'p99 ms':>10}")
+        for device, chunks in sorted(per_device.items()):
+            values = np.concatenate(chunks)
+            p50, p90, p99 = np.quantile(values, [0.5, 0.9, 0.99])
+            print(f"{device:<8}{values.size:>9}{p50:>10.1f}{p90:>10.1f}{p99:>10.1f}")
+        if drains:
+            print(f"\nbattery drain per user: median "
+                  f"{np.median(drains):.1f} mAh, p90 "
+                  f"{np.quantile(drains, 0.9):.1f} mAh")
+        return 0
+
+    # Store path: stream the events in, then serve every report from disk.
+    store = ResultStore(args.fleet_store)
+    rows = simulator.run_to_store(store, rows_per_segment=args.rows_per_segment)
+    print(f"streamed {rows} events into {store.root} "
+          f"({len(store.segments)} segments)")
+    if rows == 0:
+        print("no events to report (population idle over this horizon)")
+        return 0
+    print(f"\n{'device':<8}{'events':>9}{'p50 ms':>10}{'p90 ms':>10}{'p99 ms':>10}")
+    for row in tail_latency_table(store, group_by="device_name"):
+        print(f"{row['device_name']:<8}{row['events']:>9}{row['p50_ms']:>10.1f}"
+              f"{row['p90_ms']:>10.1f}{row['p99_ms']:>10.1f}")
+    median_mah, p90_mah = battery_drain_ecdf(store).quantiles((0.5, 0.9))
+    print(f"\nbattery drain per user: median {median_mah:.1f} mAh, "
+          f"p90 {p90_mah:.1f} mAh")
+    summary = offload_summary(store)
+    print(f"cloud offload: {summary['offloaded']}/{summary['events']} requests "
+          f"({100 * summary['offload_fraction']:.1f}%), "
+          f"{summary['uplink_bytes'] / 1e6:.1f} MB uplink")
+    for api, entry in summary["by_api"].items():
+        print(f"  {api:<28} {entry['requests']:>8} req "
+              f"{entry['bytes'] / 1e6:>10.1f} MB")
     return 0
 
 
@@ -491,9 +616,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="verify every segment checksum")
     info.set_defaults(func=cmd_store_info)
 
+    compact = store_sub.add_parser(
+        "compact", help="merge small committed segments into few large ones")
+    compact.add_argument("path", help="store directory")
+    compact.add_argument("--rows-per-segment", type=_positive_int, default=None,
+                         help="re-chunk rows at this size (default: one "
+                              "segment per kind)")
+    compact.add_argument("--kinds", nargs="*", default=[],
+                         choices=sorted(ROW_KINDS),
+                         help="row kinds to compact (default: all)")
+    compact.add_argument("--verify", action="store_true",
+                         help="verify every segment checksum afterwards")
+    compact.set_defaults(func=cmd_store_compact)
+
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)
+    scenarios.add_argument("--store", default=None, metavar="PATH",
+                           help="persist the scenario rows into a results "
+                                "store at PATH")
     scenarios.set_defaults(func=cmd_scenarios)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="deterministic discrete-event fleet traffic simulation")
+    add_common(fleet)
+    fleet.add_argument("--users", type=_positive_int, default=50,
+                       help="size of the virtual population")
+    fleet.add_argument("--hours", type=float, default=24.0,
+                       help="virtual-time horizon in hours")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="base seed of the per-user derived seeds")
+    fleet.add_argument("--battery-threshold", type=float, default=0.2,
+                       help="battery fraction under which requests offload")
+    fleet.add_argument("--workers", type=_positive_int, default=None,
+                       help="simulation worker count (results are identical "
+                            "for any value)")
+    fleet.add_argument("--chunk-size", type=_positive_int, default=None,
+                       help="users per worker slice")
+    fleet.add_argument("--processes", action="store_true",
+                       help="fan out on a process pool instead of threads")
+    fleet.add_argument("--store", dest="fleet_store", default=None,
+                       metavar="PATH",
+                       help="stream fleet_events into a results store at "
+                            "PATH and serve the reports from it")
+    fleet.add_argument("--rows-per-segment", type=_positive_int, default=8192,
+                       help="store segment size for streamed ingestion")
+    fleet.set_defaults(func=cmd_fleet)
 
     compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")
     compare.add_argument("--scale", type=float, default=0.05)

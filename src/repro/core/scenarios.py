@@ -41,6 +41,25 @@ SEGMENTATION_FPS = 15
 #: Duration of the audio and video scenarios, in seconds.
 SCENARIO_DURATION_S = 3600
 
+#: Seconds of *active* typing the daily word count is spread over — WhatsApp
+#: sessions are short bursts, not a continuous hour, so the instantaneous
+#: word rate (and hence the fleet arrival rate) derives from this window.
+TYPING_ACTIVE_SECONDS = 600
+
+
+def _typing_inferences_for(graph: Graph) -> int:
+    """Daily auto-complete inferences: one per typed word.
+
+    A named function (not a lambda) so :class:`Scenario` values stay
+    picklable — fleet simulations ship them to process-pool workers.
+    """
+    return TYPING_WORDS_PER_DAY
+
+
+def _segmentation_inferences_for(graph: Graph) -> int:
+    """Video-call segmentation inferences: one per frame at 15 FPS."""
+    return SEGMENTATION_FPS * SCENARIO_DURATION_S
+
 
 def _audio_inferences_for(graph: Graph) -> int:
     """How many inferences cover one hour of audio for a given model.
@@ -57,17 +76,36 @@ def _audio_inferences_for(graph: Graph) -> int:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named usage scenario: which models it applies to and how often they run."""
+    """A named usage scenario: which models it applies to and how often they run.
+
+    ``session_seconds`` is the active window the scenario's inference count is
+    spread over, which makes the *instantaneous* request rate derivable
+    (:meth:`arrival_rate_hz`) — the quantity the fleet simulator draws event
+    arrivals from.  ``deadline_ms`` is the per-request latency budget implied
+    by the use case (a frame period for video, keystroke cadence for typing);
+    routing policies offload to cloud APIs when a device cannot meet it.
+    """
 
     name: str
     task_filter: tuple[str, ...]
     modality: Modality
     inference_count: Callable[[Graph], int]
     description: str
+    session_seconds: float = float(SCENARIO_DURATION_S)
+    deadline_ms: float = float("inf")
 
     def applies_to(self, task: str, modality: Modality) -> bool:
         """Whether a model with this task/modality participates in the scenario."""
         return task in self.task_filter and modality == self.modality
+
+    def arrival_rate_hz(self, graph: Graph) -> float:
+        """Inference requests per second while the scenario is active.
+
+        Derived from the scenario's inference count over its active window —
+        e.g. 15 Hz for the 15 FPS video call, the per-model audio chunk rate
+        for sound recognition, the burst word rate for typing.
+        """
+        return self.inference_count(graph) / self.session_seconds
 
 
 STANDARD_SCENARIOS: tuple[Scenario, ...] = (
@@ -77,20 +115,29 @@ STANDARD_SCENARIOS: tuple[Scenario, ...] = (
         modality=Modality.AUDIO,
         inference_count=_audio_inferences_for,
         description="Recognise 1 hour of ambient audio",
+        session_seconds=float(SCENARIO_DURATION_S),
+        # One audio chunk must be recognised before the next one is captured.
+        deadline_ms=1000.0,
     ),
     Scenario(
         name="Typing",
         task_filter=("auto-complete",),
         modality=Modality.TEXT,
-        inference_count=lambda graph: TYPING_WORDS_PER_DAY,
+        inference_count=_typing_inferences_for,
         description="Auto-complete over a 275-word daily typing workload",
+        session_seconds=float(TYPING_ACTIVE_SECONDS),
+        # Suggestions must land within keystroke cadence to be useful.
+        deadline_ms=150.0,
     ),
     Scenario(
         name="Segm.",
         task_filter=("semantic segmentation", "hair reconstruction"),
         modality=Modality.IMAGE,
-        inference_count=lambda graph: SEGMENTATION_FPS * SCENARIO_DURATION_S,
+        inference_count=_segmentation_inferences_for,
         description="Segment a person at 15 FPS during a 1-hour video call",
+        session_seconds=float(SCENARIO_DURATION_S),
+        # A frame period at 15 FPS; slower than this drops call frames.
+        deadline_ms=1000.0 / SEGMENTATION_FPS,
     ),
 )
 

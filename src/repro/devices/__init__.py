@@ -10,8 +10,8 @@ efficiency) needed to reproduce the *shape* of the paper's runtime results.
 
 from repro.devices.soc import Accelerator, CoreCluster, SoC
 from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, PHONES, Device, device_by_name
-from repro.devices.battery import Battery
-from repro.devices.thermal import ThermalModel
+from repro.devices.battery import Battery, BatteryState
+from repro.devices.thermal import ThermalModel, ThermalState
 from repro.devices.power_monitor import PowerMonitor, PowerTrace
 from repro.devices.usb_control import UsbSwitch
 from repro.devices.scheduler import CpuScheduler, ThreadConfig
@@ -26,7 +26,9 @@ __all__ = [
     "PHONES",
     "device_by_name",
     "Battery",
+    "BatteryState",
     "ThermalModel",
+    "ThermalState",
     "PowerMonitor",
     "PowerTrace",
     "UsbSwitch",

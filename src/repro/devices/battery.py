@@ -3,13 +3,18 @@
 The paper's Table 4 reports scenario energy as battery discharge in mAh; the
 conversion from joules uses the pack's nominal voltage.  Battery technology is
 highlighted as the stagnating resource of mobile DNN deployment (Sec. 8.1).
+
+:class:`Battery` describes the immutable pack; :class:`BatteryState` tracks a
+charge level across repeated draws — the per-device state the fleet simulator
+carries over days of virtual time, and what battery-saver routing policies
+read their threshold from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Battery"]
+__all__ = ["Battery", "BatteryState"]
 
 
 @dataclass(frozen=True)
@@ -45,3 +50,62 @@ class Battery:
         if power_watts <= 0:
             raise ValueError("power_watts must be positive")
         return self.capacity_joules / power_watts / 3600.0
+
+    def state(self, level_fraction: float = 1.0) -> "BatteryState":
+        """A mutable charge tracker over this pack, starting at the given level."""
+        return BatteryState(self, level_fraction=level_fraction)
+
+
+class BatteryState:
+    """Charge level of one battery pack across repeated energy draws.
+
+    Discharge accounting is exact in mAh (the paper's Table 4 unit): every
+    draw is converted through the pack's nominal voltage and accumulated, so
+    multi-day simulations can audit ``drained_mah`` against the sum of their
+    per-event costs.  The *level* clamps at empty — a dead device draws
+    nothing further — but ``drained_mah`` keeps recording what was asked for,
+    which is what scenario energy accounting wants.
+    """
+
+    def __init__(self, battery: Battery, *, level_fraction: float = 1.0) -> None:
+        if not 0.0 <= level_fraction <= 1.0:
+            raise ValueError("level_fraction must be in [0, 1]")
+        self.battery = battery
+        self._level_mah = level_fraction * battery.capacity_mah
+        self.drained_mah = 0.0
+
+    @property
+    def level_mah(self) -> float:
+        """Remaining charge in mAh."""
+        return self._level_mah
+
+    @property
+    def fraction(self) -> float:
+        """Remaining charge as a fraction of full capacity."""
+        return self._level_mah / self.battery.capacity_mah
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the pack has no usable charge left."""
+        return self._level_mah <= 0.0
+
+    def drain_joules(self, energy_joules: float) -> float:
+        """Draw energy from the pack; returns the discharge in mAh.
+
+        The returned value is the requested discharge (added to
+        ``drained_mah``); the stored level clamps at zero.
+        """
+        mah = self.battery.discharge_mah(energy_joules)
+        self.drained_mah += mah
+        self._level_mah = max(0.0, self._level_mah - mah)
+        return mah
+
+    def drain_mj(self, energy_mj: float) -> float:
+        """Draw energy given in millijoules; returns the discharge in mAh."""
+        return self.drain_joules(energy_mj / 1e3)
+
+    def recharge(self, level_fraction: float = 1.0) -> None:
+        """Recharge to the given fraction of capacity (default: full)."""
+        if not 0.0 <= level_fraction <= 1.0:
+            raise ValueError("level_fraction must be in [0, 1]")
+        self._level_mah = level_fraction * self.battery.capacity_mah

@@ -1,0 +1,53 @@
+"""Fleet traffic simulation: million-user DNN workloads over virtual time.
+
+The paper measures single inferences; its framing is millions of users
+running DNN-backed apps under thermal throttling, battery budgets and
+on-device-vs-cloud routing.  This package composes the existing pieces —
+devices and their stateful thermal/battery models, the runtime's
+latency/energy models, Table 4's usage scenarios, the Fig. 15 cloud APIs and
+the results store — into a deterministic discrete-event simulator:
+
+* :class:`~repro.fleet.population.FleetSpec` — the population, declaratively;
+  every user derives from their own seed, so results are bit-identical for
+  any worker count;
+* :class:`~repro.fleet.simulator.FleetSimulator` — the vectorised event
+  loop, fanned out over the shared ordered worker pool and streaming
+  ``fleet_events`` rows into a results store memory-flat;
+* :mod:`~repro.fleet.reference` — the per-event reference loop the
+  benchmark holds the vectorised path equivalent to (and >= 5x faster than);
+* :mod:`~repro.fleet.reports` — store-served fleet tables: tail latency
+  under load, battery-drain ECDFs, cloud-offload traffic.
+
+See the README's "Fleet simulation" section for a runnable example.
+"""
+
+from repro.fleet.arrivals import SESSION_SHAPES, SessionShape, generate_arrivals, session_shape_for
+from repro.fleet.events import FleetEvent
+from repro.fleet.population import (FleetSpec, UserPlan, VirtualUser,
+                                    derive_user_seed, zoo_population)
+from repro.fleet.reference import simulate_user_naive
+from repro.fleet.reports import battery_drain_ecdf, offload_summary, tail_latency_table
+from repro.fleet.router import CloudProfile, RoutingPolicy, cloud_api_for_scenario
+from repro.fleet.simulator import FleetSimulator, UserTrace
+
+__all__ = [
+    "FleetSpec",
+    "FleetSimulator",
+    "FleetEvent",
+    "UserTrace",
+    "UserPlan",
+    "VirtualUser",
+    "RoutingPolicy",
+    "CloudProfile",
+    "SessionShape",
+    "SESSION_SHAPES",
+    "generate_arrivals",
+    "session_shape_for",
+    "cloud_api_for_scenario",
+    "derive_user_seed",
+    "zoo_population",
+    "simulate_user_naive",
+    "battery_drain_ecdf",
+    "offload_summary",
+    "tail_latency_table",
+]

@@ -1,0 +1,104 @@
+"""Arrival processes: when a virtual user's app issues inference requests.
+
+Each usage scenario implies a characteristic traffic shape over the day —
+the paper's Table 4 use cases turned into request streams:
+
+* **Sound R.** — short ambient-recognition sessions a few times a day, each
+  emitting audio-chunk inferences at the model-derived chunk rate;
+* **Typing** — many short bursts (messaging sessions) at the word rate the
+  daily 275-word workload implies;
+* **Segm.** — one or two video calls at 15 FPS for minutes at a time: few
+  sessions, by far the most events (this is the sustained-load regime where
+  thermal throttling materialises).
+
+Sessions arrive as a Poisson process over the horizon, session lengths are
+exponential, and within a session events tick at the scenario's
+:meth:`~repro.core.scenarios.Scenario.arrival_rate_hz`.  All draws come from
+the caller's RNG in a fixed order, so one user's arrivals depend only on
+their derived seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scenarios import Scenario
+from repro.dnn.graph import Graph
+
+__all__ = ["SessionShape", "SESSION_SHAPES", "session_shape_for",
+           "generate_arrivals"]
+
+#: Floor on generated session durations, seconds (a one-glance session).
+MIN_SESSION_S = 2.0
+
+
+@dataclass(frozen=True)
+class SessionShape:
+    """How often a scenario's sessions start and how long they last."""
+
+    sessions_per_day: float
+    mean_session_s: float
+
+    def __post_init__(self) -> None:
+        if self.sessions_per_day <= 0:
+            raise ValueError("sessions_per_day must be positive")
+        if self.mean_session_s < 0:
+            raise ValueError("mean_session_s must be non-negative")
+
+
+#: Daily session structure per standard scenario name.
+SESSION_SHAPES: dict[str, SessionShape] = {
+    # A few ambient-audio recognitions per day, a minute or two each.
+    "Sound R.": SessionShape(sessions_per_day=6.0, mean_session_s=90.0),
+    # Messaging happens in many short bursts.
+    "Typing": SessionShape(sessions_per_day=14.0, mean_session_s=45.0),
+    # One or two video calls, several minutes each.
+    "Segm.": SessionShape(sessions_per_day=1.6, mean_session_s=420.0),
+}
+
+#: Shape for scenarios without a dedicated entry.
+DEFAULT_SHAPE = SessionShape(sessions_per_day=4.0, mean_session_s=120.0)
+
+
+def session_shape_for(scenario: Scenario) -> SessionShape:
+    """Session structure of a scenario (falls back to a generic shape)."""
+    return SESSION_SHAPES.get(scenario.name, DEFAULT_SHAPE)
+
+
+def generate_arrivals(scenario: Scenario, graph: Graph,
+                      rng: np.random.Generator, horizon_s: float) -> np.ndarray:
+    """Sorted request arrival times of one user over ``[0, horizon_s)``.
+
+    Draws, in fixed RNG order: the session count (Poisson on the horizon's
+    share of the daily session rate), session start times (uniform), and
+    session durations (exponential, floored).  Within a session requests
+    tick at the scenario-derived rate with the phase anchored at the session
+    start, mirroring a frame clock / keystroke cadence rather than per-event
+    jitter.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    shape = session_shape_for(scenario)
+    rate_hz = scenario.arrival_rate_hz(graph)
+    if rate_hz <= 0:
+        return np.empty(0, dtype=np.float64)
+
+    expected_sessions = shape.sessions_per_day * horizon_s / 86400.0
+    num_sessions = int(rng.poisson(expected_sessions))
+    starts = rng.uniform(0.0, horizon_s, num_sessions)
+    durations = np.maximum(
+        rng.exponential(shape.mean_session_s, num_sessions), MIN_SESSION_S)
+    if num_sessions == 0:
+        return np.empty(0, dtype=np.float64)
+
+    period = 1.0 / rate_hz
+    counts = np.maximum(1, np.floor(durations * rate_hz).astype(np.int64))
+    times = np.concatenate([
+        start + period * np.arange(count, dtype=np.float64)
+        for start, count in zip(starts, counts)
+    ])
+    times = times[times < horizon_s]
+    times.sort(kind="stable")
+    return times

@@ -1,0 +1,55 @@
+"""The unit record of the fleet simulator: one inference request of one user.
+
+A :class:`FleetEvent` is what the discrete-event loop emits per request and
+what streams into the results store as a ``fleet_events`` row (the schema
+lives in :mod:`repro.store.schema`; the ``__row_kind__`` marker is how the
+store's writer dispatches these without the schema layer importing this
+package).  Fleet-level reports — tail latency under load, battery-drain
+ECDFs, cloud offload traffic — are all aggregations over these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FleetEvent"]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One executed inference request of one virtual user.
+
+    ``target`` is where the request ran: ``"device"`` (on-device inference,
+    throttle and battery drain apply) or ``"cloud"`` (offloaded to a cloud
+    API; latency is network + service time, energy is the radio cost, and
+    ``cloud_bytes`` counts the uplink payload).
+    """
+
+    user_id: int
+    #: Virtual arrival time of the request, seconds from simulation start.
+    time_s: float
+    device_name: str
+    model_name: str
+    scenario: str
+    backend: str
+    target: str
+    latency_ms: float
+    energy_mj: float
+    #: Thermal performance multiplier at execution time (1.0 for cloud).
+    throttle_factor: float
+    #: Battery level after the request, as a fraction of capacity.
+    battery_fraction: float
+    #: Battery charge this request consumed, in mAh.
+    discharge_mah: float
+    #: Cloud API category serving an offloaded request ("" for on-device).
+    cloud_api: str
+    #: Uplink payload bytes of an offloaded request (0 for on-device).
+    cloud_bytes: int
+
+    #: Store row kind these events persist as (see repro.store.schema).
+    __row_kind__ = "fleet_events"
+
+    @property
+    def is_offloaded(self) -> bool:
+        """Whether the request ran in the cloud instead of on the device."""
+        return self.target == "cloud"

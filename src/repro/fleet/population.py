@@ -1,0 +1,265 @@
+"""The virtual population: who owns which device and runs which app.
+
+A :class:`FleetSpec` declares a population the way a
+:class:`~repro.runtime.sweep.SweepSpec` declares a sweep: everything about
+user ``i`` — device (weighted by market tier), model, scenario, backend,
+starting battery level, request arrival times, measurement noise — is a
+deterministic function of the spec and the user's own coordinates, through
+one RNG seeded by :func:`derive_user_seed`.  That is the property the whole
+subsystem rests on: any worker can materialise any user independently, so
+fleet results are bit-identical for every worker count, chunking and pool
+kind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.scenarios import STANDARD_SCENARIOS, Scenario
+from repro.devices.device import Device, PHONES
+from repro.dnn.graph import Graph
+from repro.fleet.arrivals import generate_arrivals
+from repro.fleet.router import RoutingPolicy
+from repro.runtime.backends import Backend, profile_for
+
+__all__ = ["derive_user_seed", "VirtualUser", "UserPlan", "FleetSpec",
+           "zoo_population"]
+
+#: Device-tier market weights for assigning phones to users (low tiers are
+#: the volume segment — the paper's motivation for measuring the A20).
+TIER_WEIGHTS = {"low": 5.0, "mid": 3.0, "high": 2.0}
+
+
+def zoo_population(weight_seed: int = 0) -> tuple[tuple[Graph, str], ...]:
+    """A reference (graph, task) set covering every standard scenario.
+
+    Synthetic snapshots at small scales often contain no model for the
+    Table 4 scenario tasks; this zoo-built set guarantees an eligible
+    population.  It deliberately includes *two* segmentation variants — a
+    mobile-sized one that meets the 15 FPS deadline on-device (and therefore
+    heats the SoC: the throttling regime) and the full-size one that no
+    phone can run in a frame period (the capability-offload regime).
+    """
+    from repro.dnn.zoo import autocomplete_lstm, sound_recognition, unet_lite
+
+    return (
+        (sound_recognition(weight_seed=weight_seed), "sound recognition"),
+        (autocomplete_lstm(weight_seed=weight_seed), "auto-complete"),
+        (unet_lite("unet_lite_128", resolution=128, base_filters=8, depth=3,
+                   weight_seed=weight_seed), "semantic segmentation"),
+        (unet_lite(weight_seed=weight_seed), "semantic segmentation"),
+    )
+
+
+def derive_user_seed(base_seed: int, user_id: int) -> int:
+    """Deterministic 64-bit RNG seed for one virtual user.
+
+    Depends only on the spec seed and the user's id — never on sharding or
+    scheduling — mirroring :func:`~repro.runtime.sweep.derive_job_seed`.
+    """
+    material = f"{base_seed}|fleet-user|{user_id}"
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class VirtualUser:
+    """One member of the population: a (device, model, scenario) tuple."""
+
+    user_id: int
+    device: Device
+    graph: Graph
+    task: str
+    scenario: Scenario
+    backend: Backend
+    seed: int
+
+
+@dataclass(frozen=True)
+class UserPlan:
+    """Pre-drawn randomness of one user's day, shared by both event loops.
+
+    The vectorised simulator and the naive per-event reference consume the
+    same plan arrays, so they differ only in how the event loop is evaluated
+    — exactly the comparison the fleet benchmark wants to make.
+    """
+
+    #: Sorted request arrival times, seconds from simulation start.
+    times: np.ndarray
+    #: Per-request latency noise multipliers (uncapped; loops clamp at 0.5).
+    noise: np.ndarray
+    #: Per-request network RTT draws for offloaded execution, ms.
+    rtt_ms: np.ndarray
+    #: Battery level at simulation start, as a fraction of capacity.
+    start_battery_fraction: float
+
+    @property
+    def num_events(self) -> int:
+        """Number of requests the user issues over the horizon."""
+        return int(self.times.size)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Declarative description of a fleet simulation."""
+
+    graphs_with_tasks: tuple[tuple[Graph, str], ...]
+    num_users: int
+    horizon_s: float = 86400.0
+    devices: tuple[Device, ...] = PHONES
+    scenarios: tuple[Scenario, ...] = STANDARD_SCENARIOS
+    policy: RoutingPolicy = field(default_factory=RoutingPolicy)
+    noise_fraction: float = 0.02
+    #: Battery level users start the horizon at, drawn uniformly.
+    start_battery_range: tuple[float, float] = (0.25, 1.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "graphs_with_tasks",
+                           tuple((g, t) for g, t in self.graphs_with_tasks))
+        object.__setattr__(self, "devices", tuple(self.devices))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if self.num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not self.devices:
+            raise ValueError("FleetSpec requires at least one device")
+        if any(device.battery is None for device in self.devices):
+            raise ValueError(
+                "fleet devices need a battery (bench-powered boards cannot "
+                "model user battery budgets)")
+        if self.noise_fraction < 0:
+            raise ValueError("noise_fraction must be non-negative")
+        low, high = self.start_battery_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError("start_battery_range must satisfy 0 < low <= high <= 1")
+        if not self._eligible_scenarios():
+            raise ValueError(
+                "no scenario matches any (graph, task) pair of the spec")
+
+    # ------------------------------------------------------------------ #
+    # Scenario pools (memoised — materialize() runs once per user, so the
+    # per-spec derivations must not be recomputed on that hot path)
+    # ------------------------------------------------------------------ #
+    _CACHE_ATTRS = ("_pool_cache", "_eligible_cache", "_backend_cache")
+
+    def __getstate__(self) -> dict:
+        # Process-pool workers rebuild the memos; the backend cache is keyed
+        # by graph identity, which does not survive pickling.
+        state = dict(self.__dict__)
+        for name in self._CACHE_ATTRS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    def scenario_pool(self, scenario: Scenario) -> tuple[tuple[Graph, str], ...]:
+        """(graph, task) pairs a scenario can run, CPU-executable only."""
+        cache = getattr(self, "_pool_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_pool_cache", cache)
+        pool = cache.get(scenario.name)
+        if pool is None:
+            cpu = profile_for(Backend.CPU)
+            pool = tuple(
+                (graph, task) for graph, task in self.graphs_with_tasks
+                if scenario.applies_to(task, graph.modality)
+                and cpu.supports_graph(graph)
+            )
+            cache[scenario.name] = pool
+        return pool
+
+    def _eligible_scenarios(self) -> tuple[Scenario, ...]:
+        cached = getattr(self, "_eligible_cache", None)
+        if cached is None:
+            cached = tuple(s for s in self.scenarios if self.scenario_pool(s))
+            object.__setattr__(self, "_eligible_cache", cached)
+        return cached
+
+    @property
+    def eligible_scenarios(self) -> tuple[Scenario, ...]:
+        """Scenarios with at least one compatible model in the spec."""
+        return self._eligible_scenarios()
+
+    # ------------------------------------------------------------------ #
+    # User materialisation
+    # ------------------------------------------------------------------ #
+    def _device_weights(self) -> np.ndarray:
+        weights = np.array([TIER_WEIGHTS.get(d.tier, 1.0) for d in self.devices])
+        return weights / weights.sum()
+
+    def _backend_for(self, device: Device, graph: Graph) -> Backend:
+        """Fastest portable backend of the pair: XNNPACK when it can run.
+
+        Memoised per (device, graph): ``supports_graph`` scans every layer,
+        and the same few combos repeat across the whole population.
+        """
+        cache = getattr(self, "_backend_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_backend_cache", cache)
+        key = (device.name, id(graph))
+        backend = cache.get(key)
+        if backend is None:
+            profile = profile_for(Backend.XNNPACK)
+            device_ok = not (profile.requires_qualcomm
+                             and device.soc.vendor != "Qualcomm")
+            device_ok = device_ok and not (
+                profile.requires_accelerator
+                and device.soc.accelerator(profile.target) is None)
+            backend = (Backend.XNNPACK
+                       if device_ok and profile.supports_graph(graph)
+                       else Backend.CPU)
+            cache[key] = backend
+        return backend
+
+    def materialize(self, user_id: int) -> tuple[VirtualUser, UserPlan]:
+        """Build user ``user_id`` and their full event plan.
+
+        Every RNG draw happens here, in a fixed order, from the user's own
+        derived seed — materialising user 7 yields the same user and plan
+        whether it happens in the main process, a thread, or worker 3 of a
+        process pool.
+        """
+        if not 0 <= user_id < self.num_users:
+            raise ValueError(f"user_id must be in [0, {self.num_users})")
+        seed = derive_user_seed(self.seed, user_id)
+        rng = np.random.default_rng(seed)
+
+        eligible = self._eligible_scenarios()
+        scenario = eligible[int(rng.integers(len(eligible)))]
+        device = self.devices[int(rng.choice(len(self.devices),
+                                             p=self._device_weights()))]
+        pool = self.scenario_pool(scenario)
+        graph, task = pool[int(rng.integers(len(pool)))]
+        low, high = self.start_battery_range
+        start_fraction = float(rng.uniform(low, high))
+
+        times = generate_arrivals(scenario, graph, rng, self.horizon_s)
+        noise = 1.0 + self.noise_fraction * rng.standard_normal(times.size)
+        rtt_ms = self.policy.cloud.draw_rtt_ms(rng, times.size)
+
+        user = VirtualUser(
+            user_id=user_id,
+            device=device,
+            graph=graph,
+            task=task,
+            scenario=scenario,
+            backend=self._backend_for(device, graph),
+            seed=seed,
+        )
+        plan = UserPlan(
+            times=times,
+            noise=noise,
+            rtt_ms=rtt_ms,
+            start_battery_fraction=start_fraction,
+        )
+        return user, plan

@@ -1,0 +1,299 @@
+"""The deterministic discrete-event fleet simulator.
+
+:class:`FleetSimulator` evolves a :class:`~repro.fleet.population.FleetSpec`
+population over virtual time: every user's requests arrive by their
+scenario's arrival process, execute through the runtime's latency/energy
+models with **stateful** per-device thermal heat-up/cool-down and battery
+discharge carried across events, and route to cloud APIs when the
+:class:`~repro.fleet.router.RoutingPolicy` triggers.
+
+The event loop is evaluated **vectorised per user**:
+
+* the nominal (cold) latency and power of a (device, model, backend) combo
+  are computed once and reused for every event that hits it — the same
+  batching idea as the sweep's cached compatibility checks;
+* the thermal recurrence (heat decays over idle gaps, grows with busy time)
+  is an :func:`~repro.analysis.stats.exponential_decay_scan` over the whole
+  event vector;
+* throttle factors, latencies, energies and battery trajectories are
+  elementwise array expressions;
+* the battery-saver routing switch is found with one ``cumsum`` +
+  ``argmax`` (discharge is monotone, so the switch is one-way).
+
+Because every user is materialised from a seed derived from their own
+coordinates (:func:`~repro.fleet.population.derive_user_seed`), users are
+embarrassingly parallel: the simulator fans user shards out on the shared
+ordered pool (:func:`~repro.runtime.pool.iter_mapped_chunks`, thread or
+process based) and the resulting event stream is **bit-identical for any
+worker count, chunk size or pool kind**.  Streams ingest into a
+:class:`~repro.store.store.ResultStore` via :meth:`FleetSimulator.run_to_store`
+with O(1) result retention — the memory-flat path for million-event fleets.
+
+The per-event reference loop in :mod:`repro.fleet.reference` implements the
+same semantics through the stateful device objects one event at a time; the
+fleet benchmark holds the two equivalent and measures the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import exponential_decay_scan
+from repro.devices.thermal import ThermalModel
+from repro.fleet.events import FleetEvent
+from repro.fleet.population import FleetSpec, UserPlan, VirtualUser
+from repro.fleet.router import cloud_api_for_scenario
+from repro.runtime.energy_model import EnergyModel
+from repro.runtime.latency_model import LatencyModel
+from repro.runtime.pool import iter_mapped_chunks
+
+__all__ = ["UserTrace", "FleetSimulator"]
+
+#: Lower clamp on the latency noise multiplier (mirrors the executor's
+#: half-nominal floor on measured samples).
+MIN_NOISE_FACTOR = 0.5
+
+
+@dataclass
+class UserTrace:
+    """Columnar event trace of one simulated user (arrays in event order)."""
+
+    user: VirtualUser
+    times_s: np.ndarray
+    latency_ms: np.ndarray
+    energy_mj: np.ndarray
+    throttle: np.ndarray
+    battery_fraction: np.ndarray
+    discharge_mah: np.ndarray
+    offloaded: np.ndarray
+    #: Cold single-inference latency of the user's combo (ms).
+    nominal_ms: float
+    #: Uplink payload bytes per offloaded request.
+    payload_bytes: int
+    #: Cloud API category serving this user's offloads.
+    cloud_api: str
+
+    @property
+    def num_events(self) -> int:
+        """Number of requests in the trace."""
+        return int(self.times_s.size)
+
+    @property
+    def num_offloaded(self) -> int:
+        """Number of requests served by the cloud API."""
+        return int(self.offloaded.sum())
+
+    def rows(self) -> Iterator[dict]:
+        """Store rows (plain-scalar dicts) in event order."""
+        user = self.user
+        device_name = user.device.name
+        model_name = user.graph.name
+        scenario = user.scenario.name
+        backend = user.backend.value
+        for i in range(self.num_events):
+            cloud = bool(self.offloaded[i])
+            yield {
+                "user_id": user.user_id,
+                "time_s": float(self.times_s[i]),
+                "device_name": device_name,
+                "model_name": model_name,
+                "scenario": scenario,
+                "backend": backend,
+                "target": "cloud" if cloud else "device",
+                "latency_ms": float(self.latency_ms[i]),
+                "energy_mj": float(self.energy_mj[i]),
+                "throttle_factor": float(self.throttle[i]),
+                "battery_fraction": float(self.battery_fraction[i]),
+                "discharge_mah": float(self.discharge_mah[i]),
+                "cloud_api": self.cloud_api if cloud else "",
+                "cloud_bytes": self.payload_bytes if cloud else 0,
+            }
+
+    def events(self) -> Iterator[FleetEvent]:
+        """The trace as :class:`FleetEvent` objects, in event order."""
+        for row in self.rows():
+            yield FleetEvent(**row)
+
+
+class FleetSimulator:
+    """Runs a :class:`FleetSpec` population over virtual time."""
+
+    def __init__(self, spec: FleetSpec, *, max_workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 use_processes: bool = False) -> None:
+        self.spec = spec
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.use_processes = use_processes
+        #: (device.name, backend, id(graph)) -> (nominal_ms, power_watts).
+        self._combo_cache: dict = {}
+        #: device.name -> (LatencyModel, EnergyModel).
+        self._model_cache: dict = {}
+
+    def __getstate__(self) -> dict:
+        # Process-pool workers rebuild the caches: the graph-identity keys of
+        # the parent process would be meaningless (or worse, collide) there.
+        state = dict(self.__dict__)
+        state["_combo_cache"] = {}
+        state["_model_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Cached per-combo costs (the "batch through graph_latency_ms" hook)
+    # ------------------------------------------------------------------ #
+    def _combo_costs(self, user: VirtualUser) -> tuple[float, float]:
+        """Nominal latency and power of the user's combo, computed once."""
+        key = (user.device.name, user.backend, id(user.graph))
+        cached = self._combo_cache.get(key)
+        if cached is None:
+            models = self._model_cache.get(user.device.name)
+            if models is None:
+                models = (LatencyModel(user.device), EnergyModel(user.device))
+                self._model_cache[user.device.name] = models
+            latency_model, energy_model = models
+            cached = (
+                latency_model.graph_latency_ms(user.graph, user.backend),
+                energy_model.inference_power_watts(user.backend),
+            )
+            self._combo_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Vectorised per-user event loop
+    # ------------------------------------------------------------------ #
+    def simulate_user(self, user_id: int) -> UserTrace:
+        """Evolve one user over the horizon; all arrays, no per-event Python."""
+        user, plan = self.spec.materialize(user_id)
+        policy = self.spec.policy
+        nominal_ms, power_watts = self._combo_costs(user)
+        payload_bytes = policy.cloud.payload_bytes(user.graph)
+        cloud_api = cloud_api_for_scenario(user.scenario)
+        n = plan.num_events
+
+        times = plan.times
+        latency = np.empty(n)
+        energy = np.empty(n)
+        throttle = np.ones(n)
+        offloaded = np.zeros(n, dtype=bool)
+        battery = user.device.battery
+        capacity_mah = battery.capacity_mah
+
+        if policy.offloads_for_capability(nominal_ms, user.scenario.deadline_ms):
+            switch = 0  # the device can never meet the deadline: all cloud
+        elif n == 0:
+            switch = 0
+        else:
+            # --- on-device phase ---------------------------------------- #
+            busy_s = nominal_ms / 1e3
+            noise = np.maximum(plan.noise, MIN_NOISE_FACTOR)
+            thermal = ThermalModel.for_device(user.device.is_dev_board,
+                                              user.device.tier)
+            gaps = np.empty(n)
+            gaps[0] = times[0]
+            np.subtract(times[1:], times[:-1], out=gaps[1:])
+            gaps[1:] -= busy_s
+            np.maximum(gaps, 0.0, out=gaps)
+
+            heat_after = exponential_decay_scan(
+                gaps / thermal.cooldown_tau_s, busy_s)
+            # Heat at decision time (before this event's busy contribution);
+            # clamp the scan's float residue when decayed heat is ~0.
+            heat_before = np.maximum(heat_after - busy_s, 0.0)
+            throttle_dev = thermal.throttle_factors(heat_before)
+            lat_dev = nominal_ms / throttle_dev * noise
+            energy_dev = power_watts * lat_dev
+
+            # Battery-saver switch: discharge is monotone, so the first
+            # event that *starts* under the threshold flips the rest of the
+            # horizon to the cloud.
+            mah_dev = energy_dev / (battery.voltage * 3600.0)
+            drained_before = np.empty(n)
+            drained_before[0] = 0.0
+            np.cumsum(mah_dev[:-1], out=drained_before[1:])
+            fraction_before = plan.start_battery_fraction - drained_before / capacity_mah
+            # Clamp at empty before comparing: an over-drained pack reads 0,
+            # exactly like BatteryState.fraction in the reference loop (with
+            # threshold 0.0 — "saver disabled" — neither loop may offload).
+            np.maximum(fraction_before, 0.0, out=fraction_before)
+            below = fraction_before < policy.battery_saver_threshold
+            switch = int(np.argmax(below)) if below.any() else n
+
+            latency[:switch] = lat_dev[:switch]
+            energy[:switch] = energy_dev[:switch]
+            throttle[:switch] = throttle_dev[:switch]
+
+        # --- cloud phase ------------------------------------------------ #
+        if switch < n:
+            offloaded[switch:] = True
+            lat_cloud = policy.cloud.latency_ms(plan.rtt_ms[switch:],
+                                                payload_bytes)
+            latency[switch:] = lat_cloud
+            energy[switch:] = policy.cloud.energy_mj(lat_cloud)
+
+        # --- battery trajectory ----------------------------------------- #
+        discharge_mah = energy / (battery.voltage * 3600.0)
+        fraction = plan.start_battery_fraction - np.cumsum(discharge_mah) / capacity_mah
+        np.maximum(fraction, 0.0, out=fraction)  # empty pack clamps, drain log keeps counting
+
+        return UserTrace(
+            user=user,
+            times_s=times,
+            latency_ms=latency,
+            energy_mj=energy,
+            throttle=throttle,
+            battery_fraction=fraction,
+            discharge_mah=discharge_mah,
+            offloaded=offloaded,
+            nominal_ms=nominal_ms,
+            payload_bytes=payload_bytes,
+            cloud_api=cloud_api,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fan-out
+    # ------------------------------------------------------------------ #
+    def _simulate_chunk(self, user_ids: Sequence[int]) -> list[UserTrace]:
+        return [self.simulate_user(user_id) for user_id in user_ids]
+
+    def iter_traces(self) -> Iterator[UserTrace]:
+        """Stream every user's trace in user-id order.
+
+        Fans user shards out on the shared ordered pool; per-user seeds make
+        the stream bit-identical for any worker count, chunk size or pool
+        kind.  Nothing is retained after the caller consumes a trace.
+        """
+        yield from iter_mapped_chunks(
+            self._simulate_chunk,
+            range(self.spec.num_users),
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            use_processes=self.use_processes,
+        )
+
+    def collect(self) -> list[UserTrace]:
+        """Every trace in user order (for in-memory analysis at small scales)."""
+        return list(self.iter_traces())
+
+    def run_to_store(self, store, *, rows_per_segment: int = 8192) -> int:
+        """Stream the whole simulation into a results store; returns the row count.
+
+        ``store`` is a :class:`~repro.store.store.ResultStore` (or a path to
+        create one at).  Events are appended in deterministic (user, time)
+        order and committed in checksummed ``fleet_events`` segments, so a
+        crash loses at most the trailing partial segment; memory stays flat
+        in the number of events.
+        """
+        from repro.store.schema import kind_for
+        from repro.store.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        kind = kind_for("fleet_events")
+        with store.writer(rows_per_segment=rows_per_segment) as writer:
+            for trace in self.iter_traces():
+                for row in trace.rows():
+                    writer.append_row(kind, row)
+        return writer.rows_committed

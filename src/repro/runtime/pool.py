@@ -1,0 +1,97 @@
+"""Ordered, bounded fan-out over a thread or process pool.
+
+Both the fleet sweep (PR 1) and the fleet traffic simulator dispatch many
+small deterministic jobs and need the same streaming discipline:
+
+* results come back **in submission order** regardless of completion order,
+  so downstream consumers (store writers, reports) see a deterministic
+  stream;
+* consecutive jobs are batched into **chunked slices** so tiny analytic jobs
+  amortise pool dispatch (and, for process pools, pickling/IPC);
+* a **bounded submission window** keeps only a few chunks in flight per
+  worker, so a slow consumer (e.g. a disk writer) exerts backpressure and
+  completed results never pile up in undrained futures — the memory-flat
+  property million-job streams rely on.
+
+:func:`iter_mapped_chunks` is that discipline, extracted once; callers
+provide a picklable per-chunk callable (for ``use_processes``) and consume a
+flat iterator of per-item results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import deque
+from concurrent import futures
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+__all__ = ["iter_mapped_chunks", "resolve_workers", "default_chunk_size"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_workers(num_items: int, max_workers: Optional[int]) -> int:
+    """Worker count for a job list: the explicit cap, else one per item up to the CPUs."""
+    if max_workers is not None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive when given")
+        return max_workers
+    return max(1, min(num_items, os.cpu_count() or 1))
+
+
+def default_chunk_size(num_items: int, workers: int, use_processes: bool) -> int:
+    """Chunk size when the caller does not pin one.
+
+    Process pools default to ~4 slices per worker: large enough to amortise
+    IPC and pickling, small enough to keep the pool load-balanced.  Thread
+    pools default to per-item dispatch (the pre-chunking behaviour).
+    """
+    if use_processes:
+        return max(1, num_items // (workers * 4))
+    return 1
+
+
+def iter_mapped_chunks(
+    run_chunk: Callable[[Sequence[ItemT]], Sequence[ResultT]],
+    items: Sequence[ItemT],
+    *,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    use_processes: bool = False,
+) -> Iterator[ResultT]:
+    """Map ``run_chunk`` over ``items`` on a pool, streaming results in order.
+
+    ``run_chunk`` receives a slice of consecutive items and returns one result
+    per item, in slice order; the iterator yields the concatenation in the
+    original item order.  With one worker (and no process pool) everything
+    runs inline — no pool, no reordering risk, no pickling.  ``run_chunk``
+    must be picklable when ``use_processes`` is set (e.g. a bound method of a
+    picklable object).
+    """
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError("chunk_size must be positive when given")
+    if not items:
+        return
+    workers = resolve_workers(len(items), max_workers)
+    if workers <= 1 and not use_processes:
+        for item in items:
+            yield from run_chunk((item,))
+        return
+
+    chunk = chunk_size or default_chunk_size(len(items), workers, use_processes)
+    chunk_iter = (items[i:i + chunk] for i in range(0, len(items), chunk))
+
+    pool_cls = (futures.ProcessPoolExecutor if use_processes
+                else futures.ThreadPoolExecutor)
+    with pool_cls(max_workers=workers) as pool:
+        in_flight: deque = deque()
+        for slice_ in itertools.islice(chunk_iter, workers * 2):
+            in_flight.append(pool.submit(run_chunk, slice_))
+        while in_flight:
+            batch = in_flight.popleft().result()
+            next_slice = next(chunk_iter, None)
+            if next_slice is not None:
+                in_flight.append(pool.submit(run_chunk, next_slice))
+            yield from batch

@@ -30,11 +30,7 @@ benign because every cached value is a deterministic pure function.
 from __future__ import annotations
 
 import hashlib
-import itertools
-import os
-from collections import deque
-from concurrent import futures
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.devices.device import Device
@@ -42,6 +38,7 @@ from repro.devices.scheduler import ThreadConfig
 from repro.dnn.graph import Graph
 from repro.runtime.backends import Backend, profile_for
 from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.pool import iter_mapped_chunks
 
 __all__ = ["SweepJob", "SweepSpec", "SweepRunner", "derive_job_seed"]
 
@@ -246,42 +243,16 @@ class SweepRunner:
         consumes a value.  Seeds are per-job, so the stream is bit-identical
         for any worker count, chunk size or pool kind.
         """
-        jobs = self.compatible_jobs()
-        if not jobs:
-            return
-        workers = self.max_workers or min(len(jobs), os.cpu_count() or 1)
-        if workers <= 1 and not self.use_processes:
-            for job in jobs:
-                yield self._run_job(job)
-            return
-
-        if self.chunk_size is not None:
-            chunk = self.chunk_size
-        elif self.use_processes:
-            # Default to ~4 slices per worker: large enough to amortise IPC
-            # and pickling, small enough to keep the pool load-balanced.
-            chunk = max(1, len(jobs) // (workers * 4))
-        else:
-            chunk = 1
-        chunk_iter = (jobs[i:i + chunk] for i in range(0, len(jobs), chunk))
-
-        # Bounded submission window: keep a few chunks in flight per worker
-        # and only submit the next one as the oldest is consumed, so a slow
-        # consumer (e.g. a disk writer) exerts backpressure and completed
-        # results never pile up in undrained futures.  Draining the oldest
-        # future first preserves deterministic job order.
-        pool_cls = (futures.ProcessPoolExecutor if self.use_processes
-                    else futures.ThreadPoolExecutor)
-        with pool_cls(max_workers=workers) as pool:
-            in_flight: deque = deque()
-            for slice_ in itertools.islice(chunk_iter, workers * 2):
-                in_flight.append(pool.submit(self._run_chunk, slice_))
-            while in_flight:
-                batch = in_flight.popleft().result()
-                next_slice = next(chunk_iter, None)
-                if next_slice is not None:
-                    in_flight.append(pool.submit(self._run_chunk, next_slice))
-                yield from batch
+        # Bounded submission window, chunked slices and in-order draining all
+        # live in :func:`repro.runtime.pool.iter_mapped_chunks`, shared with
+        # the fleet simulator's user fan-out.
+        yield from iter_mapped_chunks(
+            self._run_chunk,
+            self.compatible_jobs(),
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            use_processes=self.use_processes,
+        )
 
     def run(self, on_result: Optional[Callable[[ExecutionResult], None]] = None,
             *, collect: bool = True) -> list[ExecutionResult]:

@@ -18,6 +18,7 @@ the process that measured them.  This package is that durability layer:
 See the README's "Results store" section for the on-disk layout and usage.
 """
 
+from repro.store.compact import CompactionStats, compact_store
 from repro.store.query import Query, QueryStats
 from repro.store.schema import ROW_KINDS, RowKind, kind_for
 from repro.store.segment import SegmentMeta, StoreCorruptionError
@@ -37,4 +38,6 @@ __all__ = [
     "ROW_KINDS",
     "kind_for",
     "ingest_snapshot",
+    "compact_store",
+    "CompactionStats",
 ]

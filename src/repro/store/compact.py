@@ -1,0 +1,135 @@
+"""Segment compaction: merge many small committed segments into few.
+
+Streaming ingestion (sweeps, fleet simulations) seals a segment every
+``rows_per_segment`` rows, so a long campaign accumulates many small
+segments — each one a file pair to open, a manifest entry to check and a
+column cache to load.  Compaction rewrites a kind's committed rows, **in
+exactly their current order**, into the minimal number of fresh segments and
+atomically swaps the manifest over to them:
+
+* query results are **bit-for-bit identical** before and after — rows,
+  order, checksummed content and column dtypes all round-trip through the
+  same segment writer that sealed them originally;
+* the swap is one atomic manifest rewrite, so readers see either the old
+  layout or the new one, never a mixture; a crash mid-compaction leaves the
+  old manifest in force (fresh segment files without a manifest entry are
+  invisible and get cleaned up by the next successful compaction);
+* old segment files are deleted only after the new manifest is durable.
+
+Compaction takes the single-writer seat while it runs — like
+:class:`~repro.store.writer.StoreWriter`, it must not race another writer on
+the sequence counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.store.schema import kind_for
+from repro.store.segment import SegmentMeta, write_segment
+from repro.store.store import ResultStore
+
+__all__ = ["CompactionStats", "compact_store"]
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one compaction pass did."""
+
+    segments_before: int
+    segments_after: int
+    rows_rewritten: int
+    kinds_compacted: tuple[str, ...]
+    files_removed: int
+
+
+def _plan_chunks(total_rows: int, rows_per_segment: Optional[int]) -> int:
+    """How many segments a kind's rows compact into."""
+    if rows_per_segment is None:
+        return 1 if total_rows else 0
+    return (total_rows + rows_per_segment - 1) // rows_per_segment
+
+
+def compact_store(store: Union[ResultStore, str, Path], *,
+                  rows_per_segment: Optional[int] = None,
+                  kinds: Optional[Sequence[str]] = None) -> CompactionStats:
+    """Merge a store's small segments; returns what changed.
+
+    ``rows_per_segment`` of ``None`` merges each kind into a single segment;
+    otherwise rows re-chunk at that size.  ``kinds`` restricts the pass to
+    the named row kinds (default: every kind in the store).  Kinds already
+    at (or below) the target segment count are left untouched — their
+    existing files and checksums stay exactly as committed.
+    """
+    if rows_per_segment is not None and rows_per_segment <= 0:
+        raise ValueError("rows_per_segment must be positive when given")
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    wanted = set(kinds) if kinds is not None else None
+    if wanted is not None:
+        for name in wanted:
+            kind_for(name)  # unknown kinds fail fast
+
+    segments_before = len(store.segments)
+    to_compact: list[str] = []
+    for name in store.kinds():
+        if wanted is not None and name not in wanted:
+            continue
+        metas = store.segments_for(name)
+        if len(metas) > _plan_chunks(store.num_rows(name), rows_per_segment):
+            to_compact.append(name)
+    if not to_compact:
+        return CompactionStats(segments_before, segments_before, 0, (), 0)
+
+    # Seal the replacement segments first; they stay invisible until the
+    # manifest swap below.
+    sequence = store.sequence
+    replacements: dict[str, list[SegmentMeta]] = {}
+    rows_rewritten = 0
+    for name in to_compact:
+        rows: list[dict] = []
+        for meta in store.segments_for(name):
+            rows.extend(store.rows_for(meta))
+        rows_rewritten += len(rows)
+        chunk = rows_per_segment if rows_per_segment is not None else max(1, len(rows))
+        sealed: list[SegmentMeta] = []
+        for start in range(0, len(rows), chunk):
+            sequence += 1
+            sealed.append(write_segment(
+                store.segments_dir, f"{name}-{sequence:06d}",
+                kind_for(name), rows[start:start + chunk]))
+        replacements[name] = sealed
+
+    # Swap: keep untouched segments in manifest order, splice each compacted
+    # kind's new segments where its first old segment sat (preserving the
+    # per-kind scan order queries rely on).
+    old_files: list[str] = []
+    new_manifest: list[SegmentMeta] = []
+    spliced: set[str] = set()
+    for meta in store.segments:
+        if meta.kind not in replacements:
+            new_manifest.append(meta)
+            continue
+        old_files.extend((meta.log_filename, meta.cache_filename))
+        if meta.kind not in spliced:
+            spliced.add(meta.kind)
+            new_manifest.extend(replacements[meta.kind])
+    store._commit_replacement(new_manifest, sequence)
+
+    files_removed = 0
+    for filename in old_files:
+        try:
+            (store.segments_dir / filename).unlink()
+            files_removed += 1
+        except FileNotFoundError:  # pragma: no cover - cache never written
+            pass
+
+    return CompactionStats(
+        segments_before=segments_before,
+        segments_after=len(new_manifest),
+        rows_rewritten=rows_rewritten,
+        kinds_compacted=tuple(to_compact),
+        files_removed=files_removed,
+    )

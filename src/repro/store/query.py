@@ -40,6 +40,11 @@ AGGREGATIONS: dict[str, Callable[[np.ndarray], float]] = {
     "min": lambda a: a.min().item(),
     "max": lambda a: a.max().item(),
     "std": lambda a: np.std(a).item(),
+    # Tail percentiles (fleet tail-latency reports under load).
+    "p50": lambda a: np.quantile(a, 0.50).item(),
+    "p90": lambda a: np.quantile(a, 0.90).item(),
+    "p99": lambda a: np.quantile(a, 0.99).item(),
+    "p999": lambda a: np.quantile(a, 0.999).item(),
 }
 
 

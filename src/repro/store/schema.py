@@ -45,6 +45,8 @@ __all__ = [
     "app_record_from_row",
     "scenario_result_to_row",
     "scenario_result_from_row",
+    "fleet_event_to_row",
+    "fleet_event_from_row",
     "pack_strings",
     "unpack_strings",
 ]
@@ -329,9 +331,83 @@ SCENARIOS = RowKind(
 )
 
 
+# --------------------------------------------------------------------------- #
+# fleet_events
+# --------------------------------------------------------------------------- #
+def fleet_event_to_row(event: Any) -> dict:
+    """Flatten one fleet-simulator inference request into a store row.
+
+    Attribute-based (rather than type-bound) so the schema layer never has to
+    import the fleet package — :class:`~repro.fleet.events.FleetEvent` reaches
+    the dispatcher through its ``__row_kind__`` marker instead.
+    """
+    return {
+        "user_id": event.user_id,
+        "time_s": event.time_s,
+        "device_name": event.device_name,
+        "model_name": event.model_name,
+        "scenario": event.scenario,
+        "backend": event.backend,
+        "target": event.target,
+        "latency_ms": event.latency_ms,
+        "energy_mj": event.energy_mj,
+        "throttle_factor": event.throttle_factor,
+        "battery_fraction": event.battery_fraction,
+        "discharge_mah": event.discharge_mah,
+        "cloud_api": event.cloud_api,
+        "cloud_bytes": event.cloud_bytes,
+    }
+
+
+def fleet_event_from_row(row: Mapping) -> Any:
+    """Rebuild the exact :class:`~repro.fleet.events.FleetEvent` of a row."""
+    from repro.fleet.events import FleetEvent
+
+    return FleetEvent(
+        user_id=int(row["user_id"]),
+        time_s=float(row["time_s"]),
+        device_name=row["device_name"],
+        model_name=row["model_name"],
+        scenario=row["scenario"],
+        backend=row["backend"],
+        target=row["target"],
+        latency_ms=float(row["latency_ms"]),
+        energy_mj=float(row["energy_mj"]),
+        throttle_factor=float(row["throttle_factor"]),
+        battery_fraction=float(row["battery_fraction"]),
+        discharge_mah=float(row["discharge_mah"]),
+        cloud_api=row["cloud_api"],
+        cloud_bytes=int(row["cloud_bytes"]),
+    )
+
+
+FLEET_EVENTS = RowKind(
+    name="fleet_events",
+    columns=(
+        Column("user_id", "i8"),
+        Column("time_s", "f8"),
+        Column("device_name", "str"),
+        Column("model_name", "str"),
+        Column("scenario", "str"),
+        Column("backend", "str"),
+        Column("target", "str"),
+        Column("latency_ms", "f8"),
+        Column("energy_mj", "f8"),
+        Column("throttle_factor", "f8"),
+        Column("battery_fraction", "f8"),
+        Column("discharge_mah", "f8"),
+        Column("cloud_api", "str"),
+        Column("cloud_bytes", "i8"),
+    ),
+    to_row=fleet_event_to_row,
+    from_row=fleet_event_from_row,
+)
+
+
 #: Every registered row kind, by name.
 ROW_KINDS: dict[str, RowKind] = {
-    kind.name: kind for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS)
+    kind.name: kind
+    for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS)
 }
 
 #: Dispatch table from pipeline dataclasses to their row kind.
@@ -353,7 +429,16 @@ def kind_for(name: str) -> RowKind:
 
 
 def kind_of_object(obj: Any) -> RowKind:
-    """Row kind a pipeline object is persisted as."""
+    """Row kind a pipeline object is persisted as.
+
+    Objects may either appear in the static dispatch table or carry a
+    ``__row_kind__`` class attribute naming their kind — the latter lets
+    higher layers (the fleet simulator) define persistable dataclasses
+    without the schema importing them.
+    """
+    kind_name = getattr(obj, "__row_kind__", None)
+    if kind_name is not None:
+        return kind_for(kind_name)
     for type_, kind in _OBJECT_KINDS:
         if isinstance(obj, type_):
             return kind

@@ -106,6 +106,32 @@ class ResultStore:
         self._manifest = manifest
         self._segments = self._segments + tuple(new_segments)
 
+    def _commit_replacement(self, segments: Sequence[SegmentMeta],
+                            sequence: int) -> None:
+        """Atomically rewrite the manifest to an entirely new segment list.
+
+        The compaction hook: unlike :meth:`_commit` this *replaces* the list,
+        so segments absent from ``segments`` stop existing for readers the
+        instant the manifest rename lands.  Column caches of dropped segments
+        are evicted; the sequence counter only ever moves forward.
+        """
+        if sequence < self.sequence:
+            raise ValueError("sequence must not move backwards")
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "sequence": sequence,
+            "segments": [meta.to_json() for meta in segments],
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(manifest, indent=2).encode("utf-8") + b"\n"
+        segment_io.atomic_write_bytes(self.manifest_path, payload)
+        self._manifest = manifest
+        self._segments = tuple(segments)
+        live = {meta.name for meta in self._segments}
+        for name in list(self._columns_cache):
+            if name not in live:
+                del self._columns_cache[name]
+
     @property
     def sequence(self) -> int:
         """Monotonic segment sequence number (writer allocation state)."""

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.analysis import Ecdf, geometric_mean, kernel_density, remove_outliers_iqr, summary_statistics
+from repro.analysis import (Ecdf, exponential_decay_scan, geometric_mean,
+                            kernel_density, remove_outliers_iqr,
+                            summary_statistics)
 
 
 class TestEcdf:
@@ -87,3 +89,64 @@ class TestKernelDensity:
             kernel_density([1.0])
         with pytest.raises(ValueError):
             kernel_density([0.0, 1.0], log_scale=True)
+
+
+class TestEcdfQuantiles:
+    def test_vectorised_matches_scalar(self):
+        ecdf = Ecdf.from_samples(np.random.default_rng(3).lognormal(size=200))
+        qs = (0.5, 0.9, 0.99, 0.999)
+        assert ecdf.quantiles(qs) == tuple(ecdf.quantile(q) for q in qs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([1.0]).quantiles((0.5, 1.5))
+
+
+class TestExponentialDecayScan:
+    @staticmethod
+    def _reference(z, b, initial):
+        import math
+
+        values, state = [], initial
+        for decay, add in zip(z, np.broadcast_to(b, z.shape)):
+            state = state * math.exp(-decay) + add
+            values.append(state)
+        return np.array(values)
+
+    def test_matches_sequential_recurrence(self):
+        rng = np.random.default_rng(0)
+        for scale in (0.01, 1.0, 10.0, 50.0):
+            z = rng.exponential(scale, 3000)
+            b = rng.uniform(0.0, 2.0, 3000)
+            got = exponential_decay_scan(z, b, initial=0.5)
+            np.testing.assert_allclose(got, self._reference(z, b, 0.5),
+                                       rtol=1e-9, atol=1e-12)
+
+    def test_scalar_input_broadcasts(self):
+        z = np.zeros(4)
+        np.testing.assert_allclose(exponential_decay_scan(z, 1.0),
+                                   [1.0, 2.0, 3.0, 4.0])
+
+    def test_huge_gaps_reset_within_precision(self):
+        """A gap of many time constants wipes the carried state."""
+        z = np.array([0.0, 1000.0, 0.0])
+        got = exponential_decay_scan(z, 5.0)
+        assert got[0] == pytest.approx(5.0)
+        assert got[1] == pytest.approx(5.0, rel=1e-12)  # carry fully decayed
+        assert got[2] == pytest.approx(10.0, rel=1e-12)
+
+    def test_long_dense_stream_stays_finite(self):
+        """Accumulated decay far past the float64 exp range must not overflow."""
+        rng = np.random.default_rng(1)
+        z = rng.uniform(0.5, 2.0, 20000)  # total ~25k log-decay units
+        got = exponential_decay_scan(z, 1.0)
+        assert np.all(np.isfinite(got))
+        tail_reference = self._reference(z[-50:], 1.0, got[-51])
+        np.testing.assert_allclose(got[-50:], tail_reference, rtol=1e-9)
+
+    def test_empty_and_validation(self):
+        assert exponential_decay_scan(np.empty(0), 1.0).size == 0
+        with pytest.raises(ValueError):
+            exponential_decay_scan(np.array([-0.1]), 1.0)
+        with pytest.raises(ValueError):
+            exponential_decay_scan(np.zeros((2, 2)), 1.0)

@@ -113,3 +113,78 @@ class TestStoreCommands:
             ["sweep", "--chunk-size", "16", "--store", "x.store"])
         assert args.chunk_size == 16
         assert args.store == "x.store"
+
+
+class TestScenariosStore:
+    def test_scenarios_persist_rows(self, tmp_path, capsys):
+        path = tmp_path / "scenarios.store"
+        assert main(["scenarios", "--scale", "0.15",
+                     "--store", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "persisted" in output
+
+        from repro.store import ResultStore
+
+        store = ResultStore(path)
+        assert store.num_rows("scenarios") > 0
+        assert store.verify_integrity() == len(store.segments)
+        for row in store.query("scenarios").rows():
+            assert row["battery_discharge_mah"] >= 0.0
+
+
+class TestStoreCompactCommand:
+    def test_compact_preserves_queries(self, tmp_path, capsys):
+        path = tmp_path / "compactable.store"
+        # Two ingestion passes leave two small segments per kind.
+        for _ in range(2):
+            assert main(["sweep", "--scale", "0.02", "--devices", "S21",
+                         "--store", str(path)]) == 0
+        capsys.readouterr()
+
+        from repro.store import ResultStore
+
+        before = ResultStore(path).query("executions").rows()
+        assert main(["store", "compact", str(path), "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "compacted" in output
+        assert "checksums: OK" in output
+        assert ResultStore(path).query("executions").rows() == before
+
+        # A second pass has nothing left to merge.
+        assert main(["store", "compact", str(path)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.users == 50
+        assert args.hours == pytest.approx(24.0)
+        assert args.fleet_store is None
+
+    def test_fleet_in_memory(self, capsys):
+        assert main(["fleet", "--scale", "0.02", "--users", "8",
+                     "--hours", "2", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "simulated" in output
+        assert "p99 ms" in output
+
+    def test_fleet_store_path_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "fleet.store"
+        assert main(["fleet", "--scale", "0.02", "--users", "10",
+                     "--hours", "3", "--store", str(path),
+                     "--rows-per-segment", "1000"]) == 0
+        output = capsys.readouterr().out
+        assert "streamed" in output
+        assert "battery drain per user" in output
+        assert "cloud offload" in output
+
+        from repro.store import ResultStore
+
+        store = ResultStore(path)
+        assert store.num_rows("fleet_events") > 0
+        # The fleet_events kind is queryable through the generic store CLI.
+        assert main(["store", "query", str(path), "--kind", "fleet_events",
+                     "--group-by", "scenario",
+                     "--agg", "latency_ms:p50,p99"]) == 0
+        assert "latency_ms_p99" in capsys.readouterr().out

@@ -107,6 +107,53 @@ class TestBattery:
             Battery(capacity_mah=100).discharge_mah(-1.0)
 
 
+class TestBatteryState:
+    def test_multi_day_discharge_accounting(self):
+        """Repeated stateful draws accumulate exactly over days of draws."""
+        battery = Battery(capacity_mah=4000, voltage=3.85)
+        state = battery.state()
+        per_event_mj = 250.0  # a heavy inference
+        events_per_day = 2000
+        for _ in range(3 * events_per_day):  # three simulated days
+            state.drain_mj(per_event_mj)
+        expected_mah = battery.discharge_mah(
+            per_event_mj / 1e3) * 3 * events_per_day
+        assert state.drained_mah == pytest.approx(expected_mah, rel=1e-9)
+        assert state.fraction == pytest.approx(
+            1.0 - expected_mah / battery.capacity_mah, rel=1e-9)
+        assert not state.is_empty
+
+    def test_level_clamps_at_empty_but_drain_log_keeps_counting(self):
+        state = Battery(capacity_mah=10, voltage=3.85).state(0.1)
+        huge = state.battery.capacity_joules
+        state.drain_joules(huge)
+        assert state.is_empty
+        assert state.level_mah == 0.0
+        assert state.fraction == 0.0
+        # The accounting still records what the workload asked for.
+        assert state.drained_mah == pytest.approx(10.0)
+        state.drain_joules(huge)
+        assert state.drained_mah == pytest.approx(20.0)
+
+    def test_recharge_and_partial_start(self):
+        battery = Battery(capacity_mah=4000)
+        state = battery.state(0.5)
+        assert state.level_mah == pytest.approx(2000.0)
+        state.recharge()
+        assert state.fraction == 1.0
+        state.recharge(0.25)
+        assert state.level_mah == pytest.approx(1000.0)
+
+    def test_validation(self):
+        battery = Battery(capacity_mah=100)
+        with pytest.raises(ValueError):
+            battery.state(1.5)
+        with pytest.raises(ValueError):
+            battery.state().recharge(-0.1)
+        with pytest.raises(ValueError):
+            battery.state().drain_joules(-1.0)
+
+
 class TestThermal:
     def test_throttling_monotone(self):
         model = ThermalModel(throttle_floor=0.8, time_constant_s=60)
@@ -128,6 +175,71 @@ class TestThermal:
             ThermalModel(throttle_floor=0.0)
         with pytest.raises(ValueError):
             ThermalModel().throttle_factor(-1)
+
+    def test_vectorised_factors_match_scalar(self):
+        import numpy as np
+
+        model = ThermalModel(throttle_floor=0.75, time_constant_s=90.0)
+        loads = np.array([0.0, 10.0, 120.0, 4000.0])
+        vectorised = model.throttle_factors(loads)
+        assert list(vectorised) == [model.throttle_factor(v) for v in loads]
+        with pytest.raises(ValueError):
+            model.throttle_factors(np.array([-1.0]))
+
+
+class TestThermalState:
+    def test_heat_up_matches_continuous_load(self):
+        """Back-to-back busy time throttles exactly like the stateless curve."""
+        model = ThermalModel(throttle_floor=0.7, time_constant_s=120.0)
+        state = model.state()
+        for _ in range(10):
+            state.heat_up(30.0)
+        assert state.throttle_factor == pytest.approx(model.throttle_factor(300.0))
+        assert state.latency_ms(10.0) == pytest.approx(
+            model.sustained_latency_ms(10.0, 300.0))
+
+    def test_long_idle_gap_cools_back_to_cold(self):
+        model = ThermalModel(throttle_floor=0.7, time_constant_s=120.0)
+        state = model.state()
+        state.heat_up(600.0)
+        assert state.throttle_factor < 0.75
+        state.cool_down(50 * model.cooldown_tau_s)  # a long shelf gap
+        assert state.throttle_factor == pytest.approx(1.0, abs=1e-12)
+
+    def test_cool_down_is_exponential(self):
+        model = ThermalModel(throttle_floor=0.8, time_constant_s=100.0,
+                             cooldown_time_constant_s=200.0)
+        assert model.cooldown_tau_s == 200.0
+        state = model.state(heat_seconds=100.0)
+        state.cool_down(200.0)
+        import math
+
+        assert state.heat_seconds == pytest.approx(100.0 * math.exp(-1.0))
+
+    def test_throttle_floor_clamps_under_unbounded_heat(self):
+        model = ThermalModel(throttle_floor=0.7, time_constant_s=60.0)
+        state = model.state()
+        state.heat_up(1e9)  # weeks of uninterrupted load
+        assert state.throttle_factor == pytest.approx(model.throttle_floor)
+        assert state.throttle_factor >= model.throttle_floor
+
+    def test_reset_restores_cold_state(self):
+        state = ThermalModel().state()
+        state.heat_up(500.0)
+        state.reset()
+        assert state.heat_seconds == 0.0
+        assert state.throttle_factor == 1.0
+
+    def test_validation(self):
+        state = ThermalModel().state()
+        with pytest.raises(ValueError):
+            state.heat_up(-1.0)
+        with pytest.raises(ValueError):
+            state.cool_down(-1.0)
+        with pytest.raises(ValueError):
+            ThermalModel().state(heat_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ThermalModel(cooldown_time_constant_s=0.0)
 
 
 class TestPowerMonitor:

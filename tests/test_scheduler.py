@@ -57,6 +57,45 @@ class TestAffinity:
             scheduler.effective_gflops(ThreadConfig(2))
 
 
+class TestOversubscriptionEdgeCases:
+    """Stateful/repeated-use behaviour around oversubscribed configurations."""
+
+    def test_repeated_calls_are_pure(self):
+        """The scheduler holds no hidden state: every repeated evaluation of
+        the same configuration returns the identical value (the property the
+        fleet simulator's cached nominal latencies rely on)."""
+        scheduler = CpuScheduler(device_by_name("A20").soc)
+        configs = [ThreadConfig(t, a) for t in (1, 2, 4, 8, 16)
+                   for a in (None, 1, 2, 4, 8)]
+        first = [scheduler.effective_gflops(c) for c in configs]
+        for _ in range(3):
+            assert [scheduler.effective_gflops(c) for c in configs] == first
+
+    def test_more_threads_than_cores_unpinned(self):
+        """Worker counts past the core count stop adding throughput."""
+        scheduler = CpuScheduler(device_by_name("S21").soc)
+        at_cores = scheduler.effective_gflops(ThreadConfig(8))
+        beyond = scheduler.effective_gflops(ThreadConfig(16))
+        assert beyond <= at_cores * 1.01
+
+    def test_extreme_oversubscription_on_one_core(self):
+        scheduler = CpuScheduler(device_by_name("A70").soc)
+        pinned_one = scheduler.effective_gflops(ThreadConfig(1, 1))
+        crowded = scheduler.effective_gflops(ThreadConfig(8, 1))
+        assert crowded < pinned_one
+        assert crowded > 0.0
+
+    def test_affinity_beyond_core_count_caps_at_cores(self):
+        scheduler = CpuScheduler(device_by_name("S21").soc)
+        assert scheduler.effective_gflops(ThreadConfig(4, 64)) == \
+            scheduler.effective_gflops(ThreadConfig(4, 8))
+
+    def test_best_configuration_avoids_oversubscription(self):
+        scheduler = CpuScheduler(device_by_name("A20").soc)
+        candidates = [ThreadConfig(2), ThreadConfig(8, 2), ThreadConfig(16, 1)]
+        assert scheduler.best_configuration(candidates) == ThreadConfig(2)
+
+
 class TestTuningHeadroom:
     def test_best_configuration_worth_up_to_2x(self):
         """Selecting the optimal thread count per device is worth a large factor

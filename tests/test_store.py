@@ -471,3 +471,105 @@ class TestSweepIntegration:
         assert results
         assert store.query("executions").objects() == results
         assert store.num_rows("apps") == len(analysis.apps)
+
+
+class TestCompaction:
+    @pytest.fixture()
+    def multi_kind(self, tmp_path, results):
+        """A store with two kinds, each sharded into several small segments."""
+        from repro.core.scenarios import ScenarioResult
+
+        store = ResultStore(tmp_path / "compact.store")
+        with store.writer(rows_per_segment=2) as writer:
+            for index, result in enumerate(results):
+                writer.append(result)
+                writer.append(ScenarioResult(
+                    scenario="Typing", device=result.device_name,
+                    model_name=result.model_name, inference_count=275,
+                    energy_joules=float(index) + 0.125,
+                    battery_discharge_mah=0.25 * index,
+                    battery_fraction=0.001 * index))
+        return store
+
+    def test_merges_to_one_segment_per_kind(self, multi_kind):
+        from repro.store import compact_store
+
+        before = len(multi_kind.segments)
+        assert before > 2
+        stats = compact_store(multi_kind)
+        assert stats.segments_before == before
+        assert stats.segments_after == len(multi_kind.segments) == 2
+        assert set(stats.kinds_compacted) == {"executions", "scenarios"}
+        assert multi_kind.verify_integrity() == 2
+
+    def test_queries_bit_identical_across_compaction(self, multi_kind, results):
+        from repro.store import compact_store
+
+        before_rows = multi_kind.query("executions").rows()
+        before_objects = multi_kind.query("executions").objects()
+        before_agg = (multi_kind.query("executions")
+                      .group_by("device_name", "backend")
+                      .agg(n=("latency_ms", "count"),
+                           mean_ms=("latency_ms", "mean"),
+                           p99=("latency_ms", "p99"))
+                      .aggregate())
+        compact_store(multi_kind)
+
+        reopened = ResultStore(multi_kind.root)
+        assert reopened.query("executions").rows() == before_rows
+        assert reopened.query("executions").objects() == before_objects == results
+        assert (reopened.query("executions")
+                .group_by("device_name", "backend")
+                .agg(n=("latency_ms", "count"),
+                     mean_ms=("latency_ms", "mean"),
+                     p99=("latency_ms", "p99"))
+                .aggregate()) == before_agg
+
+    def test_old_files_removed_and_sequence_advances(self, multi_kind):
+        from repro.store import compact_store
+
+        sequence_before = multi_kind.sequence
+        old_names = {meta.name for meta in multi_kind.segments}
+        stats = compact_store(multi_kind)
+        assert stats.files_removed > 0
+        assert multi_kind.sequence > sequence_before
+        remaining = {path.stem for path in multi_kind.segments_dir.iterdir()}
+        assert not (old_names & remaining)
+
+    def test_rechunking_and_kind_filter(self, multi_kind):
+        from repro.store import compact_store
+
+        rows = multi_kind.num_rows("executions")
+        stats = compact_store(multi_kind, rows_per_segment=4,
+                              kinds=["executions"])
+        assert stats.kinds_compacted == ("executions",)
+        executions = multi_kind.segments_for("executions")
+        assert len(executions) == (rows + 3) // 4
+        # Untouched kind keeps its original small segments.
+        assert len(multi_kind.segments_for("scenarios")) > 1
+
+    def test_noop_when_already_compact(self, multi_kind):
+        from repro.store import compact_store
+
+        compact_store(multi_kind)
+        stats = compact_store(multi_kind)
+        assert stats.kinds_compacted == ()
+        assert stats.rows_rewritten == 0
+
+    def test_rejects_unknown_kind_and_bad_chunk(self, multi_kind):
+        from repro.store import compact_store
+
+        with pytest.raises(KeyError):
+            compact_store(multi_kind, kinds=["nonsense"])
+        with pytest.raises(ValueError):
+            compact_store(multi_kind, rows_per_segment=0)
+
+    def test_report_server_identical_across_compaction(self, multi_kind):
+        from repro.store import compact_store
+
+        server = ReportServer(multi_kind)
+        before = (server.latency_ecdf_by_device(), server.energy_distributions())
+        compact_store(multi_kind)
+        fresh = ReportServer(ResultStore(multi_kind.root))
+        assert (fresh.latency_ecdf_by_device(),
+                fresh.energy_distributions()) == before
