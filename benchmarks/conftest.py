@@ -33,8 +33,23 @@ from repro.runtime import Backend, Executor
 #: Fraction of the paper's dataset size used for benchmark runs.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 
+#: Whether the >= Nx speedup acceptance gates are enforced.  The CI smoke
+#: job runs the whole benchmark suite at a scaled-down snapshot with
+#: ``REPRO_BENCH_NO_GATE=1``: timings are still measured and recorded in the
+#: ``BENCH_*.json`` baselines, but shared-runner jitter cannot fail the
+#: build.  Correctness gates (bit-identity, equivalence, conservation)
+#: always apply.
+SPEEDUP_GATES = os.environ.get("REPRO_BENCH_NO_GATE", "") != "1"
+
 #: Directory where reproduced tables/figures are written.
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def assert_speedup(measured: float, minimum: float, label: str = "") -> None:
+    """Enforce a speedup gate (no-op under ``REPRO_BENCH_NO_GATE=1``)."""
+    if SPEEDUP_GATES:
+        assert measured >= minimum, \
+            f"{label or 'speedup'}: {measured:.2f}x < required {minimum:.1f}x"
 
 
 def write_result(name: str, lines) -> Path:

@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, write_result
+from conftest import BENCH_SCALE, assert_speedup, write_result
 
 from repro.core.pipeline import GaugeNN
 from repro.fleet import (FleetSimulator, FleetSpec, simulate_user_naive,
@@ -165,7 +165,7 @@ def test_bench_vectorized_vs_naive(fleet_spec, baseline_traces):
         "naive_events_per_second": events / naive_seconds,
         "vectorized_events_per_second": events / vectorized_seconds,
     }
-    assert speedup >= MIN_EVENT_LOOP_SPEEDUP
+    assert_speedup(speedup, MIN_EVENT_LOOP_SPEEDUP, "fleet event loop")
 
 
 def test_bench_store_ingest(fleet_spec, baseline_traces, tmp_path_factory):
@@ -223,4 +223,5 @@ def test_write_fleet_baseline():
 
     assert RESULTS["determinism"]["bit_identical"]
     assert RESULTS["determinism"]["events"] >= MIN_DETERMINISM_EVENTS
-    assert RESULTS["event_loop"]["speedup"] >= MIN_EVENT_LOOP_SPEEDUP
+    assert_speedup(RESULTS["event_loop"]["speedup"],
+                   MIN_EVENT_LOOP_SPEEDUP, "fleet event loop")

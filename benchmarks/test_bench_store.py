@@ -26,7 +26,7 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import BENCH_SCALE, write_result
+from conftest import BENCH_SCALE, assert_speedup, write_result
 
 from repro.core import reports
 from repro.devices.device import DEVICE_FLEET
@@ -157,7 +157,7 @@ def test_bench_query_vs_recompute(benchmark, sweep_spec, store_path,
     assert warm == naive
     cold_speedup = naive_seconds / cold_seconds
     warm_speedup = naive_seconds / warm_seconds
-    assert warm_speedup >= MIN_QUERY_SPEEDUP
+    assert_speedup(warm_speedup, MIN_QUERY_SPEEDUP, "repeated report")
 
     RESULTS["query_vs_recompute"] = {
         "rows": len(in_memory_results),
@@ -206,4 +206,5 @@ def test_write_store_baseline():
         lines.append(f"{name}: {fields}")
     write_result("bench_store_baseline", lines)
 
-    assert RESULTS["query_vs_recompute"]["repeated_speedup"] >= MIN_QUERY_SPEEDUP
+    assert_speedup(RESULTS["query_vs_recompute"]["repeated_speedup"],
+                   MIN_QUERY_SPEEDUP, "repeated report")

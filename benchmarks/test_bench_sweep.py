@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import BENCH_SCALE, write_result
+from conftest import BENCH_SCALE, assert_speedup, write_result
 
 from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET
@@ -101,7 +101,7 @@ def test_bench_zoo_latency_sweep(benchmark, unique_graphs):
         assert cold.energy_mj == pytest.approx(warm.energy_mj, rel=1e-9)
 
     speedup = cold_seconds / warm_seconds
-    assert speedup >= MIN_SWEEP_SPEEDUP
+    assert_speedup(speedup, MIN_SWEEP_SPEEDUP, "zoo sweep")
     RESULTS["zoo_latency_sweep"] = {
         "models": len(unique_graphs),
         "devices": len(DEVICE_FLEET),
@@ -199,4 +199,5 @@ def test_write_sweep_baseline():
         lines.append(f"{name}: {fields}")
     write_result("bench_sweep_baseline", lines)
 
-    assert RESULTS["zoo_latency_sweep"]["speedup"] >= MIN_SWEEP_SPEEDUP
+    assert_speedup(RESULTS["zoo_latency_sweep"]["speedup"],
+                   MIN_SWEEP_SPEEDUP, "zoo sweep")

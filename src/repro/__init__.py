@@ -8,7 +8,8 @@ the gaugeNN measurement pipeline, in ``core``.
 from typing import Any
 
 __all__ = ["GaugeNN", "PipelineConfig", "ResultStore", "StoreWriter",
-           "ReportServer"]
+           "ReportServer", "FleetSpec", "FleetSimulator", "CapacityModel",
+           "InterferenceSimulator"]
 
 __version__ = "1.0.0"
 
@@ -19,6 +20,10 @@ _LAZY_EXPORTS = {
     "ResultStore": "repro.store",
     "StoreWriter": "repro.store",
     "ReportServer": "repro.store",
+    "FleetSpec": "repro.fleet",
+    "FleetSimulator": "repro.fleet",
+    "CapacityModel": "repro.cloud",
+    "InterferenceSimulator": "repro.cloud",
 }
 
 

@@ -7,6 +7,7 @@ from repro.analysis.stats import (
     kernel_density,
     remove_outliers_iqr,
     summary_statistics,
+    time_bin_indices,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "kernel_density",
     "remove_outliers_iqr",
     "summary_statistics",
+    "time_bin_indices",
 ]

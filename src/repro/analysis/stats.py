@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats
 
 __all__ = ["summary_statistics", "remove_outliers_iqr", "geometric_mean",
-           "kernel_density", "exponential_decay_scan"]
+           "kernel_density", "exponential_decay_scan", "time_bin_indices"]
 
 #: Per-step log-decay clamp for :func:`exponential_decay_scan`.  A single
 #: step decaying by ``e^-30 ~ 1e-13`` already wipes the carried state below
@@ -91,6 +91,27 @@ def kernel_density(values: Iterable[float], num_points: int = 100,
     if log_scale:
         xs = np.power(10.0, xs)
     return [float(x) for x in xs], [float(y) for y in ys]
+
+
+def time_bin_indices(values, width: float,
+                     num_bins: Optional[int] = None) -> np.ndarray:
+    """Fixed-width bin index of each value (``floor(value / width)``).
+
+    The single binning convention shared by the cloud load profiles, the
+    frozen service-table lookup and the store's ``Query.bin`` time-bin
+    aggregation — one implementation, so an event lands in the same bin no
+    matter which layer asks.  With ``num_bins`` the indices clip into
+    ``[0, num_bins - 1]`` (events exactly at the horizon fall into the last
+    bin rather than a phantom one).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    bins = (np.asarray(values, dtype=np.float64) // width).astype(np.int64)
+    if num_bins is not None:
+        if num_bins <= 0:
+            raise ValueError("num_bins must be positive when given")
+        bins = np.clip(bins, 0, num_bins - 1)
+    return bins
 
 
 def exponential_decay_scan(log_decays: np.ndarray, inputs,

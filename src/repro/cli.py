@@ -18,8 +18,11 @@ Four subcommands mirror the paper's workflow:
                   (Table 4); ``--store PATH`` persists the scenario rows.
 * ``fleet``     — deterministic discrete-event fleet simulation: a virtual
                   population issuing scenario-driven inference traffic with
-                  stateful thermal/battery devices and cloud offload routing,
-                  streamed into a results store and reported from it.
+                  stateful thermal/battery devices, device-queue
+                  back-pressure and cloud offload routing, streamed into a
+                  results store and reported from it; ``--cloud-capacity``
+                  resolves cross-user interference on shared regional cloud
+                  capacity to a damped deterministic fixed point.
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
 
@@ -33,6 +36,9 @@ Example::
         --group-by backend --agg latency_ms:mean,median
     python -m repro.cli store report campaign.store --table latency_ecdf
     python -m repro.cli fleet --users 200 --hours 12 --store fleet.store
+    python -m repro.cli fleet --users 200 --cloud-capacity --diurnal \
+        --store fleet.store
+    python -m repro.cli store report fleet.store --table cloud_load
     python -m repro.cli store compact fleet.store
 """
 
@@ -331,6 +337,21 @@ def cmd_store_query(args: argparse.Namespace) -> int:
 
 def cmd_store_report(args: argparse.Namespace) -> int:
     """Serve the paper's figure tables from a persisted campaign."""
+    if args.table == "cloud_load":
+        from repro.cloud import load_report
+
+        store = ResultStore(args.path)
+        rows = load_report(store)
+        if not rows:
+            print("store holds no fleet_load rows")
+            return 0
+        print(f"{'region':<12}{'API':<28}{'requests':>10}{'peak rps':>10}"
+              f"{'MB':>8}{'bins':>6}")
+        for row in rows:
+            print(f"{row['region']:<12}{row['cloud_api']:<28}"
+                  f"{row['requests']:>10}{row['peak_rps']:>10.2f}"
+                  f"{row['payload_bytes'] / 1e6:>8.1f}{row['active_bins']:>6}")
+        return 0
     server = ReportServer(ResultStore(args.path))
     if args.table == "summary":
         summary = server.summary()
@@ -424,18 +445,26 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Deterministic fleet traffic simulation, reported per device/scenario."""
-    from repro.fleet import (FleetSimulator, FleetSpec, RoutingPolicy,
-                             battery_drain_ecdf, offload_summary,
-                             tail_latency_table, zoo_population)
+    from repro.devices.battery import RechargeSchedule
+    from repro.fleet import (DiurnalProfile, FleetSimulator, FleetSpec,
+                             QueuePolicy, RoutingPolicy, battery_drain_ecdf,
+                             offload_summary, tail_latency_table,
+                             zoo_population)
 
     analysis = _analysis_for(args.scale, args.snapshot)
     pairs = GaugeNN.graphs_with_tasks(analysis)
-    policy = RoutingPolicy(battery_saver_threshold=args.battery_threshold)
+    policy = RoutingPolicy(
+        battery_saver_threshold=args.battery_threshold,
+        queue=QueuePolicy(max_wait_ms=args.queue_wait_ms,
+                          overflow=args.queue_overflow),
+    )
     spec_kwargs = dict(
         num_users=args.users,
         horizon_s=args.hours * 3600.0,
         policy=policy,
         seed=args.seed,
+        diurnal=DiurnalProfile.default() if args.diurnal else None,
+        recharge=RechargeSchedule() if args.recharge else None,
     )
     try:
         spec = FleetSpec(graphs_with_tasks=pairs, **spec_kwargs)
@@ -446,13 +475,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               "reference population")
         spec = FleetSpec(graphs_with_tasks=zoo_population(), **spec_kwargs)
 
-    simulator = FleetSimulator(spec, max_workers=args.workers,
-                               chunk_size=args.chunk_size,
-                               use_processes=args.processes)
     print(f"fleet: {spec.num_users} users over {args.hours:g} h "
           f"({len(spec.eligible_scenarios)} scenarios, "
           f"{len(spec.devices)} device models)")
 
+    if args.cloud_capacity:
+        return _run_fleet_cloud(args, spec)
+
+    simulator = FleetSimulator(spec, max_workers=args.workers,
+                               chunk_size=args.chunk_size,
+                               use_processes=args.processes)
     if args.fleet_store is None:
         # In-memory path: aggregate the trace stream directly.
         traces = simulator.collect()
@@ -501,6 +533,74 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     for api, entry in summary["by_api"].items():
         print(f"  {api:<28} {entry['requests']:>8} req "
               f"{entry['bytes'] / 1e6:>10.1f} MB")
+    return 0
+
+
+def _run_fleet_cloud(args: argparse.Namespace, spec) -> int:
+    """Fleet simulation over shared regional cloud capacity (two-pass)."""
+    from repro.cloud import (CapacityModel, InterferenceConfig,
+                             InterferenceSimulator, load_report)
+    from repro.fleet import queue_summary, tail_latency_table
+
+    capacity = CapacityModel()
+    config = InterferenceConfig(bin_seconds=args.cloud_bin_minutes * 60.0,
+                                damping=args.cloud_damping,
+                                max_passes=args.cloud_max_passes)
+    simulator = InterferenceSimulator(spec, capacity, config=config,
+                                      max_workers=args.workers,
+                                      chunk_size=args.chunk_size,
+                                      use_processes=args.processes)
+    print(f"cloud capacity: {len(capacity.regions)} regions, "
+          f"{config.bin_seconds / 60:g} min bins, damping {config.damping:g}")
+
+    if args.fleet_store is None:
+        result = simulator.run()
+        status = "converged" if result.converged else "hit the pass cap"
+        print(f"fixed point {status} after {result.passes} passes "
+              f"(max |delta| per pass: "
+              f"{', '.join(f'{d:.1f}ms' for d in result.deltas_ms)})")
+        print(f"offloaded requests: {result.profile.total_requests} "
+              f"(peak bin {result.profile.peak_rps():.2f} req/s, "
+              f"peak service {result.peak_service_ms:.0f} ms vs "
+              f"{spec.policy.cloud.service_ms:g} ms unloaded)")
+        counts: dict[str, int] = {}
+        for trace in result.traces:
+            for target, value in trace.route_counts().items():
+                counts[target] = counts.get(target, 0) + value
+        arrived = sum(counts.values())
+        print("queue conservation: arrived "
+              f"{arrived} = " + " + ".join(f"{counts.get(t, 0)} {t}"
+                                           for t in ("device", "cloud",
+                                                     "shed", "queued")))
+        return 0
+
+    store = ResultStore(args.fleet_store)
+    rows, result = simulator.run_to_store(
+        store, rows_per_segment=args.rows_per_segment)
+    status = "converged" if result.converged else "hit the pass cap"
+    print(f"fixed point {status} after {result.passes} passes; "
+          f"streamed {rows} rows into {store.root} "
+          f"({len(store.segments)} segments)")
+    # The simulator's streamed arrival count is the external side of the
+    # audit — a dropped or duplicated store row flips this to [VIOLATED].
+    summary = queue_summary(store, expected_arrived=result.arrived)
+    by_target = summary["by_target"]
+    print("queue conservation: arrived "
+          f"{summary['arrived']} = " + " + ".join(
+              f"{by_target[t]} {t}" for t in by_target)
+          + ("  [OK]" if summary["conserved"] else "  [VIOLATED]"))
+    print(f"\n{'region':<12}{'API':<28}{'requests':>10}{'peak rps':>10}"
+          f"{'MB':>8}")
+    for row in load_report(store):
+        print(f"{row['region']:<12}{row['cloud_api']:<28}"
+              f"{row['requests']:>10}{row['peak_rps']:>10.2f}"
+              f"{row['payload_bytes'] / 1e6:>8.1f}")
+    cloud_rows = tail_latency_table(store, group_by="region", target="cloud")
+    if cloud_rows:
+        print(f"\n{'region':<12}{'requests':>10}{'p50 ms':>10}{'p99 ms':>10}")
+        for row in cloud_rows:
+            print(f"{row['region']:<12}{row['events']:>10}"
+                  f"{row['p50_ms']:>10.1f}{row['p99_ms']:>10.1f}")
     return 0
 
 
@@ -607,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="serve paper figure tables from the store")
     report.add_argument("path", help="store directory")
     report.add_argument("--table", default="summary",
-                        choices=("summary", "latency_ecdf", "energy", "cloud"))
+                        choices=("summary", "latency_ecdf", "energy", "cloud",
+                                 "cloud_load"))
     report.set_defaults(func=cmd_store_report)
 
     info = store_sub.add_parser("info", help="inspect segments and integrity")
@@ -660,6 +761,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "PATH and serve the reports from it")
     fleet.add_argument("--rows-per-segment", type=_positive_int, default=8192,
                        help="store segment size for streamed ingestion")
+    fleet.add_argument("--queue-wait-ms", type=float, default=2000.0,
+                       help="device-queue wait cap before requests overflow")
+    fleet.add_argument("--queue-overflow", choices=("shed", "cloud"),
+                       default="shed",
+                       help="overflow action: drop the request or offload it")
+    fleet.add_argument("--diurnal", action="store_true",
+                       help="modulate session starts with a night/day profile")
+    fleet.add_argument("--recharge", action="store_true",
+                       help="nightly charging windows (multi-day horizons)")
+    fleet.add_argument("--cloud-capacity", action="store_true",
+                       help="model shared regional cloud capacity: two-pass "
+                            "deterministic interference to a damped fixed "
+                            "point (writes fleet_load rows with --store)")
+    fleet.add_argument("--cloud-bin-minutes", type=float, default=15.0,
+                       help="width of the cloud load/service time bins")
+    fleet.add_argument("--cloud-damping", type=float, default=0.5,
+                       help="fixed-point damping factor in (0, 1]")
+    fleet.add_argument("--cloud-max-passes", type=_positive_int, default=8,
+                       help="iteration cap of the fixed point")
     fleet.set_defaults(func=cmd_fleet)
 
     compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")

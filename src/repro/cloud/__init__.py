@@ -1,0 +1,46 @@
+"""Shared-capacity cloud serving: deterministic cross-user interference.
+
+The fleet simulator (PR 3) offloads to cloud APIs at a fixed service time;
+at the north star's scale — millions of users — those APIs are a shared
+resource whose latency depends on aggregate load.  This package closes the
+loop deterministically:
+
+* :mod:`~repro.cloud.capacity` — :class:`CloudRegion` / :class:`ApiCapacity`
+  / :class:`CapacityModel`: a region-sharded M/M/c-style load -> service-time
+  curve per Fig. 15 API category;
+* :mod:`~repro.cloud.load` — :class:`LoadProfile`: time-binned regional
+  offload demand, mergeable by exact integer addition (bit-identical for
+  any fan-out), persisted as ``fleet_load`` store rows;
+  :class:`ServiceTable`: the frozen per-(region, API, bin) service times the
+  event loops read;
+* :mod:`~repro.cloud.interference` — :class:`InterferenceSimulator`: pass 1
+  aggregates demand at nominal service times, subsequent passes re-simulate
+  against the frozen table of the previous iterate, damped to a fixed point
+  with a convergence gate, then a final definitive pass lands in the results
+  store.
+
+See the README's "Cloud capacity" section for a runnable example and
+``benchmarks/test_bench_cloud.py`` for the enforced acceptance gates.
+"""
+
+from repro.cloud.capacity import (REFERENCE_REGIONS, ApiCapacity,
+                                  CapacityModel, CloudRegion)
+from repro.cloud.interference import (InterferenceConfig, InterferenceResult,
+                                      InterferenceSimulator)
+from repro.cloud.load import (FIG15_API_NAMES, LoadCell, LoadProfile,
+                              ServiceTable, load_report)
+
+__all__ = [
+    "CloudRegion",
+    "ApiCapacity",
+    "CapacityModel",
+    "REFERENCE_REGIONS",
+    "LoadCell",
+    "LoadProfile",
+    "ServiceTable",
+    "FIG15_API_NAMES",
+    "InterferenceConfig",
+    "InterferenceResult",
+    "InterferenceSimulator",
+    "load_report",
+]

@@ -1,0 +1,177 @@
+"""Region-sharded cloud capacity: the load -> service-time curve.
+
+The paper's Sec. 5 offload analysis answers at one fixed service time; at
+fleet scale the Fig. 15 cloud APIs are a *shared* resource.  This module
+models each (region, API category) pair as an M/M/c-style service pool:
+``servers`` parallel workers, each sustaining ``per_server_rps`` requests
+per second at the API's base service time, scaled by the region's capacity
+share.  The expected queueing delay under offered load follows Sakasegawa's
+closed-form M/M/c approximation
+
+    ``W_q ~= rho^sqrt(2 (c + 1)) / (c * mu * (1 - rho))``
+
+which is exact for M/M/1, asymptotically exact in heavy traffic, and — the
+property everything here rests on — a *deterministic, monotone* function of
+the offered load.  Utilisation is clamped below 1 (``max_utilization``), so
+an overloaded bin saturates at a finite, reproducible service time instead
+of diverging; the damped fixed-point iteration in
+:mod:`repro.cloud.interference` needs that boundedness to converge.
+
+Nothing in this module draws randomness: the same load profile always maps
+to the same service-time table, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.android.cloud_apis import api_by_name
+
+__all__ = ["CloudRegion", "ApiCapacity", "CapacityModel", "REFERENCE_REGIONS"]
+
+
+@dataclass(frozen=True)
+class CloudRegion:
+    """One regional shard of the cloud APIs' serving capacity."""
+
+    name: str
+    #: Multiplier on every API pool's throughput in this region (smaller
+    #: regions congest earlier under the same per-capita demand).
+    capacity_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        if self.capacity_scale <= 0:
+            raise ValueError("capacity_scale must be positive")
+
+
+#: A small reference deployment: one well-provisioned home region and two
+#: thinner remote ones, mirroring how managed ML APIs are actually sharded.
+REFERENCE_REGIONS: tuple[CloudRegion, ...] = (
+    CloudRegion("us-central", capacity_scale=1.0),
+    CloudRegion("eu-west", capacity_scale=0.7),
+    CloudRegion("apac-se", capacity_scale=0.5),
+)
+
+
+@dataclass(frozen=True)
+class ApiCapacity:
+    """Serving capacity of one Fig. 15 API category (per unit region scale)."""
+
+    #: Unloaded server-side execution time, milliseconds.
+    base_service_ms: float = 45.0
+    #: Parallel servers in the pool (the ``c`` of M/M/c).
+    servers: int = 4
+    #: Sustained throughput of one server, requests per second.
+    per_server_rps: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base_service_ms <= 0:
+            raise ValueError("base_service_ms must be positive")
+        if self.servers <= 0:
+            raise ValueError("servers must be positive")
+        if self.per_server_rps <= 0:
+            raise ValueError("per_server_rps must be positive")
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """The fleet-facing load -> service-time map, sharded by region.
+
+    ``api_capacities`` overrides the ``default`` pool per Fig. 15 API name
+    (validated against the known table).  :meth:`service_ms` is the single
+    entry point: offered load in, expected service time (base + M/M/c queue
+    wait) out, elementwise over NumPy arrays.
+    """
+
+    regions: tuple[CloudRegion, ...] = REFERENCE_REGIONS
+    default: ApiCapacity = field(default_factory=ApiCapacity)
+    api_capacities: Mapping[str, ApiCapacity] = field(default_factory=dict)
+    #: Utilisation clamp keeping overloaded bins finite and monotone.
+    max_utilization: float = 0.97
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", tuple(self.regions))
+        object.__setattr__(self, "api_capacities", dict(self.api_capacities))
+        if not self.regions:
+            raise ValueError("CapacityModel requires at least one region")
+        if len({region.name for region in self.regions}) != len(self.regions):
+            raise ValueError("region names must be unique")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max_utilization must be in (0, 1)")
+        for name in self.api_capacities:
+            api_by_name(name)  # unknown API categories fail fast
+
+    @property
+    def region_names(self) -> tuple[str, ...]:
+        """Region names in declaration order (the fleet spec's shard keys)."""
+        return tuple(region.name for region in self.regions)
+
+    def region(self, name: str) -> CloudRegion:
+        """Look up a region by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"unknown region {name!r} (have {self.region_names})")
+
+    def api_capacity(self, api_name: str) -> ApiCapacity:
+        """Capacity of one API category (the default unless overridden)."""
+        return self.api_capacities.get(api_name, self.default)
+
+    # ------------------------------------------------------------------ #
+    # The curve
+    # ------------------------------------------------------------------ #
+    def utilization(self, api_name: str, region_name: str,
+                    offered_rps: Union[float, np.ndarray]) -> np.ndarray:
+        """Unclamped pool utilisation ``rho`` under an offered load."""
+        capacity = self.api_capacity(api_name)
+        scale = self.region(region_name).capacity_scale
+        pool_rps = capacity.servers * capacity.per_server_rps * scale
+        return np.asarray(offered_rps, dtype=np.float64) / pool_rps
+
+    def service_ms(self, api_name: str, region_name: str,
+                   offered_rps: Union[float, np.ndarray]) -> np.ndarray:
+        """Expected service time under load (base + M/M/c queue wait), ms.
+
+        Elementwise over ``offered_rps``; monotone non-decreasing in load
+        and bounded by the ``max_utilization`` clamp.
+        """
+        capacity = self.api_capacity(api_name)
+        scale = self.region(region_name).capacity_scale
+        servers = capacity.servers
+        mu = capacity.per_server_rps * scale  # one server's rate in region
+        rho = np.clip(self.utilization(api_name, region_name, offered_rps),
+                      0.0, self.max_utilization)
+        exponent = math.sqrt(2.0 * (servers + 1))
+        wait_s = np.power(rho, exponent) / (servers * mu * (1.0 - rho))
+        return capacity.base_service_ms + wait_s * 1e3
+
+    def saturated_service_ms(self, api_name: str, region_name: str) -> float:
+        """The finite ceiling an overloaded (region, API) bin saturates at."""
+        capacity = self.api_capacity(api_name)
+        scale = self.region(region_name).capacity_scale
+        pool_rps = capacity.servers * capacity.per_server_rps * scale
+        return float(self.service_ms(api_name, region_name, pool_rps * 2.0))
+
+    def service_table(self, profile) -> "np.ndarray":
+        """Service-time grid ``[region, api, bin]`` for a whole load profile.
+
+        ``profile`` is a :class:`~repro.cloud.load.LoadProfile` whose region
+        names must match this model's.  Returned in the profile's region/API
+        order, milliseconds per bin.
+        """
+        if tuple(profile.regions) != self.region_names:
+            raise ValueError(
+                f"profile regions {profile.regions} do not match the "
+                f"capacity model's {self.region_names}")
+        table = np.empty(profile.requests.shape, dtype=np.float64)
+        for r, region_name in enumerate(profile.regions):
+            for a, api_name in enumerate(profile.apis):
+                table[r, a] = self.service_ms(
+                    api_name, region_name, profile.offered_rps(r, a))
+        return table

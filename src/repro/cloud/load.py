@@ -1,0 +1,265 @@
+"""Time-binned regional cloud load: the fleet's offload demand, aggregated.
+
+A :class:`LoadProfile` counts the offloaded requests of a fleet simulation
+into a dense ``[region, API category, time bin]`` integer grid.  Counts are
+**mergeable by pure addition**: integer sums are exact and order-independent,
+so a profile built from per-user traces is bit-identical for any worker
+count, chunk size or pool kind — the property the two-pass interference
+simulator's determinism rests on.
+
+Profiles persist as ``fleet_load`` store rows (one :class:`LoadCell` per
+non-empty grid cell), and :meth:`LoadProfile.from_store` rebuilds a profile
+by — again — pure addition over the committed rows, so splitting the rows
+across many segments, compacting them, or ingesting them from several
+writers never changes the reconstructed profile.
+
+A :class:`ServiceTable` is the frozen read side: the capacity model's
+service time per (region, API, bin), looked up per event by both fleet event
+loops via :meth:`ServiceTable.service_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import time_bin_indices
+from repro.android.cloud_apis import CLOUD_APIS
+from repro.fleet.queueing import ROUTE_CLOUD
+
+__all__ = ["LoadCell", "LoadProfile", "ServiceTable", "FIG15_API_NAMES",
+           "load_report"]
+
+#: Canonical Fig. 15 API category order (the profile's API axis).
+FIG15_API_NAMES: tuple[str, ...] = tuple(api.name for api in CLOUD_APIS)
+
+
+@dataclass(frozen=True)
+class LoadCell:
+    """One non-empty (region, API, time-bin) cell of a load profile."""
+
+    region: str
+    cloud_api: str
+    bin_index: int
+    bin_start_s: float
+    bin_seconds: float
+    requests: int
+    payload_bytes: int
+
+    #: Store row kind these cells persist as (see repro.store.schema).
+    __row_kind__ = "fleet_load"
+
+
+class LoadProfile:
+    """Offload demand over time, per region and Fig. 15 API category."""
+
+    def __init__(self, regions: Sequence[str], horizon_s: float,
+                 bin_seconds: float,
+                 apis: Sequence[str] = FIG15_API_NAMES) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        if not regions:
+            raise ValueError("regions must be non-empty")
+        self.regions = tuple(regions)
+        self.apis = tuple(apis)
+        self.horizon_s = float(horizon_s)
+        self.bin_seconds = float(bin_seconds)
+        self.num_bins = int(np.ceil(horizon_s / bin_seconds))
+        shape = (len(self.regions), len(self.apis), self.num_bins)
+        self.requests = np.zeros(shape, dtype=np.int64)
+        self.payload_bytes = np.zeros(shape, dtype=np.int64)
+        self._region_index = {name: i for i, name in enumerate(self.regions)}
+        self._api_index = {name: i for i, name in enumerate(self.apis)}
+
+    # ------------------------------------------------------------------ #
+    # Accumulation (exact integer addition — order never matters)
+    # ------------------------------------------------------------------ #
+    def bin_indices(self, times_s: np.ndarray) -> np.ndarray:
+        """Time-bin index of each event time (clipped to the last bin)."""
+        return time_bin_indices(times_s, self.bin_seconds, self.num_bins)
+
+    def add_trace(self, trace) -> int:
+        """Accumulate one :class:`~repro.fleet.simulator.UserTrace`'s offloads.
+
+        Returns the number of requests added.  Only cloud-served events
+        count — shed and queued requests never reached the API.
+        """
+        mask = trace.route == ROUTE_CLOUD
+        count = int(mask.sum())
+        if not count:
+            return 0
+        r = self._region_index[trace.user.region]
+        a = self._api_index[trace.cloud_api]
+        bins = np.bincount(self.bin_indices(trace.times_s[mask]),
+                           minlength=self.num_bins).astype(np.int64)
+        self.requests[r, a] += bins
+        self.payload_bytes[r, a] += bins * int(trace.payload_bytes)
+        return count
+
+    def merge(self, other: "LoadProfile") -> "LoadProfile":
+        """Add another profile of the same shape into this one (exact)."""
+        if (self.regions, self.apis, self.num_bins,
+                self.bin_seconds) != (other.regions, other.apis,
+                                      other.num_bins, other.bin_seconds):
+            raise ValueError("cannot merge profiles of different shapes")
+        self.requests += other.requests
+        self.payload_bytes += other.payload_bytes
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def total_requests(self) -> int:
+        """All offloaded requests counted into the profile."""
+        return int(self.requests.sum())
+
+    def offered_rps(self, region_index: int, api_index: int) -> np.ndarray:
+        """Per-bin offered load of one (region, API) pair, requests/second."""
+        return self.requests[region_index, api_index] / self.bin_seconds
+
+    def peak_rps(self) -> float:
+        """The busiest single (region, API, bin) cell's offered load."""
+        return float(self.requests.max()) / self.bin_seconds
+
+    # ------------------------------------------------------------------ #
+    # Store round-trip
+    # ------------------------------------------------------------------ #
+    def cells(self) -> Iterator[LoadCell]:
+        """Non-empty grid cells in canonical (region, api, bin) order."""
+        for r, region in enumerate(self.regions):
+            for a, api in enumerate(self.apis):
+                for b in np.nonzero(self.requests[r, a])[0]:
+                    b = int(b)
+                    yield LoadCell(
+                        region=region,
+                        cloud_api=api,
+                        bin_index=b,
+                        bin_start_s=b * self.bin_seconds,
+                        bin_seconds=self.bin_seconds,
+                        requests=int(self.requests[r, a, b]),
+                        payload_bytes=int(self.payload_bytes[r, a, b]),
+                    )
+
+    @classmethod
+    def from_store(cls, store, regions: Sequence[str], horizon_s: float,
+                   bin_seconds: float,
+                   apis: Sequence[str] = FIG15_API_NAMES) -> "LoadProfile":
+        """Rebuild a profile by summing a store's ``fleet_load`` rows.
+
+        Pure addition over however many rows/segments the cells were split
+        into — re-ingestion, segment splits and compaction all reconstruct
+        the identical grid.
+        """
+        profile = cls(regions, horizon_s, bin_seconds, apis=apis)
+        arrays = store.query("fleet_load").where(
+            "bin_seconds", "==", float(bin_seconds)).arrays(
+            "region", "cloud_api", "bin_index", "requests", "payload_bytes")
+        for region, api, b, requests, payload in zip(
+                arrays["region"], arrays["cloud_api"], arrays["bin_index"],
+                arrays["requests"], arrays["payload_bytes"]):
+            r = profile._region_index[str(region)]
+            a = profile._api_index[str(api)]
+            profile.requests[r, a, int(b)] += int(requests)
+            profile.payload_bytes[r, a, int(b)] += int(payload)
+        return profile
+
+
+@dataclass(frozen=True)
+class ServiceTable:
+    """Frozen per-(region, API, time-bin) cloud service times, milliseconds.
+
+    The read side the event loops consume: built once per interference pass
+    from a load profile and a capacity model, then treated as immutable —
+    which is what makes a pass a pure function of (spec, table) and the
+    whole two-pass run deterministic.  Picklable (plain arrays), so process
+    pools ship it to workers unchanged.
+    """
+
+    regions: tuple[str, ...]
+    apis: tuple[str, ...]
+    bin_seconds: float
+    #: Service time grid ``[region, api, bin]``, ms.
+    service_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.regions), len(self.apis))
+        if self.service_ms.ndim != 3 or self.service_ms.shape[:2] != expected:
+            raise ValueError("service_ms must be [region, api, bin]")
+
+    @classmethod
+    def constant(cls, regions: Sequence[str], apis: Sequence[str],
+                 horizon_s: float, bin_seconds: float,
+                 service_ms: float) -> "ServiceTable":
+        """A flat table (every bin at the routing policy's nominal time)."""
+        num_bins = int(np.ceil(horizon_s / bin_seconds))
+        grid = np.full((len(regions), len(apis), num_bins), float(service_ms))
+        return cls(tuple(regions), tuple(apis), float(bin_seconds), grid)
+
+    @property
+    def num_bins(self) -> int:
+        """Time bins per (region, API) row."""
+        return int(self.service_ms.shape[2])
+
+    def row(self, region: str, api: str) -> np.ndarray:
+        """Per-bin service times of one (region, API) pair."""
+        return self.service_ms[self.regions.index(region),
+                               self.apis.index(api)]
+
+    def service_for(self, region: str, api: str,
+                    times_s: np.ndarray) -> np.ndarray:
+        """Service time of requests arriving at ``times_s`` (elementwise)."""
+        bins = time_bin_indices(times_s, self.bin_seconds, self.num_bins)
+        return self.row(region, api)[bins]
+
+    def max_delta_ms(self, other: "ServiceTable") -> float:
+        """Largest absolute per-bin difference to another table (the
+        convergence metric of the damped fixed-point iteration)."""
+        if self.service_ms.shape != other.service_ms.shape:
+            raise ValueError("cannot compare tables of different shapes")
+        if not self.service_ms.size:
+            return 0.0
+        return float(np.abs(self.service_ms - other.service_ms).max())
+
+
+def load_report(store) -> list[dict]:
+    """Per-(region, API) cloud load summary from persisted ``fleet_load`` rows.
+
+    One output row per (region, API category) with total requests, uplink
+    bytes, the busiest bin's offered load in requests/second and the active
+    bin count — sorted by request volume.  A grid cell may be split across
+    several rows (multiple ingestions of the same horizon are additive, the
+    contract :meth:`LoadProfile.from_store` rests on), so per-bin peaks are
+    taken only after summing each cell's rows.  ``bin_seconds`` is part of
+    the cell key: rows written at different bin widths (two campaigns with
+    different ``--cloud-bin-minutes`` in one store) stay separate cells,
+    each contributing its peak at its own width, rather than being summed
+    into one fictitious time window.
+    """
+    grouped = (store.query("fleet_load")
+               .group_by("region", "cloud_api", "bin_seconds", "bin_index")
+               .agg(requests=("requests", "sum"),
+                    payload_bytes=("payload_bytes", "sum"))
+               .aggregate())
+    by_pair: dict[tuple[str, str], dict] = {}
+    for cell in grouped:
+        entry = by_pair.setdefault((cell["region"], cell["cloud_api"]), {
+            "requests": 0, "payload_bytes": 0, "peak_rps": 0.0,
+            "active_bins": 0,
+        })
+        entry["requests"] += int(cell["requests"])
+        entry["payload_bytes"] += int(cell["payload_bytes"])
+        entry["peak_rps"] = max(entry["peak_rps"],
+                                int(cell["requests"])
+                                / float(cell["bin_seconds"]))
+        entry["active_bins"] += 1
+    rows = [
+        {"region": region, "cloud_api": api, **entry}
+        for (region, api), entry in by_pair.items()
+    ]
+    return sorted(rows, key=lambda r: (-r["requests"], r["region"],
+                                       r["cloud_api"]))

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Battery", "BatteryState"]
+import numpy as np
+
+__all__ = ["Battery", "BatteryState", "RechargeSchedule"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +111,50 @@ class BatteryState:
         if not 0.0 <= level_fraction <= 1.0:
             raise ValueError("level_fraction must be in [0, 1]")
         self._level_mah = level_fraction * self.battery.capacity_mah
+
+
+@dataclass(frozen=True)
+class RechargeSchedule:
+    """Nightly charging windows, so multi-day horizons do not monotonically drain.
+
+    Users plug their phone in once a day; when the window ends the pack is
+    back at ``level``.  The schedule is deterministic — the same boundary
+    times for every simulation of the same horizon — which is what lets the
+    fleet's vectorised and per-event loops treat the day as independent
+    *recharge spans*: at each boundary the battery resets to ``level`` and
+    the SoC (idle on the charger for hours, many thermal time constants) is
+    back to cold.  Requests still arriving inside the window are simulated
+    normally; the recharge takes effect at the window's end.
+    """
+
+    #: Hour of (virtual) day the charge window opens, e.g. 1.0 = 01:00.
+    start_hour: float = 1.0
+    #: Window length in hours; the pack is full when it closes.
+    duration_h: float = 4.0
+    #: Charge fraction restored at the end of each window.
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_hour < 24.0:
+            raise ValueError("start_hour must be in [0, 24)")
+        if self.duration_h <= 0:
+            raise ValueError("duration_h must be positive")
+        if not 0.0 < self.level <= 1.0:
+            raise ValueError("level must be in (0, 1]")
+
+    @property
+    def end_of_day_s(self) -> float:
+        """Seconds into a day at which the charge window closes."""
+        return (self.start_hour + self.duration_h) * 3600.0
+
+    def boundaries(self, horizon_s: float) -> np.ndarray:
+        """Window-end times inside ``(0, horizon_s)``, one per simulated day."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        first = self.end_of_day_s
+        ends = np.arange(first, horizon_s, 86400.0, dtype=np.float64)
+        return ends[(ends > 0.0) & (ends < horizon_s)]
+
+    def apply(self, state: BatteryState) -> None:
+        """Recharge a battery state to the schedule's level."""
+        state.recharge(self.level)

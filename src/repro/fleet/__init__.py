@@ -21,12 +21,17 @@ the results store — into a deterministic discrete-event simulator:
 See the README's "Fleet simulation" section for a runnable example.
 """
 
-from repro.fleet.arrivals import SESSION_SHAPES, SessionShape, generate_arrivals, session_shape_for
+from repro.fleet.arrivals import (SESSION_SHAPES, DiurnalProfile, SessionShape,
+                                  generate_arrivals, session_shape_for)
 from repro.fleet.events import FleetEvent
 from repro.fleet.population import (FleetSpec, UserPlan, VirtualUser,
+                                    congested_population, derive_user_region,
                                     derive_user_seed, zoo_population)
+from repro.fleet.queueing import (ROUTE_CLOUD, ROUTE_DEVICE, ROUTE_QUEUED,
+                                  ROUTE_SHED, ROUTE_TARGETS, QueuePolicy)
 from repro.fleet.reference import simulate_user_naive
-from repro.fleet.reports import battery_drain_ecdf, offload_summary, tail_latency_table
+from repro.fleet.reports import (battery_drain_ecdf, offload_summary,
+                                 queue_summary, tail_latency_table)
 from repro.fleet.router import CloudProfile, RoutingPolicy, cloud_api_for_scenario
 from repro.fleet.simulator import FleetSimulator, UserTrace
 
@@ -39,15 +44,25 @@ __all__ = [
     "VirtualUser",
     "RoutingPolicy",
     "CloudProfile",
+    "QueuePolicy",
+    "ROUTE_DEVICE",
+    "ROUTE_CLOUD",
+    "ROUTE_SHED",
+    "ROUTE_QUEUED",
+    "ROUTE_TARGETS",
+    "DiurnalProfile",
     "SessionShape",
     "SESSION_SHAPES",
     "generate_arrivals",
     "session_shape_for",
     "cloud_api_for_scenario",
     "derive_user_seed",
+    "derive_user_region",
     "zoo_population",
+    "congested_population",
     "simulate_user_naive",
     "battery_drain_ecdf",
     "offload_summary",
+    "queue_summary",
     "tail_latency_table",
 ]

@@ -21,6 +21,7 @@ their derived seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -28,7 +29,7 @@ from repro.core.scenarios import Scenario
 from repro.dnn.graph import Graph
 
 __all__ = ["SessionShape", "SESSION_SHAPES", "session_shape_for",
-           "generate_arrivals"]
+           "DiurnalProfile", "generate_arrivals"]
 
 #: Floor on generated session durations, seconds (a one-glance session).
 MIN_SESSION_S = 2.0
@@ -67,16 +68,78 @@ def session_shape_for(scenario: Scenario) -> SessionShape:
     return SESSION_SHAPES.get(scenario.name, DEFAULT_SHAPE)
 
 
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Night/day modulation of when sessions start.
+
+    ``hourly_weights`` gives the relative session-start intensity of each
+    hour of the (virtual) day; session start times are drawn by pushing the
+    user's uniform draws through the inverse CDF of the piecewise-constant
+    intensity, tiled across the horizon.  This consumes exactly one RNG draw
+    per session — the same as the uniform placement it replaces — so enabling
+    or disabling the profile never shifts any other draw in a user's plan.
+    The aggregate effect is the fleet-level day/night swing the cloud
+    capacity model sees in its time-binned load profiles.
+    """
+
+    hourly_weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hourly_weights", tuple(self.hourly_weights))
+        if len(self.hourly_weights) != 24:
+            raise ValueError("hourly_weights must have 24 entries")
+        if min(self.hourly_weights) <= 0:
+            raise ValueError("hourly_weights must be strictly positive")
+
+    @classmethod
+    def default(cls) -> "DiurnalProfile":
+        """A typical phone-usage day: quiet night, daytime plateau, evening peak."""
+        return cls(hourly_weights=(
+            0.25, 0.15, 0.10, 0.10, 0.15, 0.30,   # 00-05: asleep
+            0.60, 1.00, 1.20, 1.10, 1.00, 1.10,   # 06-11: morning ramp
+            1.20, 1.10, 1.00, 1.00, 1.10, 1.30,   # 12-17: daytime plateau
+            1.60, 1.80, 1.70, 1.40, 0.90, 0.50,   # 18-23: evening peak
+        ))
+
+    def session_start_times(self, uniform: np.ndarray,
+                            horizon_s: float) -> np.ndarray:
+        """Map uniform [0, 1) draws to start times over ``[0, horizon_s)``.
+
+        The inverse CDF of the hourly intensity, tiled day by day and
+        truncated at the horizon; a flat profile reduces to
+        ``uniform * horizon_s`` exactly.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        hours = int(np.ceil(horizon_s / 3600.0))
+        weights = np.asarray(
+            [self.hourly_weights[h % 24] for h in range(hours)],
+            dtype=np.float64)
+        edges = np.minimum(np.arange(1, hours + 1) * 3600.0, horizon_s)
+        widths = np.diff(np.concatenate(([0.0], edges)))
+        mass = weights * widths
+        cum = np.cumsum(mass)
+        total = cum[-1]
+        targets = np.asarray(uniform, dtype=np.float64) * total
+        idx = np.searchsorted(cum, targets, side="right")
+        idx = np.minimum(idx, hours - 1)
+        below = np.where(idx > 0, cum[idx - 1], 0.0)
+        starts = idx * 3600.0 + (targets - below) / weights[idx]
+        return np.minimum(starts, np.nextafter(horizon_s, 0.0))
+
+
 def generate_arrivals(scenario: Scenario, graph: Graph,
-                      rng: np.random.Generator, horizon_s: float) -> np.ndarray:
+                      rng: np.random.Generator, horizon_s: float,
+                      diurnal: Optional[DiurnalProfile] = None) -> np.ndarray:
     """Sorted request arrival times of one user over ``[0, horizon_s)``.
 
     Draws, in fixed RNG order: the session count (Poisson on the horizon's
-    share of the daily session rate), session start times (uniform), and
-    session durations (exponential, floored).  Within a session requests
-    tick at the scenario-derived rate with the phase anchored at the session
-    start, mirroring a frame clock / keystroke cadence rather than per-event
-    jitter.
+    share of the daily session rate), session start times (uniform, or
+    diurnally modulated through ``diurnal``'s inverse CDF — either way one
+    draw per session), and session durations (exponential, floored).  Within
+    a session requests tick at the scenario-derived rate with the phase
+    anchored at the session start, mirroring a frame clock / keystroke
+    cadence rather than per-event jitter.
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
@@ -87,7 +150,11 @@ def generate_arrivals(scenario: Scenario, graph: Graph,
 
     expected_sessions = shape.sessions_per_day * horizon_s / 86400.0
     num_sessions = int(rng.poisson(expected_sessions))
-    starts = rng.uniform(0.0, horizon_s, num_sessions)
+    if diurnal is None:
+        starts = rng.uniform(0.0, horizon_s, num_sessions)
+    else:
+        starts = diurnal.session_start_times(rng.random(num_sessions),
+                                             horizon_s)
     durations = np.maximum(
         rng.exponential(shape.mean_session_s, num_sessions), MIN_SESSION_S)
     if num_sessions == 0:

@@ -17,12 +17,16 @@ __all__ = ["FleetEvent"]
 
 @dataclass(frozen=True)
 class FleetEvent:
-    """One executed inference request of one virtual user.
+    """One inference request of one virtual user.
 
-    ``target`` is where the request ran: ``"device"`` (on-device inference,
-    throttle and battery drain apply) or ``"cloud"`` (offloaded to a cloud
-    API; latency is network + service time, energy is the radio cost, and
-    ``cloud_bytes`` counts the uplink payload).
+    ``target`` is what happened to the request: ``"device"`` (on-device
+    inference, throttle and battery drain apply — latency includes any queue
+    wait), ``"cloud"`` (offloaded to a cloud API; latency is network +
+    service time, energy is the radio cost, and ``cloud_bytes`` counts the
+    uplink payload), ``"shed"`` (dropped by the device-queue overflow
+    policy) or ``"queued"`` (still waiting in the device queue when the
+    horizon ended).  Every request carries exactly one target, which is the
+    queue-conservation invariant the cloud benchmark audits.
     """
 
     user_id: int
@@ -32,8 +36,12 @@ class FleetEvent:
     model_name: str
     scenario: str
     backend: str
+    #: Cloud region the user's offloads are served from.
+    region: str
     target: str
     latency_ms: float
+    #: Device-queue wait, ms (part of ``latency_ms`` for served requests).
+    wait_ms: float
     energy_mj: float
     #: Thermal performance multiplier at execution time (1.0 for cloud).
     throttle_factor: float

@@ -20,18 +20,39 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.scenarios import STANDARD_SCENARIOS, Scenario
+from repro.devices.battery import RechargeSchedule
 from repro.devices.device import Device, PHONES
 from repro.dnn.graph import Graph
-from repro.fleet.arrivals import generate_arrivals
+from repro.fleet.arrivals import DiurnalProfile, generate_arrivals
 from repro.fleet.router import RoutingPolicy
 from repro.runtime.backends import Backend, profile_for
 
-__all__ = ["derive_user_seed", "VirtualUser", "UserPlan", "FleetSpec",
-           "zoo_population"]
+__all__ = ["derive_user_seed", "derive_user_region", "VirtualUser", "UserPlan",
+           "FleetSpec", "zoo_population", "congested_population",
+           "preferred_backend"]
 
 #: Device-tier market weights for assigning phones to users (low tiers are
 #: the volume segment — the paper's motivation for measuring the A20).
 TIER_WEIGHTS = {"low": 5.0, "mid": 3.0, "high": 2.0}
+
+
+def preferred_backend(device: Device, graph: Graph) -> Backend:
+    """Fastest portable backend of a (device, graph) pair: XNNPACK when it
+    can run, the plain CPU interpreter otherwise.
+
+    The single eligibility rule behind both :meth:`FleetSpec._backend_for`
+    (which memoises it per combo) and :func:`congested_population` (which
+    must evaluate candidate graphs under the backend the fleet would really
+    assign them).
+    """
+    profile = profile_for(Backend.XNNPACK)
+    device_ok = not (profile.requires_qualcomm
+                     and device.soc.vendor != "Qualcomm")
+    device_ok = device_ok and not (
+        profile.requires_accelerator
+        and device.soc.accelerator(profile.target) is None)
+    return (Backend.XNNPACK if device_ok and profile.supports_graph(graph)
+            else Backend.CPU)
 
 
 def zoo_population(weight_seed: int = 0) -> tuple[tuple[Graph, str], ...]:
@@ -55,6 +76,48 @@ def zoo_population(weight_seed: int = 0) -> tuple[tuple[Graph, str], ...]:
     )
 
 
+def congested_population(device: Optional[Device] = None, *,
+                         band: tuple[float, float] = (0.74, 0.97),
+                         weight_seed: int = 0) -> tuple[tuple[Graph, str], ...]:
+    """A population whose segmentation model congests the device queue.
+
+    Picks a ``unet_lite`` variant whose *cold* latency on ``device`` (default:
+    the low-tier phone) lands inside ``band`` of the 15 FPS frame deadline:
+    cold inference meets the deadline (so the request is not capability
+    -offloaded), but the thermally throttled steady state does not — sustained
+    video calls therefore build a real queue, the regime the queueing layer
+    and its shed/overflow policies exist for.  The search is deterministic
+    (fixed candidate grid, analytic latency model), so every caller gets the
+    same graph.
+    """
+    from repro.dnn.zoo import unet_lite
+    from repro.runtime.latency_model import LatencyModel
+
+    device = device or PHONES[0]
+    deadline_ms = next(s for s in STANDARD_SCENARIOS
+                       if s.name == "Segm.").deadline_ms
+    low, high = band
+    latency_model = LatencyModel(device)
+    candidates = [
+        (resolution, base_filters, depth)
+        for resolution in (96, 112, 128, 144, 160, 176, 192, 224, 256)
+        for base_filters in (4, 6, 8, 12, 16, 24)
+        for depth in (2, 3)
+    ]
+    for resolution, base_filters, depth in candidates:
+        graph = unet_lite(
+            f"unet_congested_{resolution}_{base_filters}_{depth}",
+            resolution=resolution, base_filters=base_filters, depth=depth,
+            weight_seed=weight_seed)
+        nominal_ms = latency_model.graph_latency_ms(
+            graph, preferred_backend(device, graph))
+        if low * deadline_ms < nominal_ms <= high * deadline_ms:
+            return ((graph, "semantic segmentation"),)
+    raise RuntimeError(
+        f"no unet_lite candidate lands within {band} of the "
+        f"{deadline_ms:.1f} ms frame deadline on {device.name}")
+
+
 def derive_user_seed(base_seed: int, user_id: int) -> int:
     """Deterministic 64-bit RNG seed for one virtual user.
 
@@ -64,6 +127,21 @@ def derive_user_seed(base_seed: int, user_id: int) -> int:
     material = f"{base_seed}|fleet-user|{user_id}"
     digest = hashlib.sha256(material.encode()).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def derive_user_region(base_seed: int, user_id: int,
+                       regions: Sequence[str]) -> str:
+    """Deterministic cloud-region assignment of one virtual user.
+
+    A separate hash stream from :func:`derive_user_seed`, so adding or
+    removing regions never shifts any draw of the user's event plan — only
+    which regional capacity pool their offloaded requests land in.
+    """
+    if not regions:
+        raise ValueError("regions must be non-empty")
+    material = f"{base_seed}|fleet-region|{user_id}"
+    digest = hashlib.sha256(material.encode()).digest()
+    return regions[int.from_bytes(digest[:8], "little") % len(regions)]
 
 
 @dataclass(frozen=True)
@@ -77,6 +155,8 @@ class VirtualUser:
     scenario: Scenario
     backend: Backend
     seed: int
+    #: Cloud region this user's offloaded requests are served from.
+    region: str = "global"
 
 
 @dataclass(frozen=True)
@@ -117,12 +197,21 @@ class FleetSpec:
     #: Battery level users start the horizon at, drawn uniformly.
     start_battery_range: tuple[float, float] = (0.25, 1.0)
     seed: int = 0
+    #: Cloud regions users are hashed across (the capacity model's shards).
+    regions: tuple[str, ...] = ("global",)
+    #: Night/day session-start modulation (``None`` = uniform over the day).
+    diurnal: Optional[DiurnalProfile] = None
+    #: Nightly charging windows (``None`` = batteries only ever drain).
+    recharge: Optional[RechargeSchedule] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "graphs_with_tasks",
                            tuple((g, t) for g, t in self.graphs_with_tasks))
         object.__setattr__(self, "devices", tuple(self.devices))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "regions", tuple(self.regions))
+        if not self.regions:
+            raise ValueError("FleetSpec requires at least one region")
         if self.num_users <= 0:
             raise ValueError("num_users must be positive")
         if self.horizon_s <= 0:
@@ -197,11 +286,9 @@ class FleetSpec:
         return weights / weights.sum()
 
     def _backend_for(self, device: Device, graph: Graph) -> Backend:
-        """Fastest portable backend of the pair: XNNPACK when it can run.
-
-        Memoised per (device, graph): ``supports_graph`` scans every layer,
-        and the same few combos repeat across the whole population.
-        """
+        """:func:`preferred_backend`, memoised per (device, graph):
+        ``supports_graph`` scans every layer, and the same few combos repeat
+        across the whole population."""
         cache = getattr(self, "_backend_cache", None)
         if cache is None:
             cache = {}
@@ -209,15 +296,7 @@ class FleetSpec:
         key = (device.name, id(graph))
         backend = cache.get(key)
         if backend is None:
-            profile = profile_for(Backend.XNNPACK)
-            device_ok = not (profile.requires_qualcomm
-                             and device.soc.vendor != "Qualcomm")
-            device_ok = device_ok and not (
-                profile.requires_accelerator
-                and device.soc.accelerator(profile.target) is None)
-            backend = (Backend.XNNPACK
-                       if device_ok and profile.supports_graph(graph)
-                       else Backend.CPU)
+            backend = preferred_backend(device, graph)
             cache[key] = backend
         return backend
 
@@ -243,7 +322,8 @@ class FleetSpec:
         low, high = self.start_battery_range
         start_fraction = float(rng.uniform(low, high))
 
-        times = generate_arrivals(scenario, graph, rng, self.horizon_s)
+        times = generate_arrivals(scenario, graph, rng, self.horizon_s,
+                                  diurnal=self.diurnal)
         noise = 1.0 + self.noise_fraction * rng.standard_normal(times.size)
         rtt_ms = self.policy.cloud.draw_rtt_ms(rng, times.size)
 
@@ -255,6 +335,7 @@ class FleetSpec:
             scenario=scenario,
             backend=self._backend_for(device, graph),
             seed=seed,
+            region=derive_user_region(self.seed, user_id, self.regions),
         )
         plan = UserPlan(
             times=times,

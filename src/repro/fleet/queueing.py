@@ -1,0 +1,86 @@
+"""Device-level queueing: the back-pressure the fleet's arrivals exert.
+
+PR 3's event loop recorded an over-deadline on-device latency but never
+back-pressured it: a 15 FPS segmentation stream whose throttled inference
+takes longer than a frame period simply logged latencies above the deadline.
+This module closes that gap.  Each on-device request occupies a single-server
+FIFO queue for its *actual* execution time (throttle and noise included), so
+arrivals faster than the service rate build a queue, and every request is
+classified into exactly one route:
+
+* ``device`` — served on the device; recorded latency is queue wait plus
+  execution;
+* ``cloud``  — offloaded (capability, battery saver, or queue overflow when
+  the policy says overflow requests go to the cloud instead of being
+  dropped);
+* ``shed``   — dropped at arrival because its queue wait would exceed the
+  policy cap (no execution, no energy, no heat);
+* ``queued`` — still waiting when the simulation horizon ends (service never
+  started; it would complete after the horizon).
+
+The **queue-conservation invariant** — ``arrived == served(device) +
+served(cloud) + shed + queued`` — holds exactly by construction, per user
+and in aggregate, and is enforced by ``benchmarks/test_bench_cloud.py``.
+
+Thermal accounting keeps PR 3's convention: heat accumulates in units of the
+*nominal* busy time per served request and idle is measured from the nominal
+completion (``service start + nominal``), so a congestion-free user is
+bit-compatible with the pre-queueing event loop; only queue *occupancy* uses
+the actual execution time, because throttle-inflated service is exactly what
+causes the congestion this module models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueuePolicy", "ROUTE_DEVICE", "ROUTE_CLOUD", "ROUTE_SHED",
+           "ROUTE_QUEUED", "ROUTE_TARGETS"]
+
+#: Route codes recorded per event in a :class:`~repro.fleet.simulator.UserTrace`.
+ROUTE_DEVICE = 0
+ROUTE_CLOUD = 1
+ROUTE_SHED = 2
+ROUTE_QUEUED = 3
+
+#: Store ``target`` column value per route code.
+ROUTE_TARGETS = ("device", "cloud", "shed", "queued")
+
+#: Overflow actions a :class:`QueuePolicy` supports.
+_OVERFLOW_ACTIONS = ("shed", "cloud")
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """What happens when the device queue backs up.
+
+    A request whose wait would exceed ``max_wait_ms`` *overflows*: it is
+    either shed (dropped — the app skips the frame) or offloaded to the
+    scenario's cloud API, per ``overflow``.  Overflowed-to-cloud requests
+    count toward regional cloud load, which is how on-device congestion and
+    cloud congestion interact in the interference simulator.  An infinite
+    ``max_wait_ms`` disables overflow entirely (pure FIFO).
+    """
+
+    #: Longest queue wait a request tolerates before overflowing, ms.
+    max_wait_ms: float = 2000.0
+    #: Overflow action: ``"shed"`` (drop) or ``"cloud"`` (offload).
+    overflow: str = "shed"
+
+    def __post_init__(self) -> None:
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.overflow not in _OVERFLOW_ACTIONS:
+            raise ValueError(
+                f"overflow must be one of {_OVERFLOW_ACTIONS}, "
+                f"got {self.overflow!r}")
+
+    @property
+    def max_wait_s(self) -> float:
+        """The overflow cap in seconds (the event loops' working unit)."""
+        return self.max_wait_ms / 1e3
+
+    @property
+    def overflows_to_cloud(self) -> bool:
+        """Whether overflowing requests offload instead of being dropped."""
+        return self.overflow == "cloud"

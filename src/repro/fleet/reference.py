@@ -1,22 +1,39 @@
 """Per-event reference implementation of the fleet event loop.
 
 This is the semantic specification the vectorised simulator is measured
-against: the same users, the same plans, the same routing policy — but each
-event walks individually through the stateful device objects
-(:class:`~repro.devices.thermal.ThermalState`,
+against: the same users, the same plans, the same routing, queueing and
+recharge policies — but each event walks individually through the stateful
+device objects (:class:`~repro.devices.thermal.ThermalState`,
 :class:`~repro.devices.battery.BatteryState`) and re-evaluates the latency
 and energy models per event, the way a straightforward simulator would.
-``tests/test_fleet.py`` asserts the two produce equivalent traces;
-``benchmarks/test_bench_fleet.py`` measures the vectorised loop's speedup
+
+The queue semantics are the single-server FIFO of
+:mod:`repro.fleet.queueing`: a request starts at
+``max(arrival, previous completion)``; its wait above the policy cap sheds
+(or offloads) it; service past the horizon leaves it ``queued``.  Thermal
+idle runs on the nominal-completion clock, heat accumulates in nominal busy
+units (PR 3's convention), and queue occupancy uses the actual throttled,
+noisy execution time — which is exactly what makes sustained over-deadline
+load congest.  At every :class:`~repro.devices.battery.RechargeSchedule`
+boundary the battery recharges and the thermal state resets (hours idle on
+the charger).
+
+``tests/test_fleet.py`` and ``tests/test_cloud.py`` assert the two loops
+produce equivalent traces; ``benchmarks/test_bench_fleet.py`` and
+``benchmarks/test_bench_cloud.py`` measure the vectorised loop's speedup
 over this one (>= 5x enforced).
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.devices.thermal import ThermalModel
 from repro.fleet.population import FleetSpec
+from repro.fleet.queueing import (ROUTE_CLOUD, ROUTE_DEVICE, ROUTE_QUEUED,
+                                  ROUTE_SHED)
 from repro.fleet.router import cloud_api_for_scenario
 from repro.fleet.simulator import MIN_NOISE_FACTOR, UserTrace
 from repro.runtime.energy_model import EnergyModel
@@ -25,50 +42,101 @@ from repro.runtime.latency_model import LatencyModel
 __all__ = ["simulate_user_naive"]
 
 
-def simulate_user_naive(spec: FleetSpec, user_id: int) -> UserTrace:
-    """Simulate one user with a per-event Python loop (no batching, no cache)."""
+def simulate_user_naive(spec: FleetSpec, user_id: int,
+                        service_table=None) -> UserTrace:
+    """Simulate one user with a per-event Python loop (no batching, no cache).
+
+    ``service_table`` mirrors the simulator's frozen cloud service-time
+    lookup; ``None`` uses the routing policy's constant service time.
+    """
     user, plan = spec.materialize(user_id)
     policy = spec.policy
+    queue = policy.queue
     device = user.device
     latency_model = LatencyModel(device)
     energy_model = EnergyModel(device)
     thermal = ThermalModel.for_device(device.is_dev_board, device.tier).state()
     battery = device.battery.state(plan.start_battery_fraction)
     payload_bytes = policy.cloud.payload_bytes(user.graph)
+    cloud_api = cloud_api_for_scenario(user.scenario)
     deadline_ms = user.scenario.deadline_ms
+    horizon_s = spec.horizon_s
+
+    boundaries: list[float] = []
+    if spec.recharge is not None:
+        boundaries = [float(b) for b in spec.recharge.boundaries(horizon_s)]
 
     n = plan.num_events
-    latency = np.empty(n)
-    energy = np.empty(n)
+    latency = np.zeros(n)
+    energy = np.zeros(n)
     throttle = np.ones(n)
     fraction = np.empty(n)
-    discharge = np.empty(n)
-    offloaded = np.zeros(n, dtype=bool)
+    discharge = np.zeros(n)
+    wait_ms = np.zeros(n)
+    route = np.full(n, ROUTE_DEVICE, dtype=np.int64)
 
     nominal_ms = float("nan")
-    previous_time = 0.0
+    completion = -math.inf
+    nominal_end = -math.inf
     for i in range(n):
-        time_s = plan.times[i]
+        time_s = float(plan.times[i])
+        while boundaries and time_s >= boundaries[0]:
+            # Overnight on the charger: battery back to the schedule level,
+            # SoC cold, device queue drained.
+            boundaries.pop(0)
+            spec.recharge.apply(battery)
+            thermal.reset()
+            completion = -math.inf
+            nominal_end = -math.inf
         # The naive loop re-evaluates the roofline for every event — the
         # per-event cost the vectorised path amortises away.
         nominal_ms = latency_model.graph_latency_ms(user.graph, user.backend)
         power_watts = energy_model.inference_power_watts(user.backend)
         busy_s = nominal_ms / 1e3
+        if service_table is not None:
+            service_ms = float(service_table.service_for(
+                user.region, cloud_api, np.array([time_s]))[0])
+        else:
+            service_ms = policy.cloud.service_ms
 
         if (policy.offloads_for_capability(nominal_ms, deadline_ms)
                 or policy.offloads_for_battery(battery.fraction)):
-            offloaded[i] = True
-            lat = policy.cloud.latency_ms(float(plan.rtt_ms[i]), payload_bytes)
+            route[i] = ROUTE_CLOUD
+            lat = policy.cloud.latency_ms(float(plan.rtt_ms[i]),
+                                          payload_bytes, service_ms)
             en = policy.cloud.energy_mj(lat)
         else:
-            gap_s = max(0.0, time_s - previous_time)
-            thermal.cool_down(gap_s)
-            factor = thermal.throttle_factor
-            lat = nominal_ms / factor * max(float(plan.noise[i]), MIN_NOISE_FACTOR)
-            thermal.heat_up(busy_s)
-            previous_time = time_s + busy_s
-            throttle[i] = factor
-            en = power_watts * lat
+            start = time_s if completion < time_s else completion
+            wait_s = start - time_s
+            if wait_s > queue.max_wait_s:
+                if queue.overflows_to_cloud:
+                    route[i] = ROUTE_CLOUD
+                    lat = policy.cloud.latency_ms(float(plan.rtt_ms[i]),
+                                                  payload_bytes, service_ms)
+                    en = policy.cloud.energy_mj(lat)
+                else:
+                    route[i] = ROUTE_SHED
+                    wait_ms[i] = wait_s * 1e3
+                    fraction[i] = battery.fraction
+                    continue
+            elif start >= horizon_s:
+                route[i] = ROUTE_QUEUED
+                wait_ms[i] = (horizon_s - time_s) * 1e3
+                fraction[i] = battery.fraction
+                continue
+            else:
+                if nominal_end > -math.inf:
+                    thermal.cool_down(max(0.0, start - nominal_end))
+                factor = thermal.throttle_factor
+                exec_ms = nominal_ms / factor * max(float(plan.noise[i]),
+                                                    MIN_NOISE_FACTOR)
+                thermal.heat_up(busy_s)
+                nominal_end = start + busy_s
+                completion = start + exec_ms / 1e3
+                throttle[i] = factor
+                wait_ms[i] = wait_s * 1e3
+                lat = wait_s * 1e3 + exec_ms
+                en = power_watts * exec_ms
 
         latency[i] = lat
         energy[i] = en
@@ -83,9 +151,10 @@ def simulate_user_naive(spec: FleetSpec, user_id: int) -> UserTrace:
         throttle=throttle,
         battery_fraction=fraction,
         discharge_mah=discharge,
-        offloaded=offloaded,
+        wait_ms=wait_ms,
+        route=route,
         nominal_ms=(latency_model.graph_latency_ms(user.graph, user.backend)
                     if n == 0 else nominal_ms),
         payload_bytes=payload_bytes,
-        cloud_api=cloud_api_for_scenario(user.scenario),
+        cloud_api=cloud_api,
     )

@@ -16,8 +16,10 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.analysis.ecdf import Ecdf
+from repro.fleet.queueing import ROUTE_TARGETS
 
-__all__ = ["tail_latency_table", "battery_drain_ecdf", "offload_summary"]
+__all__ = ["tail_latency_table", "battery_drain_ecdf", "offload_summary",
+           "queue_summary"]
 
 #: Percentile columns of the tail-latency table.
 TAIL_PERCENTILES = ("p50", "p90", "p99", "p999")
@@ -86,4 +88,41 @@ def offload_summary(store) -> dict:
         "offload_fraction": (offloaded / total) if total else 0.0,
         "uplink_bytes": sum(entry["bytes"] for entry in by_api.values()),
         "by_api": by_api,
+    }
+
+
+def queue_summary(store, expected_arrived: Optional[int] = None) -> dict:
+    """Device-queue back-pressure accounting over a persisted fleet run.
+
+    Returns the per-target event counts (``device`` / ``cloud`` / ``shed`` /
+    ``queued``), the total arrivals, whether the queue-conservation
+    invariant ``arrived == sum(targets)`` holds, and the wait-time
+    percentiles of the served on-device requests.
+
+    ``expected_arrived`` makes the conservation check a genuine audit: pass
+    an arrival count from *outside* the store (the simulator's streamed
+    event total, e.g. ``InterferenceResult.arrived``) and a dropped or
+    duplicated row shows up as ``conserved=False``.  Without it the check
+    degenerates to comparing the store against itself — both sides count
+    the same rows — and can only ever confirm internal consistency.
+    """
+    arrived = (expected_arrived if expected_arrived is not None
+               else store.query("fleet_events").count())
+    grouped = (store.query("fleet_events")
+               .group_by("target")
+               .agg(events=("latency_ms", "count"))
+               .aggregate())
+    by_target = {target: 0 for target in ROUTE_TARGETS}
+    for row in grouped:
+        by_target[row["target"]] = int(row["events"])
+    waits = (store.query("fleet_events")
+             .where(target="device")
+             .agg(p50=("wait_ms", "p50"), p99=("wait_ms", "p99"),
+                  max=("wait_ms", "max"))
+             .aggregate())
+    return {
+        "arrived": int(arrived),
+        "by_target": by_target,
+        "conserved": int(arrived) == sum(by_target.values()),
+        "wait_ms": waits,
     }

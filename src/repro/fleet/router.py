@@ -30,6 +30,7 @@ import numpy as np
 from repro.android.cloud_apis import api_by_name
 from repro.core.scenarios import Scenario
 from repro.dnn.graph import Graph
+from repro.fleet.queueing import QueuePolicy
 
 __all__ = ["CloudProfile", "RoutingPolicy", "cloud_api_for_scenario",
            "SCENARIO_CLOUD_APIS"]
@@ -87,9 +88,17 @@ class CloudProfile:
         return self.rtt_median_ms * np.exp(
             self.rtt_sigma * rng.standard_normal(count))
 
-    def latency_ms(self, rtt_ms, payload_bytes: int):
-        """End-to-end latency of offloaded requests (elementwise over RTTs)."""
-        return rtt_ms + self.transfer_ms(payload_bytes) + self.service_ms
+    def latency_ms(self, rtt_ms, payload_bytes: int, service_ms=None):
+        """End-to-end latency of offloaded requests (elementwise over RTTs).
+
+        ``service_ms`` overrides the profile's fixed service time — scalar or
+        per-request array — which is how the cloud capacity layer injects
+        load-dependent service times from a frozen regional load profile
+        without the router knowing about regions at all.
+        """
+        if service_ms is None:
+            service_ms = self.service_ms
+        return rtt_ms + self.transfer_ms(payload_bytes) + service_ms
 
     def energy_mj(self, latency_ms):
         """Device-side radio energy of offloaded requests (elementwise)."""
@@ -103,6 +112,8 @@ class RoutingPolicy:
     #: Battery fraction under which requests are offloaded to save charge.
     battery_saver_threshold: float = 0.2
     cloud: CloudProfile = field(default_factory=CloudProfile)
+    #: Device-queue back-pressure: overflow cap and shed-vs-offload action.
+    queue: QueuePolicy = field(default_factory=QueuePolicy)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.battery_saver_threshold < 1.0:

@@ -4,7 +4,9 @@
 population over virtual time: every user's requests arrive by their
 scenario's arrival process, execute through the runtime's latency/energy
 models with **stateful** per-device thermal heat-up/cool-down and battery
-discharge carried across events, and route to cloud APIs when the
+discharge carried across events, queue behind each other on the device (a
+single-server FIFO with the :class:`~repro.fleet.queueing.QueuePolicy`'s
+overflow cap), and route to cloud APIs when the
 :class:`~repro.fleet.router.RoutingPolicy` triggers.
 
 The event loop is evaluated **vectorised per user**:
@@ -12,13 +14,21 @@ The event loop is evaluated **vectorised per user**:
 * the nominal (cold) latency and power of a (device, model, backend) combo
   are computed once and reused for every event that hits it — the same
   batching idea as the sweep's cached compatibility checks;
-* the thermal recurrence (heat decays over idle gaps, grows with busy time)
-  is an :func:`~repro.analysis.stats.exponential_decay_scan` over the whole
-  event vector;
-* throttle factors, latencies, energies and battery trajectories are
-  elementwise array expressions;
-* the battery-saver routing switch is found with one ``cumsum`` +
-  ``argmax`` (discharge is monotone, so the switch is one-way).
+* the horizon splits into *recharge spans* at the
+  :class:`~repro.devices.battery.RechargeSchedule` boundaries (battery back
+  to the schedule level, SoC cold after hours on the charger, queue
+  drained); within a span the thermal recurrence is an
+  :func:`~repro.analysis.stats.exponential_decay_scan` over the event
+  vector, the battery-saver switch one ``cumsum`` + ``argmax``;
+* spans where the device demonstrably cannot congest (worst-case execution
+  shorter than every arrival gap) take that fully-array fast path; spans
+  that *can* congest run an exact sequential queue recursion (Lindley with
+  shedding) over precomputed arrays — still far cheaper than the per-event
+  reference, which re-evaluates the cost models for every request;
+* offloaded requests read their cloud service time from an optional frozen
+  per-(region, API, time-bin) service table — the hook the
+  :mod:`repro.cloud` interference simulator uses to model shared-capacity
+  congestion deterministically.
 
 Because every user is materialised from a seed derived from their own
 coordinates (:func:`~repro.fleet.population.derive_user_seed`), users are
@@ -31,11 +41,12 @@ with O(1) result retention — the memory-flat path for million-event fleets.
 
 The per-event reference loop in :mod:`repro.fleet.reference` implements the
 same semantics through the stateful device objects one event at a time; the
-fleet benchmark holds the two equivalent and measures the speedup.
+fleet and cloud benchmarks hold the two equivalent and measure the speedup.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
@@ -45,6 +56,8 @@ from repro.analysis.stats import exponential_decay_scan
 from repro.devices.thermal import ThermalModel
 from repro.fleet.events import FleetEvent
 from repro.fleet.population import FleetSpec, UserPlan, VirtualUser
+from repro.fleet.queueing import (ROUTE_CLOUD, ROUTE_DEVICE, ROUTE_QUEUED,
+                                  ROUTE_SHED, ROUTE_TARGETS)
 from repro.fleet.router import cloud_api_for_scenario
 from repro.runtime.energy_model import EnergyModel
 from repro.runtime.latency_model import LatencyModel
@@ -68,7 +81,10 @@ class UserTrace:
     throttle: np.ndarray
     battery_fraction: np.ndarray
     discharge_mah: np.ndarray
-    offloaded: np.ndarray
+    #: Queue wait per event, ms (0 where the request never queued).
+    wait_ms: np.ndarray
+    #: Route code per event (see :mod:`repro.fleet.queueing`).
+    route: np.ndarray
     #: Cold single-inference latency of the user's combo (ms).
     nominal_ms: float
     #: Uplink payload bytes per offloaded request.
@@ -82,9 +98,34 @@ class UserTrace:
         return int(self.times_s.size)
 
     @property
+    def offloaded(self) -> np.ndarray:
+        """Boolean mask of cloud-served requests (kept for PR 3 callers)."""
+        return self.route == ROUTE_CLOUD
+
+    @property
     def num_offloaded(self) -> int:
         """Number of requests served by the cloud API."""
-        return int(self.offloaded.sum())
+        return int((self.route == ROUTE_CLOUD).sum())
+
+    @property
+    def num_shed(self) -> int:
+        """Requests dropped by the device-queue overflow policy."""
+        return int((self.route == ROUTE_SHED).sum())
+
+    @property
+    def num_queued(self) -> int:
+        """Requests still waiting in the device queue at the horizon."""
+        return int((self.route == ROUTE_QUEUED).sum())
+
+    @property
+    def num_on_device(self) -> int:
+        """Requests served by on-device inference."""
+        return int((self.route == ROUTE_DEVICE).sum())
+
+    def route_counts(self) -> dict:
+        """Per-route event counts; their sum equals ``num_events`` exactly."""
+        return {target: int((self.route == code).sum())
+                for code, target in enumerate(ROUTE_TARGETS)}
 
     def rows(self) -> Iterator[dict]:
         """Store rows (plain-scalar dicts) in event order."""
@@ -93,8 +134,10 @@ class UserTrace:
         model_name = user.graph.name
         scenario = user.scenario.name
         backend = user.backend.value
+        region = user.region
         for i in range(self.num_events):
-            cloud = bool(self.offloaded[i])
+            target = ROUTE_TARGETS[int(self.route[i])]
+            cloud = target == "cloud"
             yield {
                 "user_id": user.user_id,
                 "time_s": float(self.times_s[i]),
@@ -102,8 +145,10 @@ class UserTrace:
                 "model_name": model_name,
                 "scenario": scenario,
                 "backend": backend,
-                "target": "cloud" if cloud else "device",
+                "region": region,
+                "target": target,
                 "latency_ms": float(self.latency_ms[i]),
+                "wait_ms": float(self.wait_ms[i]),
                 "energy_mj": float(self.energy_mj[i]),
                 "throttle_factor": float(self.throttle[i]),
                 "battery_fraction": float(self.battery_fraction[i]),
@@ -119,15 +164,23 @@ class UserTrace:
 
 
 class FleetSimulator:
-    """Runs a :class:`FleetSpec` population over virtual time."""
+    """Runs a :class:`FleetSpec` population over virtual time.
+
+    ``service_table`` (optional) is a frozen cloud service-time lookup with a
+    ``service_for(region, api, times_s) -> ndarray`` method — when present,
+    offloaded requests read their service time from it instead of the routing
+    policy's constant; see :mod:`repro.cloud.interference`.
+    """
 
     def __init__(self, spec: FleetSpec, *, max_workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 use_processes: bool = False) -> None:
+                 use_processes: bool = False,
+                 service_table=None) -> None:
         self.spec = spec
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.use_processes = use_processes
+        self.service_table = service_table
         #: (device.name, backend, id(graph)) -> (nominal_ms, power_watts).
         self._combo_cache: dict = {}
         #: device.name -> (LatencyModel, EnergyModel).
@@ -162,81 +215,91 @@ class FleetSimulator:
         return cached
 
     # ------------------------------------------------------------------ #
+    # Recharge spans
+    # ------------------------------------------------------------------ #
+    def _span_slices(self, times: np.ndarray,
+                     start_fraction: float) -> list[tuple[int, int, float]]:
+        """``(lo, hi, span_start_fraction)`` event slices between recharges."""
+        recharge = self.spec.recharge
+        if recharge is None:
+            return [(0, times.size, start_fraction)]
+        boundaries = recharge.boundaries(self.spec.horizon_s)
+        if not boundaries.size:
+            return [(0, times.size, start_fraction)]
+        cuts = np.searchsorted(times, boundaries, side="left")
+        edges = [0, *[int(c) for c in cuts], times.size]
+        return [(edges[k], edges[k + 1],
+                 start_fraction if k == 0 else recharge.level)
+                for k in range(len(edges) - 1)]
+
+    # ------------------------------------------------------------------ #
     # Vectorised per-user event loop
     # ------------------------------------------------------------------ #
     def simulate_user(self, user_id: int) -> UserTrace:
-        """Evolve one user over the horizon; all arrays, no per-event Python."""
+        """Evolve one user over the horizon; arrays throughout, a sequential
+        queue recursion only where congestion is actually possible."""
         user, plan = self.spec.materialize(user_id)
         policy = self.spec.policy
         nominal_ms, power_watts = self._combo_costs(user)
         payload_bytes = policy.cloud.payload_bytes(user.graph)
         cloud_api = cloud_api_for_scenario(user.scenario)
         n = plan.num_events
-
         times = plan.times
-        latency = np.empty(n)
-        energy = np.empty(n)
+
+        if self.service_table is not None:
+            service_ms = self.service_table.service_for(
+                user.region, cloud_api, times)
+        else:
+            service_ms = np.full(n, policy.cloud.service_ms)
+
+        latency = np.zeros(n)
+        energy = np.zeros(n)
         throttle = np.ones(n)
-        offloaded = np.zeros(n, dtype=bool)
+        wait_ms = np.zeros(n)
+        route = np.full(n, ROUTE_DEVICE, dtype=np.int64)
         battery = user.device.battery
         capacity_mah = battery.capacity_mah
+        spans = self._span_slices(times, plan.start_battery_fraction)
 
         if policy.offloads_for_capability(nominal_ms, user.scenario.deadline_ms):
-            switch = 0  # the device can never meet the deadline: all cloud
-        elif n == 0:
-            switch = 0
-        else:
-            # --- on-device phase ---------------------------------------- #
-            busy_s = nominal_ms / 1e3
+            # The device can never meet the deadline even cold: all cloud.
+            route[:] = ROUTE_CLOUD
+            lat_cloud = policy.cloud.latency_ms(plan.rtt_ms, payload_bytes,
+                                                service_ms)
+            latency[:] = lat_cloud
+            energy[:] = policy.cloud.energy_mj(lat_cloud)
+        elif n:
             noise = np.maximum(plan.noise, MIN_NOISE_FACTOR)
             thermal = ThermalModel.for_device(user.device.is_dev_board,
                                               user.device.tier)
-            gaps = np.empty(n)
-            gaps[0] = times[0]
-            np.subtract(times[1:], times[:-1], out=gaps[1:])
-            gaps[1:] -= busy_s
-            np.maximum(gaps, 0.0, out=gaps)
+            busy_s = nominal_ms / 1e3
+            # Worst-case execution time: throttled to the floor, noisiest
+            # draw of the user's whole plan.  If even that fits inside the
+            # smallest arrival gap, the queue can never form.
+            max_exec_s = busy_s / thermal.throttle_floor * float(noise.max())
+            for lo, hi, span_fraction in spans:
+                if lo == hi:
+                    continue
+                span = slice(lo, hi)
+                gaps = np.diff(times[span])
+                congestible = gaps.size > 0 and float(gaps.min()) < max_exec_s
+                args = (user, plan, span, span_fraction, nominal_ms,
+                        power_watts, payload_bytes, noise, service_ms,
+                        thermal, latency, energy, throttle, wait_ms, route)
+                if congestible:
+                    self._simulate_span_queued(*args)
+                else:
+                    self._simulate_span_fast(*args)
 
-            heat_after = exponential_decay_scan(
-                gaps / thermal.cooldown_tau_s, busy_s)
-            # Heat at decision time (before this event's busy contribution);
-            # clamp the scan's float residue when decayed heat is ~0.
-            heat_before = np.maximum(heat_after - busy_s, 0.0)
-            throttle_dev = thermal.throttle_factors(heat_before)
-            lat_dev = nominal_ms / throttle_dev * noise
-            energy_dev = power_watts * lat_dev
-
-            # Battery-saver switch: discharge is monotone, so the first
-            # event that *starts* under the threshold flips the rest of the
-            # horizon to the cloud.
-            mah_dev = energy_dev / (battery.voltage * 3600.0)
-            drained_before = np.empty(n)
-            drained_before[0] = 0.0
-            np.cumsum(mah_dev[:-1], out=drained_before[1:])
-            fraction_before = plan.start_battery_fraction - drained_before / capacity_mah
-            # Clamp at empty before comparing: an over-drained pack reads 0,
-            # exactly like BatteryState.fraction in the reference loop (with
-            # threshold 0.0 — "saver disabled" — neither loop may offload).
-            np.maximum(fraction_before, 0.0, out=fraction_before)
-            below = fraction_before < policy.battery_saver_threshold
-            switch = int(np.argmax(below)) if below.any() else n
-
-            latency[:switch] = lat_dev[:switch]
-            energy[:switch] = energy_dev[:switch]
-            throttle[:switch] = throttle_dev[:switch]
-
-        # --- cloud phase ------------------------------------------------ #
-        if switch < n:
-            offloaded[switch:] = True
-            lat_cloud = policy.cloud.latency_ms(plan.rtt_ms[switch:],
-                                                payload_bytes)
-            latency[switch:] = lat_cloud
-            energy[switch:] = policy.cloud.energy_mj(lat_cloud)
-
-        # --- battery trajectory ----------------------------------------- #
+        # --- battery trajectory (per recharge span) ---------------------- #
         discharge_mah = energy / (battery.voltage * 3600.0)
-        fraction = plan.start_battery_fraction - np.cumsum(discharge_mah) / capacity_mah
-        np.maximum(fraction, 0.0, out=fraction)  # empty pack clamps, drain log keeps counting
+        fraction = np.empty(n)
+        for lo, hi, span_fraction in spans:
+            if lo == hi:
+                continue
+            fraction[lo:hi] = span_fraction \
+                - np.cumsum(discharge_mah[lo:hi]) / capacity_mah
+        np.maximum(fraction, 0.0, out=fraction)  # empty pack clamps
 
         return UserTrace(
             user=user,
@@ -246,11 +309,149 @@ class FleetSimulator:
             throttle=throttle,
             battery_fraction=fraction,
             discharge_mah=discharge_mah,
-            offloaded=offloaded,
+            wait_ms=wait_ms,
+            route=route,
             nominal_ms=nominal_ms,
             payload_bytes=payload_bytes,
             cloud_api=cloud_api,
         )
+
+    def _simulate_span_fast(self, user, plan: UserPlan, span: slice,
+                            span_fraction: float, nominal_ms: float,
+                            power_watts: float, payload_bytes: int,
+                            noise: np.ndarray, service_ms: np.ndarray,
+                            thermal: ThermalModel, latency, energy, throttle,
+                            wait_ms, route) -> None:
+        """Congestion-free span: the PR 3 array path (no queue, no sheds)."""
+        policy = self.spec.policy
+        times = plan.times[span]
+        n = times.size
+        battery = user.device.battery
+        busy_s = nominal_ms / 1e3
+
+        # --- on-device phase ------------------------------------------- #
+        gaps = np.empty(n)
+        gaps[0] = times[0]
+        np.subtract(times[1:], times[:-1], out=gaps[1:])
+        gaps[1:] -= busy_s
+        np.maximum(gaps, 0.0, out=gaps)
+
+        heat_after = exponential_decay_scan(
+            gaps / thermal.cooldown_tau_s, busy_s)
+        # Heat at decision time (before this event's busy contribution);
+        # clamp the scan's float residue when decayed heat is ~0.
+        heat_before = np.maximum(heat_after - busy_s, 0.0)
+        throttle_dev = thermal.throttle_factors(heat_before)
+        lat_dev = nominal_ms / throttle_dev * noise[span]
+        energy_dev = power_watts * lat_dev
+
+        # Battery-saver switch: discharge is monotone within a span, so the
+        # first event that *starts* under the threshold flips the rest of
+        # the span to the cloud.
+        mah_dev = energy_dev / (battery.voltage * 3600.0)
+        drained_before = np.empty(n)
+        drained_before[0] = 0.0
+        np.cumsum(mah_dev[:-1], out=drained_before[1:])
+        fraction_before = span_fraction - drained_before / battery.capacity_mah
+        # Clamp at empty before comparing: an over-drained pack reads 0,
+        # exactly like BatteryState.fraction in the reference loop (with
+        # threshold 0.0 — "saver disabled" — neither loop may offload).
+        np.maximum(fraction_before, 0.0, out=fraction_before)
+        below = fraction_before < policy.battery_saver_threshold
+        switch = int(np.argmax(below)) if below.any() else n
+
+        lo = span.start
+        latency[lo:lo + switch] = lat_dev[:switch]
+        energy[lo:lo + switch] = energy_dev[:switch]
+        throttle[lo:lo + switch] = throttle_dev[:switch]
+
+        # --- cloud phase ------------------------------------------------ #
+        if switch < n:
+            tail = slice(lo + switch, span.stop)
+            route[tail] = ROUTE_CLOUD
+            lat_cloud = policy.cloud.latency_ms(
+                plan.rtt_ms[tail], payload_bytes, service_ms[tail])
+            latency[tail] = lat_cloud
+            energy[tail] = policy.cloud.energy_mj(lat_cloud)
+
+    def _simulate_span_queued(self, user, plan: UserPlan, span: slice,
+                              span_fraction: float, nominal_ms: float,
+                              power_watts: float, payload_bytes: int,
+                              noise: np.ndarray, service_ms: np.ndarray,
+                              thermal: ThermalModel, latency, energy,
+                              throttle, wait_ms, route) -> None:
+        """Congestible span: exact sequential queue recursion.
+
+        Single-server FIFO over the *actual* (throttled, noisy) execution
+        time; thermal idle is measured from the nominal completion
+        (PR 3's convention), heat accumulates in nominal busy units; the
+        battery saver is checked per event against the running drain.  The
+        per-event arithmetic matches :func:`~repro.fleet.reference.
+        simulate_user_naive` operation for operation.
+        """
+        policy = self.spec.policy
+        cloud = policy.cloud
+        queue = policy.queue
+        battery = user.device.battery
+        voltage_hours = battery.voltage * 3600.0
+        capacity_mah = battery.capacity_mah
+        threshold = policy.battery_saver_threshold
+        max_wait_s = queue.max_wait_s
+        overflow_to_cloud = queue.overflows_to_cloud
+        horizon_s = self.spec.horizon_s
+        radio = cloud.radio_power_watts
+        tau = thermal.cooldown_tau_s
+        busy_s = nominal_ms / 1e3
+
+        times = plan.times
+        rtt = plan.rtt_ms
+        heat = 0.0
+        completion = -math.inf       # actual completion of the last served
+        nominal_end = -math.inf      # nominal completion (thermal clock)
+        drained_mah = 0.0
+
+        for i in range(span.start, span.stop):
+            t = float(times[i])
+            fraction_now = max(span_fraction - drained_mah / capacity_mah, 0.0)
+            if fraction_now < threshold:
+                lat = cloud.latency_ms(float(rtt[i]), payload_bytes,
+                                       float(service_ms[i]))
+                route[i] = ROUTE_CLOUD
+                latency[i] = lat
+                en = radio * lat
+            else:
+                start = t if completion < t else completion
+                wait_s = start - t
+                if wait_s > max_wait_s:
+                    if overflow_to_cloud:
+                        lat = cloud.latency_ms(float(rtt[i]), payload_bytes,
+                                               float(service_ms[i]))
+                        route[i] = ROUTE_CLOUD
+                        latency[i] = lat
+                        en = radio * lat
+                    else:
+                        route[i] = ROUTE_SHED
+                        wait_ms[i] = wait_s * 1e3
+                        continue
+                elif start >= horizon_s:
+                    route[i] = ROUTE_QUEUED
+                    wait_ms[i] = (horizon_s - t) * 1e3
+                    continue
+                else:
+                    if nominal_end > -math.inf:
+                        idle = max(0.0, start - nominal_end)
+                        heat *= math.exp(-idle / tau)
+                    factor = thermal.throttle_factor(heat)
+                    exec_ms = nominal_ms / factor * float(noise[i])
+                    heat += busy_s
+                    nominal_end = start + busy_s
+                    completion = start + exec_ms / 1e3
+                    throttle[i] = factor
+                    wait_ms[i] = wait_s * 1e3
+                    latency[i] = wait_s * 1e3 + exec_ms
+                    en = power_watts * exec_ms
+            energy[i] = en
+            drained_mah += en / voltage_hours
 
     # ------------------------------------------------------------------ #
     # Fan-out

@@ -23,12 +23,13 @@ the sequence counter.
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.store.schema import kind_for
-from repro.store.segment import SegmentMeta, write_segment
+from repro.store.segment import MMAP_DIR_SUFFIX, SegmentMeta, write_segment
 from repro.store.store import ResultStore
 
 __all__ = ["CompactionStats", "compact_store"]
@@ -106,6 +107,7 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     # kind's new segments where its first old segment sat (preserving the
     # per-kind scan order queries rely on).
     old_files: list[str] = []
+    old_mmap_dirs: list[str] = []
     new_manifest: list[SegmentMeta] = []
     spliced: set[str] = set()
     for meta in store.segments:
@@ -113,6 +115,7 @@ def compact_store(store: Union[ResultStore, str, Path], *,
             new_manifest.append(meta)
             continue
         old_files.extend((meta.log_filename, meta.cache_filename))
+        old_mmap_dirs.append(f"{meta.name}{MMAP_DIR_SUFFIX}")
         if meta.kind not in spliced:
             spliced.add(meta.kind)
             new_manifest.extend(replacements[meta.kind])
@@ -125,6 +128,12 @@ def compact_store(store: Union[ResultStore, str, Path], *,
             files_removed += 1
         except FileNotFoundError:  # pragma: no cover - cache never written
             pass
+    # Memory-map sidecar directories of dropped segments are derived state;
+    # sweep them so a compacted store leaves no orphaned files behind.
+    for dirname in old_mmap_dirs:
+        sidecar = store.segments_dir / dirname
+        if sidecar.is_dir():
+            shutil.rmtree(sidecar, ignore_errors=True)
 
     return CompactionStats(
         segments_before=segments_before,

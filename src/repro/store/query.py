@@ -137,6 +137,8 @@ class Query:
         self._predicates: list[Predicate] = []
         self._group_by: tuple[str, ...] = ()
         self._aggregations: dict[str, tuple[str, str]] = {}
+        #: Derived bin columns: label -> (source column, bin width).
+        self._bins: dict[str, tuple[str, float]] = {}
         #: Populated by the terminal methods.
         self.stats = QueryStats()
 
@@ -154,10 +156,35 @@ class Query:
                 Predicate(name, "==", self._coerce(name, "==", wanted)))
         return self
 
+    def bin(self, column: str, width: float,
+            label: Optional[str] = None) -> "Query":
+        """Derive a fixed-width bin column usable as a group key.
+
+        ``bin("time_s", 900)`` adds an int64 ``time_s_bin`` column holding
+        ``floor(time_s / 900)`` — the store-side half of the cloud layer's
+        time-binned load aggregation (same convention as
+        :func:`repro.analysis.stats.time_bin_indices`, so a query over
+        persisted ``fleet_events`` reproduces a :class:`LoadProfile` bin for
+        bin).  Declare bins before referencing their label in
+        :meth:`group_by`.
+        """
+        spec = self.kind.column(column)
+        if not spec.is_numeric:
+            raise ValueError(f"column {column!r} is not numeric; cannot bin")
+        if width <= 0:
+            raise ValueError("bin width must be positive")
+        name = label or f"{column}_bin"
+        if name in self.kind.column_names:
+            raise ValueError(
+                f"bin label {name!r} collides with a schema column")
+        self._bins[name] = (column, float(width))
+        return self
+
     def group_by(self, *columns: str) -> "Query":
-        """Group aggregation output by one or more columns."""
+        """Group aggregation output by schema columns and/or declared bins."""
         for name in columns:
-            self.kind.column(name)  # validate early
+            if name not in self._bins:
+                self.kind.column(name)  # validate early
         self._group_by = self._group_by + columns
         return self
 
@@ -283,8 +310,14 @@ class Query:
         if not self._aggregations:
             raise ValueError("no aggregations declared; call agg(...) first")
         agg_columns = {column for column, _ in self._aggregations.values()}
-        needed = tuple(set(self._group_by) | agg_columns)
+        bin_keys = [name for name in self._group_by if name in self._bins]
+        plain_keys = {name for name in self._group_by if name not in self._bins}
+        bin_sources = {self._bins[name][0] for name in bin_keys}
+        needed = tuple(plain_keys | bin_sources | agg_columns)
         arrays = self._gather(needed)
+        for name in bin_keys:
+            source, width = self._bins[name]
+            arrays[name] = (arrays[source] // width).astype(np.int64)
         length = len(next(iter(arrays.values())))
 
         if not self._group_by:

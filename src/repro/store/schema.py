@@ -47,6 +47,8 @@ __all__ = [
     "scenario_result_from_row",
     "fleet_event_to_row",
     "fleet_event_from_row",
+    "fleet_load_to_row",
+    "fleet_load_from_row",
     "pack_strings",
     "unpack_strings",
 ]
@@ -348,8 +350,10 @@ def fleet_event_to_row(event: Any) -> dict:
         "model_name": event.model_name,
         "scenario": event.scenario,
         "backend": event.backend,
+        "region": event.region,
         "target": event.target,
         "latency_ms": event.latency_ms,
+        "wait_ms": event.wait_ms,
         "energy_mj": event.energy_mj,
         "throttle_factor": event.throttle_factor,
         "battery_fraction": event.battery_fraction,
@@ -370,8 +374,10 @@ def fleet_event_from_row(row: Mapping) -> Any:
         model_name=row["model_name"],
         scenario=row["scenario"],
         backend=row["backend"],
+        region=row["region"],
         target=row["target"],
         latency_ms=float(row["latency_ms"]),
+        wait_ms=float(row["wait_ms"]),
         energy_mj=float(row["energy_mj"]),
         throttle_factor=float(row["throttle_factor"]),
         battery_fraction=float(row["battery_fraction"]),
@@ -390,8 +396,10 @@ FLEET_EVENTS = RowKind(
         Column("model_name", "str"),
         Column("scenario", "str"),
         Column("backend", "str"),
+        Column("region", "str"),
         Column("target", "str"),
         Column("latency_ms", "f8"),
+        Column("wait_ms", "f8"),
         Column("energy_mj", "f8"),
         Column("throttle_factor", "f8"),
         Column("battery_fraction", "f8"),
@@ -404,10 +412,62 @@ FLEET_EVENTS = RowKind(
 )
 
 
+# --------------------------------------------------------------------------- #
+# fleet_load
+# --------------------------------------------------------------------------- #
+def fleet_load_to_row(cell: Any) -> dict:
+    """Flatten one (region, API, time-bin) load-profile cell into a store row.
+
+    Attribute-based like :func:`fleet_event_to_row`: the cloud package's
+    :class:`~repro.cloud.load.LoadCell` reaches the dispatcher through its
+    ``__row_kind__`` marker, keeping the schema layer import-free of it.
+    """
+    return {
+        "region": cell.region,
+        "cloud_api": cell.cloud_api,
+        "bin_index": cell.bin_index,
+        "bin_start_s": cell.bin_start_s,
+        "bin_seconds": cell.bin_seconds,
+        "requests": cell.requests,
+        "payload_bytes": cell.payload_bytes,
+    }
+
+
+def fleet_load_from_row(row: Mapping) -> Any:
+    """Rebuild the exact :class:`~repro.cloud.load.LoadCell` of a row."""
+    from repro.cloud.load import LoadCell
+
+    return LoadCell(
+        region=row["region"],
+        cloud_api=row["cloud_api"],
+        bin_index=int(row["bin_index"]),
+        bin_start_s=float(row["bin_start_s"]),
+        bin_seconds=float(row["bin_seconds"]),
+        requests=int(row["requests"]),
+        payload_bytes=int(row["payload_bytes"]),
+    )
+
+
+FLEET_LOAD = RowKind(
+    name="fleet_load",
+    columns=(
+        Column("region", "str"),
+        Column("cloud_api", "str"),
+        Column("bin_index", "i8"),
+        Column("bin_start_s", "f8"),
+        Column("bin_seconds", "f8"),
+        Column("requests", "i8"),
+        Column("payload_bytes", "i8"),
+    ),
+    to_row=fleet_load_to_row,
+    from_row=fleet_load_from_row,
+)
+
+
 #: Every registered row kind, by name.
 ROW_KINDS: dict[str, RowKind] = {
     kind.name: kind
-    for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS)
+    for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS, FLEET_LOAD)
 }
 
 #: Dispatch table from pipeline dataclasses to their row kind.

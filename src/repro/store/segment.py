@@ -33,7 +33,7 @@ from repro.store.schema import RowKind
 
 __all__ = ["SegmentMeta", "StoreCorruptionError", "write_segment",
            "load_rows", "load_columns", "build_columns", "column_stats",
-           "verify_segment", "atomic_write_bytes"]
+           "verify_segment", "atomic_write_bytes", "mmap_sidecar_dir"]
 
 #: String columns with at most this many distinct values record them in the
 #: manifest stats, enabling equality pushdown; beyond it only row counts are
@@ -227,7 +227,8 @@ def load_rows(directory: Path, meta: SegmentMeta, *,
 
 
 def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
-                 verify: bool = False) -> dict[str, np.ndarray]:
+                 verify: bool = False,
+                 mmap: bool = False) -> dict[str, np.ndarray]:
     """Load a segment's column arrays, rebuilding the cache if needed.
 
     The npz cache is only trusted when its embedded checksum matches the
@@ -235,7 +236,15 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     the columns are rebuilt from the row log and the cache is rewritten.
     With ``verify`` the row log itself is checksummed too, even when the
     cache is valid — the paranoid mode for auditing a copied store.
+
+    With ``mmap`` the columns come back memory-mapped read-only from a
+    per-column ``.npy`` sidecar directory (npz archives cannot be mapped):
+    the sidecar is materialised once per segment and checksum-tagged like
+    the npz cache, after which opening a segment costs page-table entries
+    instead of resident memory — the read path for >10M-row stores.
     """
+    if mmap:
+        return _load_columns_mmap(directory, meta, kind, verify=verify)
     if verify:
         _read_log(directory, meta, verify=True)
     path = directory / meta.cache_filename
@@ -256,3 +265,61 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     columns = build_columns(kind, rows)
     _write_cache(path, meta.sha256, columns)
     return columns
+
+
+# --------------------------------------------------------------------------- #
+# Memory-mapped column sidecars
+# --------------------------------------------------------------------------- #
+#: Directory suffix of a segment's per-column ``.npy`` sidecar.
+MMAP_DIR_SUFFIX = ".cols"
+
+#: Marker file tying a sidecar to its row log's checksum.
+MMAP_MARKER = "LOG_SHA256"
+
+
+def mmap_sidecar_dir(directory: Path, meta: SegmentMeta) -> Path:
+    """The per-column sidecar directory of one segment."""
+    return directory / f"{meta.name}{MMAP_DIR_SUFFIX}"
+
+
+def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
+                       verify: bool = False) -> dict[str, np.ndarray]:
+    """Columns as read-only memory maps, building the sidecar if needed.
+
+    The marker file is written *last*, so a crash mid-materialisation leaves
+    a sidecar without a valid marker and the next open rebuilds it; a stale
+    sidecar (marker not matching the manifest checksum) is rebuilt the same
+    way.  ``verify`` checksums the row log exactly like the in-memory path —
+    including when a valid sidecar lets the load skip the log entirely.  The
+    arrays come back identical to the in-memory path — only their backing
+    store differs — which ``tests/test_store.py`` asserts query by query.
+    """
+    if verify:
+        _read_log(directory, meta, verify=True)
+    sidecar = mmap_sidecar_dir(directory, meta)
+    marker = sidecar / MMAP_MARKER
+    valid = False
+    try:
+        valid = marker.read_text().strip() == meta.sha256
+    except FileNotFoundError:
+        pass
+    if valid:
+        try:
+            return {
+                column.name: np.load(sidecar / f"{column.name}.npy",
+                                     mmap_mode="r")
+                for column in kind.columns
+            }
+        except (OSError, ValueError):
+            valid = False  # torn sidecar: fall through to a rebuild
+    columns = load_columns(directory, meta, kind)  # log verified above
+    sidecar.mkdir(parents=True, exist_ok=True)
+    for name, array in columns.items():
+        buffer = io.BytesIO()
+        np.save(buffer, array)
+        atomic_write_bytes(sidecar / f"{name}.npy", buffer.getvalue())
+    atomic_write_bytes(marker, (meta.sha256 + "\n").encode("utf-8"))
+    return {
+        column.name: np.load(sidecar / f"{column.name}.npy", mmap_mode="r")
+        for column in kind.columns
+    }

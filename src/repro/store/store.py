@@ -38,7 +38,11 @@ __all__ = ["ResultStore", "StoreCorruptionError"]
 
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
-FORMAT_VERSION = 1
+#: Bumped whenever a row kind's required columns change, so stores written
+#: by an older build fail the version gate with a clear error instead of a
+#: KeyError deep inside a column scan (v2: fleet_events gained
+#: region/wait_ms and the shed/queued targets).
+FORMAT_VERSION = 2
 
 
 class ResultStore:
@@ -51,9 +55,14 @@ class ResultStore:
     the cache of already-loaded ones.
     """
 
-    def __init__(self, root: Union[str, Path], *, verify: bool = False) -> None:
+    def __init__(self, root: Union[str, Path], *, verify: bool = False,
+                 mmap: bool = False) -> None:
         self.root = Path(root)
         self.verify = verify
+        #: Serve column caches as read-only memory maps (per-column ``.npy``
+        #: sidecars) instead of resident arrays — the >10M-row read path.
+        #: Query results are identical either way.
+        self.mmap = mmap
         self._manifest: dict = {"format_version": FORMAT_VERSION,
                                 "sequence": 0, "segments": []}
         self._segments: tuple[SegmentMeta, ...] = ()
@@ -171,7 +180,7 @@ class ResultStore:
         if cached is None:
             cached = segment_io.load_columns(
                 self.segments_dir, meta, kind_for(meta.kind),
-                verify=self.verify)
+                verify=self.verify, mmap=self.mmap)
             self._columns_cache[meta.name] = cached
         return cached
 

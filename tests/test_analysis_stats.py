@@ -150,3 +150,26 @@ class TestExponentialDecayScan:
             exponential_decay_scan(np.array([-0.1]), 1.0)
         with pytest.raises(ValueError):
             exponential_decay_scan(np.zeros((2, 2)), 1.0)
+
+
+class TestTimeBinIndices:
+    def test_floor_division_convention(self):
+        from repro.analysis.stats import time_bin_indices
+
+        bins = time_bin_indices([0.0, 899.99, 900.0, 1800.0], 900.0)
+        assert bins.dtype == np.int64
+        assert list(bins) == [0, 0, 1, 2]
+
+    def test_clip_to_num_bins(self):
+        from repro.analysis.stats import time_bin_indices
+
+        bins = time_bin_indices([-1.0, 100.0, 1e9], 10.0, num_bins=5)
+        assert list(bins) == [0, 4, 4]
+
+    def test_validation(self):
+        from repro.analysis.stats import time_bin_indices
+
+        with pytest.raises(ValueError):
+            time_bin_indices([1.0], 0.0)
+        with pytest.raises(ValueError):
+            time_bin_indices([1.0], 1.0, num_bins=0)

@@ -188,3 +188,89 @@ class TestFleetCommand:
                      "--group-by", "scenario",
                      "--agg", "latency_ms:p50,p99"]) == 0
         assert "latency_ms_p99" in capsys.readouterr().out
+
+
+class TestFleetCloudCapacity:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert not args.cloud_capacity
+        assert not args.diurnal
+        assert not args.recharge
+        assert args.queue_wait_ms == pytest.approx(2000.0)
+        assert args.queue_overflow == "shed"
+        assert args.cloud_bin_minutes == pytest.approx(15.0)
+        assert args.cloud_max_passes == 8
+
+    def test_cloud_capacity_in_memory(self, capsys):
+        assert main(["fleet", "--scale", "0.02", "--users", "12",
+                     "--hours", "4", "--cloud-capacity", "--diurnal"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed point" in output
+        assert "passes" in output
+        assert "queue conservation: arrived" in output
+
+    def test_cloud_capacity_store_report_round_trip(self, tmp_path, capsys):
+        """Satellite gate: fleet CLI -> store -> report round trip, with
+        compaction interacting with the fleet_load rows."""
+        path = tmp_path / "cloud.store"
+        # Overflowing the device queue to the cloud guarantees regional
+        # load even when nobody capability- or battery-offloads.
+        assert main(["fleet", "--scale", "0.02", "--users", "16",
+                     "--hours", "6", "--cloud-capacity",
+                     "--queue-wait-ms", "500", "--queue-overflow", "cloud",
+                     "--store", str(path),
+                     "--rows-per-segment", "500"]) == 0
+        output = capsys.readouterr().out
+        assert "queue conservation" in output
+        assert "[OK]" in output
+
+        from repro.cloud import LoadProfile, REFERENCE_REGIONS
+        from repro.store import ResultStore
+
+        store = ResultStore(path)
+        assert store.num_rows("fleet_events") > 0
+        assert store.num_rows("fleet_load") > 0
+        regions = tuple(r.name for r in REFERENCE_REGIONS)
+        before = LoadProfile.from_store(store, regions,
+                                        6 * 3600.0, 15 * 60.0)
+        assert before.total_requests > 0
+
+        assert main(["store", "report", str(path),
+                     "--table", "cloud_load"]) == 0
+        report_out = capsys.readouterr().out
+        assert "peak rps" in report_out
+
+        # Compacting the sharded store must not change the reconstruction
+        # or the report.
+        assert main(["store", "compact", str(path), "--verify"]) == 0
+        capsys.readouterr()
+        after = LoadProfile.from_store(ResultStore(path), regions,
+                                       6 * 3600.0, 15 * 60.0)
+        import numpy as np
+
+        assert np.array_equal(after.requests, before.requests)
+        assert main(["store", "report", str(path),
+                     "--table", "cloud_load"]) == 0
+        assert capsys.readouterr().out == report_out
+
+        # fleet_load is queryable through the generic store CLI too.
+        assert main(["store", "query", str(path), "--kind", "fleet_load",
+                     "--group-by", "region",
+                     "--agg", "requests:sum"]) == 0
+        assert "requests_sum" in capsys.readouterr().out
+
+    def test_cloud_load_report_on_fleet_only_store(self, tmp_path, capsys):
+        path = tmp_path / "plain.store"
+        assert main(["fleet", "--scale", "0.02", "--users", "6",
+                     "--hours", "2", "--store", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["store", "report", str(path),
+                     "--table", "cloud_load"]) == 0
+        assert "no fleet_load rows" in capsys.readouterr().out
+
+    def test_queue_and_recharge_flags(self, capsys):
+        assert main(["fleet", "--scale", "0.02", "--users", "6",
+                     "--hours", "30", "--recharge",
+                     "--queue-wait-ms", "500",
+                     "--queue-overflow", "cloud"]) == 0
+        assert "simulated" in capsys.readouterr().out

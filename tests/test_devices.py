@@ -286,3 +286,28 @@ class TestUsbSwitch:
         switch = UsbSwitch(num_ports=1)
         with pytest.raises(ValueError):
             switch.power_off(3)
+
+
+class TestRechargeSchedule:
+    def test_apply_restores_schedule_level(self):
+        from repro.devices.battery import Battery, RechargeSchedule
+
+        battery = Battery(capacity_mah=4000)
+        state = battery.state(0.1)
+        schedule = RechargeSchedule(start_hour=1.0, duration_h=4.0, level=0.9)
+        schedule.apply(state)
+        assert state.fraction == pytest.approx(0.9)
+        # Draining after a recharge accumulates on top of earlier history.
+        state.drain_joules(battery.capacity_joules * 0.5)
+        assert state.fraction == pytest.approx(0.4)
+
+    def test_window_end_and_boundaries(self):
+        from repro.devices.battery import RechargeSchedule
+
+        schedule = RechargeSchedule(start_hour=22.0, duration_h=6.0)
+        # A window crossing midnight completes at 04:00 the next day.
+        assert schedule.end_of_day_s == pytest.approx(28 * 3600.0)
+        ends = schedule.boundaries(3 * 86400.0)
+        assert list(ends) == [28 * 3600.0, 28 * 3600.0 + 86400.0]
+        with pytest.raises(ValueError):
+            schedule.boundaries(0.0)
