@@ -10,10 +10,13 @@ Four subcommands mirror the paper's workflow:
                   with upfront compatibility pruning (Sec. 6.2/6.3 style);
                   ``--store PATH`` streams the results into a persistent,
                   queryable store instead of holding them in memory.
-* ``store``     — ``query`` / ``report`` / ``info`` / ``compact`` over a
-                  persisted campaign: vectorised filters and aggregations,
-                  the paper's figure tables served from disk, segment-level
-                  integrity, segment merging.
+* ``store``     — ``query`` / ``report`` / ``info`` / ``compact`` /
+                  ``export`` over a persisted campaign: vectorised filters
+                  and aggregations, the paper's figure tables served from
+                  disk, per-kind segment format mix and integrity, segment
+                  merging (optionally converting row-oriented JSONL
+                  segments to the packed columnar format), and whole-store
+                  format export.
 * ``scenarios`` — scenario-driven energy costs on the Qualcomm boards
                   (Table 4); ``--store PATH`` persists the scenario rows.
 * ``fleet``     — deterministic discrete-event fleet simulation: a virtual
@@ -380,14 +383,43 @@ def cmd_store_report(args: argparse.Namespace) -> int:
 
 
 def cmd_store_info(args: argparse.Namespace) -> int:
-    """Inspect a persisted campaign's layout and integrity."""
+    """Inspect a persisted campaign's layout, format mix and integrity."""
     store = ResultStore(args.path)
     print(store)
     for meta in store.segments:
-        print(f"  {meta.name:<22} {meta.kind:<12} {meta.rows:>7} rows  "
-              f"sha256 {meta.sha256[:12]}")
+        print(f"  {meta.name:<22} {meta.kind:<12} {meta.format:<9} "
+              f"{meta.rows:>7} rows  sha256 {meta.sha256[:12]}")
+    summary = store.format_summary()
+    if summary:
+        print(f"\n{'kind':<14}{'segments':>9}{'rows':>10}{'on-disk':>12}  formats")
+        for kind_name, entry in summary.items():
+            mix = ", ".join(f"{count} {fmt}" for fmt, count
+                            in sorted(entry["formats"].items()))
+            print(f"{kind_name:<14}{entry['segments']:>9}{entry['rows']:>10}"
+                  f"{entry['bytes'] / 1e6:>10.2f}MB  {mix}")
     if args.verify:
         verified = store.verify_integrity()
+        print(f"verified {verified} segment checksums: OK")
+    return 0
+
+
+def cmd_store_export(args: argparse.Namespace) -> int:
+    """Rewrite a store into a fresh one in the requested segment format."""
+    from repro.store import export_store
+
+    try:
+        stats = export_store(args.path, args.dest,
+                             output_format=args.format,
+                             rows_per_segment=args.rows_per_segment,
+                             kinds=args.kinds or None)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"exported {stats.rows} rows ({', '.join(stats.kinds) or 'no kinds'}) "
+          f"into {args.dest} as {stats.segments} {stats.output_format} "
+          f"segments")
+    if args.verify:
+        verified = ResultStore(args.dest).verify_integrity()
         print(f"verified {verified} segment checksums: OK")
     return 0
 
@@ -396,7 +428,8 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
     """Merge a store's small committed segments into few large ones."""
     store = ResultStore(args.path)
     stats = compact_store(store, rows_per_segment=args.rows_per_segment,
-                          kinds=args.kinds or None)
+                          kinds=args.kinds or None,
+                          output_format=args.format)
     if not stats.kinds_compacted:
         print(f"nothing to compact: {stats.segments_before} segments already "
               f"at target layout")
@@ -726,9 +759,32 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--kinds", nargs="*", default=[],
                          choices=sorted(ROW_KINDS),
                          help="row kinds to compact (default: all)")
+    compact.add_argument("--format", choices=("jsonl", "columnar"),
+                         default=None,
+                         help="seal the merged segments in this format "
+                              "(default: converge each kind to columnar if "
+                              "any of its segments already is)")
     compact.add_argument("--verify", action="store_true",
                          help="verify every segment checksum afterwards")
     compact.set_defaults(func=cmd_store_compact)
+
+    export = store_sub.add_parser(
+        "export", help="rewrite a store into a fresh one in another format")
+    export.add_argument("path", help="source store directory")
+    export.add_argument("dest", help="destination store directory (fresh)")
+    export.add_argument("--format", choices=("jsonl", "columnar"),
+                        default="jsonl",
+                        help="destination segment format (default: jsonl — "
+                             "the grep-able interchange format)")
+    export.add_argument("--rows-per-segment", type=_positive_int, default=None,
+                        help="re-chunk rows at this size (default: mirror "
+                             "the source's segment boundaries)")
+    export.add_argument("--kinds", nargs="*", default=[],
+                        choices=sorted(ROW_KINDS),
+                        help="row kinds to export (default: all)")
+    export.add_argument("--verify", action="store_true",
+                        help="verify every destination checksum afterwards")
+    export.set_defaults(func=cmd_store_export)
 
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)

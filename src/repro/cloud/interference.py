@@ -211,10 +211,12 @@ class InterferenceSimulator:
                      rows_per_segment: int = 8192) -> tuple[int, "InterferenceResult"]:
         """Solve, then stream the final pass into a results store.
 
-        Writes the final pass's ``fleet_events`` rows (memory-flat, exactly
-        like :meth:`FleetSimulator.run_to_store`) followed by the converged
-        load profile as ``fleet_load`` rows.  Returns ``(rows_committed,
-        result)``; ``result.traces`` stays ``None`` — the store holds them.
+        Writes the final pass's ``fleet_events`` rows (memory-flat,
+        batch-native column ingestion exactly like
+        :meth:`FleetSimulator.run_to_store`) followed by the converged load
+        profile as one ``fleet_load`` column batch.  Returns
+        ``(rows_committed, result)``; ``result.traces`` stays ``None`` —
+        the store holds them.
         """
         from repro.store.schema import kind_for
         from repro.store.store import ResultStore
@@ -230,10 +232,8 @@ class InterferenceSimulator:
             for trace in self._simulator(result.table).iter_traces():
                 profile.add_trace(trace)
                 arrived += trace.num_events
-                for row in trace.rows():
-                    writer.append_row(events_kind, row)
-            for cell in profile.cells():
-                writer.append_row(load_kind, load_kind.to_row(cell))
+                writer.append_batch(events_kind, trace.column_batch())
+            writer.append_batch(load_kind, profile.column_batch())
         result.profile = profile
         result.arrived = arrived
         result.passes += 1

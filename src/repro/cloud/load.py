@@ -145,6 +145,31 @@ class LoadProfile:
                         payload_bytes=int(self.payload_bytes[r, a, b]),
                     )
 
+    def column_batch(self) -> dict[str, np.ndarray]:
+        """Non-empty grid cells as one ``fleet_load`` column batch.
+
+        The batch-native counterpart of :meth:`cells`: ``np.nonzero`` walks
+        the grid in C (region-major) order — exactly the order
+        :meth:`cells` yields — and every column derives from the index
+        arrays in one vectorised step, so the persisted rows are identical
+        to appending each :class:`LoadCell` individually.
+        """
+        r_idx, a_idx, b_idx = np.nonzero(self.requests)
+        batch = {
+            "region": np.array(self.regions)[r_idx] if r_idx.size
+            else np.empty(0, dtype=np.str_),
+            "cloud_api": np.array(self.apis)[a_idx] if a_idx.size
+            else np.empty(0, dtype=np.str_),
+            "bin_index": b_idx.astype(np.int64),
+            "bin_start_s": b_idx * self.bin_seconds,
+            "bin_seconds": np.full(b_idx.size, self.bin_seconds),
+            "requests": self.requests[r_idx, a_idx, b_idx],
+            "payload_bytes": self.payload_bytes[r_idx, a_idx, b_idx],
+        }
+        for array in batch.values():
+            array.setflags(write=False)  # fresh arrays: skip the writer copy
+        return batch
+
     @classmethod
     def from_store(cls, store, regions: Sequence[str], horizon_s: float,
                    bin_seconds: float,

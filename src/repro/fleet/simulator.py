@@ -157,6 +157,52 @@ class UserTrace:
                 "cloud_bytes": self.payload_bytes if cloud else 0,
             }
 
+    def column_batch(self) -> dict[str, np.ndarray]:
+        """The trace as one ``fleet_events`` column batch (event order).
+
+        The batch-native ingestion payload for
+        :meth:`~repro.store.writer.StoreWriter.append_batch`: the per-event
+        float arrays are handed over as-is (no pivot through dicts, no
+        per-event Python scalars) and the per-user constants broadcast into
+        string/int columns in a handful of array ops.  Persisted values are
+        exactly those of :meth:`rows` — the two paths are interchangeable
+        row for row.
+        """
+        user = self.user
+        n = self.num_events
+        cloud = self.route == ROUTE_CLOUD
+        # Width matters: a trace with no offloads must not widen the packed
+        # cloud_api column to the unused API name's length (the row path's
+        # per-value arrays never would).
+        cloud_api = self.cloud_api if cloud.any() else ""
+        batch = {
+            "user_id": np.full(n, user.user_id, dtype=np.int64),
+            "time_s": self.times_s,
+            "device_name": np.full(n, user.device.name),
+            "model_name": np.full(n, user.graph.name),
+            "scenario": np.full(n, user.scenario.name),
+            "backend": np.full(n, user.backend.value),
+            "region": np.full(n, user.region),
+            "target": np.array(ROUTE_TARGETS)[self.route],
+            "latency_ms": self.latency_ms,
+            "wait_ms": self.wait_ms,
+            "energy_mj": self.energy_mj,
+            "throttle_factor": self.throttle,
+            "battery_fraction": self.battery_fraction,
+            "discharge_mah": self.discharge_mah,
+            "cloud_api": np.where(cloud, cloud_api, ""),
+            "cloud_bytes": np.where(cloud, int(self.payload_bytes),
+                                    0).astype(np.int64),
+        }
+        # Freeze the arrays built here (nobody else holds a reference), so
+        # the writer's no-alias copy is skipped; the trace's own field
+        # arrays stay writable and get the defensive copy instead.
+        for name in ("user_id", "device_name", "model_name", "scenario",
+                     "backend", "region", "target", "cloud_api",
+                     "cloud_bytes"):
+            batch[name].setflags(write=False)
+        return batch
+
     def events(self) -> Iterator[FleetEvent]:
         """The trace as :class:`FleetEvent` objects, in event order."""
         for row in self.rows():
@@ -482,10 +528,14 @@ class FleetSimulator:
         """Stream the whole simulation into a results store; returns the row count.
 
         ``store`` is a :class:`~repro.store.store.ResultStore` (or a path to
-        create one at).  Events are appended in deterministic (user, time)
-        order and committed in checksummed ``fleet_events`` segments, so a
-        crash loses at most the trailing partial segment; memory stays flat
-        in the number of events.
+        create one at).  Each trace's column arrays are appended as one
+        batch (:meth:`UserTrace.column_batch` — no array -> dict -> array
+        round trip) in deterministic (user, time) order and committed in
+        checksummed columnar ``fleet_events`` segments, so a crash loses at
+        most the trailing partial segment; memory stays flat in the number
+        of events.  ``benchmarks/test_bench_ingest.py`` holds this path
+        >= 5x faster end-to-end than the per-row ingestion it replaced,
+        with bit-identical query results.
         """
         from repro.store.schema import kind_for
         from repro.store.store import ResultStore
@@ -495,6 +545,5 @@ class FleetSimulator:
         kind = kind_for("fleet_events")
         with store.writer(rows_per_segment=rows_per_segment) as writer:
             for trace in self.iter_traces():
-                for row in trace.rows():
-                    writer.append_row(kind, row)
+                writer.append_batch(kind, trace.column_batch())
         return writer.rows_committed

@@ -279,20 +279,31 @@ class SweepRunner:
         """Stream the sweep into a persistent results store; returns the row count.
 
         ``store`` is a :class:`~repro.store.store.ResultStore` (or a path to
-        create one at).  Results are appended in deterministic job order and
-        committed in checksummed segments of ``rows_per_segment`` rows, so a
-        crash loses at most the trailing partial segment and a reopened store
-        serves exactly the committed prefix.  Nothing is collected in memory.
+        create one at).  Results are batched in deterministic job order —
+        ``rows_per_segment`` results pivot into one column batch
+        (:func:`~repro.store.schema.execution_results_to_columns`) and seal
+        as one checksummed columnar segment — so a crash loses at most the
+        trailing partial segment and a reopened store serves exactly the
+        committed prefix.  Memory holds at most one segment's results.
         """
+        from repro.store.schema import execution_results_to_columns
         from repro.store.store import ResultStore
 
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         with store.writer(rows_per_segment=rows_per_segment) as writer:
+            chunk: list[ExecutionResult] = []
             for result in self.iter_results():
-                writer.append(result)
+                chunk.append(result)
                 if on_result is not None:
                     on_result(result)
+                if len(chunk) >= rows_per_segment:
+                    writer.append_batch(
+                        "executions", execution_results_to_columns(chunk))
+                    chunk = []
+            if chunk:
+                writer.append_batch(
+                    "executions", execution_results_to_columns(chunk))
         return writer.rows_committed
 
     @staticmethod

@@ -9,7 +9,11 @@ the process that measured them.  This package is that durability layer:
   crash-safe via atomic segment rotation);
 * :class:`~repro.store.writer.StoreWriter` — the streaming ingestion sink
   that :class:`~repro.runtime.sweep.SweepRunner` and
-  :class:`~repro.core.benchmarker.DeviceBenchmarker` feed;
+  :class:`~repro.core.benchmarker.DeviceBenchmarker` feed; its
+  :meth:`~repro.store.writer.StoreWriter.append_batch` is the batch-native
+  fast path the fleet/cloud simulators stream column arrays through,
+  sealing packed binary columnar segments (format version 3) next to the
+  row-oriented JSONL ones — mixed stores query bit-identically;
 * :class:`~repro.store.query.Query` — vectorised filters/aggregations with
   per-segment predicate pushdown;
 * :class:`~repro.store.serving.ReportServer` — incremental, store-backed
@@ -19,9 +23,11 @@ See the README's "Results store" section for the on-disk layout and usage.
 """
 
 from repro.store.compact import CompactionStats, compact_store
+from repro.store.export import ExportStats, export_store
 from repro.store.query import Query, QueryStats
 from repro.store.schema import ROW_KINDS, RowKind, kind_for
-from repro.store.segment import SegmentMeta, StoreCorruptionError
+from repro.store.segment import (FORMAT_COLUMNAR, FORMAT_JSONL, SegmentMeta,
+                                 StoreCorruptionError)
 from repro.store.serving import ReportServer
 from repro.store.store import ResultStore
 from repro.store.writer import StoreWriter, ingest_snapshot
@@ -40,4 +46,8 @@ __all__ = [
     "ingest_snapshot",
     "compact_store",
     "CompactionStats",
+    "export_store",
+    "ExportStats",
+    "FORMAT_JSONL",
+    "FORMAT_COLUMNAR",
 ]

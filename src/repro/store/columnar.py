@@ -1,0 +1,317 @@
+"""The packed binary columnar segment payload (store format version 3).
+
+A columnar segment stores one contiguous little-endian buffer per schema
+column behind a small JSON header, so sealing a segment is a handful of
+``ndarray.tobytes`` calls and opening one is a handful of zero-copy
+``np.frombuffer`` views — no per-row JSON encode/decode anywhere on the
+path.  The payload layout is::
+
+    b"RCS1"                      # magic, 4 bytes
+    <u32 little-endian>          # byte length of the JSON header
+    header JSON (UTF-8)          # {"kind", "rows", "columns": [...]}
+    column buffer 0              # header.columns[0]["nbytes"] bytes
+    column buffer 1
+    ...
+
+Each header column entry records ``{"name", "encoding", "dtype", ...}``
+where ``dtype`` is the NumPy dtype string of the value buffer (always
+little-endian, e.g. ``"<f8"``, ``"<i8"``, ``"|b1"``, ``"<U12"``).  Two
+encodings exist:
+
+* ``"raw"`` — the buffer is the array's memory verbatim (numeric columns,
+  and string columns whose values barely repeat);
+* ``"dict"`` — low-cardinality string columns (device names, scenarios,
+  route targets... — the overwhelmingly common case in event streams)
+  store their distinct values once as a fixed-width UCS-4 table plus one
+  small unsigned code per row (``u1``/``u2``/``u4``, whichever fits), which
+  shrinks the hot string columns from ~100 bytes/row to ~1 byte/row and is
+  what lets columnar ingest outrun the disk rather than the CPU.  Decoding
+  is a single fancy-index gather, and the decoded array's dtype width (the
+  longest value present) matches what pivoting the same rows through
+  ``np.array`` would produce, so the two paths stay interchangeable.
+
+Either way a value read back compares bit-for-bit equal to the value
+written — the same exactness contract the JSONL format keeps via
+shortest-repr floats.
+
+This module is the pure codec: bytes in, arrays out.  File IO, checksums
+and manifest plumbing live in :mod:`repro.store.segment`; malformed input
+raises :class:`ValueError` here and is wrapped into
+:class:`~repro.store.segment.StoreCorruptionError` there.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.store.schema import RowKind
+
+__all__ = ["COLUMNAR_MAGIC", "pack_columns", "unpack_columns",
+           "coerce_batch"]
+
+#: First four payload bytes of every columnar segment.
+COLUMNAR_MAGIC = b"RCS1"
+
+_HEADER_LEN = struct.Struct("<I")
+
+
+def coerce_batch(kind: RowKind, columns: Mapping[str, np.ndarray]
+                 ) -> dict[str, np.ndarray]:
+    """Validate and normalise one column batch against a row kind's schema.
+
+    Every schema column must be present and all columns must share one
+    length; extra keys are rejected (a misspelt column name must not drop
+    data silently).  Values are coerced to the schema dtype — the one place
+    the batch path type-checks, amortised over the whole batch instead of
+    per row.
+
+    The returned arrays never alias a *mutable* caller buffer: values that
+    coerce get a new array anyway, and values that still touch caller
+    memory are copied — the batch counterpart of ``append_row``'s
+    defensive ``dict(row)``, so a producer may reuse its buffers after the
+    append without silently rewriting data that is still waiting to be
+    sealed.  Only arrays that are immutable through their whole base chain
+    (read-only with no writable ancestor — what the simulators'
+    ``column_batch`` methods hand over) are trusted without a copy; a
+    read-only *view* of a writable buffer is not, since the base can still
+    be written through.
+    """
+    missing = [c.name for c in kind.columns if c.name not in columns]
+    if missing:
+        raise ValueError(
+            f"batch for kind {kind.name!r} is missing columns {missing}")
+    extra = sorted(set(columns) - kind.column_name_set)
+    if extra:
+        raise ValueError(
+            f"batch for kind {kind.name!r} has unknown columns {extra}")
+    coerced: dict[str, np.ndarray] = {}
+    rows = None
+    for column in kind.columns:
+        original = columns[column.name]
+        array = np.asarray(original)
+        if array.ndim != 1:
+            raise ValueError(
+                f"column {column.name!r} must be 1-D, got shape {array.shape}")
+        if column.dtype == "str":
+            if array.dtype.kind != "U":
+                array = array.astype(np.str_)
+        elif array.dtype != column.numpy_dtype:
+            array = array.astype(column.numpy_dtype)
+        if not _chain_readonly(array) and (array is original
+                                           or array.base is not None):
+            # The array still aliases memory the caller can write (either
+            # their own object, or a zero-copy wrap of their buffer).
+            array = array.copy()
+        if rows is None:
+            rows = array.size
+        elif array.size != rows:
+            raise ValueError(
+                f"column {column.name!r} holds {array.size} values, "
+                f"expected {rows}")
+        coerced[column.name] = array
+    return coerced
+
+
+def _chain_readonly(array: np.ndarray) -> bool:
+    """Whether mutation is impossible through this array or any of its bases.
+
+    ``flags.writeable`` alone is not enough: a read-only view of a writable
+    base can still change under us through the base, so only an all-read-only
+    base chain ending in an owning array (or immutable ``bytes``) is trusted
+    without a defensive copy.
+    """
+    while True:
+        if array.flags.writeable:
+            return False
+        base = array.base
+        if base is None:
+            return True
+        if isinstance(base, np.ndarray):
+            array = base
+            continue
+        # Foreign buffer (mmap, memoryview, ...): immutable only for bytes.
+        return isinstance(base, bytes)
+
+
+def _little_endian(array: np.ndarray) -> np.ndarray:
+    """The array with a little-endian (or endian-free) dtype."""
+    if array.dtype.byteorder == ">":
+        return array.astype(array.dtype.newbyteorder("<"))
+    return array
+
+
+def _payload_dtype(column: str, spec) -> np.dtype:
+    """A header dtype string as a usable dtype, or :class:`ValueError`.
+
+    A corrupt header can hold anything here — non-strings raise
+    ``TypeError`` inside NumPy, ``"<U0"`` parses but has itemsize 0 (a
+    division-by-zero trap downstream) — so every failure mode funnels into
+    the codec's ``ValueError`` contract.
+    """
+    try:
+        dtype = np.dtype(spec)
+    except TypeError as error:
+        raise ValueError(
+            f"column {column!r} has an invalid dtype in its header: {error}")
+    if dtype.itemsize <= 0:
+        raise ValueError(
+            f"column {column!r} has a zero-width dtype in its header")
+    return dtype
+
+
+def _codes_dtype(num_values: int) -> str:
+    """Smallest unsigned dtype addressing a dictionary of this size."""
+    if num_values <= 1 << 8:
+        return "<u1"
+    if num_values <= 1 << 16:
+        return "<u2"
+    return "<u4"
+
+
+def pack_columns(kind: RowKind, columns: Mapping[str, np.ndarray], *,
+                 distinct_out: Optional[dict] = None) -> bytes:
+    """Pack one validated column batch into the binary segment payload.
+
+    ``distinct_out``, when given, is filled with each string column's sorted
+    distinct-value array — computed here anyway to choose the encoding, and
+    reusable for the manifest's pruning stats so sealing a segment runs
+    ``np.unique`` once per column, not twice.
+    """
+    buffers: list[bytes] = []
+    entries: list[dict] = []
+    rows = 0
+    for column in kind.columns:
+        array = np.ascontiguousarray(_little_endian(columns[column.name]))
+        rows = int(array.size)
+        if column.dtype == "str":
+            uniques, codes = np.unique(array, return_inverse=True)
+            if distinct_out is not None:
+                distinct_out[column.name] = uniques
+            codes_dtype = _codes_dtype(uniques.size)
+            encoded_nbytes = uniques.nbytes \
+                + codes.size * np.dtype(codes_dtype).itemsize
+            if encoded_nbytes < array.nbytes:
+                values_payload = _little_endian(uniques).tobytes()
+                codes_payload = codes.astype(codes_dtype).tobytes()
+                entries.append({
+                    "name": column.name, "encoding": "dict",
+                    "dtype": uniques.dtype.str,
+                    "values_nbytes": len(values_payload),
+                    "codes_dtype": codes_dtype,
+                    "nbytes": len(values_payload) + len(codes_payload),
+                })
+                buffers.append(values_payload)
+                buffers.append(codes_payload)
+                continue
+        payload = array.tobytes()
+        entries.append({"name": column.name, "encoding": "raw",
+                        "dtype": array.dtype.str, "nbytes": len(payload)})
+        buffers.append(payload)
+    header = json.dumps({"kind": kind.name, "rows": rows,
+                         "columns": entries},
+                        sort_keys=True).encode("utf-8")
+    return b"".join([COLUMNAR_MAGIC, _HEADER_LEN.pack(len(header)), header,
+                     *buffers])
+
+
+def unpack_columns(payload: bytes, kind: RowKind, *,
+                   expected_rows: int) -> dict[str, np.ndarray]:
+    """Unpack a columnar payload into read-only zero-copy column arrays.
+
+    The arrays are views over ``payload`` (immutable bytes keep them
+    read-only, matching the JSONL cache path's ``setflags(write=False)``).
+    Any structural mismatch — bad magic, truncated buffers, a row count that
+    disagrees with ``expected_rows``, columns that do not cover the schema —
+    raises :class:`ValueError`; the caller decides whether that means
+    corruption.
+    """
+    if payload[:4] != COLUMNAR_MAGIC:
+        raise ValueError("not a columnar segment payload (bad magic)")
+    if len(payload) < 8:
+        raise ValueError("columnar payload truncated before its header")
+    (header_len,) = _HEADER_LEN.unpack(payload[4:8])
+    header_end = 8 + header_len
+    if len(payload) < header_end:
+        raise ValueError("columnar payload truncated inside its header")
+    try:
+        header = json.loads(payload[8:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"columnar header is not valid JSON: {error}")
+    if header.get("kind") != kind.name:
+        raise ValueError(
+            f"columnar payload holds kind {header.get('kind')!r}, "
+            f"expected {kind.name!r}")
+    rows = int(header.get("rows", -1))
+    if rows != expected_rows:
+        raise ValueError(
+            f"columnar payload holds {rows} rows, manifest says "
+            f"{expected_rows}")
+    column_entries = header.get("columns", ())
+    if not isinstance(column_entries, (list, tuple)):
+        raise ValueError("columnar header's column list is malformed")
+    columns: dict[str, np.ndarray] = {}
+    offset = header_end
+    for entry in column_entries:
+        try:
+            name = entry["name"]
+            nbytes = int(entry["nbytes"])
+            dtype = _payload_dtype(name, entry["dtype"])
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"columnar header entry is malformed: {error}")
+        if nbytes < 0 or len(payload) < offset + nbytes:
+            raise ValueError(
+                f"columnar payload truncated inside column {name!r}")
+        if entry.get("encoding", "raw") == "dict":
+            try:
+                values_nbytes = int(entry["values_nbytes"])
+                codes_dtype = _payload_dtype(name, entry["codes_dtype"])
+            except (KeyError, TypeError) as error:
+                raise ValueError(
+                    f"columnar header entry is malformed: {error}")
+            if not 0 <= values_nbytes <= nbytes:
+                raise ValueError(
+                    f"column {name!r} dictionary sizes are inconsistent")
+            codes_nbytes = nbytes - values_nbytes
+            if values_nbytes % dtype.itemsize or \
+                    codes_nbytes % codes_dtype.itemsize:
+                raise ValueError(
+                    f"column {name!r} dictionary buffers are misaligned")
+            values = np.frombuffer(payload, dtype=dtype,
+                                   count=values_nbytes // dtype.itemsize,
+                                   offset=offset)
+            codes = np.frombuffer(payload, dtype=codes_dtype,
+                                  count=codes_nbytes // codes_dtype.itemsize,
+                                  offset=offset + values_nbytes)
+            if codes.size != rows:
+                raise ValueError(
+                    f"column {name!r} decodes to {codes.size} values, "
+                    f"expected {rows}")
+            if codes.size and (not values.size
+                               or int(codes.max()) >= values.size):
+                raise ValueError(
+                    f"column {name!r} has codes outside its dictionary")
+            array = values[codes]
+            array.setflags(write=False)
+        else:
+            if nbytes % dtype.itemsize:
+                raise ValueError(
+                    f"column {name!r} buffer is not a whole number of "
+                    f"{dtype} values")
+            array = np.frombuffer(payload, dtype=dtype,
+                                  count=nbytes // dtype.itemsize,
+                                  offset=offset)
+            if array.size != rows:
+                raise ValueError(
+                    f"column {name!r} decodes to {array.size} values, "
+                    f"expected {rows}")
+        columns[name] = array
+        offset += nbytes
+    for column in kind.columns:
+        if column.name not in columns:
+            raise ValueError(
+                f"columnar payload is missing column {column.name!r}")
+    return {column.name: columns[column.name] for column in kind.columns}

@@ -9,12 +9,21 @@ atomically swaps the manifest over to them:
 
 * query results are **bit-for-bit identical** before and after — rows,
   order, checksummed content and column dtypes all round-trip through the
-  same segment writer that sealed them originally;
+  same segment writers that sealed them originally;
 * the swap is one atomic manifest rewrite, so readers see either the old
   layout or the new one, never a mixture; a crash mid-compaction leaves the
   old manifest in force (fresh segment files without a manifest entry are
   invisible and get cleaned up by the next successful compaction);
 * old segment files are deleted only after the new manifest is durable.
+
+Compaction is also the **row -> columnar converter**: with
+``output_format`` the rewritten segments seal in the requested format
+(``"columnar"`` packs the concatenated column arrays directly — no pivot
+through row dicts).  By default each kind converges to columnar as soon as
+any of its segments already is (mixed kinds end up uniform), while
+pure-JSONL kinds stay JSONL — compacting a pre-v3 store never silently
+changes its format.  The opposite direction (columnar -> JSONL) is
+:func:`~repro.store.export.export_store`'s job.
 
 Compaction takes the single-writer seat while it runs — like
 :class:`~repro.store.writer.StoreWriter`, it must not race another writer on
@@ -28,11 +37,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+import numpy as np
+
 from repro.store.schema import kind_for
-from repro.store.segment import MMAP_DIR_SUFFIX, SegmentMeta, write_segment
+from repro.store.segment import (FORMAT_COLUMNAR, FORMAT_JSONL,
+                                 MMAP_DIR_SUFFIX, SegmentMeta,
+                                 write_columnar_segment, write_segment)
 from repro.store.store import ResultStore
 
-__all__ = ["CompactionStats", "compact_store"]
+__all__ = ["CompactionStats", "compact_store", "reseal_kind"]
+
+#: Accepted ``output_format`` values (``None`` = per-kind convergence).
+_OUTPUT_FORMATS = (FORMAT_JSONL, FORMAT_COLUMNAR)
 
 
 @dataclass(frozen=True)
@@ -53,19 +69,78 @@ def _plan_chunks(total_rows: int, rows_per_segment: Optional[int]) -> int:
     return (total_rows + rows_per_segment - 1) // rows_per_segment
 
 
+def reseal_kind(store: ResultStore, name: str, *, sequence: int,
+                rows_per_segment: Optional[int], output_format: str,
+                directory: Optional[Path] = None
+                ) -> tuple[list[SegmentMeta], int, int]:
+    """Rewrite one kind's committed rows, in order, into fresh segments.
+
+    The shared rewrite core of :func:`compact_store` (which seals into the
+    store's own segments directory) and
+    :func:`~repro.store.export.export_store` (which seals into a fresh
+    store's).  Columnar output concatenates the column arrays across the
+    source segments — no pivot through per-row dicts; JSONL output gathers
+    the rows.  Returns ``(sealed metas, next sequence, rows rewritten)``.
+    """
+    if output_format not in _OUTPUT_FORMATS:
+        raise ValueError(
+            f"unknown output format {output_format!r} (have {_OUTPUT_FORMATS})")
+    if directory is None:
+        directory = store.segments_dir
+    kind = kind_for(name)
+    sealed: list[SegmentMeta] = []
+    if output_format == FORMAT_COLUMNAR:
+        parts = [store.columns_for(meta) for meta in store.segments_for(name)]
+        columns = {
+            column.name: np.concatenate(
+                [part[column.name] for part in parts]) if parts
+            else np.empty(0, dtype=column.numpy_dtype)
+            for column in kind.columns
+        }
+        total = store.num_rows(name)
+        chunk = rows_per_segment if rows_per_segment is not None \
+            else max(1, total)
+        for start in range(0, total, chunk):
+            sequence += 1
+            sealed.append(write_columnar_segment(
+                directory, f"{name}-{sequence:06d}", kind,
+                {col: array[start:start + chunk]
+                 for col, array in columns.items()}))
+        return sealed, sequence, total
+    rows: list[dict] = []
+    for meta in store.segments_for(name):
+        rows.extend(store.rows_for(meta))
+    chunk = rows_per_segment if rows_per_segment is not None \
+        else max(1, len(rows))
+    for start in range(0, len(rows), chunk):
+        sequence += 1
+        sealed.append(write_segment(
+            directory, f"{name}-{sequence:06d}", kind,
+            rows[start:start + chunk]))
+    return sealed, sequence, len(rows)
+
+
 def compact_store(store: Union[ResultStore, str, Path], *,
                   rows_per_segment: Optional[int] = None,
-                  kinds: Optional[Sequence[str]] = None) -> CompactionStats:
+                  kinds: Optional[Sequence[str]] = None,
+                  output_format: Optional[str] = None) -> CompactionStats:
     """Merge a store's small segments; returns what changed.
 
     ``rows_per_segment`` of ``None`` merges each kind into a single segment;
     otherwise rows re-chunk at that size.  ``kinds`` restricts the pass to
-    the named row kinds (default: every kind in the store).  Kinds already
-    at (or below) the target segment count are left untouched — their
-    existing files and checksums stay exactly as committed.
+    the named row kinds (default: every kind in the store).
+    ``output_format`` forces the rewritten segments' format (``"jsonl"`` or
+    ``"columnar"``); ``None`` converges each kind to columnar if any of its
+    segments already is, and keeps pure-JSONL kinds JSONL.  Kinds already at
+    (or below) the target segment count *and* uniformly in the target format
+    are left untouched — their existing files and checksums stay exactly as
+    committed.
     """
     if rows_per_segment is not None and rows_per_segment <= 0:
         raise ValueError("rows_per_segment must be positive when given")
+    if output_format is not None and output_format not in _OUTPUT_FORMATS:
+        raise ValueError(
+            f"unknown output format {output_format!r} (have {_OUTPUT_FORMATS})")
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     wanted = set(kinds) if kinds is not None else None
@@ -74,13 +149,20 @@ def compact_store(store: Union[ResultStore, str, Path], *,
             kind_for(name)  # unknown kinds fail fast
 
     segments_before = len(store.segments)
-    to_compact: list[str] = []
+    to_compact: dict[str, str] = {}  # kind -> target format
     for name in store.kinds():
         if wanted is not None and name not in wanted:
             continue
         metas = store.segments_for(name)
-        if len(metas) > _plan_chunks(store.num_rows(name), rows_per_segment):
-            to_compact.append(name)
+        target = output_format
+        if target is None:
+            target = FORMAT_COLUMNAR if any(m.is_columnar for m in metas) \
+                else FORMAT_JSONL
+        oversharded = len(metas) > _plan_chunks(store.num_rows(name),
+                                                rows_per_segment)
+        mixed = any(meta.format != target for meta in metas)
+        if oversharded or mixed:
+            to_compact[name] = target
     if not to_compact:
         return CompactionStats(segments_before, segments_before, 0, (), 0)
 
@@ -89,18 +171,11 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     sequence = store.sequence
     replacements: dict[str, list[SegmentMeta]] = {}
     rows_rewritten = 0
-    for name in to_compact:
-        rows: list[dict] = []
-        for meta in store.segments_for(name):
-            rows.extend(store.rows_for(meta))
-        rows_rewritten += len(rows)
-        chunk = rows_per_segment if rows_per_segment is not None else max(1, len(rows))
-        sealed: list[SegmentMeta] = []
-        for start in range(0, len(rows), chunk):
-            sequence += 1
-            sealed.append(write_segment(
-                store.segments_dir, f"{name}-{sequence:06d}",
-                kind_for(name), rows[start:start + chunk]))
+    for name, target in to_compact.items():
+        sealed, sequence, rows = reseal_kind(
+            store, name, sequence=sequence,
+            rows_per_segment=rows_per_segment, output_format=target)
+        rows_rewritten += rows
         replacements[name] = sealed
 
     # Swap: keep untouched segments in manifest order, splice each compacted
@@ -114,7 +189,7 @@ def compact_store(store: Union[ResultStore, str, Path], *,
         if meta.kind not in replacements:
             new_manifest.append(meta)
             continue
-        old_files.extend((meta.log_filename, meta.cache_filename))
+        old_files.extend(meta.filenames)
         old_mmap_dirs.append(f"{meta.name}{MMAP_DIR_SUFFIX}")
         if meta.kind not in spliced:
             spliced.add(meta.kind)

@@ -23,6 +23,7 @@ cache, so a value read back compares bit-for-bit equal to the value written.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
@@ -40,6 +41,7 @@ __all__ = [
     "kind_of_object",
     "execution_result_to_row",
     "execution_result_from_row",
+    "execution_results_to_columns",
     "model_record_to_row",
     "app_record_to_row",
     "app_record_from_row",
@@ -99,6 +101,15 @@ class RowKind:
         """Ordered column names."""
         return tuple(column.name for column in self.columns)
 
+    @cached_property
+    def column_name_set(self) -> frozenset[str]:
+        """Frozen column-name set, computed once per kind.
+
+        The writer's per-row completeness check is a single subset test
+        against this set instead of a per-row list build over the schema.
+        """
+        return frozenset(column.name for column in self.columns)
+
 
 def pack_strings(values) -> str:
     """Pack a tuple of strings into one column value."""
@@ -147,6 +158,44 @@ def execution_result_from_row(row: Mapping) -> ExecutionResult:
         peak_memory_bytes=int(row["peak_memory_bytes"]),
         num_inferences=int(row["num_inferences"]),
     )
+
+
+def execution_results_to_columns(results) -> dict:
+    """Pivot a sequence of :class:`ExecutionResult` into one column batch.
+
+    The sweep's batch-native ingestion payload: one list comprehension per
+    schema column (no per-row dicts, no per-row validation), ready for
+    :meth:`~repro.store.writer.StoreWriter.append_batch`.  Values are
+    exactly those of :func:`execution_result_to_row` applied row by row.
+    The arrays come back frozen (read-only) — they are built here and
+    nobody else references them, so the writer skips its no-alias copy.
+    """
+    columns = {
+        "model_name": np.array([r.model_name for r in results], dtype=np.str_),
+        "device_name": np.array([r.device_name for r in results],
+                                dtype=np.str_),
+        "backend": np.array([r.backend.value for r in results], dtype=np.str_),
+        "batch_size": np.array([r.batch_size for r in results],
+                               dtype=np.int64),
+        "thread_label": np.array([r.thread_label for r in results],
+                                 dtype=np.str_),
+        "latency_ms": np.array([r.latency_ms for r in results],
+                               dtype=np.float64),
+        "energy_mj": np.array([r.energy_mj for r in results],
+                              dtype=np.float64),
+        "power_watts": np.array([r.power_watts for r in results],
+                                dtype=np.float64),
+        "flops": np.array([r.flops for r in results], dtype=np.int64),
+        "parameters": np.array([r.parameters for r in results],
+                               dtype=np.int64),
+        "peak_memory_bytes": np.array([r.peak_memory_bytes for r in results],
+                                      dtype=np.int64),
+        "num_inferences": np.array([r.num_inferences for r in results],
+                                   dtype=np.int64),
+    }
+    for array in columns.values():
+        array.setflags(write=False)
+    return columns
 
 
 EXECUTIONS = RowKind(

@@ -1,20 +1,29 @@
-"""Immutable store segments: JSONL row logs plus NumPy column caches.
+"""Immutable store segments: JSONL row logs and binary columnar payloads.
 
-A segment is the unit of durability and of query pruning:
+A segment is the unit of durability and of query pruning.  Two on-disk
+formats coexist, chosen per segment at seal time and recorded in the
+manifest entry:
 
-* the **row log** (``<name>.jsonl``) is the source of truth — one JSON object
-  per line, written to a temporary file, fsynced and atomically renamed into
-  place, with its SHA-256 recorded in the store manifest;
-* the **column cache** (``<name>.npz``) holds the same rows as one NumPy
-  array per column for vectorised scans.  It is derived state: it embeds the
-  row log's checksum and is rebuilt from the log whenever it is missing or
-  does not match (e.g. a crash between the two writes);
-* the **stats** recorded in the manifest (per-column min/max for numeric
-  columns, the distinct-value set for low-cardinality string columns) let the
-  query engine skip whole segments without touching the filesystem.
+* a **JSONL segment** (format ``"jsonl"``) keeps the row log
+  (``<name>.jsonl``, one JSON object per line) as the checksummed source of
+  truth plus a derived, rebuildable NumPy column cache (``<name>.npz``)
+  for vectorised scans — the row-oriented format every store before format
+  version 3 wrote;
+* a **columnar segment** (format ``"columnar"``, ``<name>.colseg``) makes
+  the packed per-column payload of :mod:`repro.store.columnar` the
+  checksummed durable artifact itself: one contiguous little-endian buffer
+  per schema column behind a JSON header, sealed in a single
+  ``tobytes``-and-write and opened as zero-copy ``frombuffer`` views.  This
+  is the batch-native fast path ``StoreWriter.append_batch`` seals — no
+  per-row JSON encode on ingest, no pivot on read.
 
-Segments are append-only at the store level — once sealed, a segment file is
-never modified, so readers can cache its columns indefinitely.
+Both formats seal through the same tmp-file + fsync + atomic-rename
+protocol, carry the same manifest stats (per-column min/max for numeric
+columns, distinct-value sets for low-cardinality strings) and decode to
+bit-identical column arrays, so queries never care which format a segment
+was written in.  Segments are append-only at the store level — once sealed,
+a segment file is never modified, so readers can cache its columns
+indefinitely.
 """
 
 from __future__ import annotations
@@ -29,11 +38,21 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.store import columnar
 from repro.store.schema import RowKind
 
 __all__ = ["SegmentMeta", "StoreCorruptionError", "write_segment",
-           "load_rows", "load_columns", "build_columns", "column_stats",
-           "verify_segment", "atomic_write_bytes", "mmap_sidecar_dir"]
+           "write_columnar_segment", "load_rows", "load_columns",
+           "build_columns", "rows_from_columns", "column_stats",
+           "verify_segment", "atomic_write_bytes", "mmap_sidecar_dir",
+           "FORMAT_JSONL", "FORMAT_COLUMNAR"]
+
+#: Segment format names recorded in the manifest.
+FORMAT_JSONL = "jsonl"
+FORMAT_COLUMNAR = "columnar"
+
+#: File suffix of a columnar segment's packed payload.
+COLUMNAR_SUFFIX = ".colseg"
 
 #: String columns with at most this many distinct values record them in the
 #: manifest stats, enabling equality pushdown; beyond it only row counts are
@@ -56,27 +75,53 @@ class SegmentMeta:
     #: ``{column: {"min": x, "max": y}}`` for numeric columns and
     #: ``{column: {"values": [...]}}`` for tracked string columns.
     stats: Mapping[str, Mapping] = field(default_factory=dict)
+    #: On-disk format: :data:`FORMAT_JSONL` or :data:`FORMAT_COLUMNAR`.
+    format: str = FORMAT_JSONL
+
+    @property
+    def is_columnar(self) -> bool:
+        """Whether the durable artifact is the packed columnar payload."""
+        return self.format == FORMAT_COLUMNAR
 
     @property
     def log_filename(self) -> str:
-        """Row-log file name within the segments directory."""
+        """Row-log file name within the segments directory (JSONL format)."""
         return f"{self.name}.jsonl"
 
     @property
     def cache_filename(self) -> str:
-        """Column-cache file name within the segments directory."""
+        """Column-cache file name within the segments directory (JSONL format)."""
         return f"{self.name}.npz"
+
+    @property
+    def data_filename(self) -> str:
+        """The checksummed durable artifact's file name for this format."""
+        return f"{self.name}{COLUMNAR_SUFFIX}" if self.is_columnar \
+            else self.log_filename
+
+    @property
+    def filenames(self) -> tuple[str, ...]:
+        """Every file this segment may own in the segments directory."""
+        if self.is_columnar:
+            return (self.data_filename,)
+        return (self.log_filename, self.cache_filename)
 
     def to_json(self) -> dict:
         """Manifest-serialisable form."""
         return {"name": self.name, "kind": self.kind, "rows": self.rows,
-                "sha256": self.sha256, "stats": dict(self.stats)}
+                "sha256": self.sha256, "stats": dict(self.stats),
+                "format": self.format}
 
     @classmethod
     def from_json(cls, data: Mapping) -> "SegmentMeta":
-        """Rebuild a meta from its manifest entry."""
+        """Rebuild a meta from its manifest entry.
+
+        Entries written before format version 3 carry no ``format`` key;
+        they are JSONL segments by definition.
+        """
         return cls(name=data["name"], kind=data["kind"], rows=int(data["rows"]),
-                   sha256=data["sha256"], stats=dict(data.get("stats", {})))
+                   sha256=data["sha256"], stats=dict(data.get("stats", {})),
+                   format=data.get("format", FORMAT_JSONL))
 
 
 # --------------------------------------------------------------------------- #
@@ -129,11 +174,29 @@ def build_columns(kind: RowKind, rows: Sequence[Mapping]) -> dict[str, np.ndarra
     return columns
 
 
-def column_stats(kind: RowKind, columns: Mapping[str, np.ndarray]) -> dict:
+def rows_from_columns(kind: RowKind,
+                      columns: Mapping[str, np.ndarray]) -> list[dict]:
+    """Pivot column arrays back into plain-scalar row dicts.
+
+    The inverse of :func:`build_columns`: values come back as native Python
+    scalars (``.item()``), so a row pivoted out of a columnar segment
+    compares ``==`` to the dict the equivalent JSONL row parses to.
+    """
+    ordered = [(column.name, columns[column.name]) for column in kind.columns]
+    length = ordered[0][1].size if ordered else 0
+    return [{name: array[i].item() for name, array in ordered}
+            for i in range(length)]
+
+
+def column_stats(kind: RowKind, columns: Mapping[str, np.ndarray], *,
+                 distinct: Optional[Mapping[str, np.ndarray]] = None) -> dict:
     """Per-column pruning stats recorded in the manifest.
 
     Numeric columns record their min/max; string columns record their distinct
-    values when few enough to be useful for equality pushdown.
+    values when few enough to be useful for equality pushdown.  ``distinct``
+    optionally supplies precomputed per-column distinct-value arrays (the
+    columnar sealer gets them for free from its dictionary encoding) so the
+    ``np.unique`` pass is not repeated.
     """
     stats: dict[str, dict] = {}
     for column in kind.columns:
@@ -144,9 +207,11 @@ def column_stats(kind: RowKind, columns: Mapping[str, np.ndarray]) -> dict:
             stats[column.name] = {"min": array.min().item(),
                                   "max": array.max().item()}
         elif column.dtype == "str":
-            distinct = np.unique(array)
-            if distinct.size <= MAX_DISTINCT_TRACKED:
-                stats[column.name] = {"values": [str(v) for v in distinct]}
+            values = distinct.get(column.name) if distinct is not None else None
+            if values is None:
+                values = np.unique(array)
+            if values.size <= MAX_DISTINCT_TRACKED:
+                stats[column.name] = {"values": [str(v) for v in values]}
     return stats
 
 
@@ -180,6 +245,31 @@ def write_segment(directory: Path, name: str, kind: RowKind,
     return meta
 
 
+def write_columnar_segment(directory: Path, name: str, kind: RowKind,
+                           columns: Mapping[str, np.ndarray]) -> SegmentMeta:
+    """Seal a validated column batch into an immutable columnar segment.
+
+    The packed per-column payload *is* the checksummed durable artifact —
+    there is no separate row log or derived cache to keep consistent, so a
+    seal is one atomic write.  ``columns`` must already be schema-coerced
+    (:func:`repro.store.columnar.coerce_batch`); the manifest stats come
+    from the same arrays via the vectorised :func:`column_stats`.  As with
+    :func:`write_segment`, the segment only becomes *visible* once the
+    caller commits the returned meta to the manifest.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    distinct: dict[str, np.ndarray] = {}
+    payload = columnar.pack_columns(kind, columns, distinct_out=distinct)
+    digest = hashlib.sha256(payload).hexdigest()
+    rows = next(iter(columns.values())).size if columns else 0
+    meta = SegmentMeta(name=name, kind=kind.name, rows=int(rows),
+                       sha256=digest,
+                       stats=column_stats(kind, columns, distinct=distinct),
+                       format=FORMAT_COLUMNAR)
+    atomic_write_bytes(directory / meta.data_filename, payload)
+    return meta
+
+
 def _write_cache(path: Path, log_sha256: str,
                  columns: Mapping[str, np.ndarray]) -> None:
     """Write the npz column cache, tagged with the row log's checksum."""
@@ -189,35 +279,63 @@ def _write_cache(path: Path, log_sha256: str,
     atomic_write_bytes(path, buffer.getvalue())
 
 
-def _read_log(directory: Path, meta: SegmentMeta, *, verify: bool) -> bytes:
-    """Read a committed row log, optionally verifying its checksum."""
-    path = directory / meta.log_filename
+def _read_payload(directory: Path, meta: SegmentMeta, *,
+                  verify: bool) -> bytes:
+    """Read a segment's durable artifact, optionally verifying its checksum.
+
+    The artifact is the JSONL row log for row-oriented segments and the
+    packed columnar payload for columnar ones — either way the bytes that
+    the manifest's sha256 covers.
+    """
+    path = directory / meta.data_filename
     try:
         payload = path.read_bytes()
     except FileNotFoundError:
         raise StoreCorruptionError(
-            f"segment {meta.name!r} is in the manifest but its row log "
-            f"{path} is missing") from None
+            f"segment {meta.name!r} is in the manifest but its "
+            f"{meta.format} data file {path} is missing") from None
     if verify and hashlib.sha256(payload).hexdigest() != meta.sha256:
         raise StoreCorruptionError(
-            f"segment {meta.name!r} row log does not match its manifest "
-            f"checksum — the store is corrupt")
+            f"segment {meta.name!r} {meta.format} data does not match its "
+            f"manifest checksum — the store is corrupt")
     return payload
 
 
 def verify_segment(directory: Path, meta: SegmentMeta) -> None:
-    """Check one committed segment's row log against its manifest checksum.
+    """Check one committed segment's data file against its manifest checksum.
 
-    Raises :class:`StoreCorruptionError` when the log is missing or does not
-    hash to the manifest's sha256.
+    Raises :class:`StoreCorruptionError` when the file is missing or does
+    not hash to the manifest's sha256.
     """
-    _read_log(directory, meta, verify=True)
+    _read_payload(directory, meta, verify=True)
+
+
+def _unpack_columnar(payload: bytes, meta: SegmentMeta,
+                     kind: RowKind) -> dict[str, np.ndarray]:
+    """Decode a columnar payload, mapping codec errors to corruption."""
+    try:
+        return columnar.unpack_columns(payload, kind,
+                                       expected_rows=meta.rows)
+    except (ValueError, TypeError, KeyError) as error:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} columnar payload is corrupt: {error}"
+        ) from None
 
 
 def load_rows(directory: Path, meta: SegmentMeta, *,
               verify: bool = False) -> list[dict]:
-    """Load a committed segment's rows from its JSONL log."""
-    payload = _read_log(directory, meta, verify=verify)
+    """Load a committed segment's rows, whichever format it was sealed in.
+
+    JSONL segments parse their row log; columnar segments pivot their
+    column arrays back into plain-scalar dicts (:func:`rows_from_columns`),
+    which compare ``==`` to the dicts the equivalent JSONL rows parse to.
+    """
+    payload = _read_payload(directory, meta, verify=verify)
+    if meta.is_columnar:
+        from repro.store.schema import kind_for
+
+        kind = kind_for(meta.kind)
+        return rows_from_columns(kind, _unpack_columnar(payload, meta, kind))
     rows = [json.loads(line) for line in payload.splitlines() if line]
     if len(rows) != meta.rows:
         raise StoreCorruptionError(
@@ -237,6 +355,12 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     With ``verify`` the row log itself is checksummed too, even when the
     cache is valid — the paranoid mode for auditing a copied store.
 
+    Columnar segments skip all of that: their durable artifact already *is*
+    the column payload, so a load is one read plus zero-copy
+    ``frombuffer`` views — a malformed payload raises
+    :class:`StoreCorruptionError` outright (there is no row log to rebuild
+    from; the checksummed file itself is the source of truth).
+
     With ``mmap`` the columns come back memory-mapped read-only from a
     per-column ``.npy`` sidecar directory (npz archives cannot be mapped):
     the sidecar is materialised once per segment and checksum-tagged like
@@ -245,8 +369,11 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     """
     if mmap:
         return _load_columns_mmap(directory, meta, kind, verify=verify)
+    if meta.is_columnar:
+        payload = _read_payload(directory, meta, verify=verify)
+        return _unpack_columnar(payload, meta, kind)
     if verify:
-        _read_log(directory, meta, verify=True)
+        _read_payload(directory, meta, verify=True)
     path = directory / meta.cache_filename
     if path.exists():
         try:
@@ -261,6 +388,9 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
                         return columns
         except (OSError, ValueError, KeyError):
             pass  # fall through to a rebuild from the row log
+    # Rebuild from the row log; load_rows re-verifies the row count against
+    # meta.rows and raises StoreCorruptionError on mismatch, so a stale or
+    # misshapen cache can never be silently replaced by equally-wrong data.
     rows = load_rows(directory, meta, verify=verify)
     columns = build_columns(kind, rows)
     _write_cache(path, meta.sha256, columns)
@@ -289,13 +419,16 @@ def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     The marker file is written *last*, so a crash mid-materialisation leaves
     a sidecar without a valid marker and the next open rebuilds it; a stale
     sidecar (marker not matching the manifest checksum) is rebuilt the same
-    way.  ``verify`` checksums the row log exactly like the in-memory path —
-    including when a valid sidecar lets the load skip the log entirely.  The
+    way, and so is one whose arrays do not all hold exactly ``meta.rows``
+    values (e.g. a sidecar truncated after its marker was written) — the
+    same row-count audit the in-memory cache path applies.  ``verify``
+    checksums the durable data file exactly like the in-memory path —
+    including when a valid sidecar lets the load skip it entirely.  The
     arrays come back identical to the in-memory path — only their backing
     store differs — which ``tests/test_store.py`` asserts query by query.
     """
     if verify:
-        _read_log(directory, meta, verify=True)
+        _read_payload(directory, meta, verify=True)
     sidecar = mmap_sidecar_dir(directory, meta)
     marker = sidecar / MMAP_MARKER
     valid = False
@@ -305,21 +438,30 @@ def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
         pass
     if valid:
         try:
-            return {
+            columns = {
                 column.name: np.load(sidecar / f"{column.name}.npy",
                                      mmap_mode="r")
                 for column in kind.columns
             }
+            if all(a.shape == (meta.rows,) for a in columns.values()):
+                return columns
         except (OSError, ValueError):
-            valid = False  # torn sidecar: fall through to a rebuild
-    columns = load_columns(directory, meta, kind)  # log verified above
+            pass  # torn sidecar: fall through to a rebuild
+    columns = load_columns(directory, meta, kind)  # data verified above
     sidecar.mkdir(parents=True, exist_ok=True)
     for name, array in columns.items():
         buffer = io.BytesIO()
         np.save(buffer, array)
         atomic_write_bytes(sidecar / f"{name}.npy", buffer.getvalue())
     atomic_write_bytes(marker, (meta.sha256 + "\n").encode("utf-8"))
-    return {
+    mapped = {
         column.name: np.load(sidecar / f"{column.name}.npy", mmap_mode="r")
         for column in kind.columns
     }
+    for name, array in mapped.items():
+        if array.shape != (meta.rows,):
+            raise StoreCorruptionError(
+                f"segment {meta.name!r} sidecar column {name!r} holds "
+                f"{array.shape[0]} values after a rebuild, manifest says "
+                f"{meta.rows}")
+    return mapped

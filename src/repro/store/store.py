@@ -5,10 +5,11 @@ Layout on disk::
     campaign.store/
       MANIFEST.json          # the only mutable file; updated atomically
       segments/
-        executions-000001.jsonl   # immutable row log (source of truth)
-        executions-000001.npz     # derived column cache (rebuildable)
-        models-000002.jsonl
-        ...
+        executions-000001.jsonl    # immutable row log (source of truth)
+        executions-000001.npz      # derived column cache (rebuildable)
+        fleet_events-000002.colseg # packed columnar segment (format v3;
+        ...                        # the payload itself is the checksummed
+                                   # durable artifact)
 
 The manifest is the commit point: a segment exists for readers if and only if
 it is listed there.  Both segment seals and manifest updates are atomic
@@ -38,11 +39,17 @@ __all__ = ["ResultStore", "StoreCorruptionError"]
 
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
-#: Bumped whenever a row kind's required columns change, so stores written
-#: by an older build fail the version gate with a clear error instead of a
-#: KeyError deep inside a column scan (v2: fleet_events gained
-#: region/wait_ms and the shed/queued targets).
-FORMAT_VERSION = 2
+#: Bumped whenever the on-disk contract changes, so stores written by a
+#: *newer* build fail an older build's version gate with a clear error
+#: instead of a KeyError deep inside a column scan (v2: fleet_events gained
+#: region/wait_ms and the shed/queued targets; v3: segments may be sealed
+#: in the packed binary columnar format next to JSONL ones).
+FORMAT_VERSION = 3
+
+#: Manifest versions this build reads.  v2 stores are a strict subset of v3
+#: (every v2 segment is a JSONL segment), so they open unchanged; the
+#: manifest is rewritten at version 3 on the next commit.
+READABLE_VERSIONS = (2, FORMAT_VERSION)
 
 
 class ResultStore:
@@ -89,10 +96,10 @@ class ResultStore:
         except FileNotFoundError:
             return
         version = data.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in READABLE_VERSIONS:
             raise StoreCorruptionError(
                 f"store at {self.root} has format version {version!r}; "
-                f"this build reads version {FORMAT_VERSION}")
+                f"this build reads versions {READABLE_VERSIONS}")
         self._manifest = data
         self._segments = tuple(
             SegmentMeta.from_json(entry) for entry in data["segments"])
@@ -170,6 +177,32 @@ class ResultStore:
         """Committed row count, overall or for one kind."""
         return sum(meta.rows for meta in self._segments
                    if kind is None or meta.kind == kind)
+
+    def format_summary(self) -> dict[str, dict]:
+        """Per-kind segment format mix, row counts and on-disk bytes.
+
+        One entry per committed row kind:
+        ``{"segments": n, "rows": n, "bytes": n, "formats": {fmt: count}}``
+        where ``bytes`` sums every file each segment owns on disk (row log +
+        column cache for JSONL segments, the packed payload for columnar
+        ones; missing derived files count as 0).  The ``store info`` CLI
+        prints this so operators can see what a campaign actually wrote.
+        """
+        summary: dict[str, dict] = {}
+        for meta in self._segments:
+            entry = summary.setdefault(meta.kind, {
+                "segments": 0, "rows": 0, "bytes": 0, "formats": {}})
+            entry["segments"] += 1
+            entry["rows"] += meta.rows
+            entry["formats"][meta.format] = \
+                entry["formats"].get(meta.format, 0) + 1
+            for filename in meta.filenames:
+                try:
+                    entry["bytes"] += (self.segments_dir / filename
+                                       ).stat().st_size
+                except FileNotFoundError:
+                    pass  # derived caches may legitimately be absent
+        return summary
 
     # ------------------------------------------------------------------ #
     # Reads

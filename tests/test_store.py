@@ -790,3 +790,483 @@ class TestFleetLoadCompaction:
         assert east[0] == (1 + 11) * 2
         assert east[1] == (21 + 31) * 2
         assert east[2] == (41 * 2) + 51
+
+
+class TestColumnarSegments:
+    """Format v3: packed columnar segments, batch ingestion, mixed stores."""
+
+    @pytest.fixture()
+    def batch_columns(self, results):
+        from repro.store.schema import execution_results_to_columns
+
+        return execution_results_to_columns(results)
+
+    @pytest.fixture()
+    def columnar(self, tmp_path, batch_columns):
+        """A store holding ``results`` as columnar segments."""
+        store = ResultStore(tmp_path / "columnar.store")
+        with store.writer(rows_per_segment=4) as writer:
+            writer.append_batch("executions", batch_columns)
+        return store
+
+    def test_batch_seals_columnar_segments(self, columnar, results):
+        from repro.store.segment import FORMAT_COLUMNAR
+
+        segments = columnar.segments_for("executions")
+        assert segments and all(m.format == FORMAT_COLUMNAR for m in segments)
+        assert sum(m.rows for m in segments) == len(results)
+        for meta in segments:
+            assert (columnar.segments_dir / meta.data_filename).exists()
+            assert not (columnar.segments_dir / meta.log_filename).exists()
+        assert columnar.verify_integrity() == len(segments)
+
+    def test_queries_bit_identical_to_jsonl(self, populated, columnar, results):
+        assert columnar.query("executions").rows() \
+            == populated.query("executions").rows()
+        assert ResultStore(columnar.root).query("executions").objects() \
+            == results
+        agg = lambda s: (s.query("executions")  # noqa: E731
+                         .group_by("device_name", "backend")
+                         .agg(n=("latency_ms", "count"),
+                              mean_ms=("latency_ms", "mean"),
+                              p99=("latency_ms", "p99"))
+                         .aggregate())
+        assert agg(columnar) == agg(populated)
+        arrays_a = columnar.query("executions").arrays()
+        arrays_b = populated.query("executions").arrays()
+        for name, array in arrays_a.items():
+            assert np.array_equal(array, arrays_b[name])
+            assert array.dtype == arrays_b[name].dtype
+
+    def test_pushdown_works_on_columnar_stats(self, columnar):
+        """Columnar segments carry the same pruning stats as JSONL ones."""
+        assert all(m.stats for m in columnar.segments_for("executions"))
+        query = columnar.query("executions").where(device_name="NOPE")
+        assert query.objects() == []
+        assert query.stats.segments_skipped == query.stats.segments_total
+
+    def test_serving_identical_across_formats(self, populated, columnar):
+        assert ReportServer(columnar).latency_ecdf_by_device() \
+            == ReportServer(populated).latency_ecdf_by_device()
+        assert ReportServer(columnar).energy_distributions() \
+            == ReportServer(populated).energy_distributions()
+
+    def test_mixed_mode_appends_preserve_order(self, tmp_path, results):
+        from repro.store.schema import (execution_result_to_row,
+                                        execution_results_to_columns)
+
+        store = ResultStore(tmp_path / "mixed.store")
+        with store.writer(rows_per_segment=1000) as writer:
+            writer.append_batch(
+                "executions", execution_results_to_columns(results[:3]))
+            writer.append_row(
+                "executions", execution_result_to_row(results[3]))
+            writer.append_batch(
+                "executions", execution_results_to_columns(results[4:]))
+        assert store.query("executions").objects() == results
+        formats = [m.format for m in store.segments_for("executions")]
+        assert formats == ["columnar", "jsonl", "columnar"]
+
+    def test_append_batch_validation(self, tmp_path, batch_columns):
+        store = ResultStore(tmp_path / "v.store")
+        with store.writer() as writer:
+            incomplete = dict(batch_columns)
+            del incomplete["latency_ms"]
+            with pytest.raises(ValueError, match="missing columns"):
+                writer.append_batch("executions", incomplete)
+            extra = dict(batch_columns, bogus=batch_columns["latency_ms"])
+            with pytest.raises(ValueError, match="unknown columns"):
+                writer.append_batch("executions", extra)
+            ragged = dict(batch_columns,
+                          latency_ms=batch_columns["latency_ms"][:-1])
+            with pytest.raises(ValueError, match="holds"):
+                writer.append_batch("executions", ragged)
+            with pytest.raises(ValueError, match="1-D"):
+                writer.append_batch("executions", dict(
+                    batch_columns,
+                    latency_ms=batch_columns["latency_ms"].reshape(-1, 1)))
+            assert writer.append_batch("executions", {
+                name: array[:0] for name, array in batch_columns.items()
+            }) == 0
+        writer = store.writer()
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.append_batch("executions", batch_columns)
+
+    def test_crash_mid_seal_columnar_is_invisible(self, columnar, results,
+                                                  batch_columns):
+        """Marker/manifest ordering: sealed-but-uncommitted payloads hide."""
+        from repro.store.columnar import pack_columns
+        from repro.store.schema import kind_for
+
+        committed = columnar.query("executions").objects()
+        # A fully sealed columnar payload with no manifest entry (crash after
+        # the atomic rename, before the manifest commit)...
+        orphan = columnar.segments_dir / "executions-000099.colseg"
+        orphan.write_bytes(pack_columns(kind_for("executions"), batch_columns))
+        # ...and a torn tmp file (crash mid-write, before the rename).
+        (columnar.segments_dir / "executions-000100.colseg.tmp").write_bytes(
+            b"RCS1\x00\x00")
+        reopened = ResultStore(columnar.root)
+        assert reopened.query("executions").objects() == committed == results
+
+    def test_reopen_serves_committed_batch_prefix(self, tmp_path, results):
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "p.store")
+        writer = store.writer(rows_per_segment=10 ** 6)
+        writer.append_batch("executions",
+                            execution_results_to_columns(results[:4]))
+        writer.flush()
+        writer.append_batch("executions",
+                            execution_results_to_columns(results[4:]))
+        del writer  # crash: buffered tail chunks never sealed
+        reopened = ResultStore(tmp_path / "p.store")
+        assert reopened.query("executions").objects() == results[:4]
+
+    def test_columnar_corruption_detected(self, columnar):
+        meta = columnar.segments_for("executions")[0]
+        path = columnar.segments_dir / meta.data_filename
+        payload = bytearray(path.read_bytes())
+        payload[-3] ^= 0xFF  # flip a byte inside the last column buffer
+        path.write_bytes(bytes(payload))
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(columnar.root).verify_integrity()
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(columnar.root, verify=True).query(
+                "executions").objects()
+        # Structural damage (truncation) is caught even without verify —
+        # there is no row log to rebuild a columnar segment from.
+        path.write_bytes(bytes(payload[: len(payload) // 2]))
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(columnar.root).query("executions").objects()
+
+    def test_mmap_over_columnar_identical(self, columnar, results):
+        mapped = ResultStore(columnar.root, mmap=True)
+        for meta in columnar.segments:
+            for name, array in columnar.columns_for(meta).items():
+                mirrored = mapped.columns_for(meta)[name]
+                assert isinstance(mirrored, np.memmap)
+                assert np.array_equal(np.asarray(mirrored), array)
+        assert mapped.query("executions").objects() == results
+
+    def test_v2_manifest_still_opens(self, populated, results):
+        """A pre-columnar (format_version 2) manifest reads unchanged."""
+        manifest_path = populated.manifest_path
+        data = json.loads(manifest_path.read_text())
+        data["format_version"] = 2
+        for entry in data["segments"]:
+            entry.pop("format", None)  # v2 entries never carried the key
+        manifest_path.write_text(json.dumps(data))
+        reopened = ResultStore(populated.root)
+        assert reopened.query("executions").objects() == results
+        # The next commit rewrites the manifest at version 3.
+        with reopened.writer() as writer:
+            writer.append(results[0])
+        assert json.loads(manifest_path.read_text())["format_version"] == 3
+
+    def test_unreadable_version_rejected(self, populated):
+        data = json.loads(populated.manifest_path.read_text())
+        data["format_version"] = 99
+        populated.manifest_path.write_text(json.dumps(data))
+        with pytest.raises(StoreCorruptionError, match="format version"):
+            ResultStore(populated.root)
+
+    def test_format_summary(self, tmp_path, results, batch_columns):
+        from repro.store.schema import execution_result_to_row
+
+        store = ResultStore(tmp_path / "s.store")
+        with store.writer(rows_per_segment=1000) as writer:
+            writer.append_batch("executions", batch_columns)
+            writer.append_row("executions",
+                              execution_result_to_row(results[0]))
+        summary = store.format_summary()
+        entry = summary["executions"]
+        assert entry["segments"] == 2
+        assert entry["rows"] == len(results) + 1
+        assert entry["formats"] == {"columnar": 1, "jsonl": 1}
+        assert entry["bytes"] > 0
+
+
+class TestMixedFormatCompaction:
+    @pytest.fixture()
+    def mixed(self, tmp_path, results):
+        """One kind split across several v2 JSONL and v3 columnar segments."""
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "mixed.store")
+        with store.writer(rows_per_segment=3) as writer:
+            for result in results[:5]:
+                writer.append(result)
+        with store.writer(rows_per_segment=2) as writer:
+            writer.append_batch("executions",
+                                execution_results_to_columns(results[5:]))
+        formats = {m.format for m in store.segments_for("executions")}
+        assert formats == {"jsonl", "columnar"}
+        return store
+
+    def test_compact_converges_to_columnar(self, mixed, results):
+        from repro.store import compact_store
+
+        before_rows = mixed.query("executions").rows()
+        before_agg = (mixed.query("executions")
+                      .group_by("device_name", "backend")
+                      .agg(n=("latency_ms", "count"),
+                           mean_ms=("latency_ms", "mean"))
+                      .aggregate())
+        stats = compact_store(mixed)
+        assert stats.kinds_compacted == ("executions",)
+        (meta,) = mixed.segments_for("executions")
+        assert meta.format == "columnar"
+        reopened = ResultStore(mixed.root)
+        assert reopened.query("executions").rows() == before_rows
+        assert reopened.query("executions").objects() == results
+        assert (reopened.query("executions")
+                .group_by("device_name", "backend")
+                .agg(n=("latency_ms", "count"),
+                     mean_ms=("latency_ms", "mean"))
+                .aggregate()) == before_agg
+        assert reopened.verify_integrity() == len(reopened.segments)
+
+    def test_compact_forced_jsonl(self, mixed, results):
+        from repro.store import compact_store
+
+        compact_store(mixed, output_format="jsonl")
+        (meta,) = mixed.segments_for("executions")
+        assert meta.format == "jsonl"
+        assert ResultStore(mixed.root).query("executions").objects() == results
+
+    def test_pure_jsonl_kind_stays_jsonl(self, populated, results):
+        from repro.store import compact_store
+
+        compact_store(populated)
+        (meta,) = populated.segments_for("executions")
+        assert meta.format == "jsonl"
+        assert populated.query("executions").objects() == results
+
+    def test_format_conversion_without_oversharding(self, populated, results):
+        """--format columnar rewrites even when segment counts are at target."""
+        from repro.store import compact_store
+
+        compact_store(populated)  # one jsonl segment
+        stats = compact_store(populated, output_format="columnar")
+        assert stats.kinds_compacted == ("executions",)
+        (meta,) = populated.segments_for("executions")
+        assert meta.format == "columnar"
+        assert populated.query("executions").objects() == results
+
+    def test_compact_rejects_unknown_format(self, mixed):
+        from repro.store import compact_store
+
+        with pytest.raises(ValueError):
+            compact_store(mixed, output_format="parquet")
+
+
+class TestExport:
+    def test_round_trip_both_directions(self, tmp_path, results):
+        from repro.store import export_store
+        from repro.store.schema import execution_results_to_columns
+
+        source = ResultStore(tmp_path / "src.store")
+        with source.writer(rows_per_segment=4) as writer:
+            writer.append_batch("executions",
+                                execution_results_to_columns(results))
+        stats = export_store(source, tmp_path / "jsonl.store")
+        assert stats.output_format == "jsonl"
+        assert stats.rows == len(results)
+        exported = ResultStore(tmp_path / "jsonl.store")
+        assert all(m.format == "jsonl" for m in exported.segments)
+        assert exported.query("executions").objects() == results
+        assert exported.query("executions").rows() \
+            == source.query("executions").rows()
+        # Segment boundaries mirror the source by default.
+        assert [m.rows for m in exported.segments] \
+            == [m.rows for m in source.segments]
+
+        back = export_store(exported, tmp_path / "col.store",
+                            output_format="columnar", rows_per_segment=5)
+        assert back.rows == len(results)
+        converted = ResultStore(tmp_path / "col.store")
+        assert all(m.format == "columnar" for m in converted.segments)
+        assert converted.query("executions").objects() == results
+        assert converted.verify_integrity() == len(converted.segments)
+
+    def test_export_refuses_nonempty_destination(self, tmp_path, populated):
+        from repro.store import export_store
+
+        with pytest.raises(ValueError, match="never merge"):
+            export_store(populated, populated.root)
+
+    def test_export_kind_filter_and_validation(self, tmp_path, populated):
+        from repro.store import export_store
+
+        with pytest.raises(KeyError):
+            export_store(populated, tmp_path / "x.store", kinds=["nope"])
+        with pytest.raises(ValueError):
+            export_store(populated, tmp_path / "x.store",
+                         output_format="csv")
+        stats = export_store(populated, tmp_path / "k.store",
+                             kinds=["executions"], rows_per_segment=100)
+        assert stats.kinds == ("executions",)
+        assert ResultStore(tmp_path / "k.store").num_rows("executions") \
+            == populated.num_rows("executions")
+
+
+class TestCacheAudit:
+    """Satellite: stale/truncated derived caches must never serve bad rows."""
+
+    def test_misshapen_npz_cache_rebuilt_not_served(self, populated, results):
+        from repro.store.segment import _write_cache
+
+        meta = populated.segments_for("executions")[0]
+        cache = populated.segments_dir / meta.cache_filename
+        good = ResultStore(populated.root).columns_for(meta)
+        truncated = {name: np.asarray(a)[:-1] for name, a in good.items()}
+        _write_cache(cache, meta.sha256, truncated)  # valid tag, wrong shape
+        reopened = ResultStore(populated.root)
+        loaded = reopened.columns_for(meta)
+        for name, array in good.items():
+            assert np.array_equal(loaded[name], np.asarray(array))
+        assert reopened.query("executions").objects() == results
+
+    def test_truncated_log_raises_not_silently_rebuilds(self, populated):
+        """A cacheless segment whose log lost rows is corruption, not data."""
+        meta = populated.segments_for("executions")[0]
+        log = populated.segments_dir / meta.log_filename
+        lines = log.read_bytes().splitlines()
+        log.write_bytes(b"\n".join(lines[:-1]) + b"\n")
+        (populated.segments_dir / meta.cache_filename).unlink()
+        with pytest.raises(StoreCorruptionError, match="rows"):
+            ResultStore(populated.root).columns_for(meta)
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(populated.root, mmap=True).columns_for(meta)
+
+    def test_truncated_mmap_sidecar_with_valid_marker_rebuilt(self, populated,
+                                                              results):
+        import io as io_module
+
+        from repro.store.segment import atomic_write_bytes, mmap_sidecar_dir
+
+        mapped = ResultStore(populated.root, mmap=True)
+        meta = mapped.segments[0]
+        good = {name: np.asarray(a).copy()
+                for name, a in mapped.columns_for(meta).items()}
+        sidecar = mmap_sidecar_dir(mapped.segments_dir, meta)
+        marker = (sidecar / "LOG_SHA256").read_text()
+        # Truncate one column's sidecar while the marker stays valid — the
+        # stale-sidecar case the row-count audit exists for.
+        buffer = io_module.BytesIO()
+        np.save(buffer, good["latency_ms"][:-2])
+        atomic_write_bytes(sidecar / "latency_ms.npy", buffer.getvalue())
+        assert (sidecar / "LOG_SHA256").read_text() == marker
+
+        reopened = ResultStore(populated.root, mmap=True)
+        loaded = reopened.columns_for(meta)
+        for name, array in good.items():
+            assert loaded[name].shape == (meta.rows,)
+            assert np.array_equal(np.asarray(loaded[name]), array)
+        assert reopened.query("executions").objects() == results
+
+
+class TestColumnarHardening:
+    """Review follow-ups: header corruption and segment-size bounds."""
+
+    @pytest.fixture()
+    def columnar(self, tmp_path, results):
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "h.store")
+        with store.writer(rows_per_segment=4) as writer:
+            writer.append_batch("executions",
+                                execution_results_to_columns(results))
+        return store
+
+    def test_corrupt_header_fields_detected_without_verify(self, columnar,
+                                                           results):
+        """Garbled-but-valid-JSON headers raise StoreCorruptionError, not
+        raw TypeError/KeyError/ZeroDivisionError."""
+        meta = columnar.segments_for("executions")[0]
+        path = columnar.segments_dir / meta.data_filename
+        raw = path.read_bytes()
+        attacks = (
+            raw.replace(b'"<f8"', b'"<x8"'),   # invalid dtype string
+            raw.replace(b'"<f8"', b'"<U0"'),   # zero-itemsize dtype
+            raw.replace(b'"nbytes"', b'"nbXtes"'),  # missing entry key
+        )
+        for attack in attacks:
+            assert attack != raw, "attack did not change the payload"
+            path.write_bytes(attack)
+            with pytest.raises(StoreCorruptionError):
+                ResultStore(columnar.root).query("executions").rows()
+        path.write_bytes(raw)
+        assert ResultStore(columnar.root).query("executions").objects() \
+            == results
+
+    def test_batch_segments_respect_rows_per_segment(self, tmp_path, results):
+        """One oversized batch splits into rows_per_segment slices."""
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "sz.store")
+        with store.writer(rows_per_segment=3) as writer:
+            writer.append_batch("executions",
+                                execution_results_to_columns(results))
+            # The auto-trigger sealed only full slices; the tail is pending.
+            assert writer.rows_pending == len(results) % 3
+        sizes = [m.rows for m in store.segments_for("executions")]
+        assert sizes[:-1] == [3] * (len(sizes) - 1)
+        assert all(size <= 3 for size in sizes)
+        assert sum(sizes) == len(results)
+        assert store.query("executions").objects() == results
+
+    def test_many_small_batches_coalesce_to_full_segments(self, tmp_path,
+                                                          results):
+        """Sub-threshold batches buffer and seal at exactly the target size."""
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "co.store")
+        with store.writer(rows_per_segment=4) as writer:
+            for result in results:  # one-row batches
+                writer.append_batch(
+                    "executions", execution_results_to_columns([result]))
+        sizes = [m.rows for m in store.segments_for("executions")]
+        assert sizes[:-1] == [4] * (len(sizes) - 1)
+        assert sum(sizes) == len(results)
+        assert store.query("executions").objects() == results
+
+    def test_append_batch_does_not_alias_caller_buffers(self, tmp_path,
+                                                        results):
+        """Mutating an array after append_batch must not change sealed data."""
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "alias.store")
+        # Writable arrays, as an external producer reusing buffers would pass
+        # (the simulators' own column_batch outputs come pre-frozen instead).
+        batch = {name: array.copy() for name, array
+                 in execution_results_to_columns(results).items()}
+        assert batch["latency_ms"].flags.writeable
+        expected = batch["latency_ms"].copy()
+        with store.writer(rows_per_segment=10 ** 6) as writer:
+            writer.append_batch("executions", batch)
+            batch["latency_ms"][:] = -1.0  # producer reuses its buffer
+        sealed = store.query("executions").arrays("latency_ms")["latency_ms"]
+        assert np.array_equal(sealed, expected)
+
+    def test_readonly_view_of_writable_base_still_copied(self, tmp_path,
+                                                         results):
+        """flags.writeable alone is not trusted: a read-only view whose base
+        is writable can still change under the writer, so it gets copied."""
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "view.store")
+        batch = {name: array.copy() for name, array
+                 in execution_results_to_columns(results).items()}
+        base = batch["latency_ms"]  # writable base the producer keeps
+        expected = base.copy()
+        view = base[:]
+        view.setflags(write=False)
+        batch["latency_ms"] = view
+        with store.writer(rows_per_segment=10 ** 6) as writer:
+            writer.append_batch("executions", batch)
+            base[:] = 777.0  # mutate through the base before the seal
+        sealed = store.query("executions").arrays("latency_ms")["latency_ms"]
+        assert np.array_equal(sealed, expected)
