@@ -26,6 +26,12 @@ Four subcommands mirror the paper's workflow:
                   results store and reported from it; ``--cloud-capacity``
                   resolves cross-user interference on shared regional cloud
                   capacity to a damped deterministic fixed point.
+* ``campaign``  — out-of-core sharded campaigns: split a fleet population
+                  into contiguous user-range shards, simulate each shard in
+                  its own process into a shard-local store, then merge by
+                  segment adoption + exact demand-grid addition into one
+                  queryable store (bit-identical to an unsharded run for
+                  any shard count).
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
 
@@ -43,6 +49,9 @@ Example::
         --store fleet.store
     python -m repro.cli store report fleet.store --table cloud_load
     python -m repro.cli store compact fleet.store
+    python -m repro.cli campaign run --users 100000 --shards 8 \
+        --store campaign.dir --compress
+    python -m repro.cli store merge merged.store shard0.store shard1.store
 """
 
 from __future__ import annotations
@@ -391,12 +400,14 @@ def cmd_store_info(args: argparse.Namespace) -> int:
               f"{meta.rows:>7} rows  sha256 {meta.sha256[:12]}")
     summary = store.format_summary()
     if summary:
-        print(f"\n{'kind':<14}{'segments':>9}{'rows':>10}{'on-disk':>12}  formats")
+        print(f"\n{'kind':<14}{'segments':>9}{'rows':>10}{'on-disk':>12}"
+              f"{'sidecars':>12}  formats")
         for kind_name, entry in summary.items():
             mix = ", ".join(f"{count} {fmt}" for fmt, count
                             in sorted(entry["formats"].items()))
             print(f"{kind_name:<14}{entry['segments']:>9}{entry['rows']:>10}"
-                  f"{entry['bytes'] / 1e6:>10.2f}MB  {mix}")
+                  f"{entry['bytes'] / 1e6:>10.2f}MB"
+                  f"{entry['sidecar_bytes'] / 1e6:>10.2f}MB  {mix}")
     if args.verify:
         verified = store.verify_integrity()
         print(f"verified {verified} segment checksums: OK")
@@ -411,13 +422,19 @@ def cmd_store_export(args: argparse.Namespace) -> int:
         stats = export_store(args.path, args.dest,
                              output_format=args.format,
                              rows_per_segment=args.rows_per_segment,
-                             kinds=args.kinds or None)
+                             kinds=args.kinds or None,
+                             compress=args.compress)
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"exported {stats.rows} rows ({', '.join(stats.kinds) or 'no kinds'}) "
           f"into {args.dest} as {stats.segments} {stats.output_format} "
           f"segments")
+    delta = stats.source_bytes - stats.output_bytes
+    print(f"  {stats.source_bytes / 1e6:.2f} MB -> "
+          f"{stats.output_bytes / 1e6:.2f} MB "
+          f"({'reclaimed' if delta >= 0 else 'grew by'} "
+          f"{abs(delta) / 1e6:.2f} MB)")
     if args.verify:
         verified = ResultStore(args.dest).verify_integrity()
         print(f"verified {verified} segment checksums: OK")
@@ -429,7 +446,8 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
     store = ResultStore(args.path)
     stats = compact_store(store, rows_per_segment=args.rows_per_segment,
                           kinds=args.kinds or None,
-                          output_format=args.format)
+                          output_format=args.format,
+                          compress=args.compress)
     if not stats.kinds_compacted:
         print(f"nothing to compact: {stats.segments_before} segments already "
               f"at target layout")
@@ -437,10 +455,66 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
     print(f"compacted {', '.join(stats.kinds_compacted)}: "
           f"{stats.segments_before} -> {stats.segments_after} segments "
           f"({stats.rows_rewritten} rows rewritten, "
-          f"{stats.files_removed} files removed)")
+          f"{stats.files_removed} files removed, "
+          f"{'reclaimed' if stats.bytes_reclaimed >= 0 else 'grew by'} "
+          f"{abs(stats.bytes_reclaimed) / 1e6:.2f} MB)")
     if args.verify:
         verified = store.verify_integrity()
         print(f"verified {verified} segment checksums: OK")
+    return 0
+
+
+def cmd_store_merge(args: argparse.Namespace) -> int:
+    """Adopt source stores' segments into a destination, one commit."""
+    from repro.store import merge_stores
+
+    try:
+        stats = merge_stores(ResultStore(args.dest), args.sources,
+                             kinds=args.kinds or None, verify=args.verify)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"merged {stats.sources} stores into {args.dest}: "
+          f"{stats.segments_adopted} segments adopted "
+          f"({stats.rows_adopted} rows; {stats.files_linked} hard-linked, "
+          f"{stats.files_copied} copied; "
+          f"kinds: {', '.join(stats.kinds) or 'none'})")
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Sharded out-of-core campaign: simulate, adopt, add, report."""
+    from repro.campaign import campaign_spec, run_campaign
+
+    try:
+        spec = campaign_spec(args.workload, args.users, seed=args.seed,
+                             horizon_s=args.hours * 3600.0)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"campaign: {spec.num_users} users over {args.hours:g} h, "
+          f"{args.shards} shards ({args.workload} workload"
+          f"{', compressed' if args.compress else ''})")
+    try:
+        result = run_campaign(
+            spec, args.store, shards=args.shards,
+            bin_seconds=args.bin_minutes * 60.0,
+            rows_per_segment=args.rows_per_segment,
+            compress=args.compress, max_parallel=args.max_parallel)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for shard in result.shard_results:
+        print(f"  shard {shard.shard_index:>4}: {shard.users} users, "
+              f"{shard.events} events ({shard.offloaded} offloaded) "
+              f"in {shard.seconds:.1f}s, {shard.segments} segments")
+    merge = result.merge
+    print(f"simulated {result.events} events in "
+          f"{result.simulate_seconds:.1f}s; merged "
+          f"{merge.segments_adopted} segments "
+          f"({merge.files_linked} linked, {merge.files_copied} copied) "
+          f"in {result.merge_seconds:.1f}s")
+    print(f"merged store: {result.store_root}")
     return 0
 
 
@@ -764,6 +838,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seal the merged segments in this format "
                               "(default: converge each kind to columnar if "
                               "any of its segments already is)")
+    compact.add_argument("--compress", action="store_true",
+                         help="zlib-compress the rewritten columnar "
+                              "segments' column sections")
     compact.add_argument("--verify", action="store_true",
                          help="verify every segment checksum afterwards")
     compact.set_defaults(func=cmd_store_compact)
@@ -782,9 +859,25 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--kinds", nargs="*", default=[],
                         choices=sorted(ROW_KINDS),
                         help="row kinds to export (default: all)")
+    export.add_argument("--compress", action="store_true",
+                        help="zlib-compress columnar output's column "
+                             "sections")
     export.add_argument("--verify", action="store_true",
                         help="verify every destination checksum afterwards")
     export.set_defaults(func=cmd_store_export)
+
+    merge = store_sub.add_parser(
+        "merge", help="adopt source stores' segments into a destination "
+                      "(hard links, one atomic commit, no row rewrite)")
+    merge.add_argument("dest", help="destination store directory")
+    merge.add_argument("sources", nargs="+",
+                       help="source store directories, in merge order")
+    merge.add_argument("--kinds", nargs="*", default=[],
+                       choices=sorted(ROW_KINDS),
+                       help="row kinds to adopt (default: all)")
+    merge.add_argument("--verify", action="store_true",
+                       help="verify each adopted segment's checksum")
+    merge.set_defaults(func=cmd_store_merge)
 
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)
@@ -837,6 +930,43 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cloud-max-passes", type=_positive_int, default=8,
                        help="iteration cap of the fixed point")
     fleet.set_defaults(func=cmd_fleet)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="out-of-core sharded campaigns over fleet "
+                         "populations")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="simulate a population sharded and merge into one store")
+    campaign_run.add_argument("--users", type=_positive_int, default=100000,
+                              help="size of the virtual population")
+    campaign_run.add_argument("--shards", type=_positive_int, default=8,
+                              help="contiguous user-range shards (output is "
+                                   "bit-identical for any value)")
+    campaign_run.add_argument("--store", required=True, metavar="DIR",
+                              help="campaign directory (shard stores + "
+                                   "merged.store)")
+    campaign_run.add_argument("--compress", action="store_true",
+                              help="zlib-compress sealed columnar segments")
+    campaign_run.add_argument("--workload", default="ambient",
+                              choices=("ambient", "zoo"),
+                              help="population workload: sparse ambient "
+                                   "checks (ecosystem scale) or the dense "
+                                   "zoo scenarios (small campaigns)")
+    campaign_run.add_argument("--hours", type=float, default=24.0,
+                              help="virtual-time horizon in hours")
+    campaign_run.add_argument("--seed", type=int, default=0,
+                              help="base seed of the per-user derived seeds")
+    campaign_run.add_argument("--rows-per-segment", type=_positive_int,
+                              default=65536,
+                              help="merged-event segment size")
+    campaign_run.add_argument("--bin-minutes", type=float, default=15.0,
+                              help="cloud demand-grid bin width")
+    campaign_run.add_argument("--max-parallel", type=_positive_int,
+                              default=None,
+                              help="concurrently running shard processes "
+                                   "(default: one per CPU)")
+    campaign_run.set_defaults(func=cmd_campaign_run)
 
     compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")
     compare.add_argument("--scale", type=float, default=0.05)

@@ -36,6 +36,25 @@ __all__ = ["LoadCell", "LoadProfile", "ServiceTable", "FIG15_API_NAMES",
 FIG15_API_NAMES: tuple[str, ...] = tuple(api.name for api in CLOUD_APIS)
 
 
+def _axis_indices(names: np.ndarray, axis: Sequence[str],
+                  label: str) -> np.ndarray:
+    """Map an array of axis names to their integer indices, vectorised.
+
+    A ``searchsorted`` over the sorted axis replaces a per-row dict lookup;
+    an unknown name raises :class:`KeyError` naming it, matching what the
+    scalar ``dict[name]`` lookup used to raise.
+    """
+    axis_array = np.asarray(axis, dtype=np.str_)
+    order = np.argsort(axis_array)
+    positions = np.searchsorted(axis_array[order], names)
+    positions = np.clip(positions, 0, axis_array.size - 1)
+    indices = order[positions]
+    bad = axis_array[indices] != names
+    if bad.any():
+        raise KeyError(f"unknown {label} {str(names[bad][0])!r}")
+    return indices
+
+
 @dataclass(frozen=True)
 class LoadCell:
     """One non-empty (region, API, time-bin) cell of a load profile."""
@@ -178,19 +197,28 @@ class LoadProfile:
 
         Pure addition over however many rows/segments the cells were split
         into — re-ingestion, segment splits and compaction all reconstruct
-        the identical grid.
+        the identical grid.  The accumulation is one vectorised
+        ``np.add.at`` scatter per grid (region/API names map to axis
+        indices via a sorted lookup), so rebuilding from millions of cells
+        costs no per-row Python loop.
         """
         profile = cls(regions, horizon_s, bin_seconds, apis=apis)
         arrays = store.query("fleet_load").where(
             "bin_seconds", "==", float(bin_seconds)).arrays(
             "region", "cloud_api", "bin_index", "requests", "payload_bytes")
-        for region, api, b, requests, payload in zip(
-                arrays["region"], arrays["cloud_api"], arrays["bin_index"],
-                arrays["requests"], arrays["payload_bytes"]):
-            r = profile._region_index[str(region)]
-            a = profile._api_index[str(api)]
-            profile.requests[r, a, int(b)] += int(requests)
-            profile.payload_bytes[r, a, int(b)] += int(payload)
+        if not arrays["bin_index"].size:
+            return profile
+        r = _axis_indices(arrays["region"], profile.regions, "region")
+        a = _axis_indices(arrays["cloud_api"], profile.apis, "cloud_api")
+        b = arrays["bin_index"].astype(np.intp)
+        if b.size and (b.min() < 0 or b.max() >= profile.num_bins):
+            raise ValueError(
+                "fleet_load rows hold bin indices outside the profile's "
+                "horizon")
+        np.add.at(profile.requests, (r, a, b),
+                  arrays["requests"].astype(np.int64))
+        np.add.at(profile.payload_bytes, (r, a, b),
+                  arrays["payload_bytes"].astype(np.int64))
         return profile
 
 

@@ -235,7 +235,8 @@ class FleetSpec:
     # Scenario pools (memoised — materialize() runs once per user, so the
     # per-spec derivations must not be recomputed on that hot path)
     # ------------------------------------------------------------------ #
-    _CACHE_ATTRS = ("_pool_cache", "_eligible_cache", "_backend_cache")
+    _CACHE_ATTRS = ("_pool_cache", "_eligible_cache", "_backend_cache",
+                    "_weights_cache")
 
     def __getstate__(self) -> dict:
         # Process-pool workers rebuild the memos; the backend cache is keyed
@@ -282,8 +283,21 @@ class FleetSpec:
     # User materialisation
     # ------------------------------------------------------------------ #
     def _device_weights(self) -> np.ndarray:
-        weights = np.array([TIER_WEIGHTS.get(d.tier, 1.0) for d in self.devices])
-        return weights / weights.sum()
+        """Tier-weighted device draw probabilities, memoised per spec.
+
+        ``materialize`` calls this once per user, so at campaign scale the
+        list comprehension + normalisation would dominate the fixed
+        per-user cost; the cached array is identical (same float ops), so
+        every RNG draw — and therefore every trace — is unchanged.
+        """
+        cached = getattr(self, "_weights_cache", None)
+        if cached is None:
+            weights = np.array(
+                [TIER_WEIGHTS.get(d.tier, 1.0) for d in self.devices])
+            cached = weights / weights.sum()
+            cached.setflags(write=False)
+            object.__setattr__(self, "_weights_cache", cached)
+        return cached
 
     def _backend_for(self, device: Device, graph: Graph) -> Backend:
         """:func:`preferred_backend`, memoised per (device, graph):

@@ -505,16 +505,31 @@ class FleetSimulator:
     def _simulate_chunk(self, user_ids: Sequence[int]) -> list[UserTrace]:
         return [self.simulate_user(user_id) for user_id in user_ids]
 
-    def iter_traces(self) -> Iterator[UserTrace]:
-        """Stream every user's trace in user-id order.
+    def iter_traces(self, user_range: Optional[tuple[int, int]] = None
+                    ) -> Iterator[UserTrace]:
+        """Stream users' traces in user-id order.
 
         Fans user shards out on the shared ordered pool; per-user seeds make
         the stream bit-identical for any worker count, chunk size or pool
         kind.  Nothing is retained after the caller consumes a trace.
+
+        ``user_range`` restricts the stream to the half-open id range
+        ``[lo, hi)`` — the campaign coordinator's sharding hook.  Because
+        every user materialises from a seed derived from their own id,
+        the traces of a range are bit-identical to the same ids' slice of
+        the full stream.
         """
+        if user_range is None:
+            lo, hi = 0, self.spec.num_users
+        else:
+            lo, hi = user_range
+            if not 0 <= lo <= hi <= self.spec.num_users:
+                raise ValueError(
+                    f"user_range {user_range!r} outside "
+                    f"[0, {self.spec.num_users}]")
         yield from iter_mapped_chunks(
             self._simulate_chunk,
-            range(self.spec.num_users),
+            range(lo, hi),
             max_workers=self.max_workers,
             chunk_size=self.chunk_size,
             use_processes=self.use_processes,
@@ -524,7 +539,8 @@ class FleetSimulator:
         """Every trace in user order (for in-memory analysis at small scales)."""
         return list(self.iter_traces())
 
-    def run_to_store(self, store, *, rows_per_segment: int = 8192) -> int:
+    def run_to_store(self, store, *, rows_per_segment: int = 8192,
+                     user_range: Optional[tuple[int, int]] = None) -> int:
         """Stream the whole simulation into a results store; returns the row count.
 
         ``store`` is a :class:`~repro.store.store.ResultStore` (or a path to
@@ -533,9 +549,10 @@ class FleetSimulator:
         round trip) in deterministic (user, time) order and committed in
         checksummed columnar ``fleet_events`` segments, so a crash loses at
         most the trailing partial segment; memory stays flat in the number
-        of events.  ``benchmarks/test_bench_ingest.py`` holds this path
-        >= 5x faster end-to-end than the per-row ingestion it replaced,
-        with bit-identical query results.
+        of events.  ``user_range`` restricts the run to a half-open user-id
+        range (see :meth:`iter_traces`).  ``benchmarks/test_bench_ingest.py``
+        holds this path >= 5x faster end-to-end than the per-row ingestion
+        it replaced, with bit-identical query results.
         """
         from repro.store.schema import kind_for
         from repro.store.store import ResultStore
@@ -544,6 +561,6 @@ class FleetSimulator:
             store = ResultStore(store)
         kind = kind_for("fleet_events")
         with store.writer(rows_per_segment=rows_per_segment) as writer:
-            for trace in self.iter_traces():
+            for trace in self.iter_traces(user_range):
                 writer.append_batch(kind, trace.column_batch())
         return writer.rows_committed

@@ -24,6 +24,7 @@ See the README's "Results store" section for the on-disk layout and usage.
 
 from repro.store.compact import CompactionStats, compact_store
 from repro.store.export import ExportStats, export_store
+from repro.store.merge import MergeStats, adopt_segments, merge_stores
 from repro.store.query import Query, QueryStats
 from repro.store.schema import ROW_KINDS, RowKind, kind_for
 from repro.store.segment import (FORMAT_COLUMNAR, FORMAT_JSONL, SegmentMeta,
@@ -48,6 +49,9 @@ __all__ = [
     "CompactionStats",
     "export_store",
     "ExportStats",
+    "merge_stores",
+    "adopt_segments",
+    "MergeStats",
     "FORMAT_JSONL",
     "FORMAT_COLUMNAR",
 ]

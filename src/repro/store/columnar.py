@@ -34,6 +34,23 @@ Either way a value read back compares bit-for-bit equal to the value
 written — the same exactness contract the JSONL format keeps via
 shortest-repr floats.
 
+A column entry may additionally carry ``"compression": "zlib"``: the
+column's buffer section (values table + codes for dict columns, the array
+memory for raw ones) is stored zlib-deflated, with ``"raw_nbytes"``
+recording the uncompressed section length and ``"nbytes"`` the stored
+(compressed) length.  Compression is chosen per column at pack time and
+only kept when it actually shrinks the section, so incompressible float
+noise stays raw (and zero-copy readable) while repetitive columns shrink.
+The segment checksum always covers the durable bytes — i.e. the
+*compressed* payload for compressed columns.
+
+Reads come in two flavours: :func:`unpack_columns` decodes every column
+eagerly into a plain dict, and :func:`open_columns` returns a lazy
+:class:`LazyColumns` mapping that decodes a column on first access — over
+an ``mmap`` buffer, raw uncompressed columns become true zero-copy views
+of the on-disk pages, which is what keeps queries over multi-gigabyte
+campaign stores memory-flat.
+
 This module is the pure codec: bytes in, arrays out.  File IO, checksums
 and manifest plumbing live in :mod:`repro.store.segment`; malformed input
 raises :class:`ValueError` here and is wrapped into
@@ -44,19 +61,28 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Mapping, Optional
+import zlib
+from typing import Iterator, Mapping, Optional
 
 import numpy as np
 
 from repro.store.schema import RowKind
 
 __all__ = ["COLUMNAR_MAGIC", "pack_columns", "unpack_columns",
-           "coerce_batch"]
+           "open_columns", "LazyColumns", "coerce_batch"]
 
 #: First four payload bytes of every columnar segment.
 COLUMNAR_MAGIC = b"RCS1"
 
 _HEADER_LEN = struct.Struct("<I")
+
+#: Sections smaller than this are never compressed — the deflate header
+#: would eat the savings and every read would pay a pointless inflate.
+COMPRESS_MIN_BYTES = 64
+
+#: zlib level for compressed columns: 6 is the speed/size sweet spot for
+#: the repetitive integer/string sections that actually win here.
+COMPRESS_LEVEL = 6
 
 
 def coerce_batch(kind: RowKind, columns: Mapping[str, np.ndarray]
@@ -172,14 +198,35 @@ def _codes_dtype(num_values: int) -> str:
     return "<u4"
 
 
+def _maybe_compress(entry: dict, section: bytes, compress: bool) -> bytes:
+    """Deflate one column's buffer section when that actually helps.
+
+    Mutates ``entry`` to record the compression and both byte lengths; the
+    stored ``nbytes`` is always the on-disk section length (what offsets
+    are computed from), ``raw_nbytes`` the decoded one.
+    """
+    if compress and len(section) >= COMPRESS_MIN_BYTES:
+        deflated = zlib.compress(section, COMPRESS_LEVEL)
+        if len(deflated) < len(section):
+            entry["compression"] = "zlib"
+            entry["raw_nbytes"] = len(section)
+            entry["nbytes"] = len(deflated)
+            return deflated
+    entry["nbytes"] = len(section)
+    return section
+
+
 def pack_columns(kind: RowKind, columns: Mapping[str, np.ndarray], *,
-                 distinct_out: Optional[dict] = None) -> bytes:
+                 distinct_out: Optional[dict] = None,
+                 compress: bool = False) -> bytes:
     """Pack one validated column batch into the binary segment payload.
 
     ``distinct_out``, when given, is filled with each string column's sorted
     distinct-value array — computed here anyway to choose the encoding, and
     reusable for the manifest's pruning stats so sealing a segment runs
-    ``np.unique`` once per column, not twice.
+    ``np.unique`` once per column, not twice.  ``compress`` opts each
+    column's buffer section into per-column zlib (kept only when smaller;
+    see the module docstring for the header fields).
     """
     buffers: list[bytes] = []
     entries: list[dict] = []
@@ -197,20 +244,20 @@ def pack_columns(kind: RowKind, columns: Mapping[str, np.ndarray], *,
             if encoded_nbytes < array.nbytes:
                 values_payload = _little_endian(uniques).tobytes()
                 codes_payload = codes.astype(codes_dtype).tobytes()
-                entries.append({
+                entry = {
                     "name": column.name, "encoding": "dict",
                     "dtype": uniques.dtype.str,
                     "values_nbytes": len(values_payload),
                     "codes_dtype": codes_dtype,
-                    "nbytes": len(values_payload) + len(codes_payload),
-                })
-                buffers.append(values_payload)
-                buffers.append(codes_payload)
+                }
+                buffers.append(_maybe_compress(
+                    entry, values_payload + codes_payload, compress))
+                entries.append(entry)
                 continue
-        payload = array.tobytes()
-        entries.append({"name": column.name, "encoding": "raw",
-                        "dtype": array.dtype.str, "nbytes": len(payload)})
-        buffers.append(payload)
+        entry = {"name": column.name, "encoding": "raw",
+                 "dtype": array.dtype.str}
+        buffers.append(_maybe_compress(entry, array.tobytes(), compress))
+        entries.append(entry)
     header = json.dumps({"kind": kind.name, "rows": rows,
                          "columns": entries},
                         sort_keys=True).encode("utf-8")
@@ -218,18 +265,185 @@ def pack_columns(kind: RowKind, columns: Mapping[str, np.ndarray], *,
                      *buffers])
 
 
-def unpack_columns(payload: bytes, kind: RowKind, *,
-                   expected_rows: int) -> dict[str, np.ndarray]:
-    """Unpack a columnar payload into read-only zero-copy column arrays.
+def _parse_entry(entry: Mapping, offset: int, payload_len: int,
+                 rows: int) -> dict:
+    """Validate one header column entry; returns its normalised plan.
 
-    The arrays are views over ``payload`` (immutable bytes keep them
-    read-only, matching the JSONL cache path's ``setflags(write=False)``).
-    Any structural mismatch — bad magic, truncated buffers, a row count that
-    disagrees with ``expected_rows``, columns that do not cover the schema —
-    raises :class:`ValueError`; the caller decides whether that means
+    Everything knowable without touching the column's bytes is checked
+    here — bounds, dtypes, dictionary layout, and (for uncompressed
+    sections, whose decoded length equals the stored one) the element
+    count against ``rows`` — so :func:`open_columns` surfaces structural
+    corruption eagerly even though decoding itself is lazy.
+    """
+    try:
+        name = entry["name"]
+        nbytes = int(entry["nbytes"])
+        dtype = _payload_dtype(name, entry["dtype"])
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"columnar header entry is malformed: {error}")
+    if nbytes < 0 or payload_len < offset + nbytes:
+        raise ValueError(
+            f"columnar payload truncated inside column {name!r}")
+    compression = entry.get("compression")
+    if compression is None:
+        raw_nbytes = nbytes
+    elif compression == "zlib":
+        try:
+            raw_nbytes = int(entry["raw_nbytes"])
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"columnar header entry is malformed: {error}")
+        if raw_nbytes < 0:
+            raise ValueError(
+                f"column {name!r} has a negative decoded length")
+    else:
+        raise ValueError(
+            f"column {name!r} uses unknown compression {compression!r}")
+    plan = {"name": name, "offset": offset, "nbytes": nbytes,
+            "raw_nbytes": raw_nbytes, "dtype": dtype,
+            "compression": compression,
+            "encoding": entry.get("encoding", "raw")}
+    if plan["encoding"] == "dict":
+        try:
+            values_nbytes = int(entry["values_nbytes"])
+            codes_dtype = _payload_dtype(name, entry["codes_dtype"])
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"columnar header entry is malformed: {error}")
+        if not 0 <= values_nbytes <= raw_nbytes:
+            raise ValueError(
+                f"column {name!r} dictionary sizes are inconsistent")
+        codes_nbytes = raw_nbytes - values_nbytes
+        if values_nbytes % dtype.itemsize or \
+                codes_nbytes % codes_dtype.itemsize:
+            raise ValueError(
+                f"column {name!r} dictionary buffers are misaligned")
+        plan["values_nbytes"] = values_nbytes
+        plan["codes_dtype"] = codes_dtype
+        if compression is None and \
+                codes_nbytes // codes_dtype.itemsize != rows:
+            raise ValueError(
+                f"column {name!r} decodes to "
+                f"{codes_nbytes // codes_dtype.itemsize} values, "
+                f"expected {rows}")
+    else:
+        if raw_nbytes % dtype.itemsize:
+            raise ValueError(
+                f"column {name!r} buffer is not a whole number of "
+                f"{dtype} values")
+        if compression is None and raw_nbytes // dtype.itemsize != rows:
+            raise ValueError(
+                f"column {name!r} decodes to {raw_nbytes // dtype.itemsize} "
+                f"values, expected {rows}")
+    return plan
+
+
+def _decode_column(payload, plan: dict, rows: int) -> np.ndarray:
+    """Decode one column from its validated plan (see :func:`_parse_entry`).
+
+    Uncompressed sections decode as zero-copy ``frombuffer`` views of
+    ``payload`` (bytes or an ``mmap``); compressed ones inflate into a
+    fresh immutable ``bytes`` first.  Dictionary columns additionally
+    gather their decoded values — the one materialising step.
+    """
+    name = plan["name"]
+    offset, nbytes = plan["offset"], plan["nbytes"]
+    if plan["compression"] is None:
+        source, start = payload, offset
+    else:
+        try:
+            source = zlib.decompress(bytes(payload[offset:offset + nbytes]))
+        except zlib.error as error:
+            raise ValueError(
+                f"column {name!r} compressed section is corrupt: {error}")
+        if len(source) != plan["raw_nbytes"]:
+            raise ValueError(
+                f"column {name!r} inflates to {len(source)} bytes, header "
+                f"says {plan['raw_nbytes']}")
+        start = 0
+    dtype = plan["dtype"]
+    if plan["encoding"] == "dict":
+        values_nbytes = plan["values_nbytes"]
+        codes_dtype = plan["codes_dtype"]
+        codes_nbytes = plan["raw_nbytes"] - values_nbytes
+        values = np.frombuffer(source, dtype=dtype,
+                               count=values_nbytes // dtype.itemsize,
+                               offset=start)
+        codes = np.frombuffer(source, dtype=codes_dtype,
+                              count=codes_nbytes // codes_dtype.itemsize,
+                              offset=start + values_nbytes)
+        if codes.size != rows:
+            raise ValueError(
+                f"column {name!r} decodes to {codes.size} values, "
+                f"expected {rows}")
+        if codes.size and (not values.size
+                           or int(codes.max()) >= values.size):
+            raise ValueError(
+                f"column {name!r} has codes outside its dictionary")
+        array = values[codes]
+        array.setflags(write=False)
+        return array
+    array = np.frombuffer(source, dtype=dtype,
+                          count=plan["raw_nbytes"] // dtype.itemsize,
+                          offset=start)
+    if array.size != rows:
+        raise ValueError(
+            f"column {name!r} decodes to {array.size} values, "
+            f"expected {rows}")
+    return array
+
+
+class LazyColumns(Mapping):
+    """Columns of one payload, decoded on first access and cached.
+
+    Behaves as an ordinary ``Mapping[str, np.ndarray]`` in schema column
+    order.  The payload may be ``bytes`` or a read-only ``mmap`` — in the
+    latter case raw uncompressed columns are zero-copy views of the mapped
+    pages, so holding the mapping open costs page-table entries, not
+    resident memory, and the query engine's column pruning means columns a
+    query never touches are never decoded at all.  Decode failures raise
+    :class:`ValueError` (the codec's corruption contract) at access time.
+    """
+
+    __slots__ = ("_payload", "_rows", "_plans", "_cache")
+
+    def __init__(self, payload, rows: int, plans: dict[str, dict]) -> None:
+        self._payload = payload
+        self._rows = rows
+        self._plans = plans
+        self._cache: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        array = self._cache.get(name)
+        if array is None:
+            array = _decode_column(self._payload, self._plans[name],
+                                   self._rows)
+            self._cache[name] = array
+        return array
+
+    def __contains__(self, name) -> bool:
+        return name in self._plans
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._plans)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+def open_columns(payload, kind: RowKind, *,
+                 expected_rows: int) -> LazyColumns:
+    """Open a columnar payload for lazy, zero-copy column access.
+
+    ``payload`` is ``bytes`` or a read-only ``mmap`` of the ``.colseg``
+    file.  The header and every column's structure (bounds, dtypes,
+    dictionary layout, element counts of uncompressed sections) are
+    validated eagerly; the returned :class:`LazyColumns` decodes a column
+    only when it is first subscripted.  Any structural mismatch — bad
+    magic, truncated buffers, a row count that disagrees with
+    ``expected_rows``, columns that do not cover the schema — raises
+    :class:`ValueError` here; the caller decides whether that means
     corruption.
     """
-    if payload[:4] != COLUMNAR_MAGIC:
+    if len(payload) < 4 or bytes(payload[:4]) != COLUMNAR_MAGIC:
         raise ValueError("not a columnar segment payload (bad magic)")
     if len(payload) < 8:
         raise ValueError("columnar payload truncated before its header")
@@ -238,7 +452,7 @@ def unpack_columns(payload: bytes, kind: RowKind, *,
     if len(payload) < header_end:
         raise ValueError("columnar payload truncated inside its header")
     try:
-        header = json.loads(payload[8:header_end].decode("utf-8"))
+        header = json.loads(bytes(payload[8:header_end]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise ValueError(f"columnar header is not valid JSON: {error}")
     if header.get("kind") != kind.name:
@@ -253,65 +467,29 @@ def unpack_columns(payload: bytes, kind: RowKind, *,
     column_entries = header.get("columns", ())
     if not isinstance(column_entries, (list, tuple)):
         raise ValueError("columnar header's column list is malformed")
-    columns: dict[str, np.ndarray] = {}
+    parsed: dict[str, dict] = {}
     offset = header_end
     for entry in column_entries:
-        try:
-            name = entry["name"]
-            nbytes = int(entry["nbytes"])
-            dtype = _payload_dtype(name, entry["dtype"])
-        except (KeyError, TypeError) as error:
-            raise ValueError(f"columnar header entry is malformed: {error}")
-        if nbytes < 0 or len(payload) < offset + nbytes:
-            raise ValueError(
-                f"columnar payload truncated inside column {name!r}")
-        if entry.get("encoding", "raw") == "dict":
-            try:
-                values_nbytes = int(entry["values_nbytes"])
-                codes_dtype = _payload_dtype(name, entry["codes_dtype"])
-            except (KeyError, TypeError) as error:
-                raise ValueError(
-                    f"columnar header entry is malformed: {error}")
-            if not 0 <= values_nbytes <= nbytes:
-                raise ValueError(
-                    f"column {name!r} dictionary sizes are inconsistent")
-            codes_nbytes = nbytes - values_nbytes
-            if values_nbytes % dtype.itemsize or \
-                    codes_nbytes % codes_dtype.itemsize:
-                raise ValueError(
-                    f"column {name!r} dictionary buffers are misaligned")
-            values = np.frombuffer(payload, dtype=dtype,
-                                   count=values_nbytes // dtype.itemsize,
-                                   offset=offset)
-            codes = np.frombuffer(payload, dtype=codes_dtype,
-                                  count=codes_nbytes // codes_dtype.itemsize,
-                                  offset=offset + values_nbytes)
-            if codes.size != rows:
-                raise ValueError(
-                    f"column {name!r} decodes to {codes.size} values, "
-                    f"expected {rows}")
-            if codes.size and (not values.size
-                               or int(codes.max()) >= values.size):
-                raise ValueError(
-                    f"column {name!r} has codes outside its dictionary")
-            array = values[codes]
-            array.setflags(write=False)
-        else:
-            if nbytes % dtype.itemsize:
-                raise ValueError(
-                    f"column {name!r} buffer is not a whole number of "
-                    f"{dtype} values")
-            array = np.frombuffer(payload, dtype=dtype,
-                                  count=nbytes // dtype.itemsize,
-                                  offset=offset)
-            if array.size != rows:
-                raise ValueError(
-                    f"column {name!r} decodes to {array.size} values, "
-                    f"expected {rows}")
-        columns[name] = array
-        offset += nbytes
+        plan = _parse_entry(entry, offset, len(payload), rows)
+        parsed[plan["name"]] = plan
+        offset += plan["nbytes"]
     for column in kind.columns:
-        if column.name not in columns:
+        if column.name not in parsed:
             raise ValueError(
                 f"columnar payload is missing column {column.name!r}")
-    return {column.name: columns[column.name] for column in kind.columns}
+    ordered = {column.name: parsed[column.name] for column in kind.columns}
+    return LazyColumns(payload, rows, ordered)
+
+
+def unpack_columns(payload: bytes, kind: RowKind, *,
+                   expected_rows: int) -> dict[str, np.ndarray]:
+    """Unpack a columnar payload into read-only column arrays, eagerly.
+
+    The materialised counterpart of :func:`open_columns`: every column is
+    decoded up front, so corruption anywhere in the payload surfaces here.
+    Uncompressed columns are zero-copy views over ``payload`` (immutable
+    bytes keep them read-only, matching the JSONL cache path's
+    ``setflags(write=False)``).
+    """
+    lazy = open_columns(payload, kind, expected_rows=expected_rows)
+    return {name: lazy[name] for name in lazy}

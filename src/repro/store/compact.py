@@ -60,6 +60,10 @@ class CompactionStats:
     rows_rewritten: int
     kinds_compacted: tuple[str, ...]
     files_removed: int
+    #: Old segment bytes removed (files + mmap sidecars) minus new segment
+    #: bytes written.  Negative when compaction grew the store (e.g. a
+    #: JSONL -> columnar conversion of incompressible data).
+    bytes_reclaimed: int = 0
 
 
 def _plan_chunks(total_rows: int, rows_per_segment: Optional[int]) -> int:
@@ -71,7 +75,8 @@ def _plan_chunks(total_rows: int, rows_per_segment: Optional[int]) -> int:
 
 def reseal_kind(store: ResultStore, name: str, *, sequence: int,
                 rows_per_segment: Optional[int], output_format: str,
-                directory: Optional[Path] = None
+                directory: Optional[Path] = None,
+                compress: bool = False
                 ) -> tuple[list[SegmentMeta], int, int]:
     """Rewrite one kind's committed rows, in order, into fresh segments.
 
@@ -105,7 +110,7 @@ def reseal_kind(store: ResultStore, name: str, *, sequence: int,
             sealed.append(write_columnar_segment(
                 directory, f"{name}-{sequence:06d}", kind,
                 {col: array[start:start + chunk]
-                 for col, array in columns.items()}))
+                 for col, array in columns.items()}, compress=compress))
         return sealed, sequence, total
     rows: list[dict] = []
     for meta in store.segments_for(name):
@@ -123,7 +128,8 @@ def reseal_kind(store: ResultStore, name: str, *, sequence: int,
 def compact_store(store: Union[ResultStore, str, Path], *,
                   rows_per_segment: Optional[int] = None,
                   kinds: Optional[Sequence[str]] = None,
-                  output_format: Optional[str] = None) -> CompactionStats:
+                  output_format: Optional[str] = None,
+                  compress: bool = False) -> CompactionStats:
     """Merge a store's small segments; returns what changed.
 
     ``rows_per_segment`` of ``None`` merges each kind into a single segment;
@@ -131,10 +137,11 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     the named row kinds (default: every kind in the store).
     ``output_format`` forces the rewritten segments' format (``"jsonl"`` or
     ``"columnar"``); ``None`` converges each kind to columnar if any of its
-    segments already is, and keeps pure-JSONL kinds JSONL.  Kinds already at
-    (or below) the target segment count *and* uniformly in the target format
-    are left untouched — their existing files and checksums stay exactly as
-    committed.
+    segments already is, and keeps pure-JSONL kinds JSONL.  ``compress``
+    zlib-deflates the rewritten columnar segments' column sections.  Kinds
+    already at (or below) the target segment count *and* uniformly in the
+    target format are left untouched — their existing files and checksums
+    stay exactly as committed.
     """
     if rows_per_segment is not None and rows_per_segment <= 0:
         raise ValueError("rows_per_segment must be positive when given")
@@ -171,12 +178,21 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     sequence = store.sequence
     replacements: dict[str, list[SegmentMeta]] = {}
     rows_rewritten = 0
+    new_bytes = 0
     for name, target in to_compact.items():
         sealed, sequence, rows = reseal_kind(
             store, name, sequence=sequence,
-            rows_per_segment=rows_per_segment, output_format=target)
+            rows_per_segment=rows_per_segment, output_format=target,
+            compress=compress)
         rows_rewritten += rows
         replacements[name] = sealed
+        for meta in sealed:
+            for filename in meta.filenames:
+                try:
+                    new_bytes += (store.segments_dir / filename
+                                  ).stat().st_size
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
 
     # Swap: keep untouched segments in manifest order, splice each compacted
     # kind's new segments where its first old segment sat (preserving the
@@ -197,9 +213,12 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     store._commit_replacement(new_manifest, sequence)
 
     files_removed = 0
+    old_bytes = 0
     for filename in old_files:
+        path = store.segments_dir / filename
         try:
-            (store.segments_dir / filename).unlink()
+            old_bytes += path.stat().st_size
+            path.unlink()
             files_removed += 1
         except FileNotFoundError:  # pragma: no cover - cache never written
             pass
@@ -208,6 +227,11 @@ def compact_store(store: Union[ResultStore, str, Path], *,
     for dirname in old_mmap_dirs:
         sidecar = store.segments_dir / dirname
         if sidecar.is_dir():
+            for path in sidecar.iterdir():
+                try:
+                    old_bytes += path.stat().st_size
+                except FileNotFoundError:  # pragma: no cover - race
+                    pass
             shutil.rmtree(sidecar, ignore_errors=True)
 
     return CompactionStats(
@@ -216,4 +240,5 @@ def compact_store(store: Union[ResultStore, str, Path], *,
         rows_rewritten=rows_rewritten,
         kinds_compacted=tuple(to_compact),
         files_removed=files_removed,
+        bytes_reclaimed=old_bytes - new_bytes,
     )

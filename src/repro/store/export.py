@@ -39,19 +39,26 @@ class ExportStats:
     segments: int
     rows: int
     output_format: str
+    #: Exported kinds' on-disk bytes in the source store.
+    source_bytes: int = 0
+    #: Bytes the destination's fresh segments occupy.  ``source_bytes -
+    #: output_bytes`` is what the conversion reclaimed (negative = grew).
+    output_bytes: int = 0
 
 
 def export_store(source: Union[ResultStore, str, Path],
                  dest: Union[str, Path], *,
                  output_format: str = FORMAT_JSONL,
                  rows_per_segment: Optional[int] = None,
-                 kinds: Optional[Sequence[str]] = None) -> ExportStats:
+                 kinds: Optional[Sequence[str]] = None,
+                 compress: bool = False) -> ExportStats:
     """Rewrite ``source``'s committed rows into a fresh store at ``dest``.
 
     ``rows_per_segment`` of ``None`` keeps the source's segment boundaries
     (each source segment exports as one destination segment); a value
     re-chunks each kind at that size.  ``kinds`` restricts the export to the
-    named row kinds (default: every kind in the source).
+    named row kinds (default: every kind in the source).  ``compress``
+    zlib-deflates columnar output's column sections.
     """
     if output_format not in _OUTPUT_FORMATS:
         raise ValueError(
@@ -88,7 +95,7 @@ def export_store(source: Union[ResultStore, str, Path],
                 if output_format == FORMAT_COLUMNAR:
                     sealed.append(write_columnar_segment(
                         destination.segments_dir, segment_name, kind,
-                        source.columns_for(meta)))
+                        source.columns_for(meta), compress=compress))
                 else:
                     sealed.append(write_segment(
                         destination.segments_dir, segment_name, kind,
@@ -101,11 +108,27 @@ def export_store(source: Union[ResultStore, str, Path],
                 source, name, sequence=sequence,
                 rows_per_segment=rows_per_segment,
                 output_format=output_format,
-                directory=destination.segments_dir)
+                directory=destination.segments_dir,
+                compress=compress)
             sealed.extend(resealed)
             rows_exported += rows
 
     if sealed:
         destination._commit(sealed, sequence)
+
+    def _sized(directory: Path, metas) -> int:
+        total = 0
+        for meta in metas:
+            for filename in meta.filenames:
+                try:
+                    total += (directory / filename).stat().st_size
+                except FileNotFoundError:
+                    pass  # derived caches may legitimately be absent
+        return total
+
+    source_metas = [meta for name in exported_kinds
+                    for meta in source.segments_for(name)]
     return ExportStats(kinds=tuple(exported_kinds), segments=len(sealed),
-                       rows=rows_exported, output_format=output_format)
+                       rows=rows_exported, output_format=output_format,
+                       source_bytes=_sized(source.segments_dir, source_metas),
+                       output_bytes=_sized(destination.segments_dir, sealed))

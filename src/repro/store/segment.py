@@ -31,10 +31,11 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import mmap as mmap_module
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +46,7 @@ __all__ = ["SegmentMeta", "StoreCorruptionError", "write_segment",
            "write_columnar_segment", "load_rows", "load_columns",
            "build_columns", "rows_from_columns", "column_stats",
            "verify_segment", "atomic_write_bytes", "mmap_sidecar_dir",
-           "FORMAT_JSONL", "FORMAT_COLUMNAR"]
+           "materialise_sidecar", "FORMAT_JSONL", "FORMAT_COLUMNAR"]
 
 #: Segment format names recorded in the manifest.
 FORMAT_JSONL = "jsonl"
@@ -246,20 +247,25 @@ def write_segment(directory: Path, name: str, kind: RowKind,
 
 
 def write_columnar_segment(directory: Path, name: str, kind: RowKind,
-                           columns: Mapping[str, np.ndarray]) -> SegmentMeta:
+                           columns: Mapping[str, np.ndarray], *,
+                           compress: bool = False) -> SegmentMeta:
     """Seal a validated column batch into an immutable columnar segment.
 
     The packed per-column payload *is* the checksummed durable artifact —
     there is no separate row log or derived cache to keep consistent, so a
     seal is one atomic write.  ``columns`` must already be schema-coerced
     (:func:`repro.store.columnar.coerce_batch`); the manifest stats come
-    from the same arrays via the vectorised :func:`column_stats`.  As with
+    from the same arrays via the vectorised :func:`column_stats`.  With
+    ``compress`` each column section is zlib-deflated when that wins
+    (recorded per column in the payload header; the manifest checksum
+    always covers the bytes actually on disk).  As with
     :func:`write_segment`, the segment only becomes *visible* once the
     caller commits the returned meta to the manifest.
     """
     directory.mkdir(parents=True, exist_ok=True)
     distinct: dict[str, np.ndarray] = {}
-    payload = columnar.pack_columns(kind, columns, distinct_out=distinct)
+    payload = columnar.pack_columns(kind, columns, distinct_out=distinct,
+                                    compress=compress)
     digest = hashlib.sha256(payload).hexdigest()
     rows = next(iter(columns.values())).size if columns else 0
     meta = SegmentMeta(name=name, kind=kind.name, rows=int(rows),
@@ -412,9 +418,79 @@ def mmap_sidecar_dir(directory: Path, meta: SegmentMeta) -> Path:
     return directory / f"{meta.name}{MMAP_DIR_SUFFIX}"
 
 
-def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
-                       verify: bool = False) -> dict[str, np.ndarray]:
-    """Columns as read-only memory maps, building the sidecar if needed.
+class _SegmentColumns(Mapping):
+    """A segment's lazily-decoded columns with the store's error contract.
+
+    Wraps :class:`repro.store.columnar.LazyColumns` so that a decode
+    failure at column-access time (torn mmap'd payload, bad compressed
+    section) surfaces as :class:`StoreCorruptionError` — the same
+    exception the eager load path raises — instead of the codec's raw
+    :class:`ValueError`.
+    """
+
+    __slots__ = ("_name", "_lazy")
+
+    def __init__(self, name: str, lazy: "columnar.LazyColumns") -> None:
+        self._name = name
+        self._lazy = lazy
+
+    def __getitem__(self, column: str) -> np.ndarray:
+        try:
+            return self._lazy[column]
+        except (ValueError, TypeError) as error:
+            raise StoreCorruptionError(
+                f"segment {self._name!r} columnar payload is corrupt: "
+                f"{error}") from None
+
+    def __contains__(self, column) -> bool:
+        return column in self._lazy
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lazy)
+
+    def __len__(self) -> int:
+        return len(self._lazy)
+
+
+def _map_columnar(directory: Path, meta: SegmentMeta, kind: RowKind, *,
+                  verify: bool = False) -> Mapping[str, np.ndarray]:
+    """Open a columnar segment's payload memory-mapped, zero-copy.
+
+    The ``.colseg`` file is mapped read-only and the header parsed in
+    place (:func:`repro.store.columnar.open_columns`); each raw column is
+    then a ``frombuffer`` view of the mapped pages — no ``.npy`` sidecar
+    to materialise, no second copy of the data on disk, and columns a
+    query never touches are never decoded.  Structural corruption
+    surfaces here; per-column decode errors surface on first access via
+    :class:`_SegmentColumns`.
+    """
+    path = directory / meta.data_filename
+    if verify:
+        _read_payload(directory, meta, verify=True)
+    try:
+        with open(path, "rb") as handle:
+            buffer = mmap_module.mmap(handle.fileno(), 0,
+                                      access=mmap_module.ACCESS_READ)
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} is in the manifest but its "
+            f"{meta.format} data file {path} is missing") from None
+    except (OSError, ValueError) as error:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} columnar payload cannot be mapped: "
+            f"{error}") from None
+    try:
+        lazy = columnar.open_columns(buffer, kind, expected_rows=meta.rows)
+    except (ValueError, TypeError, KeyError) as error:
+        raise StoreCorruptionError(
+            f"segment {meta.name!r} columnar payload is corrupt: {error}"
+        ) from None
+    return _SegmentColumns(meta.name, lazy)
+
+
+def materialise_sidecar(directory: Path, meta: SegmentMeta, kind: RowKind, *,
+                        verify: bool = False) -> dict[str, np.ndarray]:
+    """Columns as read-only memory maps of a per-column ``.npy`` sidecar.
 
     The marker file is written *last*, so a crash mid-materialisation leaves
     a sidecar without a valid marker and the next open rebuilds it; a stale
@@ -426,6 +502,11 @@ def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     including when a valid sidecar lets the load skip it entirely.  The
     arrays come back identical to the in-memory path — only their backing
     store differs — which ``tests/test_store.py`` asserts query by query.
+
+    This is the mmap path for JSONL segments (their row log cannot be
+    mapped directly); columnar segments normally map their payload in
+    place instead (:func:`_map_columnar`) and only hit this function as
+    the explicit sidecar baseline in the campaign read benchmark.
     """
     if verify:
         _read_payload(directory, meta, verify=True)
@@ -465,3 +546,17 @@ def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
                 f"{array.shape[0]} values after a rebuild, manifest says "
                 f"{meta.rows}")
     return mapped
+
+
+def _load_columns_mmap(directory: Path, meta: SegmentMeta, kind: RowKind, *,
+                       verify: bool = False) -> Mapping[str, np.ndarray]:
+    """Dispatch a memory-mapped column load by segment format.
+
+    Columnar segments map their packed payload in place — zero extra
+    bytes on disk, lazy per-column decoding; JSONL segments materialise
+    (or reuse) the per-column ``.npy`` sidecar, the only way to serve
+    their row-log data without holding it resident.
+    """
+    if meta.is_columnar:
+        return _map_columnar(directory, meta, kind, verify=verify)
+    return materialise_sidecar(directory, meta, kind, verify=verify)

@@ -73,7 +73,7 @@ class ResultStore:
         self._manifest: dict = {"format_version": FORMAT_VERSION,
                                 "sequence": 0, "segments": []}
         self._segments: tuple[SegmentMeta, ...] = ()
-        self._columns_cache: dict[str, dict[str, np.ndarray]] = {}
+        self._columns_cache: dict[str, Mapping[str, np.ndarray]] = {}
         self.refresh()
 
     # ------------------------------------------------------------------ #
@@ -182,16 +182,21 @@ class ResultStore:
         """Per-kind segment format mix, row counts and on-disk bytes.
 
         One entry per committed row kind:
-        ``{"segments": n, "rows": n, "bytes": n, "formats": {fmt: count}}``
-        where ``bytes`` sums every file each segment owns on disk (row log +
-        column cache for JSONL segments, the packed payload for columnar
-        ones; missing derived files count as 0).  The ``store info`` CLI
-        prints this so operators can see what a campaign actually wrote.
+        ``{"segments": n, "rows": n, "bytes": n, "sidecar_bytes": n,
+        "formats": {fmt: count}}`` where ``bytes`` sums every file each
+        segment owns on disk (row log + column cache for JSONL segments,
+        the packed payload for columnar ones; missing derived files count
+        as 0) and ``sidecar_bytes`` separately sums each segment's mmap
+        sidecar directory (``<name>.cols``) when one has been
+        materialised — derived state the plain ``bytes`` figure would
+        otherwise hide.  The ``store info`` CLI prints this so operators
+        can see what a campaign actually wrote.
         """
         summary: dict[str, dict] = {}
         for meta in self._segments:
             entry = summary.setdefault(meta.kind, {
-                "segments": 0, "rows": 0, "bytes": 0, "formats": {}})
+                "segments": 0, "rows": 0, "bytes": 0, "sidecar_bytes": 0,
+                "formats": {}})
             entry["segments"] += 1
             entry["rows"] += meta.rows
             entry["formats"][meta.format] = \
@@ -202,13 +207,24 @@ class ResultStore:
                                        ).stat().st_size
                 except FileNotFoundError:
                     pass  # derived caches may legitimately be absent
+            sidecar = segment_io.mmap_sidecar_dir(self.segments_dir, meta)
+            if sidecar.is_dir():
+                for path in sidecar.iterdir():
+                    try:
+                        entry["sidecar_bytes"] += path.stat().st_size
+                    except FileNotFoundError:  # pragma: no cover - race
+                        pass
         return summary
 
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
-    def columns_for(self, meta: SegmentMeta) -> dict[str, np.ndarray]:
-        """Column arrays of one committed segment (cached in memory)."""
+    def columns_for(self, meta: SegmentMeta) -> Mapping[str, np.ndarray]:
+        """Column arrays of one committed segment (cached in memory).
+
+        With ``mmap`` and a columnar segment the mapping is lazy: a
+        column decodes (zero-copy where possible) on first subscript.
+        """
         cached = self._columns_cache.get(meta.name)
         if cached is None:
             cached = segment_io.load_columns(
@@ -235,11 +251,18 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Writes / integrity
     # ------------------------------------------------------------------ #
-    def writer(self, *, rows_per_segment: int = 4096) -> "StoreWriter":
-        """A streaming writer appending new segments to this store."""
+    def writer(self, *, rows_per_segment: int = 4096,
+               compress: bool = False) -> "StoreWriter":
+        """A streaming writer appending new segments to this store.
+
+        ``compress`` applies per-column zlib compression to the columnar
+        segments this writer seals (recorded in each segment's header;
+        readers need no flag).
+        """
         from repro.store.writer import StoreWriter
 
-        return StoreWriter(self, rows_per_segment=rows_per_segment)
+        return StoreWriter(self, rows_per_segment=rows_per_segment,
+                           compress=compress)
 
     def verify_integrity(self) -> int:
         """Check every committed segment against its checksum.

@@ -54,11 +54,14 @@ __all__ = ["StoreWriter", "ingest_snapshot"]
 class StoreWriter:
     """Append-only, batching writer over one open store."""
 
-    def __init__(self, store: ResultStore, *, rows_per_segment: int = 4096) -> None:
+    def __init__(self, store: ResultStore, *, rows_per_segment: int = 4096,
+                 compress: bool = False) -> None:
         if rows_per_segment <= 0:
             raise ValueError("rows_per_segment must be positive")
         self.store = store
         self.rows_per_segment = rows_per_segment
+        #: zlib-compress columnar segment sections when that wins.
+        self.compress = compress
         self._pending: dict[str, list[dict]] = {}
         #: kind -> buffered column chunks (each a schema-coerced batch).
         self._pending_batches: dict[str, list[dict[str, np.ndarray]]] = {}
@@ -184,7 +187,8 @@ class StoreWriter:
             sealed.append(write_columnar_segment(
                 self.store.segments_dir, f"{kind.name}-{self._sequence:06d}",
                 kind, {name: array[start:stop]
-                       for name, array in columns.items()}))
+                       for name, array in columns.items()},
+                compress=self.compress))
             start = stop
         self._pending_batches[kind.name] = [] if start >= total else \
             [{name: array[start:] for name, array in columns.items()}]

@@ -274,3 +274,94 @@ class TestFleetCloudCapacity:
                      "--queue-wait-ms", "500",
                      "--queue-overflow", "cloud"]) == 0
         assert "simulated" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--store", "c.dir"])
+        assert args.users == 100000
+        assert args.shards == 8
+        assert args.workload == "ambient"
+        assert args.compress is False
+        assert args.max_parallel is None
+
+    def test_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run"])
+
+    def test_round_trip_through_store_commands(self, tmp_path, capsys):
+        root = tmp_path / "c.dir"
+        assert main(["campaign", "run", "--users", "24", "--shards", "3",
+                     "--store", str(root), "--hours", "6",
+                     "--max-parallel", "1", "--compress"]) == 0
+        output = capsys.readouterr().out
+        assert "3 shards" in output
+        assert "merged store:" in output
+
+        merged = str(root / "merged.store")
+        assert main(["store", "info", merged, "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "fleet_events" in output
+        assert "fleet_load" in output
+        assert "checksums: OK" in output
+
+        from repro.store import ResultStore
+
+        store = ResultStore(merged)
+        assert store.num_rows("fleet_events") > 0
+        assert store.num_rows("fleet_load") > 0
+
+    def test_matches_unsharded_cli_run(self, tmp_path, capsys):
+        import numpy as np
+
+        for name, shards in (("a", "1"), ("b", "4")):
+            assert main(["campaign", "run", "--users", "20", "--shards",
+                         shards, "--store", str(tmp_path / name),
+                         "--hours", "4", "--max-parallel", "1"]) == 0
+        capsys.readouterr()
+
+        from repro.store import ResultStore
+
+        one = ResultStore(tmp_path / "a" / "merged.store")
+        four = ResultStore(tmp_path / "b" / "merged.store")
+        for kind in ("fleet_events", "fleet_load"):
+            left = one.query(kind).arrays()
+            right = four.query(kind).arrays()
+            for name, array in left.items():
+                assert np.array_equal(right[name], array), name
+
+
+class TestStoreMergeCommand:
+    def test_merge_round_trip(self, tmp_path, capsys):
+        for name in ("x", "y"):
+            assert main(["sweep", "--scale", "0.02", "--devices", "S21",
+                         "--store", str(tmp_path / f"{name}.store")]) == 0
+        capsys.readouterr()
+        assert main(["store", "merge", str(tmp_path / "m.store"),
+                     str(tmp_path / "x.store"), str(tmp_path / "y.store"),
+                     "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "adopted" in output
+        assert "hard-linked" in output
+
+        from repro.store import ResultStore
+
+        merged = ResultStore(tmp_path / "m.store")
+        expected = ResultStore(tmp_path / "x.store").num_rows("executions") \
+            + ResultStore(tmp_path / "y.store").num_rows("executions")
+        assert merged.num_rows("executions") == expected
+        assert merged.verify_integrity() == len(merged.segments)
+
+    def test_merge_rejects_bad_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["store", "merge", "m.store", "s.store", "--kinds", "bogus"])
+
+    def test_compact_and_export_accept_compress(self):
+        args = build_parser().parse_args(
+            ["store", "compact", "s.store", "--compress"])
+        assert args.compress is True
+        args = build_parser().parse_args(
+            ["store", "export", "s.store", "d.store", "--compress"])
+        assert args.compress is True

@@ -942,12 +942,27 @@ class TestColumnarSegments:
             ResultStore(columnar.root).query("executions").objects()
 
     def test_mmap_over_columnar_identical(self, columnar, results):
+        """Columnar segments map their payload in place — no .npy sidecar."""
+        import mmap as mmap_module
+
+        from repro.store.segment import mmap_sidecar_dir
+
         mapped = ResultStore(columnar.root, mmap=True)
         for meta in columnar.segments:
+            loaded = mapped.columns_for(meta)
             for name, array in columnar.columns_for(meta).items():
-                mirrored = mapped.columns_for(meta)[name]
-                assert isinstance(mirrored, np.memmap)
+                mirrored = loaded[name]
+                assert not mirrored.flags.writeable
                 assert np.array_equal(np.asarray(mirrored), array)
+                if mirrored.dtype.kind != "U":
+                    # Raw columns are zero-copy views of the mapped file
+                    # (frombuffer wraps the mmap in a memoryview).
+                    base = mirrored.base
+                    if isinstance(base, memoryview):
+                        base = base.obj
+                    assert isinstance(base, mmap_module.mmap)
+            # The zero-copy path never materialises a sidecar directory.
+            assert not mmap_sidecar_dir(mapped.segments_dir, meta).exists()
         assert mapped.query("executions").objects() == results
 
     def test_v2_manifest_still_opens(self, populated, results):
@@ -1270,3 +1285,258 @@ class TestColumnarHardening:
             base[:] = 777.0  # mutate through the base before the seal
         sealed = store.query("executions").arrays("latency_ms")["latency_ms"]
         assert np.array_equal(sealed, expected)
+
+
+class TestCompressedColumns:
+    """v3 compression: per-column zlib recorded in the segment header."""
+
+    @pytest.fixture()
+    def batch_columns(self, results):
+        from repro.store.schema import execution_results_to_columns
+
+        return execution_results_to_columns(results)
+
+    @pytest.fixture()
+    def compressible(self):
+        """A batch whose sections deflate well (constant-heavy columns)."""
+        from repro.store.schema import execution_results_to_columns  # noqa
+        rows = 512
+        return {
+            "region": np.array(["us"] * rows),
+            "cloud_api": np.array(["Speech APIs"] * rows),
+            "bin_index": np.zeros(rows, dtype=np.int64),
+            "bin_start_s": np.zeros(rows),
+            "bin_seconds": np.full(rows, 900.0),
+            "requests": np.ones(rows, dtype=np.int64),
+            "payload_bytes": np.full(rows, 4096, dtype=np.int64),
+        }
+
+    def test_round_trip_identical_and_smaller(self, tmp_path, batch_columns,
+                                              results):
+        plain = ResultStore(tmp_path / "plain.store")
+        packed = ResultStore(tmp_path / "packed.store")
+        with plain.writer(rows_per_segment=100) as writer:
+            writer.append_batch("executions", batch_columns)
+        with packed.writer(rows_per_segment=100, compress=True) as writer:
+            writer.append_batch("executions", batch_columns)
+        assert packed.query("executions").objects() == results
+        assert packed.query("executions").rows() \
+            == plain.query("executions").rows()
+        assert packed.verify_integrity() == len(packed.segments)
+
+        def du(store):
+            return sum((store.segments_dir / m.data_filename).stat().st_size
+                       for m in store.segments)
+        # Compression is kept per section only when it wins, so the packed
+        # store can never be larger.
+        assert du(packed) <= du(plain)
+
+    def test_header_records_compression_when_it_wins(self, compressible):
+        from repro.store.columnar import pack_columns, unpack_columns
+        from repro.store.schema import kind_for
+
+        kind = kind_for("fleet_load")
+        coerced = {name: np.asarray(a) for name, a in compressible.items()}
+        from repro.store.columnar import coerce_batch
+        coerced = coerce_batch(kind, compressible)
+        payload = pack_columns(kind, coerced, compress=True)
+        raw_payload = pack_columns(kind, coerced)
+        assert len(payload) < len(raw_payload)
+        assert b'"compression"' in payload and b'"zlib"' in payload
+        assert b'"raw_nbytes"' in payload
+        decoded = unpack_columns(payload, kind,
+                                 expected_rows=coerced["bin_index"].size)
+        for name, array in coerced.items():
+            assert np.array_equal(decoded[name], array), name
+            assert decoded[name].dtype == array.dtype
+
+    def test_uncompressible_sections_stay_raw(self, compressible):
+        from repro.store.columnar import coerce_batch, pack_columns
+        from repro.store.schema import kind_for
+
+        kind = kind_for("fleet_load")
+        rng = np.random.default_rng(0)
+        noisy = dict(compressible,
+                     payload_bytes=rng.integers(0, 2 ** 62, 512,
+                                                dtype=np.int64))
+        payload = pack_columns(kind, coerce_batch(kind, noisy), compress=True)
+        header = json.loads(
+            payload[8:8 + int.from_bytes(payload[4:8], "little")])
+        by_name = {entry["name"]: entry for entry in header["columns"]}
+        assert by_name["payload_bytes"].get("compression") is None
+        assert by_name["bin_seconds"].get("compression") == "zlib"
+
+    def test_mixed_compressed_and_raw_segments_read_together(self, tmp_path,
+                                                             batch_columns,
+                                                             results):
+        store = ResultStore(tmp_path / "mix.store")
+        half = len(results) // 2
+        with store.writer(rows_per_segment=1000, compress=True) as writer:
+            writer.append_batch("executions", {
+                name: a[:half] for name, a in batch_columns.items()})
+        with store.writer(rows_per_segment=1000) as writer:
+            writer.append_batch("executions", {
+                name: a[half:] for name, a in batch_columns.items()})
+        assert ResultStore(store.root).query("executions").objects() == results
+
+    def test_compressed_mmap_reads_identical(self, tmp_path, compressible):
+        from repro.store.columnar import coerce_batch
+        from repro.store.schema import kind_for
+
+        kind = kind_for("fleet_load")
+        coerced = coerce_batch(kind, compressible)
+        store = ResultStore(tmp_path / "z.store")
+        with store.writer(compress=True) as writer:
+            writer.append_batch(kind, coerced)
+        mapped = ResultStore(store.root, mmap=True)
+        for meta in mapped.segments:
+            columns = mapped.columns_for(meta)
+            for name, array in coerced.items():
+                assert np.array_equal(np.asarray(columns[name]), array), name
+
+    def test_flipped_byte_in_compressed_segment_detected(self, tmp_path,
+                                                         compressible):
+        from repro.store.columnar import coerce_batch
+        from repro.store.schema import kind_for
+
+        kind = kind_for("fleet_load")
+        store = ResultStore(tmp_path / "c.store")
+        with store.writer(compress=True) as writer:
+            writer.append_batch(kind, coerce_batch(kind, compressible))
+        meta = store.segments[0]
+        path = store.segments_dir / meta.data_filename
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # inside the last column's section
+        path.write_bytes(bytes(raw))
+        reopened = ResultStore(store.root)
+        with pytest.raises(StoreCorruptionError):
+            dict(reopened.columns_for(meta))
+        mapped = ResultStore(store.root, mmap=True)
+        with pytest.raises(StoreCorruptionError):
+            dict(mapped.columns_for(meta))
+
+    def test_raw_nbytes_mismatch_detected(self, compressible):
+        from repro.store.columnar import (coerce_batch, open_columns,
+                                          pack_columns)
+        from repro.store.schema import kind_for
+
+        kind = kind_for("fleet_load")
+        coerced = coerce_batch(kind, compressible)
+        payload = bytearray(pack_columns(kind, coerced, compress=True))
+        header_len = int.from_bytes(payload[4:8], "little")
+        header = payload[8:8 + header_len]
+        # Same-length digit swap keeps offsets valid while lying about the
+        # inflated size.
+        needle = b'"raw_nbytes": '
+        at = header.index(needle) + len(needle)
+        digit = header[at:at + 1]
+        swapped = b"9" if digit != b"9" else b"8"
+        payload[8 + at:8 + at + 1] = swapped
+        lazy = open_columns(bytes(payload), kind,
+                            expected_rows=coerced["bin_index"].size)
+        with pytest.raises(ValueError, match="inflates to"):
+            dict(lazy)
+
+
+class TestStoreByteAccounting:
+    """`store info` separates durable bytes from derived mmap sidecars."""
+
+    def test_sidecar_bytes_reported_for_jsonl_segments(self, populated):
+        summary = populated.format_summary()
+        assert summary["executions"]["sidecar_bytes"] == 0
+        mapped = ResultStore(populated.root, mmap=True)
+        for meta in mapped.segments:
+            mapped.columns_for(meta)  # materialises the .cols sidecar
+        after = ResultStore(populated.root).format_summary()
+        assert after["executions"]["sidecar_bytes"] > 0
+        assert after["executions"]["bytes"] \
+            == summary["executions"]["bytes"]  # durable bytes unchanged
+
+    def test_columnar_segments_never_grow_sidecars(self, tmp_path, results):
+        from repro.store.schema import execution_results_to_columns
+
+        store = ResultStore(tmp_path / "col.store")
+        with store.writer(rows_per_segment=4) as writer:
+            writer.append_batch("executions",
+                                execution_results_to_columns(results))
+        mapped = ResultStore(store.root, mmap=True)
+        for meta in mapped.segments:
+            mapped.columns_for(meta)
+        summary = ResultStore(store.root).format_summary()
+        assert summary["executions"]["sidecar_bytes"] == 0
+
+    def test_compact_reports_bytes_reclaimed(self, populated):
+        from repro.store import compact_store
+
+        mapped = ResultStore(populated.root, mmap=True)
+        for meta in mapped.segments:
+            mapped.columns_for(meta)  # sidecars the compaction removes
+
+        def du(store):
+            total = 0
+            for path in store.segments_dir.rglob("*"):
+                if path.is_file():
+                    total += path.stat().st_size
+            return total
+
+        before = du(populated)
+        stats = compact_store(populated.root, rows_per_segment=10 ** 6)
+        after = du(ResultStore(populated.root))
+        assert stats.bytes_reclaimed == before - after
+
+    def test_export_reports_source_and_output_bytes(self, tmp_path,
+                                                    populated):
+        from repro.store import export_store
+
+        stats = export_store(populated, tmp_path / "out.store",
+                             output_format="columnar")
+        exported = ResultStore(tmp_path / "out.store")
+        measured = sum((exported.segments_dir / f).stat().st_size
+                       for m in exported.segments for f in m.filenames
+                       if (exported.segments_dir / f).exists())
+        assert stats.output_bytes == measured
+        assert stats.source_bytes > 0
+        # Columnar re-encoding of a JSONL store reclaims real bytes.
+        assert stats.output_bytes < stats.source_bytes
+
+
+class TestEmptyBatchPinning:
+    """Satellite pin: an empty batch is a validated no-op, not a write."""
+
+    @pytest.fixture()
+    def batch_columns(self, results):
+        from repro.store.schema import execution_results_to_columns
+
+        return execution_results_to_columns(results)
+
+    def test_empty_batch_writes_nothing(self, tmp_path, batch_columns):
+        store = ResultStore(tmp_path / "e.store")
+        empty = {name: a[:0] for name, a in batch_columns.items()}
+        with store.writer() as writer:
+            assert writer.append_batch("executions", empty) == 0
+            assert writer.rows_pending == 0
+        reopened = ResultStore(store.root)
+        assert not reopened.segments
+        assert reopened.sequence == 0
+        assert not reopened.segments_dir.is_dir() \
+            or list(reopened.segments_dir.iterdir()) == []
+
+    def test_empty_batch_is_still_validated(self, tmp_path, batch_columns):
+        store = ResultStore(tmp_path / "e.store")
+        empty = {name: a[:0] for name, a in batch_columns.items()}
+        del empty["latency_ms"]
+        with store.writer() as writer:
+            with pytest.raises(ValueError, match="missing columns"):
+                writer.append_batch("executions", empty)
+            with pytest.raises(KeyError):
+                writer.append_batch("not-a-kind", {})
+
+    def test_empty_batch_between_real_ones_preserves_rows(self, tmp_path,
+                                                          batch_columns,
+                                                          results):
+        store = ResultStore(tmp_path / "e.store")
+        empty = {name: a[:0] for name, a in batch_columns.items()}
+        with store.writer(rows_per_segment=1000) as writer:
+            writer.append_batch("executions", batch_columns)
+            assert writer.append_batch("executions", empty) == 0
+        assert store.query("executions").objects() == results
