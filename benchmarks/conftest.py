@@ -28,6 +28,7 @@ from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
 from repro.android.playstore import PlayStore
 from repro.core.pipeline import GaugeNN
 from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
+from repro.obs.timing import Stopwatch
 from repro.runtime import Backend, Executor
 
 #: Fraction of the paper's dataset size used for benchmark runs.
@@ -43,6 +44,16 @@ SPEEDUP_GATES = os.environ.get("REPRO_BENCH_NO_GATE", "") != "1"
 
 #: Directory where reproduced tables/figures are written.
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+#: Shared timing helper: ``result, seconds = timed(fn, *args)``.  One
+#: perf_counter convention for every benchmark module (monotonic, not
+#: wall-clock) instead of ad-hoc start/stop pairs.
+timed = Stopwatch.time_call
+
+#: ``min_seconds = best_of(repeats, fn, *args)[1]`` — the standard
+#: best-of-N measurement for jitter-sensitive gates.
+best_of = Stopwatch.best_of
 
 
 def assert_speedup(measured: float, minimum: float, label: str = "") -> None:

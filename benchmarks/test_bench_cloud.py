@@ -24,12 +24,11 @@ store and fleet baselines.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import BENCH_SCALE, assert_speedup, timed, write_result
 
 from repro.cloud import (ApiCapacity, CapacityModel, CloudRegion,
                          InterferenceConfig, InterferenceSimulator,
@@ -113,9 +112,7 @@ def baseline_run(cloud_spec):
     """Single-worker two-pass run (also the fixed-point measurement)."""
     simulator = InterferenceSimulator(cloud_spec, CAPACITY, config=CONFIG,
                                       max_workers=1)
-    start = time.perf_counter()
-    result = simulator.run()
-    seconds = time.perf_counter() - start
+    result, seconds = timed(simulator.run)
     RESULTS["fixed_point"] = {
         "users": cloud_spec.num_users,
         "horizon_hours": HORIZON_S / 3600.0,
@@ -157,10 +154,9 @@ def test_bench_determinism_across_pool_kinds(cloud_spec, baseline_run):
     }
     timings = {}
     for name, kwargs in variants.items():
-        start = time.perf_counter()
-        result = InterferenceSimulator(cloud_spec, CAPACITY, config=CONFIG,
-                                       **kwargs).run()
-        timings[name] = time.perf_counter() - start
+        result, timings[name] = timed(
+            InterferenceSimulator(cloud_spec, CAPACITY, config=CONFIG,
+                                  **kwargs).run)
         assert result.passes == reference.passes, name
         assert result.converged == reference.converged, name
         assert np.array_equal(result.table.service_ms,
@@ -215,16 +211,14 @@ def test_bench_vectorized_vs_naive_under_load(cloud_spec, baseline_run):
     events = sum(result.traces[uid].num_events for uid in user_ids)
     assert events > 1_000
 
-    naive_start = time.perf_counter()
-    naive = [simulate_user_naive(spec, uid, service_table=result.table)
-             for uid in user_ids]
-    naive_seconds = time.perf_counter() - naive_start
+    naive, naive_seconds = timed(
+        lambda: [simulate_user_naive(spec, uid, service_table=result.table)
+                 for uid in user_ids])
 
     vectorized_sim = FleetSimulator(spec, max_workers=1,
                                     service_table=result.table)
-    vectorized_start = time.perf_counter()
-    vectorized = [vectorized_sim.simulate_user(uid) for uid in user_ids]
-    vectorized_seconds = time.perf_counter() - vectorized_start
+    vectorized, vectorized_seconds = timed(
+        lambda: [vectorized_sim.simulate_user(uid) for uid in user_ids])
 
     for fast, slow in zip(vectorized, naive):
         assert np.array_equal(fast.route, slow.route)
@@ -252,9 +246,7 @@ def test_bench_store_ingest_and_audit(cloud_spec, tmp_path_factory):
     store = ResultStore(store_path)
     simulator = InterferenceSimulator(cloud_spec, CAPACITY, config=CONFIG,
                                       max_workers=2)
-    start = time.perf_counter()
-    rows, result = simulator.run_to_store(store)
-    ingest_seconds = time.perf_counter() - start
+    (rows, result), ingest_seconds = timed(simulator.run_to_store, store)
 
     events = store.num_rows("fleet_events")
     load_rows = store.num_rows("fleet_load")

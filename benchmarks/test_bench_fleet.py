@@ -22,12 +22,13 @@ Results land in ``BENCH_fleet.json`` at the repo root, next to
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import BENCH_SCALE, assert_speedup, timed, write_result
+
+from repro.obs.timing import Stopwatch
 
 from repro.core.pipeline import GaugeNN
 from repro.fleet import (FleetSimulator, FleetSpec, simulate_user_naive,
@@ -79,9 +80,7 @@ def fleet_spec(analysis_2021):
 def baseline_traces(fleet_spec):
     """Single-worker reference run (also the throughput measurement)."""
     simulator = FleetSimulator(fleet_spec, max_workers=1)
-    start = time.perf_counter()
-    traces = simulator.collect()
-    seconds = time.perf_counter() - start
+    traces, seconds = timed(simulator.collect)
     RESULTS["throughput"] = {
         "users": fleet_spec.num_users,
         "horizon_hours": HORIZON_S / 3600.0,
@@ -113,9 +112,7 @@ def test_bench_determinism_across_workers(fleet_spec, baseline_traces):
     }
     timings = {}
     for name, simulator in variants.items():
-        start = time.perf_counter()
-        traces = simulator.collect()
-        timings[name] = time.perf_counter() - start
+        traces, timings[name] = timed(simulator.collect)
         assert len(traces) == len(baseline_traces)
         for ours, reference in zip(traces, baseline_traces):
             assert _user_key(ours.user) == _user_key(reference.user)
@@ -138,14 +135,12 @@ def test_bench_vectorized_vs_naive(fleet_spec, baseline_traces):
     events = sum(baseline_traces[uid].num_events for uid in user_ids)
     assert events > 1_000
 
-    naive_start = time.perf_counter()
-    naive = [simulate_user_naive(fleet_spec, uid) for uid in user_ids]
-    naive_seconds = time.perf_counter() - naive_start
+    naive, naive_seconds = timed(
+        lambda: [simulate_user_naive(fleet_spec, uid) for uid in user_ids])
 
     simulator = FleetSimulator(fleet_spec, max_workers=1)
-    vectorized_start = time.perf_counter()
-    vectorized = [simulator.simulate_user(uid) for uid in user_ids]
-    vectorized_seconds = time.perf_counter() - vectorized_start
+    vectorized, vectorized_seconds = timed(
+        lambda: [simulator.simulate_user(uid) for uid in user_ids])
 
     for fast, slow in zip(vectorized, naive):
         assert np.array_equal(fast.offloaded, slow.offloaded)
@@ -173,9 +168,8 @@ def test_bench_store_ingest(fleet_spec, baseline_traces, tmp_path_factory):
     store_path = tmp_path_factory.mktemp("bench_fleet") / "fleet.store"
     simulator = FleetSimulator(fleet_spec, max_workers=2)
 
-    start = time.perf_counter()
-    rows = simulator.run_to_store(store_path, rows_per_segment=16384)
-    ingest_seconds = time.perf_counter() - start
+    rows, ingest_seconds = timed(simulator.run_to_store, store_path,
+                                 rows_per_segment=16384)
 
     store = ResultStore(store_path)
     total = sum(t.num_events for t in baseline_traces)
@@ -183,11 +177,11 @@ def test_bench_store_ingest(fleet_spec, baseline_traces, tmp_path_factory):
     assert store.num_rows("fleet_events") == total
     assert store.verify_integrity() == len(store.segments)
 
-    report_start = time.perf_counter()
-    table = tail_latency_table(store, group_by=("device_name", "scenario"))
-    drains = battery_drain_ecdf(store)
-    offload = offload_summary(store)
-    report_seconds = time.perf_counter() - report_start
+    with Stopwatch() as watch:
+        table = tail_latency_table(store, group_by=("device_name", "scenario"))
+        drains = battery_drain_ecdf(store)
+        offload = offload_summary(store)
+    report_seconds = watch.elapsed_s
     assert table and offload["events"] == total
 
     RESULTS["store_ingest"] = {

@@ -14,11 +14,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import time
 from pathlib import Path
 
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import BENCH_SCALE, assert_speedup, timed, write_result
 
 from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET
@@ -78,15 +77,11 @@ def test_bench_zoo_latency_sweep(benchmark, unique_graphs):
     """Zoo-wide fleet latency sweep: cached + vectorised vs. seed behaviour."""
     warm_zoos = [list(unique_graphs)] * len(DEVICE_FLEET)
     warm_results = _fleet_cpu_sweep(warm_zoos)  # populate every cache
-    warm_start = time.perf_counter()
-    _fleet_cpu_sweep(warm_zoos)
-    warm_seconds = time.perf_counter() - warm_start
+    _, warm_seconds = timed(_fleet_cpu_sweep, warm_zoos)
 
     # Seed behaviour: every device pass recomputes everything from scratch.
     cold_zoos = [[cold_copy(g) for g in unique_graphs] for _ in DEVICE_FLEET]
-    cold_start = time.perf_counter()
-    cold_results = _fleet_cpu_sweep(cold_zoos)
-    cold_seconds = time.perf_counter() - cold_start
+    cold_results, cold_seconds = timed(_fleet_cpu_sweep, cold_zoos)
 
     # The caches must not change any number: identical accounting, identical
     # noise draws (same executor seeds), so identical ExecutionResults up to
@@ -119,17 +114,13 @@ def test_bench_uniqueness_cached(benchmark, analysis_2021):
         return (analyze_uniqueness(models), analyze_finetuning(models))
 
     warm_uniq, warm_fine = analyses(analysis_2021.models)  # populate caches
-    warm_start = time.perf_counter()
-    analyses(analysis_2021.models)
-    warm_seconds = time.perf_counter() - warm_start
+    _, warm_seconds = timed(analyses, analysis_2021.models)
 
     cold_models = [
         dataclasses.replace(record, graph=cold_copy(record.graph))
         for record in analysis_2021.models
     ]
-    cold_start = time.perf_counter()
-    cold_uniq, cold_fine = analyses(cold_models)
-    cold_seconds = time.perf_counter() - cold_start
+    (cold_uniq, cold_fine), cold_seconds = timed(analyses, cold_models)
 
     assert cold_uniq == warm_uniq
     assert cold_fine == warm_fine
@@ -158,13 +149,9 @@ def test_bench_parallel_fleet_sweep(benchmark, unique_graphs):
     jobs = runner.compatible_jobs()
 
     serial = SweepRunner(spec, max_workers=1)
-    serial_start = time.perf_counter()
-    serial_results = serial.run()
-    serial_seconds = time.perf_counter() - serial_start
+    serial_results, serial_seconds = timed(serial.run)
 
-    parallel_start = time.perf_counter()
-    parallel_results = runner.run()
-    parallel_seconds = time.perf_counter() - parallel_start
+    parallel_results, parallel_seconds = timed(runner.run)
 
     assert parallel_results == serial_results  # worker-count independent
 

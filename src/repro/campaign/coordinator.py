@@ -32,13 +32,13 @@ pins all three.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.cloud.load import LoadProfile
 from repro.fleet.population import FleetSpec
 from repro.fleet.simulator import FleetSimulator
@@ -128,39 +128,48 @@ def _concat_batches(kind: RowKind,
 
 
 def _run_shard(task: ShardTask) -> ShardResult:
-    """Simulate one user range into its shard-local store (worker body)."""
-    started = time.perf_counter()
-    simulator = FleetSimulator(task.spec, max_workers=1)
-    store = ResultStore(task.root)
-    profile = LoadProfile(task.spec.regions, task.spec.horizon_s,
-                          task.bin_seconds)
-    events_kind = kind_for("fleet_events")
-    events = offloaded = 0
-    buffered: list[dict[str, np.ndarray]] = []
-    buffered_rows = 0
-    with store.writer(rows_per_segment=task.rows_per_segment,
-                      compress=task.compress) as writer:
-        for trace in simulator.iter_traces((task.lo, task.hi)):
-            offloaded += profile.add_trace(trace)
-            if trace.num_events:
-                buffered.append(trace.column_batch())
-                buffered_rows += trace.num_events
-                events += trace.num_events
-            if buffered_rows >= task.flush_events:
+    """Simulate one user range into its shard-local store (worker body).
+
+    ``ShardResult.seconds`` derives from the shard's ``campaign.shard``
+    span (forced, so it measures even with telemetry off); with telemetry
+    on the same span rides back through the pool and re-parents under the
+    coordinator's ``campaign.simulate``.
+    """
+    span = obs.span("campaign.shard", shard=task.shard_index,
+                    items=task.hi - task.lo, force=True)
+    with span:
+        simulator = FleetSimulator(task.spec, max_workers=1)
+        store = ResultStore(task.root)
+        profile = LoadProfile(task.spec.regions, task.spec.horizon_s,
+                              task.bin_seconds)
+        events_kind = kind_for("fleet_events")
+        events = offloaded = 0
+        buffered: list[dict[str, np.ndarray]] = []
+        buffered_rows = 0
+        with store.writer(rows_per_segment=task.rows_per_segment,
+                          compress=task.compress) as writer:
+            for trace in simulator.iter_traces((task.lo, task.hi)):
+                offloaded += profile.add_trace(trace)
+                if trace.num_events:
+                    buffered.append(trace.column_batch())
+                    buffered_rows += trace.num_events
+                    events += trace.num_events
+                if buffered_rows >= task.flush_events:
+                    writer.append_batch(events_kind,
+                                        _concat_batches(events_kind,
+                                                        buffered))
+                    buffered, buffered_rows = [], 0
+            if buffered:
                 writer.append_batch(events_kind,
                                     _concat_batches(events_kind, buffered))
-                buffered, buffered_rows = [], 0
-        if buffered:
-            writer.append_batch(events_kind,
-                                _concat_batches(events_kind, buffered))
-        # The shard's demand grid rides in the same store; the merge
-        # rebuilds and sums the grids rather than adopting these rows.
-        writer.append_batch("fleet_load", profile.column_batch())
+            # The shard's demand grid rides in the same store; the merge
+            # rebuilds and sums the grids rather than adopting these rows.
+            writer.append_batch("fleet_load", profile.column_batch())
     return ShardResult(shard_index=task.shard_index,
                        users=task.hi - task.lo, events=events,
                        offloaded=offloaded,
                        segments=writer.segments_sealed,
-                       seconds=time.perf_counter() - started)
+                       seconds=span.duration_s)
 
 
 def _run_shard_chunk(tasks: Sequence[ShardTask]) -> list[ShardResult]:
@@ -216,35 +225,39 @@ def run_campaign(spec: FleetSpec, root: Union[str, Path], *,
                   bin_seconds=bin_seconds)
         for index, (lo, hi) in enumerate(shard_ranges(spec.num_users, shards))
     ]
-    started = time.perf_counter()
-    shard_results = tuple(iter_mapped_chunks(
-        _run_shard_chunk, tasks,
-        max_workers=max_parallel, chunk_size=1,
-        use_processes=use_processes and len(tasks) > 1,
-    ))
-    simulate_seconds = time.perf_counter() - started
+    # Stage seconds derive from forced spans — measured with telemetry
+    # off, additionally traced (with the shard spans re-parented beneath
+    # ``campaign.simulate``) when it is on.
+    simulate_span = obs.span("campaign.simulate", items=len(tasks),
+                             force=True)
+    with simulate_span:
+        shard_results = tuple(iter_mapped_chunks(
+            _run_shard_chunk, tasks,
+            max_workers=max_parallel, chunk_size=1,
+            use_processes=use_processes and len(tasks) > 1,
+        ))
 
-    started = time.perf_counter()
-    shard_stores = [ResultStore(task.root) for task in tasks]
-    adopted, sequence, merge_stats = adopt_segments(
-        merged, shard_stores, kinds=("fleet_events",))
-    profile = LoadProfile(spec.regions, spec.horizon_s, bin_seconds)
-    for shard_store in shard_stores:
-        profile.merge(LoadProfile.from_store(
-            shard_store, spec.regions, spec.horizon_s, bin_seconds))
-    metas = list(adopted)
-    load_batch = profile.column_batch()
-    if load_batch["bin_index"].size:
-        load_kind = kind_for("fleet_load")
-        sequence += 1
-        metas.append(write_columnar_segment(
-            merged.segments_dir, f"fleet_load-{sequence:06d}", load_kind,
-            coerce_batch(load_kind, load_batch), compress=compress))
-    if metas:
-        # One manifest generation commits the adopted event segments AND
-        # the merged demand grid: the only visibility switch of the merge.
-        merged._commit(metas, sequence)
-    merge_seconds = time.perf_counter() - started
+    merge_span = obs.span("campaign.merge", items=len(tasks), force=True)
+    with merge_span:
+        shard_stores = [ResultStore(task.root) for task in tasks]
+        adopted, sequence, merge_stats = adopt_segments(
+            merged, shard_stores, kinds=("fleet_events",))
+        profile = LoadProfile(spec.regions, spec.horizon_s, bin_seconds)
+        for shard_store in shard_stores:
+            profile.merge(LoadProfile.from_store(
+                shard_store, spec.regions, spec.horizon_s, bin_seconds))
+        metas = list(adopted)
+        load_batch = profile.column_batch()
+        if load_batch["bin_index"].size:
+            load_kind = kind_for("fleet_load")
+            sequence += 1
+            metas.append(write_columnar_segment(
+                merged.segments_dir, f"fleet_load-{sequence:06d}", load_kind,
+                coerce_batch(load_kind, load_batch), compress=compress))
+        if metas:
+            # One manifest generation commits the adopted event segments AND
+            # the merged demand grid: the only visibility switch of the merge.
+            merged._commit(metas, sequence)
 
     return CampaignResult(
         store_root=str(merged.root),
@@ -253,6 +266,6 @@ def run_campaign(spec: FleetSpec, root: Union[str, Path], *,
         offloaded=sum(result.offloaded for result in shard_results),
         shard_results=shard_results,
         merge=merge_stats,
-        simulate_seconds=simulate_seconds,
-        merge_seconds=merge_seconds,
+        simulate_seconds=simulate_span.duration_s,
+        merge_seconds=merge_span.duration_s,
     )

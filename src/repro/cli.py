@@ -34,6 +34,10 @@ Four subcommands mirror the paper's workflow:
                   any shard count).
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
+* ``obs``       — telemetry reports over a sidecar store written by
+                  :mod:`repro.obs` (``--telemetry`` on ``fleet`` /
+                  ``campaign run``): run timeline, per-stage breakdown,
+                  shard-skew and metric tables.
 
 Example::
 
@@ -62,6 +66,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.android.appgen import AppGenerator, GeneratorConfig, ModelPool
 from repro.android.playstore import PlayStore
 from repro.core import reports
@@ -74,7 +79,7 @@ from repro.devices.device import DEVICE_FLEET, DEV_BOARDS, device_by_name
 from repro.devices.scheduler import ThreadConfig
 from repro.runtime import Backend, SweepRunner, SweepSpec
 from repro.store import ReportServer, ResultStore, compact_store
-from repro.store.schema import ROW_KINDS
+from repro.store.schema import ROW_KINDS, TELEMETRY_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -391,6 +396,17 @@ def cmd_store_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_summary_table(summary: dict) -> None:
+    print(f"\n{'kind':<18}{'segments':>9}{'rows':>10}{'on-disk':>12}"
+          f"{'sidecars':>12}  formats")
+    for kind_name, entry in summary.items():
+        mix = ", ".join(f"{count} {fmt}" for fmt, count
+                        in sorted(entry["formats"].items()))
+        print(f"{kind_name:<18}{entry['segments']:>9}{entry['rows']:>10}"
+              f"{entry['bytes'] / 1e6:>10.2f}MB"
+              f"{entry['sidecar_bytes'] / 1e6:>10.2f}MB  {mix}")
+
+
 def cmd_store_info(args: argparse.Namespace) -> int:
     """Inspect a persisted campaign's layout, format mix and integrity."""
     store = ResultStore(args.path)
@@ -399,15 +415,17 @@ def cmd_store_info(args: argparse.Namespace) -> int:
         print(f"  {meta.name:<22} {meta.kind:<12} {meta.format:<9} "
               f"{meta.rows:>7} rows  sha256 {meta.sha256[:12]}")
     summary = store.format_summary()
-    if summary:
-        print(f"\n{'kind':<14}{'segments':>9}{'rows':>10}{'on-disk':>12}"
-              f"{'sidecars':>12}  formats")
-        for kind_name, entry in summary.items():
-            mix = ", ".join(f"{count} {fmt}" for fmt, count
-                            in sorted(entry["formats"].items()))
-            print(f"{kind_name:<14}{entry['segments']:>9}{entry['rows']:>10}"
-                  f"{entry['bytes'] / 1e6:>10.2f}MB"
-                  f"{entry['sidecar_bytes'] / 1e6:>10.2f}MB  {mix}")
+    # Telemetry kinds report under their own heading: a sidecar store is
+    # all telemetry, a result store should show none.
+    results = {kind: entry for kind, entry in summary.items()
+               if kind not in TELEMETRY_KINDS}
+    telemetry = {kind: entry for kind, entry in summary.items()
+                 if kind in TELEMETRY_KINDS}
+    if results:
+        _print_summary_table(results)
+    if telemetry:
+        print("\ntelemetry:")
+        _print_summary_table(telemetry)
     if args.verify:
         verified = store.verify_integrity()
         print(f"verified {verified} segment checksums: OK")
@@ -482,7 +500,33 @@ def cmd_store_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_telemetry(args: argparse.Namespace, run_id: str, body) -> int:
+    """Run ``body`` with telemetry enabled when ``--telemetry PATH`` was given.
+
+    On success the collected snapshot lands in the sidecar store at the
+    given path (tagged ``run_id``); telemetry is always disabled again
+    afterwards so one command's spans never leak into the next.
+    """
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None:
+        return body()
+    from repro.obs.sink import write_telemetry
+
+    obs.enable()
+    try:
+        code = body()
+        rows = write_telemetry(telemetry, run_id=run_id)
+        print(f"telemetry: {rows} rows into {telemetry}")
+        return code
+    finally:
+        obs.disable()
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, "campaign", lambda: _campaign_run_body(args))
+
+
+def _campaign_run_body(args: argparse.Namespace) -> int:
     """Sharded out-of-core campaign: simulate, adopt, add, report."""
     from repro.campaign import campaign_spec, run_campaign
 
@@ -551,6 +595,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, "fleet", lambda: _fleet_body(args))
+
+
+def _fleet_body(args: argparse.Namespace) -> int:
     """Deterministic fleet traffic simulation, reported per device/scenario."""
     from repro.devices.battery import RechargeSchedule
     from repro.fleet import (DiurnalProfile, FleetSimulator, FleetSpec,
@@ -708,6 +756,62 @@ def _run_fleet_cloud(args: argparse.Namespace, spec) -> int:
         for row in cloud_rows:
             print(f"{row['region']:<12}{row['events']:>10}"
                   f"{row['p50_ms']:>10.1f}{row['p99_ms']:>10.1f}")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render one telemetry table from a sidecar store."""
+    from repro.obs.report import (metrics_table, run_timeline, shard_skew,
+                                  stage_breakdown)
+
+    if args.table == "run_timeline":
+        rows = run_timeline(args.store, run_id=args.run)
+        if not rows:
+            print("no spans recorded")
+            return 1
+        print(f"{'offset_s':>10} {'duration_s':>11} {'shard':>6} "
+              f"{'items':>8}  span")
+        for row in rows:
+            indent = "  " * row["depth"]
+            shard = str(row["shard"]) if row["shard"] >= 0 else "-"
+            detail = f"  [{row['detail']}]" if row["detail"] else ""
+            print(f"{row['offset_s']:>10.4f} {row['duration_s']:>11.4f} "
+                  f"{shard:>6} {row['items']:>8}  "
+                  f"{indent}{row['name']}{detail}")
+    elif args.table == "stages":
+        rows = stage_breakdown(args.store, run_id=args.run)
+        if not rows:
+            print("no spans recorded")
+            return 1
+        print(f"{'stage':<26}{'spans':>7}{'total s':>10}{'mean s':>10}"
+              f"{'max s':>10}{'items':>10}")
+        for row in rows:
+            print(f"{row['name']:<26}{row['spans']:>7}{row['total_s']:>10.4f}"
+                  f"{row['mean_s']:>10.4f}{row['max_s']:>10.4f}"
+                  f"{row['items']:>10}")
+    elif args.table == "shard_skew":
+        rows = shard_skew(args.store, run_id=args.run)
+        if not rows:
+            print("no shard-scoped spans recorded")
+            return 1
+        print(f"{'shard':>6}{'spans':>7}{'seconds':>10}{'items':>10}"
+              f"{'skew':>8}")
+        for row in rows:
+            print(f"{row['shard']:>6}{row['spans']:>7}"
+                  f"{row['seconds']:>10.4f}{row['items']:>10}"
+                  f"{row['skew']:>8.2f}")
+    else:
+        rows = metrics_table(args.store, run_id=args.run,
+                             metric_class=args.metric_class)
+        if not rows:
+            print("no metrics recorded")
+            return 1
+        print(f"{'metric':<28}{'class':<15}{'value':>12} {'total':>14} "
+              f"{'min':>12} {'max':>12}")
+        for row in rows:
+            print(f"{row['metric']:<28}{row['metric_class']:<15}"
+                  f"{row['value_i']:>12} {row['total']:>14.4f} "
+                  f"{row['min']:>12.4f} {row['max']:>12.4f}")
     return 0
 
 
@@ -929,6 +1033,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed-point damping factor in (0, 1]")
     fleet.add_argument("--cloud-max-passes", type=_positive_int, default=8,
                        help="iteration cap of the fixed point")
+    fleet.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="run with telemetry enabled and persist the "
+                            "metrics/spans into a sidecar store at PATH")
     fleet.set_defaults(func=cmd_fleet)
 
     campaign = subparsers.add_parser(
@@ -966,7 +1073,28 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="concurrently running shard processes "
                                    "(default: one per CPU)")
+    campaign_run.add_argument("--telemetry", default=None, metavar="PATH",
+                              help="run with telemetry enabled and persist "
+                                   "the metrics/spans into a sidecar store "
+                                   "at PATH")
     campaign_run.set_defaults(func=cmd_campaign_run)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="telemetry reports over a sidecar store")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a telemetry table (timeline, stages, "
+                       "shard skew, metrics)")
+    obs_report.add_argument("store", help="sidecar telemetry store path")
+    obs_report.add_argument("--table", default="run_timeline",
+                            choices=("run_timeline", "stages", "shard_skew",
+                                     "metrics"))
+    obs_report.add_argument("--run", default=None, metavar="ID",
+                            help="restrict to one run_id (default: all rows)")
+    obs_report.add_argument("--metric-class", default=None,
+                            choices=("deterministic", "wallclock"),
+                            help="metrics table only: restrict to one class")
+    obs_report.set_defaults(func=cmd_obs_report)
 
     compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")
     compare.add_argument("--scale", type=float, default=0.05)

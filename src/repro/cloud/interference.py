@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cloud.capacity import CapacityModel
 from repro.cloud.load import FIG15_API_NAMES, LoadProfile, ServiceTable
 from repro.fleet.population import FleetSpec
@@ -171,25 +172,34 @@ class InterferenceSimulator:
         deltas: list[float] = []
         profile = self._empty_profile()
         previous_requests: Optional[np.ndarray] = None
-        for iteration in range(config.max_passes):
-            # Pass 1 runs at the nominal table == the plain PR 3 loop.
-            profile = self._profile_pass(table if iteration else None)
-            passes += 1
-            target = self._target_table(profile)
-            delta = float(np.abs(target - table.service_ms).max()) \
-                if target.size else 0.0
-            deltas.append(delta)
-            if delta <= config.tolerance_ms:
-                converged = True
-                break
-            demand_stable = (previous_requests is not None
-                             and np.array_equal(previous_requests,
-                                                profile.requests))
-            blended = target if demand_stable else (
-                table.service_ms + config.damping * (target - table.service_ms))
-            table = ServiceTable(table.regions, table.apis,
-                                 table.bin_seconds, blended)
-            previous_requests = profile.requests.copy()
+        with obs.span("cloud.solve"):
+            for iteration in range(config.max_passes):
+                # Pass 1 runs at the nominal table == the plain PR 3 loop.
+                with obs.span("cloud.pass", items=self.spec.num_users,
+                              detail=f"iteration {iteration + 1}"):
+                    profile = self._profile_pass(table if iteration else None)
+                passes += 1
+                target = self._target_table(profile)
+                delta = float(np.abs(target - table.service_ms).max()) \
+                    if target.size else 0.0
+                deltas.append(delta)
+                # The convergence trajectory is a pure function of (spec,
+                # capacity, config) — pass counts are deterministic-class;
+                # the delta magnitudes are floats, kept as observations.
+                obs.observe("cloud.delta_ms", delta)
+                if delta <= config.tolerance_ms:
+                    converged = True
+                    break
+                demand_stable = (previous_requests is not None
+                                 and np.array_equal(previous_requests,
+                                                    profile.requests))
+                blended = target if demand_stable else (
+                    table.service_ms
+                    + config.damping * (target - table.service_ms))
+                table = ServiceTable(table.regions, table.apis,
+                                     table.bin_seconds, blended)
+                previous_requests = profile.requests.copy()
+        obs.count("cloud.passes", passes)
         return InterferenceResult(table=table, profile=profile,
                                   passes=passes, converged=converged,
                                   deltas_ms=deltas)
@@ -197,7 +207,8 @@ class InterferenceSimulator:
     def run(self) -> InterferenceResult:
         """Solve the fixed point, then collect the definitive final pass."""
         result = self.solve()
-        traces = self._simulator(result.table).collect()
+        with obs.span("cloud.final_pass", items=self.spec.num_users):
+            traces = self._simulator(result.table).collect()
         profile = self._empty_profile()
         for trace in traces:
             profile.add_trace(trace)
@@ -205,6 +216,7 @@ class InterferenceSimulator:
         result.profile = profile
         result.arrived = sum(trace.num_events for trace in traces)
         result.passes += 1
+        obs.count("cloud.passes", 1)
         return result
 
     def run_to_store(self, store, *,
@@ -228,13 +240,15 @@ class InterferenceSimulator:
         arrived = 0
         events_kind = kind_for("fleet_events")
         load_kind = kind_for("fleet_load")
-        with store.writer(rows_per_segment=rows_per_segment) as writer:
-            for trace in self._simulator(result.table).iter_traces():
-                profile.add_trace(trace)
-                arrived += trace.num_events
-                writer.append_batch(events_kind, trace.column_batch())
-            writer.append_batch(load_kind, profile.column_batch())
+        with obs.span("cloud.final_pass", items=self.spec.num_users):
+            with store.writer(rows_per_segment=rows_per_segment) as writer:
+                for trace in self._simulator(result.table).iter_traces():
+                    profile.add_trace(trace)
+                    arrived += trace.num_events
+                    writer.append_batch(events_kind, trace.column_batch())
+                writer.append_batch(load_kind, profile.column_batch())
         result.profile = profile
         result.arrived = arrived
         result.passes += 1
+        obs.count("cloud.passes", 1)
         return writer.rows_committed, result

@@ -52,6 +52,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.stats import exponential_decay_scan
 from repro.devices.thermal import ThermalModel
 from repro.fleet.events import FleetEvent
@@ -503,7 +504,22 @@ class FleetSimulator:
     # Fan-out
     # ------------------------------------------------------------------ #
     def _simulate_chunk(self, user_ids: Sequence[int]) -> list[UserTrace]:
-        return [self.simulate_user(user_id) for user_id in user_ids]
+        collector = obs.get_collector()
+        if collector is None:
+            # Disabled-mode hot path: one check per chunk, nothing else.
+            return [self.simulate_user(user_id) for user_id in user_ids]
+        with collector.span("fleet.simulate_chunk", items=len(user_ids)):
+            traces = [self.simulate_user(user_id) for user_id in user_ids]
+        # Per-trace totals sum exactly, so chunking/pool kind can't move
+        # them — the deterministic class.
+        collector.count("fleet.users_simulated", len(traces))
+        collector.count("fleet.events_simulated",
+                        sum(trace.num_events for trace in traces))
+        collector.count("fleet.events_offloaded",
+                        sum(trace.num_offloaded for trace in traces))
+        collector.count("fleet.events_shed",
+                        sum(trace.num_shed for trace in traces))
+        return traces
 
     def iter_traces(self, user_range: Optional[tuple[int, int]] = None
                     ) -> Iterator[UserTrace]:
@@ -560,7 +576,8 @@ class FleetSimulator:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         kind = kind_for("fleet_events")
-        with store.writer(rows_per_segment=rows_per_segment) as writer:
-            for trace in self.iter_traces(user_range):
-                writer.append_batch(kind, trace.column_batch())
+        with obs.span("fleet.run_to_store"):
+            with store.writer(rows_per_segment=rows_per_segment) as writer:
+                for trace in self.iter_traces(user_range):
+                    writer.append_batch(kind, trace.column_batch())
         return writer.rows_committed

@@ -1,0 +1,185 @@
+"""Store-served telemetry reports: timeline, stage breakdown, shard skew.
+
+All tables read a sidecar telemetry store (see :mod:`repro.obs.sink`)
+through the store's own column caches and return plain lists of dicts —
+the CLI (``repro obs report``) renders them, tests assert on them, and
+notebooks can frame them.  The span tree is rebuilt from the persisted
+``(span_id, parent_id)`` pairs; :meth:`Collector.absorb`'s id remapping
+guarantees ids are unique store-wide within one run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["metrics_table", "run_timeline", "shard_skew", "stage_breakdown"]
+
+
+def _open(store):
+    from repro.store.store import ResultStore
+
+    return store if isinstance(store, ResultStore) else ResultStore(store)
+
+
+def _gather(store, kind_name: str, run_id: Optional[str]) -> Optional[dict]:
+    """All of a kind's rows as one concatenated column dict (or ``None``)."""
+    from repro.store.schema import kind_for
+
+    metas = store.segments_for(kind_name)
+    if not metas:
+        return None
+    kind = kind_for(kind_name)
+    columns = {
+        column.name: np.concatenate(
+            [np.asarray(store.columns_for(meta)[column.name])
+             for meta in metas])
+        for column in kind.columns
+    }
+    if run_id is not None:
+        mask = columns["run_id"] == run_id
+        columns = {name: array[mask] for name, array in columns.items()}
+    if not columns["run_id"].size:
+        return None
+    return columns
+
+
+def run_timeline(store: Union[str, Path, "ResultStore"], *,
+                 run_id: Optional[str] = None) -> list[dict]:
+    """Every span as a timeline row: start offset, duration, tree depth.
+
+    Rows come back ordered by ``(start_s, span_id)`` — wall-clock start
+    within a run — with ``offset_s`` relative to the run's earliest span
+    and ``depth`` computed from the stitched parent chain (orphan parents
+    count as roots, which the stitching tests pin never happens).
+    """
+    store = _open(store)
+    spans = _gather(store, "telemetry_spans", run_id)
+    if spans is None:
+        return []
+    order = np.lexsort((spans["span_id"], spans["start_s"]))
+    t0 = float(spans["start_s"].min())
+    parents = {int(span_id): int(parent_id)
+               for span_id, parent_id in zip(spans["span_id"],
+                                             spans["parent_id"])}
+    depths: dict[int, int] = {}
+
+    def depth_of(span_id: int) -> int:
+        depth = depths.get(span_id)
+        if depth is not None:
+            return depth
+        parent = parents.get(span_id, 0)
+        depth = 0 if parent == 0 or parent not in parents \
+            else depth_of(parent) + 1
+        depths[span_id] = depth
+        return depth
+
+    rows = []
+    for index in order:
+        span_id = int(spans["span_id"][index])
+        rows.append({
+            "run_id": str(spans["run_id"][index]),
+            "span_id": span_id,
+            "parent_id": int(spans["parent_id"][index]),
+            "name": str(spans["name"][index]),
+            "offset_s": float(spans["start_s"][index]) - t0,
+            "duration_s": float(spans["duration_s"][index]),
+            "depth": depth_of(span_id),
+            "shard": int(spans["shard"][index]),
+            "items": int(spans["items"][index]),
+            "detail": str(spans["detail"][index]),
+        })
+    return rows
+
+
+def stage_breakdown(store: Union[str, Path, "ResultStore"], *,
+                    run_id: Optional[str] = None) -> list[dict]:
+    """Per-span-name totals: count, total/mean/max seconds, items.
+
+    The "where did the run spend its time" table, sorted by total
+    duration descending.  Nested spans count their children's time too
+    (a span's duration includes everything beneath it) — this is a
+    by-stage profile, not an exclusive-time flame graph.
+    """
+    store = _open(store)
+    spans = _gather(store, "telemetry_spans", run_id)
+    if spans is None:
+        return []
+    rows = []
+    for name in np.unique(spans["name"]):
+        mask = spans["name"] == name
+        durations = spans["duration_s"][mask]
+        rows.append({
+            "name": str(name),
+            "spans": int(mask.sum()),
+            "total_s": float(durations.sum()),
+            "mean_s": float(durations.mean()),
+            "max_s": float(durations.max()),
+            "items": int(spans["items"][mask].sum()),
+        })
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def shard_skew(store: Union[str, Path, "ResultStore"], *,
+               name: Optional[str] = None,
+               run_id: Optional[str] = None) -> list[dict]:
+    """Per-shard seconds/items for shard-scoped spans, plus a skew ratio.
+
+    ``name`` restricts to one span name (default: every span recorded
+    with ``shard >= 0``).  ``skew`` on each row is that shard's total
+    seconds over the mean across shards — the straggler table for
+    campaign runs.
+    """
+    store = _open(store)
+    spans = _gather(store, "telemetry_spans", run_id)
+    if spans is None:
+        return []
+    mask = spans["shard"] >= 0
+    if name is not None:
+        mask &= spans["name"] == name
+    if not mask.any():
+        return []
+    shards = spans["shard"][mask]
+    durations = spans["duration_s"][mask]
+    items = spans["items"][mask]
+    rows = []
+    for shard in np.unique(shards):
+        shard_mask = shards == shard
+        rows.append({
+            "shard": int(shard),
+            "spans": int(shard_mask.sum()),
+            "seconds": float(durations[shard_mask].sum()),
+            "items": int(items[shard_mask].sum()),
+        })
+    mean_seconds = float(np.mean([row["seconds"] for row in rows]))
+    for row in rows:
+        row["skew"] = row["seconds"] / mean_seconds if mean_seconds else 0.0
+    return rows
+
+
+def metrics_table(store: Union[str, Path, "ResultStore"], *,
+                  run_id: Optional[str] = None,
+                  metric_class: Optional[str] = None) -> list[dict]:
+    """Every persisted metric row, name-sorted; filterable by class."""
+    store = _open(store)
+    metrics = _gather(store, "telemetry_metrics", run_id)
+    if metrics is None:
+        return []
+    rows = []
+    for index in np.argsort(metrics["metric"], kind="stable"):
+        row_class = str(metrics["metric_class"][index])
+        if metric_class is not None and row_class != metric_class:
+            continue
+        rows.append({
+            "run_id": str(metrics["run_id"][index]),
+            "metric": str(metrics["metric"][index]),
+            "metric_class": row_class,
+            "value_i": int(metrics["value_i"][index]),
+            "total": float(metrics["total"][index]),
+            "min": float(metrics["min"][index]),
+            "max": float(metrics["max"][index]),
+        })
+    return rows

@@ -1,0 +1,111 @@
+"""Persist telemetry snapshots into a sidecar :class:`ResultStore`.
+
+Telemetry rides the store's own columnar ingestion path
+(:meth:`~repro.store.writer.StoreWriter.append_batch` over the
+``telemetry_metrics`` / ``telemetry_spans`` row kinds) — but always into
+a **sidecar** store, never mixed into a result store: result
+bit-identity checks must stay blind to whether telemetry was on.
+
+The sink suppresses instrumentation while it writes (the snapshot is
+taken first, then the collector is uninstalled for the duration): a sink
+that counted its own ``store.rows_committed`` would contaminate the
+deterministic counters it is persisting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import DETERMINISTIC, TelemetrySnapshot, WALLCLOCK
+
+__all__ = ["write_telemetry"]
+
+
+def _metrics_batch(snapshot: TelemetrySnapshot, run_id: str) -> dict:
+    """One row per metric: counters then value stats, each name-sorted."""
+    names: list[str] = []
+    classes: list[str] = []
+    value_i: list[int] = []
+    totals: list[float] = []
+    mins: list[float] = []
+    maxs: list[float] = []
+    for name in sorted(snapshot.counters):
+        value = snapshot.counters[name]
+        names.append(name)
+        classes.append(DETERMINISTIC)
+        value_i.append(value)
+        totals.append(float(value))
+        mins.append(float(value))
+        maxs.append(float(value))
+    for name in sorted(snapshot.values):
+        count, total, low, high = snapshot.values[name]
+        names.append(name)
+        classes.append(WALLCLOCK)
+        value_i.append(int(count))
+        totals.append(float(total))
+        mins.append(float(low))
+        maxs.append(float(high))
+    return {
+        "run_id": np.array([run_id] * len(names), dtype=np.str_),
+        "metric": np.array(names, dtype=np.str_),
+        "metric_class": np.array(classes, dtype=np.str_),
+        "value_i": np.array(value_i, dtype=np.int64),
+        "total": np.array(totals, dtype=np.float64),
+        "min": np.array(mins, dtype=np.float64),
+        "max": np.array(maxs, dtype=np.float64),
+    }
+
+
+def _spans_batch(snapshot: TelemetrySnapshot, run_id: str) -> dict:
+    records = snapshot.spans
+    return {
+        "run_id": np.array([run_id] * len(records), dtype=np.str_),
+        "span_id": np.array([r.span_id for r in records], dtype=np.int64),
+        "parent_id": np.array([r.parent_id for r in records],
+                              dtype=np.int64),
+        "name": np.array([r.name for r in records], dtype=np.str_),
+        "start_s": np.array([r.start_s for r in records], dtype=np.float64),
+        "duration_s": np.array([r.duration_s for r in records],
+                               dtype=np.float64),
+        "shard": np.array([r.shard for r in records], dtype=np.int64),
+        "items": np.array([r.items for r in records], dtype=np.int64),
+        "detail": np.array([r.detail for r in records], dtype=np.str_),
+    }
+
+
+def write_telemetry(target: Union[str, Path, "ResultStore"],
+                    snapshot: Optional[TelemetrySnapshot] = None, *,
+                    run_id: str = "run",
+                    rows_per_segment: int = 4096) -> int:
+    """Write a snapshot into the sidecar store at ``target``; returns rows.
+
+    Without an explicit ``snapshot``, the currently enabled collector is
+    snapshotted (an error if telemetry is off — there would be nothing
+    to write).  ``run_id`` tags every row, so successive runs append into
+    one sidecar and reports can filter per run.
+    """
+    from repro.store.store import ResultStore
+
+    if snapshot is None:
+        collector = obs.get_collector()
+        if collector is None:
+            raise RuntimeError(
+                "telemetry is not enabled and no snapshot was given")
+        snapshot = collector.snapshot()
+    store = target if isinstance(target, ResultStore) else ResultStore(target)
+    previous = obs._install(None)  # never self-instrument the sink's writes
+    try:
+        with store.writer(rows_per_segment=rows_per_segment) as writer:
+            metrics = _metrics_batch(snapshot, run_id)
+            if metrics["metric"].size:
+                writer.append_batch("telemetry_metrics", metrics)
+            if snapshot.spans:
+                writer.append_batch("telemetry_spans",
+                                    _spans_batch(snapshot, run_id))
+    finally:
+        obs._install(previous)
+    return writer.rows_committed

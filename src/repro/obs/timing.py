@@ -1,0 +1,97 @@
+"""The one monotonic-clock timing primitive of the repo.
+
+Runtime telemetry (:class:`~repro.obs.tracing.Span` durations) and the
+benchmark harness's hand timing historically used the same two-line
+``time.perf_counter()`` idiom in ~60 places; :class:`Stopwatch` is that
+idiom extracted once, so every measured duration in the system — span
+records, ``BENCH_*.json`` baselines, best-of-N micro timings — comes off
+the same monotonic clock with the same start/stop semantics.
+
+Wall-clock durations are explicitly **outside** the repo's bit-identity
+contract (see :mod:`repro.obs.metrics`): nothing downstream may feed a
+measured time back into simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Start/stop wall-clock timing on the monotonic ``perf_counter`` clock.
+
+    Usable imperatively (``watch.start() ... watch.stop()``), as a context
+    manager, or through the one-shot class helpers::
+
+        with Stopwatch() as watch:
+            work()
+        print(watch.elapsed_s)
+
+        result, seconds = Stopwatch.time_call(work)
+        result, best = Stopwatch.best_of(3, work)   # benchmark idiom
+
+    ``elapsed_s`` holds the duration of the most recent completed
+    measurement; a stopwatch may be restarted any number of times.
+    """
+
+    __slots__ = ("elapsed_s", "_started")
+
+    def __init__(self) -> None:
+        #: Seconds of the most recent completed start/stop measurement.
+        self.elapsed_s = 0.0
+        self._started: float | None = None
+
+    @property
+    def running(self) -> bool:
+        """Whether a measurement is currently open."""
+        return self._started is not None
+
+    def start(self) -> "Stopwatch":
+        """Begin a measurement (restarting discards any open one)."""
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the measurement; sets and returns ``elapsed_s``."""
+        if self._started is None:
+            raise RuntimeError("stopwatch was stopped without being started")
+        self.elapsed_s = time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed_s
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @staticmethod
+    def time_call(fn: Callable[..., Any], *args, **kwargs) -> tuple[Any, float]:
+        """Call ``fn`` once; return ``(result, seconds)``."""
+        watch = Stopwatch().start()
+        result = fn(*args, **kwargs)
+        return result, watch.stop()
+
+    @staticmethod
+    def best_of(repeats: int, fn: Callable[..., Any], *args,
+                **kwargs) -> tuple[Any, float]:
+        """Call ``fn`` ``repeats`` times; return the last result and the
+        fastest wall time.
+
+        The benchmark suite's best-of-N idiom: the minimum over repeats is
+        the least-noisy estimator of the code's intrinsic cost on a shared
+        machine (every source of interference only ever adds time).
+        """
+        if repeats <= 0:
+            raise ValueError("repeats must be positive")
+        best = math.inf
+        result: Any = None
+        for _ in range(repeats):
+            result, seconds = Stopwatch.time_call(fn, *args, **kwargs)
+            if seconds < best:
+                best = seconds
+        return result, best

@@ -1,0 +1,126 @@
+"""Spans: named, nestable wall-clock regions that stitch across processes.
+
+A :class:`Span` is the tracer's unit of work: entered as a context
+manager, it records who its parent is (the innermost open span on the
+same thread), when it started on the shared epoch clock, and how long it
+ran on the monotonic clock.  Records are flat
+:class:`SpanRecord` rows — ``(span_id, parent_id, ...)`` — because flat
+rows are what crosses process boundaries (picklable, columnar-friendly)
+and what the telemetry store persists; the tree is reconstructed from
+ids at report time.
+
+Two clocks on purpose: ``start_s`` is ``time.time()`` so spans recorded
+in different worker processes land on one comparable timeline, while
+``duration_s`` comes from a :class:`~repro.obs.timing.Stopwatch`
+(``perf_counter``) so interval lengths never jump with wall-clock
+adjustments.
+
+Disabled-mode cost is one attribute check: :func:`repro.obs.span`
+returns the shared :data:`NO_SPAN` singleton when no collector is
+installed, whose enter/exit do nothing at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.collector import Collector
+
+__all__ = ["NO_SPAN", "Span", "SpanRecord"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, flattened for pickling and columnar persistence.
+
+    ``span_id`` is unique within one collector; ``parent_id`` is ``0``
+    for roots.  :meth:`Collector.absorb` remaps both when a worker's
+    records are stitched into the coordinating process's tree.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    #: Epoch seconds (``time.time()``) — comparable across processes.
+    start_s: float
+    #: Monotonic-clock duration (``perf_counter`` delta).
+    duration_s: float
+    #: Shard index for fan-out work, ``-1`` when not shard-scoped.
+    shard: int = -1
+    #: Work items covered by the span (users, jobs, tasks); ``0`` if n/a.
+    items: int = 0
+    detail: str = ""
+
+
+class Span:
+    """A timing region; use as ``with collector.span("stage.name"): ...``.
+
+    With a collector attached, entering allocates a span id, parents
+    under the thread's innermost open span, and exiting publishes a
+    :class:`SpanRecord`.  Without one (a *forced* span from
+    ``obs.span(..., force=True)``), it only measures: ``duration_s`` is
+    still set on exit, which lets call sites that need a duration for
+    their own results — e.g. ``CampaignResult.simulate_seconds`` —
+    derive it from the same span that would be traced, instead of
+    keeping a parallel ``perf_counter()`` pair.
+    """
+
+    __slots__ = ("name", "shard", "items", "detail", "span_id", "parent_id",
+                 "start_s", "duration_s", "_collector", "_watch")
+
+    def __init__(self, name: str, *, collector: Optional["Collector"] = None,
+                 shard: int = -1, items: int = 0, detail: str = "") -> None:
+        self.name = name
+        self.shard = shard
+        self.items = items
+        self.detail = detail
+        self.span_id = 0
+        self.parent_id = 0
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self._collector = collector
+        self._watch = Stopwatch()
+
+    def __enter__(self) -> "Span":
+        if self._collector is not None:
+            self.span_id, self.parent_id = self._collector._enter_span()
+        self.start_s = time.time()
+        self._watch.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = self._watch.stop()
+        if self._collector is not None:
+            self._collector._exit_span(self)
+
+    def record(self) -> SpanRecord:
+        """This span's flat record (valid after exit)."""
+        return SpanRecord(span_id=self.span_id, parent_id=self.parent_id,
+                          name=self.name, start_s=self.start_s,
+                          duration_s=self.duration_s, shard=self.shard,
+                          items=self.items, detail=self.detail)
+
+
+class _NoopSpan:
+    """The disabled-mode span: enter/exit are no-ops, nothing is recorded.
+
+    A single shared instance (:data:`NO_SPAN`) is returned for every
+    disabled ``obs.span(...)`` call, so the disabled hot path allocates
+    nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NO_SPAN = _NoopSpan()

@@ -16,6 +16,16 @@ small deterministic jobs and need the same streaming discipline:
 :func:`iter_mapped_chunks` is that discipline, extracted once; callers
 provide a picklable per-chunk callable (for ``use_processes``) and consume a
 flat iterator of per-item results.
+
+Being the single fan-out point also makes this the single telemetry
+stitch point (:mod:`repro.obs`): when a collector is enabled, process
+workers run each chunk under a fresh worker-local collector and ship its
+snapshot back alongside the results — exactly as ``MergeStats`` rides
+back from campaign shards — and the coordinator absorbs it, re-parenting
+the worker's spans under whichever span submitted the fan-out.  Thread
+workers share the coordinator's collector directly and only need their
+parent stack seeded.  With telemetry disabled (the default), the only
+extra cost on this path is one ``get_collector()`` check per call.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ import os
 from collections import deque
 from concurrent import futures
 from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+from repro import obs
 
 __all__ = ["iter_mapped_chunks", "resolve_workers", "default_chunk_size"]
 
@@ -74,6 +86,10 @@ def iter_mapped_chunks(
         raise ValueError("chunk_size must be positive when given")
     if not items:
         return
+    collector = obs.get_collector()
+    if collector is not None:
+        # Deterministic regardless of how the items end up chunked.
+        collector.count("pool.items_mapped", len(items))
     workers = resolve_workers(len(items), max_workers)
     if workers <= 1 and not use_processes:
         for item in items:
@@ -82,6 +98,15 @@ def iter_mapped_chunks(
 
     chunk = chunk_size or default_chunk_size(len(items), workers, use_processes)
     chunk_iter = (items[i:i + chunk] for i in range(0, len(items), chunk))
+
+    stitch_parent: Optional[int] = None
+    if collector is not None:
+        parent_id = collector.current_span_id()
+        if use_processes:
+            run_chunk = _CollectingChunk(run_chunk)
+            stitch_parent = parent_id
+        else:
+            run_chunk = _seeded_chunk(run_chunk, collector, parent_id)
 
     pool_cls = (futures.ProcessPoolExecutor if use_processes
                 else futures.ThreadPoolExecutor)
@@ -94,4 +119,49 @@ def iter_mapped_chunks(
             next_slice = next(chunk_iter, None)
             if next_slice is not None:
                 in_flight.append(pool.submit(run_chunk, next_slice))
+            if stitch_parent is not None:
+                batch, snapshot = batch
+                collector.absorb(snapshot, parent_id=stitch_parent)
             yield from batch
+
+
+class _CollectingChunk:
+    """Process-pool chunk wrapper: collect worker telemetry, ship it back.
+
+    Installs a **fresh** collector in the worker for the chunk's duration
+    (never a fork-inherited one — that would double-count into a
+    collector whose snapshot never leaves the worker) and returns
+    ``(results, snapshot)`` for the coordinator to absorb.
+    """
+
+    __slots__ = ("run_chunk",)
+
+    def __init__(self, run_chunk: Callable) -> None:
+        self.run_chunk = run_chunk
+
+    def __call__(self, items: Sequence):
+        worker = obs.Collector()
+        previous = obs._install(worker)
+        try:
+            results = self.run_chunk(items)
+        finally:
+            obs._install(previous)
+        return results, worker.snapshot()
+
+
+def _seeded_chunk(run_chunk: Callable, collector, parent_id: int) -> Callable:
+    """Thread-pool chunk wrapper: seed the worker thread's parent stack.
+
+    Worker threads share the coordinator's collector, but their
+    thread-local parent stacks start empty — without seeding, chunk spans
+    would all become roots instead of children of the submitting span.
+    """
+
+    def run(items: Sequence):
+        token = collector.push_parent(parent_id)
+        try:
+            return run_chunk(items)
+        finally:
+            collector.pop_parent(token)
+
+    return run

@@ -33,6 +33,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
+from repro import obs
 from repro.devices.device import Device
 from repro.devices.scheduler import ThreadConfig
 from repro.dnn.graph import Graph
@@ -186,6 +187,15 @@ class SweepRunner:
         reused across the rest of the product, so pruning a large sweep costs
         far less than one executor run.
         """
+        with obs.span("sweep.prune", items=self.spec.num_combinations):
+            jobs = self._expand_compatible()
+        obs.count("sweep.jobs_compatible", len(jobs))
+        obs.count("sweep.jobs_pruned",
+                  self.spec.num_combinations - len(jobs))
+        return jobs
+
+    def _expand_compatible(self) -> list[SweepJob]:
+        """The pruning loop proper (span-wrapped by :meth:`compatible_jobs`)."""
         device_ok: dict[tuple[str, Backend], bool] = {}
         graph_ok: dict[tuple[int, Backend], bool] = {}
         jobs: list[SweepJob] = []
@@ -232,7 +242,13 @@ class SweepRunner:
 
     def _run_chunk(self, jobs: Sequence[SweepJob]) -> list[ExecutionResult]:
         """Run one slice of consecutive jobs serially (one pool task)."""
-        return [self._run_job(job) for job in jobs]
+        collector = obs.get_collector()
+        if collector is None:
+            return [self._run_job(job) for job in jobs]
+        with collector.span("sweep.run_chunk", items=len(jobs)):
+            results = [self._run_job(job) for job in jobs]
+        collector.count("sweep.jobs_executed", len(results))
+        return results
 
     def iter_results(self) -> Iterator[ExecutionResult]:
         """Stream results in deterministic job order without collecting them.

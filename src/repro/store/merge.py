@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro import obs
 from repro.store.segment import (SegmentMeta, StoreCorruptionError,
                                  _fsync_directory, verify_segment)
 from repro.store.store import ResultStore
@@ -109,40 +110,48 @@ def adopt_segments(dest: ResultStore,
     adopted: list[SegmentMeta] = []
     seen_kinds: dict[str, None] = {}
     linked = copied = 0
-    for source in sources:
-        store = source if isinstance(source, ResultStore) \
-            else ResultStore(source)
-        if store.root.resolve() == dest.root.resolve():
-            raise ValueError("cannot merge a store into itself")
-        for meta in store.segments:
-            if wanted is not None and meta.kind not in wanted:
-                continue
-            sequence += 1
-            new_meta = dataclasses.replace(
-                meta, name=f"{meta.kind}-{sequence:06d}")
-            for src_name, dst_name in zip(meta.filenames,
-                                          new_meta.filenames):
-                src_path = store.segments_dir / src_name
-                if not src_path.exists():
-                    if src_name == meta.data_filename:
-                        raise StoreCorruptionError(
-                            f"segment {meta.name!r} is in the manifest "
-                            f"but its {meta.format} data file {src_path} "
-                            f"is missing")
-                    continue  # derived caches may legitimately be absent
-                if _adopt_file(src_path, dest.segments_dir / dst_name):
-                    linked += 1
-                else:
-                    copied += 1
-            if verify:
-                verify_segment(dest.segments_dir, new_meta)
-            adopted.append(new_meta)
-            seen_kinds.setdefault(meta.kind, None)
-    _fsync_directory(dest.segments_dir)
+    with obs.span("store.adopt", items=len(sources)):
+        for source in sources:
+            store = source if isinstance(source, ResultStore) \
+                else ResultStore(source)
+            if store.root.resolve() == dest.root.resolve():
+                raise ValueError("cannot merge a store into itself")
+            for meta in store.segments:
+                if wanted is not None and meta.kind not in wanted:
+                    continue
+                sequence += 1
+                new_meta = dataclasses.replace(
+                    meta, name=f"{meta.kind}-{sequence:06d}")
+                for src_name, dst_name in zip(meta.filenames,
+                                              new_meta.filenames):
+                    src_path = store.segments_dir / src_name
+                    if not src_path.exists():
+                        if src_name == meta.data_filename:
+                            raise StoreCorruptionError(
+                                f"segment {meta.name!r} is in the manifest "
+                                f"but its {meta.format} data file {src_path} "
+                                f"is missing")
+                        continue  # derived caches may legitimately be absent
+                    if _adopt_file(src_path, dest.segments_dir / dst_name):
+                        linked += 1
+                    else:
+                        copied += 1
+                if verify:
+                    verify_segment(dest.segments_dir, new_meta)
+                adopted.append(new_meta)
+                seen_kinds.setdefault(meta.kind, None)
+        _fsync_directory(dest.segments_dir)
     stats = MergeStats(sources=len(sources), segments_adopted=len(adopted),
                        rows_adopted=sum(meta.rows for meta in adopted),
                        kinds=tuple(seen_kinds), files_linked=linked,
                        files_copied=copied)
+    # Adoption totals are a pure function of the committed source
+    # segments — deterministic-class.  Link-vs-copy is filesystem luck,
+    # so it stays a wall-clock observation.
+    obs.count("store.segments_adopted", stats.segments_adopted)
+    obs.count("store.rows_adopted", stats.rows_adopted)
+    obs.observe("store.files_linked", linked)
+    obs.observe("store.files_copied", copied)
     return adopted, sequence, stats
 
 

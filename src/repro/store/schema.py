@@ -15,6 +15,12 @@ campaign outputs:
 * ``scenarios``  — :class:`~repro.core.scenarios.ScenarioResult` rows
   (Table 4 energy scenarios).
 
+Two further *telemetry* kinds (``telemetry_metrics``, ``telemetry_spans``)
+persist the :mod:`repro.obs` subsystem's counters and span records.  They
+are written only into sidecar telemetry stores, never mixed into result
+stores — :data:`TELEMETRY_KINDS` is the authoritative split, which
+``store info`` uses to report them under their own heading.
+
 Serialisation is exact: floats go through JSON ``repr`` (shortest round-trip
 representation) in the segment log and through binary float64 in the column
 cache, so a value read back compares bit-for-bit equal to the value written.
@@ -53,6 +59,8 @@ __all__ = [
     "fleet_load_from_row",
     "pack_strings",
     "unpack_strings",
+    "TELEMETRY_KINDS",
+    "telemetry_row",
 ]
 
 #: Separator used to pack tuple-of-string record fields into one column.
@@ -513,10 +521,64 @@ FLEET_LOAD = RowKind(
 )
 
 
+# --------------------------------------------------------------------------- #
+# telemetry (repro.obs sidecar kinds)
+# --------------------------------------------------------------------------- #
+def telemetry_row(row: Mapping) -> dict:
+    """Identity serialiser: telemetry rows are built as flat dicts already.
+
+    The :mod:`repro.obs` sink writes column batches (``append_batch``),
+    so this path only runs for hand-appended rows in tests and tooling.
+    """
+    return dict(row)
+
+
+TELEMETRY_METRICS = RowKind(
+    name="telemetry_metrics",
+    columns=(
+        Column("run_id", "str"),
+        Column("metric", "str"),
+        #: ``"deterministic"`` or ``"wallclock"`` (repro.obs.metrics).
+        Column("metric_class", "str"),
+        #: Deterministic: the exact counter total.  Wall-clock: the
+        #: observation count.
+        Column("value_i", "i8"),
+        Column("total", "f8"),
+        Column("min", "f8"),
+        Column("max", "f8"),
+    ),
+    to_row=telemetry_row,
+)
+
+
+TELEMETRY_SPANS = RowKind(
+    name="telemetry_spans",
+    columns=(
+        Column("run_id", "str"),
+        Column("span_id", "i8"),
+        Column("parent_id", "i8"),
+        Column("name", "str"),
+        Column("start_s", "f8"),
+        Column("duration_s", "f8"),
+        Column("shard", "i8"),
+        Column("items", "i8"),
+        Column("detail", "str"),
+    ),
+    to_row=telemetry_row,
+)
+
+
+#: Row kinds that carry telemetry rather than results.  Sidecar stores are
+#: made of these; result stores must never contain them.
+TELEMETRY_KINDS: frozenset[str] = frozenset(
+    (TELEMETRY_METRICS.name, TELEMETRY_SPANS.name))
+
+
 #: Every registered row kind, by name.
 ROW_KINDS: dict[str, RowKind] = {
     kind.name: kind
-    for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS, FLEET_LOAD)
+    for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS, FLEET_LOAD,
+                 TELEMETRY_METRICS, TELEMETRY_SPANS)
 }
 
 #: Dispatch table from pipeline dataclasses to their row kind.

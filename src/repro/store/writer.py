@@ -42,6 +42,7 @@ from typing import Any, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.store.columnar import coerce_batch
 from repro.store.schema import RowKind, kind_for, kind_of_object
 from repro.store.segment import (SegmentMeta, write_columnar_segment,
@@ -200,23 +201,39 @@ class StoreWriter:
 
     def _flush(self, kind: Optional[str], *,
                seal_partial_batches: bool) -> None:
-        kinds = [kind] if kind is not None else \
-            list({**self._pending, **self._pending_batches})
-        sealed: list[SegmentMeta] = []
-        for name in kinds:
-            rows = self._pending.get(name)
-            if rows:
-                self._sequence += 1
-                sealed.append(write_segment(
-                    self.store.segments_dir, f"{name}-{self._sequence:06d}",
-                    kind_for(name), rows))
-                self._pending[name] = []
-            sealed.extend(self._seal_batches(
-                kind_for(name), seal_partial=seal_partial_batches))
-        if sealed:
-            self.store._commit(sealed, self._sequence)
-            self.segments_sealed += len(sealed)
-            self.rows_committed += sum(meta.rows for meta in sealed)
+        collector = obs.get_collector()
+        span = (collector.span("store.flush", detail=kind or "")
+                if collector is not None and self.rows_pending else obs.NO_SPAN)
+        with span:
+            kinds = [kind] if kind is not None else \
+                list({**self._pending, **self._pending_batches})
+            sealed: list[SegmentMeta] = []
+            for name in kinds:
+                rows = self._pending.get(name)
+                if rows:
+                    self._sequence += 1
+                    sealed.append(write_segment(
+                        self.store.segments_dir,
+                        f"{name}-{self._sequence:06d}",
+                        kind_for(name), rows))
+                    self._pending[name] = []
+                sealed.extend(self._seal_batches(
+                    kind_for(name), seal_partial=seal_partial_batches))
+            if sealed:
+                self.store._commit(sealed, self._sequence)
+                rows_sealed = sum(meta.rows for meta in sealed)
+                self.segments_sealed += len(sealed)
+                self.rows_committed += rows_sealed
+                if collector is not None:
+                    # Segment payloads are a pure function of the row
+                    # stream and writer config, so all three totals are
+                    # deterministic-class despite being I/O-shaped.
+                    collector.count("store.segments_sealed", len(sealed))
+                    collector.count("store.rows_committed", rows_sealed)
+                    collector.count("store.bytes_written", sum(
+                        (self.store.segments_dir /
+                         meta.data_filename).stat().st_size
+                        for meta in sealed))
 
     def close(self) -> None:
         """Flush everything pending and refuse further appends."""
