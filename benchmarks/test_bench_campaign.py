@@ -43,7 +43,8 @@ from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import (BENCH_SCALE, assert_speedup,
+                      write_baseline, write_result)
 
 from repro.campaign import ambient_spec, run_campaign
 from repro.fleet import FleetSimulator
@@ -292,7 +293,7 @@ def test_write_campaign_baseline():
         # The full-scale record outranks anything a scaled-down run saw.
         if record and record.get("users", 0) > CAMPAIGN_USERS:
             payload["ten_million_user_day"] = record
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Campaign perf baseline (scale {BENCH_SCALE}, "
              f"{CAMPAIGN_USERS} users, {SHARDS} shards):"]

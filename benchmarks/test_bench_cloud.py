@@ -28,7 +28,8 @@ from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, timed, write_result
+from conftest import (BENCH_SCALE, assert_speedup, timed,
+                      write_baseline, write_result)
 
 from repro.cloud import (ApiCapacity, CapacityModel, CloudRegion,
                          InterferenceConfig, InterferenceSimulator,
@@ -285,7 +286,7 @@ def test_write_cloud_baseline():
         "min_required_event_loop_speedup": MIN_CLOUD_SPEEDUP,
         **RESULTS,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Cloud interference baseline (scale {BENCH_SCALE}):"]
     for name, entry in RESULTS.items():

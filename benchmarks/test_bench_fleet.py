@@ -26,7 +26,8 @@ from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, timed, write_result
+from conftest import (BENCH_SCALE, assert_speedup, timed,
+                      write_baseline, write_result)
 
 from repro.obs.timing import Stopwatch
 
@@ -206,7 +207,7 @@ def test_write_fleet_baseline():
         "min_determinism_events": MIN_DETERMINISM_EVENTS,
         **RESULTS,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Fleet perf baseline (scale {BENCH_SCALE}):"]
     for name, entry in RESULTS.items():

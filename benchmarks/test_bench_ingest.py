@@ -29,7 +29,8 @@ from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import (BENCH_SCALE, assert_speedup,
+                      write_baseline, write_result)
 
 from repro.core.pipeline import GaugeNN
 from repro.fleet import FleetSimulator, FleetSpec, zoo_population
@@ -278,7 +279,7 @@ def test_write_ingest_baseline():
         "min_required_end_to_end_speedup": MIN_END_TO_END_SPEEDUP,
         **RESULTS,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Columnar ingest perf baseline (scale {BENCH_SCALE}):"]
     for name, entry in RESULTS.items():

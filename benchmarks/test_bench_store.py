@@ -26,7 +26,8 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, write_result
+from conftest import (BENCH_SCALE, assert_speedup,
+                      write_baseline, write_result)
 
 from repro.core import reports
 from repro.devices.device import DEVICE_FLEET
@@ -197,7 +198,7 @@ def test_write_store_baseline():
         "min_required_query_speedup": MIN_QUERY_SPEEDUP,
         **RESULTS,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Store perf baseline (scale {BENCH_SCALE}):"]
     for name, entry in RESULTS.items():

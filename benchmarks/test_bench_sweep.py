@@ -17,7 +17,8 @@ import json
 from pathlib import Path
 
 import pytest
-from conftest import BENCH_SCALE, assert_speedup, timed, write_result
+from conftest import (BENCH_SCALE, assert_speedup, timed,
+                      write_baseline, write_result)
 
 from repro.core.uniqueness import analyze_finetuning, analyze_uniqueness
 from repro.devices.device import DEVICE_FLEET
@@ -177,7 +178,7 @@ def test_write_sweep_baseline():
         "min_required_sweep_speedup": MIN_SWEEP_SPEEDUP,
         **RESULTS,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_baseline(BASELINE_PATH, payload)
 
     lines = [f"Perf baseline (scale {BENCH_SCALE}):"]
     for name, entry in RESULTS.items():

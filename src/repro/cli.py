@@ -11,12 +11,14 @@ Four subcommands mirror the paper's workflow:
                   ``--store PATH`` streams the results into a persistent,
                   queryable store instead of holding them in memory.
 * ``store``     — ``query`` / ``report`` / ``info`` / ``compact`` /
-                  ``export`` over a persisted campaign: vectorised filters
-                  and aggregations, the paper's figure tables served from
-                  disk, per-kind segment format mix and integrity, segment
-                  merging (optionally converting row-oriented JSONL
-                  segments to the packed columnar format), and whole-store
-                  format export.
+                  ``export`` / ``diff`` over a persisted campaign:
+                  vectorised filters and aggregations, the paper's figure
+                  tables served from disk, per-kind segment format mix and
+                  integrity, segment merging (optionally converting
+                  row-oriented JSONL segments to the packed columnar
+                  format), whole-store format export, and a vectorised
+                  store-vs-store diff (aligned group keys, per-metric
+                  deltas, new/removed entities).
 * ``scenarios`` — scenario-driven energy costs on the Qualcomm boards
                   (Table 4); ``--store PATH`` persists the scenario rows.
 * ``fleet``     — deterministic discrete-event fleet simulation: a virtual
@@ -37,7 +39,13 @@ Four subcommands mirror the paper's workflow:
 * ``obs``       — telemetry reports over a sidecar store written by
                   :mod:`repro.obs` (``--telemetry`` on ``fleet`` /
                   ``campaign run``): run timeline, per-stage breakdown,
-                  shard-skew and metric tables.
+                  shard-skew and metric tables; plus the drift gates —
+                  ``obs snapshot`` writes a committed-baseline snapshot
+                  (report tables + deterministic counters) and
+                  ``obs drift`` classifies a run against it (exact class
+                  vs wall-clock tolerance bands, exit code = severity),
+                  with ``--bench`` ingesting BENCH_*.json history into a
+                  ``bench_runs`` trajectory store.
 
 Example::
 
@@ -62,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -761,11 +770,31 @@ def _run_fleet_cloud(args: argparse.Namespace, spec) -> int:
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
     """Render one telemetry table from a sidecar store."""
-    from repro.obs.report import (metrics_table, run_timeline, shard_skew,
-                                  stage_breakdown)
+    from repro.obs.report import (available_runs, metrics_table, run_timeline,
+                                  shard_skew, stage_breakdown)
+    from repro.store import StoreCorruptionError
+
+    # Preflight: distinguish "that store has no telemetry at all" and
+    # "your --run matched nothing" from legitimately empty tables, so the
+    # messages name what *is* there instead of tracebacks or blank output.
+    try:
+        store = ResultStore(args.store)
+        runs = available_runs(store)
+    except StoreCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not runs:
+        kinds = ", ".join(store.kinds()) or "none"
+        print(f"no matching telemetry in {args.store} "
+              f"(row kinds present: {kinds})")
+        return 1
+    if args.run is not None and args.run not in runs:
+        print(f"no matching telemetry for run {args.run!r} "
+              f"(available runs: {', '.join(runs)})")
+        return 1
 
     if args.table == "run_timeline":
-        rows = run_timeline(args.store, run_id=args.run)
+        rows = run_timeline(store, run_id=args.run)
         if not rows:
             print("no spans recorded")
             return 1
@@ -779,7 +808,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                   f"{shard:>6} {row['items']:>8}  "
                   f"{indent}{row['name']}{detail}")
     elif args.table == "stages":
-        rows = stage_breakdown(args.store, run_id=args.run)
+        rows = stage_breakdown(store, run_id=args.run)
         if not rows:
             print("no spans recorded")
             return 1
@@ -790,7 +819,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                   f"{row['mean_s']:>10.4f}{row['max_s']:>10.4f}"
                   f"{row['items']:>10}")
     elif args.table == "shard_skew":
-        rows = shard_skew(args.store, run_id=args.run)
+        rows = shard_skew(store, run_id=args.run)
         if not rows:
             print("no shard-scoped spans recorded")
             return 1
@@ -801,7 +830,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                   f"{row['seconds']:>10.4f}{row['items']:>10}"
                   f"{row['skew']:>8.2f}")
     else:
-        rows = metrics_table(args.store, run_id=args.run,
+        rows = metrics_table(store, run_id=args.run,
                              metric_class=args.metric_class)
         if not rows:
             print("no metrics recorded")
@@ -813,6 +842,156 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                   f"{row['value_i']:>12} {row['total']:>14.4f} "
                   f"{row['min']:>12.4f} {row['max']:>12.4f}")
     return 0
+
+
+def cmd_store_diff(args: argparse.Namespace) -> int:
+    """Vectorised store-vs-store diff: aligned groups, per-metric deltas."""
+    from repro.store import StoreCorruptionError, diff_stores
+    from repro.store.store import MANIFEST_NAME
+
+    for path in (args.store_a, args.store_b):
+        if not (Path(path) / MANIFEST_NAME).exists():
+            print(f"error: {path} is not a result store (no {MANIFEST_NAME})",
+                  file=sys.stderr)
+            return 2
+    try:
+        diff = diff_stores(ResultStore(args.store_a), ResultStore(args.store_b),
+                           kinds=args.kind or None, where=args.where)
+    except (KeyError, ValueError, StoreCorruptionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not diff.kinds:
+        print("no diffable row kinds in either store")
+        return 0
+    for kind_name, entry in diff.summary().items():
+        print(f"{kind_name}: {entry['rows_a']} vs {entry['rows_b']} rows, "
+              f"{entry['matched']} groups matched "
+              f"({entry['changed']} changed, {entry['added']} added, "
+              f"{entry['removed']} removed)")
+        kind_diff = diff.kinds[kind_name]
+        for row in kind_diff.changed_rows(limit=args.limit):
+            key = "/".join(str(row[name]) for name in kind_diff.keys)
+            deltas = ", ".join(
+                f"{metric} {row[metric]['a']:g} -> {row[metric]['b']:g}"
+                for metric in kind_diff.metrics
+                if row[metric]["a"] != row[metric]["b"])
+            print(f"  ~ {key}: {deltas}")
+        for label, rows in (("+", kind_diff.added_rows(limit=args.limit)),
+                            ("-", kind_diff.removed_rows(limit=args.limit))):
+            for row in rows:
+                key = "/".join(str(row[name]) for name in kind_diff.keys)
+                print(f"  {label} {key}")
+    for kind_name in diff.skipped:
+        print(f"{kind_name}: skipped (no diff spec)")
+    if diff.identical:
+        print("stores are identical under the diff specs")
+        return 0
+    return 1
+
+
+def cmd_obs_snapshot(args: argparse.Namespace) -> int:
+    """Write a drift-baseline snapshot of a campaign/telemetry store."""
+    from repro.obs.snapshot import build_snapshot, write_snapshot
+
+    if args.store is None and args.telemetry is None:
+        print("error: need --store and/or --telemetry to snapshot",
+              file=sys.stderr)
+        return 2
+    meta = {}
+    for item in args.meta:
+        key, _, value = item.partition("=")
+        meta[key] = value
+    if args.store is not None:
+        meta.setdefault("store", str(args.store))
+    if args.telemetry is not None:
+        meta.setdefault("telemetry", str(args.telemetry))
+    if args.run is not None:
+        meta.setdefault("run", args.run)
+    snapshot = build_snapshot(store=args.store, telemetry=args.telemetry,
+                              run_id=args.run, meta=meta)
+    write_snapshot(args.out, snapshot)
+    tables = snapshot["tables"]
+    print(f"wrote {args.out}: {len(tables)} report tables "
+          f"({sum(len(t['rows']) for t in tables.values())} rows), "
+          f"{len(snapshot['counters'])} deterministic counters, "
+          f"{len(snapshot['wallclock'])} wall-clock metrics")
+    return 0
+
+
+def _drift_exit(report, fail_on: str) -> int:
+    """Exit code of a drift run: the max severity, gated by --fail-on."""
+    from repro.obs.drift import BREACH, EXACT, TOLERATED
+
+    threshold = {"any": TOLERATED, "breach": BREACH, "exact": EXACT}[fail_on]
+    return report.max_severity if report.max_severity >= threshold else 0
+
+
+def cmd_obs_drift(args: argparse.Namespace) -> int:
+    """Classify drift against a baseline (or across BENCH_*.json history)."""
+    import json as json_module
+
+    from repro.obs.drift import (DriftPolicy, bench_drift, diff_snapshots,
+                                 ingest_bench_files)
+    from repro.obs.snapshot import build_snapshot, load_snapshot
+
+    policy = DriftPolicy(rel_tol=args.rel_tol)
+    if args.bench is not None:
+        bench_files = [Path(p) for p in args.bench] or \
+            sorted(Path.cwd().glob("BENCH_*.json"))
+        store = ResultStore(args.bench_store)
+        stats = ingest_bench_files(store, bench_files)
+        print(f"ingested {stats['ingested']} payloads "
+              f"({stats['rows']} bench_runs rows, "
+              f"{stats['skipped']} skipped as already ingested or unstamped)")
+        report = bench_drift(store, policy)
+    else:
+        if args.baseline is None:
+            print("error: --baseline is required (or use --bench)",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_snapshot(args.baseline)
+            if args.snapshot is not None:
+                current = load_snapshot(args.snapshot)
+            elif args.store is not None or args.telemetry is not None:
+                current = build_snapshot(store=args.store,
+                                         telemetry=args.telemetry,
+                                         run_id=args.run,
+                                         meta=baseline.get("meta", {}))
+            else:
+                print("error: need --snapshot or --store/--telemetry for "
+                      "the current side", file=sys.stderr)
+                return 2
+            report = diff_snapshots(baseline, current, policy)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    for note in report.notes:
+        print(f"note: {note}")
+    if report.clean:
+        print("no drift: everything compares clean")
+    else:
+        for finding in report.findings:
+            key = f" [{finding['key']}]" if "key" in finding else ""
+            values = ""
+            if "baseline" in finding:
+                values = f": {finding['baseline']} -> {finding['current']}"
+            print(f"{finding['severity'].upper():<10} {finding['source']} "
+                  f"{finding['metric']}{key}{values}")
+        if report.truncated:
+            print(f"... {report.truncated} more findings truncated")
+        counts = ", ".join(f"{count} {name}" for name, count
+                           in report.severity_counts.items() if count)
+        print(f"drift: {counts}")
+    if args.report is not None:
+        payload = report.to_json()
+        payload["policy"] = {"rel_tol": policy.rel_tol,
+                             "fail_on": args.fail_on}
+        Path(args.report).write_text(
+            json_module.dumps(payload, indent=2) + "\n")
+        print(f"report written to {args.report}")
+    return _drift_exit(report, args.fail_on)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -983,6 +1162,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verify each adopted segment's checksum")
     merge.set_defaults(func=cmd_store_merge)
 
+    diff = store_sub.add_parser(
+        "diff", help="vectorised diff of two stores: aligned group keys, "
+                     "per-metric deltas, new/removed entities")
+    diff.add_argument("store_a", help="baseline store directory")
+    diff.add_argument("store_b", help="current store directory")
+    diff.add_argument("--kind", action="append", default=None,
+                      choices=sorted(ROW_KINDS),
+                      help="restrict to this row kind (repeatable; default: "
+                           "every diffable kind present)")
+    diff.add_argument("--where", action="append", type=_parse_where,
+                      default=[], metavar="EXPR",
+                      help="predicate applied to both sides (pushdown), "
+                           "e.g. run_id=bench")
+    diff.add_argument("--limit", type=_positive_int, default=10,
+                      help="changed/added/removed rows printed per kind")
+    diff.set_defaults(func=cmd_store_diff)
+
     scenarios = subparsers.add_parser("scenarios", help="Table 4 energy scenarios")
     add_common(scenarios)
     scenarios.add_argument("--store", default=None, metavar="PATH",
@@ -1095,6 +1291,67 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("deterministic", "wallclock"),
                             help="metrics table only: restrict to one class")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    obs_snapshot = obs_sub.add_parser(
+        "snapshot", help="write a drift-baseline snapshot (report tables + "
+                         "deterministic counters) as JSON")
+    obs_snapshot.add_argument("--out", required=True, metavar="PATH",
+                              help="snapshot JSON destination")
+    obs_snapshot.add_argument("--store", default=None, metavar="PATH",
+                              help="campaign store to extract the Fig. "
+                                   "8/9/10/15 report tables from")
+    obs_snapshot.add_argument("--telemetry", default=None, metavar="PATH",
+                              help="sidecar telemetry store to extract "
+                                   "counters and wall-clock stats from")
+    obs_snapshot.add_argument("--run", default=None, metavar="ID",
+                              help="restrict telemetry rows to one run_id")
+    obs_snapshot.add_argument("--meta", action="append", default=[],
+                              metavar="KEY=VALUE",
+                              help="provenance stamps carried in the "
+                                   "snapshot (repeatable)")
+    obs_snapshot.set_defaults(func=cmd_obs_snapshot)
+
+    obs_drift = obs_sub.add_parser(
+        "drift", help="classify drift against a baseline snapshot (or "
+                      "across BENCH_*.json history with --bench); exit "
+                      "code = max severity (0 clean / 1 tolerated / "
+                      "2 breach / 3 exact)")
+    obs_drift.add_argument("--baseline", default=None, metavar="PATH",
+                           help="committed baseline snapshot JSON")
+    obs_drift.add_argument("--snapshot", default=None, metavar="PATH",
+                           help="current-side snapshot JSON (alternative "
+                                "to --store/--telemetry)")
+    obs_drift.add_argument("--store", default=None, metavar="PATH",
+                           help="build the current side from this campaign "
+                                "store")
+    obs_drift.add_argument("--telemetry", default=None, metavar="PATH",
+                           help="build the current side from this telemetry "
+                                "store")
+    obs_drift.add_argument("--run", default=None, metavar="ID",
+                           help="telemetry run_id filter for the current "
+                                "side")
+    obs_drift.add_argument("--bench", nargs="*", default=None,
+                           metavar="BENCH_JSON",
+                           help="perf-trajectory mode: ingest these "
+                                "BENCH_*.json files (bare --bench globs "
+                                "BENCH_*.json in the current directory) and "
+                                "compare each benchmark's two latest runs")
+    obs_drift.add_argument("--bench-store", default="bench_trajectory.store",
+                           metavar="PATH",
+                           help="bench_runs store the trajectory accumulates "
+                                "in (ingestion is idempotent)")
+    obs_drift.add_argument("--rel-tol", type=float, default=0.25,
+                           help="relative tolerance band for wall-clock "
+                                "metrics")
+    obs_drift.add_argument("--report", default=None, metavar="PATH",
+                           help="write the classified findings as JSON "
+                                "(the CI artifact)")
+    obs_drift.add_argument("--fail-on", default="any",
+                           choices=("any", "breach", "exact"),
+                           help="lowest severity that makes the exit code "
+                                "nonzero (default: any — the raw severity "
+                                "is the exit code)")
+    obs_drift.set_defaults(func=cmd_obs_drift)
 
     compare = subparsers.add_parser("compare", help="2020 vs 2021 temporal analysis")
     compare.add_argument("--scale", type=float, default=0.05)

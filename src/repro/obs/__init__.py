@@ -39,10 +39,13 @@ from repro.obs.timing import Stopwatch
 from repro.obs.tracing import NO_SPAN, Span, SpanRecord
 
 __all__ = [
-    "Collector", "DETERMINISTIC", "NO_SPAN", "Span", "SpanRecord",
-    "Stopwatch", "TelemetrySnapshot", "WALLCLOCK", "count", "disable",
-    "enable", "enabled", "get_collector", "observe", "run_timeline",
-    "shard_skew", "span", "stage_breakdown", "write_telemetry",
+    "Collector", "DETERMINISTIC", "DriftPolicy", "DriftReport", "NO_SPAN",
+    "Span", "SpanRecord", "Stopwatch", "TelemetrySnapshot", "WALLCLOCK",
+    "available_runs", "bench_drift", "build_snapshot", "classify_store_diff",
+    "count", "diff_snapshots", "disable", "enable", "enabled",
+    "get_collector", "ingest_bench_files", "load_snapshot", "metrics_table",
+    "observe", "run_timeline", "shard_skew", "span", "stage_breakdown",
+    "write_snapshot", "write_telemetry",
 ]
 
 #: The process-global collector; ``None`` = telemetry off (the default).
@@ -128,6 +131,16 @@ _LAZY = {
     "stage_breakdown": ("repro.obs.report", "stage_breakdown"),
     "shard_skew": ("repro.obs.report", "shard_skew"),
     "metrics_table": ("repro.obs.report", "metrics_table"),
+    "available_runs": ("repro.obs.report", "available_runs"),
+    "build_snapshot": ("repro.obs.snapshot", "build_snapshot"),
+    "write_snapshot": ("repro.obs.snapshot", "write_snapshot"),
+    "load_snapshot": ("repro.obs.snapshot", "load_snapshot"),
+    "DriftPolicy": ("repro.obs.drift", "DriftPolicy"),
+    "DriftReport": ("repro.obs.drift", "DriftReport"),
+    "classify_store_diff": ("repro.obs.drift", "classify_store_diff"),
+    "diff_snapshots": ("repro.obs.drift", "diff_snapshots"),
+    "ingest_bench_files": ("repro.obs.drift", "ingest_bench_files"),
+    "bench_drift": ("repro.obs.drift", "bench_drift"),
 }
 
 

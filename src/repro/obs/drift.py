@@ -1,0 +1,460 @@
+"""Drift policy: classify diffs into severities and a CI exit code.
+
+The diff engine (:mod:`repro.store.diff`) and the snapshot format
+(:mod:`repro.obs.snapshot`) report *exact* deltas; this module decides
+which of them matter.  The policy follows the repo's metric-class split:
+
+* **exact class** — deterministic counters, report tables, result-store
+  metrics.  Bit-identity is the product, so *any* inequality (and any
+  added/removed entity) is :data:`EXACT` drift — the severity CI fails
+  hard on;
+* **wall-clock class** — durations, rates, speedups.  Machines differ,
+  so these compare through a relative tolerance band: inside the band is
+  :data:`TOLERATED` (visible, never fatal), outside is :data:`BREACH`.
+
+Severities are ordered ints; a report's :attr:`DriftReport.max_severity`
+doubles as the CI process exit code (``repro obs drift``), so a pipeline
+can distinguish clean (0) / tolerated (1) / band breach (2) / exact
+drift (3) without parsing anything.
+
+The module also owns the perf-trajectory feed: :func:`flatten_bench`
+turns a ``BENCH_*.json`` payload into dotted numeric leaves,
+:func:`ingest_bench_files` loads them into the ``bench_runs`` row kind
+(idempotently — the (benchmark, run_id) stamp keys re-ingestion into a
+no-op), and :func:`bench_drift` compares each benchmark's two most
+recent runs under the same policy, flagging speedup-gate erosion.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+__all__ = ["CLEAN", "TOLERATED", "BREACH", "EXACT", "SEVERITY_NAMES",
+           "DriftPolicy", "DriftReport", "classify_store_diff",
+           "diff_snapshots", "flatten_bench", "ingest_bench_files",
+           "bench_drift"]
+
+#: Severity ladder; values double as CI exit codes.
+CLEAN = 0
+TOLERATED = 1
+BREACH = 2
+EXACT = 3
+
+SEVERITY_NAMES = {CLEAN: "clean", TOLERATED: "tolerated", BREACH: "breach",
+                  EXACT: "exact"}
+
+#: Findings kept verbatim in a report; the counts are always complete.
+MAX_FINDINGS = 200
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Per-metric-class comparison rules."""
+
+    #: Relative tolerance band for wall-clock metrics.
+    rel_tol: float = 0.25
+    #: Denominator floor for the relative delta (guards zero baselines).
+    abs_floor: float = 1e-9
+    #: Substrings marking a metric name as wall-clock class.
+    wallclock_patterns: tuple[str, ...] = (
+        "seconds", "_s", "speedup", "overhead", "per_second", "per_s",
+        "ratio", "duration", "rate", "skew", "slowdown")
+    #: Substrings marking a metric as not comparable at all (e.g. flags
+    #: that legitimately differ between CI and local runs).
+    skip_patterns: tuple[str, ...] = ("gates_enforced",)
+
+    def metric_class_of(self, metric: str) -> str:
+        """``"wallclock"`` or ``"deterministic"`` by name pattern."""
+        lowered = metric.lower()
+        for pattern in self.wallclock_patterns:
+            if pattern.startswith("_"):
+                if lowered.endswith(pattern) or pattern + "." in lowered:
+                    return "wallclock"
+            elif pattern in lowered:
+                return "wallclock"
+        return "deterministic"
+
+    def skips(self, metric: str) -> bool:
+        """Whether the metric is excluded from comparison entirely."""
+        lowered = metric.lower()
+        return any(pattern in lowered for pattern in self.skip_patterns)
+
+    def classify_value(self, baseline: float, current: float,
+                       exact: bool) -> int:
+        """Severity of one (baseline, current) pair under one class."""
+        if baseline == current:
+            return CLEAN
+        if exact:
+            return EXACT
+        relative = abs(current - baseline) / max(abs(baseline),
+                                                 self.abs_floor)
+        return TOLERATED if relative <= self.rel_tol else BREACH
+
+
+@dataclass
+class DriftReport:
+    """Classified findings plus complete severity counts."""
+
+    findings: list[dict] = field(default_factory=list)
+    severity_counts: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in SEVERITY_NAMES.values()})
+    max_severity: int = CLEAN
+    #: Findings beyond MAX_FINDINGS are counted but not kept.
+    truncated: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, severity: int, source: str, metric: str, *,
+            key: Optional[str] = None, baseline=None, current=None) -> None:
+        """Record one finding (CLEAN findings count but are not kept)."""
+        self.severity_counts[SEVERITY_NAMES[severity]] += 1
+        self.max_severity = max(self.max_severity, severity)
+        if severity == CLEAN:
+            return
+        if len(self.findings) >= MAX_FINDINGS:
+            self.truncated += 1
+            return
+        finding = {"severity": SEVERITY_NAMES[severity], "source": source,
+                   "metric": metric}
+        if key is not None:
+            finding["key"] = key
+        if baseline is not None or current is not None:
+            finding["baseline"] = baseline
+            finding["current"] = current
+        self.findings.append(finding)
+
+    def note(self, message: str) -> None:
+        """Attach a non-finding annotation (skipped sources, etc.)."""
+        self.notes.append(message)
+
+    def merge(self, other: "DriftReport") -> None:
+        """Fold another report's findings and counts into this one."""
+        for name, count in other.severity_counts.items():
+            self.severity_counts[name] += count
+        self.max_severity = max(self.max_severity, other.max_severity)
+        for finding in other.findings:
+            if len(self.findings) >= MAX_FINDINGS:
+                self.truncated += 1
+            else:
+                self.findings.append(finding)
+        self.truncated += other.truncated
+        self.notes.extend(other.notes)
+
+    @property
+    def clean(self) -> bool:
+        """No drift at any severity."""
+        return self.max_severity == CLEAN
+
+    def to_json(self) -> dict:
+        """JSON-ready payload (the CI artifact)."""
+        return {
+            "max_severity": self.max_severity,
+            "verdict": SEVERITY_NAMES[self.max_severity],
+            "severity_counts": dict(self.severity_counts),
+            "findings": list(self.findings),
+            "truncated": self.truncated,
+            "notes": list(self.notes),
+        }
+
+
+def _key_label(keys: Sequence[str], row: Mapping) -> str:
+    return "/".join(str(row[name]) for name in keys)
+
+
+# --------------------------------------------------------------------------- #
+# Store diffs -> severities
+# --------------------------------------------------------------------------- #
+def _kind_metric_class(kind: str, metric: str, group_key: Mapping,
+                       policy: DriftPolicy) -> str:
+    """Metric class of one (kind, metric) delta.
+
+    Result kinds are deterministic outputs — exact.  Telemetry metric
+    rows carry their class in the group key; span timings are wall-clock
+    by construction; bench metrics classify by name pattern.
+    """
+    if kind == "telemetry_metrics":
+        return str(group_key.get("metric_class", "deterministic"))
+    if kind == "telemetry_spans":
+        # Span counts vary with chunking/fan-out shape, not just code —
+        # the whole kind is wall-clock class.
+        return "wallclock"
+    if kind == "bench_runs":
+        return policy.metric_class_of(str(group_key.get("metric", metric)))
+    return "deterministic"
+
+
+def classify_store_diff(diff, policy: Optional[DriftPolicy] = None
+                        ) -> DriftReport:
+    """Classify a :class:`~repro.store.diff.StoreDiff` into severities."""
+    policy = policy or DriftPolicy()
+    report = DriftReport()
+    for kind_name, kind_diff in diff.kinds.items():
+        for row in kind_diff.changed_rows():
+            key = _key_label(kind_diff.keys, row)
+            for metric in kind_diff.metrics:
+                cell = row[metric]
+                if cell["a"] == cell["b"]:
+                    continue
+                metric_label = str(row.get("metric", metric)) \
+                    if kind_name in ("telemetry_metrics", "bench_runs") \
+                    else metric
+                if policy.skips(metric_label):
+                    continue
+                exact = _kind_metric_class(
+                    kind_name, metric, row, policy) == "deterministic"
+                severity = policy.classify_value(cell["a"], cell["b"],
+                                                 exact)
+                report.add(severity, f"store:{kind_name}", metric,
+                           key=key, baseline=cell["a"], current=cell["b"])
+        exact_kind = kind_name not in ("telemetry_spans", "bench_runs")
+        for metric, rows in (("entity_added", kind_diff.added_rows()),
+                             ("entity_removed", kind_diff.removed_rows())):
+            for row in rows:
+                severity = EXACT if exact_kind else TOLERATED
+                if kind_name == "telemetry_metrics" and \
+                        row.get("metric_class") != "deterministic":
+                    severity = TOLERATED  # a wall-clock timer came or went
+                report.add(severity, f"store:{kind_name}", metric,
+                           key=_key_label(kind_diff.keys, row))
+    for kind_name in diff.skipped:
+        report.note(f"kind {kind_name!r} has no diff spec; skipped")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot diffs -> severities
+# --------------------------------------------------------------------------- #
+def _diff_table(name: str, baseline: Mapping, current: Mapping,
+                report: DriftReport) -> None:
+    """Exact-compare one columnar table, aligned on the first column."""
+    source = f"table:{name}"
+    if list(baseline["columns"]) != list(current["columns"]):
+        report.add(EXACT, source, "columns",
+                   baseline=baseline["columns"], current=current["columns"])
+        return
+    columns = list(baseline["columns"])
+    rows_a = {str(row[0]): row for row in baseline["rows"]}
+    rows_b = {str(row[0]): row for row in current["rows"]}
+    for key in rows_a.keys() | rows_b.keys():
+        if key not in rows_b:
+            report.add(EXACT, source, "row_removed", key=key)
+        elif key not in rows_a:
+            report.add(EXACT, source, "row_added", key=key)
+        else:
+            for column, a, b in zip(columns, rows_a[key], rows_b[key]):
+                if a != b:
+                    report.add(EXACT, source, column, key=key,
+                               baseline=a, current=b)
+
+
+def diff_snapshots(baseline: Mapping, current: Mapping,
+                   policy: Optional[DriftPolicy] = None) -> DriftReport:
+    """Classify the drift between two snapshot dicts.
+
+    Tables and deterministic counters compare exact; wall-clock stats
+    compare per the policy's tolerance band (``count`` is an observation
+    count, still wall-clock — how often a timer fired can vary with
+    chunking of a *different* machine's run).  Snapshots of different
+    schema versions refuse to compare.
+    """
+    policy = policy or DriftPolicy()
+    if baseline.get("schema_version") != current.get("schema_version"):
+        raise ValueError(
+            f"snapshot schema_version mismatch: baseline "
+            f"{baseline.get('schema_version')!r} vs current "
+            f"{current.get('schema_version')!r}; refresh the baseline")
+    report = DriftReport()
+
+    meta_a, meta_b = baseline.get("meta", {}), current.get("meta", {})
+    for field_name in ("scale",):
+        if field_name in meta_a and field_name in meta_b and \
+                meta_a[field_name] != meta_b[field_name]:
+            report.add(EXACT, "meta", field_name,
+                       baseline=meta_a[field_name],
+                       current=meta_b[field_name])
+
+    tables_a = baseline.get("tables", {})
+    tables_b = current.get("tables", {})
+    for name in tables_a.keys() | tables_b.keys():
+        if name not in tables_b:
+            report.add(EXACT, f"table:{name}", "table_removed")
+        elif name not in tables_a:
+            report.add(EXACT, f"table:{name}", "table_added")
+        else:
+            _diff_table(name, tables_a[name], tables_b[name], report)
+
+    counters_a = baseline.get("counters", {})
+    counters_b = current.get("counters", {})
+    for metric in counters_a.keys() | counters_b.keys():
+        if policy.skips(metric):
+            continue
+        if metric not in counters_b:
+            report.add(EXACT, "counter", metric,
+                       baseline=counters_a[metric], current=None)
+        elif metric not in counters_a:
+            report.add(EXACT, "counter", metric,
+                       baseline=None, current=counters_b[metric])
+        else:
+            report.add(policy.classify_value(counters_a[metric],
+                                             counters_b[metric], True),
+                       "counter", metric, baseline=counters_a[metric],
+                       current=counters_b[metric])
+
+    wall_a = baseline.get("wallclock", {})
+    wall_b = current.get("wallclock", {})
+    for metric in wall_a.keys() | wall_b.keys():
+        if policy.skips(metric):
+            continue
+        if metric not in wall_b or metric not in wall_a:
+            report.add(TOLERATED, "wallclock", metric,
+                       baseline=wall_a.get(metric), current=wall_b.get(metric))
+            continue
+        for stat in ("count", "total", "min", "max"):
+            severity = policy.classify_value(wall_a[metric][stat],
+                                             wall_b[metric][stat], False)
+            report.add(severity, "wallclock", f"{metric}.{stat}",
+                       baseline=wall_a[metric][stat],
+                       current=wall_b[metric][stat])
+
+    if not counters_a and not wall_a and \
+            not any(table.get("rows") for table in tables_a.values()):
+        report.note("baseline snapshot is empty (no counters, wall-clock "
+                    "stats, or table rows); a clean verdict here gates "
+                    "nothing — refresh the baseline from a populated run")
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# BENCH_*.json trajectory -> bench_runs rows -> severities
+# --------------------------------------------------------------------------- #
+def flatten_bench(payload: Mapping, prefix: str = "") -> dict[str, float]:
+    """Dotted numeric leaves of a BENCH payload.
+
+    Numbers keep their value, booleans become 0.0/1.0 (so a flipped
+    ``outputs_bit_identical`` *is* drift), strings/lists/None are not
+    metrics and are skipped, and the identity stamps (``benchmark``,
+    ``run_id``, ``schema_version``) are keys, not metrics.
+    """
+    leaves: dict[str, float] = {}
+    for name, value in payload.items():
+        if not prefix and name in ("benchmark", "run_id", "schema_version"):
+            continue
+        dotted = f"{prefix}{name}"
+        if isinstance(value, Mapping):
+            leaves.update(flatten_bench(value, prefix=f"{dotted}."))
+        elif isinstance(value, bool):
+            leaves[dotted] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            leaves[dotted] = float(value)
+    return leaves
+
+
+def _ingested_runs(store) -> set[tuple[str, str]]:
+    """(benchmark, run_id) pairs already committed to a bench store."""
+    if "bench_runs" not in store.kinds():
+        return set()
+    arrays = store.query("bench_runs").arrays("benchmark", "run_id")
+    return {(str(b), str(r))
+            for b, r in zip(arrays["benchmark"], arrays["run_id"])}
+
+
+def ingest_bench_files(store, paths: Iterable[Union[str, Path]]) -> dict:
+    """Load BENCH_*.json payloads into the ``bench_runs`` row kind.
+
+    Idempotent: a payload whose ``(benchmark, run_id)`` stamp is already
+    committed is skipped, so re-running ingestion over the same files is
+    a no-op.  Unstamped payloads ingest under ``run_id="unstamped"`` —
+    they still key idempotently, they just cannot distinguish runs.
+    Returns ``{"ingested": n_files, "skipped": n_files, "rows": n}``.
+    """
+    import numpy as np
+
+    existing = _ingested_runs(store)
+    ingested = skipped = total_rows = 0
+    batches = []
+    for path in paths:
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, Mapping) or "benchmark" not in payload:
+            skipped += 1
+            continue
+        benchmark = str(payload["benchmark"])
+        run_id = str(payload.get("run_id", "unstamped"))
+        if (benchmark, run_id) in existing:
+            skipped += 1
+            continue
+        existing.add((benchmark, run_id))
+        leaves = flatten_bench(payload)
+        if not leaves:
+            skipped += 1
+            continue
+        metrics = sorted(leaves)
+        n = len(metrics)
+        batches.append({
+            "benchmark": np.array([benchmark] * n, dtype=np.str_),
+            "run_id": np.array([run_id] * n, dtype=np.str_),
+            "schema_version": np.full(
+                n, int(payload.get("schema_version", 0)), dtype=np.int64),
+            "scale": np.full(n, float(payload.get("scale", 0.0))),
+            "metric": np.array(metrics, dtype=np.str_),
+            "value": np.array([leaves[m] for m in metrics]),
+        })
+        ingested += 1
+        total_rows += n
+    if batches:
+        with store.writer() as writer:
+            for batch in batches:
+                writer.append_batch("bench_runs", batch)
+        store.refresh()
+    return {"ingested": ingested, "skipped": skipped, "rows": total_rows}
+
+
+def bench_drift(store, policy: Optional[DriftPolicy] = None) -> DriftReport:
+    """Compare each benchmark's two most recent ingested runs.
+
+    "Most recent" is ingestion order (the store is append-only, so row
+    order is commit order).  Benchmarks with a single run are noted, not
+    compared.  A metric present in only one run is TOLERATED — payload
+    shape evolves with the code — while value drift classifies by the
+    policy's name patterns (``scale`` is deterministic-class, so
+    comparing runs measured at different scales fires exact drift
+    honestly instead of flagging every wall-clock number).
+    """
+    policy = policy or DriftPolicy()
+    report = DriftReport()
+    if "bench_runs" not in store.kinds():
+        report.note("no bench_runs rows ingested; nothing to compare")
+        return report
+    arrays = store.query("bench_runs").arrays("benchmark", "run_id",
+                                              "metric", "value", "scale")
+    runs: dict[str, dict[str, dict[str, float]]] = {}
+    for i in range(arrays["benchmark"].size):
+        benchmark = str(arrays["benchmark"][i])
+        run_id = str(arrays["run_id"][i])
+        run = runs.setdefault(benchmark, {}).setdefault(run_id, {})
+        run[str(arrays["metric"][i])] = float(arrays["value"][i])
+        run["scale"] = float(arrays["scale"][i])
+    for benchmark in sorted(runs):
+        ordered = list(runs[benchmark])
+        if len(ordered) < 2:
+            report.note(f"benchmark {benchmark!r}: single run "
+                        f"{ordered[0]!r}; nothing to compare")
+            continue
+        previous, latest = ordered[-2], ordered[-1]
+        a, b = runs[benchmark][previous], runs[benchmark][latest]
+        source = f"bench:{benchmark}"
+        for metric in sorted(a.keys() | b.keys()):
+            if policy.skips(metric):
+                continue
+            if metric not in a or metric not in b:
+                report.add(TOLERATED, source, metric,
+                           key=f"{previous}->{latest}",
+                           baseline=a.get(metric), current=b.get(metric))
+                continue
+            exact = metric == "scale" or \
+                policy.metric_class_of(metric) == "deterministic"
+            report.add(policy.classify_value(a[metric], b[metric], exact),
+                       source, metric, key=f"{previous}->{latest}",
+                       baseline=a[metric], current=b[metric])
+    return report

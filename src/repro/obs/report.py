@@ -15,7 +15,8 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["metrics_table", "run_timeline", "shard_skew", "stage_breakdown"]
+__all__ = ["available_runs", "metrics_table", "run_timeline", "shard_skew",
+           "stage_breakdown"]
 
 
 def _open(store):
@@ -44,6 +45,22 @@ def _gather(store, kind_name: str, run_id: Optional[str]) -> Optional[dict]:
     if not columns["run_id"].size:
         return None
     return columns
+
+
+def available_runs(store: Union[str, Path, "ResultStore"]) -> tuple[str, ...]:
+    """Distinct ``run_id`` values across the store's telemetry kinds.
+
+    Sorted; empty when the store holds no telemetry rows at all.  The CLI
+    uses this to turn "your ``--run`` matched nothing" into a message that
+    names the runs that *do* exist instead of printing empty tables.
+    """
+    store = _open(store)
+    runs: set[str] = set()
+    for kind_name in ("telemetry_metrics", "telemetry_spans"):
+        columns = _gather(store, kind_name, None)
+        if columns is not None:
+            runs.update(str(run) for run in np.unique(columns["run_id"]))
+    return tuple(sorted(runs))
 
 
 def run_timeline(store: Union[str, Path, "ResultStore"], *,

@@ -23,6 +23,9 @@ See the README's "Results store" section for the on-disk layout and usage.
 """
 
 from repro.store.compact import CompactionStats, compact_store
+from repro.store.diff import (DIFF_SPECS, DiffSpec, KindDiff, MetricSpec,
+                              StoreDiff, diff_kind, diff_kind_reference,
+                              diff_stores)
 from repro.store.export import ExportStats, export_store
 from repro.store.merge import MergeStats, adopt_segments, merge_stores
 from repro.store.query import Query, QueryStats
@@ -54,4 +57,12 @@ __all__ = [
     "MergeStats",
     "FORMAT_JSONL",
     "FORMAT_COLUMNAR",
+    "DiffSpec",
+    "MetricSpec",
+    "KindDiff",
+    "StoreDiff",
+    "DIFF_SPECS",
+    "diff_stores",
+    "diff_kind",
+    "diff_kind_reference",
 ]

@@ -574,11 +574,34 @@ TELEMETRY_KINDS: frozenset[str] = frozenset(
     (TELEMETRY_METRICS.name, TELEMETRY_SPANS.name))
 
 
+# --------------------------------------------------------------------------- #
+# bench_runs (the BENCH_*.json perf trajectory as a queryable campaign)
+# --------------------------------------------------------------------------- #
+BENCH_RUNS = RowKind(
+    name="bench_runs",
+    columns=(
+        #: Benchmark name as stamped in the payload (e.g. ``"obs"``).
+        Column("benchmark", "str"),
+        #: Run identity — the payload's ``run_id`` stamp (commit or env
+        #: override); (benchmark, run_id) keys idempotent re-ingestion.
+        Column("run_id", "str"),
+        #: The payload's ``schema_version`` stamp.
+        Column("schema_version", "i8"),
+        #: ``REPRO_BENCH_SCALE`` the run measured at.
+        Column("scale", "f8"),
+        #: Dotted path of one numeric leaf of the payload.
+        Column("metric", "str"),
+        Column("value", "f8"),
+    ),
+    to_row=telemetry_row,
+)
+
+
 #: Every registered row kind, by name.
 ROW_KINDS: dict[str, RowKind] = {
     kind.name: kind
     for kind in (EXECUTIONS, MODELS, APPS, SCENARIOS, FLEET_EVENTS, FLEET_LOAD,
-                 TELEMETRY_METRICS, TELEMETRY_SPANS)
+                 TELEMETRY_METRICS, TELEMETRY_SPANS, BENCH_RUNS)
 }
 
 #: Dispatch table from pipeline dataclasses to their row kind.

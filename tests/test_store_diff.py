@@ -1,0 +1,273 @@
+"""Tests for the vectorised store-level diff engine (repro.store.diff)."""
+
+import numpy as np
+import pytest
+
+from repro.store import (DIFF_SPECS, DiffSpec, MetricSpec, ResultStore,
+                         diff_kind, diff_kind_reference, diff_stores)
+from repro.store.diff import spec_for
+
+
+def fleet_batch(n, seed, *, region_pool=("amer", "emea", "apac"),
+                latency_scale=1.0):
+    """A deterministic fleet_events batch with a few distinct group keys."""
+    rng = np.random.default_rng(seed)
+    regions = np.array(region_pool, dtype="U16")
+    return {
+        "user_id": np.arange(n, dtype=np.int64),
+        "time_s": rng.uniform(0, 86400, n),
+        "device_name": np.array(["pixel4"] * n, dtype="U16"),
+        "model_name": np.array(["mobilenet"] * n, dtype="U16"),
+        "scenario": np.array(["photo"] * n, dtype="U16"),
+        "backend": np.array(["cpu"] * n, dtype="U8"),
+        "region": regions[rng.integers(0, len(region_pool), n)],
+        "target": np.array(["local"] * n, dtype="U8"),
+        "latency_ms": rng.uniform(1, 80, n) * latency_scale,
+        "wait_ms": rng.uniform(0, 10, n),
+        "energy_mj": rng.uniform(1, 50, n),
+        "throttle_factor": np.ones(n),
+        "battery_fraction": rng.uniform(0.2, 1.0, n),
+        "discharge_mah": rng.uniform(0, 1, n),
+        "cloud_api": np.array([""] * n, dtype="U16"),
+        "cloud_bytes": rng.integers(0, 1000, n),
+    }
+
+
+def make_store(path, batch=None):
+    store = ResultStore(path)
+    if batch is not None:
+        with store.writer() as writer:
+            writer.append_batch("fleet_events", batch)
+    return store
+
+
+class TestSpecs:
+    def test_every_spec_matches_its_schema(self):
+        from repro.store.schema import kind_for
+
+        for kind_name, spec in DIFF_SPECS.items():
+            kind = kind_for(kind_name)
+            names = {column.name for column in kind.columns}
+            assert set(spec.keys) <= names
+            for metric in spec.metrics:
+                if metric.column is not None:
+                    assert metric.column in names
+
+    def test_metric_spec_validation(self):
+        with pytest.raises(ValueError):
+            MetricSpec("latency_ms", agg="median")
+        with pytest.raises(ValueError):
+            MetricSpec(None, agg="sum")
+        assert MetricSpec(None, agg="count").out_name == "rows"
+        assert MetricSpec("latency_ms", agg="sum").out_name == \
+            "latency_ms_sum"
+
+    def test_diff_spec_validation(self):
+        with pytest.raises(ValueError):
+            DiffSpec("executions", (), (MetricSpec(None, agg="count"),))
+        with pytest.raises(ValueError):
+            DiffSpec("executions", ("model_name",),
+                     (MetricSpec(None, agg="count"),
+                      MetricSpec(None, agg="count")))
+
+    def test_spec_for_unknown_kind(self):
+        with pytest.raises(KeyError):
+            spec_for("nope")
+
+
+class TestDiffEngine:
+    def test_self_diff_is_bitexact_zero(self, tmp_path):
+        store = make_store(tmp_path / "a.store", fleet_batch(500, 11))
+        diff = diff_stores(store, store)
+        assert diff.identical
+        kind = diff.kinds["fleet_events"]
+        assert kind.num_changed == kind.num_added == kind.num_removed == 0
+        for metric in kind.metrics:
+            assert not kind.changed.any()
+            # Deltas are bit-exact zero, not just close to it.
+            np.testing.assert_array_equal(kind.delta[metric],
+                                          np.zeros(kind.matched))
+            np.testing.assert_array_equal(kind.a[metric], kind.b[metric])
+
+    def test_empty_vs_empty(self, tmp_path):
+        a = make_store(tmp_path / "a.store")
+        b = make_store(tmp_path / "b.store")
+        diff = diff_stores(a, b)
+        assert diff.identical
+        assert diff.kinds == {}
+
+    def test_empty_vs_nonempty_reports_all_added(self, tmp_path):
+        a = make_store(tmp_path / "a.store")
+        b = make_store(tmp_path / "b.store", fleet_batch(300, 5))
+        diff = diff_stores(a, b)
+        assert not diff.identical
+        kind = diff.kinds["fleet_events"]
+        assert kind.rows_a == 0 and kind.rows_b == 300
+        assert kind.matched == 0 and kind.num_changed == 0
+        assert kind.num_removed == 0 and kind.num_added == 3
+        # Mirror-image diff reports the same groups as removed.
+        mirrored = diff_stores(b, a).kinds["fleet_events"]
+        assert mirrored.num_added == 0 and mirrored.num_removed == 3
+
+    def test_disjoint_group_keys(self, tmp_path):
+        a = make_store(tmp_path / "a.store",
+                       fleet_batch(200, 5, region_pool=("amer", "emea")))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(200, 5, region_pool=("apac", "mena")))
+        kind = diff_stores(a, b).kinds["fleet_events"]
+        assert kind.matched == 0 and kind.num_changed == 0
+        assert kind.num_removed == 2 and kind.num_added == 2
+        removed = {row["region"] for row in kind.removed_rows()}
+        added = {row["region"] for row in kind.added_rows()}
+        assert removed == {"amer", "emea"}
+        assert added == {"apac", "mena"}
+
+    def test_changed_metrics_and_deltas(self, tmp_path):
+        a = make_store(tmp_path / "a.store", fleet_batch(400, 7))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(400, 7, latency_scale=1.01))
+        kind = diff_stores(a, b).kinds["fleet_events"]
+        assert kind.matched == 3 and kind.num_changed == 3
+        for row in kind.changed_rows():
+            cell = row["latency_ms_sum"]
+            assert cell["b"] > cell["a"]
+            assert cell["delta"] == cell["b"] - cell["a"]
+            # Row counts per group did not change.
+            assert row["rows"]["a"] == row["rows"]["b"]
+
+    def test_where_pushdown_restricts_the_diff(self, tmp_path):
+        a = make_store(tmp_path / "a.store",
+                       fleet_batch(200, 5, region_pool=("amer", "emea")))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(200, 5, region_pool=("amer", "mena")))
+        diff = diff_stores(a, b, where=(("region", "==", "amer"),))
+        kind = diff.kinds["fleet_events"]
+        assert kind.num_added == 0 and kind.num_removed == 0
+        assert kind.matched == 1
+
+    def test_mixed_v2_v3_segments_diff_identically(self, tmp_path):
+        from repro.store.schema import kind_for
+
+        batch = fleet_batch(60, 3)
+        columnar = make_store(tmp_path / "v3.store", batch)
+        # The same rows written through the row-oriented JSONL path.
+        jsonl = ResultStore(tmp_path / "v2.store")
+        names = [column.name for column in kind_for("fleet_events").columns]
+        with jsonl.writer(rows_per_segment=16) as writer:
+            for i in range(60):
+                writer.append_row("fleet_events",
+                                  {name: batch[name][i].item()
+                                   for name in names})
+        formats = {meta.format for meta in jsonl.segments_for("fleet_events")}
+        assert formats == {"jsonl"}
+        assert diff_stores(columnar, jsonl).identical
+        # Mixed store (columnar + jsonl segments) still diffs clean.
+        mixed = ResultStore(tmp_path / "mixed.store")
+        with mixed.writer() as writer:
+            writer.append_batch(
+                "fleet_events",
+                {name: array[:30] for name, array in batch.items()})
+            for i in range(30, 60):
+                writer.append_row("fleet_events",
+                                  {name: batch[name][i].item()
+                                   for name in names})
+        assert sorted({meta.format
+                       for meta in mixed.segments_for("fleet_events")}) == \
+            ["columnar", "jsonl"]
+        assert diff_stores(mixed, columnar).identical
+
+    def test_unknown_explicit_kind_raises(self, tmp_path):
+        store = make_store(tmp_path / "a.store", fleet_batch(10, 1))
+        with pytest.raises(KeyError):
+            diff_stores(store, store, kinds=("nope",))
+
+    def test_kind_without_spec_is_skipped(self, tmp_path):
+        store = make_store(tmp_path / "a.store", fleet_batch(10, 1))
+        spec = spec_for("fleet_events")
+        specs = {"fleet_events": spec}
+        diff = diff_stores(store, store, specs=specs)
+        assert diff.identical and diff.skipped == ()
+
+    def test_summary_shape(self, tmp_path):
+        a = make_store(tmp_path / "a.store", fleet_batch(100, 2))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(100, 2, latency_scale=2.0))
+        summary = diff_stores(a, b).summary()
+        entry = summary["fleet_events"]
+        assert entry["rows_a"] == entry["rows_b"] == 100
+        assert entry["changed"] == entry["matched"]
+
+
+class TestAgainstReference:
+    """The vectorised engine must agree bit-exactly with the per-row path."""
+
+    def assert_matches_reference(self, store_a, store_b):
+        spec = spec_for("fleet_events")
+        fast = diff_kind(store_a, store_b, spec)
+        slow = diff_kind_reference(store_a, store_b, spec)
+        assert fast.matched == slow["matched"]
+        fast_changed = {}
+        for row in fast.changed_rows(limit=None):
+            key = tuple(row[name] for name in spec.keys)
+            fast_changed[key] = {
+                metric: (row[metric]["a"], row[metric]["b"],
+                         row[metric]["delta"])
+                for metric in fast.metrics
+                if row[metric]["a"] != row[metric]["b"]}
+        slow_changed = {
+            key: {metric: triple for metric, triple in cells.items()}
+            for key, cells in slow["changed"].items()}
+        assert set(fast_changed) == set(slow_changed)
+        for key, cells in slow_changed.items():
+            for metric, (sa, sb, _) in cells.items():
+                fa, fb, _ = fast_changed[key][metric]
+                # Bit-exact, not approx: same reduction order.
+                assert fa == sa and fb == sb
+        fast_added = {tuple(row[name] for name in spec.keys)
+                      for row in fast.added_rows(limit=None)}
+        fast_removed = {tuple(row[name] for name in spec.keys)
+                        for row in fast.removed_rows(limit=None)}
+        assert fast_added == slow["added"]
+        assert fast_removed == slow["removed"]
+
+    def test_perturbed_pair(self, tmp_path):
+        a = make_store(tmp_path / "a.store", fleet_batch(800, 17))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(800, 17, latency_scale=1.001))
+        self.assert_matches_reference(a, b)
+
+    def test_added_and_removed_groups(self, tmp_path):
+        a = make_store(tmp_path / "a.store",
+                       fleet_batch(500, 9, region_pool=("amer", "emea",
+                                                        "apac")))
+        b = make_store(tmp_path / "b.store",
+                       fleet_batch(500, 9, region_pool=("emea", "apac",
+                                                        "mena")))
+        self.assert_matches_reference(a, b)
+
+
+class TestCli:
+    def test_store_diff_exit_codes_and_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = make_store(tmp_path / "a.store", fleet_batch(200, 7))
+        make_store(tmp_path / "b.store",
+                   fleet_batch(200, 7, latency_scale=1.01))
+        assert main(["store", "diff", str(tmp_path / "a.store"),
+                     str(tmp_path / "a.store")]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        assert main(["store", "diff", str(tmp_path / "a.store"),
+                     str(tmp_path / "b.store")]) == 1
+        out = capsys.readouterr().out
+        assert "latency_ms_sum" in out and "~" in out
+
+    def test_store_diff_bad_store_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = make_store(tmp_path / "a.store", fleet_batch(10, 1))
+        bad = tmp_path / "bad.store"
+        bad.mkdir()
+        (bad / "MANIFEST.json").write_text("{not json")
+        assert main(["store", "diff", str(a.root), str(bad)]) == 2
+        assert capsys.readouterr().err
