@@ -28,6 +28,8 @@ that makes a 10M-user simulated day tractable on a single machine.
 from repro.campaign.coordinator import (CampaignResult, ShardResult,
                                         ShardTask, run_campaign,
                                         shard_ranges)
+from repro.campaign.ingest import (BackgroundIngest, ingest_fleet_batches,
+                                   synthetic_fleet_batch)
 from repro.campaign.workloads import (ambient_scenario, ambient_spec,
                                       campaign_spec)
 
@@ -40,4 +42,7 @@ __all__ = [
     "ambient_scenario",
     "ambient_spec",
     "campaign_spec",
+    "BackgroundIngest",
+    "ingest_fleet_batches",
+    "synthetic_fleet_batch",
 ]

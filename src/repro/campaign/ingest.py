@@ -1,0 +1,146 @@
+"""Serve-while-ingest harness: deterministic live-append workloads.
+
+The serve layer's claim — every request sees one committed generation,
+bit-identical to the offline reader at that generation — is only testable
+with a writer actually racing the readers.  This module provides the
+writer side as a reusable harness: a deterministic synthetic
+``fleet_events`` batch generator (seeded per batch, so any prefix of the
+stream is reproducible on its own) and :class:`BackgroundIngest`, a
+thread that appends those batches through a
+:class:`~repro.store.writer.StoreWriter` with a commit per batch,
+recording the generation each commit produced.  Tests and the serve
+benchmark replay the same batches synchronously into a reference store
+and compare payloads generation-by-generation.
+
+Module-level functions only (the campaign convention): the generator must
+behave identically whether driven from a thread here or from a shard
+worker process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.store.store import ResultStore
+from repro.store.writer import StoreWriter
+
+__all__ = ["synthetic_fleet_batch", "ingest_fleet_batches",
+           "BackgroundIngest"]
+
+_DEVICES = ("Galaxy S21", "Pixel 5", "Redmi Note 9", "Moto G7")
+_MODELS = ("mobilenet_v2", "yamnet", "efficientnet_lite0")
+_BACKENDS = ("tflite-cpu", "tflite-gpu", "nnapi")
+_REGIONS = ("na", "eu", "apac")
+_CLOUD_APIS = ("speech-to-text", "vision-labels")
+
+
+def synthetic_fleet_batch(batch_index: int, rows: int, *,
+                          seed: int = 0) -> dict[str, np.ndarray]:
+    """One deterministic ``fleet_events`` column batch.
+
+    Seeded by ``(seed, batch_index)`` alone, so batch *k* of a stream is
+    identical no matter who generates it, when, or how many batches came
+    before — the property that lets a synchronous replay build a
+    bit-identical reference store for any committed prefix.
+    """
+    rng = np.random.default_rng((seed << 20) ^ batch_index)
+    target = np.where(rng.random(rows) < 0.85, "device", "cloud")
+    offloaded = target == "cloud"
+    latency = np.where(offloaded,
+                       rng.gamma(4.0, 30.0, rows),
+                       rng.gamma(2.0, 12.0, rows))
+    return {
+        "user_id": rng.integers(0, max(rows // 4, 1), rows),
+        "time_s": np.sort(rng.uniform(0.0, 86400.0, rows)),
+        "device_name": rng.choice(_DEVICES, rows),
+        "model_name": rng.choice(_MODELS, rows),
+        "scenario": np.full(rows, "Ambient"),
+        "backend": rng.choice(_BACKENDS, rows),
+        "region": rng.choice(_REGIONS, rows),
+        "target": target,
+        "latency_ms": latency,
+        "wait_ms": rng.exponential(3.0, rows),
+        "energy_mj": rng.gamma(3.0, 40.0, rows),
+        "throttle_factor": rng.uniform(1.0, 1.6, rows),
+        "battery_fraction": rng.uniform(0.05, 1.0, rows),
+        "discharge_mah": rng.gamma(2.0, 0.05, rows),
+        "cloud_api": np.where(offloaded, rng.choice(_CLOUD_APIS, rows), ""),
+        "cloud_bytes": np.where(offloaded,
+                                rng.integers(1 << 10, 1 << 16, rows), 0),
+    }
+
+
+def ingest_fleet_batches(root: Union[str, Path], num_batches: int, *,
+                         rows_per_batch: int = 2048, seed: int = 0,
+                         rows_per_segment: int = 1024) -> ResultStore:
+    """Synchronously ingest ``num_batches`` synthetic batches into ``root``.
+
+    One flush (= one manifest commit, one generation) per batch.  This is
+    the offline replay twin of :class:`BackgroundIngest`: same batches,
+    same segment boundaries, same generations.
+    """
+    store = ResultStore(root)
+    with StoreWriter(store, rows_per_segment=rows_per_segment) as writer:
+        for index in range(num_batches):
+            writer.append_batch(
+                "fleet_events",
+                synthetic_fleet_batch(index, rows_per_batch, seed=seed))
+            writer.flush()
+    return store
+
+
+class BackgroundIngest(threading.Thread):
+    """Appends synthetic batches to a store while readers serve from it.
+
+    Runs the single permitted writer on a daemon thread: each batch is
+    appended and flushed (one generation per batch), the resulting
+    generation recorded in :attr:`generations`, then the thread sleeps
+    ``interval_s`` so readers interleave.  ``error`` carries any writer
+    exception out to the joining test instead of dying silently.
+    """
+
+    def __init__(self, root: Union[str, Path], *, num_batches: int,
+                 rows_per_batch: int = 2048, seed: int = 0,
+                 rows_per_segment: int = 1024,
+                 interval_s: float = 0.0) -> None:
+        super().__init__(name="repro-serve-ingest", daemon=True)
+        self.root = Path(root)
+        self.num_batches = num_batches
+        self.rows_per_batch = rows_per_batch
+        self.seed = seed
+        self.rows_per_segment = rows_per_segment
+        self.interval_s = interval_s
+        #: Generations committed so far, in commit order.
+        self.generations: list[int] = []
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            store = ResultStore(self.root)
+            with StoreWriter(store,
+                             rows_per_segment=self.rows_per_segment) as writer:
+                for index in range(self.num_batches):
+                    writer.append_batch(
+                        "fleet_events",
+                        synthetic_fleet_batch(index, self.rows_per_batch,
+                                              seed=self.seed))
+                    writer.flush()
+                    self.generations.append(store.generation)
+                    if self.interval_s:
+                        time.sleep(self.interval_s)
+        except BaseException as exc:  # surfaced by the joining test
+            self.error = exc
+
+    def finish(self, timeout: float = 60.0) -> list[int]:
+        """Join the writer; re-raise its failure; return the generations."""
+        self.join(timeout)
+        if self.is_alive():
+            raise TimeoutError("background ingest did not finish")
+        if self.error is not None:
+            raise self.error
+        return self.generations

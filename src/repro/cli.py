@@ -34,6 +34,13 @@ Four subcommands mirror the paper's workflow:
                   segment adoption + exact demand-grid addition into one
                   queryable store (bit-identical to an unsharded run for
                   any shard count).
+* ``serve``     — asyncio HTTP query/report service over a store directory
+                  with snapshot-isolated reads: every request is evaluated
+                  against one pinned manifest generation while a campaign
+                  keeps appending, with a (generation, segment, fragment)
+                  result cache and a background refresh worker; responses
+                  are bit-identical to ``store query`` / ``store report
+                  --json`` at the same generation.
 * ``compare``   — temporal comparison between the 2020 and 2021 snapshots
                   (Fig. 5, Sec. 4.6).
 * ``obs``       — telemetry reports over a sidecar store written by
@@ -275,38 +282,27 @@ _WHERE_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
 
 
 def _parse_where(expression: str) -> tuple[str, str, object]:
-    """Parse a ``--where`` expression like ``device_name=S21`` or ``latency_ms<5``."""
-    for op in _WHERE_OPS:
-        if op in expression:
-            column, raw = expression.split(op, 1)
-            column, raw = column.strip(), raw.strip()
-            if not column or not raw:
-                break
-            value: object = raw
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    pass
-            return column, "==" if op == "=" else op, value
-    raise argparse.ArgumentTypeError(
-        f"invalid where expression {expression!r} (expected column<op>value "
-        f"with one of {', '.join(_WHERE_OPS)})")
+    """Parse a ``--where`` expression like ``device_name=S21`` or ``latency_ms<5``.
+
+    Delegates to :func:`repro.store.query.parse_predicate` — the same
+    grammar ``repro serve`` accepts in ``/v1/query`` parameters.
+    """
+    from repro.store.query import parse_predicate
+
+    try:
+        return parse_predicate(expression)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _parse_agg(expression: str) -> tuple[str, list[str]]:
     """Parse an ``--agg`` expression like ``latency_ms:mean,median``."""
+    from repro.store.query import parse_agg_expr
+
     try:
-        column, fns = expression.split(":", 1)
-        parsed = [fn.strip() for fn in fns.split(",") if fn.strip()]
-        if not column.strip() or not parsed:
-            raise ValueError
-        return column.strip(), parsed
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"invalid agg expression {expression!r} (expected column:fn[,fn...])")
+        return parse_agg_expr(expression)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _format_cell(value: object) -> str:
@@ -363,6 +359,55 @@ def cmd_store_query(args: argparse.Namespace) -> int:
 
 def cmd_store_report(args: argparse.Namespace) -> int:
     """Serve the paper's figure tables from a persisted campaign."""
+    if args.json:
+        import json
+
+        from repro.serve import report_payload
+
+        payload = report_payload(ResultStore(args.path), args.table,
+                                 device=args.device, min_apps=args.min_apps)
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 0
+    if args.table == "tail_latency":
+        from repro.fleet import tail_latency_table
+
+        store = ResultStore(args.path)
+        if not store.num_rows("fleet_events"):
+            print("store holds no fleet_events rows")
+            return 0
+        rows = tail_latency_table(store, group_by="device_name")
+        print(f"{'device':<16}{'events':>9}{'p50 ms':>9}{'p90 ms':>9}"
+              f"{'p99 ms':>9}{'p999 ms':>9}")
+        for row in rows:
+            print(f"{row['device_name']:<16}{row['events']:>9}"
+                  f"{row['p50_ms']:>9.1f}{row['p90_ms']:>9.1f}"
+                  f"{row['p99_ms']:>9.1f}{row['p999_ms']:>9.1f}")
+        return 0
+    if args.table == "drain":
+        from repro.fleet import battery_drain_ecdf
+
+        store = ResultStore(args.path)
+        if not store.num_rows("fleet_events"):
+            print("store holds no fleet_events rows")
+            return 0
+        ecdf = battery_drain_ecdf(store)
+        median_mah, p90_mah = ecdf.quantiles((0.5, 0.9))
+        print(f"users: {len(ecdf.values)}")
+        print(f"median drain: {median_mah:.2f} mAh")
+        print(f"p90 drain   : {p90_mah:.2f} mAh")
+        return 0
+    if args.table == "latency_flops":
+        server = ReportServer(ResultStore(args.path))
+        devices = ([args.device] if args.device
+                   else server.summary()["devices"])
+        for device in devices:
+            points = server.latency_vs_flops(device)
+            print(f"{device}: {len(points)} points")
+            for latency_ms, flops in points[:10]:
+                print(f"  {latency_ms:>10.2f} ms  {flops:>14.0f} FLOPs")
+            if len(points) > 10:
+                print(f"  ... {len(points) - 10} more")
+        return 0
     if args.table == "cloud_load":
         from repro.cloud import load_report
 
@@ -419,6 +464,14 @@ def _print_summary_table(summary: dict) -> None:
 def cmd_store_info(args: argparse.Namespace) -> int:
     """Inspect a persisted campaign's layout, format mix and integrity."""
     store = ResultStore(args.path)
+    if args.json:
+        import json
+
+        payload = store.info_payload()
+        if args.verify:
+            payload["verified_segments"] = store.verify_integrity()
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 0
     print(store)
     for meta in store.segments:
         print(f"  {meta.name:<22} {meta.kind:<12} {meta.format:<9} "
@@ -1012,6 +1065,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve queries and report tables over a (possibly live) store."""
+    from repro.serve import ServeApp
+
+    app = ServeApp(args.path, host=args.host, port=args.port,
+                   refresh_s=args.refresh, cache=not args.no_cache,
+                   compact_segments=args.compact_segments, mmap=args.mmap,
+                   handler_threads=args.threads)
+    app.run()
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
@@ -1098,13 +1163,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", help="store directory")
     report.add_argument("--table", default="summary",
                         choices=("summary", "latency_ecdf", "energy", "cloud",
-                                 "cloud_load"))
+                                 "cloud_load", "tail_latency", "drain",
+                                 "latency_flops"))
+    report.add_argument("--json", action="store_true",
+                        help="emit the table as JSON (the exact payload "
+                             "repro serve returns at the same generation)")
+    report.add_argument("--device", default=None,
+                        help="restrict latency_flops to one device")
+    report.add_argument("--min-apps", type=int, default=0,
+                        help="drop cloud APIs used by fewer apps")
     report.set_defaults(func=cmd_store_report)
 
     info = store_sub.add_parser("info", help="inspect segments and integrity")
     info.add_argument("path", help="store directory")
     info.add_argument("--verify", action="store_true",
                       help="verify every segment checksum")
+    info.add_argument("--json", action="store_true",
+                      help="emit a machine-readable summary (the /v1/stats "
+                           "store payload)")
     info.set_defaults(func=cmd_store_info)
 
     compact = store_sub.add_parser(
@@ -1274,6 +1350,27 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the metrics/spans into a sidecar store "
                                    "at PATH")
     campaign_run.set_defaults(func=cmd_campaign_run)
+
+    serve = subparsers.add_parser(
+        "serve", help="HTTP query/report service over a (possibly live) "
+                      "store with snapshot-isolated reads")
+    serve.add_argument("path", help="store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8736,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--refresh", type=float, default=1.0, metavar="SECONDS",
+                       help="poll interval of the generation refresh worker")
+    serve.add_argument("--threads", type=_positive_int, default=8,
+                       help="request handler thread pool size")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the segment/result caches")
+    serve.add_argument("--compact-segments", type=_positive_int, default=None,
+                       metavar="N",
+                       help="background-compact a kind once it exceeds N "
+                            "committed segments (invalidates serve caches)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="serve column caches as read-only memory maps")
+    serve.set_defaults(func=cmd_serve)
 
     obs_parser = subparsers.add_parser(
         "obs", help="telemetry reports over a sidecar store")

@@ -1,0 +1,245 @@
+"""The asyncio HTTP front end of :mod:`repro.serve` (stdlib only).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`:
+request lines and headers are parsed by hand, bodies read by
+``Content-Length``, responses are JSON with keep-alive connections.  The
+event loop only shuttles bytes — every dispatch runs on a thread pool, so
+a store-scanning query never stalls the accept loop, and NumPy evaluation
+gets real threads (it releases the GIL in the kernels that matter).
+
+:class:`ServeApp` wires the whole stack: live store → snapshot manager →
+query service → router, plus the background refresh worker.  ``repro
+serve`` calls :meth:`ServeApp.run`; tests and benchmarks use
+:class:`ServerThread`, which runs the same loop on a daemon thread and
+exposes the bound URL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional, Union
+
+from repro import obs
+from repro.serve.cache import ServeCache
+from repro.serve.routes import Router
+from repro.serve.service import QueryService
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.worker import RefreshWorker
+from repro.store.store import ResultStore
+
+__all__ = ["ServeApp", "ServerThread"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+#: Hard cap on request bodies; /v1/query specs are tiny.
+_MAX_BODY = 1 << 20
+
+
+class ServeApp:
+    """One serving stack over one store directory."""
+
+    def __init__(self, root: Union[str, Path], *, host: str = "127.0.0.1",
+                 port: int = 8736, refresh_s: float = 1.0, cache: bool = True,
+                 max_segment_entries: int = 1024, max_result_entries: int = 256,
+                 compact_segments: Optional[int] = None, mmap: bool = False,
+                 handler_threads: int = 8) -> None:
+        self.store = ResultStore(root, mmap=mmap)
+        self.cache = (ServeCache(max_segment_entries=max_segment_entries,
+                                 max_result_entries=max_result_entries)
+                      if cache else None)
+        self.manager = SnapshotManager(self.store, cache=self.cache)
+        self.service = QueryService(self.manager, cache=self.cache)
+        self.router = Router(self.service)
+        self.worker = RefreshWorker(self.manager, interval_s=refresh_s,
+                                    compact_segments=compact_segments)
+        self._host = host
+        self._port = port
+        self._executor = ThreadPoolExecutor(
+            max_workers=handler_threads,
+            thread_name_prefix="repro-serve-handler")
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.url: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> str:
+        """Bind the listener and start the refresh worker; returns the URL."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.url = f"http://{host}:{port}"
+        if not self.worker.is_alive():
+            self.worker.start()
+        return self.url
+
+    async def stop(self) -> None:
+        self.worker.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    def run(self) -> None:  # pragma: no cover - interactive entry point
+        """Serve until interrupted (the ``repro serve`` foreground path)."""
+
+        async def main() -> None:
+            url = await self.start()
+            print(f"repro serve: {self.store.root} at generation "
+                  f"{self.manager.generation} on {url}", flush=True)
+            await asyncio.Event().wait()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400,
+                                        {"error": "malformed request line"},
+                                        keep_alive=False)
+                    break
+                method, target, version = parts
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    break
+                length = int(headers.get("content-length", "0") or "0")
+                if length > _MAX_BODY:
+                    await self._respond(writer, 400,
+                                        {"error": "request body too large"},
+                                        keep_alive=False)
+                    break
+                body = await reader.readexactly(length) if length else b""
+
+                obs.count("serve.requests")
+                status, payload = await loop.run_in_executor(
+                    self._executor, self._dispatch, method, target, body)
+
+                default = "keep-alive" if version == "HTTP/1.1" else "close"
+                keep = headers.get("connection", default).lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep)
+                if not keep:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, method: str, target: str,
+                  body: bytes) -> tuple[int, dict]:
+        """Router dispatch on a pool thread, shielded against handler bugs."""
+        try:
+            with obs.span("serve.request"):
+                return self.router.dispatch(method, target, body)
+        except Exception as exc:  # a handler bug must not kill the connection
+            obs.count("serve.errors")
+            return 500, {"error": f"internal error: {exc}"}
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader
+                            ) -> Optional[dict[str, str]]:
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:
+                return None
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       payload: dict, *, keep_alive: bool) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+
+class ServerThread:
+    """Run a :class:`ServeApp` on a daemon thread (tests and benchmarks).
+
+    Context manager: entering starts the event loop on its own thread and
+    blocks until the socket is bound; ``url`` then accepts connections.
+    Exiting stops the server, the refresh worker and the loop.
+    """
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def url(self) -> str:
+        assert self.app.url is not None, "server not started"
+        return self.app.url
+
+    def __enter__(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve loop failed to start")
+        if self._failure is not None:
+            raise RuntimeError("serve startup failed") from self._failure
+        return self
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            await self.app.start()
+        except BaseException as exc:
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.app.stop()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

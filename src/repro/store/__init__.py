@@ -33,11 +33,12 @@ from repro.store.schema import ROW_KINDS, RowKind, kind_for
 from repro.store.segment import (FORMAT_COLUMNAR, FORMAT_JSONL, SegmentMeta,
                                  StoreCorruptionError)
 from repro.store.serving import ReportServer
-from repro.store.store import ResultStore
+from repro.store.store import ResultStore, StoreSnapshot
 from repro.store.writer import StoreWriter, ingest_snapshot
 
 __all__ = [
     "ResultStore",
+    "StoreSnapshot",
     "StoreWriter",
     "Query",
     "QueryStats",

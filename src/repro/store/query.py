@@ -27,7 +27,8 @@ import numpy as np
 from repro.store.schema import Column, RowKind
 from repro.store.segment import SegmentMeta
 
-__all__ = ["Predicate", "Query", "QueryStats", "AGGREGATIONS"]
+__all__ = ["Predicate", "Query", "QueryStats", "AGGREGATIONS",
+           "parse_predicate", "parse_agg_expr"]
 
 _OPS = ("==", "!=", "<", "<=", ">", ">=", "in")
 
@@ -117,6 +118,56 @@ class Predicate:
         return np.isin(array, list(self.value))
 
 
+#: Comparison operators accepted in textual predicate expressions, longest
+#: first so ``<=`` is not parsed as ``<`` against ``=value``.
+_EXPR_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
+
+
+def parse_predicate(expression: str) -> tuple[str, str, object]:
+    """Parse ``device_name=S21`` / ``latency_ms<5`` into ``(column, op, value)``.
+
+    The one textual predicate grammar shared by the CLI's ``--where`` flags
+    and the serve layer's ``where=`` query parameters, so a filter behaves
+    identically however it reaches the engine.  Values parse as int, then
+    float, then string.  Raises :class:`ValueError` on a malformed
+    expression.
+    """
+    for op in _EXPR_OPS:
+        if op in expression:
+            column, raw = expression.split(op, 1)
+            column, raw = column.strip(), raw.strip()
+            if not column or not raw:
+                break
+            value: object = raw
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    pass
+            return column, "==" if op == "=" else op, value
+    raise ValueError(
+        f"invalid where expression {expression!r} (expected column<op>value "
+        f"with one of {', '.join(_EXPR_OPS)})")
+
+
+def parse_agg_expr(expression: str) -> tuple[str, list[str]]:
+    """Parse ``latency_ms:mean,median`` into ``(column, [functions])``.
+
+    Shared by the CLI's ``--agg`` flags and the serve layer's ``agg=``
+    query parameters.  Raises :class:`ValueError` on a malformed
+    expression.
+    """
+    column, separator, fns = expression.partition(":")
+    parsed = [fn.strip() for fn in fns.split(",") if fn.strip()]
+    if not separator or not column.strip() or not parsed:
+        raise ValueError(
+            f"invalid agg expression {expression!r} "
+            f"(expected column:fn[,fn...])")
+    return column.strip(), parsed
+
+
 @dataclass
 class QueryStats:
     """Work accounting of one query execution."""
@@ -124,6 +175,8 @@ class QueryStats:
     segments_total: int = 0
     segments_skipped: int = 0
     segments_scanned: int = 0
+    #: Segments answered from a serve-layer fragment cache (no scan).
+    segments_cached: int = 0
     rows_scanned: int = 0
     rows_matched: int = 0
 
@@ -230,36 +283,68 @@ class Query:
     # ------------------------------------------------------------------ #
     # Execution core
     # ------------------------------------------------------------------ #
+    def _scan_segment(self, meta: SegmentMeta, needed: set):
+        """Pushdown + mask one segment; ``None`` if pruned or nothing matched.
+
+        Updates :attr:`stats` and returns ``(columns_dict, mask)`` where the
+        dict holds the ``needed`` columns of the whole segment and ``mask``
+        is the row-match mask (``None`` with no predicates).  The single
+        per-segment evaluation point — both terminals and the serve layer's
+        caching query route through it, so work accounting and semantics
+        cannot diverge.
+        """
+        self.stats.segments_total += 1
+        if not all(p.may_match(meta, self.kind.column(p.column))
+                   for p in self._predicates):
+            self.stats.segments_skipped += 1
+            return None
+        self.stats.segments_scanned += 1
+        self.stats.rows_scanned += meta.rows
+        loaded = self.store.columns_for(meta)
+        mask: Optional[np.ndarray] = None
+        for predicate in self._predicates:
+            part = predicate.mask(loaded[predicate.column])
+            mask = part if mask is None else (mask & part)
+        matched = int(mask.sum()) if mask is not None else meta.rows
+        self.stats.rows_matched += matched
+        if matched == 0:
+            return None
+        return {name: loaded[name] for name in needed}, mask
+
     def _scan(self, columns: Sequence[str]):
         """Yield ``(meta, columns_dict, mask)`` per surviving segment."""
         self.stats = QueryStats()
         needed = set(columns) | {p.column for p in self._predicates}
         for meta in self.store.segments_for(self.kind):
-            self.stats.segments_total += 1
-            if not all(p.may_match(meta, self.kind.column(p.column))
-                       for p in self._predicates):
-                self.stats.segments_skipped += 1
-                continue
-            self.stats.segments_scanned += 1
-            self.stats.rows_scanned += meta.rows
-            loaded = self.store.columns_for(meta)
-            mask: Optional[np.ndarray] = None
-            for predicate in self._predicates:
-                part = predicate.mask(loaded[predicate.column])
-                mask = part if mask is None else (mask & part)
-            matched = int(mask.sum()) if mask is not None else meta.rows
-            self.stats.rows_matched += matched
-            if matched == 0:
-                continue
-            yield meta, {name: loaded[name] for name in needed}, mask
+            survived = self._scan_segment(meta, needed)
+            if survived is not None:
+                yield meta, survived[0], survived[1]
+
+    def _segment_arrays(self, meta: SegmentMeta, columns: Sequence[str]
+                        ) -> Optional[dict[str, np.ndarray]]:
+        """The masked ``columns`` arrays of one segment (``None`` = no rows).
+
+        The unit the serve layer caches: sealed segments are immutable, so
+        for a fixed predicate set this result can never go stale.
+        """
+        survived = self._scan_segment(
+            meta, set(columns) | {p.column for p in self._predicates})
+        if survived is None:
+            return None
+        loaded, mask = survived
+        return {name: (loaded[name] if mask is None else loaded[name][mask])
+                for name in columns}
 
     def _gather(self, columns: Sequence[str]) -> dict[str, np.ndarray]:
         """Concatenate the masked arrays of every surviving segment."""
+        self.stats = QueryStats()
         parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
-        for _, loaded, mask in self._scan(columns):
+        for meta in self.store.segments_for(self.kind):
+            masked = self._segment_arrays(meta, columns)
+            if masked is None:
+                continue
             for name in columns:
-                array = loaded[name]
-                parts[name].append(array if mask is None else array[mask])
+                parts[name].append(masked[name])
         return {
             name: (np.concatenate(chunks) if chunks
                    else np.empty(0, dtype=self.kind.column(name).numpy_dtype))

@@ -44,15 +44,37 @@ class ReportServer:
         #: segment name -> cloud-API tuples of that segment's apps (row order).
         self._cloud_extracts: dict[str, list[tuple[str, ...]]] = {}
         #: metric -> device -> concatenated array over all loaded segments;
-        #: invalidated whenever refresh() picks up a new segment.
+        #: invalidated whenever refresh() observes a new manifest generation.
         self._metric_cache: dict[str, dict[str, np.ndarray]] = {}
+        #: Manifest generation the caches were built against.  ``None``
+        #: forces the first refresh to initialise it.
+        self._generation: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Incremental extraction
     # ------------------------------------------------------------------ #
     def refresh(self) -> int:
-        """Pick up newly committed segments; returns how many were loaded."""
+        """Pick up newly committed segments; returns how many were loaded.
+
+        Invalidation keys on the manifest **generation**, not on whether new
+        segments appeared: an external replacement commit (compaction, a
+        retention trim) can *drop* segments without adding any, and the old
+        "clear when something loaded" rule kept serving the dropped rows
+        from the concatenated metric cache.  A generation change evicts
+        extracts of dead segments and clears the metric cache; extracts of
+        still-live segments survive, so append-only growth stays
+        incremental.  Generation-pinned :class:`StoreSnapshot` sources never
+        change generation, so a server over one never re-extracts.
+        """
         self.store.refresh()
+        generation = self.store.generation
+        if generation != self._generation:
+            live = {meta.name for meta in self.store.segments}
+            for cache in (self._execution_extracts, self._cloud_extracts):
+                for name in [n for n in cache if n not in live]:
+                    del cache[name]
+            self._metric_cache.clear()
+            self._generation = generation
         loaded = 0
         for meta in self.store.segments_for("executions"):
             if meta.name not in self._execution_extracts:
@@ -62,8 +84,6 @@ class ReportServer:
             if meta.name not in self._cloud_extracts:
                 self._cloud_extracts[meta.name] = self._extract_cloud(meta)
                 loaded += 1
-        if loaded:
-            self._metric_cache.clear()
         return loaded
 
     def _extract_executions(self, meta) -> dict[str, dict[str, np.ndarray]]:

@@ -21,6 +21,17 @@ Reads are cached per segment: segments are immutable, so once a segment's
 columns are in memory every later query and report over it is free.  That is
 what makes repeated report generation over a growing campaign incremental —
 only segments committed since the last read touch the filesystem.
+
+Every manifest commit advances a **generation** counter, and append commits
+record the committed segment-prefix length of each generation in a bounded
+log.  That makes the manifest's committed-prefix semantics first-class:
+:meth:`ResultStore.open_snapshot` pins an immutable
+:class:`StoreSnapshot` — a read-only view whose segment list never changes,
+even while a writer keeps appending and sealing — and a past generation can
+be reopened as long as its entry is still in the log and no replacement
+commit (compaction) has rewritten the list since.  Snapshot isolation is
+what lets :mod:`repro.serve` answer queries consistently over a store a
+campaign is still ingesting into.
 """
 
 from __future__ import annotations
@@ -35,7 +46,7 @@ from repro.store import segment as segment_io
 from repro.store.schema import ROW_KINDS, RowKind, kind_for
 from repro.store.segment import SegmentMeta, StoreCorruptionError
 
-__all__ = ["ResultStore", "StoreCorruptionError"]
+__all__ = ["ResultStore", "StoreSnapshot", "StoreCorruptionError"]
 
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
@@ -50,6 +61,11 @@ FORMAT_VERSION = 3
 #: (every v2 segment is a JSONL segment), so they open unchanged; the
 #: manifest is rewritten at version 3 on the next commit.
 READABLE_VERSIONS = (2, FORMAT_VERSION)
+
+#: How many (generation, committed-prefix-length) entries the manifest keeps.
+#: Bounds the manifest size on long campaigns; snapshots older than the
+#: window simply stop being reopenable by generation number.
+GENERATION_LOG_CAP = 1024
 
 
 class ResultStore:
@@ -71,7 +87,8 @@ class ResultStore:
         #: Query results are identical either way.
         self.mmap = mmap
         self._manifest: dict = {"format_version": FORMAT_VERSION,
-                                "sequence": 0, "segments": []}
+                                "sequence": 0, "generation": 0,
+                                "generations": [], "segments": []}
         self._segments: tuple[SegmentMeta, ...] = ()
         self._columns_cache: dict[str, Mapping[str, np.ndarray]] = {}
         self.refresh()
@@ -100,19 +117,33 @@ class ResultStore:
             raise StoreCorruptionError(
                 f"store at {self.root} has format version {version!r}; "
                 f"this build reads versions {READABLE_VERSIONS}")
-        self._manifest = data
-        self._segments = tuple(
+        segments = tuple(
             SegmentMeta.from_json(entry) for entry in data["segments"])
+        # Stores written before generations existed: derive a monotone
+        # generation from the sequence counter and pin the current list as
+        # the only reopenable prefix (rewritten properly on the next commit).
+        if "generation" not in data:
+            data["generation"] = int(data.get("sequence", 0))
+            data["generations"] = [[data["generation"], len(segments)]]
+        self._manifest = data
+        self._segments = segments
         live = {meta.name for meta in self._segments}
         for name in list(self._columns_cache):
-            if name not in live:  # pragma: no cover - defensive; append-only
+            if name not in live:
                 del self._columns_cache[name]
 
     def _commit(self, new_segments: Sequence[SegmentMeta], sequence: int) -> None:
         """Atomically append sealed segments to the manifest (writer hook)."""
+        generation = self.generation + 1
+        generations = [list(entry) for entry in
+                       self._manifest.get("generations", ())]
+        generations.append(
+            [generation, len(self._segments) + len(new_segments)])
         manifest = {
             "format_version": FORMAT_VERSION,
             "sequence": sequence,
+            "generation": generation,
+            "generations": generations[-GENERATION_LOG_CAP:],
             "segments": [meta.to_json() for meta in self._segments]
                         + [meta.to_json() for meta in new_segments],
         }
@@ -133,9 +164,14 @@ class ResultStore:
         """
         if sequence < self.sequence:
             raise ValueError("sequence must not move backwards")
+        generation = self.generation + 1
         manifest = {
             "format_version": FORMAT_VERSION,
             "sequence": sequence,
+            "generation": generation,
+            # Replaced lists share no prefix with their predecessors, so
+            # earlier generations stop being reopenable: the log restarts.
+            "generations": [[generation, len(segments)]],
             "segments": [meta.to_json() for meta in segments],
         }
         self.root.mkdir(parents=True, exist_ok=True)
@@ -152,6 +188,67 @@ class ResultStore:
     def sequence(self) -> int:
         """Monotonic segment sequence number (writer allocation state)."""
         return int(self._manifest.get("sequence", 0))
+
+    @property
+    def generation(self) -> int:
+        """Monotonic manifest-commit counter (+1 per commit of any kind)."""
+        return int(self._manifest.get("generation", 0))
+
+    def generations(self) -> dict[int, int]:
+        """Reopenable generations: ``{generation: committed prefix length}``.
+
+        Append commits extend the log; replacement commits (compaction)
+        restart it, because the old prefixes no longer describe the new
+        segment list.  Bounded at :data:`GENERATION_LOG_CAP` entries.
+        """
+        return {int(gen): int(length)
+                for gen, length in self._manifest.get("generations", ())}
+
+    def open_snapshot(self, generation: Optional[int] = None
+                      ) -> "StoreSnapshot":
+        """Pin an immutable read view of one committed generation.
+
+        With no argument, pins whatever this handle currently sees (call
+        :meth:`refresh` first to pin the latest on-disk commit).  Passing a
+        ``generation`` reopens that committed prefix, as long as it is still
+        in the manifest's generation log — a :class:`KeyError` otherwise.
+        The snapshot shares this store's column cache, so segments already
+        read are served from memory.
+        """
+        if generation is None or generation == self.generation:
+            return StoreSnapshot(self, self.generation, self._segments)
+        prefix = self.generations().get(generation)
+        if prefix is None or prefix > len(self._segments):
+            raise KeyError(
+                f"generation {generation} is not reopenable (store is at "
+                f"generation {self.generation}; the log keeps "
+                f"{len(self.generations())} append generations)")
+        return StoreSnapshot(self, generation, self._segments[:prefix])
+
+    def info_payload(self) -> dict:
+        """Machine-readable store summary (``store info --json``, /v1/stats).
+
+        Everything in it is JSON-native: identity (root, format/manifest
+        state), the per-kind :meth:`format_summary`, and the committed
+        segment list.  CI assertions and the serve layer's ``/v1/stats``
+        endpoint both read this shape.
+        """
+        return {
+            "root": str(self.root),
+            "format_version": int(self._manifest.get("format_version",
+                                                     FORMAT_VERSION)),
+            "sequence": self.sequence,
+            "generation": self.generation,
+            "segments": len(self._segments),
+            "rows": self.num_rows(),
+            "kinds": {kind: self.num_rows(kind) for kind in self.kinds()},
+            "summary": self.format_summary(),
+            "segment_list": [
+                {"name": meta.name, "kind": meta.kind, "format": meta.format,
+                 "rows": meta.rows, "sha256": meta.sha256}
+                for meta in self._segments
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -278,3 +375,64 @@ class ResultStore:
         per_kind = ", ".join(f"{kind}={self.num_rows(kind)}"
                              for kind in self.kinds()) or "empty"
         return f"ResultStore({str(self.root)!r}: {per_kind})"
+
+
+class StoreSnapshot:
+    """An immutable, generation-pinned read view of a :class:`ResultStore`.
+
+    Behaves like the read side of a store — :meth:`query`, the report
+    servers and the fleet/cloud report functions all accept one — but its
+    segment list is frozen at construction: commits landing after the pin
+    are invisible, so every read over the snapshot is consistent even while
+    a writer appends concurrently.  :meth:`refresh` is deliberately a no-op.
+
+    Column reads delegate to the parent store, sharing its per-segment
+    cache (sealed segments are immutable, so shared entries can never go
+    stale).  The one hazard is *replacement* commits: compaction deletes
+    the files of dropped segments, so a snapshot pinned before a compaction
+    may fail reads afterwards — pin-across-append is the supported regime.
+    """
+
+    def __init__(self, store: ResultStore, generation: int,
+                 segments: Sequence[SegmentMeta]) -> None:
+        self._store = store
+        #: The pinned manifest generation (constant for the snapshot's life).
+        self.generation = generation
+        self._segments = tuple(segments)
+        self.root = store.root
+
+    @property
+    def segments_dir(self) -> Path:
+        """Directory holding the segment files (the parent store's)."""
+        return self._store.segments_dir
+
+    @property
+    def segments(self) -> tuple[SegmentMeta, ...]:
+        """The pinned committed segments, in commit order."""
+        return self._segments
+
+    def refresh(self) -> None:
+        """No-op: a snapshot never sees commits made after its pin."""
+
+    def columns_for(self, meta: SegmentMeta) -> Mapping[str, np.ndarray]:
+        """Column arrays of one pinned segment (parent store's cache)."""
+        return self._store.columns_for(meta)
+
+    def rows_for(self, meta: SegmentMeta) -> list[dict]:
+        """Rows of one pinned segment, from its JSONL log."""
+        return self._store.rows_for(meta)
+
+    # Pure segment-list reads are identical to the store's; share the
+    # implementations so the two views can never diverge.
+    segments_for = ResultStore.segments_for
+    kinds = ResultStore.kinds
+    num_rows = ResultStore.num_rows
+    format_summary = ResultStore.format_summary
+    iter_rows = ResultStore.iter_rows
+    query = ResultStore.query
+
+    def __repr__(self) -> str:
+        per_kind = ", ".join(f"{kind}={self.num_rows(kind)}"
+                             for kind in self.kinds()) or "empty"
+        return (f"StoreSnapshot({str(self.root)!r}@g{self.generation}: "
+                f"{per_kind})")

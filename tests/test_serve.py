@@ -1,0 +1,476 @@
+"""repro.serve: snapshot isolation, caches, HTTP endpoints, live ingest.
+
+The contract under test is the PR 9 tentpole: every served response is
+evaluated against one pinned manifest generation and is bit-identical to
+the offline ``store query`` / ``store report --json`` paths at that
+generation — including while a StoreWriter commits into the same
+directory — and the serve cache accelerates repeats without changing a
+byte.  Bit-identity is always asserted through JSON text, the wire
+format, so float formatting differences cannot hide.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import (BackgroundIngest, ingest_fleet_batches,
+                            synthetic_fleet_batch)
+from repro.serve import (QueryService, QuerySpec, Router, ServeApp,
+                         ServeCache, ServerThread, SnapshotManager,
+                         report_payload)
+from repro.store import ReportServer, ResultStore, compact_store
+
+
+def dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture()
+def fleet_store(tmp_path):
+    """Six committed generations of synthetic fleet events."""
+    return ingest_fleet_batches(tmp_path / "fleet.store", 3,
+                                rows_per_batch=400, rows_per_segment=256)
+
+
+# --------------------------------------------------------------------------- #
+# Store layer: generations and snapshots
+# --------------------------------------------------------------------------- #
+class TestGenerations:
+    def test_generation_advances_per_commit(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.generation == 0
+        with store.writer(rows_per_segment=64) as writer:
+            writer.append_batch("fleet_events", synthetic_fleet_batch(0, 50))
+            writer.flush()
+            first = store.generation
+            writer.append_batch("fleet_events", synthetic_fleet_batch(1, 50))
+            writer.flush()
+        assert first == 1
+        assert store.generation == 2
+        # The log maps each generation to its committed segment prefix.
+        assert store.generations() == {1: 1, 2: 2}
+
+    def test_snapshot_pins_generation_across_appends(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with store.writer(rows_per_segment=64) as writer:
+            writer.append_batch("fleet_events", synthetic_fleet_batch(0, 50))
+            writer.flush()
+            snapshot = store.open_snapshot()
+            pinned_rows = snapshot.num_rows()
+            pinned = dumps(snapshot.query("fleet_events")
+                           .group_by("region").agg(n=("latency_ms", "count"))
+                           .aggregate())
+            writer.append_batch("fleet_events", synthetic_fleet_batch(1, 50))
+            writer.flush()
+            store.refresh()
+            assert store.num_rows() > pinned_rows
+            # The pinned view is immutable: same rows, same aggregate bytes.
+            assert snapshot.num_rows() == pinned_rows
+            assert dumps(snapshot.query("fleet_events")
+                         .group_by("region").agg(n=("latency_ms", "count"))
+                         .aggregate()) == pinned
+
+    def test_open_snapshot_at_historical_generation(self, fleet_store):
+        generations = sorted(fleet_store.generations())
+        past = generations[0]
+        snapshot = fleet_store.open_snapshot(generation=past)
+        assert snapshot.generation == past
+        assert len(snapshot.segments) == fleet_store.generations()[past]
+        assert snapshot.num_rows() < fleet_store.num_rows()
+        with pytest.raises(KeyError):
+            fleet_store.open_snapshot(generation=99999)
+
+    def test_snapshot_matches_reopened_prefix(self, tmp_path):
+        # A snapshot at generation g serves exactly what a fresh reader saw
+        # when g was the tip: replay the same batches and compare bytes.
+        live = ingest_fleet_batches(tmp_path / "live", 3, rows_per_batch=300,
+                                    rows_per_segment=128)
+        generations = sorted(live.generations())
+        target = generations[len(generations) // 2]
+        prefix_batches = 0
+        reference_root = tmp_path / "ref"
+        # Commits happen once per sealed chunk + once per flush; replaying
+        # batch-by-batch and stopping when the generation matches finds the
+        # batch prefix that produced generation `target`.
+        reference = ResultStore(reference_root)
+        with reference.writer(rows_per_segment=128) as writer:
+            while reference.generation < target:
+                writer.append_batch(
+                    "fleet_events",
+                    synthetic_fleet_batch(prefix_batches, 300))
+                writer.flush()
+                prefix_batches += 1
+        assert reference.generation == target
+        snapshot = live.open_snapshot(generation=target)
+        assert dumps(report_payload(snapshot, "tail_latency")) == \
+            dumps(report_payload(reference, "tail_latency"))
+
+    def test_replacement_commit_resets_log(self, fleet_store):
+        before = fleet_store.generation
+        compact_store(fleet_store)
+        assert fleet_store.generation == before + 1
+        # Historical prefixes died with the old segment list.
+        assert list(fleet_store.generations()) == [fleet_store.generation]
+
+    def test_generation_log_is_capped(self, tmp_path, monkeypatch):
+        import repro.store.store as store_module
+
+        monkeypatch.setattr(store_module, "GENERATION_LOG_CAP", 16)
+        store = ResultStore(tmp_path / "s")
+        with store.writer(rows_per_segment=8) as writer:
+            for index in range(16 + 5):
+                writer.append_batch("fleet_events",
+                                    synthetic_fleet_batch(index, 2))
+                writer.flush()
+        log = store.generations()
+        assert len(log) == 16
+        assert store.generation in log
+        # The oldest retained entry is still openable; older ones are gone.
+        oldest = min(log)
+        store.open_snapshot(generation=oldest)
+        with pytest.raises(KeyError):
+            store.open_snapshot(generation=oldest - 1)
+
+    def test_legacy_manifest_without_generation(self, fleet_store):
+        # Manifests written before this PR carry no generation fields; they
+        # adopt sequence as their generation on first read.
+        manifest_path = fleet_store.root / "MANIFEST.json"
+        data = json.loads(manifest_path.read_text())
+        del data["generation"]
+        del data["generations"]
+        manifest_path.write_text(json.dumps(data))
+        reopened = ResultStore(fleet_store.root)
+        assert reopened.generation == data["sequence"]
+        assert reopened.generations() == {
+            data["sequence"]: len(data["segments"])}
+        reopened.open_snapshot(generation=reopened.generation)
+
+    def test_info_payload_shape(self, fleet_store):
+        payload = fleet_store.info_payload()
+        assert payload["generation"] == fleet_store.generation
+        assert payload["rows"] == fleet_store.num_rows()
+        assert payload["kinds"] == {"fleet_events":
+                                    fleet_store.num_rows("fleet_events")}
+        assert len(payload["segment_list"]) == len(fleet_store.segments)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: concurrent writer/reader + crash-mid-seal
+# --------------------------------------------------------------------------- #
+class TestConcurrentWriterReader:
+    def test_readers_pin_while_writer_seals(self, tmp_path):
+        root = tmp_path / "live.store"
+        ingest_fleet_batches(root, 1, rows_per_batch=200,
+                             rows_per_segment=128)
+        reader = ResultStore(root)
+        ingest = BackgroundIngest(root, num_batches=6, rows_per_batch=200,
+                                  rows_per_segment=128, interval_s=0.002)
+        observed: list[tuple[int, str]] = []
+        ingest.start()
+        for _ in range(20):
+            reader.refresh()
+            snapshot = reader.open_snapshot()
+            observed.append(
+                (snapshot.generation, dumps(report_payload(snapshot,
+                                                           "tail_latency"))))
+        ingest.finish()
+        reader.refresh()
+        # Every observation replays bit-identically at its pinned generation.
+        for generation, payload in observed:
+            snapshot = reader.open_snapshot(generation=generation)
+            assert dumps(report_payload(snapshot, "tail_latency")) == payload
+
+    def test_crash_mid_seal_leaves_served_generation_intact(self, fleet_store):
+        snapshot = fleet_store.open_snapshot()
+        served = dumps(report_payload(snapshot, "tail_latency"))
+        # A writer dying mid-seal leaves partial segment/cache tmp files and
+        # sealed-but-uncommitted segment files; none are manifest-referenced.
+        seg_dir = fleet_store.segments_dir
+        (seg_dir / "fleet_events-099999.jsonl").write_text('{"torn": ')
+        (seg_dir / "fleet_events-099998.colseg.tmp").write_bytes(b"\x00\x01")
+        (fleet_store.root / "MANIFEST.json.tmp").write_text('{"format_')
+        fleet_store.refresh()
+        assert fleet_store.open_snapshot().generation == snapshot.generation
+        assert dumps(report_payload(fleet_store.open_snapshot(),
+                                    "tail_latency")) == served
+        reopened = ResultStore(fleet_store.root)
+        assert reopened.generation == snapshot.generation
+        assert dumps(report_payload(reopened, "tail_latency")) == served
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: ReportServer staleness across replacement commits
+# --------------------------------------------------------------------------- #
+class TestReportServerStaleness:
+    def test_drop_only_replacement_invalidates(self, tmp_path):
+        store = ingest_fleet_batches(tmp_path / "s", 2, rows_per_batch=200,
+                                     rows_per_segment=128)
+        # fleet_events has no figure tables, so grow an executions store too.
+        sweep_store = tmp_path / "s"
+        server = ReportServer(ResultStore(sweep_store))
+        totals = server.summary()["rows"]
+        assert totals["fleet_events"] == 400
+        # A retention trim: replacement commit that only *drops* a segment —
+        # the regression this satellite fixes (the old rule keyed
+        # invalidation on "new segments loaded" and kept stale extracts).
+        victim = server.store
+        victim.refresh()
+        victim._commit_replacement(victim.segments[:-1], victim.sequence)
+        assert server.summary()["rows"]["fleet_events"] < 400
+
+    def test_generation_pinned_server_never_reextracts(self, fleet_store):
+        snapshot = fleet_store.open_snapshot()
+        server = ReportServer(snapshot)
+        server.refresh()
+        loaded_again = server.refresh()
+        assert loaded_again == 0
+
+
+# --------------------------------------------------------------------------- #
+# Serve service + router (in-process)
+# --------------------------------------------------------------------------- #
+class TestQueryServiceAndRouter:
+    @pytest.fixture()
+    def stack(self, fleet_store):
+        cache = ServeCache()
+        manager = SnapshotManager(ResultStore(fleet_store.root), cache=cache)
+        service = QueryService(manager, cache=cache)
+        return manager, service, Router(service), cache
+
+    def test_health_kinds_stats(self, stack):
+        manager, service, router, _ = stack
+        status, health = router.dispatch("GET", "/v1/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["generation"] == manager.generation
+        status, kinds = router.dispatch("GET", "/v1/kinds")
+        assert kinds["kinds"]["fleet_events"] == 1200
+        status, stats = router.dispatch("GET", "/v1/stats")
+        assert stats["served_generation"] == manager.generation
+        assert stats["cache"]["segment"]["max_entries"] > 0
+        # /v1/stats embeds the exact `store info --json` payload fields.
+        for key in ("generation", "rows", "kinds", "segment_list"):
+            assert key in stats
+
+    def test_query_matches_offline_engine(self, stack, fleet_store):
+        _, service, router, _ = stack
+        status, served = router.dispatch(
+            "GET", "/v1/query?kind=fleet_events&where=target=cloud"
+                   "&group_by=region&agg=latency_ms:mean,p99")
+        assert status == 200
+        offline = (fleet_store.query("fleet_events")
+                   .where("target", "==", "cloud").group_by("region")
+                   .agg(latency_ms_mean=("latency_ms", "mean"),
+                        latency_ms_p99=("latency_ms", "p99"))
+                   .aggregate())
+        assert dumps(served["rows"]) == dumps(offline)
+
+    def test_post_query_equals_get_query(self, stack):
+        _, _, router, _ = stack
+        _, get_payload = router.dispatch(
+            "GET", "/v1/query?kind=fleet_events&where=latency_ms<20"
+                   "&agg=energy_mj:sum")
+        body = json.dumps({"kind": "fleet_events",
+                           "where": [["latency_ms", "<", 20]],
+                           "agg": [["energy_mj", "sum"]]}).encode()
+        _, post_payload = router.dispatch("POST", "/v1/query", body)
+        assert dumps(get_payload) == dumps(post_payload)
+
+    def test_report_equals_offline_payload(self, stack, fleet_store):
+        _, _, router, _ = stack
+        for table in ("summary", "tail_latency", "drain", "latency_ecdf"):
+            status, served = router.dispatch("GET", f"/v1/report/{table}")
+            assert status == 200
+            assert dumps(served) == dumps(report_payload(fleet_store, table))
+
+    def test_result_cache_hits_on_repeat(self, stack):
+        _, _, router, cache = stack
+        target = "/v1/query?kind=fleet_events&group_by=device_name&agg=latency_ms:p90"
+        _, first = router.dispatch("GET", target)
+        hits_before = cache.stats()["result"]["hits"]
+        _, second = router.dispatch("GET", target)
+        assert cache.stats()["result"]["hits"] == hits_before + 1
+        assert dumps(first) == dumps(second)
+
+    def test_segment_cache_survives_generation_advance(self, stack):
+        manager, service, router, cache = stack
+        target = "/v1/query?kind=fleet_events&group_by=region&agg=discharge_mah:sum"
+        _, first = router.dispatch("GET", target)
+        old_segments = len(manager.store.segments)
+        assert first["stats"]["segments_cached"] == 0
+        # New commits arrive; the result tier is evicted but the segment tier
+        # answers every previously seen segment without a scan.
+        with ResultStore(manager.store.root).writer(
+                rows_per_segment=128) as writer:
+            writer.append_batch("fleet_events", synthetic_fleet_batch(7, 200))
+            writer.flush()
+        assert manager.poll() is True
+        _, second = router.dispatch("GET", target)
+        assert second["generation"] > first["generation"]
+        assert second["stats"]["segments_cached"] == old_segments
+        # And the sums still equal a cold offline evaluation.
+        offline = (ResultStore(manager.store.root).query("fleet_events")
+                   .group_by("region").agg(discharge_mah_sum=("discharge_mah",
+                                                              "sum"))
+                   .aggregate())
+        assert dumps(second["rows"]) == dumps(offline)
+
+    def test_compaction_clears_caches(self, stack):
+        manager, _, router, cache = stack
+        router.dispatch("GET", "/v1/report/tail_latency")
+        assert cache.stats()["result"]["entries"] == 1
+        compact_store(ResultStore(manager.store.root))
+        assert manager.poll() is True
+        assert manager.invalidations == 1
+        assert cache.stats()["result"]["entries"] == 0
+        assert cache.stats()["segment"]["entries"] == 0
+
+    def test_error_statuses(self, stack):
+        _, _, router, _ = stack
+        assert router.dispatch("GET", "/v1/nope")[0] == 404
+        assert router.dispatch("GET", "/v1/report/bogus")[0] == 404
+        assert router.dispatch("POST", "/v1/health")[0] == 405
+        assert router.dispatch("GET", "/v1/query?where=latency<")[0] == 400
+        assert router.dispatch("GET", "/v1/query?kind=bogus")[0] == 400
+        assert router.dispatch("POST", "/v1/query", b"{nope")[0] == 400
+        status, payload = router.dispatch(
+            "GET", "/v1/query?where=no_such_column=1&kind=fleet_events")
+        assert status == 400 and "error" in payload
+
+    def test_uncached_service_still_serves(self, fleet_store):
+        manager = SnapshotManager(ResultStore(fleet_store.root), cache=None)
+        router = Router(QueryService(manager, cache=None))
+        status, payload = router.dispatch("GET", "/v1/report/summary")
+        assert status == 200
+        assert dumps(payload) == dumps(report_payload(fleet_store, "summary"))
+        status, stats = router.dispatch("GET", "/v1/stats")
+        assert stats["cache"] is None
+
+
+# --------------------------------------------------------------------------- #
+# HTTP server (real sockets)
+# --------------------------------------------------------------------------- #
+class TestServeHTTP:
+    @pytest.fixture()
+    def server(self, fleet_store):
+        app = ServeApp(fleet_store.root, port=0, refresh_s=0.05)
+        with ServerThread(app) as thread:
+            yield thread
+
+    def get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def test_endpoints_over_http(self, server, fleet_store):
+        status, health = self.get(server.url + "/v1/health")
+        assert status == 200 and health["rows"] == 1200
+        status, report = self.get(server.url + "/v1/report/tail_latency")
+        assert dumps(report) == dumps(report_payload(fleet_store,
+                                                     "tail_latency"))
+
+    def test_post_query_over_http(self, server, fleet_store):
+        body = json.dumps({"kind": "fleet_events", "group_by": ["backend"],
+                           "agg": ["latency_ms:median"]}).encode()
+        request = urllib.request.Request(
+            server.url + "/v1/query", data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        offline = (fleet_store.query("fleet_events").group_by("backend")
+                   .agg(latency_ms_median=("latency_ms", "median"))
+                   .aggregate())
+        assert dumps(payload["rows"]) == dumps(offline)
+
+    def test_keep_alive_reuses_connection(self, server):
+        host, port = server.url.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/v1/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_http_error_body(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server.url + "/v1/report/bogus")
+        assert excinfo.value.code == 404
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_serves_fresh_generation_during_live_ingest(self, tmp_path):
+        root = tmp_path / "live.store"
+        ingest_fleet_batches(root, 1, rows_per_batch=150,
+                             rows_per_segment=128)
+        app = ServeApp(root, port=0, refresh_s=0.02)
+        with ServerThread(app) as server:
+            sampled = []
+            ingest = BackgroundIngest(root, num_batches=5,
+                                      rows_per_batch=150,
+                                      rows_per_segment=128,
+                                      interval_s=0.02)
+            ingest.start()
+            for _ in range(12):
+                sampled.append(self.get(server.url
+                                        + "/v1/report/tail_latency")[1])
+            ingest.finish()
+            deadline = threading.Event()
+            for _ in range(100):  # wait for the worker to reach the tip
+                if self.get(server.url + "/v1/health")[1]["rows"] == 900:
+                    break
+                deadline.wait(0.05)
+            assert self.get(server.url + "/v1/health")[1]["rows"] == 900
+        # Each sampled response replays bit-identically at its generation.
+        store = ResultStore(root)
+        for payload in sampled:
+            snapshot = store.open_snapshot(generation=payload["generation"])
+            assert dumps(report_payload(snapshot, "tail_latency")) == \
+                dumps(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: CLI `store info --json` / `store report --json`
+# --------------------------------------------------------------------------- #
+class TestServeCLI:
+    def test_store_info_json(self, fleet_store, capsys):
+        from repro.cli import main
+
+        assert main(["store", "info", str(fleet_store.root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == fleet_store.info_payload()
+        assert payload["generation"] == fleet_store.generation
+        assert payload["kinds"]["fleet_events"] == 1200
+
+    def test_store_info_json_verify(self, fleet_store, capsys):
+        from repro.cli import main
+
+        assert main(["store", "info", str(fleet_store.root), "--json",
+                     "--verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verified_segments"] == len(fleet_store.segments)
+
+    def test_store_report_json_matches_payload(self, fleet_store, capsys):
+        from repro.cli import main
+
+        for table in ("summary", "tail_latency", "drain"):
+            assert main(["store", "report", str(fleet_store.root),
+                         "--table", table, "--json"]) == 0
+            printed = json.loads(capsys.readouterr().out)
+            assert dumps(printed) == dumps(report_payload(fleet_store, table))
+
+    def test_store_report_human_tables(self, fleet_store, capsys):
+        from repro.cli import main
+
+        assert main(["store", "report", str(fleet_store.root),
+                     "--table", "tail_latency"]) == 0
+        assert "p999 ms" in capsys.readouterr().out
+        assert main(["store", "report", str(fleet_store.root),
+                     "--table", "drain"]) == 0
+        assert "median drain" in capsys.readouterr().out
