@@ -318,6 +318,11 @@ def cmd_store_query(args: argparse.Namespace) -> int:
     """Filter / group / aggregate over a persisted campaign."""
     store = ResultStore(args.path)
     query = store.query(args.kind)
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.processes or args.workers != 1:
+        query.parallel(args.workers or None, use_processes=args.processes)
     try:
         for column, op, value in args.where:
             query.where(column, op, value)
@@ -1072,7 +1077,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     app = ServeApp(args.path, host=args.host, port=args.port,
                    refresh_s=args.refresh, cache=not args.no_cache,
                    compact_segments=args.compact_segments, mmap=args.mmap,
-                   handler_threads=args.threads)
+                   handler_threads=args.threads,
+                   scan_workers=args.scan_workers)
     app.run()
     return 0
 
@@ -1146,7 +1152,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(ROW_KINDS))
     query.add_argument("--where", action="append", default=[],
                        type=_parse_where, metavar="COL<OP>VALUE",
-                       help="predicate, e.g. device_name=S21 or latency_ms<5 "
+                       help="predicate, e.g. device_name=S21, latency_ms<5 "
+                            "or 'backend in tflite|ncnn' "
                             "(repeatable; all must hold)")
     query.add_argument("--group-by", nargs="*", default=[],
                        help="columns to group aggregations by")
@@ -1156,6 +1163,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable)")
     query.add_argument("--limit", type=_positive_int, default=20,
                        help="max rows printed for non-aggregate queries")
+    query.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="parallel segment-scan workers (1 = sequential, "
+                            "0 = one per CPU; results are bit-identical "
+                            "for any worker count)")
+    query.add_argument("--processes", action="store_true",
+                       help="scan segments on a process pool instead of "
+                            "threads")
     query.set_defaults(func=cmd_store_query)
 
     report = store_sub.add_parser(
@@ -1370,6 +1384,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "committed segments (invalidates serve caches)")
     serve.add_argument("--mmap", action="store_true",
                        help="serve column caches as read-only memory maps")
+    serve.add_argument("--scan-workers", type=_positive_int, default=None,
+                       metavar="N",
+                       help="thread fan-out for per-request segment scans "
+                            "(default sequential; results are bit-identical "
+                            "for any worker count)")
     serve.set_defaults(func=cmd_serve)
 
     obs_parser = subparsers.add_parser(

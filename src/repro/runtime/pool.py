@@ -38,7 +38,8 @@ from typing import Callable, Iterator, Optional, Sequence, TypeVar
 
 from repro import obs
 
-__all__ = ["iter_mapped_chunks", "resolve_workers", "default_chunk_size"]
+__all__ = ["iter_mapped", "iter_mapped_chunks", "resolve_workers",
+           "default_chunk_size"]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -123,6 +124,41 @@ def iter_mapped_chunks(
                 batch, snapshot = batch
                 collector.absorb(snapshot, parent_id=stitch_parent)
             yield from batch
+
+
+def iter_mapped(
+    run_item: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    *,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    use_processes: bool = False,
+) -> Iterator[ResultT]:
+    """Per-item convenience over :func:`iter_mapped_chunks`.
+
+    Same streaming/ordering/backpressure discipline, but the caller
+    provides a one-item callable instead of a chunk callable (wrapped in
+    a picklable :class:`_ItemChunk`, so ``use_processes`` works whenever
+    ``run_item`` itself pickles).  This is the fan-out point the query
+    engine's parallel segment scans use: one segment per item, results
+    reassembled in manifest order.
+    """
+    return iter_mapped_chunks(
+        _ItemChunk(run_item), items,
+        max_workers=max_workers, chunk_size=chunk_size,
+        use_processes=use_processes)
+
+
+class _ItemChunk:
+    """Adapt a per-item callable to the per-chunk fan-out interface."""
+
+    __slots__ = ("run_item",)
+
+    def __init__(self, run_item: Callable) -> None:
+        self.run_item = run_item
+
+    def __call__(self, items: Sequence) -> list:
+        return [self.run_item(item) for item in items]
 
 
 class _CollectingChunk:

@@ -46,13 +46,15 @@ class ServeApp:
                  port: int = 8736, refresh_s: float = 1.0, cache: bool = True,
                  max_segment_entries: int = 1024, max_result_entries: int = 256,
                  compact_segments: Optional[int] = None, mmap: bool = False,
-                 handler_threads: int = 8) -> None:
+                 handler_threads: int = 8,
+                 scan_workers: Optional[int] = None) -> None:
         self.store = ResultStore(root, mmap=mmap)
         self.cache = (ServeCache(max_segment_entries=max_segment_entries,
                                  max_result_entries=max_result_entries)
                       if cache else None)
         self.manager = SnapshotManager(self.store, cache=self.cache)
-        self.service = QueryService(self.manager, cache=self.cache)
+        self.service = QueryService(self.manager, cache=self.cache,
+                                    scan_workers=scan_workers)
         self.router = Router(self.service)
         self.worker = RefreshWorker(self.manager, interval_s=refresh_s,
                                     compact_segments=compact_segments)

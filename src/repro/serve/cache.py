@@ -29,12 +29,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Optional, Sequence
-
-import numpy as np
+from typing import Any, Optional
 
 from repro import obs
-from repro.store.query import Query
+from repro.store.query import Query, QueryStats
 
 __all__ = ["ServeCache", "CachedQuery"]
 
@@ -100,18 +98,19 @@ class ServeCache:
 
     # -- segment tier --------------------------------------------------- #
     def get_segment(self, segment: str, fragment: str
-                    ) -> Optional[Optional[dict[str, np.ndarray]]]:
-        """Cached masked arrays of one (segment, fragment); miss = ``None``.
+                    ) -> Optional[tuple[Optional[dict], int]]:
+        """Cached evaluation of one (segment, fragment); miss = ``None``.
 
-        A *hit with no matching rows* is stored as ``("empty",)`` so it is
-        distinguishable from a miss — pruned segments are cache-worthy too.
+        Entries are the ``(payload, matched)`` pairs the query engine's
+        per-segment hook produces — payload ``None`` when the segment was
+        pruned or matched nothing (cache-worthy outcomes too, stored as
+        ``(None, 0)`` so they stay distinguishable from a miss).
         """
         return self._segments.get((segment, fragment))
 
     def put_segment(self, segment: str, fragment: str,
-                    arrays: Optional[dict[str, np.ndarray]]) -> None:
-        self._segments.put((segment, fragment),
-                           ("empty",) if arrays is None else arrays)
+                    payload: Optional[dict], matched: int) -> None:
+        self._segments.put((segment, fragment), (payload, int(matched)))
 
     # -- result tier ---------------------------------------------------- #
     def get_result(self, generation: int, fragment: str) -> Optional[dict]:
@@ -140,13 +139,19 @@ class ServeCache:
 class CachedQuery(Query):
     """A :class:`~repro.store.query.Query` with segment-tier memoisation.
 
-    Identical semantics to the plain query — it routes through the same
-    :meth:`~repro.store.query.Query._segment_arrays` evaluation for every
-    cache miss — but a segment already evaluated under the same
-    ``(predicates, columns)`` fragment is answered from memory without
-    touching its column arrays.  Results are therefore bit-identical to
-    the uncached path by construction; only :attr:`stats` differs
-    (``segments_cached`` instead of ``segments_scanned``).
+    Identical semantics to the plain query — it overrides the single
+    per-segment evaluation hook
+    (:meth:`~repro.store.query.Query._segment_result`) and routes every
+    cache miss through the base implementation — but a segment already
+    evaluated under the same ``(predicates, columns, coded)`` fragment is
+    answered from memory without touching its column arrays.  Results
+    (including row counts and coded group-key parts) are therefore
+    bit-identical to the uncached path by construction; only
+    :attr:`stats` differs (``segments_cached`` instead of
+    ``segments_scanned``).  Because the hook is the one override, the
+    cache composes with parallel thread scans unchanged (the tiers are
+    lock-protected); process scans bypass it — workers cannot see the
+    coordinator's cache — and simply scan.
     """
 
     def __init__(self, store, kind, *, cache: ServeCache,
@@ -154,33 +159,20 @@ class CachedQuery(Query):
         super().__init__(store, kind)
         self._cache = cache
         #: Canonical request-fragment prefix (kind + predicates + shape);
-        #: the per-call column set is appended per lookup.
+        #: the per-call column/coded sets are appended per lookup.
         self._fragment = fragment
 
-    def _gather(self, columns: Sequence[str]) -> dict[str, np.ndarray]:
-        from repro.store.query import QueryStats
-
-        self.stats = QueryStats()
+    def _segment_result(self, meta, columns: tuple, coded: frozenset
+                        ) -> tuple[Optional[dict], int, QueryStats]:
         fragment = f"{self._fragment}|cols={','.join(columns)}"
-        parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
-        for meta in self.store.segments_for(self.kind):
-            cached = self._cache.get_segment(meta.name, fragment)
-            if cached is not None:
-                self.stats.segments_total += 1
-                self.stats.segments_cached += 1
-                if cached == ("empty",):
-                    continue
-                for name in columns:
-                    parts[name].append(cached[name])
-                continue
-            masked = self._segment_arrays(meta, columns)
-            self._cache.put_segment(meta.name, fragment, masked)
-            if masked is None:
-                continue
-            for name in columns:
-                parts[name].append(masked[name])
-        return {
-            name: (np.concatenate(chunks) if chunks
-                   else np.empty(0, dtype=self.kind.column(name).numpy_dtype))
-            for name, chunks in parts.items()
-        }
+        if coded:
+            fragment += f"|coded={','.join(sorted(coded))}"
+        entry = self._cache.get_segment(meta.name, fragment)
+        if entry is not None:
+            payload, matched = entry
+            return payload, matched, QueryStats(segments_total=1,
+                                                segments_cached=1)
+        payload, matched, delta = super()._segment_result(meta, columns,
+                                                          coded)
+        self._cache.put_segment(meta.name, fragment, payload, matched)
+        return payload, matched, delta

@@ -221,9 +221,14 @@ def report_payload(source, table: str, *, device: Optional[str] = None,
 class QueryService:
     """Request execution over the snapshot manager's pinned generation."""
 
-    def __init__(self, manager, *, cache=None) -> None:
+    def __init__(self, manager, *, cache=None,
+                 scan_workers: Optional[int] = None) -> None:
         self.manager = manager
         self.cache = cache
+        #: Thread fan-out for per-request segment scans (``None``/``1`` =
+        #: sequential — the default; results are bit-identical either way,
+        #: so this is purely a latency knob for many-segment stores).
+        self.scan_workers = scan_workers
 
     # ------------------------------------------------------------------ #
     # Lightweight endpoints
@@ -260,11 +265,15 @@ class QueryService:
         from repro.store.schema import kind_for
 
         if self.cache is None:
-            return snapshot.query(spec.kind)
-        from repro.serve.cache import CachedQuery
+            query = snapshot.query(spec.kind)
+        else:
+            from repro.serve.cache import CachedQuery
 
-        return CachedQuery(snapshot, kind_for(spec.kind), cache=self.cache,
-                           fragment=spec.fragment())
+            query = CachedQuery(snapshot, kind_for(spec.kind),
+                                cache=self.cache, fragment=spec.fragment())
+        if self.scan_workers is not None and self.scan_workers != 1:
+            query.parallel(self.scan_workers)
+        return query
 
     def query(self, spec: QuerySpec) -> dict:
         """Execute one query spec at the served generation (result-cached)."""

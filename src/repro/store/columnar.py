@@ -62,14 +62,35 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping, NamedTuple, Optional
 
 import numpy as np
 
 from repro.store.schema import RowKind
 
-__all__ = ["COLUMNAR_MAGIC", "pack_columns", "unpack_columns",
+__all__ = ["COLUMNAR_MAGIC", "CodedColumn", "pack_columns", "unpack_columns",
            "open_columns", "LazyColumns", "coerce_batch"]
+
+
+class CodedColumn(NamedTuple):
+    """A dictionary-encoded column as codes + vocabulary, un-gathered.
+
+    ``values`` is the sorted distinct-value table (``np.unique`` order —
+    so code order *is* string sort order) and ``codes`` the per-row
+    ``u1``/``u2``/``u4`` indices into it; ``values[codes]`` is the decoded
+    array.  The query engine evaluates predicates against ``values`` once
+    and filters ``codes`` instead of ever materialising unicode rows for
+    filtered-out data (see :meth:`LazyColumns.coded`); a ``CodedColumn``
+    whose codes were masked down to the surviving rows still decodes to
+    exactly what masking the decoded array would have produced.
+    """
+
+    codes: np.ndarray
+    values: np.ndarray
+
+    def decode(self) -> np.ndarray:
+        """The decoded unicode array (one fancy-index gather)."""
+        return self.values[self.codes]
 
 #: First four payload bytes of every columnar segment.
 COLUMNAR_MAGIC = b"RCS1"
@@ -336,6 +357,54 @@ def _parse_entry(entry: Mapping, offset: int, payload_len: int,
     return plan
 
 
+def _decode_dict(source, start: int, plan: dict, rows: int) -> CodedColumn:
+    """View a dict-encoded column's codes and vocabulary, validated.
+
+    Zero-copy ``frombuffer`` views over ``source`` (the payload, or an
+    inflated section); the code bounds check — every failure mode a
+    corrupt dictionary can produce — happens here, so the coded and the
+    decoded read paths surface corruption identically.
+    """
+    name = plan["name"]
+    dtype = plan["dtype"]
+    values_nbytes = plan["values_nbytes"]
+    codes_dtype = plan["codes_dtype"]
+    codes_nbytes = plan["raw_nbytes"] - values_nbytes
+    values = np.frombuffer(source, dtype=dtype,
+                           count=values_nbytes // dtype.itemsize,
+                           offset=start)
+    codes = np.frombuffer(source, dtype=codes_dtype,
+                          count=codes_nbytes // codes_dtype.itemsize,
+                          offset=start + values_nbytes)
+    if codes.size != rows:
+        raise ValueError(
+            f"column {name!r} decodes to {codes.size} values, "
+            f"expected {rows}")
+    if codes.size and (not values.size
+                       or int(codes.max()) >= values.size):
+        raise ValueError(
+            f"column {name!r} has codes outside its dictionary")
+    return CodedColumn(codes, values)
+
+
+def _inflated_section(payload, plan: dict):
+    """``(source, start)`` of one column's decoded buffer section."""
+    name = plan["name"]
+    offset, nbytes = plan["offset"], plan["nbytes"]
+    if plan["compression"] is None:
+        return payload, offset
+    try:
+        source = zlib.decompress(bytes(payload[offset:offset + nbytes]))
+    except zlib.error as error:
+        raise ValueError(
+            f"column {name!r} compressed section is corrupt: {error}")
+    if len(source) != plan["raw_nbytes"]:
+        raise ValueError(
+            f"column {name!r} inflates to {len(source)} bytes, header "
+            f"says {plan['raw_nbytes']}")
+    return source, 0
+
+
 def _decode_column(payload, plan: dict, rows: int) -> np.ndarray:
     """Decode one column from its validated plan (see :func:`_parse_entry`).
 
@@ -345,40 +414,10 @@ def _decode_column(payload, plan: dict, rows: int) -> np.ndarray:
     gather their decoded values — the one materialising step.
     """
     name = plan["name"]
-    offset, nbytes = plan["offset"], plan["nbytes"]
-    if plan["compression"] is None:
-        source, start = payload, offset
-    else:
-        try:
-            source = zlib.decompress(bytes(payload[offset:offset + nbytes]))
-        except zlib.error as error:
-            raise ValueError(
-                f"column {name!r} compressed section is corrupt: {error}")
-        if len(source) != plan["raw_nbytes"]:
-            raise ValueError(
-                f"column {name!r} inflates to {len(source)} bytes, header "
-                f"says {plan['raw_nbytes']}")
-        start = 0
+    source, start = _inflated_section(payload, plan)
     dtype = plan["dtype"]
     if plan["encoding"] == "dict":
-        values_nbytes = plan["values_nbytes"]
-        codes_dtype = plan["codes_dtype"]
-        codes_nbytes = plan["raw_nbytes"] - values_nbytes
-        values = np.frombuffer(source, dtype=dtype,
-                               count=values_nbytes // dtype.itemsize,
-                               offset=start)
-        codes = np.frombuffer(source, dtype=codes_dtype,
-                              count=codes_nbytes // codes_dtype.itemsize,
-                              offset=start + values_nbytes)
-        if codes.size != rows:
-            raise ValueError(
-                f"column {name!r} decodes to {codes.size} values, "
-                f"expected {rows}")
-        if codes.size and (not values.size
-                           or int(codes.max()) >= values.size):
-            raise ValueError(
-                f"column {name!r} has codes outside its dictionary")
-        array = values[codes]
+        array = _decode_dict(source, start, plan, rows).decode()
         array.setflags(write=False)
         return array
     array = np.frombuffer(source, dtype=dtype,
@@ -403,13 +442,14 @@ class LazyColumns(Mapping):
     :class:`ValueError` (the codec's corruption contract) at access time.
     """
 
-    __slots__ = ("_payload", "_rows", "_plans", "_cache")
+    __slots__ = ("_payload", "_rows", "_plans", "_cache", "_coded")
 
     def __init__(self, payload, rows: int, plans: dict[str, dict]) -> None:
         self._payload = payload
         self._rows = rows
         self._plans = plans
         self._cache: dict[str, np.ndarray] = {}
+        self._coded: dict[str, CodedColumn] = {}
 
     def __getitem__(self, name: str) -> np.ndarray:
         array = self._cache.get(name)
@@ -418,6 +458,28 @@ class LazyColumns(Mapping):
                                    self._rows)
             self._cache[name] = array
         return array
+
+    def coded(self, name: str) -> Optional[CodedColumn]:
+        """The column's codes + vocabulary, or ``None`` if not dict-encoded.
+
+        The query engine's fast path: predicates evaluate against the
+        (tiny) vocabulary and mask the integer codes, so filtered-out
+        rows never pay the unicode gather ``__getitem__`` performs.
+        Validation (including the code bounds check) is identical to the
+        decoded path — corruption raises the same :class:`ValueError`
+        either way.  ``None`` for raw-encoded columns (numeric columns,
+        high-cardinality strings): callers fall back to the decoded
+        array.
+        """
+        plan = self._plans[name]
+        if plan["encoding"] != "dict":
+            return None
+        column = self._coded.get(name)
+        if column is None:
+            source, start = _inflated_section(self._payload, plan)
+            column = _decode_dict(source, start, plan, self._rows)
+            self._coded[name] = column
+        return column
 
     def __contains__(self, name) -> bool:
         return name in self._plans

@@ -12,6 +12,30 @@ a Python loop.  Two levels of work avoidance apply before any array math:
 * **column pruning** — only the columns referenced by predicates, group keys,
   aggregations or an explicit ``arrays(...)`` projection are materialised.
 
+The execution engine (v2, PR 10) adds three layers on top, each held
+bit-identical to the sequential/decoded/per-group semantics it replaces:
+
+* **parallel segment scans** — segments are independent, so
+  :meth:`Query.parallel` fans the per-segment scan/mask work across
+  :func:`repro.runtime.pool.iter_mapped` (threads by default: the work
+  releases the GIL inside NumPy kernels; ``use_processes`` ships a
+  picklable :class:`_SegmentScanTask` instead).  Results stream back in
+  manifest order and :class:`QueryStats` merges by exact addition, so
+  every terminal is bit-identical for any worker count or pool kind;
+* **dictionary-coded predicates + late materialisation** — for
+  dict-encoded string columns of columnar segments, predicates evaluate
+  once against the (tiny) vocabulary and mask the integer codes;
+  ``mask(vocabulary)[codes]`` equals ``mask(vocabulary[codes])`` for
+  every elementwise operator, so filtered-out rows never pay the unicode
+  gather and only surviving rows are decoded.  Group-by over such
+  columns keys on the codes and decodes only group representatives;
+* **grouped reduction kernels** — :meth:`Query.aggregate` evaluates its
+  groups through the vectorised kernels of :mod:`repro.store.kernels`
+  (``bincount``/``reduceat`` sums, sorted-segment order statistics);
+  ``aggregate(engine="reference")`` keeps the per-group loop as the
+  enforced semantic reference (see that module for the row-order float
+  discipline both paths share).
+
 Execution statistics (segments skipped vs scanned, rows matched) are exposed
 on :attr:`Query.stats` after any terminal call, so tests and the CLI can
 assert pushdown actually happened.
@@ -19,11 +43,16 @@ assert pushdown actually happened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Any, Callable, Iterator, Mapping, Optional, Sequence,
+                    Union)
 
 import numpy as np
 
+from repro import obs
+from repro.store import kernels
+from repro.store.columnar import CodedColumn
 from repro.store.schema import Column, RowKind
 from repro.store.segment import SegmentMeta
 
@@ -32,7 +61,10 @@ __all__ = ["Predicate", "Query", "QueryStats", "AGGREGATIONS",
 
 _OPS = ("==", "!=", "<", "<=", ">", ">=", "in")
 
-#: Reduction name -> NumPy implementation over a 1-D array.
+#: Reduction name -> NumPy implementation over a 1-D array.  These define
+#: the *ungrouped* aggregation semantics; grouped aggregation is defined
+#: by :data:`repro.store.kernels.REFERENCE_REDUCERS` (identical except for
+#: float sum/mean/std, which are row-order sequential there).
 AGGREGATIONS: dict[str, Callable[[np.ndarray], float]] = {
     "count": lambda a: int(a.size),
     "sum": lambda a: a.sum().item(),
@@ -89,7 +121,9 @@ class Predicate:
                 return high >= self.value
             if self.op == "in":
                 return any(low <= v <= high for v in self.value)
-            return True  # "!=" — only an all-equal segment could be skipped
+            # "!=": an all-equal segment (min == max == value) provably
+            # holds no other value and is the one case stats can prune.
+            return not (low == high == self.value)
         if "values" in stats:
             present = set(stats["values"])
             if self.op == "==":
@@ -102,7 +136,12 @@ class Predicate:
 
     # -- evaluation ----------------------------------------------------- #
     def mask(self, array: np.ndarray) -> np.ndarray:
-        """Boolean match mask over one segment's column array."""
+        """Boolean match mask over one segment's column array.
+
+        Every operator is elementwise, so for a dictionary-encoded column
+        ``mask(vocabulary)[codes]`` is exactly ``mask(vocabulary[codes])``
+        — the identity the coded fast path rests on.
+        """
         if self.op == "==":
             return array == self.value
         if self.op == "!=":
@@ -123,33 +162,49 @@ class Predicate:
 _EXPR_OPS = ("<=", ">=", "!=", "==", "<", ">", "=")
 
 
+def _parse_value(raw: str) -> object:
+    """A textual predicate value as int, then float, then string."""
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
 def parse_predicate(expression: str) -> tuple[str, str, object]:
     """Parse ``device_name=S21`` / ``latency_ms<5`` into ``(column, op, value)``.
 
     The one textual predicate grammar shared by the CLI's ``--where`` flags
     and the serve layer's ``where=`` query parameters, so a filter behaves
     identically however it reaches the engine.  Values parse as int, then
-    float, then string.  Raises :class:`ValueError` on a malformed
-    expression.
+    float, then string.  Set membership is spelled ``column in a|b|c``
+    (spaces around ``in``, values ``|``-separated) and reaches the same
+    ``np.isin`` evaluation and distinct-set pushdown as a programmatic
+    ``where(column, "in", (...))``.  Raises :class:`ValueError` on a
+    malformed expression.
     """
+    column, separator, raw = expression.partition(" in ")
+    if separator and column.strip() and raw.strip() \
+            and not any(op in column for op in _EXPR_OPS):
+        values = tuple(_parse_value(v.strip())
+                       for v in raw.split("|") if v.strip())
+        if not values:
+            raise ValueError(
+                f"invalid where expression {expression!r} "
+                f"('in' needs at least one |-separated value)")
+        return column.strip(), "in", values
     for op in _EXPR_OPS:
         if op in expression:
             column, raw = expression.split(op, 1)
             column, raw = column.strip(), raw.strip()
             if not column or not raw:
                 break
-            value: object = raw
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    pass
-            return column, "==" if op == "=" else op, value
+            return column, "==" if op == "=" else op, _parse_value(raw)
     raise ValueError(
         f"invalid where expression {expression!r} (expected column<op>value "
-        f"with one of {', '.join(_EXPR_OPS)})")
+        f"with one of {', '.join(_EXPR_OPS)}, or 'column in a|b|c')")
 
 
 def parse_agg_expr(expression: str) -> tuple[str, list[str]]:
@@ -180,11 +235,124 @@ class QueryStats:
     rows_scanned: int = 0
     rows_matched: int = 0
 
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another accounting in by exact integer addition.
+
+        The ``MergeStats`` discipline: totals are identical however the
+        per-segment work was chunked or distributed, so parallel scans
+        report exactly what a sequential scan would.
+        """
+        self.segments_total += other.segments_total
+        self.segments_skipped += other.segments_skipped
+        self.segments_scanned += other.segments_scanned
+        self.segments_cached += other.segments_cached
+        self.rows_scanned += other.rows_scanned
+        self.rows_matched += other.rows_matched
+
+
+def _coded_view(loaded: Mapping, name: str) -> Optional[CodedColumn]:
+    """The codes + vocabulary of a dict-encoded column, if the mapping has one.
+
+    Only columnar segment mappings expose ``.coded`` (see
+    :meth:`repro.store.columnar.LazyColumns.coded`); plain dict mappings
+    (JSONL caches, npz/sidecar loads) and raw-encoded columns answer
+    ``None`` and callers fall back to the decoded array.
+    """
+    coded = getattr(loaded, "coded", None)
+    if coded is None:
+        return None
+    return coded(name)
+
+
+def _evaluate_segment(loaded: Mapping, meta: SegmentMeta,
+                      predicates: Sequence[Predicate],
+                      columns: Sequence[str],
+                      coded: frozenset) -> tuple[Optional[dict], int]:
+    """Mask one loaded segment and materialise its surviving rows.
+
+    A pure function of the loaded columns — the single evaluation point
+    shared by the sequential scan, the thread pool and the process-pool
+    :class:`_SegmentScanTask`, so the paths cannot diverge.  Dict-encoded
+    columns evaluate predicates against their vocabulary and mask the
+    integer codes; only rows surviving *all* masks are ever decoded
+    (columns named in ``coded`` are not decoded at all — they come back
+    as :class:`~repro.store.columnar.CodedColumn` parts for the group-by
+    kernels).  Returns ``(payload, matched)``; payload is ``None`` when
+    nothing matched.
+    """
+    mask: Optional[np.ndarray] = None
+    for predicate in predicates:
+        view = _coded_view(loaded, predicate.column)
+        if view is not None:
+            part = predicate.mask(view.values)[view.codes]
+        else:
+            part = predicate.mask(loaded[predicate.column])
+        mask = part if mask is None else (mask & part)
+    matched = int(mask.sum()) if mask is not None else meta.rows
+    if matched == 0:
+        return None, 0
+    payload: dict[str, Any] = {}
+    for name in columns:
+        view = _coded_view(loaded, name)
+        if view is not None and (name in coded or mask is not None):
+            kept = view.codes if mask is None else view.codes[mask]
+            payload[name] = (CodedColumn(kept, view.values) if name in coded
+                             else view.values[kept])
+        else:
+            array = loaded[name]
+            payload[name] = array if mask is None else array[mask]
+    return payload, matched
+
+
+class _SegmentScanTask:
+    """Picklable per-segment scan job for process-pool fan-out.
+
+    A snapshot of everything a worker needs to evaluate segments without
+    the coordinator's store object: segments directory, row-kind name,
+    the (frozen, picklable) predicates and the requested/coded column
+    sets.  Workers load columns through the same
+    :func:`repro.store.segment.load_columns` path the store's column
+    cache uses, so results are bit-identical to the in-process scan.
+    """
+
+    __slots__ = ("segments_dir", "kind_name", "predicates", "columns",
+                 "coded", "verify", "mmap")
+
+    def __init__(self, query: "Query", columns: tuple,
+                 coded: frozenset) -> None:
+        store = query.store
+        self.segments_dir = str(store.segments_dir)
+        self.kind_name = query.kind.name
+        self.predicates = tuple(query._predicates)
+        self.columns = columns
+        self.coded = coded
+        self.verify = bool(getattr(store, "verify", False))
+        self.mmap = bool(getattr(store, "mmap", False))
+
+    def __call__(self, meta: SegmentMeta):
+        from repro.store import segment as segment_io
+        from repro.store.schema import kind_for
+
+        kind = kind_for(self.kind_name)
+        if not all(p.may_match(meta, kind.column(p.column))
+                   for p in self.predicates):
+            return None, 0, QueryStats(segments_total=1, segments_skipped=1)
+        loaded = segment_io.load_columns(
+            Path(self.segments_dir), meta, kind,
+            verify=self.verify, mmap=self.mmap)
+        payload, matched = _evaluate_segment(loaded, meta, self.predicates,
+                                             self.columns, self.coded)
+        return payload, matched, QueryStats(
+            segments_total=1, segments_scanned=1,
+            rows_scanned=meta.rows, rows_matched=matched)
+
 
 class Query:
     """Filter / group / aggregate builder over one row kind of a store."""
 
-    def __init__(self, store, kind: RowKind) -> None:
+    def __init__(self, store, kind: RowKind, *,
+                 max_workers: Optional[int] = 1,
+                 use_processes: bool = False) -> None:
         self.store = store
         self.kind = kind
         self._predicates: list[Predicate] = []
@@ -192,6 +360,10 @@ class Query:
         self._aggregations: dict[str, tuple[str, str]] = {}
         #: Derived bin columns: label -> (source column, bin width).
         self._bins: dict[str, tuple[str, float]] = {}
+        #: Scan fan-out: 1 = sequential (the default), ``None`` = one
+        #: worker per CPU; see :meth:`parallel`.
+        self._max_workers = max_workers
+        self._use_processes = bool(use_processes)
         #: Populated by the terminal methods.
         self.stats = QueryStats()
 
@@ -207,6 +379,27 @@ class Query:
         for name, wanted in equalities.items():
             self._predicates.append(
                 Predicate(name, "==", self._coerce(name, "==", wanted)))
+        return self
+
+    def parallel(self, max_workers: Optional[int] = None, *,
+                 use_processes: bool = False) -> "Query":
+        """Builder step: fan the per-segment scans across a worker pool.
+
+        ``max_workers=None`` sizes the pool to the machine (one worker
+        per CPU, capped by the segment count); threads are the default —
+        segment scanning releases the GIL inside NumPy kernels — and
+        ``use_processes`` ships picklable scan tasks to a process pool
+        instead (each worker re-opens segment files itself, bypassing
+        the coordinator's column cache — and, for a
+        :class:`~repro.serve.cache.CachedQuery`, its fragment cache).
+        Results reassemble in manifest order and :class:`QueryStats`
+        merges by exact addition, so every terminal returns bit-identical
+        output for any worker count and either pool kind.
+        """
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive when given")
+        self._max_workers = max_workers
+        self._use_processes = bool(use_processes)
         return self
 
     def bin(self, column: str, width: float,
@@ -283,71 +476,92 @@ class Query:
     # ------------------------------------------------------------------ #
     # Execution core
     # ------------------------------------------------------------------ #
-    def _scan_segment(self, meta: SegmentMeta, needed: set):
-        """Pushdown + mask one segment; ``None`` if pruned or nothing matched.
+    def _segment_result(self, meta: SegmentMeta, columns: tuple,
+                        coded: frozenset
+                        ) -> tuple[Optional[dict], int, QueryStats]:
+        """Pushdown + evaluate one segment: ``(payload, matched, stats)``.
 
-        Updates :attr:`stats` and returns ``(columns_dict, mask)`` where the
-        dict holds the ``needed`` columns of the whole segment and ``mask``
-        is the row-match mask (``None`` with no predicates).  The single
-        per-segment evaluation point — both terminals and the serve layer's
-        caching query route through it, so work accounting and semantics
-        cannot diverge.
+        The single per-segment evaluation point — the sequential loop,
+        the thread pool and the serve layer's
+        :class:`~repro.serve.cache.CachedQuery` all route through it, so
+        work accounting and semantics cannot diverge.  Pure with respect
+        to the query (stats come back as a delta, merged centrally by
+        exact addition), which is what makes it safe to call from many
+        worker threads at once.
         """
-        self.stats.segments_total += 1
         if not all(p.may_match(meta, self.kind.column(p.column))
                    for p in self._predicates):
-            self.stats.segments_skipped += 1
-            return None
-        self.stats.segments_scanned += 1
-        self.stats.rows_scanned += meta.rows
+            return None, 0, QueryStats(segments_total=1, segments_skipped=1)
         loaded = self.store.columns_for(meta)
-        mask: Optional[np.ndarray] = None
-        for predicate in self._predicates:
-            part = predicate.mask(loaded[predicate.column])
-            mask = part if mask is None else (mask & part)
-        matched = int(mask.sum()) if mask is not None else meta.rows
-        self.stats.rows_matched += matched
-        if matched == 0:
-            return None
-        return {name: loaded[name] for name in needed}, mask
+        payload, matched = _evaluate_segment(loaded, meta, self._predicates,
+                                             columns, coded)
+        return payload, matched, QueryStats(
+            segments_total=1, segments_scanned=1,
+            rows_scanned=meta.rows, rows_matched=matched)
 
-    def _scan(self, columns: Sequence[str]):
-        """Yield ``(meta, columns_dict, mask)`` per surviving segment."""
-        self.stats = QueryStats()
-        needed = set(columns) | {p.column for p in self._predicates}
-        for meta in self.store.segments_for(self.kind):
-            survived = self._scan_segment(meta, needed)
-            if survived is not None:
-                yield meta, survived[0], survived[1]
+    def _pooled_results(self, metas: Sequence[SegmentMeta], columns: tuple,
+                        coded: frozenset) -> Iterator:
+        """Per-segment results via the shared fan-out point, in order."""
+        from repro.runtime.pool import iter_mapped
 
-    def _segment_arrays(self, meta: SegmentMeta, columns: Sequence[str]
-                        ) -> Optional[dict[str, np.ndarray]]:
-        """The masked ``columns`` arrays of one segment (``None`` = no rows).
+        if self._use_processes:
+            run_item = _SegmentScanTask(self, columns, coded)
+        else:
+            def run_item(meta: SegmentMeta):
+                return self._segment_result(meta, columns, coded)
+        return iter_mapped(run_item, metas, max_workers=self._max_workers,
+                           use_processes=self._use_processes)
 
-        The unit the serve layer caches: sealed segments are immutable, so
-        for a fixed predicate set this result can never go stale.
+    def _results(self, columns: Sequence[str], coded: frozenset = frozenset()
+                 ) -> Iterator[tuple[Optional[dict], int]]:
+        """Evaluate every segment in manifest order; yields ``(payload, matched)``.
+
+        Resets :attr:`stats` and merges each segment's accounting delta
+        by exact addition — identical totals whether the segments were
+        scanned inline, by threads, or by processes.
         """
-        survived = self._scan_segment(
-            meta, set(columns) | {p.column for p in self._predicates})
-        if survived is None:
-            return None
-        loaded, mask = survived
-        return {name: (loaded[name] if mask is None else loaded[name][mask])
-                for name in columns}
-
-    def _gather(self, columns: Sequence[str]) -> dict[str, np.ndarray]:
-        """Concatenate the masked arrays of every surviving segment."""
         self.stats = QueryStats()
-        parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
-        for meta in self.store.segments_for(self.kind):
-            masked = self._segment_arrays(meta, columns)
-            if masked is None:
+        columns = tuple(columns)
+        metas = self.store.segments_for(self.kind)
+        if self._use_processes or self._max_workers != 1:
+            results = self._pooled_results(metas, columns, coded)
+        else:
+            results = (self._segment_result(meta, columns, coded)
+                       for meta in metas)
+        for payload, matched, delta in results:
+            self.stats.merge(delta)
+            yield payload, matched
+        collector = obs.get_collector()
+        if collector is not None:
+            collector.count("query.executions")
+            collector.count("query.segments_scanned",
+                            self.stats.segments_scanned)
+            collector.count("query.segments_pruned",
+                            self.stats.segments_skipped)
+            collector.count("query.rows_matched", self.stats.rows_matched)
+
+    def _gather(self, columns: Sequence[str],
+                coded: frozenset = frozenset()) -> dict[str, Any]:
+        """Concatenate the masked arrays of every surviving segment.
+
+        Columns named in ``coded`` stay un-decoded: their value is the
+        list of per-segment parts (:class:`CodedColumn` for dict-encoded
+        segments, plain arrays otherwise) that
+        :func:`repro.store.kernels.factorize_parts` consumes directly.
+        """
+        columns = tuple(columns)
+        parts: dict[str, list] = {name: [] for name in columns}
+        for payload, _matched in self._results(columns, coded):
+            if payload is None:
                 continue
             for name in columns:
-                parts[name].append(masked[name])
+                parts[name].append(payload[name])
         return {
-            name: (np.concatenate(chunks) if chunks
-                   else np.empty(0, dtype=self.kind.column(name).numpy_dtype))
+            name: (chunks if name in coded
+                   else (np.concatenate(chunks) if chunks
+                         else np.empty(0,
+                                       dtype=self.kind.column(name
+                                                              ).numpy_dtype)))
             for name, chunks in parts.items()
         }
 
@@ -364,19 +578,24 @@ class Query:
     def count(self) -> int:
         """Number of matching rows (no column data materialised)."""
         total = 0
-        for meta, _, mask in self._scan(()):
-            total += meta.rows if mask is None else int(mask.sum())
+        for _payload, matched in self._results(()):
+            total += matched
         return total
 
     def rows(self) -> list[dict]:
-        """Matching rows as dicts, in ingestion order."""
+        """Matching rows as dicts, in ingestion order.
+
+        One ``tolist()`` pass per column (native scalars fall straight
+        out), then a zip into dicts — no per-row, per-column NumPy
+        indexing.
+        """
         arrays = self._gather(self.kind.column_names)
-        length = len(next(iter(arrays.values()))) if arrays else 0
-        return [
-            {name: arrays[name][i].item() if arrays[name].dtype != np.str_
-             else str(arrays[name][i]) for name in self.kind.column_names}
-            for i in range(length)
-        ]
+        columns = [(name, arrays[name].tolist())
+                   for name in self.kind.column_names]
+        if not columns:
+            return []
+        return [{name: values[i] for name, values in columns}
+                for i in range(len(columns[0][1]))]
 
     def objects(self) -> list:
         """Matching rows rebuilt as their pipeline dataclass."""
@@ -386,12 +605,23 @@ class Query:
                 f"object deserialiser; use rows() or arrays()")
         return [self.kind.from_row(row) for row in self.rows()]
 
-    def aggregate(self) -> Union[dict, list[dict]]:
+    def aggregate(self, *, engine: str = "kernel") -> Union[dict, list[dict]]:
         """Evaluate the declared aggregations.
 
         Without ``group_by`` returns one dict of reductions; with it, one dict
         per group (group key columns + reductions), ordered by group key.
+
+        ``engine`` selects the grouped execution path: ``"kernel"`` (the
+        default) runs the vectorised reductions of
+        :mod:`repro.store.kernels`; ``"reference"`` runs the per-group
+        Python loop those kernels are held bit-identical to (the slow
+        path the benchmark gate measures against).  Ungrouped
+        aggregation is identical under both.
         """
+        if engine not in ("kernel", "reference"):
+            raise ValueError(
+                f"unknown aggregate engine {engine!r} "
+                f"(have 'kernel', 'reference')")
         if not self._aggregations:
             raise ValueError("no aggregations declared; call agg(...) first")
         agg_columns = {column for column, _ in self._aggregations.values()}
@@ -399,11 +629,20 @@ class Query:
         plain_keys = {name for name in self._group_by if name not in self._bins}
         bin_sources = {self._bins[name][0] for name in bin_keys}
         needed = tuple(plain_keys | bin_sources | agg_columns)
-        arrays = self._gather(needed)
+        # Group keys that nothing else reads stay dictionary-coded end to
+        # end: grouping keys on the integer codes and only group
+        # representatives are ever decoded.
+        coded = frozenset(
+            name for name in plain_keys
+            if engine == "kernel" and name not in agg_columns
+            and name not in bin_sources
+            and self.kind.column(name).dtype == "str")
+        arrays = self._gather(needed, coded)
         for name in bin_keys:
             source, width = self._bins[name]
             arrays[name] = (arrays[source] // width).astype(np.int64)
-        length = len(next(iter(arrays.values())))
+        plain = next(name for name in needed if name not in coded)
+        length = len(arrays[plain])
 
         if not self._group_by:
             # Zero matching rows: counts are 0, every other reduction has no
@@ -420,15 +659,51 @@ class Query:
         key = np.zeros(length, dtype=np.int64)
         uniques: list[np.ndarray] = []
         for name in self._group_by:
-            u, inverse = np.unique(arrays[name], return_inverse=True)
+            if name in coded:
+                u, inverse = kernels.factorize_parts(arrays[name])
+            else:
+                u, inverse = np.unique(arrays[name], return_inverse=True)
             uniques.append(u)
             key = key * len(u) + inverse
         group_keys, key_inverse = np.unique(key, return_inverse=True)
+
+        if engine == "reference":
+            return self._aggregate_reference(arrays, group_keys, key_inverse,
+                                             length)
+
+        reducer = kernels.GroupedReducer(key_inverse, len(group_keys))
+        label_indices = kernels.decompose_keys(group_keys,
+                                               [len(u) for u in uniques])
+        reduced = {out: reducer.reduce(column, arrays[column], fn)
+                   for out, (column, fn) in self._aggregations.items()}
+        results: list[dict] = []
+        for gi in range(len(group_keys)):
+            row: dict[str, Any] = {}
+            for name, u, indices in zip(self._group_by, uniques,
+                                        label_indices):
+                value = u[indices[gi]]
+                row[name] = str(value) if u.dtype.kind == "U" \
+                    else value.item()
+            for out in self._aggregations:
+                row[out] = reduced[out][gi]
+            results.append(row)
+        return results
+
+    def _aggregate_reference(self, arrays: dict, group_keys: np.ndarray,
+                             key_inverse: np.ndarray,
+                             length: int) -> list[dict]:
+        """The per-group reference loop the kernels are gated against.
+
+        Group membership comes from a stable argsort of the group index
+        vector, so each group's rows appear in original row order —
+        which is what makes the reference reducers' sequential float
+        accumulation comparable bit for bit with the kernels' bincount
+        discipline.
+        """
         order = np.argsort(key_inverse, kind="stable")
         boundaries = np.searchsorted(key_inverse[order],
                                      np.arange(len(group_keys)))
         boundaries = np.append(boundaries, length)
-
         results: list[dict] = []
         for gi in range(len(group_keys)):
             members = order[boundaries[gi]:boundaries[gi + 1]]
@@ -439,6 +714,7 @@ class Query:
                 row[name] = str(value) if arrays[name].dtype.kind == "U" \
                     else value.item()
             for out, (column, fn) in self._aggregations.items():
-                row[out] = AGGREGATIONS[fn](arrays[column][members])
+                row[out] = kernels.REFERENCE_REDUCERS[fn](
+                    arrays[column][members])
             results.append(row)
         return results

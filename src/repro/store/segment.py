@@ -352,7 +352,7 @@ def load_rows(directory: Path, meta: SegmentMeta, *,
 
 def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
                  verify: bool = False,
-                 mmap: bool = False) -> dict[str, np.ndarray]:
+                 mmap: bool = False) -> Mapping[str, np.ndarray]:
     """Load a segment's column arrays, rebuilding the cache if needed.
 
     The npz cache is only trusted when its embedded checksum matches the
@@ -362,10 +362,15 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
     cache is valid — the paranoid mode for auditing a copied store.
 
     Columnar segments skip all of that: their durable artifact already *is*
-    the column payload, so a load is one read plus zero-copy
-    ``frombuffer`` views — a malformed payload raises
-    :class:`StoreCorruptionError` outright (there is no row log to rebuild
-    from; the checksummed file itself is the source of truth).
+    the column payload, so a load is one read plus lazy zero-copy
+    ``frombuffer`` views (:class:`_SegmentColumns` — mmap'd or not, the
+    payload structure is validated eagerly, columns decode on first
+    access, and dict-encoded columns additionally expose their
+    codes + vocabulary through ``.coded`` for the query engine) — a
+    malformed payload raises :class:`StoreCorruptionError` at open for
+    structural damage and at column access for per-column damage (there
+    is no row log to rebuild from; the checksummed file itself is the
+    source of truth).
 
     With ``mmap`` the columns come back memory-mapped read-only from a
     per-column ``.npy`` sidecar directory (npz archives cannot be mapped):
@@ -377,7 +382,14 @@ def load_columns(directory: Path, meta: SegmentMeta, kind: RowKind, *,
         return _load_columns_mmap(directory, meta, kind, verify=verify)
     if meta.is_columnar:
         payload = _read_payload(directory, meta, verify=verify)
-        return _unpack_columnar(payload, meta, kind)
+        try:
+            lazy = columnar.open_columns(payload, kind,
+                                         expected_rows=meta.rows)
+        except (ValueError, TypeError, KeyError) as error:
+            raise StoreCorruptionError(
+                f"segment {meta.name!r} columnar payload is corrupt: "
+                f"{error}") from None
+        return _SegmentColumns(meta.name, lazy)
     if verify:
         _read_payload(directory, meta, verify=True)
     path = directory / meta.cache_filename
@@ -437,6 +449,20 @@ class _SegmentColumns(Mapping):
     def __getitem__(self, column: str) -> np.ndarray:
         try:
             return self._lazy[column]
+        except (ValueError, TypeError) as error:
+            raise StoreCorruptionError(
+                f"segment {self._name!r} columnar payload is corrupt: "
+                f"{error}") from None
+
+    def coded(self, column: str) -> Optional["columnar.CodedColumn"]:
+        """Codes + vocabulary of a dict-encoded column (``None`` otherwise).
+
+        The query engine's coded read path
+        (:meth:`repro.store.columnar.LazyColumns.coded`), under the same
+        :class:`StoreCorruptionError` contract as ``__getitem__``.
+        """
+        try:
+            return self._lazy.coded(column)
         except (ValueError, TypeError) as error:
             raise StoreCorruptionError(
                 f"segment {self._name!r} columnar payload is corrupt: "

@@ -339,11 +339,18 @@ class ResultStore:
         for meta in self.segments_for(kind):
             yield from self.rows_for(meta)
 
-    def query(self, kind: str) -> "Query":
-        """Start a :class:`~repro.store.query.Query` over one row kind."""
+    def query(self, kind: str, *, max_workers: Optional[int] = 1,
+              use_processes: bool = False) -> "Query":
+        """Start a :class:`~repro.store.query.Query` over one row kind.
+
+        ``max_workers``/``use_processes`` preset the scan fan-out
+        (``1`` = sequential; see :meth:`~repro.store.query.Query.parallel`
+        for the semantics — results are bit-identical either way).
+        """
         from repro.store.query import Query
 
-        return Query(self, kind_for(kind))
+        return Query(self, kind_for(kind), max_workers=max_workers,
+                     use_processes=use_processes)
 
     # ------------------------------------------------------------------ #
     # Writes / integrity
@@ -410,6 +417,16 @@ class StoreSnapshot:
     def segments(self) -> tuple[SegmentMeta, ...]:
         """The pinned committed segments, in commit order."""
         return self._segments
+
+    @property
+    def verify(self) -> bool:
+        """The parent store's checksum-on-read setting (process scans read it)."""
+        return self._store.verify
+
+    @property
+    def mmap(self) -> bool:
+        """The parent store's memory-mapping setting (process scans read it)."""
+        return self._store.mmap
 
     def refresh(self) -> None:
         """No-op: a snapshot never sees commits made after its pin."""
